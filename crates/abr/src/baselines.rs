@@ -1,0 +1,269 @@
+//! Classic ABR baselines: buffer-based (BBA), rate-based, and RobustMPC.
+//!
+//! These are the algorithms the ABR literature (and the paper's related
+//! work, §2) compares against. None of them models client-side
+//! enhancement — that is exactly the gap §6 fills.
+
+use crate::predict::{harmonic_mean, max_relative_error};
+use crate::{Abr, AbrContext};
+
+/// Buffer-based adaptation (Huang et al., BBA-0): map the buffer level
+/// linearly from a reservoir to a cushion onto the ladder.
+pub struct BufferBased {
+    /// Below this buffer level, always pick the lowest rung.
+    pub reservoir_secs: f64,
+    /// Above reservoir + cushion, always pick the highest rung.
+    pub cushion_secs: f64,
+}
+
+impl Default for BufferBased {
+    fn default() -> Self {
+        Self {
+            reservoir_secs: 5.0,
+            cushion_secs: 10.0,
+        }
+    }
+}
+
+impl Abr for BufferBased {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let n = ctx.ladder_kbps.len();
+        if ctx.buffer_secs <= self.reservoir_secs {
+            return 0;
+        }
+        let t = ((ctx.buffer_secs - self.reservoir_secs) / self.cushion_secs).min(1.0);
+        ((t * (n - 1) as f64).round() as usize).min(n - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "BBA"
+    }
+}
+
+/// Rate-based adaptation: highest rung below a safety fraction of the
+/// harmonic-mean throughput of the recent past.
+pub struct RateBased {
+    pub safety: f64,
+    pub window: usize,
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        Self {
+            safety: 0.8,
+            window: 5,
+        }
+    }
+}
+
+impl Abr for RateBased {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let start = ctx.throughput_kbps.len().saturating_sub(self.window);
+        let est = harmonic_mean(&ctx.throughput_kbps[start..]) * self.safety;
+        let mut best = 0;
+        for (i, &kbps) in ctx.ladder_kbps.iter().enumerate() {
+            if (kbps as f64) <= est {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "RateBased"
+    }
+}
+
+/// RobustMPC (Yin et al.): throughput = harmonic mean discounted by the
+/// maximum recent prediction error; pick the highest rung whose download
+/// finishes within the buffer.
+pub struct RobustMpc {
+    pub window: usize,
+    history: Vec<(f64, f64)>,
+    last_prediction: Option<f64>,
+}
+
+impl Default for RobustMpc {
+    fn default() -> Self {
+        Self {
+            window: 5,
+            history: Vec::new(),
+            last_prediction: None,
+        }
+    }
+}
+
+impl Abr for RobustMpc {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        // Track prediction error.
+        if let (Some(pred), Some(&actual)) = (self.last_prediction, ctx.throughput_kbps.last()) {
+            self.history.push((pred, actual));
+            if self.history.len() > self.window {
+                self.history.remove(0);
+            }
+        }
+        let start = ctx.throughput_kbps.len().saturating_sub(self.window);
+        let hm = harmonic_mean(&ctx.throughput_kbps[start..]);
+        let err = max_relative_error(&self.history);
+        let robust = if hm > 0.0 {
+            hm / (1.0 + err)
+        } else {
+            ctx.ladder_kbps[0] as f64
+        };
+        self.last_prediction = Some(robust);
+
+        // Highest rung that downloads within the available buffer.
+        let mut best = 0;
+        for (i, &kbps) in ctx.ladder_kbps.iter().enumerate() {
+            let download = kbps as f64 * ctx.chunk_seconds / robust.max(1e-9);
+            if download <= ctx.buffer_secs.max(ctx.chunk_seconds) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "RobustMPC"
+    }
+}
+
+/// BOLA (Spiteri et al., ToN 2020): Lyapunov-optimization-based buffer
+/// control. Each chunk maximizes `(V * utility + V * gamma - buffer) /
+/// size` over the ladder, where utility is the log of relative bitrate —
+/// no throughput prediction at all, yet provably near-optimal utility.
+pub struct Bola {
+    /// Lyapunov control gain (larger = more utility-greedy).
+    pub v: f64,
+    /// Rebuffer-avoidance weight.
+    pub gamma: f64,
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Self { v: 0.93, gamma: 5.0 }
+    }
+}
+
+impl Abr for Bola {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let base = ctx.ladder_kbps[0] as f64;
+        let buffer_chunks = ctx.buffer_secs / ctx.chunk_seconds;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &kbps) in ctx.ladder_kbps.iter().enumerate() {
+            let size = kbps as f64 / base; // relative chunk size
+            let utility = (kbps as f64 / base).ln();
+            let score = (self.v * (utility + self.gamma) - buffer_chunks) / size;
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "BOLA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LADDER: [u32; 5] = [512, 1024, 1600, 2640, 4400];
+
+    fn ctx(buffer: f64, tput: f64) -> AbrContext {
+        AbrContext {
+            buffer_secs: buffer,
+            last_choice: 0,
+            throughput_kbps: vec![tput; 6],
+            loss_rates: vec![0.0; 6],
+            chunk_seconds: 4.0,
+            ladder_kbps: LADDER.to_vec(),
+            frames_per_chunk: 120,
+        }
+    }
+
+    #[test]
+    fn bba_is_monotone_in_buffer() {
+        let mut bba = BufferBased::default();
+        let mut last = 0;
+        for b in [0.0, 3.0, 6.0, 9.0, 12.0, 16.0, 30.0] {
+            let c = bba.choose(&ctx(b, 1000.0));
+            assert!(c >= last, "buffer {b}: {c} < {last}");
+            last = c;
+        }
+        assert_eq!(bba.choose(&ctx(0.0, 1000.0)), 0);
+        assert_eq!(bba.choose(&ctx(30.0, 1000.0)), LADDER.len() - 1);
+    }
+
+    #[test]
+    fn bba_ignores_throughput() {
+        let mut bba = BufferBased::default();
+        assert_eq!(bba.choose(&ctx(8.0, 100.0)), bba.choose(&ctx(8.0, 100_000.0)));
+    }
+
+    #[test]
+    fn rate_based_respects_safety_margin() {
+        let mut rb = RateBased::default();
+        // 2000 kbps * 0.8 = 1600 -> exactly the 1600 rung.
+        assert_eq!(rb.choose(&ctx(5.0, 2000.0)), 2);
+        // Just below: must drop a rung.
+        assert_eq!(rb.choose(&ctx(5.0, 1990.0)), 1);
+    }
+
+    #[test]
+    fn rate_based_handles_empty_history() {
+        let mut rb = RateBased::default();
+        let mut c = ctx(5.0, 1000.0);
+        c.throughput_kbps.clear();
+        assert_eq!(rb.choose(&c), 0);
+    }
+
+    #[test]
+    fn robust_mpc_discounts_after_errors() {
+        let mut mpc = RobustMpc::default();
+        // Stable history: picks an aggressive rung.
+        let stable = ctx(8.0, 3000.0);
+        let first = mpc.choose(&stable);
+        // Feed an over-prediction experience: actual collapses.
+        let crashed = ctx(8.0, 800.0);
+        let _ = mpc.choose(&crashed);
+        let after = mpc.choose(&crashed);
+        assert!(after <= first);
+    }
+
+    #[test]
+    fn bola_climbs_with_buffer() {
+        let mut bola = Bola::default();
+        let mut last = 0;
+        for b in [0.0, 4.0, 8.0, 14.0, 22.0, 30.0] {
+            let c = bola.choose(&ctx(b, 1000.0));
+            assert!(c >= last, "buffer {b}: rung {c} < {last}");
+            last = c;
+        }
+        // Empty buffer: safest rung; deep buffer: top rung reachable.
+        assert_eq!(bola.choose(&ctx(0.0, 1000.0)), 0);
+        assert!(bola.choose(&ctx(30.0, 1000.0)) >= 3);
+    }
+
+    #[test]
+    fn bola_ignores_throughput_like_bba() {
+        let mut bola = Bola::default();
+        assert_eq!(
+            bola.choose(&ctx(10.0, 100.0)),
+            bola.choose(&ctx(10.0, 100_000.0))
+        );
+    }
+
+    #[test]
+    fn robust_mpc_uses_buffer_headroom() {
+        let mut mpc = RobustMpc::default();
+        let deep = mpc.choose(&ctx(16.0, 1200.0));
+        let mut m2 = RobustMpc::default();
+        let shallow = m2.choose(&ctx(2.0, 1200.0));
+        assert!(deep >= shallow);
+    }
+}

@@ -1,0 +1,151 @@
+//! The offline loss-rate → FEC-redundancy lookup table (§4).
+//!
+//! "We take the video training traces and play it under different
+//! network loss rates. For each network loss rate, we apply different
+//! levels of FEC and perform video decoding and recovery ... and select
+//! the FEC that yields the highest QoE. In this way, we offline build a
+//! lookup table that specifies the best FEC level for each loss rate.
+//! During online running, we predict the loss rate for the next video
+//! chuck and index to the table."
+//!
+//! The builder is generic over a QoE evaluation closure so it can be
+//! driven by the full streaming simulator (the paper's protocol), an
+//! analytic model, or a test stub. The paper notes the optimal table
+//! depends on the recovery scheme — build one table per scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// The lookup table: sorted (loss rate, best redundancy ratio) pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FecTable {
+    entries: Vec<(f64, f64)>,
+}
+
+impl FecTable {
+    /// Build by exhaustive sweep: for each loss rate in `loss_grid`,
+    /// evaluate every ratio in `ratio_grid` with `qoe_of` and keep the
+    /// argmax. Ratios whose QoE is within `tie_epsilon` of the best lose
+    /// to the *smaller* ratio — overhead is certain, the measured QoE
+    /// difference may be simulation noise.
+    pub fn build_with_epsilon(
+        loss_grid: &[f64],
+        ratio_grid: &[f64],
+        tie_epsilon: f64,
+        mut qoe_of: impl FnMut(f64, f64) -> f64,
+    ) -> FecTable {
+        assert!(!loss_grid.is_empty() && !ratio_grid.is_empty());
+        let mut sorted_ratios = ratio_grid.to_vec();
+        sorted_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut entries = Vec::with_capacity(loss_grid.len());
+        for &loss in loss_grid {
+            let scores: Vec<f64> = sorted_ratios.iter().map(|&r| qoe_of(loss, r)).collect();
+            let best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // Smallest ratio within epsilon of the best.
+            let idx = scores
+                .iter()
+                .position(|&q| q >= best - tie_epsilon)
+                .unwrap_or(0);
+            entries.push((loss, sorted_ratios[idx]));
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        FecTable { entries }
+    }
+
+    /// [`FecTable::build_with_epsilon`] with a small default tolerance.
+    pub fn build(
+        loss_grid: &[f64],
+        ratio_grid: &[f64],
+        qoe_of: impl FnMut(f64, f64) -> f64,
+    ) -> FecTable {
+        Self::build_with_epsilon(loss_grid, ratio_grid, 0.02, qoe_of)
+    }
+
+    /// Construct directly from entries (e.g. deserialized).
+    pub fn from_entries(mut entries: Vec<(f64, f64)>) -> FecTable {
+        assert!(!entries.is_empty());
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        FecTable { entries }
+    }
+
+    pub fn entries(&self) -> &[(f64, f64)] {
+        &self.entries
+    }
+
+    /// Redundancy ratio for a predicted loss rate: the entry with the
+    /// smallest tabulated loss ≥ the prediction (round *up* — under-
+    /// protecting costs more than over-protecting), or the last entry if
+    /// the prediction exceeds the table.
+    pub fn lookup(&self, predicted_loss: f64) -> f64 {
+        for &(loss, ratio) in &self.entries {
+            if loss >= predicted_loss {
+                return ratio;
+            }
+        }
+        self.entries.last().unwrap().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stylized QoE surface with the paper's structure: utility grows
+    /// with protection up to what the loss requires, then redundancy
+    /// overhead dominates (Figure 2's unimodal curves).
+    fn stylized_qoe(loss: f64, ratio: f64) -> f64 {
+        let needed = 5.0 * loss; // the paper's "5x the loss rate" rule
+        let protection = if ratio >= needed {
+            1.0
+        } else {
+            ratio / needed.max(1e-9)
+        };
+        protection - 0.8 * ratio // overhead cost
+    }
+
+    #[test]
+    fn table_requires_more_fec_for_more_loss() {
+        let table = FecTable::build(
+            &[0.01, 0.03, 0.05],
+            &(0..=20).map(|i| i as f64 * 0.05).collect::<Vec<_>>(),
+            stylized_qoe,
+        );
+        let r1 = table.lookup(0.01);
+        let r3 = table.lookup(0.03);
+        let r5 = table.lookup(0.05);
+        assert!(r1 <= r3 && r3 <= r5, "{r1} {r3} {r5}");
+        // The paper's rule of thumb: ~5x the loss rate.
+        assert!((r1 - 0.05).abs() < 0.051, "r1 = {r1}");
+        assert!((r5 - 0.25).abs() < 0.051, "r5 = {r5}");
+    }
+
+    #[test]
+    fn lookup_rounds_up_between_entries() {
+        let table = FecTable::from_entries(vec![(0.01, 0.1), (0.05, 0.3)]);
+        assert_eq!(table.lookup(0.02), 0.3);
+        assert_eq!(table.lookup(0.01), 0.1);
+        assert_eq!(table.lookup(0.005), 0.1);
+    }
+
+    #[test]
+    fn lookup_saturates_above_table() {
+        let table = FecTable::from_entries(vec![(0.01, 0.1), (0.05, 0.3)]);
+        assert_eq!(table.lookup(0.5), 0.3);
+    }
+
+    #[test]
+    fn zero_loss_needs_no_fec() {
+        let table = FecTable::build(
+            &[0.0, 0.05],
+            &(0..=10).map(|i| i as f64 * 0.1).collect::<Vec<_>>(),
+            stylized_qoe,
+        );
+        assert_eq!(table.lookup(0.0), 0.0);
+    }
+
+    #[test]
+    fn entries_are_sorted_regardless_of_input_order() {
+        let table = FecTable::from_entries(vec![(0.05, 0.3), (0.01, 0.1)]);
+        let losses: Vec<f64> = table.entries().iter().map(|e| e.0).collect();
+        assert_eq!(losses, vec![0.01, 0.05]);
+    }
+}

@@ -1,0 +1,81 @@
+//! # nerve-abr
+//!
+//! Adaptive bitrate algorithms for the NERVE reproduction.
+//!
+//! The paper's ABR contribution (§6) is *enhancement awareness*: instead
+//! of optimizing the QoE of the bits that arrive, optimize the QoE of
+//! what the viewer actually sees after client-side recovery and
+//! super-resolution. This crate implements:
+//!
+//! * [`qoe`] — the standard QoE objective
+//!   `(Σ Rₙ − μ Σ Tₙ − Σ|Rₙ₊₁ − Rₙ|)/N` and the calibrated quality maps
+//!   (PSNR↔bitrate, recovered-frame PSNR, SR PSNR — Figure 4);
+//! * [`predict`] — EWMA and Holt–Winters throughput/loss predictors (§6);
+//! * [`mpc`] — the enhancement-aware model-predictive ABR: per candidate
+//!   bitrate it classifies the chunk's frames into recovered / SR'd /
+//!   plain using the paper's `T_play` vs `T_arr` accounting, maps the
+//!   blended quality back to an effective bitrate utility, estimates
+//!   rebuffering including recovery cost, and picks the argmax;
+//! * [`ppo`] — a PPO-lite reinforcement learner over a linear-softmax
+//!   policy (the paper upgrades Pensieve with PPO; see DESIGN.md for the
+//!   substitution scope);
+//! * [`baselines`] — buffer-based (BBA), rate-based, and robust-MPC
+//!   baselines, plus the enhancement-blind variant of our MPC;
+//! * [`nemo`] — the NEMO-style SR-only baseline (anchor-limited SR, no
+//!   recovery, frame reuse on loss);
+//! * [`fec_table`] — the offline loss-rate → FEC-redundancy lookup table
+//!   (§4 "Joint FEC and video recovery").
+//!
+//! The crate is deliberately substrate-free: it sees only an
+//! [`AbrContext`] snapshot, so the same algorithms run inside the full
+//! pixel-accurate simulator and in fast analytic sweeps.
+
+pub mod baselines;
+pub mod fec_table;
+pub mod mpc;
+pub mod nemo;
+pub mod ppo;
+pub mod predict;
+pub mod qoe;
+
+/// Everything an ABR may look at when choosing the next chunk's rung.
+#[derive(Debug, Clone)]
+pub struct AbrContext {
+    /// Seconds of video currently buffered at the client.
+    pub buffer_secs: f64,
+    /// Ladder index selected for the previous chunk.
+    pub last_choice: usize,
+    /// Recent observed chunk throughputs in kbps (oldest first).
+    pub throughput_kbps: Vec<f64>,
+    /// Recent observed packet loss rates (oldest first).
+    pub loss_rates: Vec<f64>,
+    /// Chunk duration in seconds.
+    pub chunk_seconds: f64,
+    /// Available bitrates in kbps, ascending.
+    pub ladder_kbps: Vec<u32>,
+    /// Frames per chunk.
+    pub frames_per_chunk: usize,
+}
+
+impl AbrContext {
+    /// A reasonable starting context for tests and session bootstrap.
+    pub fn bootstrap(ladder_kbps: Vec<u32>, chunk_seconds: f64, frames_per_chunk: usize) -> Self {
+        Self {
+            buffer_secs: 0.0,
+            last_choice: 0,
+            throughput_kbps: Vec::new(),
+            loss_rates: Vec::new(),
+            chunk_seconds,
+            ladder_kbps,
+            frames_per_chunk,
+        }
+    }
+}
+
+/// An adaptive-bitrate policy.
+pub trait Abr {
+    /// Pick the ladder index for the next chunk.
+    fn choose(&mut self, ctx: &AbrContext) -> usize;
+    /// Short display name (figure legends).
+    fn name(&self) -> &'static str;
+}

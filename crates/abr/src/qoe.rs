@@ -1,0 +1,307 @@
+//! The QoE objective and the calibrated quality maps.
+//!
+//! §6 of the paper:
+//!
+//! ```text
+//! QoE = ( Σₙ Rₙ  −  μ Σₙ Tₙ  −  Σₙ |Rₙ₊₁ − Rₙ| ) / N
+//! ```
+//!
+//! with `Rₙ` the chunk's bitrate utility (Mbps), `Tₙ` its rebuffering
+//! time, and `μ` the rebuffering penalty. Enhancement awareness enters
+//! through the *quality maps*: measured PSNR as a function of bitrate for
+//! plain decoded, recovered, and super-resolved frames (Figure 4), which
+//! let the ABR convert "the viewer will see recovered/SR'd frames" into
+//! an effective bitrate utility via the inverse PSNR↔bitrate map.
+
+use serde::{Deserialize, Serialize};
+
+/// QoE weights. `rebuffer_penalty` follows the Pensieve/MPC convention
+/// for the linear QoE metric; smoothness weight is 1 in the paper's
+/// formula.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QoeParams {
+    pub rebuffer_penalty: f64,
+    pub smoothness_weight: f64,
+}
+
+impl Default for QoeParams {
+    fn default() -> Self {
+        Self {
+            rebuffer_penalty: 4.3,
+            smoothness_weight: 1.0,
+        }
+    }
+}
+
+/// Per-chunk record for QoE computation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChunkOutcome {
+    /// Effective bitrate utility of the chunk in Mbps (after any
+    /// enhancement mapping).
+    pub utility_mbps: f64,
+    /// Rebuffering time attributed to this chunk, seconds.
+    pub rebuffer_secs: f64,
+}
+
+/// The paper's session QoE over a sequence of chunk outcomes.
+pub fn session_qoe(chunks: &[ChunkOutcome], params: &QoeParams) -> f64 {
+    if chunks.is_empty() {
+        return 0.0;
+    }
+    let n = chunks.len() as f64;
+    let utility: f64 = chunks.iter().map(|c| c.utility_mbps).sum();
+    let rebuffer: f64 = chunks.iter().map(|c| c.rebuffer_secs).sum();
+    let smooth: f64 = chunks
+        .windows(2)
+        .map(|w| (w[1].utility_mbps - w[0].utility_mbps).abs())
+        .sum();
+    (utility - params.rebuffer_penalty * rebuffer - params.smoothness_weight * smooth) / n
+}
+
+/// One-chunk QoE increment (used inside MPC lookahead): utility minus
+/// rebuffer penalty minus smoothness against the previous utility.
+pub fn chunk_qoe(
+    utility_mbps: f64,
+    rebuffer_secs: f64,
+    prev_utility_mbps: f64,
+    params: &QoeParams,
+) -> f64 {
+    utility_mbps - params.rebuffer_penalty * rebuffer_secs
+        - params.smoothness_weight * (utility_mbps - prev_utility_mbps).abs()
+}
+
+/// Calibrated quality maps (Figure 4): per ladder rung, the average PSNR
+/// of plain decoded frames, of recovered frames, and of super-resolved
+/// frames; plus the PSNR degradation per consecutive recovered frame.
+///
+/// The `nerve-sim` crate measures these from the pixel pipeline
+/// (`calibrate` module) exactly as §6 prescribes ("we compute the average
+/// PSNR of these video frames after applying video recovery ... we use
+/// this value as the estimate").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityMaps {
+    /// Ladder bitrates in kbps, ascending.
+    pub ladder_kbps: Vec<u32>,
+    /// Mean PSNR of plain decoded frames at each rung (dB).
+    pub plain_psnr: Vec<f64>,
+    /// Mean PSNR of a first recovered frame at each rung (dB).
+    pub recovered_psnr: Vec<f64>,
+    /// Mean PSNR after SR to 1080p from each rung (dB).
+    pub sr_psnr: Vec<f64>,
+    /// PSNR drop per additional consecutive recovered frame (dB/frame,
+    /// the slope of Figure 4a).
+    pub recovery_decay_db_per_frame: f64,
+    /// Mean PSNR of *reusing the previous frame* in place of a lost one
+    /// (what players without recovery display), per rung.
+    pub reuse_psnr: Vec<f64>,
+    /// PSNR drop per additional consecutive reused frame — much steeper
+    /// than recovery's (Figure 7: the gap between reuse and recovery
+    /// widens with chain length).
+    pub reuse_decay_db_per_frame: f64,
+}
+
+impl QualityMaps {
+    /// A synthetic-but-plausible default used by unit tests and as a
+    /// fallback before calibration has run. Shapes follow the paper:
+    /// PSNR grows log-like with bitrate (Fig 4b); recovery costs a few
+    /// dB; SR gains shrink as the rung rises (Fig 10).
+    pub fn placeholder(ladder_kbps: &[u32]) -> Self {
+        let plain: Vec<f64> = ladder_kbps
+            .iter()
+            .map(|&k| 24.0 + 5.0 * ((k as f64) / 512.0).ln().max(0.0))
+            .collect();
+        let recovered: Vec<f64> = plain.iter().map(|p| p - 4.0).collect();
+        let sr: Vec<f64> = plain
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p + (1.3 - 0.3 * i as f64).max(0.0))
+            .collect();
+        let reuse: Vec<f64> = recovered.iter().map(|p| p - 3.0).collect();
+        Self {
+            ladder_kbps: ladder_kbps.to_vec(),
+            plain_psnr: plain,
+            recovered_psnr: recovered,
+            sr_psnr: sr,
+            recovery_decay_db_per_frame: 0.15,
+            reuse_psnr: reuse,
+            reuse_decay_db_per_frame: 0.8,
+        }
+    }
+
+    /// PSNR of the `k`-th consecutive reused frame.
+    pub fn reuse_psnr_at_depth(&self, rung: usize, consecutive: usize) -> f64 {
+        (self.reuse_psnr[rung]
+            - self.reuse_decay_db_per_frame * consecutive.saturating_sub(1) as f64)
+            .max(8.0)
+    }
+
+    /// PSNR of a frame recovered `k` frames after the last good one
+    /// (Figure 4a's mapping function).
+    pub fn recovered_psnr_at_depth(&self, rung: usize, consecutive: usize) -> f64 {
+        (self.recovered_psnr[rung] - self.recovery_decay_db_per_frame * consecutive.saturating_sub(1) as f64)
+            .max(10.0)
+    }
+
+    /// Invert the PSNR↔bitrate curve (Figure 4b): the bitrate (Mbps)
+    /// whose *plain* quality equals the given PSNR. Piecewise-linear
+    /// interpolation in (PSNR, log-bitrate); clamped at the ladder ends.
+    /// This is how enhanced quality becomes a bitrate utility.
+    pub fn utility_for_psnr(&self, psnr: f64) -> f64 {
+        let n = self.ladder_kbps.len();
+        assert!(n >= 2, "need at least two rungs to interpolate");
+        let mbps = |i: usize| self.ladder_kbps[i] as f64 / 1000.0;
+        if psnr <= self.plain_psnr[0] {
+            // Below the lowest rung: scale down proportionally in dB.
+            let deficit = (self.plain_psnr[0] - psnr).min(10.0);
+            return mbps(0) * (1.0 - deficit / 15.0).max(0.1);
+        }
+        for i in 0..n - 1 {
+            let (p0, p1) = (self.plain_psnr[i], self.plain_psnr[i + 1]);
+            if psnr <= p1 {
+                let t = if (p1 - p0).abs() < 1e-9 {
+                    0.0
+                } else {
+                    (psnr - p0) / (p1 - p0)
+                };
+                let lb = mbps(i).ln() + t * (mbps(i + 1).ln() - mbps(i).ln());
+                return lb.exp();
+            }
+        }
+        // Above the top rung: extrapolate along the last segment, capped.
+        let top = mbps(n - 1);
+        let bonus = ((psnr - self.plain_psnr[n - 1]) / 3.0).min(1.0);
+        top * (1.0 + 0.5 * bonus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LADDER: [u32; 5] = [512, 1024, 1600, 2640, 4400];
+
+    #[test]
+    fn session_qoe_matches_hand_computation() {
+        let params = QoeParams {
+            rebuffer_penalty: 4.0,
+            smoothness_weight: 1.0,
+        };
+        let chunks = vec![
+            ChunkOutcome {
+                utility_mbps: 1.0,
+                rebuffer_secs: 0.0,
+            },
+            ChunkOutcome {
+                utility_mbps: 2.0,
+                rebuffer_secs: 0.5,
+            },
+        ];
+        // (1 + 2 - 4*0.5 - |2-1|) / 2 = 0/2... = (3 - 2 - 1)/2 = 0.
+        assert!((session_qoe(&chunks, &params) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_session_is_zero() {
+        assert_eq!(session_qoe(&[], &QoeParams::default()), 0.0);
+    }
+
+    #[test]
+    fn rebuffering_hurts_qoe() {
+        let params = QoeParams::default();
+        let smooth = vec![
+            ChunkOutcome {
+                utility_mbps: 1.0,
+                rebuffer_secs: 0.0,
+            };
+            5
+        ];
+        let stalled = vec![
+            ChunkOutcome {
+                utility_mbps: 1.0,
+                rebuffer_secs: 1.0,
+            };
+            5
+        ];
+        assert!(session_qoe(&smooth, &params) > session_qoe(&stalled, &params));
+    }
+
+    #[test]
+    fn oscillation_hurts_qoe() {
+        let params = QoeParams::default();
+        let steady: Vec<ChunkOutcome> = (0..6)
+            .map(|_| ChunkOutcome {
+                utility_mbps: 1.5,
+                rebuffer_secs: 0.0,
+            })
+            .collect();
+        let oscillating: Vec<ChunkOutcome> = (0..6)
+            .map(|i| ChunkOutcome {
+                utility_mbps: if i % 2 == 0 { 1.0 } else { 2.0 },
+                rebuffer_secs: 0.0,
+            })
+            .collect();
+        assert!(session_qoe(&steady, &params) > session_qoe(&oscillating, &params));
+    }
+
+    #[test]
+    fn placeholder_maps_have_paper_shapes() {
+        let maps = QualityMaps::placeholder(&LADDER);
+        // PSNR grows with bitrate.
+        for w in maps.plain_psnr.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Recovery costs quality; SR adds quality, more at low rungs.
+        for i in 0..LADDER.len() {
+            assert!(maps.recovered_psnr[i] < maps.plain_psnr[i]);
+        }
+        let sr_gain_low = maps.sr_psnr[0] - maps.plain_psnr[0];
+        let sr_gain_high = maps.sr_psnr[3] - maps.plain_psnr[3];
+        assert!(sr_gain_low > sr_gain_high);
+    }
+
+    #[test]
+    fn recovery_depth_decays_quality() {
+        let maps = QualityMaps::placeholder(&LADDER);
+        let d1 = maps.recovered_psnr_at_depth(2, 1);
+        let d10 = maps.recovered_psnr_at_depth(2, 10);
+        assert!(d1 > d10);
+        assert!((d1 - d10 - maps.recovery_decay_db_per_frame * 9.0).abs() < 1e-9);
+        // Floor holds.
+        assert!(maps.recovered_psnr_at_depth(0, 10_000) >= 10.0);
+    }
+
+    #[test]
+    fn utility_inversion_round_trips_on_ladder_points() {
+        let maps = QualityMaps::placeholder(&LADDER);
+        for (i, &kbps) in LADDER.iter().enumerate() {
+            let u = maps.utility_for_psnr(maps.plain_psnr[i]);
+            let expect = kbps as f64 / 1000.0;
+            assert!(
+                (u - expect).abs() / expect < 0.02,
+                "rung {i}: {u} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn utility_is_monotone_in_psnr() {
+        let maps = QualityMaps::placeholder(&LADDER);
+        let mut last = 0.0;
+        for i in 0..40 {
+            let p = 20.0 + i as f64 * 0.5;
+            let u = maps.utility_for_psnr(p);
+            assert!(u >= last - 1e-9, "psnr {p}: {u} < {last}");
+            last = u;
+        }
+    }
+
+    #[test]
+    fn enhanced_quality_maps_to_higher_utility() {
+        // SR at the lowest rung should be worth more than the rung's raw
+        // bitrate — the core of enhancement-aware rate selection.
+        let maps = QualityMaps::placeholder(&LADDER);
+        let plain_u = maps.utility_for_psnr(maps.plain_psnr[0]);
+        let sr_u = maps.utility_for_psnr(maps.sr_psnr[0]);
+        assert!(sr_u > plain_u);
+    }
+}

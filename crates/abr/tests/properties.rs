@@ -1,0 +1,126 @@
+//! Property-based tests for the ABR layer's invariants.
+
+use nerve_abr::fec_table::FecTable;
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use nerve_abr::predict::{harmonic_mean, Ewma, HoltWinters, Predictor};
+use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
+use nerve_abr::{Abr, AbrContext};
+use proptest::prelude::*;
+
+const LADDER: [u32; 5] = [512, 1024, 1600, 2640, 4400];
+
+proptest! {
+    #[test]
+    fn choose_always_returns_valid_rung(
+        buffer in 0.0f64..40.0,
+        tput in 50.0f64..50_000.0,
+        loss in 0.0f64..0.3,
+        last in 0usize..5,
+    ) {
+        let ctx = AbrContext {
+            buffer_secs: buffer,
+            last_choice: last,
+            throughput_kbps: vec![tput; 6],
+            loss_rates: vec![loss; 6],
+            chunk_seconds: 4.0,
+            ladder_kbps: LADDER.to_vec(),
+            frames_per_chunk: 120,
+        };
+        let maps = QualityMaps::placeholder(&LADDER);
+        let mut aware = EnhancementAwareAbr::new(maps.clone(), QoeParams::default(), EnhancementConfig::default());
+        let mut blind = EnhancementAwareAbr::enhancement_blind(maps, QoeParams::default());
+        prop_assert!(aware.choose(&ctx) < LADDER.len());
+        prop_assert!(blind.choose(&ctx) < LADDER.len());
+    }
+
+    #[test]
+    fn rung_choice_is_monotone_in_throughput(
+        t_low in 100.0f64..2_000.0,
+        extra in 100.0f64..8_000.0,
+    ) {
+        let mk = |tput: f64| AbrContext {
+            buffer_secs: 10.0,
+            last_choice: 0,
+            throughput_kbps: vec![tput; 6],
+            loss_rates: vec![0.0; 6],
+            chunk_seconds: 4.0,
+            ladder_kbps: LADDER.to_vec(),
+            frames_per_chunk: 120,
+        };
+        let maps = QualityMaps::placeholder(&LADDER);
+        let mut abr = EnhancementAwareAbr::enhancement_blind(maps, QoeParams::default());
+        let low = abr.choose(&mk(t_low));
+        let mut abr2 = EnhancementAwareAbr::enhancement_blind(
+            QualityMaps::placeholder(&LADDER),
+            QoeParams::default(),
+        );
+        let high = abr2.choose(&mk(t_low + extra));
+        prop_assert!(high >= low, "tput {t_low} -> rung {low}, tput {} -> rung {high}", t_low + extra);
+    }
+
+    #[test]
+    fn utility_for_psnr_is_monotone(p1 in 10.0f64..50.0, dp in 0.0f64..20.0) {
+        let maps = QualityMaps::placeholder(&LADDER);
+        prop_assert!(maps.utility_for_psnr(p1 + dp) >= maps.utility_for_psnr(p1) - 1e-9);
+    }
+
+    #[test]
+    fn session_qoe_decreases_with_rebuffering(
+        utils in proptest::collection::vec(0.2f64..4.4, 2..20),
+        extra_stall in 0.01f64..5.0,
+    ) {
+        let params = QoeParams::default();
+        let clean: Vec<ChunkOutcome> = utils
+            .iter()
+            .map(|&u| ChunkOutcome { utility_mbps: u, rebuffer_secs: 0.0 })
+            .collect();
+        let mut stalled = clean.clone();
+        stalled[0].rebuffer_secs += extra_stall;
+        prop_assert!(session_qoe(&stalled, &params) < session_qoe(&clean, &params));
+    }
+
+    #[test]
+    fn ewma_stays_within_sample_hull(samples in proptest::collection::vec(0.0f64..100.0, 1..50), alpha in 0.05f64..1.0) {
+        let mut e = Ewma::new(alpha);
+        for &s in &samples {
+            e.update(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = e.predict();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn holt_winters_is_finite_and_nonnegative(samples in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut hw = HoltWinters::new(0.5, 0.3);
+        for &s in &samples {
+            hw.update(s);
+        }
+        let p = hw.predict();
+        prop_assert!(p.is_finite() && p >= 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_bounded_by_arithmetic(samples in proptest::collection::vec(0.1f64..100.0, 1..30)) {
+        let hm = harmonic_mean(&samples);
+        let am = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!(hm <= am + 1e-9);
+        prop_assert!(hm > 0.0);
+    }
+
+    #[test]
+    fn fec_table_lookup_is_monotone_when_entries_are(
+        base in 0.0f64..0.3,
+        probe in 0.0f64..0.5,
+    ) {
+        let table = FecTable::from_entries(vec![
+            (base, base * 3.0),
+            (base + 0.1, (base + 0.1) * 4.0),
+            (base + 0.2, (base + 0.2) * 5.0),
+        ]);
+        let r1 = table.lookup(probe);
+        let r2 = table.lookup(probe + 0.05);
+        prop_assert!(r2 >= r1 - 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Bench target `ablations` — the design-choice ablations DESIGN.md
+//! calls out: point-code resolution, warp scale, flow depth, and
+//! throughput-predictor choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig, PredictorKind};
+use nerve_abr::qoe::{QoeParams, QualityMaps};
+use nerve_abr::Abr;
+use nerve_bench::bench_clip;
+use nerve_core::point_code::{PointCodeConfig, PointCodeEncoder};
+use nerve_core::recovery::{RecoveryConfig, RecoveryModel};
+use nerve_flow::lk::{estimate, FlowConfig};
+use nerve_video::metrics::psnr;
+use std::hint::black_box;
+
+/// Ablation: point-code resolution vs recovery quality and wire size.
+/// (Paper fixes 64x128 = 1 KB; this sweep shows the tradeoff.)
+fn code_size_ablation(c: &mut Criterion) {
+    let (w, h) = (112usize, 64usize);
+    let frames = bench_clip(w, h, 6, 21);
+    println!("== Ablation: point-code resolution ==");
+    println!("{:>10} | {:>7} | {:>9}", "code", "bytes", "PSNR (dB)");
+    for (cw, ch) in [(28usize, 16usize), (56, 32), (112, 64)] {
+        let cfg = PointCodeConfig {
+            width: cw,
+            height: ch,
+            threshold_percentile: 0.8,
+        };
+        let encoder = PointCodeEncoder::new(cfg.clone());
+        let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, cfg.clone()));
+        model.observe(&frames[2]);
+        model.observe(&frames[3]);
+        let rec = model.recover(&frames[3], &encoder.encode(&frames[4]), None);
+        println!(
+            "{:>10} | {:>7} | {:>9.2}",
+            format!("{cw}x{ch}"),
+            cfg.byte_len(),
+            psnr(&rec, &frames[4])
+        );
+    }
+
+    let cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let encoder = PointCodeEncoder::new(cfg);
+    c.bench_function("point_code_56x32", |b| {
+        b.iter(|| encoder.encode(black_box(&frames[4])))
+    });
+}
+
+/// Ablation: flow pyramid depth / iterations vs latency (quality is
+/// covered by nerve-flow's tests; here we expose the latency axis).
+fn flow_depth_ablation(c: &mut Criterion) {
+    let frames = bench_clip(128, 72, 2, 23);
+    for levels in [2usize, 3, 4] {
+        let cfg = FlowConfig {
+            levels,
+            ..FlowConfig::default()
+        };
+        c.bench_function(&format!("flow_levels_{levels}"), |b| {
+            b.iter(|| estimate(black_box(&frames[0]), black_box(&frames[1]), &cfg))
+        });
+    }
+}
+
+/// Ablation: EWMA vs Holt-Winters throughput prediction in the ABR.
+fn predictor_ablation(c: &mut Criterion) {
+    let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+    let mut ctx = nerve_abr::AbrContext::bootstrap(vec![512, 1024, 1600, 2640, 4400], 4.0, 120);
+    ctx.buffer_secs = 6.0;
+    // A ramping throughput series: HW should track the trend.
+    ctx.throughput_kbps = (0..8).map(|i| 800.0 + i as f64 * 150.0).collect();
+    ctx.loss_rates = vec![0.01; 8];
+    println!("== Ablation: throughput predictor ==");
+    for kind in [PredictorKind::Ewma, PredictorKind::HoltWinters] {
+        let mut abr = EnhancementAwareAbr::new(
+            maps.clone(),
+            QoeParams::default(),
+            EnhancementConfig::default(),
+        )
+        .with_predictor(kind);
+        println!("{kind:?}: chooses rung {}", abr.choose(&ctx));
+    }
+
+    let mut abr = EnhancementAwareAbr::new(maps, QoeParams::default(), EnhancementConfig::default())
+        .with_predictor(PredictorKind::HoltWinters);
+    c.bench_function("choose_holt_winters", |b| b.iter(|| abr.choose(black_box(&ctx))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = code_size_ablation, flow_depth_ablation, predictor_ablation
+}
+criterion_main!(benches);

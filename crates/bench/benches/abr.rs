@@ -1,0 +1,50 @@
+//! Bench target `abr` — ABR decision latency and the QoE tables of
+//! Figures 12, 17, and 18.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use nerve_abr::qoe::{QoeParams, QualityMaps};
+use nerve_abr::{Abr, AbrContext};
+use nerve_sim::experiments::{qoe, ExperimentBudget};
+use std::hint::black_box;
+
+const LADDER: [u32; 5] = [512, 1024, 1600, 2640, 4400];
+
+fn regenerate_qoe_tables(c: &mut Criterion) {
+    let budget = ExperimentBudget::test();
+    let maps = QualityMaps::placeholder(&LADDER);
+    println!("{}", qoe::fig12_recovery_schemes(&budget, &maps));
+    println!("{}", qoe::fig17_sr_schemes(&budget, &maps));
+    println!("{}", qoe::fig18_full_system(&budget, &maps));
+
+    let mut small = budget.clone();
+    small.traces_per_network = 1;
+    small.chunks_per_trace = 6;
+    c.bench_function("fig12_recovery_schemes", |b| {
+        b.iter(|| qoe::fig12_recovery_schemes(black_box(&small), &maps))
+    });
+}
+
+fn abr_decision_latency(c: &mut Criterion) {
+    let maps = QualityMaps::placeholder(&LADDER);
+    let mut abr = EnhancementAwareAbr::new(
+        maps,
+        QoeParams::default(),
+        EnhancementConfig::default(),
+    );
+    let mut ctx = AbrContext::bootstrap(LADDER.to_vec(), 4.0, 120);
+    ctx.buffer_secs = 8.0;
+    ctx.throughput_kbps = vec![1800.0; 8];
+    ctx.loss_rates = vec![0.01; 8];
+
+    c.bench_function("enhancement_aware_choose", |b| {
+        b.iter(|| abr.choose(black_box(&ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_qoe_tables, abr_decision_latency
+}
+criterion_main!(benches);

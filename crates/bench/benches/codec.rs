@@ -1,0 +1,58 @@
+//! Bench target `codec` — encode/decode throughput and rate-control
+//! behaviour of the block codec substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_bench::bench_clip;
+use nerve_codec::rate::{encode_chunk_at_kbps, RateController};
+use nerve_codec::{Decoder, Encoder, EncoderConfig};
+use std::hint::black_box;
+
+fn encode_decode(c: &mut Criterion) {
+    let (w, h) = (112usize, 64usize);
+    let frames = bench_clip(w, h, 3, 11);
+
+    c.bench_function("encode_intra_112x64", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(EncoderConfig::new(w, h));
+            enc.encode_next(black_box(&frames[0]), 2.0)
+        })
+    });
+
+    c.bench_function("encode_inter_112x64", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(EncoderConfig::new(w, h));
+            enc.encode_next(&frames[0], 2.0);
+            enc.encode_next(black_box(&frames[1]), 2.0)
+        })
+    });
+
+    let mut enc = Encoder::new(EncoderConfig::new(w, h));
+    let encoded: Vec<_> = frames.iter().map(|f| enc.encode_next(f, 2.0)).collect();
+    c.bench_function("decode_gop_112x64", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(w, h);
+            for e in &encoded {
+                black_box(dec.decode(e));
+            }
+        })
+    });
+}
+
+fn rate_control(c: &mut Criterion) {
+    let (w, h) = (112usize, 64usize);
+    let frames = bench_clip(w, h, 6, 13);
+    c.bench_function("encode_chunk_at_300kbps", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(EncoderConfig::new(w, h));
+            let mut rc = RateController::new();
+            encode_chunk_at_kbps(&mut enc, &mut rc, black_box(&frames), 300, 0.2)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = encode_decode, rate_control
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench target `fec` — regenerates Figure 1 and measures Reed–Solomon
+//! encode/reconstruct throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nerve_fec::packetize::split;
+use nerve_fec::rs::ReedSolomon;
+use nerve_sim::experiments::{fec, ExperimentBudget};
+use std::hint::black_box;
+
+fn regenerate_figure1(c: &mut Criterion) {
+    // Print the paper artifact once, then benchmark its generation.
+    let budget = ExperimentBudget::test();
+    let fig = fec::fig01_fec_frame_loss(&budget);
+    println!("{fig}");
+    for (name, ratio) in fec::fig01_required_ratios(&fig) {
+        println!("# {name}: ~{ratio:.2} redundancy for <2% frame loss");
+    }
+
+    c.bench_function("fig01_fec_frame_loss", |b| {
+        b.iter(|| fec::fig01_fec_frame_loss(black_box(&budget)))
+    });
+}
+
+fn rs_throughput(c: &mut Criterion) {
+    let rs = ReedSolomon::new(40, 14).unwrap();
+    let payload: Vec<u8> = (0..48_000).map(|i| i as u8).collect();
+    let shards = split(&payload, 40);
+
+    c.bench_function("rs_encode_40+14_48kB", |b| {
+        b.iter(|| rs.encode(black_box(&shards)).unwrap())
+    });
+
+    let encoded = rs.encode(&shards).unwrap();
+    c.bench_function("rs_reconstruct_14_losses", |b| {
+        b.iter_batched(
+            || {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    encoded.iter().cloned().map(Some).collect();
+                for r in received.iter_mut().take(14) {
+                    *r = None;
+                }
+                received
+            },
+            |received| rs.reconstruct(black_box(&received)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_figure1, rs_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench target `flow` — optical-flow estimation latency across the
+//! configurations the recovery and SR paths use (SpyNet substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_bench::bench_clip;
+use nerve_flow::lk::{estimate, FlowConfig};
+use nerve_flow::warp::{warp_frame, warp_frame_at_scale};
+use std::hint::black_box;
+
+fn flow_configs(c: &mut Criterion) {
+    let frames = bench_clip(128, 64, 2, 3);
+    for (name, cfg) in [
+        ("fast", FlowConfig::fast()),
+        ("point_codes", FlowConfig::for_point_codes()),
+        ("default", FlowConfig::default()),
+    ] {
+        c.bench_function(&format!("flow_128x64_{name}"), |b| {
+            b.iter(|| estimate(black_box(&frames[0]), black_box(&frames[1]), &cfg))
+        });
+    }
+}
+
+fn warp_scales(c: &mut Criterion) {
+    // The paper's 270p-warp trick: full-res vs quarter-res warping.
+    let frames = bench_clip(480, 270, 2, 7);
+    let flow = estimate(&frames[0], &frames[1], &FlowConfig::fast());
+
+    c.bench_function("warp_full_480x270", |b| {
+        b.iter(|| warp_frame(black_box(&frames[0]), black_box(&flow)))
+    });
+    c.bench_function("warp_quarter_scale", |b| {
+        b.iter(|| warp_frame_at_scale(black_box(&frames[0]), black_box(&flow), 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = flow_configs, warp_scales
+}
+criterion_main!(benches);

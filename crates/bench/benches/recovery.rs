@@ -1,0 +1,55 @@
+//! Bench target `recovery` — regenerates Figure 7 (recovery quality)
+//! and measures per-frame recovery latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_bench::bench_clip;
+use nerve_core::point_code::{PointCodeConfig, PointCodeEncoder};
+use nerve_core::recovery::{RecoveryConfig, RecoveryModel};
+use nerve_sim::experiments::{dnn, ExperimentBudget};
+use std::hint::black_box;
+
+fn regenerate_figure7(c: &mut Criterion) {
+    let budget = ExperimentBudget::test();
+    let (fig_psnr, fig_ssim) = dnn::fig07_recovery_quality(&budget);
+    println!("{fig_psnr}\n{fig_ssim}");
+
+    let mut small = budget.clone();
+    small.pixel_clips = 1;
+    small.chain_depths = vec![3];
+    c.bench_function("fig07_recovery_quality", |b| {
+        b.iter(|| dnn::fig07_recovery_quality(black_box(&small)))
+    });
+}
+
+fn recovery_latency(c: &mut Criterion) {
+    // One recovery at the evaluation scale the experiments use.
+    let (w, h) = (112usize, 64usize);
+    let frames = bench_clip(w, h, 4, 9);
+    let code_cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let encoder = PointCodeEncoder::new(code_cfg.clone());
+    let code = encoder.encode(&frames[3]);
+
+    c.bench_function("point_code_encode_112x64", |b| {
+        b.iter(|| encoder.encode(black_box(&frames[3])))
+    });
+
+    c.bench_function("recover_frame_112x64", |b| {
+        b.iter(|| {
+            let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg.clone()));
+            model.observe(&frames[1]);
+            model.observe(&frames[2]);
+            model.recover(black_box(&frames[2]), black_box(&code), None)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_figure7, recovery_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench target `sr` — regenerates Table 1 and Figure 10, and measures
+//! per-frame SR latency for our model and a heavy baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_core::baselines::{HeavyKind, HeavySr};
+use nerve_core::sr::{SrConfig, SuperResolver};
+use nerve_sim::experiments::{dnn, ExperimentBudget};
+use nerve_video::resolution::Resolution;
+use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+use std::hint::black_box;
+
+fn regenerate_table1_and_figure10(c: &mut Criterion) {
+    let budget = ExperimentBudget::test();
+    println!("{}", dnn::tab01_sr_comparison(&budget));
+    let (p, s) = dnn::fig10_sr_quality(&budget);
+    println!("{p}\n{s}");
+
+    let mut small = budget.clone();
+    small.frames_per_eval = 2;
+    c.bench_function("tab01_sr_comparison", |b| {
+        b.iter(|| dnn::tab01_sr_comparison(black_box(&small)))
+    });
+}
+
+fn sr_latency(c: &mut Criterion) {
+    let scale = 8usize;
+    let config = SrConfig::at_scale(scale);
+    let (ow, oh) = (config.out_width, config.out_height);
+    let mut video = SyntheticVideo::new(SceneConfig::preset(Category::GamePlay, oh, ow), 5);
+    let gt = video.next_frame();
+    let (lw, lh) = config.lr_dims(Resolution::R240);
+    let lr = gt.resize(lw, lh);
+
+    c.bench_function("our_sr_240p_to_1080p_eq", |b| {
+        let mut sr = SuperResolver::new(SrConfig::at_scale(scale));
+        b.iter(|| sr.upscale(black_box(&lr), Resolution::R240))
+    });
+
+    c.bench_function("heavy_ckbg_240p_to_1080p_eq", |b| {
+        let mut heavy = HeavySr::new(HeavyKind::Ckbg, (lw, lh), (ow, oh));
+        b.iter(|| heavy.upscale(black_box(&lr), None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_table1_and_figure10, sr_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench target `transport` — the QUIC-like media channel and the
+//! TCP-like point-code channel over the fluid link.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_net::clock::SimTime;
+use nerve_net::link::Link;
+use nerve_net::loss::{GilbertElliott, NoLoss};
+use nerve_net::quicish::QuicStream;
+use nerve_net::reliable::ReliableChannel;
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+use std::hint::black_box;
+
+fn flat_link(mbps: f64) -> Link {
+    Link::new(NetworkTrace {
+        kind: NetworkKind::FiveG,
+        mbps: vec![mbps; 100_000],
+        loss_rate: 0.0,
+        rtt: SimTime::from_millis(40),
+    })
+}
+
+fn quic_media(c: &mut Criterion) {
+    c.bench_function("quic_burst_120_frames_lossy", |b| {
+        b.iter(|| {
+            let mut q = QuicStream::new(flat_link(10.0), GilbertElliott::with_rate(0.02, 4.0, 7));
+            for f in 0..120u64 {
+                black_box(q.send_burst(&[1200; 4], SimTime::from_millis(f * 33)));
+            }
+        })
+    });
+}
+
+fn tcp_codes(c: &mut Criterion) {
+    c.bench_function("tcp_300_point_codes", |b| {
+        b.iter(|| {
+            let mut ch = ReliableChannel::new(flat_link(10.0), NoLoss);
+            for f in 0..300u64 {
+                black_box(ch.send(1024, SimTime::from_millis(f * 33)));
+            }
+        })
+    });
+}
+
+fn trace_generation(c: &mut Criterion) {
+    c.bench_function("generate_5g_trace", |b| {
+        b.iter(|| NetworkTrace::generate(NetworkKind::FiveG, black_box(42)))
+    });
+    c.bench_function("fluid_transfer_1MB", |b| {
+        let link = Link::new(NetworkTrace::generate(NetworkKind::FourG, 3).downscaled(1.5));
+        b.iter(|| link.deliver(black_box(1_000_000), SimTime::ZERO))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = quic_media, tcp_codes, trace_generation
+}
+criterion_main!(benches);

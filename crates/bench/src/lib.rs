@@ -1,0 +1,41 @@
+//! # nerve-bench
+//!
+//! Criterion benchmarks plus helpers shared by the bench targets. Each
+//! bench target pairs micro-benchmarks of the hot path with a printout
+//! of the paper artifact it regenerates (see DESIGN.md's experiment
+//! index):
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `fec`        | Figure 1 (frame loss vs redundancy), RS throughput |
+//! | `recovery`   | Figures 4a/7 (recovery quality), recovery latency |
+//! | `sr`         | Table 1 / Figure 10 (SR quality/cost), SR latency |
+//! | `flow`       | flow estimation latency vs config (SpyNet substitute) |
+//! | `codec`      | encode/decode throughput, rate-control convergence |
+//! | `transport`  | QUIC-like + TCP-like channel throughput |
+//! | `abr`        | ABR decision latency, Figures 12/17/18 tables |
+//! | `ablations`  | DESIGN.md's ablation axes (code size, warp scale, …) |
+
+use nerve_video::frame::Frame;
+use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+
+/// A deterministic moderately-moving test clip for benches.
+pub fn bench_clip(w: usize, h: usize, n: usize, seed: u64) -> Vec<Frame> {
+    let mut cfg = SceneConfig::preset(Category::GamePlay, h, w);
+    cfg.motion = cfg.motion.max(1.5);
+    cfg.pan_speed = cfg.pan_speed.max(0.6);
+    SyntheticVideo::new(cfg, seed).take_frames(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_clip_is_deterministic() {
+        let a = bench_clip(64, 36, 3, 1);
+        let b = bench_clip(64, 36, 3, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! 8x8 type-II DCT and its inverse, with precomputed basis tables.
+//!
+//! The DCT operates on 8x8 `f32` blocks in pixel-intensity units scaled
+//! to `[-128, 127]`-style range (we use `[0,1]` luma scaled by 255 and
+//! centered), matching the dynamic range assumptions of the quantizer.
+
+/// Block edge length.
+pub const BLOCK: usize = 8;
+
+/// Precomputed cosine basis: `basis[k][n] = c(k) * cos((2n+1)kπ/16)`.
+fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; BLOCK]; BLOCK];
+        for (k, row) in b.iter_mut().enumerate() {
+            let ck = if k == 0 {
+                (1.0f32 / BLOCK as f32).sqrt()
+            } else {
+                (2.0f32 / BLOCK as f32).sqrt()
+            };
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = ck
+                    * ((std::f32::consts::PI * (2.0 * n as f32 + 1.0) * k as f32)
+                        / (2.0 * BLOCK as f32))
+                        .cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 2-D DCT of an 8x8 block (row-major 64 floats).
+pub fn forward(block: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Rows.
+    for y in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for (n, bv) in b[k].iter().enumerate() {
+                acc += block[y * BLOCK + n] * bv;
+            }
+            tmp[y * BLOCK + k] = acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0f32; 64];
+    for x in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for (n, bv) in b[k].iter().enumerate() {
+                acc += tmp[n * BLOCK + x] * bv;
+            }
+            out[k * BLOCK + x] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT.
+pub fn inverse(coeffs: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Columns (transpose of forward).
+    for x in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for (k, row) in b.iter().enumerate() {
+                acc += coeffs[k * BLOCK + x] * row[n];
+            }
+            tmp[n * BLOCK + x] = acc;
+        }
+    }
+    let mut out = [0.0f32; 64];
+    for y in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for (k, row) in b.iter().enumerate() {
+                acc += tmp[y * BLOCK + k] * row[n];
+            }
+            out[y * BLOCK + n] = acc;
+        }
+    }
+    out
+}
+
+/// Zigzag scan order for an 8x8 block (low frequencies first).
+pub fn zigzag_order() -> &'static [usize; 64] {
+    use std::sync::OnceLock;
+    static ORDER: OnceLock<[usize; 64]> = OnceLock::new();
+    ORDER.get_or_init(|| {
+        let mut order = [0usize; 64];
+        let mut idx = 0;
+        for s in 0..(2 * BLOCK - 1) {
+            // Walk each anti-diagonal, alternating direction.
+            let range: Vec<usize> = if s % 2 == 0 {
+                (0..=s.min(BLOCK - 1)).rev().collect()
+            } else {
+                (0..=s.min(BLOCK - 1)).collect()
+            };
+            for y in range {
+                let x = s - y;
+                if x < BLOCK {
+                    order[idx] = y * BLOCK + x;
+                    idx += 1;
+                }
+            }
+        }
+        order
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> [f32; 64] {
+        let mut b = [0.0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            let x = (i % 8) as f32;
+            let y = (i / 8) as f32;
+            *v = 128.0 + 50.0 * (x * 0.7).sin() + 30.0 * (y * 0.5).cos();
+        }
+        b
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let b = sample_block();
+        let back = inverse(&forward(&b));
+        for i in 0..64 {
+            assert!((b[i] - back[i]).abs() < 1e-2, "i={i}: {} vs {}", b[i], back[i]);
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let b = [77.0f32; 64];
+        let c = forward(&b);
+        assert!((c[0] - 77.0 * 8.0).abs() < 1e-2, "DC = {}", c[0]);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "AC[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Orthonormal transform: sum of squares is invariant (Parseval).
+        let b = sample_block();
+        let c = forward(&b);
+        let eb: f32 = b.iter().map(|v| v * v).sum();
+        let ec: f32 = c.iter().map(|v| v * v).sum();
+        assert!((eb - ec).abs() / eb < 1e-4);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in order.iter() {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_starts_at_dc_and_walks_diagonals() {
+        let order = zigzag_order();
+        assert_eq!(order[0], 0); // DC
+        assert_eq!(order[1], 1); // (0,1)
+        assert_eq!(order[2], 8); // (1,0)
+        assert_eq!(order[63], 63); // highest frequency last
+    }
+}

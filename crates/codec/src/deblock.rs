@@ -1,0 +1,156 @@
+//! In-loop deblocking filter.
+//!
+//! Block transforms produce visible discontinuities at 8x8 block edges at
+//! coarse quantization. This filter smooths across block boundaries where
+//! the step is small enough to be a quantization artifact (a real edge
+//! has a larger step and is left alone) — the standard H.264-style
+//! boundary-strength heuristic, simplified to one tap each side.
+//!
+//! The filter strength follows the quantizer: coarser quantization means
+//! larger artifacts and a higher artifact-vs-edge threshold.
+
+use crate::dct::BLOCK;
+use nerve_video::frame::Frame;
+
+/// Filter a decoded frame in place. `qscale` is the quantizer the frame
+/// was coded with.
+pub fn deblock(frame: &mut Frame, qscale: f32) {
+    // Steps below `threshold` are treated as artifacts (in luma units;
+    // a qscale step changes a pixel by roughly qscale/255 after IDCT).
+    let threshold = (qscale * 2.5 / 255.0).clamp(0.004, 0.1);
+    let alpha = 0.5; // smoothing strength across the boundary
+
+    let (w, h) = (frame.width(), frame.height());
+    // Vertical block boundaries.
+    for y in 0..h {
+        let mut x = BLOCK;
+        while x < w {
+            let a = frame.get(x - 1, y);
+            let b = frame.get(x, y);
+            let step = b - a;
+            if step.abs() < threshold {
+                frame.set(x - 1, y, a + alpha * step / 2.0);
+                frame.set(x, y, b - alpha * step / 2.0);
+            }
+            x += BLOCK;
+        }
+    }
+    // Horizontal block boundaries.
+    for x in 0..w {
+        let mut y = BLOCK;
+        while y < h {
+            let a = frame.get(x, y - 1);
+            let b = frame.get(x, y);
+            let step = b - a;
+            if step.abs() < threshold {
+                frame.set(x, y - 1, a + alpha * step / 2.0);
+                frame.set(x, y, b - alpha * step / 2.0);
+            }
+            y += BLOCK;
+        }
+    }
+}
+
+/// Mean absolute discontinuity across block boundaries — the blockiness
+/// metric the filter reduces (useful for tests and tuning).
+pub fn blockiness(frame: &Frame) -> f64 {
+    let (w, h) = (frame.width(), frame.height());
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for y in 0..h {
+        let mut x = BLOCK;
+        while x < w {
+            total += (frame.get(x, y) - frame.get(x - 1, y)).abs() as f64;
+            count += 1;
+            x += BLOCK;
+        }
+    }
+    for x in 0..w {
+        let mut y = BLOCK;
+        while y < h {
+            total += (frame.get(x, y) - frame.get(x, y - 1)).abs() as f64;
+            count += 1;
+            y += BLOCK;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decoder, Encoder, EncoderConfig};
+    use nerve_video::metrics::psnr;
+    use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+
+    #[test]
+    fn deblocking_reduces_blockiness_at_coarse_quantization() {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Vlogs, 48, 64), 17);
+        let gt = v.next_frame();
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        let e = enc.encode_next(&gt, 24.0); // very coarse
+        let mut dec = Decoder::new(64, 48);
+        let decoded = dec.decode(&e);
+
+        let before = blockiness(&decoded);
+        let mut filtered = decoded.clone();
+        deblock(&mut filtered, 24.0);
+        let after = blockiness(&filtered);
+        assert!(after < before, "blockiness {before:.5} -> {after:.5}");
+    }
+
+    #[test]
+    fn deblocking_does_not_hurt_quality_at_coarse_quantization() {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::HowTo, 48, 64), 23);
+        let gt = v.next_frame();
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        let e = enc.encode_next(&gt, 24.0);
+        let mut dec = Decoder::new(64, 48);
+        let decoded = dec.decode(&e);
+
+        let q_before = psnr(&decoded, &gt);
+        let mut filtered = decoded;
+        deblock(&mut filtered, 24.0);
+        let q_after = psnr(&filtered, &gt);
+        assert!(
+            q_after > q_before - 0.2,
+            "deblocking cost too much: {q_before:.2} -> {q_after:.2}"
+        );
+    }
+
+    #[test]
+    fn real_edges_are_preserved() {
+        // A strong step across a block boundary must survive the filter.
+        let mut frame = Frame::from_fn(32, 16, |x, _| if x < 8 { 0.1 } else { 0.9 });
+        let edge_before = frame.get(8, 4) - frame.get(7, 4);
+        deblock(&mut frame, 8.0);
+        let edge_after = frame.get(8, 4) - frame.get(7, 4);
+        assert!((edge_before - edge_after).abs() < 1e-6, "edge was smoothed");
+    }
+
+    #[test]
+    fn smooth_frames_are_untouched_enough() {
+        let mut frame = Frame::filled(32, 32, 0.5);
+        let before = frame.clone();
+        deblock(&mut frame, 8.0);
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn blockiness_metric_detects_block_pattern() {
+        // Checkerboard of 8x8 tiles is maximally blocky.
+        let blocky = Frame::from_fn(32, 32, |x, y| {
+            if ((x / 8) + (y / 8)) % 2 == 0 {
+                0.25
+            } else {
+                0.75
+            }
+        });
+        let smooth = Frame::filled(32, 32, 0.5);
+        assert!(blockiness(&blocky) > blockiness(&smooth) + 0.1);
+    }
+}

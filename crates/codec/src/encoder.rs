@@ -1,0 +1,332 @@
+//! The encoder: GOP structure, slices, in-loop reconstruction.
+//!
+//! Frames are encoded as one I-frame per GOP (120 frames, §8.1) followed
+//! by P-frames. Each frame is split into slices of whole macroblock rows;
+//! slices are independently parseable so that a lost packet costs only
+//! its band of rows (the paper's partial-decode semantics).
+//!
+//! The encoder reconstructs every frame exactly as the decoder will
+//! (in-loop decoding) and uses that reconstruction as the next P-frame's
+//! reference — the standard trick that prevents encoder/decoder drift.
+
+use crate::bitstream::{encode_block, put_ivarint};
+use crate::block::{extract8, mb_grid, motion_search, store8, MB};
+use crate::dct;
+use crate::quant;
+use nerve_video::frame::Frame;
+
+/// Intra (self-contained) or inter (motion-compensated) frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    Intra,
+    Inter,
+}
+
+/// One independently decodable band of macroblock rows.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// First macroblock row covered by this slice.
+    pub mb_row_start: usize,
+    /// Number of macroblock rows.
+    pub mb_rows: usize,
+    /// Entropy-coded payload.
+    pub data: Vec<u8>,
+}
+
+/// A fully encoded frame.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    pub frame_index: u64,
+    pub kind: FrameKind,
+    pub width: usize,
+    pub height: usize,
+    pub qscale: f32,
+    pub slices: Vec<Slice>,
+}
+
+impl EncodedFrame {
+    /// Total payload size in bytes (what travels on the wire).
+    pub fn total_bytes(&self) -> usize {
+        self.slices.iter().map(|s| s.data.len()).sum()
+    }
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    pub width: usize,
+    pub height: usize,
+    /// Frames per GOP (paper: 120 = 4 s at 30 fps).
+    pub gop_frames: usize,
+    /// Macroblock rows per slice (1 = finest loss granularity).
+    pub slice_mb_rows: usize,
+}
+
+impl EncoderConfig {
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            gop_frames: nerve_video::resolution::GOP_FRAMES,
+            slice_mb_rows: 1,
+        }
+    }
+}
+
+/// The video encoder. Feed frames in display order via
+/// [`Encoder::encode_next`].
+pub struct Encoder {
+    config: EncoderConfig,
+    /// In-loop reconstructed reference for the next P-frame.
+    reference: Option<Frame>,
+    frame_index: u64,
+}
+
+impl Encoder {
+    pub fn new(config: EncoderConfig) -> Self {
+        assert!(config.gop_frames >= 1);
+        assert!(config.slice_mb_rows >= 1);
+        Self {
+            config,
+            reference: None,
+            frame_index: 0,
+        }
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The in-loop reconstruction of the most recently encoded frame —
+    /// exactly what a lossless-network decoder would output.
+    pub fn last_reconstruction(&self) -> Option<&Frame> {
+        self.reference.as_ref()
+    }
+
+    /// Force the next frame to start a new GOP (used at chunk boundaries).
+    pub fn force_keyframe(&mut self) {
+        self.frame_index = 0;
+        self.reference = None;
+    }
+
+    /// Encode the next frame at the given quantizer scale. Returns the
+    /// encoded frame; the in-loop reconstruction becomes the reference.
+    pub fn encode_next(&mut self, frame: &Frame, qscale: f32) -> EncodedFrame {
+        assert_eq!(
+            (frame.width(), frame.height()),
+            (self.config.width, self.config.height),
+            "frame dimensions must match encoder config"
+        );
+        let kind = if self.frame_index.is_multiple_of(self.config.gop_frames as u64)
+            || self.reference.is_none()
+        {
+            FrameKind::Intra
+        } else {
+            FrameKind::Inter
+        };
+
+        let (mbs_x, mbs_y) = mb_grid(self.config.width, self.config.height);
+        let mut recon = Frame::new(self.config.width, self.config.height);
+        let mut slices = Vec::new();
+        let mut mb_row = 0usize;
+        while mb_row < mbs_y {
+            let rows = self.config.slice_mb_rows.min(mbs_y - mb_row);
+            let mut data = Vec::new();
+            for row in mb_row..mb_row + rows {
+                for mbx in 0..mbs_x {
+                    self.encode_macroblock(frame, kind, qscale, mbx, row, &mut data, &mut recon);
+                }
+            }
+            slices.push(Slice {
+                mb_row_start: mb_row,
+                mb_rows: rows,
+                data,
+            });
+            mb_row += rows;
+        }
+
+        let encoded = EncodedFrame {
+            frame_index: self.frame_index,
+            kind,
+            width: self.config.width,
+            height: self.config.height,
+            qscale,
+            slices,
+        };
+        self.reference = Some(recon);
+        self.frame_index += 1;
+        encoded
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn encode_macroblock(
+        &self,
+        frame: &Frame,
+        kind: FrameKind,
+        qscale: f32,
+        mbx: usize,
+        mby: usize,
+        data: &mut Vec<u8>,
+        recon: &mut Frame,
+    ) {
+        let px = (mbx * MB) as isize;
+        let py = (mby * MB) as isize;
+        match kind {
+            FrameKind::Intra => {
+                for by in 0..2isize {
+                    for bx in 0..2isize {
+                        let x0 = px + bx * 8;
+                        let y0 = py + by * 8;
+                        let mut block = extract8(frame, x0, y0);
+                        for v in &mut block {
+                            *v -= 128.0;
+                        }
+                        let levels = quant::quantize(&dct::forward(&block), qscale);
+                        encode_block(&levels, data);
+                        // In-loop reconstruction.
+                        let mut rec = dct::inverse(&quant::dequantize(&levels, qscale));
+                        for v in &mut rec {
+                            *v += 128.0;
+                        }
+                        store8(recon, x0, y0, &rec);
+                    }
+                }
+            }
+            FrameKind::Inter => {
+                let reference = self.reference.as_ref().expect("inter frame needs reference");
+                let (dx, dy) = motion_search(frame, reference, px as usize, py as usize);
+                put_ivarint(data, dx as i64);
+                put_ivarint(data, dy as i64);
+                for by in 0..2isize {
+                    for bx in 0..2isize {
+                        let x0 = px + bx * 8;
+                        let y0 = py + by * 8;
+                        let cur = extract8(frame, x0, y0);
+                        let pred = extract8(reference, x0 + dx as isize, y0 + dy as isize);
+                        let mut residual = [0.0f32; 64];
+                        for i in 0..64 {
+                            residual[i] = cur[i] - pred[i];
+                        }
+                        let levels = quant::quantize(&dct::forward(&residual), qscale);
+                        encode_block(&levels, data);
+                        let rec_res = dct::inverse(&quant::dequantize(&levels, qscale));
+                        let mut rec = [0.0f32; 64];
+                        for i in 0..64 {
+                            rec[i] = pred[i] + rec_res[i];
+                        }
+                        store8(recon, x0, y0, &rec);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerve_video::metrics::psnr;
+    use nerve_video::synth::{SceneConfig, SyntheticVideo};
+
+    fn small_clip(n: usize) -> Vec<Frame> {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(nerve_video::synth::Category::Vlogs, 48, 64), 21);
+        v.take_frames(n)
+    }
+
+    #[test]
+    fn first_frame_is_intra_then_inter() {
+        let frames = small_clip(3);
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        assert_eq!(enc.encode_next(&frames[0], 2.0).kind, FrameKind::Intra);
+        assert_eq!(enc.encode_next(&frames[1], 2.0).kind, FrameKind::Inter);
+        assert_eq!(enc.encode_next(&frames[2], 2.0).kind, FrameKind::Inter);
+    }
+
+    #[test]
+    fn gop_boundary_reinserts_intra() {
+        let frames = small_clip(5);
+        let mut cfg = EncoderConfig::new(64, 48);
+        cfg.gop_frames = 2;
+        let mut enc = Encoder::new(cfg);
+        let kinds: Vec<FrameKind> = frames.iter().map(|f| enc.encode_next(f, 2.0).kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FrameKind::Intra,
+                FrameKind::Inter,
+                FrameKind::Intra,
+                FrameKind::Inter,
+                FrameKind::Intra
+            ]
+        );
+    }
+
+    #[test]
+    fn reconstruction_tracks_source() {
+        let frames = small_clip(4);
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        for f in &frames {
+            enc.encode_next(f, 1.0);
+            let rec = enc.last_reconstruction().unwrap();
+            let q = psnr(rec, f);
+            assert!(q > 30.0, "in-loop reconstruction PSNR {q}");
+        }
+    }
+
+    #[test]
+    fn finer_quantizer_costs_more_bytes_and_gains_quality() {
+        let frames = small_clip(1);
+        let mut enc_fine = Encoder::new(EncoderConfig::new(64, 48));
+        let mut enc_coarse = Encoder::new(EncoderConfig::new(64, 48));
+        let fine = enc_fine.encode_next(&frames[0], 0.5);
+        let coarse = enc_coarse.encode_next(&frames[0], 8.0);
+        assert!(fine.total_bytes() > coarse.total_bytes());
+        let q_fine = psnr(enc_fine.last_reconstruction().unwrap(), &frames[0]);
+        let q_coarse = psnr(enc_coarse.last_reconstruction().unwrap(), &frames[0]);
+        assert!(q_fine > q_coarse);
+    }
+
+    #[test]
+    fn inter_frames_are_smaller_than_intra_for_smooth_motion() {
+        let frames = small_clip(2);
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        let i = enc.encode_next(&frames[0], 2.0);
+        let p = enc.encode_next(&frames[1], 2.0);
+        assert!(
+            p.total_bytes() < i.total_bytes(),
+            "P {} should be smaller than I {}",
+            p.total_bytes(),
+            i.total_bytes()
+        );
+    }
+
+    #[test]
+    fn slices_cover_all_mb_rows_exactly_once() {
+        let frames = small_clip(1);
+        let mut cfg = EncoderConfig::new(64, 48);
+        cfg.slice_mb_rows = 2;
+        let mut enc = Encoder::new(cfg);
+        let e = enc.encode_next(&frames[0], 2.0);
+        let covered: usize = e.slices.iter().map(|s| s.mb_rows).sum();
+        assert_eq!(covered, 3); // 48 px = 3 MB rows
+        assert_eq!(e.slices[0].mb_row_start, 0);
+        assert_eq!(e.slices[1].mb_row_start, 2);
+    }
+
+    #[test]
+    fn force_keyframe_restarts_gop() {
+        let frames = small_clip(3);
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        enc.encode_next(&frames[0], 2.0);
+        enc.encode_next(&frames[1], 2.0);
+        enc.force_keyframe();
+        assert_eq!(enc.encode_next(&frames[2], 2.0).kind, FrameKind::Intra);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn wrong_frame_size_panics() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 48));
+        enc.encode_next(&Frame::new(32, 32), 2.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # nerve-codec
+//!
+//! A block-based, motion-compensated video codec built from scratch as the
+//! VP9/H.264 stand-in for the NERVE reproduction.
+//!
+//! Structure (deliberately conventional):
+//!
+//! * 8x8 [`dct`] with uniform frequency-weighted [`quant`]ization;
+//! * 16x16 macroblock motion search for P-frames ([`block`]);
+//! * I-frames every GOP (120 frames = 4 s, §8.1), P-frames in between
+//!   ([`encoder`], [`decoder`]);
+//! * run-length + varint [`bitstream`] coding, so encoded sizes respond
+//!   to quantization the way a real codec's do;
+//! * macroblock-row slices that map 1:1 onto network packets
+//!   ([`packet`]), giving the paper's partial-decode semantics: losing a
+//!   packet costs a contiguous band of rows, and the rows that survive
+//!   are the `I_part` input to the recovery model;
+//! * per-chunk [`rate`] control that hits the bitrate ladder by searching
+//!   the quantizer scale.
+//!
+//! The codec is *not* bit-compatible with anything; it is a faithful
+//! rate-distortion and loss-semantics model, which is what the paper's
+//! experiments actually exercise.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+pub mod bitstream;
+pub mod block;
+pub mod color_codec;
+pub mod dct;
+pub mod deblock;
+pub mod decoder;
+pub mod encoder;
+pub mod packet;
+pub mod quant;
+pub mod rate;
+
+pub use decoder::{Decoder, PartialDecode};
+pub use encoder::{EncodedFrame, Encoder, EncoderConfig, FrameKind};

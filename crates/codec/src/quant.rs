@@ -1,0 +1,116 @@
+//! Frequency-weighted uniform quantization of DCT coefficients.
+//!
+//! The quantizer step grows with spatial frequency (a flat-weighted
+//! JPEG-style matrix): high frequencies tolerate coarser steps. One
+//! scalar `qscale` slides the whole matrix, which is the knob rate
+//! control drives.
+
+use crate::dct::BLOCK;
+
+/// Minimum/maximum quantizer scale exposed to rate control.
+pub const QSCALE_MIN: f32 = 0.25;
+pub const QSCALE_MAX: f32 = 64.0;
+
+/// Base quantization step for coefficient `(u, v)` at `qscale = 1`.
+#[inline]
+fn base_step(u: usize, v: usize) -> f32 {
+    // DC gets a fine step; AC steps grow linearly with frequency index.
+    1.0 + 1.5 * (u + v) as f32
+}
+
+/// Quantize a DCT block to integer levels.
+pub fn quantize(coeffs: &[f32; 64], qscale: f32) -> [i32; 64] {
+    let q = qscale.clamp(QSCALE_MIN, QSCALE_MAX);
+    let mut out = [0i32; 64];
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let i = v * BLOCK + u;
+            let step = base_step(u, v) * q;
+            out[i] = (coeffs[i] / step).round() as i32;
+        }
+    }
+    out
+}
+
+/// Reconstruct DCT coefficients from quantized levels.
+pub fn dequantize(levels: &[i32; 64], qscale: f32) -> [f32; 64] {
+    let q = qscale.clamp(QSCALE_MIN, QSCALE_MAX);
+    let mut out = [0.0f32; 64];
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let i = v * BLOCK + u;
+            let step = base_step(u, v) * q;
+            out[i] = levels[i] as f32 * step;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut coeffs = [0.0f32; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f32 * 1.37).sin() * 100.0;
+        }
+        let q = 2.0;
+        let levels = quantize(&coeffs, q);
+        let back = dequantize(&levels, q);
+        for v in 0..8 {
+            for u in 0..8 {
+                let i = v * 8 + u;
+                let step = (1.0 + 1.5 * (u + v) as f32) * q;
+                assert!(
+                    (coeffs[i] - back[i]).abs() <= step / 2.0 + 1e-4,
+                    "coeff {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_qscale_zeroes_more_coefficients() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = 128.0 + 40.0 * ((i as f32) * 0.9).sin();
+        }
+        let coeffs = dct::forward(&block);
+        let fine: usize = quantize(&coeffs, 0.5).iter().filter(|&&l| l != 0).count();
+        let coarse: usize = quantize(&coeffs, 16.0).iter().filter(|&&l| l != 0).count();
+        assert!(coarse < fine, "coarse {coarse} >= fine {fine}");
+    }
+
+    #[test]
+    fn qscale_is_clamped() {
+        let coeffs = [100.0f32; 64];
+        let a = quantize(&coeffs, 0.0);
+        let b = quantize(&coeffs, QSCALE_MIN);
+        assert_eq!(a, b);
+        let c = quantize(&coeffs, 1e9);
+        let d = quantize(&coeffs, QSCALE_MAX);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn reconstruction_quality_improves_with_finer_quantizer() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = 120.0 + 60.0 * ((i as f32) * 0.37).cos();
+        }
+        let coeffs = dct::forward(&block);
+        let err = |q: f32| -> f32 {
+            let rec = dct::inverse(&dequantize(&quantize(&coeffs, q), q));
+            block
+                .iter()
+                .zip(rec.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(err(0.5) < err(4.0));
+        assert!(err(4.0) < err(32.0));
+    }
+}

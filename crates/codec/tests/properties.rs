@@ -1,0 +1,106 @@
+//! Property-based tests for the codec substrate: bitstream coding must
+//! round-trip arbitrary data, and the encode/decode loop must be exact
+//! between encoder reconstruction and decoder output.
+
+use nerve_codec::bitstream::{
+    decode_block, encode_block, fold_signed, get_ivarint, get_uvarint, put_ivarint, put_uvarint,
+    unfold_signed,
+};
+use nerve_codec::packet::{packetize, reassemble, slice_presence};
+use nerve_codec::{Decoder, Encoder, EncoderConfig};
+use nerve_video::frame::Frame;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uvarint_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ivarint_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_ivarint(&buf, &mut pos), Some(v));
+    }
+
+    #[test]
+    fn signed_folding_is_bijective(v in any::<i64>()) {
+        prop_assert_eq!(unfold_signed(fold_signed(v)), v);
+    }
+
+    #[test]
+    fn block_coding_round_trips(levels in proptest::collection::vec(-300i32..300, 64)) {
+        let arr: [i32; 64] = levels.try_into().unwrap();
+        let mut buf = Vec::new();
+        encode_block(&arr, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(decode_block(&buf, &mut pos), Some(arr));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupt_slices(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // Feed garbage as a slice payload — the decoder must treat it as
+        // lost, not crash.
+        let frame = Frame::filled(32, 32, 0.5);
+        let mut enc = Encoder::new(EncoderConfig::new(32, 32));
+        let mut e = enc.encode_next(&frame, 2.0);
+        e.slices[0].data = bytes;
+        let mut dec = Decoder::new(32, 32);
+        let present = vec![true; e.slices.len()];
+        let pd = dec.decode_partial(&e, &present);
+        prop_assert!(pd.frame.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn packetize_reassemble_round_trips(mtu in 8usize..2000, qscale in 1u32..16) {
+        let frame = Frame::from_fn(48, 32, |x, y| ((x * 7 + y * 13) % 97) as f32 / 97.0);
+        let mut enc = Encoder::new(EncoderConfig::new(48, 32));
+        let e = enc.encode_next(&frame, qscale as f32);
+        let packets = packetize(&e, mtu);
+        let received: Vec<_> = packets.iter().collect();
+        let mask = slice_presence(&received, e.slices.len());
+        prop_assert!(mask.iter().all(|&m| m));
+        let slices = reassemble(&received, e.slices.len());
+        for (i, s) in slices.iter().enumerate() {
+            prop_assert_eq!(s.as_deref(), Some(e.slices[i].data.as_slice()));
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_agree_exactly(seed in 0u64..50, qscale in 1u32..32) {
+        use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Skit, 32, 48), seed);
+        let frames = v.take_frames(3);
+        let mut enc = Encoder::new(EncoderConfig::new(48, 32));
+        let mut dec = Decoder::new(48, 32);
+        for f in &frames {
+            let e = enc.encode_next(f, qscale as f32);
+            let decoded = dec.decode(&e);
+            prop_assert_eq!(Some(&decoded), enc.last_reconstruction());
+        }
+    }
+
+    #[test]
+    fn quality_never_degrades_with_finer_quantizer(seed in 0u64..20) {
+        use nerve_video::metrics::psnr;
+        use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::HowTo, 32, 48), seed);
+        let frame = v.next_frame();
+        let q = |qs: f32| {
+            let mut enc = Encoder::new(EncoderConfig::new(48, 32));
+            enc.encode_next(&frame, qs);
+            psnr(enc.last_reconstruction().unwrap(), &frame)
+        };
+        prop_assert!(q(1.0) >= q(8.0) - 0.5);
+        prop_assert!(q(8.0) >= q(32.0) - 0.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! The iPhone 12 device cost model (§7, §8.4, Table 1).
+//!
+//! We cannot run CoreML on an iPhone, so every on-device latency, CPU,
+//! and energy claim is reproduced through a cost model calibrated to the
+//! numbers the paper publishes:
+//!
+//! * model inference: 22 ms for the 10.8 GFLOP SR/recovery model with
+//!   CoreML + FP16 + the custom Metal grid-sample kernel → an effective
+//!   **491 GFLOPS** for mobile-optimized graphs. Models *without* mobile
+//!   optimization fall back to CPU paths for unsupported ops; Table 1's
+//!   published latencies (RLSP 132.94 G / 5000 ms, BasicVSR 71.33 G /
+//!   3500 ms, CKBG 17.8 G / 1000 ms) imply ~20-27 effective GFLOPS, so
+//!   the unoptimized tier is calibrated at **22 GFLOPS**.
+//! * warp (grid sample): 29 ms at 1080p, 5 ms at 270p (§7) — modeled as
+//!   cost per output pixel.
+//! * decode: 1.8/2.3/2.9/4.1/6.2 ms for 240/360/480/720/1080p (§8.4).
+//! * FP16 halves inference time relative to FP32 (§7: "FP16 ... without
+//!   performance degradation to further reduce the inference time").
+//! * CPU: 28% baseline, 37% at 20% recovered frames, 68% at 100% (§8.4) —
+//!   linear in recovery fraction.
+//! * energy: 0.04 J/frame baseline, 0.07 J/frame at 100% recovery;
+//!   battery life 13.2 h → 7.5 h under full per-frame enhancement.
+
+use nerve_tensor::CostReport;
+use nerve_video::resolution::Resolution;
+
+/// How well a model graph maps onto the phone's accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimization {
+    /// CoreML + Neural Engine/GPU + custom Metal kernels + FP16 (NERVE).
+    Mobile,
+    /// Research checkpoint run as-is, CPU fallbacks for unsupported ops
+    /// (the Table 1 baselines).
+    None,
+}
+
+/// Numeric precision of weights/activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    Fp16,
+    Fp32,
+}
+
+/// The calibrated device profile.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Effective throughput for mobile-optimized graphs, FLOPs/s (FP16).
+    pub optimized_flops_per_sec: f64,
+    /// Effective throughput for unoptimized graphs, FLOPs/s.
+    pub unoptimized_flops_per_sec: f64,
+    /// Warp cost in seconds per output pixel.
+    pub warp_sec_per_pixel: f64,
+    /// Fixed per-inference dispatch overhead (s).
+    pub dispatch_overhead_s: f64,
+    /// Battery capacity in joules (iPhone 12: 10.78 Wh ≈ 38.8 kJ).
+    pub battery_joules: f64,
+}
+
+impl DeviceProfile {
+    /// The iPhone 12 profile calibrated to the paper.
+    pub fn iphone12() -> Self {
+        Self {
+            // 10.8 GFLOPs in 22 ms  =>  490.9 GFLOPS.
+            optimized_flops_per_sec: 10.8e9 / 0.022,
+            // Table 1 baselines: 132.94/5.0, 71.33/3.5, 17.8/1.0 GFLOPS
+            // => 26.6, 20.4, 17.8; calibrate at their geometric mean ~21.5.
+            unoptimized_flops_per_sec: 21.5e9,
+            // 29 ms for 1920x1080 output pixels => 14 ns/px.
+            warp_sec_per_pixel: 0.029 / (1920.0 * 1080.0),
+            dispatch_overhead_s: 0.0005,
+            battery_joules: 10.78 * 3600.0,
+        }
+    }
+
+    /// Inference latency of a model in milliseconds.
+    pub fn inference_ms(&self, cost: CostReport, opt: Optimization, precision: Precision) -> f64 {
+        let throughput = match opt {
+            Optimization::Mobile => self.optimized_flops_per_sec,
+            Optimization::None => self.unoptimized_flops_per_sec,
+        };
+        let precision_factor = match precision {
+            Precision::Fp16 => 1.0,
+            Precision::Fp32 => 2.0,
+        };
+        (cost.flops as f64 / throughput * precision_factor + self.dispatch_overhead_s) * 1e3
+    }
+
+    /// Warp (grid-sample) latency at a given output resolution, ms.
+    pub fn warp_ms(&self, width: usize, height: usize) -> f64 {
+        (width * height) as f64 * self.warp_sec_per_pixel * 1e3
+    }
+
+    /// Hardware decode latency per frame, ms (§8.4 measurements).
+    pub fn decode_ms(&self, rung: Resolution) -> f64 {
+        match rung {
+            Resolution::R240 => 1.8,
+            Resolution::R360 => 2.3,
+            Resolution::R480 => 2.9,
+            Resolution::R720 => 4.1,
+            Resolution::R1080 => 6.2,
+        }
+    }
+
+    /// NERVE's published per-frame enhancement/recovery inference time.
+    pub fn nerve_inference_ms(&self) -> f64 {
+        22.0
+    }
+
+    /// Total per-frame latency: decode + enhancement (§8.4: "a total
+    /// latency of under 33 ms").
+    pub fn total_frame_latency_ms(&self, rung: Resolution) -> f64 {
+        self.decode_ms(rung) + self.nerve_inference_ms()
+    }
+
+    /// CPU utilization as a function of the fraction of frames that run
+    /// recovery/enhancement (§8.4: 28% idle, 37% at 0.2, 68% at 1.0).
+    pub fn cpu_utilization(&self, enhanced_fraction: f64) -> f64 {
+        let f = enhanced_fraction.clamp(0.0, 1.0);
+        0.28 + 0.40 * f
+    }
+
+    /// Energy per frame in joules (§8.4: 0.04 J idle, 0.07 J at 1.0;
+    /// 0.05 J at 0.2 is reproduced by an affine fit through the ends).
+    pub fn energy_per_frame_j(&self, enhanced_fraction: f64) -> f64 {
+        let f = enhanced_fraction.clamp(0.0, 1.0);
+        0.04 + 0.03 * f
+    }
+
+    /// Battery life in hours at 30 fps for a given enhancement fraction.
+    pub fn battery_hours(&self, enhanced_fraction: f64) -> f64 {
+        let watts = self.energy_per_frame_j(enhanced_fraction) * 30.0;
+        self.battery_joules / watts / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nerve_model_latency_matches_paper() {
+        let p = DeviceProfile::iphone12();
+        let nerve = CostReport::new(10_800_000_000, 1_619_000);
+        let ms = p.inference_ms(nerve, Optimization::Mobile, Precision::Fp16);
+        assert!((ms - 22.0).abs() < 1.0, "inference {ms} ms");
+    }
+
+    #[test]
+    fn table1_baseline_latencies_have_right_magnitude() {
+        let p = DeviceProfile::iphone12();
+        let cases = [
+            (132.94e9 as u64, 5000.0), // RLSP
+            (71.33e9 as u64, 3500.0),  // BasicVSR
+            (17.8e9 as u64, 1000.0),   // CKBG
+        ];
+        for (flops, paper_ms) in cases {
+            let ms = p.inference_ms(
+                CostReport::new(flops, 0),
+                Optimization::None,
+                Precision::Fp32,
+            );
+            // Within 2.5x of the published number (the baselines differ in
+            // how badly their ops map to the phone; we use one tier).
+            assert!(
+                ms > paper_ms / 2.5 && ms < paper_ms * 2.5,
+                "flops {flops}: {ms} ms vs paper {paper_ms} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn warp_cost_reproduces_the_270p_trick() {
+        let p = DeviceProfile::iphone12();
+        let full = p.warp_ms(1920, 1080);
+        let small = p.warp_ms(480, 270);
+        assert!((full - 29.0).abs() < 0.5, "1080p warp {full} ms");
+        assert!((small - 29.0 / 16.0).abs() < 0.5, "270p warp {small} ms");
+        assert!(small < 5.0, "paper: 270p warp within 5 ms");
+    }
+
+    #[test]
+    fn fp32_doubles_inference_time() {
+        let p = DeviceProfile::iphone12();
+        let c = CostReport::new(10_000_000_000, 0);
+        let f16 = p.inference_ms(c, Optimization::Mobile, Precision::Fp16);
+        let f32_ = p.inference_ms(c, Optimization::Mobile, Precision::Fp32);
+        assert!(f32_ > f16 * 1.8 && f32_ < f16 * 2.2);
+    }
+
+    #[test]
+    fn total_latency_supports_30fps_at_every_rung() {
+        let p = DeviceProfile::iphone12();
+        for &rung in &Resolution::LADDER {
+            let total = p.total_frame_latency_ms(rung);
+            assert!(total < 33.4, "{rung:?}: {total} ms");
+        }
+        // §8.4's specific numbers.
+        assert!((p.total_frame_latency_ms(Resolution::R240) - 23.8).abs() < 1e-9);
+        assert!((p.total_frame_latency_ms(Resolution::R1080) - 28.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_utilization_matches_section_8_4() {
+        let p = DeviceProfile::iphone12();
+        assert!((p.cpu_utilization(0.0) - 0.28).abs() < 1e-9);
+        assert!((p.cpu_utilization(0.2) - 0.36).abs() < 0.02); // paper: 37%
+        assert!((p.cpu_utilization(1.0) - 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_and_battery_match_section_8_4() {
+        let p = DeviceProfile::iphone12();
+        assert!((p.energy_per_frame_j(0.0) - 0.04).abs() < 1e-9);
+        assert!((p.energy_per_frame_j(1.0) - 0.07).abs() < 1e-9);
+        // Paper: 13.2 h idle -> 7.5 h fully enhanced. Our battery-capacity
+        // derivation gives ~9 h / ~5.1 h (the paper's figures include
+        // display and radio draw we don't model); the *ratio* must match.
+        let ratio = p.battery_hours(0.0) / p.battery_hours(1.0);
+        assert!((ratio - 13.2 / 7.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the point code and recovery invariants.
+
+use nerve_core::point_code::{PointCode, PointCodeConfig, PointCodeEncoder};
+use nerve_core::recovery::{PartialFrame, RecoveryConfig, RecoveryModel};
+use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn point_code_round_trips_any_frame(seed in 0u64..500, pct in 0.5f32..0.95) {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Haul, 36, 64), seed);
+        let f = v.next_frame();
+        let cfg = PointCodeConfig {
+            width: 32,
+            height: 16,
+            threshold_percentile: pct,
+        };
+        let code = PointCodeEncoder::new(cfg).encode(&f);
+        let back = PointCode::from_bytes(&code.to_bytes()).unwrap();
+        prop_assert_eq!(back, code);
+    }
+
+    #[test]
+    fn code_density_tracks_percentile(seed in 0u64..200, pct in 0.5f32..0.95) {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::GamePlay, 36, 64), seed);
+        let f = v.next_frame();
+        let cfg = PointCodeConfig {
+            width: 32,
+            height: 16,
+            threshold_percentile: pct,
+        };
+        let code = PointCodeEncoder::new(cfg).encode(&f);
+        let expect = 1.0 - pct as f64;
+        prop_assert!(
+            (code.density() - expect).abs() < 0.15,
+            "density {} vs percentile-implied {}",
+            code.density(),
+            expect
+        );
+    }
+
+    #[test]
+    fn recovery_output_is_always_valid(seed in 0u64..100) {
+        let (w, h) = (64usize, 36usize);
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Challenges, h, w), seed);
+        let cfg = PointCodeConfig {
+            width: 32,
+            height: 16,
+            threshold_percentile: 0.8,
+        };
+        let encoder = PointCodeEncoder::new(cfg.clone());
+        let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, cfg));
+        let p2 = v.next_frame();
+        let prev = v.next_frame();
+        let cur = v.next_frame();
+        model.observe(&p2);
+        model.observe(&prev);
+        let rec = model.recover(&prev, &encoder.encode(&cur), None);
+        prop_assert_eq!((rec.width(), rec.height()), (w, h));
+        for &px in rec.data() {
+            prop_assert!((0.0..=1.0).contains(&px) && px.is_finite());
+        }
+    }
+
+    #[test]
+    fn partial_rows_always_pass_through(seed in 0u64..100, band in 0usize..30) {
+        let (w, h) = (64usize, 36usize);
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Skit, h, w), seed);
+        let cfg = PointCodeConfig {
+            width: 32,
+            height: 16,
+            threshold_percentile: 0.8,
+        };
+        let encoder = PointCodeEncoder::new(cfg.clone());
+        let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, cfg));
+        let prev = v.next_frame();
+        let cur = v.next_frame();
+        model.observe(&prev);
+        let mut row_valid = vec![false; h];
+        let y0 = band.min(h - 1);
+        let y1 = (y0 + 8).min(h);
+        for r in row_valid.iter_mut().take(y1).skip(y0) {
+            *r = true;
+        }
+        let partial = PartialFrame::new(cur.clone(), row_valid.clone());
+        let rec = model.recover(&prev, &encoder.encode(&cur), Some(&partial));
+        for (y, &ok) in row_valid.iter().enumerate() {
+            if ok {
+                for x in 0..w {
+                    prop_assert_eq!(rec.get(x, y), cur.get(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_is_a_metric_on_codes(seed in 0u64..100) {
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Education, 36, 64), seed);
+        let cfg = PointCodeConfig {
+            width: 32,
+            height: 16,
+            threshold_percentile: 0.8,
+        };
+        let enc = PointCodeEncoder::new(cfg);
+        let a = enc.encode(&v.next_frame());
+        let b = enc.encode(&v.next_frame());
+        let c = enc.encode(&v.next_frame());
+        prop_assert_eq!(a.hamming_fraction(&a), 0.0);
+        prop_assert!((a.hamming_fraction(&b) - b.hamming_fraction(&a)).abs() < 1e-12);
+        // Triangle inequality.
+        prop_assert!(a.hamming_fraction(&c) <= a.hamming_fraction(&b) + b.hamming_fraction(&c) + 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_determinism(seed in 0u64..50) {
+        let (w, h) = (48usize, 32usize);
+        let mut v = SyntheticVideo::new(SceneConfig::preset(Category::Favorite, h, w), seed);
+        let cfg = PointCodeConfig {
+            width: 24,
+            height: 16,
+            threshold_percentile: 0.8,
+        };
+        let encoder = PointCodeEncoder::new(cfg.clone());
+        let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, cfg));
+        let prev = v.next_frame();
+        let cur = v.next_frame();
+        let code = encoder.encode(&cur);
+        let a = model.recover(&prev, &code, None);
+        model.reset();
+        let b = model.recover(&prev, &code, None);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! Arithmetic in GF(2⁸).
+//!
+//! Field elements are bytes; addition is XOR; multiplication uses log/exp
+//! tables generated at first use from the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the same field Reed–Solomon storage
+//! codes conventionally use. Generator is 2.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial (with the x⁸ term) defining the field.
+pub const POLY: u16 = 0x11D;
+
+struct Tables {
+    /// exp[i] = 2^i, extended to 510 entries so mul can skip a mod.
+    exp: [u8; 512],
+    /// log[x] for x != 0.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Addition (== subtraction) in GF(2⁸).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] + t.log[b as usize]) as usize]
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[(255 - t.log[a as usize]) as usize]
+}
+
+/// Division `a / b`. Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Exponentiation `base^e` with `2` as the conventional generator base.
+pub fn pow(base: u8, e: u32) -> u8 {
+    if base == 0 {
+        return if e == 0 { 1 } else { 0 };
+    }
+    let t = tables();
+    let l = (t.log[base as usize] as u64 * e as u64) % 255;
+    t.exp[l as usize]
+}
+
+/// `acc[i] ^= c * src[i]` over whole slices — the hot loop of RS
+/// encoding/decoding.
+pub fn mul_acc(acc: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(acc.len(), src.len(), "mul_acc length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize];
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        if s != 0 {
+            *a ^= t.exp[(lc + t.log[s as usize]) as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_sampled() {
+        for a in [1u8, 2, 7, 35, 91, 200, 255] {
+            for b in [1u8, 3, 5, 77, 129, 254] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [2u8, 9, 111] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law_sampled() {
+        for a in [3u8, 50, 180] {
+            for b in [7u8, 99, 255] {
+                for c in [1u8, 13, 202] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn division_undoes_multiplication() {
+        for a in [5u8, 100, 250] {
+            for b in 1..=255u8 {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let mut acc = 1u8;
+        for e in 0..20u32 {
+            assert_eq!(pow(3, e), acc);
+            acc = mul(acc, 3);
+        }
+        // Generator order: 2^255 == 1.
+        assert_eq!(pow(2, 255), 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_elementwise() {
+        let src = [1u8, 0, 7, 200, 255];
+        let mut acc = [9u8, 9, 9, 9, 9];
+        mul_acc(&mut acc, &src, 37);
+        for i in 0..src.len() {
+            assert_eq!(acc[i], add(9, mul(37, src[i])));
+        }
+    }
+
+    #[test]
+    fn mul_acc_with_zero_coefficient_is_noop() {
+        let src = [1u8, 2, 3];
+        let mut acc = [4u8, 5, 6];
+        mul_acc(&mut acc, &src, 0);
+        assert_eq!(acc, [4, 5, 6]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # nerve-fec
+//!
+//! Systematic Reed–Solomon erasure coding over GF(2⁸), built from scratch
+//! for NERVE's FEC experiments (Figures 1, 2, 16 of the paper).
+//!
+//! Streaming systems (WebRTC, DASH) protect video frames by appending
+//! parity packets: a frame split into `k` data packets plus `m` parity
+//! packets survives any `m` packet losses. The paper's motivating result
+//! (Figure 1) is that recovering even 1% packet loss needs ~25% parity
+//! overhead at frame granularity — this crate lets us regenerate that
+//! curve with a real code rather than a formula.
+//!
+//! * [`gf256`] — arithmetic in GF(2⁸) with the 0x11D polynomial,
+//!   log/exp table based.
+//! * [`matrix`] — dense matrices over GF(2⁸) with Gauss–Jordan inversion.
+//! * [`rs`] — the systematic encoder/decoder (Vandermonde-derived).
+//! * [`packetize`] — split a frame's bytes into equal shards and back.
+//! * [`policy`] — redundancy-ratio bookkeeping shared by the experiments.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+pub mod gf256;
+pub mod matrix;
+pub mod packetize;
+pub mod policy;
+pub mod rs;
+
+pub use rs::ReedSolomon;

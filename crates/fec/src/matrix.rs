@@ -1,0 +1,221 @@
+//! Dense matrices over GF(2⁸) with Gauss–Jordan inversion.
+//!
+//! Small (≤ 255x255) matrices are all Reed–Solomon needs; clarity over
+//! cleverness.
+
+use crate::gf256;
+
+/// A row-major matrix over GF(2⁸).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl GfMatrix {
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix: `V[r][c] = (r+1)^c` (1-based evaluation points
+    /// keep row 0 distinct from the zero row).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 255, "GF(256) supports at most 255 evaluation points");
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow((r + 1) as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Build a new matrix from a subset of this one's rows.
+    pub fn select_rows(&self, indices: &[usize]) -> GfMatrix {
+        let mut m = GfMatrix::zero(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            let dst = i * self.cols;
+            m.data[dst..dst + self.cols].copy_from_slice(self.row(r));
+        }
+        m
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &GfMatrix) -> GfMatrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
+        let mut out = GfMatrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = gf256::mul(a, rhs.get(k, c));
+                    out.set(r, c, gf256::add(out.get(r, c), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion. Returns `None` if singular.
+    pub fn inverse(&self) -> Option<GfMatrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = GfMatrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize pivot row.
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate all other rows.
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != 0 {
+                        a.add_scaled_row(r, col, factor);
+                        inv.add_scaled_row(r, col, factor);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        for c in 0..self.cols {
+            self.set(r, c, gf256::mul(self.get(r, c), factor));
+        }
+    }
+
+    /// `row[dst] ^= factor * row[src]`
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(src, c), factor);
+            self.set(dst, c, gf256::add(self.get(dst, c), v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_anything() {
+        let v = GfMatrix::vandermonde(4, 4);
+        let i = GfMatrix::identity(4);
+        assert_eq!(i.mul(&v), v);
+        assert_eq!(v.mul(&i), v);
+    }
+
+    #[test]
+    fn vandermonde_first_column_is_ones() {
+        let v = GfMatrix::vandermonde(5, 3);
+        for r in 0..5 {
+            assert_eq!(v.get(r, 0), 1);
+        }
+    }
+
+    #[test]
+    fn vandermonde_square_is_invertible() {
+        for n in 1..=8 {
+            let v = GfMatrix::vandermonde(n, n);
+            let inv = v.inverse().expect("Vandermonde with distinct points inverts");
+            assert_eq!(v.mul(&inv), GfMatrix::identity(n));
+            assert_eq!(inv.mul(&v), GfMatrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = GfMatrix::zero(2, 2);
+        m.set(0, 0, 3);
+        m.set(0, 1, 5);
+        m.set(1, 0, 3);
+        m.set(1, 1, 5); // duplicate row
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_requested_rows() {
+        let v = GfMatrix::vandermonde(5, 2);
+        let s = v.select_rows(&[4, 0]);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(0));
+    }
+
+    #[test]
+    fn any_k_rows_of_tall_vandermonde_invert() {
+        // This is the property erasure codes rely on.
+        let v = GfMatrix::vandermonde(8, 4);
+        for combo in [[0usize, 1, 2, 3], [4, 5, 6, 7], [0, 2, 5, 7], [1, 3, 4, 6]] {
+            let sub = v.select_rows(&combo);
+            assert!(sub.inverse().is_some(), "rows {combo:?} should invert");
+        }
+    }
+
+    #[test]
+    fn product_shapes() {
+        let a = GfMatrix::vandermonde(3, 2);
+        let b = GfMatrix::vandermonde(2, 5);
+        let c = a.mul(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 5));
+    }
+}

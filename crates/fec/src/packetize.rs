@@ -1,0 +1,114 @@
+//! Splitting an encoded video frame into equal FEC shards and back.
+//!
+//! A video frame's bytestream is split into `k` equal-length shards
+//! (padded with a length prefix so the exact byte count survives the
+//! round trip), which become the RS data shards; parity shards travel as
+//! extra packets of the same size.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Split `payload` into `k` equal shards, prefixing the original length.
+///
+/// The length prefix occupies the first 4 bytes of shard 0's logical
+/// stream, so `payload.len() + 4` bytes are spread over `k` shards with
+/// zero padding at the tail.
+pub fn split(payload: &[u8], k: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0, "need at least one shard");
+    let mut framed = BytesMut::with_capacity(payload.len() + 4);
+    framed.put_u32(payload.len() as u32);
+    framed.extend_from_slice(payload);
+    let shard_len = framed.len().div_ceil(k).max(1);
+    framed.resize(shard_len * k, 0);
+    let framed: Bytes = framed.freeze();
+    (0..k)
+        .map(|i| framed[i * shard_len..(i + 1) * shard_len].to_vec())
+        .collect()
+}
+
+/// Reassemble the original payload from the `k` data shards produced by
+/// [`split`]. Returns `None` if the length prefix is inconsistent.
+pub fn join(shards: &[Vec<u8>]) -> Option<Vec<u8>> {
+    if shards.is_empty() {
+        return None;
+    }
+    let shard_len = shards[0].len();
+    if shards.iter().any(|s| s.len() != shard_len) {
+        return None;
+    }
+    let mut all = Vec::with_capacity(shard_len * shards.len());
+    for s in shards {
+        all.extend_from_slice(s);
+    }
+    if all.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([all[0], all[1], all[2], all[3]]) as usize;
+    if 4 + len > all.len() {
+        return None;
+    }
+    Some(all[4..4 + len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_multiple() {
+        let payload: Vec<u8> = (0..60u8).collect();
+        let shards = split(&payload, 4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(join(&shards).unwrap(), payload);
+    }
+
+    #[test]
+    fn round_trip_with_padding() {
+        let payload: Vec<u8> = (0..13u8).collect();
+        let shards = split(&payload, 5);
+        assert!(shards.iter().all(|s| s.len() == shards[0].len()));
+        assert_eq!(join(&shards).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let shards = split(&[], 3);
+        assert_eq!(join(&shards).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_shard_round_trips() {
+        let payload = vec![7u8; 100];
+        let shards = split(&payload, 1);
+        assert_eq!(join(&shards).unwrap(), payload);
+    }
+
+    #[test]
+    fn join_rejects_inconsistent_shards() {
+        assert!(join(&[]).is_none());
+        assert!(join(&[vec![0u8; 2]]).is_none()); // too short for prefix
+        assert!(join(&[vec![0u8; 8], vec![0u8; 4]]).is_none()); // ragged
+    }
+
+    #[test]
+    fn join_rejects_corrupt_length_prefix() {
+        let mut shards = split(&[1, 2, 3], 2);
+        shards[0][0] = 0xFF; // length now absurdly large
+        assert!(join(&shards).is_none());
+    }
+
+    #[test]
+    fn integrates_with_reed_solomon() {
+        use crate::rs::ReedSolomon;
+        let payload: Vec<u8> = (0..255u8).cycle().take(5000).collect();
+        let k = 10;
+        let rs = ReedSolomon::new(k, 4).unwrap();
+        let data_shards = split(&payload, k);
+        let encoded = rs.encode(&data_shards).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        received[1] = None;
+        received[4] = None;
+        received[11] = None;
+        let recovered = rs.reconstruct(&received).unwrap();
+        assert_eq!(join(&recovered).unwrap(), payload);
+    }
+}

@@ -1,0 +1,135 @@
+//! Redundancy-ratio bookkeeping.
+//!
+//! The paper expresses FEC strength as a *redundant ratio* `r` (Figures 1
+//! and 2 sweep `r` from 0 to 0.6/1.0): parity bytes as a fraction of data
+//! bytes. This module converts between `r` and `(k, m)` shard counts and
+//! computes the analytic frame-loss probability of an `RS(k, k+m)` code
+//! under i.i.d. packet loss, which Figure 1's simulated curves should
+//! match.
+
+/// Convert a redundancy ratio to a parity shard count for `k` data
+/// shards: `m = ceil(r * k)`.
+pub fn parity_for_ratio(data_shards: usize, ratio: f64) -> usize {
+    assert!(ratio >= 0.0, "redundancy ratio must be non-negative");
+    (ratio * data_shards as f64).ceil() as usize
+}
+
+/// The realized redundancy ratio of an `(k, m)` configuration.
+pub fn realized_ratio(data_shards: usize, parity_shards: usize) -> f64 {
+    parity_shards as f64 / data_shards as f64
+}
+
+/// Binomial coefficient as f64 (stable for the n <= 255 shard counts RS
+/// supports).
+fn binom(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Probability that a frame protected by `RS(k, k+m)` is lost under
+/// i.i.d. packet loss rate `p`: the chance that more than `m` of the
+/// `k + m` packets are erased.
+pub fn frame_loss_probability(data_shards: usize, parity_shards: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
+    let n = data_shards + parity_shards;
+    let mut survive = 0.0f64;
+    for lost in 0..=parity_shards {
+        survive += binom(n, lost) * p.powi(lost as i32) * (1.0 - p).powi((n - lost) as i32);
+    }
+    (1.0 - survive).clamp(0.0, 1.0)
+}
+
+/// The smallest redundancy ratio whose analytic frame-loss probability
+/// falls below `target` for `k` data shards at packet loss rate `p`.
+/// Returns `None` if even 100% redundancy is insufficient.
+pub fn min_ratio_for_target(data_shards: usize, p: f64, target: f64) -> Option<f64> {
+    let mut m = 0usize;
+    while m <= data_shards {
+        if frame_loss_probability(data_shards, m, p) <= target {
+            return Some(realized_ratio(data_shards, m));
+        }
+        m += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_count_rounds_up() {
+        assert_eq!(parity_for_ratio(10, 0.25), 3);
+        assert_eq!(parity_for_ratio(10, 0.30), 3);
+        assert_eq!(parity_for_ratio(10, 0.0), 0);
+        assert_eq!(parity_for_ratio(40, 0.35), 14);
+    }
+
+    #[test]
+    fn no_parity_means_any_loss_kills_frame() {
+        // P(frame lost) = 1 - (1-p)^k.
+        let p = 0.01;
+        let k = 40;
+        let expect = 1.0 - (1.0f64 - p).powi(k as i32);
+        let got = frame_loss_probability(k, 0, p);
+        assert!((got - expect).abs() < 1e-12);
+        // With 40 packets and 1% loss, about a third of frames die.
+        assert!(got > 0.3 && got < 0.4);
+    }
+
+    #[test]
+    fn frame_loss_decreases_with_parity() {
+        let p = 0.03;
+        let mut prev = 1.0;
+        for m in 0..10 {
+            let fl = frame_loss_probability(40, m, p);
+            assert!(fl <= prev + 1e-12, "m={m}: {fl} > {prev}");
+            prev = fl;
+        }
+    }
+
+    #[test]
+    fn paper_scale_redundancy_requirements() {
+        // Figure 1's headline: ~25% FEC for 1% loss, ~30% for 3%, ~35% for
+        // 5% to drive frame loss near zero on ~40-packet frames. Our
+        // analytic model should put the required ratio in that ballpark
+        // (within a factor accounting for "close to 0" = 1e-3 here).
+        let r1 = min_ratio_for_target(40, 0.01, 1e-3).unwrap();
+        let r3 = min_ratio_for_target(40, 0.03, 1e-3).unwrap();
+        let r5 = min_ratio_for_target(40, 0.05, 1e-3).unwrap();
+        assert!(r1 < r3 && r3 < r5, "required ratio must grow with loss");
+        // The ratios are several times the raw loss rate — FEC is expensive.
+        assert!(r1 >= 5.0 * 0.01, "r1 = {r1}");
+        assert!(r5 >= 3.0 * 0.05, "r5 = {r5}");
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        // Absurd: loss rate 90%, want 1e-9 frame loss with <= 100% parity.
+        assert!(min_ratio_for_target(20, 0.9, 1e-9).is_none());
+    }
+
+    #[test]
+    fn zero_loss_rate_needs_no_parity() {
+        assert_eq!(min_ratio_for_target(40, 0.0, 1e-6), Some(0.0));
+    }
+
+    #[test]
+    fn probability_bounds_hold() {
+        for &p in &[0.0, 0.01, 0.3, 1.0] {
+            for m in [0usize, 5, 20] {
+                let fl = frame_loss_probability(20, m, p);
+                assert!((0.0..=1.0).contains(&fl));
+            }
+        }
+        // Total loss: frame always lost without enough parity.
+        assert!((frame_loss_probability(10, 5, 1.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the GF(2⁸) field and Reed–Solomon coding.
+
+use nerve_fec::packetize::{join, split};
+use nerve_fec::rs::ReedSolomon;
+use nerve_fec::{gf256, matrix::GfMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn field_axioms_hold(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        // Commutativity.
+        prop_assert_eq!(gf256::add(a, b), gf256::add(b, a));
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        // Associativity.
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        // Distributivity.
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Additive inverse is self.
+        prop_assert_eq!(gf256::add(a, a), 0);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in 0u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+    }
+
+    #[test]
+    fn pow_is_repeated_mul(base in 1u8..=255, e in 0u32..16) {
+        let mut acc = 1u8;
+        for _ in 0..e {
+            acc = gf256::mul(acc, base);
+        }
+        prop_assert_eq!(gf256::pow(base, e), acc);
+    }
+
+    #[test]
+    fn vandermonde_submatrices_invert(
+        n in 2usize..10,
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = n.max(k);
+        let v = GfMatrix::vandermonde(n, k);
+        // Pick k distinct rows pseudo-randomly.
+        let mut rows: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..rows.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rows.swap(i, (s as usize) % (i + 1));
+        }
+        rows.truncate(k);
+        let sub = v.select_rows(&rows);
+        prop_assert!(sub.inverse().is_some(), "rows {:?} must invert", rows);
+    }
+
+    #[test]
+    fn rs_reconstructs_any_recoverable_loss_pattern(
+        k in 1usize..12,
+        parity in 0usize..6,
+        shard_len in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let rs = ReedSolomon::new(k, parity).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..shard_len).map(|j| ((i * 31 + j * 7) ^ seed as usize) as u8).collect())
+            .collect();
+        let encoded = rs.encode(&data).unwrap();
+
+        // Drop up to `parity` pseudo-random shards.
+        let mut received: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        let mut s = seed;
+        let mut dropped = 0usize;
+        while dropped < parity {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let idx = (s as usize) % received.len();
+            if received[idx].is_some() {
+                received[idx] = None;
+                dropped += 1;
+            }
+        }
+        prop_assert_eq!(rs.reconstruct(&received).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_fails_cleanly_beyond_parity(
+        k in 2usize..10,
+        parity in 0usize..4,
+    ) {
+        let rs = ReedSolomon::new(k, parity).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; 8]).collect();
+        let encoded = rs.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        for r in received.iter_mut().take(parity + 1) {
+            *r = None;
+        }
+        prop_assert!(rs.reconstruct(&received).is_err());
+    }
+
+    #[test]
+    fn packetize_round_trips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        k in 1usize..20,
+    ) {
+        let shards = split(&payload, k);
+        prop_assert_eq!(shards.len(), k);
+        let len = shards[0].len();
+        prop_assert!(shards.iter().all(|s| s.len() == len));
+        prop_assert_eq!(join(&shards).unwrap(), payload);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dense displacement fields.
+
+use nerve_video::frame::Frame;
+
+/// A dense per-pixel displacement field `(dx, dy)` in pixels.
+///
+/// `flow(p)` maps a pixel in the field's own grid to an offset into some
+/// source image (see the crate docs for the warping convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowField {
+    width: usize,
+    height: usize,
+    dx: Vec<f32>,
+    dy: Vec<f32>,
+}
+
+impl FlowField {
+    /// The zero (identity) flow.
+    pub fn zero(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            dx: vec![0.0; width * height],
+            dy: vec![0.0; width * height],
+        }
+    }
+
+    /// A constant (global translation) flow.
+    pub fn constant(width: usize, height: usize, dx: f32, dy: f32) -> Self {
+        Self {
+            width,
+            height,
+            dx: vec![dx; width * height],
+            dy: vec![dy; width * height],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> (f32, f32) {
+        let i = y * self.width + x;
+        (self.dx[i], self.dy[i])
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, dx: f32, dy: f32) {
+        let i = y * self.width + x;
+        self.dx[i] = dx;
+        self.dy[i] = dy;
+    }
+
+    /// Bilinear sample of the field at fractional coordinates.
+    pub fn sample(&self, x: f32, y: f32) -> (f32, f32) {
+        let fx = Frame::from_data(self.width, self.height, self.dx.clone());
+        let fy = Frame::from_data(self.width, self.height, self.dy.clone());
+        (fx.sample(x, y), fy.sample(x, y))
+    }
+
+    /// Upsample to a new grid, scaling displacement magnitudes by the
+    /// size ratio (a half-resolution flow of 1 px is a 2 px flow at full
+    /// resolution).
+    pub fn upsample(&self, new_width: usize, new_height: usize) -> FlowField {
+        let sx = new_width as f32 / self.width as f32;
+        let sy = new_height as f32 / self.height as f32;
+        let fx = Frame::from_data(self.width, self.height, self.dx.clone())
+            .resize(new_width, new_height);
+        let fy = Frame::from_data(self.width, self.height, self.dy.clone())
+            .resize(new_width, new_height);
+        FlowField {
+            width: new_width,
+            height: new_height,
+            dx: fx.data().iter().map(|v| v * sx).collect(),
+            dy: fy.data().iter().map(|v| v * sy).collect(),
+        }
+    }
+
+    /// 3x3 box smoothing — the regularizer between LK iterations.
+    pub fn smooth3(&self) -> FlowField {
+        let mut out = FlowField::zero(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let (mut sx, mut sy, mut n) = (0.0f32, 0.0f32, 0.0f32);
+                for oy in -1..=1isize {
+                    for ox in -1..=1isize {
+                        let xx = x as isize + ox;
+                        let yy = y as isize + oy;
+                        if xx >= 0 && yy >= 0 && (xx as usize) < self.width && (yy as usize) < self.height
+                        {
+                            let (dx, dy) = self.get(xx as usize, yy as usize);
+                            sx += dx;
+                            sy += dy;
+                            n += 1.0;
+                        }
+                    }
+                }
+                out.set(x, y, sx / n, sy / n);
+            }
+        }
+        out
+    }
+
+    /// Mean endpoint error against another field (for tests with known
+    /// ground truth).
+    pub fn epe(&self, other: &FlowField) -> f32 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut total = 0.0f32;
+        for i in 0..self.dx.len() {
+            let ex = self.dx[i] - other.dx[i];
+            let ey = self.dy[i] - other.dy[i];
+            total += (ex * ex + ey * ey).sqrt();
+        }
+        total / self.dx.len() as f32
+    }
+
+    /// Mean displacement magnitude.
+    pub fn mean_magnitude(&self) -> f32 {
+        let mut total = 0.0f32;
+        for i in 0..self.dx.len() {
+            total += (self.dx[i] * self.dx[i] + self.dy[i] * self.dy[i]).sqrt();
+        }
+        total / self.dx.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_flow_has_zero_magnitude() {
+        let f = FlowField::zero(4, 4);
+        assert_eq!(f.mean_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn constant_flow_reports_value() {
+        let f = FlowField::constant(3, 3, 2.0, -1.0);
+        assert_eq!(f.get(1, 1), (2.0, -1.0));
+        assert!((f.mean_magnitude() - (5.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upsample_doubles_magnitude() {
+        let f = FlowField::constant(4, 4, 1.0, 0.5);
+        let up = f.upsample(8, 8);
+        let (dx, dy) = up.get(4, 4);
+        assert!((dx - 2.0).abs() < 1e-5);
+        assert!((dy - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smooth_preserves_constant_field() {
+        let f = FlowField::constant(5, 5, 1.5, -0.5);
+        let s = f.smooth3();
+        for y in 0..5 {
+            for x in 0..5 {
+                let (dx, dy) = s.get(x, y);
+                assert!((dx - 1.5).abs() < 1e-6);
+                assert!((dy + 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_reduces_isolated_spike() {
+        let mut f = FlowField::zero(5, 5);
+        f.set(2, 2, 9.0, 0.0);
+        let s = f.smooth3();
+        let (dx, _) = s.get(2, 2);
+        assert!(dx < 9.0 / 8.0 + 1e-5);
+    }
+
+    #[test]
+    fn epe_zero_for_identical() {
+        let f = FlowField::constant(4, 4, 1.0, 1.0);
+        assert_eq!(f.epe(&f.clone()), 0.0);
+    }
+
+    #[test]
+    fn epe_measures_difference() {
+        let a = FlowField::zero(2, 2);
+        let b = FlowField::constant(2, 2, 3.0, 4.0);
+        assert!((a.epe(&b) - 5.0).abs() < 1e-6);
+    }
+}

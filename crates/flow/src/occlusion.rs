@@ -1,0 +1,119 @@
+//! Forward–backward occlusion detection.
+//!
+//! Where the forward flow (prev→cur) and backward flow (cur→prev)
+//! disagree, the pixel is occluded or disoccluded: it has no reliable
+//! correspondence in the previous frame and must be synthesized — this
+//! mask is what routes pixels to the recovery model's inpainting branch.
+
+use crate::field::FlowField;
+use crate::lk::{estimate, FlowConfig};
+use nerve_video::frame::Frame;
+
+/// Occlusion mask from a pair of flows (both in the warping convention:
+/// `forward` aligned with the current frame mapping into the previous,
+/// `backward` aligned with the previous frame mapping into the current).
+///
+/// A pixel `p` is consistent when `forward(p)` and the backward flow
+/// sampled at the corresponding source location cancel out. Returns a
+/// mask aligned with the current frame: 1.0 = consistent, 0.0 = occluded.
+pub fn consistency_mask(forward: &FlowField, backward: &FlowField, threshold: f32) -> Frame {
+    assert_eq!(
+        (forward.width(), forward.height()),
+        (backward.width(), backward.height()),
+        "flow pair must share dimensions"
+    );
+    Frame::from_fn(forward.width(), forward.height(), |x, y| {
+        let (fx, fy) = forward.get(x, y);
+        let sx = x as f32 + fx;
+        let sy = y as f32 + fy;
+        let (bx, by) = backward.sample(sx, sy);
+        let ex = fx + bx;
+        let ey = fy + by;
+        if (ex * ex + ey * ey).sqrt() <= threshold {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Convenience: estimate both flows between two frames and return
+/// `(flow_cur_to_prev, occlusion_mask)` where the mask is aligned with
+/// `cur`.
+pub fn flow_with_occlusion(
+    prev: &Frame,
+    cur: &Frame,
+    config: &FlowConfig,
+    threshold: f32,
+) -> (FlowField, Frame) {
+    let forward = estimate(prev, cur, config); // cur(p) ≈ prev(p + forward(p))
+    let backward = estimate(cur, prev, config); // prev(p) ≈ cur(p + backward(p))
+    let mask = consistency_mask(&forward, &backward, threshold);
+    (forward, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Frame {
+        Frame::from_fn(w, h, |x, y| {
+            0.5 + 0.35 * ((x as f32) * 0.33).sin() * ((y as f32) * 0.21).cos()
+        })
+    }
+
+    #[test]
+    fn consistent_flows_yield_full_mask() {
+        let f = FlowField::constant(16, 16, 2.0, 0.0);
+        let b = FlowField::constant(16, 16, -2.0, 0.0);
+        let mask = consistency_mask(&f, &b, 0.5);
+        assert!(mask.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn inconsistent_flows_are_flagged() {
+        let f = FlowField::constant(16, 16, 2.0, 0.0);
+        let b = FlowField::constant(16, 16, 5.0, 0.0); // nonsense backward
+        let mask = consistency_mask(&f, &b, 0.5);
+        assert!(mask.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn static_scene_is_fully_consistent() {
+        let frame = textured(32, 24);
+        let (_, mask) = flow_with_occlusion(&frame, &frame, &FlowConfig::default(), 0.8);
+        let coverage = mask.mean();
+        assert!(coverage > 0.95, "coverage {coverage}");
+    }
+
+    #[test]
+    fn new_content_reduces_consistency() {
+        let prev = textured(32, 24);
+        // Current frame has a brand-new bright block that exists nowhere
+        // in prev — flows cannot agree there.
+        let mut cur = prev.clone();
+        for y in 6..18 {
+            for x in 8..24 {
+                cur.set(x, y, if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
+            }
+        }
+        let (_, mask) = flow_with_occlusion(&prev, &cur, &FlowConfig::default(), 0.8);
+        let (_, static_mask) = flow_with_occlusion(&prev, &prev, &FlowConfig::default(), 0.8);
+        assert!(
+            mask.mean() < static_mask.mean(),
+            "new content must lower consistency: {} vs {}",
+            mask.mean(),
+            static_mask.mean()
+        );
+    }
+
+    #[test]
+    fn threshold_zero_is_strictest() {
+        let f = FlowField::constant(8, 8, 1.0, 0.0);
+        let b = FlowField::constant(8, 8, -1.01, 0.0);
+        let strict = consistency_mask(&f, &b, 0.001);
+        let loose = consistency_mask(&f, &b, 1.0);
+        assert!(strict.mean() <= loose.mean());
+        assert!(loose.data().iter().all(|&v| v == 1.0));
+    }
+}

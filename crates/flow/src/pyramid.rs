@@ -1,0 +1,83 @@
+//! Gaussian-ish image pyramids (box-filtered octaves).
+
+use nerve_video::frame::Frame;
+
+/// An image pyramid: `levels[0]` is the original frame, each subsequent
+/// level is a 2x box-filtered downsample.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<Frame>,
+}
+
+impl Pyramid {
+    /// Build a pyramid with at most `max_levels` levels, stopping before
+    /// any dimension would fall below `min_size` pixels.
+    pub fn build(frame: &Frame, max_levels: usize, min_size: usize) -> Self {
+        assert!(max_levels >= 1, "need at least one level");
+        let mut levels = vec![frame.clone()];
+        while levels.len() < max_levels {
+            let last = levels.last().unwrap();
+            if last.width() / 2 < min_size || last.height() / 2 < min_size {
+                break;
+            }
+            levels.push(last.downsample_half());
+        }
+        Self { levels }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level `i`; level 0 is full resolution.
+    pub fn level(&self, i: usize) -> &Frame {
+        &self.levels[i]
+    }
+
+    /// Coarsest level.
+    pub fn coarsest(&self) -> &Frame {
+        self.levels.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pyramid_halves_each_level() {
+        let f = Frame::new(64, 32);
+        let p = Pyramid::build(&f, 4, 4);
+        assert_eq!(p.num_levels(), 4);
+        assert_eq!((p.level(0).width(), p.level(0).height()), (64, 32));
+        assert_eq!((p.level(1).width(), p.level(1).height()), (32, 16));
+        assert_eq!((p.level(3).width(), p.level(3).height()), (8, 4));
+    }
+
+    #[test]
+    fn pyramid_stops_at_min_size() {
+        let f = Frame::new(32, 32);
+        let p = Pyramid::build(&f, 10, 8);
+        // 32 -> 16 -> 8; a further halving would hit 4 < 8.
+        assert_eq!(p.num_levels(), 3);
+        assert_eq!(p.coarsest().width(), 8);
+    }
+
+    #[test]
+    fn single_level_pyramid() {
+        let f = Frame::new(16, 16);
+        let p = Pyramid::build(&f, 1, 4);
+        assert_eq!(p.num_levels(), 1);
+        assert_eq!(p.coarsest().width(), 16);
+    }
+
+    #[test]
+    fn content_survives_downsampling() {
+        let f = Frame::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 1.0 });
+        let p = Pyramid::build(&f, 3, 4);
+        let c = p.level(2);
+        // Left half dark, right half bright at every level.
+        assert!(c.get(0, 0) < 0.3);
+        assert!(c.get(c.width() - 1, 0) > 0.7);
+    }
+}

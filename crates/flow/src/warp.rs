@@ -1,0 +1,122 @@
+//! Frame warping by a flow field.
+//!
+//! `warp_frame(source, flow)` produces a frame aligned with the flow's
+//! grid by sampling the source at `p + flow(p)` — the backward-warping
+//! (grid-sample) operation the paper implements as a custom Metal kernel.
+//! The paper warps at 270p instead of 1080p to cut warp time from 29 ms
+//! to 5 ms; [`warp_frame_at_scale`] reproduces that trick.
+
+use crate::field::FlowField;
+use nerve_video::frame::Frame;
+
+/// Backward-warp: `out(p) = source(p + flow(p))`, bilinear, border-clamped.
+pub fn warp_frame(source: &Frame, flow: &FlowField) -> Frame {
+    assert_eq!(
+        (source.width(), source.height()),
+        (flow.width(), flow.height()),
+        "warp source and flow must share dimensions"
+    );
+    Frame::from_fn(source.width(), source.height(), |x, y| {
+        let (dx, dy) = flow.get(x, y);
+        source.sample(x as f32 + dx, y as f32 + dy)
+    })
+}
+
+/// Validity mask: 1.0 where the warp sampled inside the source frame,
+/// 0.0 where it reached out of bounds. Out-of-bounds regions are the
+/// disocclusions the recovery model must inpaint.
+pub fn warp_validity(flow: &FlowField) -> Frame {
+    Frame::from_fn(flow.width(), flow.height(), |x, y| {
+        let (dx, dy) = flow.get(x, y);
+        let sx = x as f32 + dx;
+        let sy = y as f32 + dy;
+        let inside = sx >= 0.0
+            && sy >= 0.0
+            && sx <= (flow.width() - 1) as f32
+            && sy <= (flow.height() - 1) as f32;
+        if inside {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Warp at a reduced working resolution, then upsample the result.
+///
+/// This is the paper's 270p-warp optimization: `scale_divisor = 4` warps
+/// a 1080p frame at 270p. The flow is resampled onto the working grid.
+pub fn warp_frame_at_scale(source: &Frame, flow: &FlowField, scale_divisor: usize) -> Frame {
+    assert!(scale_divisor >= 1);
+    if scale_divisor == 1 {
+        return warp_frame(source, flow);
+    }
+    let ww = (source.width() / scale_divisor).max(2);
+    let wh = (source.height() / scale_divisor).max(2);
+    let small_src = source.resize(ww, wh);
+    let small_flow = flow.upsample(ww, wh); // resample (down or up) + rescale magnitudes
+    let small_warp = warp_frame(&small_src, &small_flow);
+    small_warp.resize(source.width(), source.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Frame {
+        Frame::from_fn(w, h, |x, y| {
+            0.5 + 0.4 * ((x as f32) * 0.3).sin() * ((y as f32) * 0.25).cos()
+        })
+    }
+
+    #[test]
+    fn zero_flow_is_identity() {
+        let f = textured(20, 16);
+        let out = warp_frame(&f, &FlowField::zero(20, 16));
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn constant_flow_translates_content() {
+        let f = textured(32, 32);
+        let flow = FlowField::constant(32, 32, 3.0, 0.0);
+        let out = warp_frame(&f, &flow);
+        // out(x) = f(x + 3): check an interior pixel.
+        assert!((out.get(10, 10) - f.get(13, 10)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validity_flags_out_of_bounds() {
+        let flow = FlowField::constant(8, 8, 10.0, 0.0);
+        let v = warp_validity(&flow);
+        assert!(v.data().iter().all(|&x| x == 0.0));
+        let flow0 = FlowField::zero(8, 8);
+        let v0 = warp_validity(&flow0);
+        assert!(v0.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn scaled_warp_approximates_full_warp() {
+        let f = textured(64, 64);
+        let flow = FlowField::constant(64, 64, 4.0, 2.0);
+        let full = warp_frame(&f, &flow);
+        let scaled = warp_frame_at_scale(&f, &flow, 2);
+        // The low-resolution warp loses detail but must stay close.
+        assert!(full.mad(&scaled) < 0.05, "mad {}", full.mad(&scaled));
+    }
+
+    #[test]
+    fn scale_divisor_one_is_exact() {
+        let f = textured(16, 16);
+        let flow = FlowField::constant(16, 16, 1.0, 1.0);
+        assert_eq!(warp_frame_at_scale(&f, &flow, 1), warp_frame(&f, &flow));
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_flow_panics() {
+        let f = Frame::new(8, 8);
+        let flow = FlowField::zero(9, 8);
+        let _ = warp_frame(&f, &flow);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the optical-flow substrate.
+
+use nerve_flow::field::FlowField;
+use nerve_flow::lk::{estimate, FlowConfig};
+use nerve_flow::pyramid::Pyramid;
+use nerve_flow::warp::{warp_frame, warp_validity};
+use nerve_video::frame::Frame;
+use proptest::prelude::*;
+
+fn textured_frame(w: usize, h: usize, phase: f32) -> Frame {
+    Frame::from_fn(w, h, move |x, y| {
+        0.5 + 0.3 * ((x as f32) * 0.35 + phase).sin() * ((y as f32) * 0.27).cos()
+    })
+}
+
+proptest! {
+    #[test]
+    fn warp_preserves_value_bounds(phase in 0.0f32..6.0, dx in -3.0f32..3.0, dy in -3.0f32..3.0) {
+        let f = textured_frame(24, 18, phase);
+        let flow = FlowField::constant(24, 18, dx, dy);
+        let out = warp_frame(&f, &flow);
+        let (lo, hi) = (
+            f.data().iter().cloned().fold(f32::INFINITY, f32::min),
+            f.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        );
+        for &v in out.data() {
+            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn validity_matches_geometry(dx in -40.0f32..40.0, dy in -40.0f32..40.0) {
+        let flow = FlowField::constant(16, 12, dx, dy);
+        let v = warp_validity(&flow);
+        for y in 0..12usize {
+            for x in 0..16usize {
+                let sx = x as f32 + dx;
+                let sy = y as f32 + dy;
+                let inside = sx >= 0.0 && sy >= 0.0 && sx <= 15.0 && sy <= 11.0;
+                prop_assert_eq!(v.get(x, y) > 0.5, inside, "({}, {}) d=({}, {})", x, y, dx, dy);
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_scales_magnitudes_linearly(dx in -4.0f32..4.0, dy in -4.0f32..4.0, s in 2usize..4) {
+        let f = FlowField::constant(8, 8, dx, dy);
+        let up = f.upsample(8 * s, 8 * s);
+        let (ux, uy) = up.get(4 * s, 4 * s);
+        prop_assert!((ux - dx * s as f32).abs() < 0.2 + 0.05 * dx.abs());
+        prop_assert!((uy - dy * s as f32).abs() < 0.2 + 0.05 * dy.abs());
+    }
+
+    #[test]
+    fn smoothing_is_a_contraction(seed in 0u64..200) {
+        // Box smoothing never increases the max magnitude.
+        let mut f = FlowField::zero(10, 10);
+        let mut s = seed;
+        for y in 0..10 {
+            for x in 0..10 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let dx = ((s >> 16) as i32 % 9 - 4) as f32;
+                let dy = ((s >> 32) as i32 % 9 - 4) as f32;
+                f.set(x, y, dx, dy);
+            }
+        }
+        let sm = f.smooth3();
+        prop_assert!(sm.mean_magnitude() <= f.mean_magnitude() * 1.25 + 1e-6);
+        // Max component magnitude never grows.
+        let max_mag = |ff: &FlowField| {
+            let mut m = 0.0f32;
+            for y in 0..10 {
+                for x in 0..10 {
+                    let (a, b) = ff.get(x, y);
+                    m = m.max(a.abs()).max(b.abs());
+                }
+            }
+            m
+        };
+        prop_assert!(max_mag(&sm) <= max_mag(&f) + 1e-6);
+    }
+
+    #[test]
+    fn pyramid_levels_halve_until_floor(w in 8usize..64, h in 8usize..64, levels in 1usize..6) {
+        let f = Frame::new(w, h);
+        let p = Pyramid::build(&f, levels, 4);
+        for i in 1..p.num_levels() {
+            prop_assert_eq!(p.level(i).width(), p.level(i - 1).width() / 2);
+            prop_assert_eq!(p.level(i).height(), p.level(i - 1).height() / 2);
+            prop_assert!(p.level(i).width() >= 4 && p.level(i).height() >= 4);
+        }
+    }
+
+    #[test]
+    fn estimated_flow_is_finite_and_bounded(phase in 0.0f32..6.0, shift in 0isize..4) {
+        let src = textured_frame(32, 24, phase);
+        let tgt = Frame::from_fn(32, 24, |x, y| src.get_clamped(x as isize - shift, y as isize));
+        let flow = estimate(&src, &tgt, &FlowConfig::fast());
+        for y in 0..24usize {
+            for x in 0..32usize {
+                let (dx, dy) = flow.get(x, y);
+                prop_assert!(dx.is_finite() && dy.is_finite());
+                prop_assert!(dx.abs() < 32.0 && dy.abs() < 24.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # nerve-net
+//!
+//! A deterministic, discrete-event network substrate standing in for the
+//! paper's live WiFi/3G/4G/5G measurements (DESIGN.md, substitution
+//! table). Everything is poll/compute based — no threads, no async
+//! runtime — in the spirit of sans-IO stacks like smoltcp: the caller
+//! owns time.
+//!
+//! * [`clock`] — microsecond simulation time and an event queue.
+//! * [`loss`] — Bernoulli and Gilbert–Elliott (bursty) packet loss.
+//! * [`trace`] — throughput/loss traces; generators whose population
+//!   statistics match the paper's Table 2, plus the §8.3 downscaling.
+//! * [`link`] — a fluid trace-driven link: byte-accurate transfer-time
+//!   integration over the time-varying capacity.
+//! * [`rtt`] — RFC 6298 smoothed RTT / RTO estimation.
+//! * [`reliable`] — the TCP-like channel that carries binary point codes
+//!   (reliable, in-order; retransmits on loss; ~1 RTT for 1 KB).
+//! * [`quicish`] — the QUIC-like media channel: packet numbers, one fast
+//!   retransmission, residual loss (the paper measures 1.6% residual
+//!   loss for QUIC on 5G).
+
+pub mod clock;
+pub mod link;
+pub mod loss;
+pub mod queue;
+pub mod quicish;
+pub mod reliable;
+pub mod rtt;
+pub mod trace;
+
+pub use clock::SimTime;
+pub use trace::{NetworkKind, NetworkTrace};

@@ -1,0 +1,152 @@
+//! A fluid, trace-driven link.
+//!
+//! Transfers are integrated byte-by-second over the trace's time-varying
+//! capacity: a transfer started at `t` completes when the integral of
+//! capacity from `t` reaches its size. One-way propagation delay is
+//! RTT/2. The fluid model is what chunk-level ABR simulators
+//! (MPC, Pensieve, Oboe) use; packet-level loss is layered on top by the
+//! transport modules.
+
+use crate::clock::SimTime;
+use crate::trace::NetworkTrace;
+
+/// A unidirectional fluid link driven by a throughput trace.
+#[derive(Debug, Clone)]
+pub struct Link {
+    trace: NetworkTrace,
+}
+
+impl Link {
+    pub fn new(trace: NetworkTrace) -> Self {
+        Self { trace }
+    }
+
+    pub fn trace(&self) -> &NetworkTrace {
+        &self.trace
+    }
+
+    /// One-way propagation delay.
+    pub fn one_way_delay(&self) -> SimTime {
+        SimTime(self.trace.rtt.as_micros() / 2)
+    }
+
+    pub fn rtt(&self) -> SimTime {
+        self.trace.rtt
+    }
+
+    /// When does a transfer of `bytes` started at `start` finish draining
+    /// into the link? (Excludes propagation; see [`Link::deliver`].)
+    pub fn transmit_end(&self, bytes: usize, start: SimTime) -> SimTime {
+        if bytes == 0 {
+            return start;
+        }
+        let mut remaining = bytes as f64;
+        let mut t = start.as_secs_f64();
+        // Integrate second-by-second (trace granularity), cap iterations
+        // to avoid infinite loops on pathological traces.
+        for _ in 0..86_400 * 4 {
+            let rate = self.trace.bytes_per_sec_at(SimTime::from_secs_f64(t)).max(1.0);
+            let sec_boundary = t.floor() + 1.0;
+            let dt = sec_boundary - t;
+            let can = rate * dt;
+            if can >= remaining {
+                return SimTime::from_secs_f64(t + remaining / rate);
+            }
+            remaining -= can;
+            t = sec_boundary;
+        }
+        SimTime::from_secs_f64(t)
+    }
+
+    /// Arrival time of the *last byte* of a transfer at the receiver:
+    /// transmit time plus one-way propagation.
+    pub fn deliver(&self, bytes: usize, start: SimTime) -> SimTime {
+        self.transmit_end(bytes, start) + self.one_way_delay()
+    }
+
+    /// Average deliverable throughput (bytes/s) over `[start, start+dur]`.
+    pub fn mean_rate(&self, start: SimTime, dur: SimTime) -> f64 {
+        let steps = (dur.as_secs_f64().ceil() as usize).max(1);
+        let mut total = 0.0;
+        for i in 0..steps {
+            total += self
+                .trace
+                .bytes_per_sec_at(start + SimTime::from_secs_f64(i as f64));
+        }
+        total / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NetworkKind;
+
+    fn flat_trace(mbps: f64) -> NetworkTrace {
+        NetworkTrace {
+            kind: NetworkKind::WiFi,
+            mbps: vec![mbps; 1000],
+            loss_rate: 0.0,
+            rtt: SimTime::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn constant_rate_transfer_time_is_exact() {
+        // 1 Mbps = 125 kB/s; 250 kB takes 2 s.
+        let link = Link::new(flat_trace(1.0));
+        let end = link.transmit_end(250_000, SimTime::ZERO);
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-6, "end {end}");
+    }
+
+    #[test]
+    fn delivery_adds_propagation() {
+        let link = Link::new(flat_trace(1.0));
+        let arrive = link.deliver(125_000, SimTime::ZERO);
+        assert!((arrive.as_secs_f64() - 1.01).abs() < 1e-6, "arrive {arrive}");
+    }
+
+    #[test]
+    fn zero_bytes_is_instant_transmit() {
+        let link = Link::new(flat_trace(5.0));
+        assert_eq!(link.transmit_end(0, SimTime::from_millis(7)), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn mid_second_start_integrates_partial_interval() {
+        let link = Link::new(flat_trace(1.0));
+        // Start at t=0.5: 125 kB still takes exactly 1 s at constant rate.
+        let end = link.transmit_end(125_000, SimTime::from_secs_f64(0.5));
+        assert!((end.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variable_rate_integration() {
+        // 1 Mbps for the first second, then 2 Mbps: 375 kB = 125 + 250
+        // takes exactly 2 s.
+        let trace = NetworkTrace {
+            kind: NetworkKind::WiFi,
+            mbps: vec![1.0, 2.0, 2.0, 2.0],
+            loss_rate: 0.0,
+            rtt: SimTime::from_millis(0),
+        };
+        let link = Link::new(trace);
+        let end = link.transmit_end(375_000, SimTime::ZERO);
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-6, "end {end}");
+    }
+
+    #[test]
+    fn faster_trace_finishes_sooner() {
+        let slow = Link::new(flat_trace(1.0));
+        let fast = Link::new(flat_trace(10.0));
+        let b = 1_000_000;
+        assert!(fast.transmit_end(b, SimTime::ZERO) < slow.transmit_end(b, SimTime::ZERO));
+    }
+
+    #[test]
+    fn mean_rate_reflects_trace() {
+        let link = Link::new(flat_trace(2.0));
+        let r = link.mean_rate(SimTime::ZERO, SimTime::from_secs_f64(3.0));
+        assert!((r - 250_000.0).abs() < 1.0);
+    }
+}

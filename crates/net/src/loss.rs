@@ -1,0 +1,202 @@
+//! Packet loss processes.
+//!
+//! Two models: independent (Bernoulli) loss, and the two-state
+//! Gilbert–Elliott chain that produces the bursty losses wireless links
+//! actually exhibit (§1 of the paper: low SNR, collisions, handoffs). The
+//! GE model is parameterized by target average loss rate and mean burst
+//! length, from which the state transition probabilities follow.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A packet loss process: `lose()` draws the fate of the next packet.
+pub trait LossModel {
+    /// True if the next packet is lost.
+    fn lose(&mut self) -> bool;
+    /// Long-run average loss probability.
+    fn average_rate(&self) -> f64;
+}
+
+/// Independent loss with fixed probability.
+#[derive(Debug)]
+pub struct Bernoulli {
+    p: f64,
+    rng: StdRng,
+}
+
+impl Bernoulli {
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn lose(&mut self) -> bool {
+        self.rng.random_range(0.0..1.0) < self.p
+    }
+
+    fn average_rate(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Gilbert–Elliott bursty loss.
+///
+/// Two states: Good (no loss) and Bad (every packet lost — the classic
+/// simplified Gilbert model). With `p_gb` the Good→Bad transition
+/// probability and `p_bg` the Bad→Good probability, the stationary loss
+/// rate is `p_gb / (p_gb + p_bg)` and the mean burst length is `1/p_bg`.
+#[derive(Debug)]
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    bad: bool,
+    rng: StdRng,
+}
+
+impl GilbertElliott {
+    /// Construct from transition probabilities.
+    pub fn new(p_gb: f64, p_bg: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_gb) && (0.0..=1.0).contains(&p_bg));
+        Self {
+            p_gb,
+            p_bg,
+            bad: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Construct from a target average loss rate and mean burst length
+    /// (in packets).
+    pub fn with_rate(avg_loss: f64, mean_burst: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&avg_loss), "loss rate must be in [0,1)");
+        assert!(mean_burst >= 1.0, "burst length must be at least 1 packet");
+        let p_bg = 1.0 / mean_burst;
+        // avg = p_gb / (p_gb + p_bg)  =>  p_gb = avg * p_bg / (1 - avg)
+        let p_gb = (avg_loss * p_bg / (1.0 - avg_loss)).min(1.0);
+        Self::new(p_gb, p_bg, seed)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn lose(&mut self) -> bool {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        if self.bad {
+            if u < self.p_bg {
+                self.bad = false;
+            }
+        } else if u < self.p_gb {
+            self.bad = true;
+        }
+        self.bad
+    }
+
+    fn average_rate(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+}
+
+/// A loss model that never loses packets (control runs).
+#[derive(Debug, Clone, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn lose(&mut self) -> bool {
+        false
+    }
+
+    fn average_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate(model: &mut dyn LossModel, n: usize) -> f64 {
+        (0..n).filter(|_| model.lose()).count() as f64 / n as f64
+    }
+
+    #[test]
+    fn bernoulli_matches_target_rate() {
+        let mut m = Bernoulli::new(0.05, 42);
+        let rate = empirical_rate(&mut m, 100_000);
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut never = Bernoulli::new(0.0, 1);
+        assert_eq!(empirical_rate(&mut never, 1000), 0.0);
+        let mut always = Bernoulli::new(1.0, 1);
+        assert_eq!(empirical_rate(&mut always, 1000), 1.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_target_rate() {
+        let mut m = GilbertElliott::with_rate(0.03, 5.0, 7);
+        assert!((m.average_rate() - 0.03).abs() < 1e-9);
+        let rate = empirical_rate(&mut m, 200_000);
+        assert!((rate - 0.03).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare mean burst length against Bernoulli at the same rate.
+        let burst_len = |model: &mut dyn LossModel, n: usize| -> f64 {
+            let (mut bursts, mut losses, mut in_burst) = (0usize, 0usize, false);
+            for _ in 0..n {
+                if model.lose() {
+                    losses += 1;
+                    if !in_burst {
+                        bursts += 1;
+                        in_burst = true;
+                    }
+                } else {
+                    in_burst = false;
+                }
+            }
+            losses as f64 / bursts.max(1) as f64
+        };
+        let mut ge = GilbertElliott::with_rate(0.05, 8.0, 11);
+        let mut be = Bernoulli::new(0.05, 11);
+        let ge_burst = burst_len(&mut ge, 200_000);
+        let be_burst = burst_len(&mut be, 200_000);
+        assert!(
+            ge_burst > 2.0 * be_burst,
+            "GE burst {ge_burst} vs Bernoulli burst {be_burst}"
+        );
+        assert!((ge_burst - 8.0).abs() < 2.0, "GE burst length {ge_burst}");
+    }
+
+    #[test]
+    fn no_loss_never_loses() {
+        let mut m = NoLoss;
+        assert_eq!(empirical_rate(&mut m, 100), 0.0);
+        assert_eq!(m.average_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GilbertElliott::with_rate(0.1, 4.0, 99);
+        let mut b = GilbertElliott::with_rate(0.1, 4.0, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.lose(), b.lose());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length")]
+    fn invalid_burst_panics() {
+        let _ = GilbertElliott::with_rate(0.1, 0.5, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Drop-tail bottleneck queue — the bufferbloat model.
+//!
+//! §1 of the paper: "adding a large buffer may prevent packet drop but
+//! lead to bufferbloat problem, which is prevalent in the Internet,
+//! causes excessive delay, and harms video streaming performance."
+//!
+//! The queue drains at the link's time-varying rate. An arriving packet
+//! either joins the backlog (adding queueing delay) or, if the backlog
+//! would exceed the configured capacity, is dropped at the tail. Small
+//! buffers convert congestion into loss; large buffers convert it into
+//! delay — exactly the trade-off the paper's recovery mechanism sits in
+//! front of (late frames and lost frames are both recovery inputs).
+
+use crate::clock::SimTime;
+use crate::trace::NetworkTrace;
+
+/// What happened to a packet offered to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Packet accepted; it departs the bottleneck at this time.
+    Departs(SimTime),
+    /// Tail drop: the backlog was full.
+    Dropped,
+}
+
+/// A drop-tail queue in front of a trace-driven bottleneck.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue {
+    trace: NetworkTrace,
+    /// Maximum backlog in bytes.
+    capacity_bytes: usize,
+    /// Time the bottleneck becomes free.
+    busy_until: SimTime,
+    /// Bytes currently queued (including the packet in service).
+    backlog_bytes: usize,
+    /// Departure times of queued packets (to age the backlog out).
+    departures: Vec<(SimTime, usize)>,
+    /// Statistics.
+    pub enqueued: u64,
+    pub dropped: u64,
+}
+
+impl DropTailQueue {
+    /// `capacity_bytes` sizes the buffer; the conventional rule of thumb
+    /// is one bandwidth-delay product, and several BDPs means bufferbloat.
+    pub fn new(trace: NetworkTrace, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "queue needs capacity");
+        Self {
+            trace,
+            capacity_bytes,
+            busy_until: SimTime::ZERO,
+            backlog_bytes: 0,
+            departures: Vec::new(),
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Bandwidth-delay product of a trace (mean rate x RTT), in bytes.
+    pub fn bdp_bytes(trace: &NetworkTrace) -> usize {
+        (trace.mean_mbps() * 1e6 / 8.0 * trace.rtt.as_secs_f64()).max(1500.0) as usize
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        // Remove packets that have departed by `now`.
+        let mut kept = Vec::with_capacity(self.departures.len());
+        for &(t, bytes) in &self.departures {
+            if t <= now {
+                self.backlog_bytes = self.backlog_bytes.saturating_sub(bytes);
+            } else {
+                kept.push((t, bytes));
+            }
+        }
+        self.departures = kept;
+    }
+
+    /// Offer a packet of `bytes` at time `now`.
+    pub fn offer(&mut self, bytes: usize, now: SimTime) -> Verdict {
+        self.drain(now);
+        if self.backlog_bytes + bytes > self.capacity_bytes {
+            self.dropped += 1;
+            return Verdict::Dropped;
+        }
+        // Service starts when the bottleneck frees up.
+        let start = if now > self.busy_until { now } else { self.busy_until };
+        // Serialization at the trace's rate at service time.
+        let rate = self.trace.bytes_per_sec_at(start).max(1.0);
+        let departs = start + SimTime::from_secs_f64(bytes as f64 / rate);
+        self.busy_until = departs;
+        self.backlog_bytes += bytes;
+        self.departures.push((departs, bytes));
+        self.enqueued += 1;
+        Verdict::Departs(departs)
+    }
+
+    /// Current queueing delay a new arrival would see.
+    pub fn queueing_delay(&mut self, now: SimTime) -> SimTime {
+        self.drain(now);
+        self.busy_until.saturating_sub(now)
+    }
+
+    pub fn backlog_bytes(&self) -> usize {
+        self.backlog_bytes
+    }
+
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.enqueued + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NetworkKind;
+
+    fn flat_trace(mbps: f64) -> NetworkTrace {
+        NetworkTrace {
+            kind: NetworkKind::WiFi,
+            mbps: vec![mbps; 1000],
+            loss_rate: 0.0,
+            rtt: SimTime::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn uncongested_packets_pass_with_serialization_only() {
+        // 1 Mbps = 125 kB/s; a 1250-byte packet takes 10 ms.
+        let mut q = DropTailQueue::new(flat_trace(1.0), 100_000);
+        match q.offer(1250, SimTime::ZERO) {
+            Verdict::Departs(t) => assert!((t.as_millis_f64() - 10.0).abs() < 0.1),
+            Verdict::Dropped => panic!("uncongested drop"),
+        }
+    }
+
+    #[test]
+    fn backlog_builds_queueing_delay() {
+        let mut q = DropTailQueue::new(flat_trace(1.0), 1_000_000);
+        // Two packets offered at the same instant: the second waits for
+        // the first.
+        let t1 = match q.offer(12_500, SimTime::ZERO) {
+            Verdict::Departs(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match q.offer(12_500, SimTime::ZERO) {
+            Verdict::Departs(t) => t,
+            _ => panic!(),
+        };
+        assert!(t2 > t1);
+        assert!((t2.as_secs_f64() - 0.2).abs() < 1e-3); // 2 x 100 ms
+        assert!(q.queueing_delay(SimTime::ZERO) > SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn small_buffer_converts_congestion_to_loss() {
+        let mut q = DropTailQueue::new(flat_trace(1.0), 3_000);
+        let mut drops = 0;
+        for _ in 0..10 {
+            if q.offer(1_200, SimTime::ZERO) == Verdict::Dropped {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 7, "small buffer should tail-drop: {drops}");
+        assert!(q.drop_rate() > 0.5);
+    }
+
+    #[test]
+    fn large_buffer_converts_congestion_to_delay() {
+        // Bufferbloat: everything is accepted, delay grows unbounded-ish.
+        let mut q = DropTailQueue::new(flat_trace(1.0), 10_000_000);
+        let mut last = SimTime::ZERO;
+        for _ in 0..50 {
+            match q.offer(12_500, SimTime::ZERO) {
+                Verdict::Departs(t) => last = t,
+                Verdict::Dropped => panic!("bufferbloat queue should not drop"),
+            }
+        }
+        // 50 x 100 ms = 5 s of standing queue.
+        assert!(last.as_secs_f64() > 4.9);
+        assert_eq!(q.dropped, 0);
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut q = DropTailQueue::new(flat_trace(1.0), 50_000);
+        q.offer(12_500, SimTime::ZERO);
+        q.offer(12_500, SimTime::ZERO);
+        assert!(q.backlog_bytes() > 0);
+        assert_eq!(q.queueing_delay(SimTime::from_secs_f64(1.0)), SimTime::ZERO);
+        assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn bdp_rule_of_thumb() {
+        let t = flat_trace(10.0); // 10 Mbps x 20 ms = 25 kB
+        let bdp = DropTailQueue::bdp_bytes(&t);
+        assert!((bdp as f64 - 25_000.0).abs() < 500.0, "bdp {bdp}");
+    }
+}

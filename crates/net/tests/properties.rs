@@ -1,0 +1,103 @@
+//! Property-based tests for the network substrate.
+
+use nerve_net::clock::{EventQueue, SimTime};
+use nerve_net::link::Link;
+use nerve_net::loss::{Bernoulli, GilbertElliott, LossModel};
+use nerve_net::quicish::QuicStream;
+use nerve_net::rtt::RttEstimator;
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = NetworkKind> {
+    prop_oneof![
+        Just(NetworkKind::ThreeG),
+        Just(NetworkKind::FourG),
+        Just(NetworkKind::FiveG),
+        Just(NetworkKind::WiFi),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn transfers_are_monotone_in_size(kind in kind_strategy(), seed in 0u64..200, a in 1usize..500_000, b in 1usize..500_000) {
+        let link = Link::new(NetworkTrace::generate(kind, seed));
+        let (small, large) = (a.min(b), a.max(b));
+        let t_small = link.transmit_end(small, SimTime::ZERO);
+        let t_large = link.transmit_end(large, SimTime::ZERO);
+        prop_assert!(t_large >= t_small);
+        // And never before the start.
+        prop_assert!(t_small >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn transfers_are_monotone_in_start_time(kind in kind_strategy(), seed in 0u64..200, start in 0u64..100_000_000) {
+        let link = Link::new(NetworkTrace::generate(kind, seed));
+        let s = SimTime::from_micros(start);
+        let end = link.transmit_end(10_000, s);
+        prop_assert!(end >= s);
+    }
+
+    #[test]
+    fn downscaling_hits_any_positive_target(kind in kind_strategy(), seed in 0u64..100, target in 0.2f64..5.0) {
+        let d = NetworkTrace::generate(kind, seed).downscaled(target);
+        let mean = d.mean_mbps();
+        prop_assert!((mean - target).abs() / target < 0.25, "mean {mean} target {target}");
+        prop_assert!(d.mbps.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn loss_models_respect_probability_bounds(p in 0.0f64..0.5, seed in 0u64..50) {
+        let mut bern = Bernoulli::new(p, seed);
+        let mut ge = GilbertElliott::with_rate(p.min(0.49), 4.0, seed);
+        let n = 20_000;
+        let r_b = (0..n).filter(|_| bern.lose()).count() as f64 / n as f64;
+        let r_g = (0..n).filter(|_| ge.lose()).count() as f64 / n as f64;
+        prop_assert!((r_b - p).abs() < 0.03, "bernoulli {r_b} vs {p}");
+        prop_assert!((r_g - p).abs() < 0.08, "gilbert {r_g} vs {p}");
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn rtt_estimator_stays_within_sample_range(samples in proptest::collection::vec(1u64..2_000, 1..60)) {
+        let mut est = RttEstimator::new();
+        for &ms in &samples {
+            est.observe(SimTime::from_millis(ms));
+        }
+        let srtt = est.srtt().unwrap().as_millis_f64();
+        let lo = *samples.iter().min().unwrap() as f64;
+        let hi = *samples.iter().max().unwrap() as f64;
+        prop_assert!(srtt >= lo - 1e-9 && srtt <= hi + 1e-9, "srtt {srtt} not in [{lo},{hi}]");
+        prop_assert!(est.rto() >= SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn quic_packets_arrive_in_order_without_loss(sizes in proptest::collection::vec(1usize..3000, 1..40)) {
+        let trace = NetworkTrace {
+            kind: NetworkKind::WiFi,
+            mbps: vec![10.0; 1000],
+            loss_rate: 0.0,
+            rtt: SimTime::from_millis(20),
+        };
+        let mut q = QuicStream::new(Link::new(trace), nerve_net::loss::NoLoss);
+        let outcomes = q.send_burst(&sizes, SimTime::ZERO);
+        let mut last = SimTime::ZERO;
+        for o in outcomes {
+            let t = o.arrival.unwrap();
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(q.stats.residual_losses, 0);
+    }
+}

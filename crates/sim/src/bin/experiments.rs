@@ -1,0 +1,114 @@
+//! `nerve-experiments` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!   nerve-experiments                # run everything at standard budget
+//!   nerve-experiments --quick        # small budget (seconds)
+//!   nerve-experiments fig12 tab01    # run selected experiments
+
+use nerve_sim::calibrate::{calibrate, CalibrationBudget};
+use nerve_sim::experiments::{ablations, dnn, fec, latency, qoe, traces, ExperimentBudget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let budget = if quick {
+        ExperimentBudget::test()
+    } else {
+        ExperimentBudget::standard()
+    };
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    // Calibration feeds the QoE experiments (and Figure 4).
+    let needs_cal = ["fig02", "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "tab03"]
+        .iter()
+        .any(|n| want(n));
+    let cal = if needs_cal {
+        eprintln!("[calibrating quality maps from the pixel pipeline...]");
+        let cal_budget = if quick {
+            CalibrationBudget::test()
+        } else {
+            budget.calibration.clone()
+        };
+        Some(calibrate(&cal_budget))
+    } else {
+        None
+    };
+
+    if want("fig01") {
+        let fig = fec::fig01_fec_frame_loss(&budget);
+        println!("{fig}");
+        for (name, ratio) in fec::fig01_required_ratios(&fig) {
+            println!("# {name}: needs ~{ratio:.2} redundancy for <2% frame loss");
+        }
+        println!();
+    }
+    if let Some(cal) = &cal {
+        if want("fig02") {
+            println!("{}", fec::fig02_fec_qoe(&budget, &cal.maps));
+        }
+        if want("fig04") {
+            let (a, b) = dnn::fig04_mappings(cal);
+            println!("{a}\n{b}");
+        }
+    }
+    if want("tab01") {
+        println!("{}", dnn::tab01_sr_comparison(&budget));
+    }
+    if want("fig07") {
+        let (p, s) = dnn::fig07_recovery_quality(&budget);
+        println!("{p}\n{s}");
+    }
+    if want("fig08") {
+        let (p, s) = dnn::fig08_partial_recovery(&budget);
+        println!("{p}\n{s}");
+    }
+    if want("fig10") {
+        let (p, s) = dnn::fig10_sr_quality(&budget);
+        println!("{p}\n{s}");
+    }
+    if want("tab02") {
+        println!("{}", traces::tab02_traces(budget.seed));
+    }
+    if let Some(cal) = &cal {
+        if want("fig12") {
+            println!("{}", qoe::fig12_recovery_schemes(&budget, &cal.maps));
+        }
+        if want("tab03") {
+            println!("{}", qoe::tab03_recovered_qoe(&budget, &cal.maps));
+        }
+        if want("fig13") {
+            println!("{}", traces::fig13a_downscaled_throughput(&budget, 120));
+            println!("{}", qoe::fig13b_recovered_fraction(&budget, &cal.maps));
+        }
+        if want("fig14") {
+            println!("{}", qoe::fig14_5g_timeseries(&budget, &cal.maps));
+        }
+        if want("fig15") {
+            println!("{}", qoe::fig15_lossy_no_fec(&budget, &cal.maps));
+        }
+        if want("fig16") {
+            println!("{}", qoe::fig16_lossy_with_fec(&budget, &cal.maps));
+        }
+        if want("fig17") {
+            println!("{}", qoe::fig17_sr_schemes(&budget, &cal.maps));
+        }
+        if want("fig18") {
+            println!("{}", qoe::fig18_full_system(&budget, &cal.maps));
+        }
+    }
+    if want("ablations") {
+        println!("{}", ablations::ablation_code_size(&budget));
+        println!("{}", ablations::ablation_warp_scale(&budget));
+        println!("{}", ablations::ablation_threshold(&budget));
+    }
+    if want("tab04") {
+        println!("{}", latency::tab04_latency());
+        println!("{}", latency::tab04_cpu_energy());
+        println!("{}", latency::tab04_warp());
+    }
+}

@@ -1,0 +1,451 @@
+//! Pixel-accurate DNN experiments: Table 1 and Figures 4, 7, 8, 10.
+//!
+//! All pixel experiments run at the budget's evaluation scale (DESIGN.md):
+//! quality trends are scale-stable, while FLOPs/params/latency are
+//! reported analytically at the paper's full scale. At reduced scale the
+//! synthetic scenes' per-frame motion shrinks below a pixel — a regime
+//! the paper's 1080p content doesn't exhibit — so the chain experiments
+//! floor the motion parameters to keep the content representative.
+
+use super::ExperimentBudget;
+use crate::calibrate::Calibration;
+use crate::report::{fmt_f, Figure, Series, Table};
+use nerve_core::baselines::{reuse_previous, HeavyKind, HeavySr, NoCodeRecovery};
+use nerve_core::device::{DeviceProfile, Optimization, Precision};
+use nerve_core::point_code::{PointCodeConfig, PointCodeEncoder};
+use nerve_core::recovery::{PartialFrame, RecoveryConfig, RecoveryModel};
+use nerve_core::sr::{SrConfig, SuperResolver};
+use nerve_core::train;
+use nerve_flow::lk::FlowConfig;
+use nerve_tensor::CostReport;
+use nerve_video::dataset;
+use nerve_video::frame::Frame;
+use nerve_video::metrics::{psnr, ssim};
+use nerve_video::resolution::Resolution;
+use nerve_video::synth::{SceneConfig, SyntheticVideo};
+
+/// Open a test clip at evaluation scale with motion floored to the
+/// paper's visible-motion regime.
+fn test_video(budget: &ExperimentBudget, index: usize, h: usize, w: usize) -> SyntheticVideo {
+    let clips = dataset::test_clips();
+    let clip = clips[index % clips.len()];
+    let mut cfg = SceneConfig::preset(clip.category, h, w);
+    cfg.motion = cfg.motion.max(1.3);
+    cfg.pan_speed = cfg.pan_speed.max(0.5);
+    SyntheticVideo::new(cfg, clip.seed() ^ budget.seed)
+}
+
+/// Figure 4a/4b: the calibrated mapping functions.
+pub fn fig04_mappings(cal: &Calibration) -> (Figure, Figure) {
+    let mut a = Figure::new(
+        "Figure 4a: PSNR vs consecutive recovered frames",
+        "consecutive recovered frames",
+        "PSNR (dB)",
+    );
+    let mut s = Series::new("recovered");
+    for &(d, p) in &cal.recovery_curve {
+        s.push(d as f64, p);
+    }
+    a.series.push(s);
+
+    let mut b = Figure::new(
+        "Figure 4b: PSNR vs bitrate",
+        "bitrate (kbps)",
+        "PSNR (dB)",
+    );
+    let mut s = Series::new("plain decode");
+    for &(kbps, p) in &cal.bitrate_curve {
+        s.push(kbps as f64, p);
+    }
+    b.series.push(s);
+    (a, b)
+}
+
+/// Figure 7: full-frame recovery quality over consecutive losses —
+/// reuse vs no-code prediction vs ours, in PSNR and SSIM.
+pub fn fig07_recovery_quality(budget: &ExperimentBudget) -> (Figure, Figure) {
+    let (w, h) = (112usize, 64usize);
+    let code_cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let max_depth = *budget.chain_depths.iter().max().unwrap();
+
+    // Accumulators: per scheme, per reported depth, (psnr sum, ssim sum, n).
+    let mut acc = vec![vec![(0.0f64, 0.0f64, 0usize); budget.chain_depths.len()]; 3];
+
+    for clip_i in 0..budget.pixel_clips {
+        let mut video = test_video(budget, clip_i, h, w);
+        video.take_frames(3);
+        let f0 = video.next_frame();
+        let last_good = video.next_frame();
+
+        let encoder = PointCodeEncoder::new(code_cfg.clone());
+        let mut ours = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg.clone()));
+        ours.observe(&f0);
+        ours.observe(&last_good);
+        let mut nocode = NoCodeRecovery::new(FlowConfig::default());
+        nocode.observe(f0.clone());
+        nocode.observe(last_good.clone());
+
+        let mut prev = last_good.clone();
+        let (mut psum, mut ssum) = (vec![0.0f64; 3], vec![0.0f64; 3]);
+        for depth in 1..=max_depth {
+            let gt = video.next_frame();
+            let rec = ours.recover(&prev, &encoder.encode(&gt), None);
+            let nc = nocode.predict_and_advance().unwrap_or_else(|| last_good.clone());
+            let ru = reuse_previous(&last_good);
+            for (i, f) in [&ru, &nc, &rec].into_iter().enumerate() {
+                psum[i] += psnr(f, &gt);
+                ssum[i] += ssim(f, &gt);
+            }
+            prev = rec;
+            if let Some(di) = budget.chain_depths.iter().position(|&d| d == depth) {
+                for s in 0..3 {
+                    acc[s][di].0 += psum[s] / depth as f64;
+                    acc[s][di].1 += ssum[s] / depth as f64;
+                    acc[s][di].2 += 1;
+                }
+            }
+        }
+    }
+
+    let names = ["Reuse", "w/o Point Map", "Our"];
+    let mut fig_psnr = Figure::new(
+        "Figure 7: recovery quality (PSNR)",
+        "consecutive recovered frames",
+        "PSNR (dB)",
+    );
+    let mut fig_ssim = Figure::new(
+        "Figure 7: recovery quality (SSIM)",
+        "consecutive recovered frames",
+        "SSIM",
+    );
+    for (s, name) in names.iter().enumerate() {
+        let mut sp = Series::new(*name);
+        let mut ss = Series::new(*name);
+        for (di, &d) in budget.chain_depths.iter().enumerate() {
+            let (p, q, n) = acc[s][di];
+            sp.push(d as f64, p / n as f64);
+            ss.push(d as f64, q / n as f64);
+        }
+        fig_psnr.series.push(sp);
+        fig_ssim.series.push(ss);
+    }
+    (fig_psnr, fig_ssim)
+}
+
+/// Figure 8: partial recovery — each frame arrives with a fraction of
+/// its slices; the received rows override every scheme's prediction.
+pub fn fig08_partial_recovery(budget: &ExperimentBudget) -> (Figure, Figure) {
+    use nerve_video::rng::DetRng;
+    use rand::RngExt;
+
+    let (w, h) = (112usize, 64usize);
+    let code_cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let slice_rows = 16usize; // one macroblock row band per "packet"
+    let loss_prob = 0.3f64;
+    let max_depth = *budget.chain_depths.iter().max().unwrap();
+    let mut acc = vec![vec![(0.0f64, 0.0f64, 0usize); budget.chain_depths.len()]; 3];
+
+    for clip_i in 0..budget.pixel_clips {
+        let mut rng = DetRng::new(budget.seed ^ (clip_i as u64 * 7919));
+        let mut video = test_video(budget, clip_i + 3, h, w);
+        video.take_frames(3);
+        let f0 = video.next_frame();
+        let last_good = video.next_frame();
+        let encoder = PointCodeEncoder::new(code_cfg.clone());
+        let mut ours = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg.clone()));
+        ours.observe(&f0);
+        ours.observe(&last_good);
+        let mut nocode = NoCodeRecovery::new(FlowConfig::default());
+        nocode.observe(f0.clone());
+        nocode.observe(last_good.clone());
+
+        let mut prev = last_good.clone();
+        let (mut psum, mut ssum) = (vec![0.0f64; 3], vec![0.0f64; 3]);
+        for depth in 1..=max_depth {
+            let gt = video.next_frame();
+            // Random slice (row band) loss.
+            let mut row_valid = vec![false; h];
+            let mut y = 0;
+            while y < h {
+                let keep = rng.random_range(0.0..1.0) >= loss_prob;
+                for r in row_valid.iter_mut().skip(y).take(slice_rows) {
+                    *r = keep;
+                }
+                y += slice_rows;
+            }
+            let partial = PartialFrame::new(gt.clone(), row_valid.clone());
+
+            let overlay = |mut f: Frame| {
+                for (y, &ok) in row_valid.iter().enumerate() {
+                    if ok {
+                        f.overlay_rows(&gt, y, y + 1);
+                    }
+                }
+                f
+            };
+            let rec = ours.recover(&prev, &encoder.encode(&gt), Some(&partial));
+            let nc = overlay(nocode.predict().unwrap_or_else(|| last_good.clone()));
+            nocode.observe(nc.clone());
+            let ru = overlay(reuse_previous(&last_good));
+            for (i, f) in [&ru, &nc, &rec].into_iter().enumerate() {
+                psum[i] += psnr(f, &gt);
+                ssum[i] += ssim(f, &gt);
+            }
+            prev = rec;
+            if let Some(di) = budget.chain_depths.iter().position(|&d| d == depth) {
+                for s in 0..3 {
+                    acc[s][di].0 += psum[s] / depth as f64;
+                    acc[s][di].1 += ssum[s] / depth as f64;
+                    acc[s][di].2 += 1;
+                }
+            }
+        }
+    }
+
+    let names = ["Reuse", "w/o Point Map", "Our"];
+    let mut fig_psnr = Figure::new(
+        "Figure 8: partial recovery quality (PSNR)",
+        "consecutive recovered frames",
+        "PSNR (dB)",
+    );
+    let mut fig_ssim = Figure::new(
+        "Figure 8: partial recovery quality (SSIM)",
+        "consecutive recovered frames",
+        "SSIM",
+    );
+    for (s, name) in names.iter().enumerate() {
+        let mut sp = Series::new(*name);
+        let mut ss = Series::new(*name);
+        for (di, &d) in budget.chain_depths.iter().enumerate() {
+            let (p, q, n) = acc[s][di];
+            sp.push(d as f64, p / n as f64);
+            ss.push(d as f64, q / n as f64);
+        }
+        fig_psnr.series.push(sp);
+        fig_ssim.series.push(ss);
+    }
+    (fig_psnr, fig_ssim)
+}
+
+/// Figure 10: SR vs plain upsampling, per input rung, PSNR and SSIM.
+pub fn fig10_sr_quality(budget: &ExperimentBudget) -> (Figure, Figure) {
+    let scale = budget.calibration.scale_divisor;
+    let config = SrConfig::at_scale(scale);
+    let (ow, oh) = (config.out_width, config.out_height);
+    let mut sr = SuperResolver::new(config);
+    // Train on the training split, then gate harmful heads on held-out
+    // training frames (never ship a model that loses to bilinear).
+    for clip in dataset::train_clips().iter().take(budget.pixel_clips) {
+        let mut video = clip.open(oh, ow);
+        train::train_sr_all(&mut sr, &mut video, budget.calibration.sr_train_steps);
+    }
+    {
+        let mut holdout = dataset::train_clips()[0].open(oh, ow);
+        holdout.take_frames(budget.calibration.sr_train_steps * 4);
+        train::gate_sr_heads(&mut sr, &mut holdout, 3);
+    }
+
+    let rungs = [
+        Resolution::R240,
+        Resolution::R360,
+        Resolution::R480,
+        Resolution::R720,
+    ];
+    let mut fig_psnr = Figure::new("Figure 10: SR quality (PSNR)", "input rung index", "PSNR (dB)");
+    let mut fig_ssim = Figure::new("Figure 10: SR quality (SSIM)", "input rung index", "SSIM");
+    let mut up_p = Series::new("Upsample");
+    let mut our_p = Series::new("Our");
+    let mut up_s = Series::new("Upsample");
+    let mut our_s = Series::new("Our");
+    for (ri, &rung) in rungs.iter().enumerate() {
+        let (lw, lh) = rung.dims_scaled(scale);
+        let (mut upp, mut ups, mut op, mut os, mut n) = (0.0, 0.0, 0.0, 0.0, 0usize);
+        for clip_i in 0..budget.pixel_clips {
+            let mut video = test_video(budget, clip_i, oh, ow);
+            sr.reset();
+            for _ in 0..budget.frames_per_eval {
+                let gt = video.next_frame();
+                let lr = gt.resize(lw, lh);
+                let up = lr.resize(ow, oh);
+                let out = sr.upscale(&lr, rung);
+                upp += psnr(&up, &gt);
+                ups += ssim(&up, &gt);
+                op += psnr(&out, &gt);
+                os += ssim(&out, &gt);
+                n += 1;
+            }
+        }
+        up_p.push(ri as f64, upp / n as f64);
+        our_p.push(ri as f64, op / n as f64);
+        up_s.push(ri as f64, ups / n as f64);
+        our_s.push(ri as f64, os / n as f64);
+    }
+    fig_psnr.series.push(up_p);
+    fig_psnr.series.push(our_p);
+    fig_ssim.series.push(up_s);
+    fig_ssim.series.push(our_s);
+    (fig_psnr, fig_ssim)
+}
+
+/// Analytic full-scale cost of our SR model for one 240p→1080p frame:
+/// the shared flow trunk at 240p plus the 240p head.
+pub fn our_sr_cost_full_scale() -> CostReport {
+    let config = SrConfig::at_scale(1);
+    let sr = SuperResolver::new(config.clone());
+    let mut cost = sr.cost(Resolution::R240);
+    let (lw, lh) = config.lr_dims(Resolution::R240);
+    cost.flops += config.flow.flops(lw, lh);
+    cost
+}
+
+/// Table 1: SR model comparison — FLOPs, params, modelled iPhone-12
+/// latency, and measured quality at evaluation scale.
+pub fn tab01_sr_comparison(budget: &ExperimentBudget) -> Table {
+    let device = DeviceProfile::iphone12();
+    let scale = budget.calibration.scale_divisor;
+    let (ow, oh) = Resolution::R1080.dims_scaled(scale);
+    let (lw, lh) = Resolution::R240.dims_scaled(scale);
+    let full_lr = Resolution::R240.dims();
+    let full_out = Resolution::R1080.dims();
+
+    let mut t = Table::new(
+        "Table 1: super-resolution model comparison",
+        &["method", "FLOPS(G)", "params(K)", "latency(ms)", "PSNR", "SSIM"],
+    );
+
+    // Heavy baselines: cost at full scale, quality at evaluation scale.
+    for kind in [HeavyKind::Rlsp, HeavyKind::BasicVsr, HeavyKind::Ckbg] {
+        let cost = HeavySr::new(kind, full_lr, full_out).cost();
+        let latency = device.inference_ms(cost, Optimization::None, Precision::Fp32);
+        let mut model = HeavySr::new(kind, (lw, lh), (ow, oh));
+        // Train briefly on the training split.
+        for clip in dataset::train_clips().iter().take(budget.pixel_clips) {
+            let mut video = clip.open(oh, ow);
+            train::train_heavy_sr(&mut model, &mut video, budget.calibration.sr_train_steps);
+        }
+        let (mut p, mut s, mut n) = (0.0, 0.0, 0usize);
+        for clip_i in 0..budget.pixel_clips {
+            let mut video = test_video(budget, clip_i, oh, ow);
+            let mut frames = video.take_frames(budget.frames_per_eval + 1);
+            frames.rotate_left(1);
+            for pair in frames.windows(2) {
+                let gt = &pair[0];
+                let next = pair[1].resize(lw, lh);
+                let lr = gt.resize(lw, lh);
+                let out = model.upscale(&lr, Some(&next));
+                p += psnr(&out, gt);
+                s += ssim(&out, gt);
+                n += 1;
+            }
+        }
+        t.row(vec![
+            kind.name().to_string(),
+            fmt_f(cost.gflops()),
+            fmt_f(cost.kparams()),
+            fmt_f(latency),
+            fmt_f(p / n as f64),
+            format!("{:.3}", s / n as f64),
+        ]);
+    }
+
+    // Ours.
+    let cost = our_sr_cost_full_scale();
+    let latency = device.inference_ms(cost, Optimization::Mobile, Precision::Fp16)
+        + device.warp_ms(480, 270);
+    let mut sr = SuperResolver::new(SrConfig::at_scale(scale));
+    for clip in dataset::train_clips().iter().take(budget.pixel_clips) {
+        let mut video = clip.open(oh, ow);
+        train::train_sr_all(&mut sr, &mut video, budget.calibration.sr_train_steps);
+    }
+    let (mut p, mut s, mut n) = (0.0, 0.0, 0usize);
+    for clip_i in 0..budget.pixel_clips {
+        let mut video = test_video(budget, clip_i, oh, ow);
+        sr.reset();
+        for _ in 0..budget.frames_per_eval {
+            let gt = video.next_frame();
+            let lr = gt.resize(lw, lh);
+            let out = sr.upscale(&lr, Resolution::R240);
+            p += psnr(&out, &gt);
+            s += ssim(&out, &gt);
+            n += 1;
+        }
+    }
+    t.row(vec![
+        "ours".to_string(),
+        fmt_f(cost.gflops()),
+        fmt_f(cost.kparams()),
+        fmt_f(latency),
+        fmt_f(p / n as f64),
+        format!("{:.3}", s / n as f64),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_preserves_paper_ordering_at_depth() {
+        let budget = ExperimentBudget::test();
+        let (fig_psnr, fig_ssim) = fig07_recovery_quality(&budget);
+        // At the deepest measured chain: ours >= no-code >= ... reuse is
+        // the floor.
+        let last = |s: &Series| s.points.last().unwrap().1;
+        let reuse = last(&fig_psnr.series[0]);
+        let ours = last(&fig_psnr.series[2]);
+        assert!(
+            ours > reuse,
+            "ours {ours:.2} dB must beat reuse {reuse:.2} dB at depth"
+        );
+        let reuse_s = last(&fig_ssim.series[0]);
+        let ours_s = last(&fig_ssim.series[2]);
+        assert!(ours_s > reuse_s, "SSIM ordering: {ours_s:.3} vs {reuse_s:.3}");
+    }
+
+    #[test]
+    fn fig08_partial_beats_full_loss() {
+        let budget = ExperimentBudget::test();
+        let (full, _) = fig07_recovery_quality(&budget);
+        let (part, _) = fig08_partial_recovery(&budget);
+        // With 70% of rows arriving, every scheme's quality is higher
+        // than under total loss (the paper's Figure 8 vs Figure 7).
+        let first = |f: &Figure, s: usize| f.series[s].points[0].1;
+        for s in 0..3 {
+            assert!(
+                first(&part, s) > first(&full, s) - 0.5,
+                "scheme {s}: partial {:.2} vs full {:.2}",
+                first(&part, s),
+                first(&full, s)
+            );
+        }
+        // And ours still wins at depth.
+        let last = |f: &Figure, s: usize| f.series[s].points.last().unwrap().1;
+        assert!(last(&part, 2) > last(&part, 0));
+    }
+
+    #[test]
+    fn tab01_has_paper_orderings() {
+        let budget = ExperimentBudget::test();
+        let t = tab01_sr_comparison(&budget);
+        assert_eq!(t.rows.len(), 4);
+        let flops: Vec<f64> = (0..4).map(|r| t.rows[r][1].parse().unwrap()).collect();
+        let latency: Vec<f64> = (0..4).map(|r| t.rows[r][3].parse().unwrap()).collect();
+        // Ours is the cheapest and the only real-time one.
+        assert!(flops[3] < flops[0] && flops[3] < flops[1] && flops[3] < flops[2]);
+        assert!(latency[3] < 33.3, "ours must be real-time: {} ms", latency[3]);
+        for l in &latency[..3] {
+            assert!(*l > 100.0, "baselines are not real-time: {l} ms");
+        }
+        // FLOPs ordering matches Table 1: RLSP > BasicVSR > CKBG > ours.
+        assert!(flops[0] > flops[1] && flops[1] > flops[2] && flops[2] > flops[3]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Figures 1 and 2: the cost of FEC, with and without recovery.
+
+use super::ExperimentBudget;
+use crate::report::{fmt_f, Figure, Series};
+use crate::session::{FecMode, LatePolicy, Scheme, SessionConfig, StreamingSession};
+use nerve_abr::qoe::QualityMaps;
+use nerve_fec::packetize;
+use nerve_fec::rs::ReedSolomon;
+use nerve_net::loss::{GilbertElliott, LossModel};
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+
+/// Packets per protected video frame in the Figure 1 simulation (a
+/// 1080p frame at 4.4 Mbps / 30 fps ≈ 18 kB ≈ 15 packets; the paper's
+/// curves use larger frames — we follow its qualitative setup with a
+/// 40-packet frame, which matches its "25–35% FEC" numbers).
+const PKTS_PER_FRAME: usize = 40;
+
+/// Figure 1: frame loss rate vs FEC redundancy ratio at 1/3/5% packet
+/// loss, measured with the real Reed–Solomon codec over bursty loss.
+pub fn fig01_fec_frame_loss(budget: &ExperimentBudget) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 1: frame loss vs FEC redundancy",
+        "redundancy ratio",
+        "frame loss rate",
+    );
+    let ratios: Vec<f64> = (0..=12).map(|i| i as f64 * 0.05).collect();
+    for (li, &loss_rate) in [0.01, 0.03, 0.05].iter().enumerate() {
+        let mut series = Series::new(format!("{}% loss", (loss_rate * 100.0) as u32));
+        for &ratio in &ratios {
+            let parity = (ratio * PKTS_PER_FRAME as f64).ceil() as usize;
+            let mut model =
+                GilbertElliott::with_rate(loss_rate, 4.0, budget.seed + li as u64 * 97);
+            let mut lost_frames = 0usize;
+            for _ in 0..budget.fec_frames {
+                let losses = (0..PKTS_PER_FRAME + parity).filter(|_| model.lose()).count();
+                if losses > parity {
+                    lost_frames += 1;
+                }
+            }
+            series.push(ratio, lost_frames as f64 / budget.fec_frames as f64);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// Sanity tie-in: verify the Figure 1 accounting against the actual RS
+/// coder on a concrete loss pattern — losing exactly `parity` packets is
+/// recoverable, one more is not.
+pub fn verify_rs_threshold() -> bool {
+    let parity = 8;
+    let rs = ReedSolomon::new(PKTS_PER_FRAME, parity).expect("valid RS dims");
+    let payload: Vec<u8> = (0..PKTS_PER_FRAME * 64).map(|i| i as u8).collect();
+    let shards = packetize::split(&payload, PKTS_PER_FRAME);
+    let encoded = rs.encode(&shards).expect("encode");
+    // Exactly `parity` losses: recoverable.
+    let mut received: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+    for r in received.iter_mut().take(parity) {
+        *r = None;
+    }
+    let ok = rs.reconstruct(&received).is_ok();
+    // One more loss: not recoverable.
+    let mut received2: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+    for r in received2.iter_mut().take(parity + 1) {
+        *r = None;
+    }
+    let fail = rs.reconstruct(&received2).is_err();
+    ok && fail
+}
+
+/// Figure 2: session QoE vs FEC redundancy ratio at 1/3/5% loss, with
+/// and without recovery (the "RC" curves).
+pub fn fig02_fec_qoe(budget: &ExperimentBudget, maps: &QualityMaps) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 2: QoE vs FEC redundancy (with / without recovery)",
+        "redundancy ratio",
+        "QoE",
+    );
+    let ratios: Vec<f64> = (0..=8).map(|i| i as f64 * 0.1).collect();
+    for &loss in &[0.01f64, 0.03, 0.05] {
+        for &recovery in &[false, true] {
+            let label = if recovery {
+                format!("{}% & RC", (loss * 100.0) as u32)
+            } else {
+                format!("{}%", (loss * 100.0) as u32)
+            };
+            let mut series = Series::new(label);
+            for &ratio in &ratios {
+                let mut total = 0.0;
+                for t in 0..budget.traces_per_network {
+                    let mut trace =
+                        NetworkTrace::generate(NetworkKind::WiFi, budget.seed + t as u64)
+                            .downscaled(1.5);
+                    trace.loss_rate = loss;
+                    let scheme = if recovery {
+                        Scheme::recovery_aware()
+                    } else {
+                        Scheme::without_recovery().with_late_policy(LatePolicy::Reuse)
+                    }
+                    .with_fec(FecMode::Fixed(ratio));
+                    // No transport retransmission: FEC is the only
+                    // protection, as in the paper's Figure 2 setup.
+                    let mut scheme = scheme;
+                    scheme.retransmission = false;
+                    let mut cfg = SessionConfig::new(trace, maps.clone(), scheme);
+                    cfg.chunks = budget.chunks_per_trace;
+                    cfg.seed = budget.seed + t as u64;
+                    total += StreamingSession::new(cfg).run().qoe;
+                }
+                series.push(ratio, total / budget.traces_per_network as f64);
+            }
+            fig.series.push(series);
+        }
+    }
+    fig
+}
+
+/// Human-readable summary of Figure 1's headline numbers: the FEC ratio
+/// needed to push frame loss below 2%.
+pub fn fig01_required_ratios(fig: &Figure) -> Vec<(String, f64)> {
+    fig.series
+        .iter()
+        .map(|s| {
+            let req = s
+                .points
+                .iter()
+                .find(|&&(_, fl)| fl < 0.02)
+                .map(|&(r, _)| r)
+                .unwrap_or(f64::NAN);
+            (s.name.clone(), req)
+        })
+        .collect()
+}
+
+/// Render the headline numbers as table rows (for EXPERIMENTS.md).
+pub fn fig01_summary_rows(fig: &Figure) -> Vec<Vec<String>> {
+    fig01_required_ratios(fig)
+        .into_iter()
+        .map(|(name, ratio)| vec![name, fmt_f(ratio)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_shape_matches_paper() {
+        let budget = ExperimentBudget::test();
+        let fig = fig01_fec_frame_loss(&budget);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            // Frame loss decreases monotonically-ish with redundancy.
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(last < first, "{}: {first} -> {last}", s.name);
+            // Without FEC a substantial share of frames die even at 1%
+            // loss (bursts concentrate losses into fewer frames than
+            // i.i.d. loss would, but each burst kills its frame).
+            assert!(first > 0.05, "{}: no-FEC frame loss {first}", s.name);
+        }
+        // Higher loss needs more redundancy (compare at ratio 0.15).
+        let at = |si: usize, xi: usize| fig.series[si].points[xi].1;
+        assert!(at(2, 3) >= at(0, 3) - 0.02, "5% loss should be worse than 1%");
+    }
+
+    #[test]
+    fn fig01_headline_requires_multiples_of_loss_rate() {
+        let mut budget = ExperimentBudget::test();
+        budget.fec_frames = 1500;
+        let fig = fig01_fec_frame_loss(&budget);
+        let reqs = fig01_required_ratios(&fig);
+        // The paper: 25% for 1% loss, 35% for 5% — i.e. far above the raw
+        // loss rate. We assert the x5-or-more character.
+        let r1 = reqs[0].1;
+        assert!(r1 >= 0.05, "1% loss requires >= 5% FEC, got {r1}");
+        let r5 = reqs[2].1;
+        assert!(r5 >= 0.15, "5% loss requires >= 15% FEC, got {r5}");
+        assert!(r5 >= r1);
+    }
+
+    #[test]
+    fn rs_threshold_verification_passes() {
+        assert!(verify_rs_threshold());
+    }
+
+    #[test]
+    fn fig02_recovery_dominates_no_recovery() {
+        let budget = ExperimentBudget::test();
+        let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+        let fig = fig02_fec_qoe(&budget, &maps);
+        assert_eq!(fig.series.len(), 6);
+        // At every loss rate, the RC curve's best point beats the
+        // no-RC curve's best point (Figure 2's message).
+        for loss_idx in 0..3 {
+            let no_rc = &fig.series[loss_idx * 2];
+            let rc = &fig.series[loss_idx * 2 + 1];
+            let best = |s: &crate::report::Series| {
+                s.points.iter().map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max)
+            };
+            assert!(
+                best(rc) >= best(no_rc),
+                "{}: RC {:.3} vs no-RC {:.3}",
+                no_rc.name,
+                best(rc),
+                best(no_rc)
+            );
+        }
+    }
+}

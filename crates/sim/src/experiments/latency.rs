@@ -1,0 +1,91 @@
+//! §8.4: system latency, CPU usage, energy, battery life — from the
+//! calibrated iPhone 12 device model.
+
+use crate::report::{fmt_f, Table};
+use nerve_core::device::DeviceProfile;
+use nerve_video::resolution::Resolution;
+
+/// Per-resolution latency budget (decode + neural enhancement), plus the
+/// 30 FPS verdict.
+pub fn tab04_latency() -> Table {
+    let p = DeviceProfile::iphone12();
+    let mut t = Table::new(
+        "Section 8.4: per-frame latency budget (iPhone 12 model)",
+        &["resolution", "decode (ms)", "model (ms)", "total (ms)", "30 FPS?"],
+    );
+    for &rung in &Resolution::LADDER {
+        let decode = p.decode_ms(rung);
+        let model = p.nerve_inference_ms();
+        let total = p.total_frame_latency_ms(rung);
+        t.row(vec![
+            format!("{}p", rung.dims().1),
+            fmt_f(decode),
+            fmt_f(model),
+            fmt_f(total),
+            if total < 33.3 { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// CPU utilization and energy at the paper's three operating points.
+pub fn tab04_cpu_energy() -> Table {
+    let p = DeviceProfile::iphone12();
+    let mut t = Table::new(
+        "Section 8.4: CPU and energy vs enhanced-frame fraction",
+        &["enhanced frames", "CPU (%)", "energy (J/frame)", "battery (h)"],
+    );
+    for &(label, f) in &[("0% (no DNN)", 0.0), ("20%", 0.2), ("100%", 1.0)] {
+        t.row(vec![
+            label.to_string(),
+            fmt_f(p.cpu_utilization(f) * 100.0),
+            format!("{:.3}", p.energy_per_frame_j(f)),
+            fmt_f(p.battery_hours(f)),
+        ]);
+    }
+    t
+}
+
+/// The warp-scale optimization (§7): warping at 270p vs 1080p.
+pub fn tab04_warp() -> Table {
+    let p = DeviceProfile::iphone12();
+    let mut t = Table::new(
+        "Section 7: grid-sample (warp) cost vs working resolution",
+        &["warp resolution", "time (ms)"],
+    );
+    for &(label, w, h) in &[("1080p (1920x1080)", 1920usize, 1080usize), ("270p (480x270)", 480, 270)] {
+        t.row(vec![label.to_string(), fmt_f(p.warp_ms(w, h))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_confirms_realtime() {
+        let t = tab04_latency();
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            assert_eq!(row[4], "yes", "{}: must sustain 30 FPS", row[0]);
+        }
+    }
+
+    #[test]
+    fn cpu_energy_rows_match_section_8_4() {
+        let t = tab04_cpu_energy();
+        assert_eq!(t.rows[0][1], "28.0"); // 28% idle
+        assert_eq!(t.rows[2][1], "68.0"); // 68% full enhancement
+        assert_eq!(t.rows[0][2], "0.040");
+        assert_eq!(t.rows[2][2], "0.070");
+    }
+
+    #[test]
+    fn warp_table_shows_the_270p_win() {
+        let t = tab04_warp();
+        let full: f64 = t.rows[0][1].parse().unwrap();
+        let small: f64 = t.rows[1][1].parse().unwrap();
+        assert!(full > 25.0 && small < 5.0);
+    }
+}

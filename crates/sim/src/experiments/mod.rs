@@ -1,0 +1,66 @@
+//! One runner per paper table/figure (see DESIGN.md's experiment index).
+//!
+//! Every runner takes an [`ExperimentBudget`] so the same code serves
+//! quick sanity runs (tests), the benchmark harness, and full
+//! EXPERIMENTS.md regeneration.
+
+pub mod ablations;
+pub mod dnn;
+pub mod fec;
+pub mod latency;
+pub mod qoe;
+pub mod traces;
+
+use crate::calibrate::CalibrationBudget;
+
+/// How much work each experiment may do.
+#[derive(Debug, Clone)]
+pub struct ExperimentBudget {
+    /// Traces simulated per network kind (paper: the full Table 2
+    /// populations of 45–68).
+    pub traces_per_network: usize,
+    /// Chunks streamed per trace (paper: ~75 = 300 s).
+    pub chunks_per_trace: usize,
+    /// Pixel-pipeline calibration budget.
+    pub calibration: CalibrationBudget,
+    /// Clips used by pixel-accurate DNN experiments.
+    pub pixel_clips: usize,
+    /// Consecutive-recovery depths measured (Figures 7/8; paper: 5/10/20/50).
+    pub chain_depths: Vec<usize>,
+    /// Frames per pixel evaluation.
+    pub frames_per_eval: usize,
+    /// Monte-Carlo frames for the FEC frame-loss simulation (Figure 1).
+    pub fec_frames: usize,
+    /// Base seed; shift to get independent repetitions.
+    pub seed: u64,
+}
+
+impl ExperimentBudget {
+    /// Small budget: every experiment finishes in seconds (unit tests).
+    pub fn test() -> Self {
+        Self {
+            traces_per_network: 2,
+            chunks_per_trace: 12,
+            calibration: CalibrationBudget::test(),
+            pixel_clips: 1,
+            chain_depths: vec![3, 6],
+            frames_per_eval: 4,
+            fec_frames: 300,
+            seed: 20_240_701,
+        }
+    }
+
+    /// The budget the experiment binary uses by default.
+    pub fn standard() -> Self {
+        Self {
+            traces_per_network: 6,
+            chunks_per_trace: 40,
+            calibration: CalibrationBudget::standard(),
+            pixel_clips: 3,
+            chain_depths: vec![5, 10, 20, 50],
+            frames_per_eval: 10,
+            fec_frames: 4000,
+            seed: 20_240_701,
+        }
+    }
+}

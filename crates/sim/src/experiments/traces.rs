@@ -1,0 +1,89 @@
+//! Table 2 and Figure 13: the network trace corpus.
+
+use super::ExperimentBudget;
+use crate::report::{fmt_f, Figure, Series, Table};
+use nerve_net::trace::{population_stats, NetworkKind, NetworkTrace};
+
+/// Table 2: trace population statistics per network kind.
+pub fn tab02_traces(seed: u64) -> Table {
+    let mut table = Table::new(
+        "Table 2: network traces",
+        &["metric", "3G", "4G", "5G", "WiFi"],
+    );
+    let pops: Vec<Vec<NetworkTrace>> = NetworkKind::ALL
+        .iter()
+        .map(|&k| NetworkTrace::population(k, seed))
+        .collect();
+    let stats: Vec<_> = pops.iter().map(|p| population_stats(p)).collect();
+    table.row(
+        std::iter::once("Amount".to_string())
+            .chain(stats.iter().map(|s| s.count.to_string()))
+            .collect(),
+    );
+    table.row(
+        std::iter::once("Avg. Duration (s)".to_string())
+            .chain(stats.iter().map(|s| fmt_f(s.mean_duration_secs)))
+            .collect(),
+    );
+    table.row(
+        std::iter::once("Avg. Throughput (Mbps)".to_string())
+            .chain(stats.iter().map(|s| fmt_f(s.mean_mbps)))
+            .collect(),
+    );
+    table.row(
+        std::iter::once("Avg. Packet loss rate (%)".to_string())
+            .chain(stats.iter().map(|s| fmt_f(s.mean_loss_rate * 100.0)))
+            .collect(),
+    );
+    table
+}
+
+/// Figure 13a: downscaled throughput time series, one per network kind.
+pub fn fig13a_downscaled_throughput(budget: &ExperimentBudget, seconds: usize) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 13a: downscaled throughput",
+        "time (s)",
+        "throughput (Mbps)",
+    );
+    for &kind in &NetworkKind::ALL {
+        let trace = NetworkTrace::generate(kind, budget.seed).downscaled(1.5);
+        let mut s = Series::new(kind.label());
+        for (t, &mbps) in trace.mbps.iter().take(seconds).enumerate() {
+            s.push(t as f64, mbps);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_columns_and_rows() {
+        let t = tab02_traces(1);
+        assert_eq!(t.headers.len(), 5);
+        assert_eq!(t.rows.len(), 4);
+        // Counts match the paper exactly.
+        assert_eq!(t.rows[0][1], "45");
+        assert_eq!(t.rows[0][2], "62");
+        assert_eq!(t.rows[0][3], "53");
+        assert_eq!(t.rows[0][4], "68");
+    }
+
+    #[test]
+    fn fig13a_series_are_downscaled() {
+        let fig = fig13a_downscaled_throughput(&ExperimentBudget::test(), 60);
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            let mean: f64 =
+                s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64;
+            assert!(
+                mean > 0.3 && mean < 4.0,
+                "{}: downscaled mean {mean} out of §8.3's 1–2 Mbps ballpark",
+                s.name
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Plain-text tables and series for experiment output.
+//!
+//! Every experiment returns [`Table`]s (paper tables, bar-chart figures)
+//! and/or [`Series`] (line-plot figures). `Display` renders them as
+//! aligned ASCII so `nerve-experiments` output is directly comparable to
+//! the paper's rows, and EXPERIMENTS.md can paste them verbatim.
+
+use std::fmt;
+
+/// A titled table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt_f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::new();
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                parts.push(format!("{cell:>w$}", w = w));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series — one line of a line-plot figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure: a title plus one or more series over a shared x-axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(f, "# x = {}, y = {}", self.x_label, self.y_label)?;
+        // CSV-ish: x, then one column per series.
+        let names: Vec<&str> = self.series.iter().map(|s| s.name.as_str()).collect();
+        writeln!(f, "{:>12}, {}", self.x_label, names.join(", "))?;
+        if let Some(first) = self.series.first() {
+            for (i, &(x, _)) in first.points.iter().enumerate() {
+                let ys: Vec<String> = self
+                    .series
+                    .iter()
+                    .map(|s| {
+                        s.points
+                            .get(i)
+                            .map(|&(_, y)| fmt_f(y))
+                            .unwrap_or_else(|| "-".into())
+                    })
+                    .collect();
+                writeln!(f, "{:>12}, {}", fmt_f(x), ys.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = format!("{t}");
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| longer |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("X", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn figure_renders_all_series() {
+        let mut fig = Figure::new("F", "x", "qoe");
+        let mut s1 = Series::new("ours");
+        s1.push(1.0, 2.0);
+        s1.push(2.0, 3.0);
+        let mut s2 = Series::new("baseline");
+        s2.push(1.0, 1.0);
+        s2.push(2.0, 1.5);
+        fig.series.push(s1);
+        fig.series.push(s2);
+        let s = format!("{fig}");
+        assert!(s.contains("ours, baseline"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(fmt_f(123.456), "123");
+        assert_eq!(fmt_f(12.345), "12.3");
+        assert_eq!(fmt_f(1.2345), "1.234");
+    }
+}

@@ -1,0 +1,767 @@
+//! The calibrated streaming session (Figure 5's architecture, end to end).
+//!
+//! One session = one network trace + one scheme. Per chunk:
+//!
+//! 1. the ABR picks a ladder rung from its context (buffer, throughput
+//!    and loss history);
+//! 2. FEC parity is added per the scheme (fixed ratio or the §4 lookup
+//!    table driven by an EWMA loss prediction);
+//! 3. the chunk's packets cross the QUIC-like transport over the fluid
+//!    trace-driven link: bursty (Gilbert–Elliott) loss, one fast
+//!    retransmission (+1 RTT) when the scheme allows it;
+//! 4. per-frame: FEC reconstruction, arrival-vs-playout classification
+//!    (`T_play` vs `T_arr`, §6), then the scheme's client behaviour —
+//!    recovery (bounded by the point code's TCP delivery), frame reuse,
+//!    stalls, SR when slack allows;
+//! 5. frame PSNRs come from the calibrated [`QualityMaps`]; the chunk's
+//!    mean PSNR maps back through the PSNR↔bitrate curve into the
+//!    utility entering the §6 QoE.
+//!
+//! The session reports everything the figures need: per-chunk outcomes,
+//! session QoE, recovered-frame fraction and recovered-frame-only QoE
+//! (Table 3), and time series (Figure 14).
+
+use nerve_abr::fec_table::FecTable;
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use nerve_abr::nemo::{NemoAbr, NemoConfig};
+use nerve_abr::predict::{Ewma, Predictor};
+use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
+use nerve_abr::{Abr, AbrContext};
+use nerve_net::clock::SimTime;
+use nerve_net::link::Link;
+use nerve_net::loss::GilbertElliott;
+use nerve_net::quicish::QuicStream;
+use nerve_net::reliable::ReliableChannel;
+use nerve_net::trace::NetworkTrace;
+use nerve_video::resolution::{CHUNK_SECONDS, GOP_FRAMES};
+
+/// FEC policy of a scheme.
+#[derive(Debug, Clone)]
+pub enum FecMode {
+    /// No forward error correction.
+    Off,
+    /// Fixed redundancy ratio.
+    Fixed(f64),
+    /// The §4 lookup table indexed by predicted loss.
+    Table(FecTable),
+}
+
+/// What happens to a frame that misses its playout deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Stall playback until the frame arrives (players without recovery
+    /// under normal operation).
+    Stall,
+    /// Show the previous frame again (the paper's no-recovery baseline
+    /// in the lossy-network experiments, §8.3).
+    Reuse,
+}
+
+/// Which ABR controls the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbrKind {
+    /// Enhancement-aware MPC with the given awareness flags.
+    Aware { recovery: bool, sr: bool },
+    /// Enhancement-blind MPC.
+    Blind,
+    /// NEMO's controller.
+    Nemo,
+}
+
+/// Full description of one evaluated scheme.
+#[derive(Debug, Clone)]
+pub struct Scheme {
+    /// Client runs video recovery for lost/late frames.
+    pub recovery: bool,
+    /// Client runs super-resolution.
+    pub sr: bool,
+    /// NEMO semantics (anchor-limited SR, reuse on loss) override
+    /// `recovery`/`sr` quality accounting.
+    pub nemo: bool,
+    pub abr: AbrKind,
+    pub fec: FecMode,
+    pub late_policy: LatePolicy,
+    /// QUIC fast retransmission enabled.
+    pub retransmission: bool,
+}
+
+impl Scheme {
+    /// The paper's full system: recovery + SR + enhancement-aware ABR.
+    pub fn nerve() -> Self {
+        Self {
+            recovery: true,
+            sr: true,
+            nemo: false,
+            abr: AbrKind::Aware {
+                recovery: true,
+                sr: true,
+            },
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// "w/o RC": no recovery, blind ABR.
+    pub fn without_recovery() -> Self {
+        Self {
+            recovery: false,
+            sr: false,
+            nemo: false,
+            abr: AbrKind::Blind,
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// "RC alone": recovery at the client, enhancement-blind ABR.
+    pub fn recovery_alone() -> Self {
+        Self {
+            recovery: true,
+            sr: false,
+            nemo: false,
+            abr: AbrKind::Blind,
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// "Our" recovery-only scheme: recovery + recovery-aware ABR.
+    pub fn recovery_aware() -> Self {
+        Self {
+            recovery: true,
+            sr: false,
+            nemo: false,
+            abr: AbrKind::Aware {
+                recovery: true,
+                sr: false,
+            },
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// "w/o SR" for the SR experiments.
+    pub fn without_sr() -> Self {
+        Self::without_recovery()
+    }
+
+    /// "SR alone": SR at the client, enhancement-blind ABR.
+    pub fn sr_alone() -> Self {
+        Self {
+            recovery: false,
+            sr: true,
+            nemo: false,
+            abr: AbrKind::Blind,
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// "Our" SR-only scheme: SR + SR-aware ABR.
+    pub fn sr_aware() -> Self {
+        Self {
+            recovery: false,
+            sr: true,
+            nemo: false,
+            abr: AbrKind::Aware {
+                recovery: false,
+                sr: true,
+            },
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    /// NEMO baseline.
+    pub fn nemo_baseline() -> Self {
+        Self {
+            recovery: false,
+            sr: true,
+            nemo: true,
+            abr: AbrKind::Nemo,
+            fec: FecMode::Off,
+            late_policy: LatePolicy::Stall,
+            retransmission: true,
+        }
+    }
+
+    pub fn with_fec(mut self, fec: FecMode) -> Self {
+        self.fec = fec;
+        self
+    }
+
+    pub fn with_late_policy(mut self, policy: LatePolicy) -> Self {
+        self.late_policy = policy;
+        self
+    }
+}
+
+/// Session configuration.
+pub struct SessionConfig {
+    pub trace: NetworkTrace,
+    pub maps: QualityMaps,
+    pub scheme: Scheme,
+    pub qoe: QoeParams,
+    /// Chunks to stream (paper traces are ~300 s = 75 chunks).
+    pub chunks: usize,
+    /// Recovery model runtime per frame (22 ms).
+    pub recovery_secs: f64,
+    /// SR runtime per frame (22 ms).
+    pub sr_secs: f64,
+    /// Maximum client buffer (seconds).
+    pub max_buffer_secs: f64,
+    /// RNG seed for the loss processes.
+    pub seed: u64,
+}
+
+impl SessionConfig {
+    pub fn new(trace: NetworkTrace, maps: QualityMaps, scheme: Scheme) -> Self {
+        Self {
+            trace,
+            maps,
+            scheme,
+            qoe: QoeParams::default(),
+            chunks: 40,
+            recovery_secs: 0.022,
+            sr_secs: 0.022,
+            max_buffer_secs: 30.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-chunk record kept for time-series figures.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkRecord {
+    pub start_secs: f64,
+    pub rung: usize,
+    pub throughput_kbps: f64,
+    pub qoe: f64,
+    pub utility_mbps: f64,
+    pub rebuffer_secs: f64,
+    pub recovered_frames: usize,
+    pub total_frames: usize,
+}
+
+/// Session results.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    pub qoe: f64,
+    pub chunks: Vec<ChunkRecord>,
+    /// Fraction of frames that went through recovery (or would have
+    /// needed it under schemes without recovery).
+    pub recovered_fraction: f64,
+    /// Mean per-frame QoE of recovered (or reused-in-place-of-recovered)
+    /// frames only — Table 3's metric.
+    pub recovered_frame_qoe: f64,
+    /// Total rebuffering time.
+    pub total_rebuffer_secs: f64,
+}
+
+/// The streaming session runner.
+pub struct StreamingSession {
+    config: SessionConfig,
+}
+
+impl StreamingSession {
+    pub fn new(config: SessionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Stream the whole session and report.
+    pub fn run(self) -> SessionResult {
+        let cfg = &self.config;
+        let frames = GOP_FRAMES;
+        let ladder: Vec<u32> = cfg.maps.ladder_kbps.clone();
+        let mut abr: Box<dyn Abr> = match cfg.scheme.abr {
+            AbrKind::Aware { recovery, sr } => Box::new(EnhancementAwareAbr::new(
+                cfg.maps.clone(),
+                cfg.qoe,
+                EnhancementConfig {
+                    recovery_aware: recovery,
+                    sr_aware: sr,
+                    recovery_secs: cfg.recovery_secs,
+                    sr_secs: cfg.sr_secs,
+                    // Without transport retransmission every first-tx loss
+                    // is residual; with it only ~p² survives.
+                    residual_loss_factor: if cfg.scheme.retransmission {
+                        0.1
+                    } else {
+                        1.0
+                    },
+                    ..EnhancementConfig::default()
+                },
+            )),
+            AbrKind::Blind => Box::new(EnhancementAwareAbr::enhancement_blind(
+                cfg.maps.clone(),
+                cfg.qoe,
+            )),
+            AbrKind::Nemo => Box::new(NemoAbr::new(
+                cfg.maps.clone(),
+                cfg.qoe,
+                NemoConfig::default(),
+            )),
+        };
+
+        let link = Link::new(cfg.trace.clone());
+        let loss_model = GilbertElliott::with_rate(
+            cfg.trace.loss_rate.min(0.49),
+            cfg.trace.kind.mean_burst(),
+            cfg.seed,
+        );
+        let attempts = if cfg.scheme.retransmission { 2 } else { 1 };
+        let mut media = QuicStream::new(link.clone(), loss_model).with_max_attempts(attempts);
+        // Point codes ride a separate reliable channel; its link shares
+        // the trace (bandwidth effect of 1 KB/frame is negligible).
+        let mut code_channel = ReliableChannel::new(
+            Link::new(cfg.trace.clone()),
+            GilbertElliott::with_rate(cfg.trace.loss_rate.min(0.49), cfg.trace.kind.mean_burst(), cfg.seed ^ 0xC0DE),
+        );
+
+        let mut now = SimTime::ZERO;
+        let mut buffer_secs = 0.0f64;
+        let mut loss_tracker = Ewma::new(0.3);
+        let mut ctx = AbrContext::bootstrap(ladder.clone(), CHUNK_SECONDS, frames);
+        let mut outcomes: Vec<ChunkOutcome> = Vec::new();
+        let mut records: Vec<ChunkRecord> = Vec::new();
+        let mut recovered_frames_total = 0usize;
+        let mut frames_total = 0usize;
+        let mut recovered_qoe_acc = 0.0f64;
+        let mut recovered_qoe_n = 0usize;
+        let mut reuse_chain = 0usize;
+
+        for _ in 0..cfg.chunks {
+            ctx.buffer_secs = buffer_secs;
+            let rung = abr.choose(&ctx).min(ladder.len() - 1);
+            ctx.last_choice = rung;
+
+            // Chunk payload with FEC overhead.
+            let media_bytes =
+                (ladder[rung] as f64 * 1000.0 / 8.0 * CHUNK_SECONDS) as usize;
+            let predicted_loss = loss_tracker.predict();
+            let fec_ratio = match &cfg.scheme.fec {
+                FecMode::Off => 0.0,
+                FecMode::Fixed(r) => *r,
+                FecMode::Table(t) => t.lookup(predicted_loss),
+            };
+
+            // Packetize: FEC parity is interleaved over blocks of frames
+            // (per-frame parity with 2–4 packets per frame would quantize
+            // the redundancy ratio to 25–50% steps; block interleaving is
+            // how streaming FEC is actually deployed).
+            const FEC_BLOCK_FRAMES: usize = 8;
+            let bytes_per_frame = media_bytes / frames;
+            let pkts_per_frame = bytes_per_frame.div_ceil(1200).max(1);
+
+            let chunk_start = now;
+            let mut frame_arrivals: Vec<Option<SimTime>> = Vec::with_capacity(frames);
+            let mut first_tx_lost = 0usize;
+            let mut pkts_sent = 0usize;
+            let mut fi = 0usize;
+            while fi < frames {
+                let block_frames = FEC_BLOCK_FRAMES.min(frames - fi);
+                let data_pkts = pkts_per_frame * block_frames;
+                let parity_pkts = (fec_ratio * data_pkts as f64).ceil() as usize;
+                let sizes = vec![1200usize; data_pkts + parity_pkts];
+                let outcomes = media.send_burst(&sizes, chunk_start);
+                pkts_sent += data_pkts;
+                first_tx_lost += outcomes
+                    .iter()
+                    .take(data_pkts)
+                    .filter(|o| o.retransmits > 0 || o.arrival.is_none())
+                    .count();
+
+                let total_lost = outcomes.iter().filter(|o| o.arrival.is_none()).count();
+                let block_recoverable = total_lost <= parity_pkts;
+                let block_last_arrival = outcomes
+                    .iter()
+                    .filter_map(|o| o.arrival)
+                    .max()
+                    .unwrap_or(chunk_start);
+                for bf in 0..block_frames {
+                    let start = bf * pkts_per_frame;
+                    let frame_outcomes = &outcomes[start..start + pkts_per_frame];
+                    let frame_lost = frame_outcomes.iter().any(|o| o.arrival.is_none());
+                    if !frame_lost {
+                        let arr = frame_outcomes.iter().filter_map(|o| o.arrival).max();
+                        frame_arrivals.push(arr);
+                    } else if block_recoverable && parity_pkts > 0 {
+                        // Erasure-decoded from parity: available once the
+                        // whole block (incl. parity) is in.
+                        frame_arrivals.push(Some(block_last_arrival));
+                    } else {
+                        frame_arrivals.push(None);
+                    }
+                }
+                fi += block_frames;
+            }
+            let download_end = frame_arrivals
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .unwrap_or_else(|| link.deliver(media_bytes, chunk_start));
+            let download_secs = download_end.saturating_sub(chunk_start).as_secs_f64();
+
+            // Point codes: one 1 KB message per frame, sent as the frame
+            // is produced (paced across the chunk).
+            let code_arrivals: Vec<SimTime> = if cfg.scheme.recovery {
+                (0..frames)
+                    .map(|i| {
+                        let send_at = chunk_start
+                            + SimTime::from_secs_f64(i as f64 / frames as f64 * download_secs.min(CHUNK_SECONDS));
+                        code_channel.send(1024, send_at)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            // ---- Playback accounting -------------------------------
+            let delta = CHUNK_SECONDS / frames as f64;
+            let mut shift = 0.0f64; // accumulated stall time inside chunk
+            let mut rebuffer = 0.0f64;
+            let mut psnr_acc = 0.0f64;
+            let mut n_recovered = 0usize;
+            let mut rec_chain = 0usize;
+            for (i, arrival) in frame_arrivals.iter().enumerate() {
+                let t_play = buffer_secs + (i + 1) as f64 * delta + shift;
+                let (arr, lost) = match arrival {
+                    Some(t) => (t.saturating_sub(chunk_start).as_secs_f64(), false),
+                    None => (f64::INFINITY, true),
+                };
+                let late = arr > t_play;
+                let frame_psnr;
+                if lost || late {
+                    if cfg.scheme.nemo {
+                        if lost {
+                            // No recovery: the viewer sees the previous
+                            // frame again.
+                            reuse_chain += 1;
+                            frame_psnr = self.nemo_reuse_psnr(rung, reuse_chain);
+                        } else {
+                            // Late frame: stall until it arrives, then
+                            // display it at NEMO's enhanced quality.
+                            let wait = arr - t_play;
+                            rebuffer += wait;
+                            shift += wait;
+                            reuse_chain = 0;
+                            frame_psnr = self.nemo_sr_psnr(rung);
+                        }
+                        n_recovered += 1;
+                    } else if cfg.scheme.recovery {
+                        // Recovery path: the model runs inside the 33 ms
+                        // frame budget (§8.4), so a recovered frame causes
+                        // no stall — this is exactly how recovery converts
+                        // rebuffering into a bounded quality cost. It does
+                        // need the point code delivered in time.
+                        let code_ok = code_arrivals
+                            .get(i)
+                            .map(|t| t.saturating_sub(chunk_start).as_secs_f64() <= t_play + shift)
+                            .unwrap_or(false);
+                        rec_chain += 1;
+                        reuse_chain = 0;
+                        frame_psnr = if code_ok {
+                            self.config.maps.recovered_psnr_at_depth(rung, rec_chain)
+                        } else {
+                            self.config.maps.reuse_psnr_at_depth(rung, rec_chain)
+                        };
+                        n_recovered += 1;
+                        // Recovered-frame QoE (Table 3).
+                        let u = self.config.maps.utility_for_psnr(frame_psnr);
+                        recovered_qoe_acc += u;
+                        recovered_qoe_n += 1;
+                    } else {
+                        // No recovery.
+                        match cfg.scheme.late_policy {
+                            LatePolicy::Stall if !lost => {
+                                let wait = arr - t_play;
+                                rebuffer += wait;
+                                shift += wait;
+                                reuse_chain = 0;
+                                frame_psnr = self.config.maps.plain_psnr[rung];
+                            }
+                            _ => {
+                                reuse_chain += 1;
+                                frame_psnr =
+                                    self.config.maps.reuse_psnr_at_depth(rung, reuse_chain);
+                            }
+                        }
+                        n_recovered += 1; // "needed recovery"
+                        let u = self.config.maps.utility_for_psnr(frame_psnr);
+                        recovered_qoe_acc += u
+                            - self.config.qoe.rebuffer_penalty
+                                * if lost { 0.0 } else { (arr - t_play).max(0.0) };
+                        recovered_qoe_n += 1;
+                    }
+                } else {
+                    rec_chain = 0;
+                    reuse_chain = 0;
+                    // On time: SR if slack allows (§6: skip SR if it would
+                    // cause rebuffering).
+                    let slack = t_play - arr;
+                    frame_psnr = if cfg.scheme.nemo {
+                        self.nemo_sr_psnr(rung)
+                    } else if cfg.scheme.sr && slack >= cfg.sr_secs {
+                        self.config.maps.sr_psnr[rung]
+                    } else {
+                        self.config.maps.plain_psnr[rung]
+                    };
+                }
+                psnr_acc += frame_psnr;
+            }
+
+            let mean_psnr = psnr_acc / frames as f64;
+            let utility = self.config.maps.utility_for_psnr(mean_psnr);
+            outcomes.push(ChunkOutcome {
+                utility_mbps: utility,
+                rebuffer_secs: rebuffer,
+            });
+
+            // Observed network feedback for the ABR.
+            let observed_kbps = media_bytes as f64 * 8.0 / 1000.0 / download_secs.max(1e-6);
+            let observed_loss = first_tx_lost as f64 / pkts_sent.max(1) as f64;
+            loss_tracker.update(observed_loss);
+            ctx.throughput_kbps.push(observed_kbps);
+            ctx.loss_rates.push(observed_loss);
+            if ctx.throughput_kbps.len() > 10 {
+                ctx.throughput_kbps.remove(0);
+                ctx.loss_rates.remove(0);
+            }
+
+            // Buffer dynamics: download consumed `download_secs` of wall
+            // time while the buffer drained; the chunk adds CHUNK_SECONDS.
+            buffer_secs = (buffer_secs - download_secs - rebuffer).max(0.0) + CHUNK_SECONDS;
+            now = download_end;
+            if buffer_secs > cfg.max_buffer_secs {
+                let idle = buffer_secs - cfg.max_buffer_secs;
+                now += SimTime::from_secs_f64(idle);
+                buffer_secs = cfg.max_buffer_secs;
+            }
+
+            recovered_frames_total += n_recovered;
+            frames_total += frames;
+            records.push(ChunkRecord {
+                start_secs: chunk_start.as_secs_f64(),
+                rung,
+                throughput_kbps: observed_kbps,
+                qoe: 0.0, // filled below once smoothness is known
+                utility_mbps: utility,
+                rebuffer_secs: rebuffer,
+                recovered_frames: n_recovered,
+                total_frames: frames,
+            });
+        }
+
+        // Per-chunk QoE including the smoothness term.
+        for i in 0..records.len() {
+            let prev_u = if i == 0 {
+                records[0].utility_mbps
+            } else {
+                records[i - 1].utility_mbps
+            };
+            records[i].qoe = records[i].utility_mbps
+                - self.config.qoe.rebuffer_penalty * records[i].rebuffer_secs
+                - self.config.qoe.smoothness_weight * (records[i].utility_mbps - prev_u).abs();
+        }
+
+        SessionResult {
+            qoe: session_qoe(&outcomes, &self.config.qoe),
+            recovered_fraction: recovered_frames_total as f64 / frames_total.max(1) as f64,
+            recovered_frame_qoe: if recovered_qoe_n > 0 {
+                recovered_qoe_acc / recovered_qoe_n as f64
+            } else {
+                0.0
+            },
+            total_rebuffer_secs: records.iter().map(|r| r.rebuffer_secs).sum(),
+            chunks: records,
+        }
+    }
+
+    fn nemo_sr_psnr(&self, rung: usize) -> f64 {
+        let maps = &self.config.maps;
+        let plain = maps.plain_psnr[rung];
+        let cfg = NemoConfig::default();
+        plain
+            + (maps.sr_psnr[rung] - plain)
+                * (cfg.anchor_fraction + (1.0 - cfg.anchor_fraction) * cfg.propagation_efficiency)
+    }
+
+    fn nemo_reuse_psnr(&self, rung: usize, chain: usize) -> f64 {
+        self.config.maps.reuse_psnr_at_depth(rung, chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerve_net::trace::NetworkKind;
+
+    fn maps() -> QualityMaps {
+        QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400])
+    }
+
+    fn trace(kind: NetworkKind, seed: u64) -> NetworkTrace {
+        NetworkTrace::generate(kind, seed).downscaled(1.5)
+    }
+
+    fn run(scheme: Scheme, seed: u64) -> SessionResult {
+        let mut cfg = SessionConfig::new(trace(NetworkKind::FiveG, seed), maps(), scheme);
+        cfg.chunks = 20;
+        cfg.seed = seed;
+        StreamingSession::new(cfg).run()
+    }
+
+    #[test]
+    fn session_produces_requested_chunks() {
+        let r = run(Scheme::nerve(), 1);
+        assert_eq!(r.chunks.len(), 20);
+        assert!(r.qoe.is_finite());
+    }
+
+    #[test]
+    fn full_scheme_beats_no_enhancement() {
+        // The paper's headline ordering (Figure 18): ours > w/o both.
+        let mut ours = 0.0;
+        let mut without = 0.0;
+        for seed in 1..=3 {
+            ours += run(Scheme::nerve(), seed).qoe;
+            without += run(Scheme::without_recovery(), seed).qoe;
+        }
+        assert!(
+            ours > without,
+            "NERVE {ours:.3} must beat no-enhancement {without:.3}"
+        );
+    }
+
+    #[test]
+    fn recovery_reduces_rebuffering() {
+        // Figure 12's mechanism: recovery converts stalls into 22 ms
+        // recoveries.
+        let mut with_rc = 0.0;
+        let mut without_rc = 0.0;
+        for seed in 1..=3 {
+            with_rc += run(Scheme::recovery_alone(), seed).total_rebuffer_secs;
+            without_rc += run(Scheme::without_recovery(), seed).total_rebuffer_secs;
+        }
+        assert!(
+            with_rc < without_rc,
+            "recovery rebuffer {with_rc:.2}s must be under no-recovery {without_rc:.2}s"
+        );
+    }
+
+    #[test]
+    fn recovery_aware_beats_recovery_alone_on_average() {
+        let mut aware = 0.0;
+        let mut alone = 0.0;
+        for seed in 1..=4 {
+            aware += run(Scheme::recovery_aware(), seed).qoe;
+            alone += run(Scheme::recovery_alone(), seed).qoe;
+        }
+        assert!(
+            aware >= alone - 0.05,
+            "aware {aware:.3} should not lose to alone {alone:.3}"
+        );
+    }
+
+    #[test]
+    fn sr_scheme_beats_no_sr() {
+        let mut with_sr = 0.0;
+        let mut without = 0.0;
+        for seed in 1..=3 {
+            with_sr += run(Scheme::sr_aware(), seed).qoe;
+            without += run(Scheme::without_sr(), seed).qoe;
+        }
+        assert!(with_sr > without, "SR {with_sr:.3} vs no-SR {without:.3}");
+    }
+
+    #[test]
+    fn recovered_fraction_is_sane() {
+        let r = run(Scheme::nerve(), 5);
+        assert!((0.0..=1.0).contains(&r.recovered_fraction));
+    }
+
+    #[test]
+    fn fec_reduces_unrecoverable_losses_on_lossy_link() {
+        let lossy_trace = {
+            let mut t = trace(NetworkKind::FiveG, 9);
+            t.loss_rate = 0.05;
+            t
+        };
+        let run_with = |fec: FecMode, seed: u64| {
+            let scheme = Scheme::without_recovery()
+                .with_fec(fec)
+                .with_late_policy(LatePolicy::Reuse);
+            let mut cfg = SessionConfig::new(lossy_trace.clone(), maps(), scheme);
+            cfg.chunks = 15;
+            cfg.seed = seed;
+            StreamingSession::new(cfg).run()
+        };
+        let mut no_fec = 0.0;
+        let mut with_fec = 0.0;
+        for seed in 1..=3 {
+            no_fec += run_with(FecMode::Off, seed).recovered_fraction;
+            with_fec += run_with(FecMode::Fixed(0.35), seed).recovered_fraction;
+        }
+        assert!(
+            with_fec < no_fec,
+            "FEC should reduce frames needing concealment: {with_fec:.3} vs {no_fec:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(Scheme::nerve(), 11);
+        let b = run(Scheme::nerve(), 11);
+        assert_eq!(a.qoe.to_bits(), b.qoe.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    use nerve_net::trace::NetworkKind;
+
+    #[test]
+    #[ignore]
+    fn lossy_scheme_breakdown() {
+        let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+        for loss in [0.01, 0.05] {
+            let run = |scheme: Scheme, seed: u64| {
+                let mut trace = NetworkTrace::generate(NetworkKind::WiFi, seed).downscaled(1.5);
+                trace.loss_rate = loss;
+                let mut cfg = SessionConfig::new(trace, maps.clone(), scheme);
+                cfg.chunks = 15;
+                cfg.seed = seed;
+                StreamingSession::new(cfg).run()
+            };
+            let mut agg = [0.0; 4];
+            let mut reb = [0.0; 4];
+            let mut rungs = [0.0; 4];
+            for seed in 1..=3 {
+                let mut norc = Scheme::without_recovery().with_late_policy(LatePolicy::Reuse);
+                norc.retransmission = false;
+                let mut alone = Scheme::recovery_alone();
+                alone.retransmission = false;
+                let mut aware = Scheme::recovery_aware();
+                aware.retransmission = false;
+                let mut norc_stall = Scheme::without_recovery();
+                norc_stall.retransmission = false;
+                for (i, s) in [norc, norc_stall, alone, aware].into_iter().enumerate() {
+                    let r = run(s, seed);
+                    agg[i] += r.qoe / 3.0;
+                    reb[i] += r.total_rebuffer_secs / 3.0;
+                    rungs[i] += r.chunks.iter().map(|c| c.rung as f64).sum::<f64>() / r.chunks.len() as f64 / 3.0;
+                }
+            }
+            println!("loss {loss}: qoe norc-reuse {:.3} norc-stall {:.3} alone {:.3} aware {:.3}", agg[0], agg[1], agg[2], agg[3]);
+            println!("          reb {:.2} {:.2} {:.2} {:.2}  rung {:.2} {:.2} {:.2} {:.2}", reb[0], reb[1], reb[2], reb[3], rungs[0], rungs[1], rungs[2], rungs[3]);
+        }
+    }
+}

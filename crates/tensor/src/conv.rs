@@ -1,0 +1,311 @@
+//! 2-D convolution with full backpropagation.
+//!
+//! This is the workhorse of both the recovery and SR heads. The kernel is
+//! a direct (non-im2col) implementation: for the tiny channel counts and
+//! evaluation-scale resolutions NERVE uses, the direct loop is simpler,
+//! cache-friendly enough, and trivially correct — which matters more here
+//! than peak throughput.
+//!
+//! Padding is symmetric zero padding ("same" output size when
+//! `stride == 1` and `pad == k/2`).
+
+use crate::Tensor;
+
+/// Immutable description of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// A `k x k`, stride-1, same-padding convolution.
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            pad: kernel / 2,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of learnable parameters (weights + biases).
+    pub fn params(&self) -> u64 {
+        (self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels)
+            as u64
+    }
+
+    /// Multiply-accumulate count for an input of the given spatial size
+    /// (the convention used by the paper's Table 1 FLOPS column: one MAC
+    /// = two FLOPs, and we report MACs * 2).
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_size(h, w);
+        2 * (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+    }
+}
+
+/// Forward convolution.
+///
+/// `input` is `[n, in_c, h, w]`, `weight` is `[out_c, in_c, k, k]`, `bias`
+/// has `out_c` elements. Returns `[n, out_c, oh, ow]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
+    assert_eq!(input.c(), spec.in_channels, "input channels mismatch");
+    assert_eq!(
+        weight.shape(),
+        [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.len(), spec.out_channels, "bias length mismatch");
+
+    let (oh, ow) = spec.out_size(input.h(), input.w());
+    let mut out = Tensor::zeros(input.n(), spec.out_channels, oh, ow);
+    let k = spec.kernel as isize;
+    let pad = spec.pad as isize;
+
+    for n in 0..input.n() {
+        for oc in 0..spec.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ic in 0..spec.in_channels {
+                        for ky in 0..k {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= input.h() as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= input.w() as isize {
+                                    continue;
+                                }
+                                acc += input.get(n, ic, iy as usize, ix as usize)
+                                    * weight.get(oc, ic, ky as usize, kx as usize);
+                            }
+                        }
+                    }
+                    out.set(n, oc, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients produced by [`conv2d_backward`].
+pub struct ConvGrads {
+    pub grad_input: Tensor,
+    pub grad_weight: Tensor,
+    pub grad_bias: Vec<f32>,
+}
+
+/// Backward convolution: given `grad_output` (`dL/dout`), compute
+/// gradients with respect to the input, weights, and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> ConvGrads {
+    let (oh, ow) = spec.out_size(input.h(), input.w());
+    assert_eq!(
+        grad_output.shape(),
+        [input.n(), spec.out_channels, oh, ow],
+        "grad_output shape mismatch"
+    );
+
+    let mut grad_input = Tensor::zeros(input.n(), input.c(), input.h(), input.w());
+    let mut grad_weight = Tensor::zeros(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel);
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+    let k = spec.kernel as isize;
+    let pad = spec.pad as isize;
+
+    for n in 0..input.n() {
+        for oc in 0..spec.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_output.get(n, oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad_bias[oc] += g;
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ic in 0..spec.in_channels {
+                        for ky in 0..k {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= input.h() as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= input.w() as isize {
+                                    continue;
+                                }
+                                let (iyu, ixu) = (iy as usize, ix as usize);
+                                let wi = grad_weight.idx(oc, ic, ky as usize, kx as usize);
+                                grad_weight.data_mut()[wi] += g * input.get(n, ic, iyu, ixu);
+                                let ii = grad_input.idx(n, ic, iyu, ixu);
+                                grad_input.data_mut()[ii] +=
+                                    g * weight.get(oc, ic, ky as usize, kx as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ConvGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_kernel(c: usize, k: usize) -> Tensor {
+        // One output channel that copies input channel 0.
+        let mut w = Tensor::zeros(1, c, k, k);
+        w.set(0, 0, k / 2, k / 2, 1.0);
+        w
+    }
+
+    #[test]
+    fn identity_convolution_preserves_input() {
+        let spec = ConvSpec::same(1, 1, 3);
+        let input = Tensor::from_plane(3, 3, (0..9).map(|v| v as f32).collect());
+        let w = identity_kernel(1, 3);
+        let out = conv2d(&input, &w, &[0.0], spec);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn bias_is_added_everywhere() {
+        let spec = ConvSpec::same(1, 1, 1);
+        let input = Tensor::zeros(1, 1, 2, 2);
+        let w = Tensor::from_vec(1, 1, 1, 1, vec![1.0]);
+        let out = conv2d(&input, &w, &[0.25], spec);
+        assert!(out.data().iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn box_filter_averages_with_zero_padding() {
+        let spec = ConvSpec::same(1, 1, 3);
+        let input = Tensor::full(1, 1, 3, 3, 1.0);
+        let w = Tensor::from_vec(1, 1, 3, 3, vec![1.0 / 9.0; 9]);
+        let out = conv2d(&input, &w, &[0.0], spec);
+        // Center sees all nine ones; corner sees four.
+        assert!((out.get(0, 0, 1, 1) - 1.0).abs() < 1e-6);
+        assert!((out.get(0, 0, 0, 0) - 4.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strided_convolution_shrinks_output() {
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(spec.out_size(8, 8), (4, 4));
+        let input = Tensor::full(1, 1, 8, 8, 1.0);
+        let w = identity_kernel(1, 3);
+        let out = conv2d(&input, &w, &[0.0], spec);
+        assert_eq!(out.shape(), [1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        let spec = ConvSpec::same(2, 1, 1);
+        let input = Tensor::from_vec(1, 2, 1, 1, vec![2.0, 3.0]);
+        let w = Tensor::from_vec(1, 2, 1, 1, vec![10.0, 100.0]);
+        let out = conv2d(&input, &w, &[0.0], spec);
+        assert_eq!(out.data(), &[320.0]);
+    }
+
+    #[test]
+    fn params_and_flops_accounting() {
+        let spec = ConvSpec::same(8, 16, 3);
+        assert_eq!(spec.params(), (16 * 8 * 9 + 16) as u64);
+        // 2 * out_c*oh*ow*in_c*k*k at 4x4.
+        assert_eq!(spec.flops(4, 4), 2 * 16 * 16 * 8 * 9);
+    }
+
+    /// Numerical gradient check: perturb each weight, compare analytic
+    /// gradient to finite differences of a scalar loss (sum of outputs).
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = ConvSpec::same(2, 2, 3);
+        // Deterministic pseudo-random fill without pulling in rand here.
+        let fill = |seed: u32, len: usize| -> Vec<f32> {
+            let mut state = seed;
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+                })
+                .collect()
+        };
+        let input = Tensor::from_vec(1, 2, 4, 4, fill(1, 32));
+        let weight = Tensor::from_vec(2, 2, 3, 3, fill(2, 36));
+        let bias = vec![0.1, -0.2];
+
+        // Loss = sum(out) => grad_output = ones.
+        let out = conv2d(&input, &weight, &bias, spec);
+        let grad_out = Tensor::full(out.n(), out.c(), out.h(), out.w(), 1.0);
+        let grads = conv2d_backward(&input, &weight, &grad_out, spec);
+
+        let eps = 1e-3;
+        // Check a sample of weight gradients.
+        for &wi in &[0usize, 5, 17, 35] {
+            let mut wp = weight.clone();
+            wp.data_mut()[wi] += eps;
+            let lp: f32 = conv2d(&input, &wp, &bias, spec).data().iter().sum();
+            let mut wm = weight.clone();
+            wm.data_mut()[wi] -= eps;
+            let lm: f32 = conv2d(&input, &wm, &bias, spec).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.grad_weight.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "weight grad {wi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a sample of input gradients.
+        for &ii in &[0usize, 7, 15, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[ii] += eps;
+            let lp: f32 = conv2d(&ip, &weight, &bias, spec).data().iter().sum();
+            let mut im = input.clone();
+            im.data_mut()[ii] -= eps;
+            let lm: f32 = conv2d(&im, &weight, &bias, spec).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.grad_input.data()[ii];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "input grad {ii}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient of sum-loss is the number of output positions.
+        let positions = (out.h() * out.w()) as f32;
+        assert!((grads.grad_bias[0] - positions).abs() < 1e-3);
+        assert!((grads.grad_bias[1] - positions).abs() < 1e-3);
+    }
+}

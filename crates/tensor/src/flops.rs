@@ -1,0 +1,98 @@
+//! Analytic cost accounting.
+//!
+//! The paper's Table 1 compares super-resolution models by FLOPS (G),
+//! parameter count (K), and on-device latency (ms). FLOPs and params are
+//! architecture properties, so we compute them analytically; latency is
+//! derived from the device cost model in `nerve-core::device`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// FLOPs and parameter count of (part of) a model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Floating-point operations for one forward pass (2 per MAC).
+    pub flops: u64,
+    /// Learnable parameter count.
+    pub params: u64,
+}
+
+impl CostReport {
+    pub fn new(flops: u64, params: u64) -> Self {
+        Self { flops, params }
+    }
+
+    /// FLOPs in units of 10^9, as reported in the paper's Table 1.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / 1e9
+    }
+
+    /// Parameters in units of 10^3, as reported in the paper's Table 1.
+    pub fn kparams(&self) -> f64 {
+        self.params as f64 / 1e3
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            flops: self.flops + rhs.flops,
+            params: self.params + rhs.params,
+        }
+    }
+}
+
+impl AddAssign for CostReport {
+    fn add_assign(&mut self, rhs: CostReport) {
+        self.flops += rhs.flops;
+        self.params += rhs.params;
+    }
+}
+
+impl Sum for CostReport {
+    fn sum<I: Iterator<Item = CostReport>>(iter: I) -> CostReport {
+        iter.fold(CostReport::default(), Add::add)
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GFLOPs, {:.0}K params", self.gflops(), self.kparams())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates_both_fields() {
+        let a = CostReport::new(100, 10);
+        let b = CostReport::new(50, 5);
+        assert_eq!(a + b, CostReport::new(150, 15));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, CostReport::new(150, 15));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: CostReport = (1..=3).map(|i| CostReport::new(i, i * 10)).sum();
+        assert_eq!(total, CostReport::new(6, 60));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = CostReport::new(10_800_000_000, 1_619_000);
+        assert!((r.gflops() - 10.8).abs() < 1e-9);
+        assert!((r.kparams() - 1619.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_units() {
+        let r = CostReport::new(2_500_000_000, 1_000);
+        assert_eq!(format!("{r}"), "2.50 GFLOPs, 1K params");
+    }
+}

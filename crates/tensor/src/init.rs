@@ -1,0 +1,85 @@
+//! Weight initialization.
+//!
+//! He (Kaiming) initialization for ReLU networks and Xavier for linear
+//! heads. `rand` in this build has no normal distribution, so Gaussian
+//! samples come from a Box–Muller transform over two uniforms.
+
+use crate::Tensor;
+use rand::{Rng, RngExt};
+
+/// Draw one standard-normal sample via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by keeping u1 strictly positive.
+    let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// He-normal initialization: `N(0, sqrt(2 / fan_in))`. Use for layers
+/// followed by ReLU.
+pub fn he_normal<R: Rng>(rng: &mut R, shape: [usize; 4], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let len = shape.iter().product();
+    let data = (0..len).map(|_| standard_normal(rng) * std).collect();
+    Tensor::from_vec(shape[0], shape[1], shape[2], shape[3], data)
+}
+
+/// Xavier-uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Use for linear output heads.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: [usize; 4],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let len = shape.iter().product();
+    let data = (0..len).map(|_| rng.random_range(-a..a)).collect();
+    Tensor::from_vec(shape[0], shape[1], shape[2], shape[3], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = he_normal(&mut rng, [32, 16, 3, 3], 16 * 9);
+        let expect_std = (2.0f32 / (16.0 * 9.0)).sqrt();
+        let var = t.data().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
+        assert!((var.sqrt() - expect_std).abs() / expect_std < 0.1);
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = (6.0f32 / (10 + 20) as f32).sqrt();
+        let t = xavier_uniform(&mut rng, [20, 10, 1, 1], 10, 20);
+        assert!(t.min() >= -a && t.max() <= a);
+        // And actually uses the range.
+        assert!(t.max() > a * 0.5);
+    }
+
+    #[test]
+    fn initialization_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let ta = he_normal(&mut a, [4, 4, 3, 3], 36);
+        let tb = he_normal(&mut b, [4, 4, 3, 3], 36);
+        assert_eq!(ta, tb);
+    }
+}

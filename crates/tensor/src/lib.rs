@@ -1,0 +1,38 @@
+//! # nerve-tensor
+//!
+//! A minimal, dependency-light CPU tensor and neural-network substrate.
+//!
+//! The NERVE paper runs its recovery and super-resolution models through
+//! CoreML on an iPhone 12. Rust has no comparable deep-learning runtime in
+//! this build environment, so this crate provides exactly the operator set
+//! those models need, implemented from scratch:
+//!
+//! * [`Tensor`] — dense NCHW `f32` tensors with shape-checked construction.
+//! * [`conv`] — 2-D convolution with full backpropagation (input, weight,
+//!   and bias gradients), "same" padding, arbitrary stride.
+//! * [`ops`] — ReLU / leaky-ReLU, [`ops::pixel_shuffle`] (the paper's
+//!   upsampling primitive, from Shi et al.), bilinear resize, and
+//!   [`ops::grid_sample`] warping (the paper implements this as a custom
+//!   Metal kernel; here it is a plain CPU kernel).
+//! * [`loss`] — the Charbonnier loss the paper trains with, plus MSE.
+//! * [`optim`] — SGD with momentum and Adam.
+//! * [`net`] — a small `Sequential` container with a [`net::Layer`] trait,
+//!   enough to express and *train* the paper's convolutional heads.
+//! * [`flops`] — analytic FLOP/parameter counting used to regenerate the
+//!   paper's Table 1 columns.
+//!
+//! Everything is deterministic given a seed; no threads, no unsafe.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+pub mod conv;
+pub mod flops;
+pub mod init;
+pub mod loss;
+pub mod net;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use flops::CostReport;
+pub use tensor::Tensor;

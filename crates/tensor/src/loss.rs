@@ -1,0 +1,114 @@
+//! Training losses.
+//!
+//! The paper trains both the recovery and SR models with the Charbonnier
+//! loss (a differentiable, outlier-robust L1 relaxation widely used for
+//! restoration tasks — see BasicVSR). MSE is provided for diagnostics and
+//! for PSNR's direct connection to it.
+
+use crate::Tensor;
+
+/// Value and gradient of a loss.
+pub struct LossResult {
+    /// Mean loss over all elements.
+    pub value: f32,
+    /// `dL/dprediction`, same shape as the prediction.
+    pub grad: Tensor,
+}
+
+/// Charbonnier loss: `mean(sqrt((pred - target)^2 + eps^2))`.
+///
+/// `eps` is conventionally `1e-3` for intensities in `[0, 1]`.
+pub fn charbonnier(pred: &Tensor, target: &Tensor, eps: f32) -> LossResult {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let e2 = eps * eps;
+    let mut value = 0.0f64;
+    let grad = pred.zip(target, |p, t| {
+        let d = p - t;
+        let s = (d * d + e2).sqrt();
+        value += s as f64;
+        d / (s * n)
+    });
+    LossResult {
+        value: (value / n as f64) as f32,
+        grad,
+    }
+}
+
+/// Mean squared error: `mean((pred - target)^2)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> LossResult {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let mut value = 0.0f64;
+    let grad = pred.zip(target, |p, t| {
+        let d = p - t;
+        value += (d * d) as f64;
+        2.0 * d / n
+    });
+    LossResult {
+        value: (value / n as f64) as f32,
+        grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charbonnier_is_near_zero_at_match() {
+        let a = Tensor::full(1, 1, 2, 2, 0.5);
+        let r = charbonnier(&a, &a, 1e-3);
+        assert!(r.value < 1.1e-3);
+        assert!(r.grad.l1() < 1e-6);
+    }
+
+    #[test]
+    fn charbonnier_approximates_l1_for_large_errors() {
+        let a = Tensor::full(1, 1, 1, 1, 1.0);
+        let b = Tensor::full(1, 1, 1, 1, 0.0);
+        let r = charbonnier(&a, &b, 1e-3);
+        assert!((r.value - 1.0).abs() < 1e-3);
+        // Gradient magnitude approaches 1/n = 1.
+        assert!((r.grad.data()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn charbonnier_gradient_matches_finite_difference() {
+        let pred = Tensor::from_plane(1, 3, vec![0.2, 0.7, 0.4]);
+        let target = Tensor::from_plane(1, 3, vec![0.3, 0.5, 0.4]);
+        let r = charbonnier(&pred, &target, 1e-3);
+        let eps = 1e-4;
+        for i in 0..3 {
+            let mut p = pred.clone();
+            p.data_mut()[i] += eps;
+            let lp = charbonnier(&p, &target, 1e-3).value;
+            let mut m = pred.clone();
+            m.data_mut()[i] -= eps;
+            let lm = charbonnier(&m, &target, 1e-3).value;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - r.grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: numeric {numeric} vs analytic {}",
+                r.grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let pred = Tensor::from_plane(1, 2, vec![1.0, 3.0]);
+        let target = Tensor::from_plane(1, 2, vec![0.0, 1.0]);
+        let r = mse(&pred, &target);
+        assert!((r.value - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert_eq!(r.grad.data(), &[1.0, 2.0]); // 2d/n with n=2
+    }
+
+    #[test]
+    fn mse_smaller_error_gives_smaller_loss() {
+        let t = Tensor::full(1, 1, 2, 2, 0.5);
+        let near = Tensor::full(1, 1, 2, 2, 0.55);
+        let far = Tensor::full(1, 1, 2, 2, 0.9);
+        assert!(mse(&near, &t).value < mse(&far, &t).value);
+    }
+}

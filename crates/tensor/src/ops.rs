@@ -1,0 +1,272 @@
+//! Non-learnable operators: activations, PixelShuffle, bilinear resize,
+//! and grid-sample warping.
+//!
+//! These mirror the fixed operators in the paper's model graph (Figure 3):
+//! PixelShuffle for 4x upsampling, `Resize` blocks between the optical-flow
+//! trunk and the convolution heads, and the warp (`W`) block that the
+//! authors had to re-implement as a custom Metal kernel on the iPhone.
+
+use crate::Tensor;
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Gradient of ReLU: passes `grad` where the forward input was positive.
+pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    input.zip(grad, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Leaky ReLU with slope `alpha` for negative inputs.
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { alpha * v })
+}
+
+/// Gradient of leaky ReLU.
+pub fn leaky_relu_backward(input: &Tensor, grad: &Tensor, alpha: f32) -> Tensor {
+    input.zip(grad, |x, g| if x > 0.0 { g } else { alpha * g })
+}
+
+/// PixelShuffle (sub-pixel convolution upsampling, Shi et al. 2016).
+///
+/// Rearranges a `[n, c*r*r, h, w]` tensor into `[n, c, h*r, w*r]`. This is
+/// how the paper produces 1080p output from 270p feature maps (`r = 4`).
+pub fn pixel_shuffle(x: &Tensor, r: usize) -> Tensor {
+    let [n, c_in, h, w] = x.shape();
+    assert!(r > 0 && c_in % (r * r) == 0, "channels {c_in} not divisible by r^2 ({r})");
+    let c_out = c_in / (r * r);
+    let mut out = Tensor::zeros(n, c_out, h * r, w * r);
+    for ni in 0..n {
+        for co in 0..c_out {
+            for y in 0..h {
+                for x_ in 0..w {
+                    for dy in 0..r {
+                        for dx in 0..r {
+                            let ci = co * r * r + dy * r + dx;
+                            let v = x.get(ni, ci, y, x_);
+                            out.set(ni, co, y * r + dy, x_ * r + dx, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`pixel_shuffle`]: `[n, c, h*r, w*r]` -> `[n, c*r*r, h, w]`.
+/// Also serves as the exact backward pass of PixelShuffle (it is a pure
+/// permutation).
+pub fn pixel_unshuffle(x: &Tensor, r: usize) -> Tensor {
+    let [n, c, hr, wr] = x.shape();
+    assert!(r > 0 && hr % r == 0 && wr % r == 0, "spatial size not divisible by r");
+    let (h, w) = (hr / r, wr / r);
+    let mut out = Tensor::zeros(n, c * r * r, h, w);
+    for ni in 0..n {
+        for co in 0..c {
+            for y in 0..h {
+                for x_ in 0..w {
+                    for dy in 0..r {
+                        for dx in 0..r {
+                            let ci = co * r * r + dy * r + dx;
+                            let v = x.get(ni, co, y * r + dy, x_ * r + dx);
+                            out.set(ni, ci, y, x_, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Bilinear resize of every channel to `(new_h, new_w)`.
+///
+/// Uses the align-corners=false convention (pixel centers at half-integer
+/// coordinates), matching common video scalers.
+pub fn resize_bilinear(x: &Tensor, new_h: usize, new_w: usize) -> Tensor {
+    let [n, c, h, w] = x.shape();
+    if (h, w) == (new_h, new_w) {
+        return x.clone();
+    }
+    let mut out = Tensor::zeros(n, c, new_h, new_w);
+    let sy = h as f32 / new_h as f32;
+    let sx = w as f32 / new_w as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..new_h {
+                let fy = ((oy as f32 + 0.5) * sy - 0.5).max(0.0);
+                for ox in 0..new_w {
+                    let fx = ((ox as f32 + 0.5) * sx - 0.5).max(0.0);
+                    out.set(ni, ci, oy, ox, x.sample_bilinear(ni, ci, fy, fx));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour resize (used for binary maps, where bilinear would
+/// destroy the 0/1 structure).
+pub fn resize_nearest(x: &Tensor, new_h: usize, new_w: usize) -> Tensor {
+    let [n, c, h, w] = x.shape();
+    if (h, w) == (new_h, new_w) {
+        return x.clone();
+    }
+    let mut out = Tensor::zeros(n, c, new_h, new_w);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..new_h {
+                let iy = ((oy * h) / new_h).min(h - 1);
+                for ox in 0..new_w {
+                    let ix = ((ox * w) / new_w).min(w - 1);
+                    out.set(ni, ci, oy, ox, x.get(ni, ci, iy, ix));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward-warp `x` by a dense flow field.
+///
+/// `flow` is `[n, 2, h, w]` where channel 0 is the horizontal (x)
+/// displacement and channel 1 the vertical (y) displacement, in pixels:
+/// `out(y, x) = x(y + flow_y(y,x), x + flow_x(y,x))`, sampled bilinearly
+/// with border clamping. This is the paper's `W` block (grid sample).
+pub fn grid_sample(x: &Tensor, flow: &Tensor) -> Tensor {
+    let [n, c, h, w] = x.shape();
+    assert_eq!(flow.shape(), [n, 2, h, w], "flow must be [n,2,h,w] matching input");
+    let mut out = Tensor::zeros(n, c, h, w);
+    for ni in 0..n {
+        for y in 0..h {
+            for x_ in 0..w {
+                let dx = flow.get(ni, 0, y, x_);
+                let dy = flow.get(ni, 1, y, x_);
+                let sy = y as f32 + dy;
+                let sx = x_ as f32 + dx;
+                for ci in 0..c {
+                    out.set(ni, ci, y, x_, x.sample_bilinear(ni, ci, sy, sx));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validity mask of a backward warp: 1.0 where the sampled source location
+/// falls inside the frame, fading to 0.0 outside. Drives the inpainting
+/// path — locations that sample out of bounds (or are disoccluded) have no
+/// historical content to borrow and must be synthesized.
+pub fn warp_validity(flow: &Tensor) -> Tensor {
+    let [n, _, h, w] = flow.shape();
+    let mut out = Tensor::zeros(n, 1, h, w);
+    for ni in 0..n {
+        for y in 0..h {
+            for x_ in 0..w {
+                let sx = x_ as f32 + flow.get(ni, 0, y, x_);
+                let sy = y as f32 + flow.get(ni, 1, y, x_);
+                let inside = sx >= 0.0 && sy >= 0.0 && sx <= (w - 1) as f32 && sy <= (h - 1) as f32;
+                out.set(ni, 0, y, x_, if inside { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_and_backward_masks() {
+        let x = Tensor::from_plane(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::full(1, 1, 1, 4, 1.0);
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let x = Tensor::from_plane(1, 2, vec![-2.0, 2.0]);
+        assert_eq!(leaky_relu(&x, 0.1).data(), &[-0.2, 2.0]);
+        let g = Tensor::full(1, 1, 1, 2, 1.0);
+        assert_eq!(leaky_relu_backward(&x, &g, 0.1).data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn pixel_shuffle_rearranges_and_unshuffle_inverts() {
+        // 4 channels, 1x1 -> 1 channel 2x2.
+        let x = Tensor::from_vec(1, 4, 1, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = pixel_shuffle(&x, 2);
+        assert_eq!(y.shape(), [1, 1, 2, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let back = pixel_unshuffle(&y, 2);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pixel_shuffle_round_trips_random_shapes() {
+        let data: Vec<f32> = (0..(8 * 3 * 5)).map(|v| v as f32).collect();
+        let x = Tensor::from_vec(1, 8, 3, 5, data);
+        assert_eq!(pixel_unshuffle(&pixel_shuffle(&x, 2), 2), x);
+    }
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let x = Tensor::from_plane(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(resize_bilinear(&x, 2, 2), x);
+        assert_eq!(resize_nearest(&x, 2, 2), x);
+    }
+
+    #[test]
+    fn resize_constant_stays_constant() {
+        let x = Tensor::full(1, 1, 4, 4, 0.7);
+        let up = resize_bilinear(&x, 9, 13);
+        assert!(up.data().iter().all(|&v| (v - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn resize_downscale_averages_smoothly() {
+        // A horizontal ramp downscaled keeps its mean.
+        let data: Vec<f32> = (0..16).map(|i| (i % 4) as f32).collect();
+        let x = Tensor::from_plane(4, 4, data);
+        let down = resize_bilinear(&x, 2, 2);
+        assert!((down.mean() - x.mean()).abs() < 0.3);
+    }
+
+    #[test]
+    fn nearest_preserves_binary_values() {
+        let x = Tensor::from_plane(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let up = resize_nearest(&x, 4, 4);
+        assert!(up.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn zero_flow_warp_is_identity() {
+        let x = Tensor::from_plane(3, 3, (0..9).map(|v| v as f32).collect());
+        let flow = Tensor::zeros(1, 2, 3, 3);
+        assert_eq!(grid_sample(&x, &flow), x);
+    }
+
+    #[test]
+    fn unit_shift_warp_moves_content() {
+        // flow_x = 1 everywhere: out(y,x) = in(y, x+1).
+        let x = Tensor::from_plane(1, 3, vec![10.0, 20.0, 30.0]);
+        let mut flow = Tensor::zeros(1, 2, 1, 3);
+        for i in 0..3 {
+            flow.set(0, 0, 0, i, 1.0);
+        }
+        let out = grid_sample(&x, &flow);
+        assert_eq!(out.data(), &[20.0, 30.0, 30.0]); // border clamped
+    }
+
+    #[test]
+    fn warp_validity_marks_out_of_bounds() {
+        let mut flow = Tensor::zeros(1, 2, 1, 3);
+        flow.set(0, 0, 0, 2, 5.0); // samples far right of the frame
+        let v = warp_validity(&flow);
+        assert_eq!(v.data(), &[1.0, 1.0, 0.0]);
+    }
+}

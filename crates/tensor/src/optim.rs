@@ -1,0 +1,172 @@
+//! First-order optimizers: SGD with momentum, and Adam.
+//!
+//! Both operate on flat parameter slices so the [`crate::net`] layer
+//! containers can expose their weights without copies.
+
+/// Optimizer over a single parameter buffer. One optimizer instance is
+/// kept per layer parameter tensor.
+pub trait Optimizer {
+    /// Apply one update step: `params -= f(grads)`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    /// Reset internal state (momentum / moment estimates).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.lr * grads[i];
+            params[i] += self.velocity[i];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 starting from 0; gradient = 2(x-3).
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = run_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::new(0.02, 0.0);
+        let mut mom = Sgd::new(0.02, 0.9);
+        let xp = run_quadratic(&mut plain, 30);
+        let xm = run_quadratic(&mut mom, 30);
+        assert!((xm - 3.0).abs() < (xp - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_handles_ill_scaled_gradients() {
+        // f(x, y) = 1000*(x-1)^2 + 0.001*(y-1)^2 — Adam's per-parameter
+        // scaling should still move y toward 1.
+        let mut opt = Adam::new(0.05);
+        let mut p = [0.0f32, 0.0];
+        for _ in 0..2000 {
+            let g = [2000.0 * (p[0] - 1.0), 0.002 * (p[1] - 1.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 1.0).abs() < 0.05, "x = {}", p[0]);
+        assert!((p[1] - 1.0).abs() < 0.2, "y = {}", p[1]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut x = [0.0f32];
+        opt.step(&mut x, &[1.0]);
+        opt.reset();
+        let mut y = [0.0f32];
+        opt.step(&mut y, &[1.0]);
+        assert_eq!(x, y, "first step after reset must match a fresh optimizer");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = [0.0f32; 2];
+        opt.step(&mut x, &[1.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor/NN substrate's core invariants.
+
+use nerve_tensor::conv::{conv2d, ConvSpec};
+use nerve_tensor::loss::{charbonnier, mse};
+use nerve_tensor::ops;
+use nerve_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_plane() -> impl Strategy<Value = Tensor> {
+    (2usize..7, 2usize..7)
+        .prop_flat_map(|(h, w)| {
+            proptest::collection::vec(-1.0f32..1.0, h * w)
+                .prop_map(move |data| Tensor::from_plane(h, w, data))
+        })
+}
+
+/// A pair of tensors sharing one shape (avoids assume-rejection storms).
+fn plane_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (2usize..7, 2usize..7).prop_flat_map(|(h, w)| {
+        (
+            proptest::collection::vec(-1.0f32..1.0, h * w),
+            proptest::collection::vec(-1.0f32..1.0, h * w),
+        )
+            .prop_map(move |(a, b)| (Tensor::from_plane(h, w, a), Tensor::from_plane(h, w, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn convolution_is_linear((x, y) in plane_pair(), a in -2.0f32..2.0) {
+        let spec = ConvSpec::same(1, 1, 3);
+        let w = Tensor::from_vec(1, 1, 3, 3, vec![0.1, -0.2, 0.3, 0.0, 0.5, -0.1, 0.2, 0.1, -0.3]);
+        let bias = [0.0f32];
+        // conv(a*x + y) == a*conv(x) + conv(y) (zero bias).
+        let mut ax_y = x.map(|v| a * v);
+        ax_y.axpy(1.0, &y);
+        let lhs = conv2d(&ax_y, &w, &bias, spec);
+        let cx = conv2d(&x, &w, &bias, spec);
+        let cy = conv2d(&y, &w, &bias, spec);
+        let mut rhs = cx.map(|v| a * v);
+        rhs.axpy(1.0, &cy);
+        for (l, r) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((l - r).abs() < 1e-4, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn pixel_shuffle_round_trips(
+        c in 1usize..4,
+        h in 1usize..5,
+        w in 1usize..5,
+        r in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let len = c * r * r * h * w;
+        let data: Vec<f32> = (0..len).map(|i| ((i as u64 * 31 + seed) % 97) as f32).collect();
+        let x = Tensor::from_vec(1, c * r * r, h, w, data);
+        let back = ops::pixel_unshuffle(&ops::pixel_shuffle(&x, r), r);
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pixel_shuffle_preserves_multiset(x_seed in 0u64..500) {
+        let data: Vec<f32> = (0..36).map(|i| ((i as u64 + x_seed) % 11) as f32).collect();
+        let x = Tensor::from_vec(1, 4, 3, 3, data.clone());
+        let y = ops::pixel_shuffle(&x, 2);
+        let mut a = data;
+        let mut b = y.data().to_vec();
+        a.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        b.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_bounds_are_preserved(x in small_plane(), nh in 2usize..12, nw in 2usize..12) {
+        let up = ops::resize_bilinear(&x, nh, nw);
+        let (lo, hi) = (x.min(), x.max());
+        prop_assert!(up.min() >= lo - 1e-5, "min {} < {lo}", up.min());
+        prop_assert!(up.max() <= hi + 1e-5, "max {} > {hi}", up.max());
+        prop_assert_eq!(up.shape(), [1, 1, nh, nw]);
+    }
+
+    #[test]
+    fn zero_flow_warp_is_identity(x in small_plane()) {
+        let flow = Tensor::zeros(1, 2, x.h(), x.w());
+        prop_assert_eq!(ops::grid_sample(&x, &flow), x);
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_match((x, y) in plane_pair()) {
+        prop_assert!(mse(&x, &y).value >= 0.0);
+        prop_assert!(charbonnier(&x, &y, 1e-3).value >= 0.0);
+        prop_assert!(mse(&x, &x.clone()).value < 1e-12);
+        // Charbonnier at match is eps, not zero.
+        prop_assert!(charbonnier(&x, &x.clone(), 1e-3).value <= 1.01e-3);
+    }
+
+    #[test]
+    fn charbonnier_bounds_l1((x, y) in plane_pair()) {
+        // mean|d| <= charbonnier <= mean|d| + eps
+        let n = x.len() as f32;
+        let l1 = x.zip(&y, |a, b| (a - b).abs()).data().iter().sum::<f32>() / n;
+        let ch = charbonnier(&x, &y, 1e-3).value;
+        prop_assert!(ch >= l1 - 1e-5, "ch {ch} < l1 {l1}");
+        prop_assert!(ch <= l1 + 1.1e-3, "ch {ch} > l1+eps {l1}");
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_monotone(x in small_plane()) {
+        let once = ops::relu(&x);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.min() >= 0.0);
+    }
+
+    #[test]
+    fn concat_split_round_trips((a, b) in plane_pair()) {
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        let parts = cat.split_channels(&[1, 1]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+}

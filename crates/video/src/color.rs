@@ -1,0 +1,202 @@
+//! Color frames: YCbCr 4:2:0 with RGB conversion.
+//!
+//! The processing pipeline (codec, flow, recovery, SR) runs on luma,
+//! where the paper's quality metrics live; chroma rides along at half
+//! resolution the way real codecs carry it. Conversions follow BT.601
+//! (the convention for SD/synthetic content).
+
+use crate::frame::Frame;
+use serde::{Deserialize, Serialize};
+
+/// A YCbCr 4:2:0 color frame: full-resolution luma, half-resolution
+/// chroma planes centered at 0.5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorFrame {
+    pub y: Frame,
+    pub cb: Frame,
+    pub cr: Frame,
+}
+
+impl ColorFrame {
+    /// A gray color frame from a luma plane.
+    pub fn from_luma(y: Frame) -> Self {
+        let (cw, ch) = ((y.width() / 2).max(1), (y.height() / 2).max(1));
+        Self {
+            y,
+            cb: Frame::filled(cw, ch, 0.5),
+            cr: Frame::filled(cw, ch, 0.5),
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+
+    /// Build from interleaved RGB data in `[0, 1]` (row-major, 3 floats
+    /// per pixel), subsampling chroma 2x2.
+    pub fn from_rgb(width: usize, height: usize, rgb: &[f32]) -> Self {
+        assert_eq!(rgb.len(), width * height * 3, "rgb buffer length mismatch");
+        let mut y = Frame::new(width, height);
+        let (cw, ch) = ((width / 2).max(1), (height / 2).max(1));
+        let mut cb_acc = vec![0.0f32; cw * ch];
+        let mut cr_acc = vec![0.0f32; cw * ch];
+        let mut counts = vec![0.0f32; cw * ch];
+        for py in 0..height {
+            for px in 0..width {
+                let i = (py * width + px) * 3;
+                let (r, g, b) = (rgb[i], rgb[i + 1], rgb[i + 2]);
+                let (yy, cb, cr) = rgb_to_ycbcr(r, g, b);
+                y.set(px, py, yy);
+                let ci = (py / 2).min(ch - 1) * cw + (px / 2).min(cw - 1);
+                cb_acc[ci] += cb;
+                cr_acc[ci] += cr;
+                counts[ci] += 1.0;
+            }
+        }
+        for i in 0..cw * ch {
+            let n = counts[i].max(1.0);
+            cb_acc[i] /= n;
+            cr_acc[i] /= n;
+        }
+        Self {
+            y,
+            cb: Frame::from_data(cw, ch, cb_acc),
+            cr: Frame::from_data(cw, ch, cr_acc),
+        }
+    }
+
+    /// Convert back to interleaved RGB in `[0, 1]` (chroma upsampled
+    /// bilinearly).
+    pub fn to_rgb(&self) -> Vec<f32> {
+        let (w, h) = (self.width(), self.height());
+        let cb = self.cb.resize(w, h);
+        let cr = self.cr.resize(w, h);
+        let mut out = Vec::with_capacity(w * h * 3);
+        for y in 0..h {
+            for x in 0..w {
+                let (r, g, b) = ycbcr_to_rgb(self.y.get(x, y), cb.get(x, y), cr.get(x, y));
+                out.push(r);
+                out.push(g);
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Resize all planes (keeping 4:2:0 structure).
+    pub fn resize(&self, new_width: usize, new_height: usize) -> ColorFrame {
+        ColorFrame {
+            y: self.y.resize(new_width, new_height),
+            cb: self.cb.resize((new_width / 2).max(1), (new_height / 2).max(1)),
+            cr: self.cr.resize((new_width / 2).max(1), (new_height / 2).max(1)),
+        }
+    }
+
+    /// Replace the luma plane (e.g. with a recovered / super-resolved
+    /// one), keeping chroma — how a luma-only enhancement integrates
+    /// into a color pipeline.
+    pub fn with_luma(&self, y: Frame) -> ColorFrame {
+        let scaled = self.resize(y.width(), y.height());
+        ColorFrame { y, ..scaled }
+    }
+}
+
+/// BT.601 RGB -> YCbCr (all in `[0,1]`, chroma centered at 0.5).
+pub fn rgb_to_ycbcr(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 0.5 + (b - y) * 0.564;
+    let cr = 0.5 + (r - y) * 0.713;
+    (
+        y.clamp(0.0, 1.0),
+        cb.clamp(0.0, 1.0),
+        cr.clamp(0.0, 1.0),
+    )
+}
+
+/// BT.601 YCbCr -> RGB.
+pub fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> (f32, f32, f32) {
+    let r = y + 1.403 * (cr - 0.5);
+    let g = y - 0.344 * (cb - 0.5) - 0.714 * (cr - 0.5);
+    let b = y + 1.773 * (cb - 0.5);
+    (r.clamp(0.0, 1.0), g.clamp(0.0, 1.0), b.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_colors_round_trip() {
+        for (r, g, b) in [
+            (0.0f32, 0.0f32, 0.0f32),
+            (1.0, 1.0, 1.0),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (0.5, 0.25, 0.75),
+        ] {
+            let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+            let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+            assert!((r - r2).abs() < 0.02, "r {r} -> {r2}");
+            assert!((g - g2).abs() < 0.02, "g {g} -> {g2}");
+            assert!((b - b2).abs() < 0.02, "b {b} -> {b2}");
+        }
+    }
+
+    #[test]
+    fn gray_has_centered_chroma() {
+        let (_, cb, cr) = rgb_to_ycbcr(0.6, 0.6, 0.6);
+        assert!((cb - 0.5).abs() < 1e-4);
+        assert!((cr - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frame_round_trip_on_smooth_content() {
+        let (w, h) = (16usize, 12usize);
+        let rgb: Vec<f32> = (0..w * h)
+            .flat_map(|i| {
+                let x = (i % w) as f32 / w as f32;
+                let y = (i / w) as f32 / h as f32;
+                [x, 0.5 * (x + y) / 2.0 + 0.25, 1.0 - y]
+            })
+            .collect();
+        let cf = ColorFrame::from_rgb(w, h, &rgb);
+        let back = cf.to_rgb();
+        // Chroma subsampling loses a little; smooth gradients survive.
+        let mad: f32 =
+            rgb.iter().zip(back.iter()).map(|(a, b)| (a - b).abs()).sum::<f32>() / rgb.len() as f32;
+        assert!(mad < 0.05, "color round-trip MAD {mad}");
+    }
+
+    #[test]
+    fn from_luma_is_gray() {
+        let cf = ColorFrame::from_luma(Frame::filled(8, 8, 0.7));
+        let rgb = cf.to_rgb();
+        for px in rgb.chunks(3) {
+            assert!((px[0] - px[1]).abs() < 0.01 && (px[1] - px[2]).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn with_luma_swaps_only_luma() {
+        let (w, h) = (16usize, 12usize);
+        let rgb: Vec<f32> = (0..w * h).flat_map(|i| [0.8, 0.2, (i % 7) as f32 / 7.0]).collect();
+        let cf = ColorFrame::from_rgb(w, h, &rgb);
+        let enhanced = cf.with_luma(Frame::filled(w, h, 0.5));
+        assert_eq!(enhanced.cb, cf.cb);
+        assert_eq!(enhanced.cr, cf.cr);
+        assert!(enhanced.y.data().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn resize_keeps_420_structure() {
+        let cf = ColorFrame::from_luma(Frame::new(32, 24));
+        let r = cf.resize(16, 12);
+        assert_eq!((r.y.width(), r.y.height()), (16, 12));
+        assert_eq!((r.cb.width(), r.cb.height()), (8, 6));
+    }
+}

@@ -1,0 +1,28 @@
+//! # nerve-video
+//!
+//! Video substrate for the NERVE reproduction:
+//!
+//! * [`frame`] — planar luma frames in `[0, 1]` with sampling/resizing.
+//! * [`resolution`] — the paper's bitrate ladder
+//!   ({512, 1024, 1600, 2640, 4400} kbps at {240, 360, 480, 720, 1080}p,
+//!   Wowza's VP9 recommendation) plus the evaluation-scale mechanism.
+//! * [`synth`] — a deterministic synthetic video generator standing in for
+//!   the paper's NEMO/YouTube dataset: ten category presets that differ in
+//!   motion magnitude, texture density, novelty (new content) rate, and
+//!   scene-cut frequency.
+//! * [`metrics`] — PSNR and SSIM, the two quality metrics the paper uses.
+//! * [`io`] — PGM/PPM writers for the visualization figures.
+//! * [`dataset`] — the paper's 10-category x 5-video train/test split,
+//!   realized as seeded synthetic clips.
+
+pub mod color;
+pub mod dataset;
+pub mod frame;
+pub mod io;
+pub mod metrics;
+pub mod resolution;
+pub mod rng;
+pub mod synth;
+
+pub use frame::Frame;
+pub use resolution::Resolution;

@@ -1,0 +1,104 @@
+//! A small, clonable, deterministic PRNG.
+//!
+//! `rand 0.10`'s `StdRng` deliberately does not implement `Clone`, but the
+//! synthetic video source must be clonable (experiments snapshot and
+//! replay sources). SplitMix64 is tiny, passes BigCrush for this usage
+//! class, and gives us explicit, stable state semantics.
+
+use rand::rand_core::{Infallible, TryRng};
+
+/// SplitMix64-based PRNG implementing `rand`'s infallible [`rand::Rng`]
+/// (via [`TryRng`]), so all `RngExt` conveniences (`random_range`, …)
+/// work on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl TryRng for DetRng {
+    type Error = Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+        Ok((self.next() >> 32) as u32)
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+        Ok(self.next())
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngExt};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::new(5);
+        let mut b = DetRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = DetRng::new(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_sampling_is_uniform_ish() {
+        let mut rng = DetRng::new(77);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = DetRng::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Any nonzero byte proves the remainder path ran; all-zero output
+        // for this seed would be astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

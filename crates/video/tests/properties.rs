@@ -1,0 +1,120 @@
+//! Property-based tests for the video substrate.
+
+use nerve_video::frame::Frame;
+use nerve_video::metrics::{psnr, ssim, PSNR_CAP_DB};
+use nerve_video::resolution::Resolution;
+use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (4usize..24, 4usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..=1.0, w * h)
+            .prop_map(move |data| Frame::from_data(w, h, data))
+    })
+}
+
+/// Two frames sharing one shape (avoids assume-rejection storms).
+fn frame_pair() -> impl Strategy<Value = (Frame, Frame)> {
+    (4usize..24, 4usize..24).prop_flat_map(|(w, h)| {
+        (
+            proptest::collection::vec(0.0f32..=1.0, w * h),
+            proptest::collection::vec(0.0f32..=1.0, w * h),
+        )
+            .prop_map(move |(a, b)| (Frame::from_data(w, h, a), Frame::from_data(w, h, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn resize_preserves_value_bounds(f in frame_strategy(), nw in 2usize..40, nh in 2usize..40) {
+        let r = f.resize(nw, nh);
+        prop_assert_eq!((r.width(), r.height()), (nw, nh));
+        for &v in r.data() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn u8_round_trip_error_is_half_lsb(f in frame_strategy()) {
+        let back = Frame::from_u8(f.width(), f.height(), &f.to_u8());
+        for (a, b) in f.data().iter().zip(back.data().iter()) {
+            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn psnr_is_symmetric_and_capped((a, b) in frame_pair()) {
+        prop_assert!((psnr(&a, &b) - psnr(&b, &a)).abs() < 1e-9);
+        prop_assert!(psnr(&a, &b) <= PSNR_CAP_DB);
+        prop_assert_eq!(psnr(&a, &a.clone()), PSNR_CAP_DB);
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_reflexive((a, b) in frame_pair()) {
+        let s = ssim(&a, &b);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s), "ssim {s}");
+        prop_assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_interpolates_within_neighbours(f in frame_strategy(), fx in 0.0f32..1.0, fy in 0.0f32..1.0) {
+        prop_assume!(f.width() >= 2 && f.height() >= 2);
+        let x = fx * (f.width() - 1) as f32;
+        let y = fy * (f.height() - 1) as f32;
+        let v = f.sample(x, y);
+        // Value lies within the min/max of the 4 surrounding pixels.
+        let x0 = x.floor() as isize;
+        let y0 = y.floor() as isize;
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let p = f.get_clamped(x0 + dx, y0 + dy);
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+    }
+
+    #[test]
+    fn overlay_rows_only_touches_requested_band(
+        y0 in 0usize..12,
+        y1 in 0usize..14,
+    ) {
+        let mut dst = Frame::filled(6, 12, 0.25);
+        let src = Frame::filled(6, 12, 0.75);
+        dst.overlay_rows(&src, y0, y1);
+        for y in 0..12 {
+            let expect = if y >= y0 && y < y1.min(12) { 0.75 } else { 0.25 };
+            for x in 0..6 {
+                prop_assert_eq!(dst.get(x, y), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_video_is_deterministic_and_bounded(seed in 0u64..1000, n in 1usize..6) {
+        let cfg = SceneConfig::preset(Category::Vlogs, 24, 40);
+        let a: Vec<Frame> = SyntheticVideo::new(cfg.clone(), seed).take_frames(n);
+        let b: Vec<Frame> = SyntheticVideo::new(cfg, seed).take_frames(n);
+        prop_assert_eq!(&a, &b);
+        for f in &a {
+            for &v in f.data() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_utility_monotone(kbps in 0u32..10_000) {
+        // best_for_bitrate never picks a rung above the budget (except
+        // the floor rung when nothing fits).
+        let rung = Resolution::best_for_bitrate(kbps);
+        if kbps >= 512 {
+            prop_assert!(rung.bitrate_kbps() <= kbps);
+        } else {
+            prop_assert_eq!(rung, Resolution::R240);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Bufferbloat demonstration (§1's motivation): the same congestion
+//! episode through a small buffer (loss) and a bloated buffer (delay),
+//! and what each does to frame deadlines at 30 FPS.
+//!
+//! Run: `cargo run --release --example bufferbloat`
+
+use nerve::net::clock::SimTime;
+use nerve::net::queue::{DropTailQueue, Verdict};
+use nerve::net::trace::{NetworkKind, NetworkTrace};
+
+fn main() {
+    // A 2 Mbps bottleneck carrying a 30 FPS stream that bursts to
+    // 2.5 Mbps for two seconds (congestion episode).
+    let trace = NetworkTrace {
+        kind: NetworkKind::WiFi,
+        mbps: vec![2.0; 600],
+        loss_rate: 0.0,
+        rtt: SimTime::from_millis(40),
+    };
+    let bdp = DropTailQueue::bdp_bytes(&trace);
+    println!("bottleneck: 2 Mbps, RTT 40 ms, BDP = {bdp} bytes");
+
+    for (label, capacity) in [("1 BDP (small buffer)", bdp), ("20 BDP (bufferbloat)", bdp * 20)] {
+        let mut queue = DropTailQueue::new(trace.clone(), capacity);
+        let mut late_frames = 0usize;
+        let mut lost_frames = 0usize;
+        let mut worst_delay_ms = 0.0f64;
+
+        for f in 0..150u64 {
+            // 30 FPS; frames are bigger during the congestion burst.
+            let burst = (30..90).contains(&f);
+            let frame_bytes = if burst { 10_400 } else { 8_000 }; // 2.5 vs 1.9 Mbps
+            let sent_at = SimTime::from_millis(f * 33);
+            let deadline = sent_at + SimTime::from_millis(120); // playout budget
+            let mut frame_lost = false;
+            let mut last_arrival = sent_at;
+            for _ in 0..frame_bytes / 1300 {
+                match queue.offer(1300, sent_at) {
+                    Verdict::Departs(t) => last_arrival = last_arrival.max(t),
+                    Verdict::Dropped => frame_lost = true,
+                }
+            }
+            if frame_lost {
+                lost_frames += 1;
+            } else if last_arrival > deadline {
+                late_frames += 1;
+            }
+            let delay = queue.queueing_delay(sent_at).as_millis_f64();
+            worst_delay_ms = worst_delay_ms.max(delay);
+        }
+
+        println!("\n--- {label} ---");
+        println!("lost frames:     {lost_frames}");
+        println!("late frames:     {late_frames} (past the 120 ms playout budget)");
+        println!("worst queueing:  {worst_delay_ms:.0} ms");
+        println!("tail drop rate:  {:.1}%", queue.drop_rate() * 100.0);
+    }
+
+    println!(
+        "\nEither way the player faces missing-at-deadline frames — \
+         exactly the input NERVE's recovery (lost OR late) is built for."
+    );
+}

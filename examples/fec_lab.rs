@@ -1,0 +1,67 @@
+//! FEC laboratory: sweep Reed–Solomon redundancy against bursty packet
+//! loss with real erasure coding (the mechanism behind Figures 1/2/16),
+//! and build the §4 loss→FEC lookup table from an analytic QoE proxy.
+//!
+//! Run: `cargo run --release --example fec_lab`
+
+use nerve::abr::fec_table::FecTable;
+use nerve::fec::packetize::{join, split};
+use nerve::fec::policy;
+use nerve::fec::rs::ReedSolomon;
+use nerve::net::loss::{GilbertElliott, LossModel};
+
+fn main() {
+    let k = 40usize; // data packets per protected frame
+    let frames = 2000usize;
+
+    println!("frame loss rate under bursty loss (RS({k}, {k}+m), {frames} frames)");
+    println!("{:>6} | {:>8} | {:>8} | {:>8}", "ratio", "1% loss", "3% loss", "5% loss");
+    for m in [0usize, 2, 4, 8, 12, 16, 20] {
+        let ratio = m as f64 / k as f64;
+        let mut row = format!("{ratio:>6.2}");
+        for (i, loss) in [0.01f64, 0.03, 0.05].into_iter().enumerate() {
+            let mut model = GilbertElliott::with_rate(loss, 4.0, 42 + i as u64);
+            let lost = (0..frames)
+                .filter(|_| {
+                    let losses = (0..k + m).filter(|_| model.lose()).count();
+                    losses > m
+                })
+                .count();
+            row += &format!(" | {:>8.3}", lost as f64 / frames as f64);
+        }
+        println!("{row}");
+    }
+
+    // Prove the arithmetic with real bytes once.
+    let rs = ReedSolomon::new(k, 14).unwrap();
+    let payload: Vec<u8> = (0..18_000).map(|i| (i % 251) as u8).collect();
+    let encoded = rs.encode(&split(&payload, k)).unwrap();
+    let mut received: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+    for r in received.iter_mut().take(14) {
+        *r = None;
+    }
+    let recovered = join(&rs.reconstruct(&received).unwrap()).unwrap();
+    assert_eq!(recovered, payload);
+    println!("\nRS(40,54): recovered an 18 kB frame from 14 packet losses, byte-exact");
+
+    // Analytic required-redundancy (the paper's "5x the loss rate" rule).
+    println!("\nanalytic minimum redundancy for <0.1% frame loss:");
+    for loss in [0.01f64, 0.03, 0.05] {
+        match policy::min_ratio_for_target(k, loss, 1e-3) {
+            Some(r) => println!("  {:>2}% packet loss -> {:.0}% FEC", (loss * 100.0) as u32, r * 100.0),
+            None => println!("  {:>2}% packet loss -> unachievable", (loss * 100.0) as u32),
+        }
+    }
+
+    // The §4 lookup table over a stylized QoE surface.
+    let ratios: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+    let table = FecTable::build(&[0.01, 0.02, 0.03, 0.05], &ratios, |loss, ratio| {
+        let needed = policy::min_ratio_for_target(k, loss, 1e-3).unwrap_or(1.0);
+        let protection = (ratio / needed.max(1e-9)).min(1.0);
+        protection - 0.8 * ratio
+    });
+    println!("\nloss -> FEC lookup table (offline, per §4):");
+    for (loss, ratio) in table.entries() {
+        println!("  loss {:.2} -> redundancy {:.2}", loss, ratio);
+    }
+}

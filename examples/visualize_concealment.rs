@@ -1,0 +1,58 @@
+//! Figure 9: visualization of error concealment (partial frames).
+//!
+//! A frame arrives with a band of slices missing; the montage shows
+//! corrupted frame | recovered prediction | ground truth.
+//!
+//! Run: `cargo run --release --example visualize_concealment`
+
+use nerve::prelude::*;
+use nerve::video::io::{montage, write_pgm};
+use nerve::video::resolution::Resolution;
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("out")?;
+    let (w, h) = Resolution::R1080.dims_scaled(8);
+
+    for (i, category) in [Category::Skit, Category::Unboxing].into_iter().enumerate() {
+        let mut scene = SceneConfig::preset(category, h, w);
+        scene.motion = scene.motion.max(1.6);
+        scene.pan_speed = scene.pan_speed.max(0.6);
+        let mut video = SyntheticVideo::new(scene, 23 + i as u64);
+        video.take_frames(4);
+        let p2 = video.next_frame();
+        let prev = video.next_frame();
+        let gt = video.next_frame();
+
+        // The middle band of macroblock rows is lost.
+        let mut row_valid = vec![true; h];
+        for r in row_valid.iter_mut().take(h * 2 / 3).skip(h / 3) {
+            *r = false;
+        }
+        // The corrupted frame shows stale content in the lost band
+        // (frame-copy concealment, what the decoder outputs).
+        let mut corrupted = prev.clone();
+        for (y, &ok) in row_valid.iter().enumerate() {
+            if ok {
+                corrupted.overlay_rows(&gt, y, y + 1);
+            }
+        }
+        let partial = PartialFrame::new(gt.clone(), row_valid);
+
+        let code_cfg = PointCodeConfig::scaled(2);
+        let encoder = PointCodeEncoder::new(code_cfg.clone());
+        let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg));
+        model.observe(&p2);
+        model.observe(&prev);
+        let recovered = model.recover(&prev, &encoder.encode(&gt), Some(&partial));
+
+        let m = montage(&[&corrupted, &recovered, &gt], 4);
+        let path = format!("out/fig09_concealment_{i}.pgm");
+        write_pgm(&m, &path)?;
+        println!(
+            "{path}: corrupted ({:.2} dB) | recovered ({:.2} dB) | ground truth",
+            psnr(&corrupted, &gt),
+            psnr(&recovered, &gt)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Integration: codec + point code + recovery across real packet loss.
+//!
+//! Exercises the full §4 path: encode a clip with the block codec,
+//! packetize, lose packets, partially decode, recover with the binary
+//! point code, and feed the recovered frame back as the decoder
+//! reference — the loop a real client runs.
+
+use nerve::codec::packet::{packetize, slice_presence};
+use nerve::codec::rate::{encode_chunk_at_kbps, RateController};
+use nerve::codec::{Decoder, Encoder, EncoderConfig};
+use nerve::prelude::*;
+use nerve::video::rng::DetRng;
+use rand::RngExt;
+
+fn clip(seed: u64, n: usize, w: usize, h: usize) -> Vec<Frame> {
+    let mut scene = SceneConfig::preset(Category::GamePlay, h, w);
+    scene.motion = scene.motion.max(1.5);
+    scene.pan_speed = scene.pan_speed.max(0.6);
+    SyntheticVideo::new(scene, seed).take_frames(n)
+}
+
+#[test]
+fn partial_decode_plus_recovery_beats_plain_concealment() {
+    let (w, h) = (112usize, 64usize);
+    let frames = clip(3, 10, w, h);
+
+    // Encode the chunk.
+    let mut enc = Encoder::new(EncoderConfig::new(w, h));
+    let mut rc = RateController::new();
+    let (encoded, _) = encode_chunk_at_kbps(&mut enc, &mut rc, &frames, 220, 10.0 / 30.0);
+
+    // Two decoders: one conceals by frame copy only, one runs recovery.
+    let mut dec_plain = Decoder::new(w, h);
+    let mut dec_recover = Decoder::new(w, h);
+    let code_cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let pc_enc = PointCodeEncoder::new(code_cfg.clone());
+    let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg));
+
+    let mut rng = DetRng::new(99);
+    let mut plain_psnr = 0.0;
+    let mut recovered_psnr = 0.0;
+    let mut lossy_frames = 0usize;
+
+    for (fi, e) in encoded.iter().enumerate() {
+        // 25% packet loss on P-frames after the first few.
+        let packets = packetize(e, 300);
+        let received: Vec<_> = packets
+            .iter()
+            .filter(|_| fi < 3 || rng.random_range(0.0..1.0) >= 0.25)
+            .collect();
+        let present = slice_presence(&received, e.slices.len());
+
+        let pd_plain = dec_plain.decode_partial(e, &present);
+        let pd_rec = dec_recover.decode_partial(e, &present);
+        let gt = &frames[fi];
+
+        if pd_rec.complete {
+            model.observe(&pd_rec.frame);
+            plain_psnr += psnr(&pd_plain.frame, gt);
+            recovered_psnr += psnr(&pd_rec.frame, gt);
+        } else {
+            lossy_frames += 1;
+            // Client recovery: previous displayed frame + current code +
+            // the partially decoded rows.
+            let prev = dec_recover
+                .reference()
+                .cloned()
+                .unwrap_or_else(|| Frame::new(w, h));
+            let partial = PartialFrame::new(pd_rec.frame.clone(), pd_rec.row_mask());
+            let recovered = model.recover(&prev, &pc_enc.encode(gt), Some(&partial));
+            // Feed the recovered frame back as the decode reference.
+            dec_recover.set_reference(recovered.clone());
+            plain_psnr += psnr(&pd_plain.frame, gt);
+            recovered_psnr += psnr(&recovered, gt);
+        }
+    }
+
+    assert!(lossy_frames >= 2, "loss injection failed ({lossy_frames})");
+    assert!(
+        recovered_psnr > plain_psnr,
+        "recovery loop {recovered_psnr:.1} must beat frame-copy concealment {plain_psnr:.1}"
+    );
+}
+
+#[test]
+fn point_code_survives_serialization_through_transport_sizes() {
+    let (w, h) = (112usize, 64usize);
+    let frames = clip(5, 2, w, h);
+    let enc = PointCodeEncoder::new(PointCodeConfig::default());
+    let code = enc.encode(&frames[0]);
+    let bytes = code.to_bytes();
+    // Fits a single TCP segment (the §8.4 latency argument).
+    assert!(bytes.len() <= 1460, "code is {} bytes", bytes.len());
+    let back = PointCode::from_bytes(&bytes).unwrap();
+    assert_eq!(back, code);
+}
+
+#[test]
+fn recovery_feedback_keeps_decoder_usable_across_gop() {
+    // After recovery replaces the reference mid-GOP, subsequent P-frames
+    // must still decode to something watchable (no drift blow-up).
+    let (w, h) = (112usize, 64usize);
+    let frames = clip(7, 12, w, h);
+    let mut enc = Encoder::new(EncoderConfig::new(w, h));
+    let mut rc = RateController::new();
+    let (encoded, _) = encode_chunk_at_kbps(&mut enc, &mut rc, &frames, 260, 12.0 / 30.0);
+
+    let mut dec = Decoder::new(w, h);
+    let code_cfg = PointCodeConfig {
+        width: 56,
+        height: 32,
+        threshold_percentile: 0.8,
+    };
+    let pc_enc = PointCodeEncoder::new(code_cfg.clone());
+    let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg));
+
+    for (fi, e) in encoded.iter().enumerate() {
+        if fi == 5 {
+            // Frame 5 is lost entirely; recover and resync the decoder.
+            let prev = dec.reference().cloned().unwrap();
+            let recovered = model.recover(&prev, &pc_enc.encode(&frames[fi]), None);
+            dec.set_reference(recovered);
+            continue;
+        }
+        let decoded = dec.decode(e);
+        model.observe(&decoded);
+        if fi > 5 {
+            let q = psnr(&decoded, &frames[fi]);
+            assert!(q > 14.0, "post-recovery frame {fi} collapsed to {q:.1} dB");
+        }
+    }
+}
