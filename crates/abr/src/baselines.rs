@@ -141,7 +141,10 @@ pub struct Bola {
 
 impl Default for Bola {
     fn default() -> Self {
-        Self { v: 0.93, gamma: 5.0 }
+        Self {
+            v: 0.93,
+            gamma: 5.0,
+        }
     }
 }
 
@@ -202,7 +205,10 @@ mod tests {
     #[test]
     fn bba_ignores_throughput() {
         let mut bba = BufferBased::default();
-        assert_eq!(bba.choose(&ctx(8.0, 100.0)), bba.choose(&ctx(8.0, 100_000.0)));
+        assert_eq!(
+            bba.choose(&ctx(8.0, 100.0)),
+            bba.choose(&ctx(8.0, 100_000.0))
+        );
     }
 
     #[test]

@@ -193,7 +193,9 @@ impl EnhancementAwareAbr {
         }
         let n_lost = ((frames - n_late) as f64 * p_frame_lost).round() as usize;
         let n_recovered = n_late + n_lost;
-        let n_sr = n_sr.saturating_sub(n_lost).min(frames - n_recovered.min(frames));
+        let n_sr = n_sr
+            .saturating_sub(n_lost)
+            .min(frames - n_recovered.min(frames));
         let n_plain = frames - n_recovered.min(frames) - n_sr;
 
         // Quality and rebuffering under the configured awareness.
@@ -267,8 +269,8 @@ impl Abr for EnhancementAwareAbr {
         if best != stay {
             let (u, r) = self.evaluate_rung_detail(ctx, stay);
             let prev = self.steady_utility(stay);
-            let stay_score =
-                chunk_qoe(u, r, prev, &self.params) + (HORIZON - 1.0) * (u - self.params.rebuffer_penalty * r);
+            let stay_score = chunk_qoe(u, r, prev, &self.params)
+                + (HORIZON - 1.0) * (u - self.params.rebuffer_penalty * r);
             if stay_score >= best_score - 0.05 {
                 return stay;
             }
@@ -313,7 +315,10 @@ mod tests {
     }
 
     fn blind() -> EnhancementAwareAbr {
-        EnhancementAwareAbr::enhancement_blind(QualityMaps::placeholder(&LADDER), QoeParams::default())
+        EnhancementAwareAbr::enhancement_blind(
+            QualityMaps::placeholder(&LADDER),
+            QoeParams::default(),
+        )
     }
 
     #[test]

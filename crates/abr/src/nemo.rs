@@ -108,9 +108,9 @@ impl NemoAbr {
             + self.reuse_psnr(rung) * n_late as f64)
             / frames as f64;
         let utility = self.maps.utility_for_psnr(mean_psnr);
-        let prev = self
-            .maps
-            .utility_for_psnr(self.effective_sr_psnr(ctx.last_choice.min(ctx.ladder_kbps.len() - 1)));
+        let prev = self.maps.utility_for_psnr(
+            self.effective_sr_psnr(ctx.last_choice.min(ctx.ladder_kbps.len() - 1)),
+        );
         chunk_qoe(utility, stall, prev, &self.params)
     }
 }
@@ -167,7 +167,10 @@ mod tests {
         for rung in 0..4 {
             let eff = n.effective_sr_psnr(rung);
             assert!(eff > maps.plain_psnr[rung], "rung {rung} gains something");
-            assert!(eff < maps.sr_psnr[rung], "rung {rung} gains less than full SR");
+            assert!(
+                eff < maps.sr_psnr[rung],
+                "rung {rung} gains less than full SR"
+            );
         }
     }
 

@@ -222,7 +222,11 @@ impl PpoAgent {
         }
         // Normalize advantages.
         let mean = advantages.iter().sum::<f64>() / n as f64;
-        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n as f64;
         let std = var.sqrt().max(1e-6);
         for a in &mut advantages {
             *a = (*a - mean) / std;

@@ -66,7 +66,8 @@ pub fn chunk_qoe(
     prev_utility_mbps: f64,
     params: &QoeParams,
 ) -> f64 {
-    utility_mbps - params.rebuffer_penalty * rebuffer_secs
+    utility_mbps
+        - params.rebuffer_penalty * rebuffer_secs
         - params.smoothness_weight * (utility_mbps - prev_utility_mbps).abs()
 }
 
@@ -138,8 +139,21 @@ impl QualityMaps {
     /// PSNR of a frame recovered `k` frames after the last good one
     /// (Figure 4a's mapping function).
     pub fn recovered_psnr_at_depth(&self, rung: usize, consecutive: usize) -> f64 {
-        (self.recovered_psnr[rung] - self.recovery_decay_db_per_frame * consecutive.saturating_sub(1) as f64)
+        (self.recovered_psnr[rung]
+            - self.recovery_decay_db_per_frame * consecutive.saturating_sub(1) as f64)
             .max(10.0)
+    }
+
+    /// PSNR of a *warp-only* degraded recovery at chain depth `k`: the
+    /// flow+warp stages run but enhancement and inpainting are skipped,
+    /// landing between full recovery and frame reuse. The interpolation
+    /// weight reflects that warping recovers most of recovery's margin
+    /// over reuse (motion compensation dominates; the heads refine).
+    pub fn warp_only_psnr_at_depth(&self, rung: usize, consecutive: usize) -> f64 {
+        const WARP_SHARE: f64 = 0.6;
+        let full = self.recovered_psnr_at_depth(rung, consecutive);
+        let reuse = self.reuse_psnr_at_depth(rung, consecutive);
+        reuse + WARP_SHARE * (full - reuse).max(0.0)
     }
 
     /// Invert the PSNR↔bitrate curve (Figure 4b): the bitrate (Mbps)
@@ -292,6 +306,22 @@ mod tests {
             let u = maps.utility_for_psnr(p);
             assert!(u >= last - 1e-9, "psnr {p}: {u} < {last}");
             last = u;
+        }
+    }
+
+    #[test]
+    fn warp_only_sits_between_recovery_and_reuse() {
+        let maps = QualityMaps::placeholder(&LADDER);
+        for rung in 0..LADDER.len() {
+            for depth in [1usize, 3, 8] {
+                let full = maps.recovered_psnr_at_depth(rung, depth);
+                let warp = maps.warp_only_psnr_at_depth(rung, depth);
+                let reuse = maps.reuse_psnr_at_depth(rung, depth);
+                assert!(
+                    reuse <= warp && warp <= full,
+                    "rung {rung} depth {depth}: reuse {reuse} warp {warp} full {full}"
+                );
+            }
         }
     }
 

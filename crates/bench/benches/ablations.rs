@@ -84,9 +84,12 @@ fn predictor_ablation(c: &mut Criterion) {
         println!("{kind:?}: chooses rung {}", abr.choose(&ctx));
     }
 
-    let mut abr = EnhancementAwareAbr::new(maps, QoeParams::default(), EnhancementConfig::default())
-        .with_predictor(PredictorKind::HoltWinters);
-    c.bench_function("choose_holt_winters", |b| b.iter(|| abr.choose(black_box(&ctx))));
+    let mut abr =
+        EnhancementAwareAbr::new(maps, QoeParams::default(), EnhancementConfig::default())
+            .with_predictor(PredictorKind::HoltWinters);
+    c.bench_function("choose_holt_winters", |b| {
+        b.iter(|| abr.choose(black_box(&ctx)))
+    });
 }
 
 criterion_group! {

@@ -27,11 +27,8 @@ fn regenerate_qoe_tables(c: &mut Criterion) {
 
 fn abr_decision_latency(c: &mut Criterion) {
     let maps = QualityMaps::placeholder(&LADDER);
-    let mut abr = EnhancementAwareAbr::new(
-        maps,
-        QoeParams::default(),
-        EnhancementConfig::default(),
-    );
+    let mut abr =
+        EnhancementAwareAbr::new(maps, QoeParams::default(), EnhancementConfig::default());
     let mut ctx = AbrContext::bootstrap(LADDER.to_vec(), 4.0, 120);
     ctx.buffer_secs = 8.0;
     ctx.throughput_kbps = vec![1800.0; 8];

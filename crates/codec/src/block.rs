@@ -37,7 +37,11 @@ pub fn store8(frame: &mut Frame, x0: isize, y0: isize, block: &[f32; 64]) {
             let fy = y0 + y as isize;
             if fx >= 0 && fy >= 0 && (fx as usize) < frame.width() && (fy as usize) < frame.height()
             {
-                frame.set(fx as usize, fy as usize, (block[y * 8 + x] / 255.0).clamp(0.0, 1.0));
+                frame.set(
+                    fx as usize,
+                    fy as usize,
+                    (block[y * 8 + x] / 255.0).clamp(0.0, 1.0),
+                );
             }
         }
     }
@@ -171,10 +175,10 @@ mod tests {
     fn motion_search_finds_known_shift() {
         let reference = textured(64, 64);
         let cur = shift(&reference, 5, -3); // cur[p] = ref[p - (5,-3)]
-        // Interior macroblock (16,16): cur[p] = ref[p + (-5, 3)]. TSS may
-        // land on an aliased minimum of the periodic texture, so require
-        // the found vector to match the true one *in cost*, which is what
-        // residual coding actually depends on.
+                                            // Interior macroblock (16,16): cur[p] = ref[p + (-5, 3)]. TSS may
+                                            // land on an aliased minimum of the periodic texture, so require
+                                            // the found vector to match the true one *in cost*, which is what
+                                            // residual coding actually depends on.
         let (dx, dy) = motion_search(&cur, &reference, 16, 16);
         let found = sad16(&cur, &reference, 16, 16, dx as isize, dy as isize);
         let truth = sad16(&cur, &reference, 16, 16, -5, 3);

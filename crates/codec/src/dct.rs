@@ -130,7 +130,12 @@ mod tests {
         let b = sample_block();
         let back = inverse(&forward(&b));
         for i in 0..64 {
-            assert!((b[i] - back[i]).abs() < 1e-2, "i={i}: {} vs {}", b[i], back[i]);
+            assert!(
+                (b[i] - back[i]).abs() < 1e-2,
+                "i={i}: {} vs {}",
+                b[i],
+                back[i]
+            );
         }
     }
 

@@ -123,8 +123,7 @@ impl Decoder {
                 complete = false;
                 continue;
             }
-            let decoded_rows =
-                self.decode_slice(encoded, slice, mbs_x, &mut frame);
+            let decoded_rows = self.decode_slice(encoded, slice, mbs_x, &mut frame);
             if decoded_rows {
                 for r in slice.mb_row_start..(slice.mb_row_start + slice.mb_rows).min(mbs_y) {
                     mb_row_valid[r] = true;
@@ -189,8 +188,7 @@ impl Decoder {
                                 };
                                 let x0 = px + bx * 8;
                                 let y0 = py + by * 8;
-                                let pred =
-                                    extract8(reference, x0 + dx as isize, y0 + dy as isize);
+                                let pred = extract8(reference, x0 + dx as isize, y0 + dy as isize);
                                 let res = dct::inverse(&quant::dequantize(&levels, qscale));
                                 let mut rec = [0.0f32; 64];
                                 for i in 0..64 {
@@ -245,7 +243,12 @@ mod tests {
         let mut dec = Decoder::new(64, 48);
         for (f, e) in frames.iter().zip(encoded.iter()) {
             let d = dec.decode(e);
-            assert!(psnr(&d, f) > 28.0, "frame {}: {}", e.frame_index, psnr(&d, f));
+            assert!(
+                psnr(&d, f) > 28.0,
+                "frame {}: {}",
+                e.frame_index,
+                psnr(&d, f)
+            );
         }
     }
 

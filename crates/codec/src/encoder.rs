@@ -117,7 +117,9 @@ impl Encoder {
             (self.config.width, self.config.height),
             "frame dimensions must match encoder config"
         );
-        let kind = if self.frame_index.is_multiple_of(self.config.gop_frames as u64)
+        let kind = if self
+            .frame_index
+            .is_multiple_of(self.config.gop_frames as u64)
             || self.reference.is_none()
         {
             FrameKind::Intra
@@ -193,7 +195,10 @@ impl Encoder {
                 }
             }
             FrameKind::Inter => {
-                let reference = self.reference.as_ref().expect("inter frame needs reference");
+                let reference = self
+                    .reference
+                    .as_ref()
+                    .expect("inter frame needs reference");
                 let (dx, dy) = motion_search(frame, reference, px as usize, py as usize);
                 put_ivarint(data, dx as i64);
                 put_ivarint(data, dy as i64);
@@ -229,7 +234,10 @@ mod tests {
     use nerve_video::synth::{SceneConfig, SyntheticVideo};
 
     fn small_clip(n: usize) -> Vec<Frame> {
-        let mut v = SyntheticVideo::new(SceneConfig::preset(nerve_video::synth::Category::Vlogs, 48, 64), 21);
+        let mut v = SyntheticVideo::new(
+            SceneConfig::preset(nerve_video::synth::Category::Vlogs, 48, 64),
+            21,
+        );
         v.take_frames(n)
     }
 
@@ -248,7 +256,10 @@ mod tests {
         let mut cfg = EncoderConfig::new(64, 48);
         cfg.gop_frames = 2;
         let mut enc = Encoder::new(cfg);
-        let kinds: Vec<FrameKind> = frames.iter().map(|f| enc.encode_next(f, 2.0).kind).collect();
+        let kinds: Vec<FrameKind> = frames
+            .iter()
+            .map(|f| enc.encode_next(f, 2.0).kind)
+            .collect();
         assert_eq!(
             kinds,
             vec![

@@ -172,8 +172,7 @@ mod tests {
     fn missing_slice_reassembles_to_none() {
         let e = one_encoded_frame();
         let packets = packetize(&e, 1200);
-        let received: Vec<&VideoPacket> =
-            packets.iter().filter(|p| p.slice_index != 1).collect();
+        let received: Vec<&VideoPacket> = packets.iter().filter(|p| p.slice_index != 1).collect();
         let slices = reassemble(&received, e.slices.len());
         assert!(slices[0].is_some());
         assert!(slices[1].is_none());

@@ -44,8 +44,7 @@ impl RateController {
             return;
         }
         let ratio = (actual.max(1)) as f64 / budget as f64;
-        self.qscale = (self.qscale * ratio.powf(GAIN))
-            .clamp(QSCALE_MIN as f64, QSCALE_MAX as f64);
+        self.qscale = (self.qscale * ratio.powf(GAIN)).clamp(QSCALE_MIN as f64, QSCALE_MAX as f64);
     }
 }
 

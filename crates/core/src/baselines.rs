@@ -166,7 +166,7 @@ impl HeavySr {
             lr_height: lr_dims.1,
             flow: FlowConfig::default(), // richer flow than our fast config
             net: Sequential::new(stack, 2e-3),
-        prev: None,
+            prev: None,
         }
     }
 
@@ -230,8 +230,8 @@ impl HeavySr {
         let refs: Vec<&Tensor> = channels.iter().collect();
         let input = Tensor::concat_channels(&refs);
         let residual = self.net.forward(&input);
-        let res_frame =
-            Frame::from_data(ww, wh, residual.data().to_vec()).resize(self.out_width, self.out_height);
+        let res_frame = Frame::from_data(ww, wh, residual.data().to_vec())
+            .resize(self.out_width, self.out_height);
 
         let out = Frame::from_data(
             self.out_width,
@@ -272,8 +272,9 @@ impl HeavySr {
                 .map(|(&g, &b)| g - b)
                 .collect(),
         );
-        self.net
-            .train_step(&input, &target, |p, t| nerve_tensor::loss::charbonnier(p, t, eps))
+        self.net.train_step(&input, &target, |p, t| {
+            nerve_tensor::loss::charbonnier(p, t, eps)
+        })
     }
 }
 
@@ -302,7 +303,9 @@ mod tests {
             0.5 + 0.3 * ((x as f32) * 0.25).sin() * ((y as f32) * 0.2).cos()
         });
         let shift = |d: isize| {
-            Frame::from_fn(96, 64, |x, y| base.get_clamped(x as isize - 2 * d, y as isize))
+            Frame::from_fn(96, 64, |x, y| {
+                base.get_clamped(x as isize - 2 * d, y as isize)
+            })
         };
         let (f0, f1, f2) = (shift(0), shift(1), shift(2));
         let mut rec = NoCodeRecovery::new(FlowConfig::default());

@@ -1,0 +1,52 @@
+//! Structured errors for the recovery path.
+//!
+//! The seed validated geometry with `assert!`; in a streaming session a
+//! malformed partial frame or a code whose geometry disagrees with the
+//! model's configuration is a *data* problem (corrupt delivery, encoder
+//! mismatch) that the session must survive, not a programming error that
+//! should abort the process. Fallible `try_*` constructors return these;
+//! the original panicking APIs remain and delegate.
+
+use std::fmt;
+
+/// Validation errors raised by recovery inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A partial frame's row-validity mask does not cover its frame.
+    RowMaskMismatch { rows: usize, mask: usize },
+    /// A partial frame's dimensions disagree with the model's output.
+    PartialDimensionMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+    /// A received point code's geometry disagrees with the model's
+    /// configured code geometry.
+    CodeShapeMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::RowMaskMismatch { rows, mask } => write!(
+                f,
+                "row mask must cover frame: frame has {rows} rows, mask has {mask}"
+            ),
+            RecoveryError::PartialDimensionMismatch { expected, got } => write!(
+                f,
+                "partial frame dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            RecoveryError::CodeShapeMismatch { expected, got } => write!(
+                f,
+                "received code geometry must match the model's code config: \
+                 expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}

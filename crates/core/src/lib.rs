@@ -26,11 +26,13 @@
 
 pub mod baselines;
 pub mod device;
+pub mod error;
 pub mod point_code;
 pub mod recovery;
 pub mod sr;
 pub mod train;
 
+pub use error::RecoveryError;
 pub use point_code::{PointCode, PointCodeConfig, PointCodeEncoder};
-pub use recovery::{RecoveryConfig, RecoveryModel};
+pub use recovery::{DegradationLadder, DegradationRung, RecoveryConfig, RecoveryModel};
 pub use sr::{SrConfig, SuperResolver};

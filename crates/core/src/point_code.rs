@@ -265,7 +265,11 @@ mod tests {
         })
         .encode(&f);
         assert!(dense.density() > sparse.density());
-        assert!((sparse.density() - 0.1).abs() < 0.06, "density {}", sparse.density());
+        assert!(
+            (sparse.density() - 0.1).abs() < 0.06,
+            "density {}",
+            sparse.density()
+        );
     }
 
     #[test]
@@ -321,7 +325,10 @@ mod tests {
         let a = enc.encode(&v.next_frame());
         let frames = v.take_frames(5);
         let b = enc.encode(frames.last().unwrap());
-        assert!(a.hamming_fraction(&b) > 0.01, "codes should move with content");
+        assert!(
+            a.hamming_fraction(&b) > 0.01,
+            "codes should move with content"
+        );
         assert_eq!(a.hamming_fraction(&a), 0.0);
     }
 

@@ -30,6 +30,7 @@
 //! correction magnitude, giving the enhancement head the temporal memory
 //! the paper implements with RNN-style state propagation.
 
+use crate::error::RecoveryError;
 use crate::point_code::{PointCode, PointCodeConfig, PointCodeEncoder};
 use nerve_flow::lk::{estimate, FlowConfig};
 use nerve_flow::warp::{warp_frame, warp_validity};
@@ -50,13 +51,134 @@ pub struct PartialFrame {
 
 impl PartialFrame {
     pub fn new(frame: Frame, row_valid: Vec<bool>) -> Self {
-        assert_eq!(frame.height(), row_valid.len(), "row mask must cover frame");
-        Self { frame, row_valid }
+        match Self::try_new(frame, row_valid) {
+            Ok(p) => p,
+            Err(e) => panic!("row mask must cover frame: {e}"),
+        }
+    }
+
+    /// Fallible constructor: the mask must have one entry per pixel row.
+    pub fn try_new(frame: Frame, row_valid: Vec<bool>) -> Result<Self, RecoveryError> {
+        if frame.height() != row_valid.len() {
+            return Err(RecoveryError::RowMaskMismatch {
+                rows: frame.height(),
+                mask: row_valid.len(),
+            });
+        }
+        Ok(Self { frame, row_valid })
     }
 
     /// Fraction of valid rows.
     pub fn coverage(&self) -> f64 {
         self.row_valid.iter().filter(|&&v| v).count() as f64 / self.row_valid.len().max(1) as f64
+    }
+}
+
+/// How much of the recovery pipeline runs for one late/lost frame.
+///
+/// The paper's budget argument (§6: recovery must fit inside
+/// `min(ΣSᵢ/tput − T_play, T_RC)`) is all-or-nothing: either the full
+/// pipeline fits or the player stalls. Real devices degrade instead —
+/// when the per-frame budget shrinks (thermal throttling, a blackout
+/// that ate the slack), cheaper approximations still beat freezing, and
+/// freezing still beats stalling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationRung {
+    /// Full pipeline: code flow + warp + enhance + inpaint + override.
+    Full,
+    /// Flow + warp + partial override only; the enhancement head,
+    /// inpainting, and hidden-state update are skipped.
+    WarpOnly,
+    /// Display the previous frame again (plus any partial rows).
+    Freeze,
+    /// Nothing displayable in budget: the player stalls this frame.
+    Stall,
+}
+
+impl DegradationRung {
+    /// Rungs from most to least expensive.
+    pub const LADDER: [DegradationRung; 4] = [
+        DegradationRung::Full,
+        DegradationRung::WarpOnly,
+        DegradationRung::Freeze,
+        DegradationRung::Stall,
+    ];
+}
+
+/// A per-frame time-budget → [`DegradationRung`] policy.
+///
+/// Each displayable rung carries the wall-clock cost of running it
+/// (`None` = the rung is disabled for this scheme). `select` returns the
+/// highest-quality affordable rung, falling through to `Stall` when even
+/// the free rungs are disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationLadder {
+    /// Cost of a full recovery, seconds.
+    pub full_secs: Option<f64>,
+    /// Cost of warp-only recovery, seconds.
+    pub warp_secs: Option<f64>,
+    /// Cost of freezing (essentially free, but `None` disables it).
+    pub freeze_secs: Option<f64>,
+}
+
+/// Fraction of the full recovery cost spent by the warp-only rung: the
+/// paper's stage budget (§8.4) attributes ~5 ms of the 22 ms pipeline to
+/// flow+warp at 270p.
+pub const WARP_ONLY_COST_FRACTION: f64 = 5.0 / 22.0;
+
+impl DegradationLadder {
+    /// The NERVE ladder for a full recovery costing `full_secs`:
+    /// warp-only at the paper's stage fraction, freeze free.
+    pub fn recovery(full_secs: f64) -> Self {
+        Self {
+            full_secs: Some(full_secs),
+            warp_secs: Some(full_secs * WARP_ONLY_COST_FRACTION),
+            freeze_secs: Some(0.0),
+        }
+    }
+
+    /// No displayable fallback: any late frame stalls the player
+    /// (the seed's `LatePolicy::Stall`).
+    pub fn stall_only() -> Self {
+        Self {
+            full_secs: None,
+            warp_secs: None,
+            freeze_secs: None,
+        }
+    }
+
+    /// Freeze-only: late frames re-display the previous frame
+    /// (the seed's `LatePolicy::Reuse`).
+    pub fn reuse_only() -> Self {
+        Self {
+            full_secs: None,
+            warp_secs: None,
+            freeze_secs: Some(0.0),
+        }
+    }
+
+    /// The cheapest-but-best rung affordable within `budget_secs`.
+    pub fn select(&self, budget_secs: f64) -> DegradationRung {
+        let fits = |cost: Option<f64>| cost.is_some_and(|c| c <= budget_secs);
+        if fits(self.full_secs) {
+            DegradationRung::Full
+        } else if fits(self.warp_secs) {
+            DegradationRung::WarpOnly
+        } else if fits(self.freeze_secs) {
+            DegradationRung::Freeze
+        } else {
+            DegradationRung::Stall
+        }
+    }
+
+    /// Cost of the selected rung (0.0 for `Stall`: nothing runs).
+    pub fn cost_of(&self, rung: DegradationRung) -> f64 {
+        match rung {
+            DegradationRung::Full => self.full_secs.unwrap_or(0.0),
+            DegradationRung::WarpOnly => self.warp_secs.unwrap_or(0.0),
+            DegradationRung::Freeze => self.freeze_secs.unwrap_or(0.0),
+            DegradationRung::Stall => 0.0,
+        }
     }
 }
 
@@ -212,18 +334,37 @@ impl RecoveryModel {
     }
 
     /// Recover the current frame (§4). See the module docs for the
-    /// pipeline; `partial` is the optional `I_part`.
+    /// pipeline; `partial` is the optional `I_part`. Panics on geometry
+    /// mismatches; [`RecoveryModel::try_recover`] is the fallible form.
     pub fn recover(
         &mut self,
         prev_frame: &Frame,
         cur_code: &PointCode,
         partial: Option<&PartialFrame>,
     ) -> Frame {
+        match self.try_recover(prev_frame, cur_code, partial) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible full recovery: validates the code geometry and partial
+    /// frame dimensions instead of asserting, so a session fed corrupt
+    /// or mismatched data degrades rather than aborts.
+    pub fn try_recover(
+        &mut self,
+        prev_frame: &Frame,
+        cur_code: &PointCode,
+        partial: Option<&PartialFrame>,
+    ) -> Result<Frame, RecoveryError> {
+        self.validate_inputs(cur_code, partial)?;
         let wp = self.predict_working(prev_frame, cur_code);
 
         // Update hidden state with the correction magnitude map.
         let decayed = match self.hidden.take() {
-            Some(h) if (h.width(), h.height()) == (wp.correction.width(), wp.correction.height()) => {
+            Some(h)
+                if (h.width(), h.height()) == (wp.correction.width(), wp.correction.height()) =>
+            {
                 Frame::from_data(
                     h.width(),
                     h.height(),
@@ -241,15 +382,70 @@ impl RecoveryModel {
         self.hidden = Some(decayed);
 
         let (fw, fh) = (self.config.width, self.config.height);
-        let mut out = wp.pred.resize(fw, fh).clamp01();
+        let out = wp.pred.resize(fw, fh).clamp01();
+        Ok(self.finish_displayed(out, partial))
+    }
 
+    /// Degraded recovery: run only as much of the pipeline as `rung`
+    /// allows. `Full` is [`RecoveryModel::try_recover`]; `WarpOnly` stops
+    /// after motion fusion + warp (no enhancement, inpainting, or hidden
+    /// state update); `Freeze` — and `Stall`, whose display policy is the
+    /// caller's — re-displays the previous frame. Partial rows override
+    /// the output on every rung (they are received ground truth and cost
+    /// nothing).
+    pub fn recover_degraded(
+        &mut self,
+        prev_frame: &Frame,
+        cur_code: &PointCode,
+        partial: Option<&PartialFrame>,
+        rung: DegradationRung,
+    ) -> Result<Frame, RecoveryError> {
+        match rung {
+            DegradationRung::Full => self.try_recover(prev_frame, cur_code, partial),
+            DegradationRung::WarpOnly => {
+                self.validate_inputs(cur_code, partial)?;
+                let (ww, wh) = self.config.working_dims();
+                let (flow_w, _pc, _cc) = self.fused_working_flow(prev_frame, cur_code);
+                let prev_small = prev_frame.resize(ww, wh);
+                let warped = warp_frame(&prev_small, &flow_w);
+                let (fw, fh) = (self.config.width, self.config.height);
+                let out = warped.resize(fw, fh).clamp01();
+                Ok(self.finish_displayed(out, partial))
+            }
+            DegradationRung::Freeze | DegradationRung::Stall => {
+                self.validate_inputs(cur_code, partial)?;
+                let out = prev_frame.clone();
+                Ok(self.finish_displayed(out, partial))
+            }
+        }
+    }
+
+    /// Check received inputs against the model's configured geometry.
+    fn validate_inputs(
+        &self,
+        cur_code: &PointCode,
+        partial: Option<&PartialFrame>,
+    ) -> Result<(), RecoveryError> {
+        let expected = (self.config.code.width, self.config.code.height);
+        let got = (cur_code.width(), cur_code.height());
+        if got != expected {
+            return Err(RecoveryError::CodeShapeMismatch { expected, got });
+        }
+        if let Some(p) = partial {
+            let expected = (self.config.width, self.config.height);
+            let got = (p.frame.width(), p.frame.height());
+            if got != expected {
+                return Err(RecoveryError::PartialDimensionMismatch { expected, got });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the partial-row override and advance the displayed-frame
+    /// history (shared tail of every displayable rung).
+    fn finish_displayed(&mut self, mut out: Frame, partial: Option<&PartialFrame>) -> Frame {
         // Partial override: correctly received rows are ground truth.
         if let Some(p) = partial {
-            assert_eq!(
-                (p.frame.width(), p.frame.height()),
-                (self.config.width, self.config.height),
-                "partial frame dimension mismatch"
-            );
             for (y, &ok) in p.row_valid.iter().enumerate() {
                 if ok {
                     out.overlay_rows(&p.frame, y, y + 1);
@@ -265,20 +461,16 @@ impl RecoveryModel {
         out
     }
 
-    /// The working-resolution prediction and its composition masks.
-    /// Split out so training can reuse it.
-    fn predict_working(
-        &mut self,
+    /// Stage 1+2 of the pipeline (motion fusion and warp), shared by the
+    /// full pipeline and the warp-only degradation rung. Returns the
+    /// fused working-resolution flow plus the previous/current code
+    /// frames the later stages need.
+    fn fused_working_flow(
+        &self,
         prev_frame: &Frame,
         cur_code: &PointCode,
-    ) -> WorkingPrediction {
+    ) -> (nerve_flow::FlowField, Frame, Frame) {
         let (ww, wh) = self.config.working_dims();
-        assert_eq!(
-            (cur_code.width(), cur_code.height()),
-            (self.config.code.width, self.config.code.height),
-            "received code geometry must match the model's code config"
-        );
-
         // (1a) Flow between the code of *our previous displayed frame*
         // (re-encoded locally) and the received current code, at code
         // resolution. Encoding the displayed frame — rather than reusing
@@ -310,8 +502,7 @@ impl RecoveryModel {
             _ => (
                 // No history: the damped code flow is the only motion
                 // evidence available (upscaled from code space).
-                code_flow
-                    .upsample(prev_frame.width(), prev_frame.height()),
+                code_flow.upsample(prev_frame.width(), prev_frame.height()),
                 false,
             ),
         };
@@ -342,9 +533,17 @@ impl RecoveryModel {
             }
             fused
         };
+        (fused_flow, pc, cc)
+    }
+
+    /// The working-resolution prediction and its composition masks.
+    /// Split out so training can reuse it.
+    fn predict_working(&mut self, prev_frame: &Frame, cur_code: &PointCode) -> WorkingPrediction {
+        let (ww, wh) = self.config.working_dims();
+        let (flow_w, pc, cc) = self.fused_working_flow(prev_frame, cur_code);
+        let (cw, ch) = (pc.width(), pc.height());
 
         // (2) Warp previous frame at working scale.
-        let flow_w = fused_flow;
         let prev_small = prev_frame.resize(ww, wh);
         let warped = warp_frame(&prev_small, &flow_w);
         let validity = warp_validity(&flow_w);
@@ -884,7 +1083,10 @@ mod tests {
             code.set(x, 8, 1.0);
         }
         let filled = inpaint(&frame, &invalid, &code, 4, 0.2);
-        assert!(filled.get(8, 8) > filled.get(8, 4), "edge row should stand out");
+        assert!(
+            filled.get(8, 8) > filled.get(8, 4),
+            "edge row should stand out"
+        );
     }
 
     #[test]
@@ -892,6 +1094,167 @@ mod tests {
         let (_, _, model) = setup(23);
         let c = model.cost();
         assert!(c.flops > 0 && c.params > 0);
+    }
+
+    #[test]
+    fn ladder_selects_full_with_ample_budget() {
+        let ladder = DegradationLadder::recovery(0.022);
+        assert_eq!(ladder.select(0.033), DegradationRung::Full);
+        assert_eq!(ladder.select(0.022), DegradationRung::Full);
+    }
+
+    #[test]
+    fn ladder_falls_back_to_warp_only_when_budget_shrinks() {
+        let ladder = DegradationLadder::recovery(0.022);
+        // Below the full cost but above the warp cost (~5 ms).
+        assert_eq!(ladder.select(0.021), DegradationRung::WarpOnly);
+        assert_eq!(ladder.select(0.006), DegradationRung::WarpOnly);
+    }
+
+    #[test]
+    fn ladder_freezes_when_even_warp_does_not_fit() {
+        let ladder = DegradationLadder::recovery(0.022);
+        assert_eq!(ladder.select(0.004), DegradationRung::Freeze);
+        assert_eq!(ladder.select(0.0), DegradationRung::Freeze);
+    }
+
+    #[test]
+    fn ladder_stalls_only_when_every_rung_is_disabled() {
+        assert_eq!(
+            DegradationLadder::stall_only().select(1.0),
+            DegradationRung::Stall
+        );
+        assert_eq!(
+            DegradationLadder::stall_only().select(0.0),
+            DegradationRung::Stall
+        );
+        // Reuse-only: any budget freezes, never stalls.
+        assert_eq!(
+            DegradationLadder::reuse_only().select(0.0),
+            DegradationRung::Freeze
+        );
+        assert_eq!(
+            DegradationLadder::reuse_only().select(1.0),
+            DegradationRung::Freeze
+        );
+    }
+
+    #[test]
+    fn ladder_selection_is_monotone_in_budget() {
+        // Growing the budget never selects a cheaper rung.
+        let ladder = DegradationLadder::recovery(0.022);
+        let quality = |r: DegradationRung| match r {
+            DegradationRung::Full => 3,
+            DegradationRung::WarpOnly => 2,
+            DegradationRung::Freeze => 1,
+            DegradationRung::Stall => 0,
+        };
+        let mut last = 0;
+        for i in 0..100 {
+            let q = quality(ladder.select(i as f64 * 0.0005));
+            assert!(q >= last, "quality dropped as budget grew at step {i}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn warp_only_beats_freeze_on_moving_content() {
+        // Same synthetic scene recovery_beats_frame_reuse uses: motion is
+        // strong enough that warping toward the current code beats
+        // re-displaying the stale frame.
+        let (mut video, encoder, mut model) = setup(5);
+        video.take_frames(3);
+        let prev = video.next_frame();
+        let cur = video.next_frame();
+        let code = encoder.encode(&cur);
+        let warp_only = model
+            .recover_degraded(&prev, &code, None, DegradationRung::WarpOnly)
+            .unwrap();
+        model.reset();
+        let frozen = model
+            .recover_degraded(&prev, &code, None, DegradationRung::Freeze)
+            .unwrap();
+        let warp_psnr = psnr(&warp_only, &cur);
+        let freeze_psnr = psnr(&frozen, &cur);
+        assert!(
+            warp_psnr >= freeze_psnr,
+            "warp-only {warp_psnr:.2} dB must not lose to freeze {freeze_psnr:.2} dB"
+        );
+    }
+
+    #[test]
+    fn full_recovery_beats_warp_only_on_moving_content() {
+        let (mut video, encoder, mut model) = setup(5);
+        video.take_frames(3);
+        let prev = video.next_frame();
+        let cur = video.next_frame();
+        let code = encoder.encode(&cur);
+        let full = model
+            .recover_degraded(&prev, &code, None, DegradationRung::Full)
+            .unwrap();
+        model.reset();
+        let warp_only = model
+            .recover_degraded(&prev, &code, None, DegradationRung::WarpOnly)
+            .unwrap();
+        // The untrained enhancement head is zero-initialized, so Full's
+        // margin over WarpOnly comes from inpainting/hidden state; allow
+        // equality but never a collapse.
+        assert!(psnr(&full, &cur) + 0.5 >= psnr(&warp_only, &cur));
+    }
+
+    #[test]
+    fn freeze_rung_passes_partial_rows_through() {
+        let (mut video, encoder, mut model) = setup(11);
+        let prev = video.next_frame();
+        let cur = video.next_frame();
+        let mut row_valid = vec![false; 64];
+        for r in row_valid.iter_mut().take(16) {
+            *r = true;
+        }
+        let partial = PartialFrame::new(cur.clone(), row_valid);
+        let out = model
+            .recover_degraded(
+                &prev,
+                &encoder.encode(&cur),
+                Some(&partial),
+                DegradationRung::Freeze,
+            )
+            .unwrap();
+        for x in 0..112 {
+            assert_eq!(out.get(x, 0), cur.get(x, 0));
+            assert_eq!(out.get(x, 40), prev.get(x, 40));
+        }
+    }
+
+    #[test]
+    fn try_recover_rejects_mismatched_code_geometry() {
+        use crate::error::RecoveryError;
+        let (mut video, _, mut model) = setup(3);
+        let prev = video.next_frame();
+        let cur = video.next_frame();
+        let wrong = PointCodeEncoder::new(PointCodeConfig {
+            width: 24,
+            height: 16,
+            threshold_percentile: 0.8,
+        })
+        .encode(&cur);
+        match model.try_recover(&prev, &wrong, None) {
+            Err(RecoveryError::CodeShapeMismatch { expected, got }) => {
+                assert_eq!(expected, (56, 32));
+                assert_eq!(got, (24, 16));
+            }
+            other => panic!("expected CodeShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_short_row_mask() {
+        use crate::error::RecoveryError;
+        let frame = Frame::new(8, 8);
+        match PartialFrame::try_new(frame, vec![true; 4]) {
+            Err(RecoveryError::RowMaskMismatch { rows: 8, mask: 4 }) => {}
+            other => panic!("expected RowMaskMismatch, got {other:?}"),
+        }
     }
 }
 
@@ -913,11 +1276,23 @@ mod diag {
             cfg.motion = motion;
             cfg.pan_speed = motion * 0.4;
             let mut video = SyntheticVideo::new(cfg, 5);
-            let encoder = PointCodeEncoder::new(PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 });
+            let encoder = PointCodeEncoder::new(PointCodeConfig {
+                width: 56,
+                height: 32,
+                threshold_percentile: 0.8,
+            });
             video.take_frames(3);
             let mut p2 = video.next_frame();
             let mut prev = video.next_frame();
-            let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 }));
+            let mut model = RecoveryModel::new(RecoveryConfig::with_code(
+                h,
+                w,
+                PointCodeConfig {
+                    width: 56,
+                    height: 32,
+                    threshold_percentile: 0.8,
+                },
+            ));
             model.observe(&p2);
             model.observe(&prev);
             let (mut s_reuse, mut s_hist, mut s_pipe, mut s_oracle) = (0.0, 0.0, 0.0, 0.0);
@@ -925,7 +1300,10 @@ mod diag {
                 let cur = video.next_frame();
                 let hist_flow = estimate(&p2, &prev, &nerve_flow::lk::FlowConfig::default());
                 let warp_hist = warp_frame(&prev, &hist_flow);
-                let oracle = warp_frame(&prev, &estimate(&prev, &cur, &nerve_flow::lk::FlowConfig::default()));
+                let oracle = warp_frame(
+                    &prev,
+                    &estimate(&prev, &cur, &nerve_flow::lk::FlowConfig::default()),
+                );
                 model.observe(&p2);
                 model.observe(&prev);
                 let rec = model.recover(&prev, &encoder.encode(&cur), None);
@@ -937,8 +1315,13 @@ mod diag {
                 p2 = prev;
                 prev = cur;
             }
-            println!("motion {motion}: reuse {:.2} hist-extrap {:.2} pipeline {:.2} oracle {:.2}",
-                s_reuse/5.0, s_hist/5.0, s_pipe/5.0, s_oracle/5.0);
+            println!(
+                "motion {motion}: reuse {:.2} hist-extrap {:.2} pipeline {:.2} oracle {:.2}",
+                s_reuse / 5.0,
+                s_hist / 5.0,
+                s_pipe / 5.0,
+                s_oracle / 5.0
+            );
         }
     }
 
@@ -953,8 +1336,16 @@ mod diag {
         cfg.cut_interval = 15; // scene cuts land inside longer chains
         for chain in [5usize, 10, 20, 50] {
             let mut video = SyntheticVideo::new(cfg.clone(), 5);
-            let encoder = PointCodeEncoder::new(PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 });
-            let code_cfg = PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 };
+            let encoder = PointCodeEncoder::new(PointCodeConfig {
+                width: 56,
+                height: 32,
+                threshold_percentile: 0.8,
+            });
+            let code_cfg = PointCodeConfig {
+                width: 56,
+                height: 32,
+                threshold_percentile: 0.8,
+            };
             let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg));
             let mut nocode = NoCodeRecovery::new(nerve_flow::lk::FlowConfig::default());
             video.take_frames(3);
@@ -977,7 +1368,12 @@ mod diag {
                 prev = rec;
             }
             let n = chain as f64;
-            println!("chain {chain}: reuse {:.2} nocode {:.2} ours {:.2}", s_reuse/n, s_nc/n, s_ours/n);
+            println!(
+                "chain {chain}: reuse {:.2} nocode {:.2} ours {:.2}",
+                s_reuse / n,
+                s_nc / n,
+                s_ours / n
+            );
         }
     }
 
@@ -991,7 +1387,11 @@ mod diag {
         cfg.pan_speed = 0.6;
         cfg.cut_interval = 15;
         let mut video = SyntheticVideo::new(cfg, 5);
-        let code_cfg = PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 };
+        let code_cfg = PointCodeConfig {
+            width: 56,
+            height: 32,
+            threshold_percentile: 0.8,
+        };
         let encoder = PointCodeEncoder::new(code_cfg.clone());
         let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, code_cfg));
         let mut nocode = NoCodeRecovery::new(nerve_flow::lk::FlowConfig::default());
@@ -1010,7 +1410,15 @@ mod diag {
             let nc = nocode.predict_and_advance().unwrap();
             let mn = rec.data().iter().cloned().fold(f32::INFINITY, f32::min);
             let mx = rec.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            println!("step {i}: ours {:.2} nocode {:.2} mean {:.3} min {:.3} max {:.3} gtmean {:.3}", psnr(&rec, &gt), psnr(&nc, &gt), rec.mean(), mn, mx, gt.mean());
+            println!(
+                "step {i}: ours {:.2} nocode {:.2} mean {:.3} min {:.3} max {:.3} gtmean {:.3}",
+                psnr(&rec, &gt),
+                psnr(&nc, &gt),
+                rec.mean(),
+                mn,
+                mx,
+                gt.mean()
+            );
             prev = rec;
         }
     }
@@ -1024,10 +1432,23 @@ mod diag {
             cfg.motion = motion;
             cfg.pan_speed = motion * 0.4;
             let mut video = SyntheticVideo::new(cfg, 5);
-            let encoder = PointCodeEncoder::new(PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 });
-            let mut model = RecoveryModel::new(RecoveryConfig::with_code(h, w, PointCodeConfig { width: 56, height: 32, threshold_percentile: 0.8 }));
+            let encoder = PointCodeEncoder::new(PointCodeConfig {
+                width: 56,
+                height: 32,
+                threshold_percentile: 0.8,
+            });
+            let mut model = RecoveryModel::new(RecoveryConfig::with_code(
+                h,
+                w,
+                PointCodeConfig {
+                    width: 56,
+                    height: 32,
+                    threshold_percentile: 0.8,
+                },
+            ));
             video.take_frames(3);
-            let mut reuse_sum = 0.0; let mut rec_sum = 0.0;
+            let mut reuse_sum = 0.0;
+            let mut rec_sum = 0.0;
             let mut p2 = video.next_frame();
             let mut prev = video.next_frame();
             for _ in 0..5 {
@@ -1040,7 +1461,11 @@ mod diag {
                 p2 = prev;
                 prev = cur;
             }
-            println!("motion {motion}: reuse {:.2} recovery {:.2}", reuse_sum/5.0, rec_sum/5.0);
+            println!(
+                "motion {motion}: reuse {:.2} recovery {:.2}",
+                reuse_sum / 5.0,
+                rec_sum / 5.0
+            );
         }
     }
 }

@@ -96,7 +96,8 @@ impl SuperResolver {
             let c = config.head_channels;
             let head = Sequential::new(
                 vec![
-                    Box::new(Conv2d::new(&mut rng, ConvSpec::same(HEAD_IN, c, 3))) as Box<dyn Layer>,
+                    Box::new(Conv2d::new(&mut rng, ConvSpec::same(HEAD_IN, c, 3)))
+                        as Box<dyn Layer>,
                     Box::new(Relu::new()),
                     Box::new(Conv2d::zeroed(ConvSpec::same(c, r * r, 3))),
                     Box::new(PixelShuffle::new(r)),
@@ -210,11 +211,13 @@ impl SuperResolver {
             &Tensor::from_plane(lh, lw, warped_lr.data().to_vec()),
             &Tensor::from_plane(lh, lw, lr.data().to_vec()),
         ]);
-        let head = self.heads.get_mut(&rung).expect("head exists for sub-1080p rung");
+        let head = self
+            .heads
+            .get_mut(&rung)
+            .expect("head exists for sub-1080p rung");
         let residual = head.forward(&input); // [1,1,lh*r,lw*r]
         let r = residual.shape();
-        let residual_frame =
-            Frame::from_data(r[3], r[2], residual.data().to_vec()).resize(ow, oh);
+        let residual_frame = Frame::from_data(r[3], r[2], residual.data().to_vec()).resize(ow, oh);
 
         let out = Frame::from_data(
             ow,
@@ -324,7 +327,10 @@ mod tests {
         let (sr, _) = sr_at_scale8();
         let c240 = sr.cost(Resolution::R240).flops;
         let c720 = sr.cost(Resolution::R720).flops;
-        assert!(c240 < c720, "240p head ({c240}) should be cheaper than 720p ({c720})");
+        assert!(
+            c240 < c720,
+            "240p head ({c240}) should be cheaper than 720p ({c720})"
+        );
     }
 
     #[test]

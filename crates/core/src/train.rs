@@ -125,7 +125,9 @@ pub fn gate_sr_heads(
 
 /// Train a heavy baseline SR on ground-truth HR frames.
 pub fn train_heavy_sr(heavy: &mut HeavySr, video: &mut SyntheticVideo, steps: usize) -> Vec<f32> {
-    (0..steps).map(|_| heavy_train_step(heavy, &video.next_frame())).collect()
+    (0..steps)
+        .map(|_| heavy_train_step(heavy, &video.next_frame()))
+        .collect()
 }
 
 fn heavy_train_step(heavy: &mut HeavySr, gt_hr: &Frame) -> f32 {

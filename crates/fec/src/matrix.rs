@@ -33,7 +33,10 @@ impl GfMatrix {
     /// Vandermonde matrix: `V[r][c] = (r+1)^c` (1-based evaluation points
     /// keep row 0 distinct from the zero row).
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= 255, "GF(256) supports at most 255 evaluation points");
+        assert!(
+            rows <= 255,
+            "GF(256) supports at most 255 evaluation points"
+        );
         let mut m = Self::zero(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -177,7 +180,9 @@ mod tests {
     fn vandermonde_square_is_invertible() {
         for n in 1..=8 {
             let v = GfMatrix::vandermonde(n, n);
-            let inv = v.inverse().expect("Vandermonde with distinct points inverts");
+            let inv = v
+                .inverse()
+                .expect("Vandermonde with distinct points inverts");
             assert_eq!(v.mul(&inv), GfMatrix::identity(n));
             assert_eq!(inv.mul(&v), GfMatrix::identity(n));
         }

@@ -25,7 +25,10 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::NotEnoughShards { have, need } => {
-                write!(f, "not enough shards to reconstruct: have {have}, need {need}")
+                write!(
+                    f,
+                    "not enough shards to reconstruct: have {have}, need {need}"
+                )
             }
             RsError::ShardSizeMismatch => write!(f, "shards disagree on length"),
             RsError::InvalidParameters(msg) => write!(f, "invalid RS parameters: {msg}"),
@@ -52,7 +55,9 @@ impl ReedSolomon {
         let k = data_shards;
         let n = data_shards + parity_shards;
         if k == 0 {
-            return Err(RsError::InvalidParameters("need at least one data shard".into()));
+            return Err(RsError::InvalidParameters(
+                "need at least one data shard".into(),
+            ));
         }
         if n > 255 {
             return Err(RsError::InvalidParameters(format!(

@@ -91,7 +91,10 @@ impl FlowField {
                     for ox in -1..=1isize {
                         let xx = x as isize + ox;
                         let yy = y as isize + oy;
-                        if xx >= 0 && yy >= 0 && (xx as usize) < self.width && (yy as usize) < self.height
+                        if xx >= 0
+                            && yy >= 0
+                            && (xx as usize) < self.width
+                            && (yy as usize) < self.height
                         {
                             let (dx, dy) = self.get(xx as usize, yy as usize);
                             sx += dx;

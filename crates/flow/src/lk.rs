@@ -115,7 +115,12 @@ pub fn estimate(source: &Frame, target: &Frame, config: &FlowConfig) -> FlowFiel
 }
 
 /// One warped-LK update over the whole field.
-fn lk_iteration(source: &Frame, target: &Frame, flow: &FlowField, config: &FlowConfig) -> FlowField {
+fn lk_iteration(
+    source: &Frame,
+    target: &Frame,
+    flow: &FlowField,
+    config: &FlowConfig,
+) -> FlowField {
     let w = source.width();
     let h = source.height();
     let r = config.window_radius as isize;
@@ -186,7 +191,11 @@ mod tests {
     fn zero_motion_yields_near_zero_flow() {
         let f = textured(48, 32);
         let flow = estimate(&f, &f, &FlowConfig::default());
-        assert!(flow.mean_magnitude() < 0.05, "mag {}", flow.mean_magnitude());
+        assert!(
+            flow.mean_magnitude() < 0.05,
+            "mag {}",
+            flow.mean_magnitude()
+        );
     }
 
     #[test]
@@ -247,13 +256,17 @@ mod tests {
     #[test]
     fn point_code_config_handles_binary_inputs() {
         // Binary edge-like pattern shifted by 2 px.
-        let src = Frame::from_fn(64, 32, |x, y| {
-            if (x / 6 + y / 5) % 2 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let src = Frame::from_fn(
+            64,
+            32,
+            |x, y| {
+                if (x / 6 + y / 5) % 2 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let tgt = shift(&src, 2, 0);
         let flow = estimate(&src, &tgt, &FlowConfig::for_point_codes());
         let truth = FlowField::constant(64, 32, -2.0, 0.0);

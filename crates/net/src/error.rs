@@ -1,0 +1,44 @@
+//! Structured errors for the network substrate.
+//!
+//! The seed crates validated configuration with `assert!`, which is fine
+//! for test fixtures but turns a bad scenario file into a process abort
+//! once fault plans become data (see [`crate::faults`]). Fallible
+//! constructors (`try_*`) return these; the original panicking
+//! constructors remain and delegate, preserving their messages.
+
+use std::fmt;
+
+/// Validation and configuration errors from the net crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A probability parameter fell outside `[0, 1]`.
+    InvalidProbability { what: &'static str, value: f64 },
+    /// A capacity factor fell outside `(0, 1]`.
+    InvalidFactor { value: f64 },
+    /// A Gilbert–Elliott mean burst length below one packet.
+    InvalidBurstLength { value: f64 },
+    /// A retransmitting channel configured with zero attempts.
+    ZeroAttempts,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidProbability { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            NetError::InvalidFactor { value } => {
+                write!(f, "capacity factor must lie in (0, 1], got {value}")
+            }
+            NetError::InvalidBurstLength { value } => {
+                write!(
+                    f,
+                    "mean burst length must be at least 1 packet, got {value}"
+                )
+            }
+            NetError::ZeroAttempts => write!(f, "max_attempts must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -18,8 +18,14 @@
 //! * [`quicish`] — the QUIC-like media channel: packet numbers, one fast
 //!   retransmission, residual loss (the paper measures 1.6% residual
 //!   loss for QUIC on 5G).
+//! * [`faults`] — composable, seed-deterministic fault injection
+//!   (blackouts, flaps, delay spikes, jitter, collapse, reorder,
+//!   duplication, corruption) layered over all of the above.
+//! * [`error`] — structured validation errors replacing hot-path asserts.
 
 pub mod clock;
+pub mod error;
+pub mod faults;
 pub mod link;
 pub mod loss;
 pub mod queue;
@@ -29,4 +35,6 @@ pub mod rtt;
 pub mod trace;
 
 pub use clock::SimTime;
+pub use error::NetError;
+pub use faults::{Fault, FaultPlan, FaultWindow, FaultyLoss};
 pub use trace::{NetworkKind, NetworkTrace};

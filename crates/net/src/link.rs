@@ -8,17 +8,36 @@
 //! transport modules.
 
 use crate::clock::SimTime;
+use crate::faults::FaultPlan;
 use crate::trace::NetworkTrace;
 
-/// A unidirectional fluid link driven by a throughput trace.
+/// A unidirectional fluid link driven by a throughput trace, optionally
+/// degraded by a [`FaultPlan`]: blackouts zero the capacity, throughput
+/// collapses scale it, and delay spikes / jitter bursts inflate the
+/// propagation term at delivery time. Fault draws are stateless hashes,
+/// so a cloned `Link` replays identically.
 #[derive(Debug, Clone)]
 pub struct Link {
     trace: NetworkTrace,
+    faults: FaultPlan,
 }
 
 impl Link {
     pub fn new(trace: NetworkTrace) -> Self {
-        Self { trace }
+        Self {
+            trace,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Attach a fault plan to this link.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     pub fn trace(&self) -> &NetworkTrace {
@@ -45,8 +64,15 @@ impl Link {
         // Integrate second-by-second (trace granularity), cap iterations
         // to avoid infinite loops on pathological traces.
         for _ in 0..86_400 * 4 {
-            let rate = self.trace.bytes_per_sec_at(SimTime::from_secs_f64(t)).max(1.0);
             let sec_boundary = t.floor() + 1.0;
+            let factor = self.faults.capacity_factor(SimTime::from_secs_f64(t));
+            if factor <= 0.0 {
+                // Blackout: nothing drains this second; resume at the
+                // boundary rather than crawling at the 1 byte/s floor.
+                t = sec_boundary;
+                continue;
+            }
+            let rate = (self.trace.bytes_per_sec_at(SimTime::from_secs_f64(t)) * factor).max(1.0);
             let dt = sec_boundary - t;
             let can = rate * dt;
             if can >= remaining {
@@ -59,9 +85,17 @@ impl Link {
     }
 
     /// Arrival time of the *last byte* of a transfer at the receiver:
-    /// transmit time plus one-way propagation.
+    /// transmit time plus one-way propagation, plus any fault-injected
+    /// delay (spikes/jitter) active at the nominal delivery instant.
     pub fn deliver(&self, bytes: usize, start: SimTime) -> SimTime {
-        self.transmit_end(bytes, start) + self.one_way_delay()
+        let nominal = self.transmit_end(bytes, start) + self.one_way_delay();
+        if self.faults.is_empty() {
+            return nominal;
+        }
+        nominal
+            + self
+                .faults
+                .extra_delay(nominal, bytes as u64 ^ start.as_micros())
     }
 
     /// Average deliverable throughput (bytes/s) over `[start, start+dur]`.
@@ -103,13 +137,19 @@ mod tests {
     fn delivery_adds_propagation() {
         let link = Link::new(flat_trace(1.0));
         let arrive = link.deliver(125_000, SimTime::ZERO);
-        assert!((arrive.as_secs_f64() - 1.01).abs() < 1e-6, "arrive {arrive}");
+        assert!(
+            (arrive.as_secs_f64() - 1.01).abs() < 1e-6,
+            "arrive {arrive}"
+        );
     }
 
     #[test]
     fn zero_bytes_is_instant_transmit() {
         let link = Link::new(flat_trace(5.0));
-        assert_eq!(link.transmit_end(0, SimTime::from_millis(7)), SimTime::from_millis(7));
+        assert_eq!(
+            link.transmit_end(0, SimTime::from_millis(7)),
+            SimTime::from_millis(7)
+        );
     }
 
     #[test]
@@ -148,5 +188,67 @@ mod tests {
         let link = Link::new(flat_trace(2.0));
         let r = link.mean_rate(SimTime::ZERO, SimTime::from_secs_f64(3.0));
         assert!((r - 250_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn blackout_stalls_transfer_until_window_closes() {
+        // 1 Mbps flat; 250 kB takes 2 s clean. A 3 s blackout covering
+        // [1, 4) freezes the second half of the transfer: 125 kB drains
+        // in [0, 1), nothing during the blackout, and the rest in [4, 5).
+        let plan =
+            FaultPlan::new(1).blackout(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0));
+        let link = Link::new(flat_trace(1.0)).with_faults(plan);
+        let end = link.transmit_end(250_000, SimTime::ZERO);
+        assert!((end.as_secs_f64() - 5.0).abs() < 1e-6, "end {end}");
+    }
+
+    #[test]
+    fn transfer_entirely_inside_blackout_waits_it_out() {
+        let plan = FaultPlan::new(2).blackout(SimTime::ZERO, SimTime::from_secs_f64(2.0));
+        let link = Link::new(flat_trace(1.0)).with_faults(plan);
+        let end = link.transmit_end(125_000, SimTime::from_secs_f64(0.5));
+        assert!((end.as_secs_f64() - 3.0).abs() < 1e-6, "end {end}");
+    }
+
+    #[test]
+    fn collapse_slows_transfer_proportionally() {
+        // Half capacity doubles the transfer time.
+        let plan = FaultPlan::new(3).throughput_collapse(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(100.0),
+            0.5,
+        );
+        let link = Link::new(flat_trace(1.0)).with_faults(plan);
+        let end = link.transmit_end(250_000, SimTime::ZERO);
+        assert!((end.as_secs_f64() - 4.0).abs() < 1e-6, "end {end}");
+    }
+
+    #[test]
+    fn delay_spike_inflates_delivery_not_transmit() {
+        let plan = FaultPlan::new(4).delay_spike(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(10.0),
+            SimTime::from_millis(200),
+        );
+        let clean = Link::new(flat_trace(1.0));
+        let faulty = Link::new(flat_trace(1.0)).with_faults(plan);
+        assert_eq!(
+            clean.transmit_end(125_000, SimTime::ZERO),
+            faulty.transmit_end(125_000, SimTime::ZERO)
+        );
+        let delta = faulty.deliver(125_000, SimTime::ZERO) - clean.deliver(125_000, SimTime::ZERO);
+        assert_eq!(delta, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn faultless_link_is_unchanged_by_empty_plan() {
+        let a = Link::new(flat_trace(3.0));
+        let b = Link::new(flat_trace(3.0)).with_faults(FaultPlan::new(9));
+        for bytes in [1_000usize, 50_000, 2_000_000] {
+            assert_eq!(
+                a.deliver(bytes, SimTime::ZERO),
+                b.deliver(bytes, SimTime::ZERO)
+            );
+        }
     }
 }

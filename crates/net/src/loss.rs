@@ -6,6 +6,8 @@
 //! GE model is parameterized by target average loss rate and mean burst
 //! length, from which the state transition probabilities follow.
 
+use crate::clock::SimTime;
+use crate::error::NetError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -13,6 +15,16 @@ use rand::{RngExt, SeedableRng};
 pub trait LossModel {
     /// True if the next packet is lost.
     fn lose(&mut self) -> bool;
+
+    /// Time-aware variant. The base processes here are stationary and
+    /// ignore `now`; [`crate::faults::FaultyLoss`] overrides this to add
+    /// windowed fault loss on top. Channels call this form so a fault
+    /// plan can act on any wrapped model.
+    fn lose_at(&mut self, now: SimTime) -> bool {
+        let _ = now;
+        self.lose()
+    }
+
     /// Long-run average loss probability.
     fn average_rate(&self) -> f64;
 }
@@ -26,11 +38,24 @@ pub struct Bernoulli {
 
 impl Bernoulli {
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-        Self {
+        match Self::try_new(p, seed) {
+            Ok(m) => m,
+            Err(_) => panic!("loss probability out of range: {p}"),
+        }
+    }
+
+    /// Fallible constructor for data-driven scenarios.
+    pub fn try_new(p: f64, seed: u64) -> Result<Self, NetError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(NetError::InvalidProbability {
+                what: "loss probability",
+                value: p,
+            });
+        }
+        Ok(Self {
             p,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 }
 
@@ -61,24 +86,64 @@ pub struct GilbertElliott {
 impl GilbertElliott {
     /// Construct from transition probabilities.
     pub fn new(p_gb: f64, p_bg: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p_gb) && (0.0..=1.0).contains(&p_bg));
-        Self {
+        match Self::try_new(p_gb, p_bg, seed) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor from transition probabilities.
+    pub fn try_new(p_gb: f64, p_bg: f64, seed: u64) -> Result<Self, NetError> {
+        for (what, value) in [("p_gb", p_gb), ("p_bg", p_bg)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(NetError::InvalidProbability { what, value });
+            }
+        }
+        Ok(Self {
             p_gb,
             p_bg,
             bad: false,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Construct from a target average loss rate and mean burst length
     /// (in packets).
     pub fn with_rate(avg_loss: f64, mean_burst: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&avg_loss), "loss rate must be in [0,1)");
-        assert!(mean_burst >= 1.0, "burst length must be at least 1 packet");
+        match Self::try_with_rate(avg_loss, mean_burst, seed) {
+            Ok(m) => m,
+            Err(NetError::InvalidBurstLength { value }) => {
+                panic!("burst length must be at least 1 packet, got {value}")
+            }
+            Err(_) => panic!("loss rate must be in [0,1), got {avg_loss}"),
+        }
+    }
+
+    /// Fallible counterpart of [`GilbertElliott::with_rate`].
+    pub fn try_with_rate(avg_loss: f64, mean_burst: f64, seed: u64) -> Result<Self, NetError> {
+        if !(0.0..1.0).contains(&avg_loss) {
+            return Err(NetError::InvalidProbability {
+                what: "average loss rate",
+                value: avg_loss,
+            });
+        }
+        if mean_burst < 1.0 {
+            return Err(NetError::InvalidBurstLength { value: mean_burst });
+        }
         let p_bg = 1.0 / mean_burst;
         // avg = p_gb / (p_gb + p_bg)  =>  p_gb = avg * p_bg / (1 - avg)
         let p_gb = (avg_loss * p_bg / (1.0 - avg_loss)).min(1.0);
-        Self::new(p_gb, p_bg, seed)
+        Self::try_new(p_gb, p_bg, seed)
+    }
+
+    /// Configured Good→Bad transition probability.
+    pub fn p_gb(&self) -> f64 {
+        self.p_gb
+    }
+
+    /// Configured Bad→Good transition probability.
+    pub fn p_bg(&self) -> f64 {
+        self.p_bg
     }
 }
 
@@ -198,5 +263,95 @@ mod tests {
     #[should_panic(expected = "burst length")]
     fn invalid_burst_panics() {
         let _ = GilbertElliott::with_rate(0.1, 0.5, 1);
+    }
+
+    /// Empirical mean loss rate and mean burst length over `n` draws.
+    fn loss_statistics(model: &mut dyn LossModel, n: usize) -> (f64, f64) {
+        let (mut losses, mut bursts, mut in_burst) = (0usize, 0usize, false);
+        for _ in 0..n {
+            if model.lose() {
+                losses += 1;
+                if !in_burst {
+                    bursts += 1;
+                    in_burst = true;
+                }
+            } else {
+                in_burst = false;
+            }
+        }
+        (
+            losses as f64 / n as f64,
+            losses as f64 / bursts.max(1) as f64,
+        )
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate_follows_transition_probabilities() {
+        // For (p_gb, p_bg) the chain's stationary loss rate is
+        // p_gb / (p_gb + p_bg). Check several operating points within
+        // 10% relative (sample sizes keep the estimator noise well
+        // below that).
+        for (i, &(p_gb, p_bg)) in [(0.01, 0.25), (0.02, 0.125), (0.05, 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let mut m = GilbertElliott::new(p_gb, p_bg, 1000 + i as u64);
+            let expected = p_gb / (p_gb + p_bg);
+            assert!((m.average_rate() - expected).abs() < 1e-12);
+            let (rate, _) = loss_statistics(&mut m, 400_000);
+            assert!(
+                (rate - expected).abs() / expected < 0.10,
+                "p_gb={p_gb} p_bg={p_bg}: empirical rate {rate} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_burst_length_follows_escape_probability() {
+        // Bad-state dwell time is geometric with parameter p_bg, so the
+        // mean burst length is 1/p_bg packets.
+        for (i, &(p_gb, p_bg)) in [(0.01, 0.25), (0.02, 0.1), (0.03, 0.5)].iter().enumerate() {
+            let mut m = GilbertElliott::new(p_gb, p_bg, 2000 + i as u64);
+            let expected = 1.0 / p_bg;
+            let (_, burst) = loss_statistics(&mut m, 400_000);
+            assert!(
+                (burst - expected).abs() / expected < 0.15,
+                "p_gb={p_gb} p_bg={p_bg}: empirical burst {burst} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_rate_round_trips_through_transition_probabilities() {
+        let m = GilbertElliott::with_rate(0.04, 6.0, 3);
+        assert!((1.0 / m.p_bg() - 6.0).abs() < 1e-12);
+        assert!((m.p_gb() / (m.p_gb() + m.p_bg()) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_constructors_report_structured_errors() {
+        use crate::error::NetError;
+        assert!(matches!(
+            Bernoulli::try_new(1.5, 1),
+            Err(NetError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            GilbertElliott::try_with_rate(0.1, 0.5, 1),
+            Err(NetError::InvalidBurstLength { .. })
+        ));
+        assert!(matches!(
+            GilbertElliott::try_new(-0.1, 0.5, 1),
+            Err(NetError::InvalidProbability { .. })
+        ));
+        assert!(GilbertElliott::try_with_rate(0.1, 4.0, 1).is_ok());
+    }
+
+    #[test]
+    fn lose_at_defaults_to_time_free_process() {
+        let mut a = Bernoulli::new(0.3, 5);
+        let mut b = Bernoulli::new(0.3, 5);
+        for i in 0..500u64 {
+            assert_eq!(a.lose(), b.lose_at(SimTime::from_millis(i)));
+        }
     }
 }

@@ -82,7 +82,11 @@ impl DropTailQueue {
             return Verdict::Dropped;
         }
         // Service starts when the bottleneck frees up.
-        let start = if now > self.busy_until { now } else { self.busy_until };
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
         // Serialization at the trace's rate at service time.
         let rate = self.trace.bytes_per_sec_at(start).max(1.0);
         let departs = start + SimTime::from_secs_f64(bytes as f64 / rate);

@@ -36,6 +36,10 @@ pub struct StreamStats {
     pub retransmissions: u64,
     /// Packets never delivered at all.
     pub residual_losses: u64,
+    /// Packets delivered out of order (fault-injected hold-back).
+    pub reordered: u64,
+    /// Packets delivered twice (fault-injected duplication).
+    pub duplicates: u64,
 }
 
 impl StreamStats {
@@ -68,6 +72,8 @@ pub struct QuicStream<L: LossModel> {
     pub stats: StreamStats,
     /// Next serialization slot on the link.
     cursor: SimTime,
+    /// Monotone packet number, used as the fault hash salt.
+    seq: u64,
 }
 
 impl<L: LossModel> QuicStream<L> {
@@ -78,6 +84,7 @@ impl<L: LossModel> QuicStream<L> {
             max_attempts: 3,
             stats: StreamStats::default(),
             cursor: SimTime::ZERO,
+            seq: 0,
         }
     }
 
@@ -100,15 +107,29 @@ impl<L: LossModel> QuicStream<L> {
         let tx_end = self.link.transmit_end(bytes.max(1), start);
         self.cursor = tx_end;
         self.stats.packets_sent += 1;
+        self.seq += 1;
 
         let rtt = self.link.rtt();
         let mut attempt = 0u32;
         let mut attempt_arrival = tx_end + self.link.one_way_delay();
         loop {
-            let lost = self.loss.lose();
+            let mut lost = self.loss.lose_at(start);
+            let faults = self.link.faults();
+            if lost && faults.duplicate_at(start, self.seq) {
+                // The duplicate trailed the original by one slot and
+                // survives independently; the packet still gets through.
+                self.stats.duplicates += 1;
+                lost = false;
+            }
             if !lost {
+                // Fault-injected hold-back: the packet arrives late
+                // relative to packets serialized just after it.
+                let hold = faults.reorder_delay(attempt_arrival, self.seq);
+                if hold > SimTime::ZERO {
+                    self.stats.reordered += 1;
+                }
                 return PacketOutcome {
-                    arrival: Some(attempt_arrival),
+                    arrival: Some(attempt_arrival + hold),
                     retransmits: attempt,
                 };
             }
@@ -205,7 +226,8 @@ mod tests {
 
     #[test]
     fn datagram_mode_has_raw_loss_rate() {
-        let mut q = QuicStream::new(flat_link(10.0, 40), Bernoulli::new(0.05, 9)).with_max_attempts(1);
+        let mut q =
+            QuicStream::new(flat_link(10.0, 40), Bernoulli::new(0.05, 9)).with_max_attempts(1);
         q.send_burst(&[1200; 20_000], SimTime::ZERO);
         let residual = q.stats.residual_loss_rate();
         assert!((residual - 0.05).abs() < 0.01, "residual {residual}");
@@ -214,8 +236,11 @@ mod tests {
 
     #[test]
     fn bursty_loss_produces_consecutive_residual_losses() {
-        let mut q = QuicStream::new(flat_link(10.0, 40), GilbertElliott::with_rate(0.3, 12.0, 13))
-            .with_max_attempts(1);
+        let mut q = QuicStream::new(
+            flat_link(10.0, 40),
+            GilbertElliott::with_rate(0.3, 12.0, 13),
+        )
+        .with_max_attempts(1);
         let outcomes = q.send_burst(&[1200; 5_000], SimTime::ZERO);
         // Count runs of consecutive losses of length >= 3.
         let mut runs = 0;
@@ -239,5 +264,57 @@ mod tests {
         let first = q.send_packet(125_000, SimTime::ZERO); // takes 1 s
         let second = q.send_packet(1000, SimTime::ZERO); // queued behind
         assert!(second.arrival.unwrap() > first.arrival.unwrap());
+    }
+
+    #[test]
+    fn reorder_fault_holds_packets_back() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::new(21).reorder(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1e4),
+            0.5,
+            SimTime::from_millis(60),
+        );
+        let mut q = QuicStream::new(flat_link(10.0, 40).with_faults(plan), NoLoss);
+        let outcomes = q.send_burst(&[1200; 2000], SimTime::ZERO);
+        assert!(q.stats.reordered > 500, "reordered {}", q.stats.reordered);
+        // Held-back packets arrive after neighbours sent later.
+        let arrivals: Vec<SimTime> = outcomes.iter().map(|o| o.arrival.unwrap()).collect();
+        let inversions = arrivals.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "expected out-of-order arrivals");
+    }
+
+    #[test]
+    fn duplication_fault_rescues_lost_packets() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::new(22).duplicate(SimTime::ZERO, SimTime::from_secs_f64(1e4), 1.0);
+        let mut q = QuicStream::new(
+            flat_link(10.0, 40).with_faults(plan),
+            Bernoulli::new(0.3, 7),
+        )
+        .with_max_attempts(1);
+        q.send_burst(&[1200; 2000], SimTime::ZERO);
+        // Every first-tx loss is covered by its duplicate.
+        assert_eq!(q.stats.residual_losses, 0);
+        assert!(
+            q.stats.duplicates > 400,
+            "duplicates {}",
+            q.stats.duplicates
+        );
+    }
+
+    #[test]
+    fn faulty_loss_blackout_drops_media_packets_in_window() {
+        use crate::faults::{FaultPlan, FaultyLoss};
+        let plan =
+            FaultPlan::new(23).blackout(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(1.0));
+        let link = flat_link(10.0, 40).with_faults(plan.clone());
+        let mut q = QuicStream::new(link, FaultyLoss::new(NoLoss, plan)).with_max_attempts(1);
+        let before = q.send_packet(1200, SimTime::from_millis(100));
+        let during = q.send_packet(1200, SimTime::from_millis(1500));
+        let after = q.send_packet(1200, SimTime::from_millis(2500));
+        assert!(before.arrival.is_some());
+        assert!(during.arrival.is_none(), "packet in blackout must drop");
+        assert!(after.arrival.is_some());
     }
 }

@@ -160,6 +160,40 @@ impl NetworkTrace {
         }
     }
 
+    /// Bake a fault plan's *capacity* effects into a static trace: each
+    /// second's throughput is scaled by the plan's mean capacity factor
+    /// over that second (blackouts zero it, collapses scale it).
+    ///
+    /// This is the bridge for consumers that look only at the trace
+    /// (ABR throughput predictors, plots) rather than the [`crate::link::Link`];
+    /// the dynamic path — loss, delay, reorder, corruption — still comes
+    /// from attaching the plan to the link itself.
+    pub fn faulted(&self, plan: &crate::faults::FaultPlan) -> NetworkTrace {
+        const SUBSTEPS: u64 = 10;
+        let mbps = self
+            .mbps
+            .iter()
+            .enumerate()
+            .map(|(sec, &v)| {
+                let mean_factor = (0..SUBSTEPS)
+                    .map(|i| {
+                        let t =
+                            SimTime::from_micros(sec as u64 * 1_000_000 + i * 1_000_000 / SUBSTEPS);
+                        plan.capacity_factor(t)
+                    })
+                    .sum::<f64>()
+                    / SUBSTEPS as f64;
+                v * mean_factor
+            })
+            .collect();
+        NetworkTrace {
+            kind: self.kind,
+            mbps,
+            loss_rate: self.loss_rate,
+            rtt: self.rtt,
+        }
+    }
+
     /// Generate one trace. Distinct `seed`s give distinct traces.
     pub fn generate(kind: NetworkKind, seed: u64) -> NetworkTrace {
         let (_, mean_dur, mean_tput, mean_loss) = kind.table2();
@@ -218,7 +252,12 @@ impl TraceGenerator {
     pub fn table2_populations(base_seed: u64) -> Vec<(NetworkKind, Vec<NetworkTrace>)> {
         NetworkKind::ALL
             .iter()
-            .map(|&k| (k, NetworkTrace::population(k, base_seed ^ ((k as u64 + 1) * 0x9E37))) )
+            .map(|&k| {
+                (
+                    k,
+                    NetworkTrace::population(k, base_seed ^ ((k as u64 + 1) * 0x9E37)),
+                )
+            })
             .collect()
     }
 }
@@ -288,8 +327,7 @@ mod tests {
         let rel_std = |kind: NetworkKind| {
             let t = NetworkTrace::generate(kind, 42);
             let m = t.mean_mbps();
-            let var =
-                t.mbps.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / t.mbps.len() as f64;
+            let var = t.mbps.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / t.mbps.len() as f64;
             var.sqrt() / m
         };
         let five_g = rel_std(NetworkKind::FiveG);
@@ -343,5 +381,31 @@ mod tests {
             let t = NetworkTrace::generate(kind, 9);
             assert!(t.mbps.iter().all(|&v| v > 0.0));
         }
+    }
+
+    #[test]
+    fn faulted_trace_bakes_in_blackouts_and_collapse() {
+        use crate::faults::FaultPlan;
+        let t = NetworkTrace {
+            kind: NetworkKind::WiFi,
+            mbps: vec![10.0; 10],
+            loss_rate: 0.0,
+            rtt: SimTime::from_millis(20),
+        };
+        let plan = FaultPlan::new(1)
+            .blackout(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(2.0))
+            .throughput_collapse(
+                SimTime::from_secs_f64(6.0),
+                SimTime::from_secs_f64(2.0),
+                0.5,
+            );
+        let f = t.faulted(&plan);
+        assert_eq!(f.mbps[0], 10.0);
+        assert_eq!(f.mbps[2], 0.0);
+        assert_eq!(f.mbps[3], 0.0);
+        assert_eq!(f.mbps[4], 10.0);
+        assert!((f.mbps[6] - 5.0).abs() < 1e-9);
+        assert_eq!(f.mbps[9], 10.0);
+        assert_eq!(f.loss_rate, t.loss_rate);
     }
 }

@@ -24,9 +24,11 @@ fn main() {
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     // Calibration feeds the QoE experiments (and Figure 4).
-    let needs_cal = ["fig02", "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "tab03"]
-        .iter()
-        .any(|n| want(n));
+    let needs_cal = [
+        "fig02", "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "tab03",
+    ]
+    .iter()
+    .any(|n| want(n));
     let cal = if needs_cal {
         eprintln!("[calibrating quality maps from the pixel pipeline...]");
         let cal_budget = if quick {

@@ -89,7 +89,10 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
         .collect();
 
     // ---- Plain PSNR per rung (encode at ladder bitrate, decode). -----
-    let ladder: Vec<u32> = Resolution::LADDER.iter().map(|r| r.bitrate_kbps()).collect();
+    let ladder: Vec<u32> = Resolution::LADDER
+        .iter()
+        .map(|r| r.bitrate_kbps())
+        .collect();
     let mut plain_psnr = Vec::with_capacity(Resolution::LADDER.len());
     for &rung in &Resolution::LADDER {
         let (rw, rh) = rung.dims_scaled(budget.scale_divisor);
@@ -158,13 +161,8 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
         let (fw, fh) = Resolution::R1080.dims();
         let pixel_ratio = (ow * oh) as f64 / (fw * fh) as f64;
         let kbps = (Resolution::R1080.bitrate_kbps() as f64 * pixel_ratio).max(8.0) as u32;
-        let (encoded, _) = encode_chunk_at_kbps(
-            &mut enc,
-            &mut rc,
-            &gts,
-            kbps,
-            gts.len() as f64 / 30.0,
-        );
+        let (encoded, _) =
+            encode_chunk_at_kbps(&mut enc, &mut rc, &gts, kbps, gts.len() as f64 / 30.0);
         let mut dec = Decoder::new(ow, oh);
         let decoded: Vec<Frame> = encoded.iter().map(|e| dec.decode(e)).collect();
         for (d, g) in decoded.iter().zip(gts.iter()) {
@@ -202,7 +200,10 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
     // Recovered PSNR per rung: the measured drop of a first recovery
     // below the decoded quality it starts from, applied to each rung.
     let recovery_drop = (decoded_top_psnr - recovery_curve[0].1).max(0.5);
-    let recovered_psnr: Vec<f64> = plain_psnr.iter().map(|p| (p - recovery_drop).max(10.0)).collect();
+    let recovered_psnr: Vec<f64> = plain_psnr
+        .iter()
+        .map(|p| (p - recovery_drop).max(10.0))
+        .collect();
 
     // Reuse curve (the no-recovery baseline's quality).
     let reuse_curve: Vec<(usize, f64)> = reuse_depth_psnr
@@ -211,7 +212,10 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
         .map(|(d, v)| (d + 1, v.iter().sum::<f64>() / v.len().max(1) as f64))
         .collect();
     let reuse_drop = (decoded_top_psnr - reuse_curve[0].1).max(recovery_drop + 0.5);
-    let reuse_psnr: Vec<f64> = plain_psnr.iter().map(|p| (p - reuse_drop).max(8.0)).collect();
+    let reuse_psnr: Vec<f64> = plain_psnr
+        .iter()
+        .map(|p| (p - reuse_drop).max(8.0))
+        .collect();
     let reuse_decay = if reuse_curve.len() >= 2 {
         let first = reuse_curve[0].1;
         let last = reuse_curve.last().unwrap().1;
@@ -225,7 +229,11 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
     let mut sr = SuperResolver::new(sr_config);
     for clip in &clips {
         let mut video = clip.open(oh, ow);
-        train::train_sr_all(&mut sr, &mut video, budget.sr_train_steps / clips.len().max(1));
+        train::train_sr_all(
+            &mut sr,
+            &mut video,
+            budget.sr_train_steps / clips.len().max(1),
+        );
     }
     // Validation gate: a head that hurts is never shipped (§5's design
     // goal is "stable video frame quality improvement at all resolutions").
@@ -296,9 +304,16 @@ mod tests {
         assert_eq!(maps.plain_psnr.len(), 5);
         // PSNR grows with bitrate (Figure 4b shape).
         for w in maps.plain_psnr.windows(2) {
-            assert!(w[1] >= w[0] - 0.8, "bitrate curve should broadly rise: {:?}", maps.plain_psnr);
+            assert!(
+                w[1] >= w[0] - 0.8,
+                "bitrate curve should broadly rise: {:?}",
+                maps.plain_psnr
+            );
         }
-        assert!(maps.plain_psnr[4] > maps.plain_psnr[0], "top rung beats bottom");
+        assert!(
+            maps.plain_psnr[4] > maps.plain_psnr[0],
+            "top rung beats bottom"
+        );
         // Recovery costs quality.
         for i in 0..5 {
             assert!(maps.recovered_psnr[i] < maps.plain_psnr[i]);
@@ -315,7 +330,10 @@ mod tests {
         let cal = calibrate(&CalibrationBudget::test());
         // At least the lowest rung must show an SR gain over upsampling.
         let (_, up, sr) = cal.sr_curve[0];
-        assert!(sr >= up - 0.1, "SR {sr:.2} should not lose to bilinear {up:.2}");
+        assert!(
+            sr >= up - 0.1,
+            "SR {sr:.2} should not lose to bilinear {up:.2}"
+        );
         // SR PSNR map is never below plain.
         for i in 0..5 {
             assert!(cal.maps.sr_psnr[i] >= cal.maps.plain_psnr[i] - 1e-9);

@@ -33,7 +33,12 @@ pub struct StreamingEnv {
 }
 
 impl StreamingEnv {
-    pub fn new(traces: Vec<NetworkTrace>, maps: QualityMaps, scheme: Scheme, max_chunks: usize) -> Self {
+    pub fn new(
+        traces: Vec<NetworkTrace>,
+        maps: QualityMaps,
+        scheme: Scheme,
+        max_chunks: usize,
+    ) -> Self {
         assert!(!traces.is_empty());
         let ladder = maps.ladder_kbps.clone();
         Self {
@@ -118,7 +123,9 @@ impl AbrEnvironment for StreamingEnv {
         if self.ctx.throughput_kbps.len() > 10 {
             self.ctx.throughput_kbps.remove(0);
         }
-        self.ctx.loss_rates.push(self.link.as_ref().unwrap().trace().loss_rate);
+        self.ctx
+            .loss_rates
+            .push(self.link.as_ref().unwrap().trace().loss_rate);
         if self.ctx.loss_rates.len() > 10 {
             self.ctx.loss_rates.remove(0);
         }
@@ -170,7 +177,10 @@ mod tests {
         let _ = e.reset();
         let (_, r_low, _) = e.step(0);
         assert!(r_top.is_finite() && r_low.is_finite());
-        assert!(r_low > r_top, "low {r_low:.3} should beat greedy {r_top:.3}");
+        assert!(
+            r_low > r_top,
+            "low {r_low:.3} should beat greedy {r_top:.3}"
+        );
     }
 
     #[test]

@@ -20,11 +20,7 @@ fn eval_video(budget: &ExperimentBudget, index: usize, h: usize, w: usize) -> Sy
 }
 
 /// Mean recovery PSNR over short chains for one configuration.
-fn recovery_quality(
-    budget: &ExperimentBudget,
-    code: PointCodeConfig,
-    warp_divisor: usize,
-) -> f64 {
+fn recovery_quality(budget: &ExperimentBudget, code: PointCodeConfig, warp_divisor: usize) -> f64 {
     let (w, h) = (112usize, 64usize);
     let mut total = 0.0;
     let mut n = 0usize;

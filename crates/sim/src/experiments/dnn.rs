@@ -48,11 +48,7 @@ pub fn fig04_mappings(cal: &Calibration) -> (Figure, Figure) {
     }
     a.series.push(s);
 
-    let mut b = Figure::new(
-        "Figure 4b: PSNR vs bitrate",
-        "bitrate (kbps)",
-        "PSNR (dB)",
-    );
+    let mut b = Figure::new("Figure 4b: PSNR vs bitrate", "bitrate (kbps)", "PSNR (dB)");
     let mut s = Series::new("plain decode");
     for &(kbps, p) in &cal.bitrate_curve {
         s.push(kbps as f64, p);
@@ -94,7 +90,9 @@ pub fn fig07_recovery_quality(budget: &ExperimentBudget) -> (Figure, Figure) {
         for depth in 1..=max_depth {
             let gt = video.next_frame();
             let rec = ours.recover(&prev, &encoder.encode(&gt), None);
-            let nc = nocode.predict_and_advance().unwrap_or_else(|| last_good.clone());
+            let nc = nocode
+                .predict_and_advance()
+                .unwrap_or_else(|| last_good.clone());
             let ru = reuse_previous(&last_good);
             for (i, f) in [&ru, &nc, &rec].into_iter().enumerate() {
                 psum[i] += psnr(f, &gt);
@@ -259,7 +257,11 @@ pub fn fig10_sr_quality(budget: &ExperimentBudget) -> (Figure, Figure) {
         Resolution::R480,
         Resolution::R720,
     ];
-    let mut fig_psnr = Figure::new("Figure 10: SR quality (PSNR)", "input rung index", "PSNR (dB)");
+    let mut fig_psnr = Figure::new(
+        "Figure 10: SR quality (PSNR)",
+        "input rung index",
+        "PSNR (dB)",
+    );
     let mut fig_ssim = Figure::new("Figure 10: SR quality (SSIM)", "input rung index", "SSIM");
     let mut up_p = Series::new("Upsample");
     let mut our_p = Series::new("Our");
@@ -318,7 +320,14 @@ pub fn tab01_sr_comparison(budget: &ExperimentBudget) -> Table {
 
     let mut t = Table::new(
         "Table 1: super-resolution model comparison",
-        &["method", "FLOPS(G)", "params(K)", "latency(ms)", "PSNR", "SSIM"],
+        &[
+            "method",
+            "FLOPS(G)",
+            "params(K)",
+            "latency(ms)",
+            "PSNR",
+            "SSIM",
+        ],
     );
 
     // Heavy baselines: cost at full scale, quality at evaluation scale.
@@ -358,8 +367,8 @@ pub fn tab01_sr_comparison(budget: &ExperimentBudget) -> Table {
 
     // Ours.
     let cost = our_sr_cost_full_scale();
-    let latency = device.inference_ms(cost, Optimization::Mobile, Precision::Fp16)
-        + device.warp_ms(480, 270);
+    let latency =
+        device.inference_ms(cost, Optimization::Mobile, Precision::Fp16) + device.warp_ms(480, 270);
     let mut sr = SuperResolver::new(SrConfig::at_scale(scale));
     for clip in dataset::train_clips().iter().take(budget.pixel_clips) {
         let mut video = clip.open(oh, ow);
@@ -408,7 +417,10 @@ mod tests {
         );
         let reuse_s = last(&fig_ssim.series[0]);
         let ours_s = last(&fig_ssim.series[2]);
-        assert!(ours_s > reuse_s, "SSIM ordering: {ours_s:.3} vs {reuse_s:.3}");
+        assert!(
+            ours_s > reuse_s,
+            "SSIM ordering: {ours_s:.3} vs {reuse_s:.3}"
+        );
     }
 
     #[test]
@@ -441,7 +453,11 @@ mod tests {
         let latency: Vec<f64> = (0..4).map(|r| t.rows[r][3].parse().unwrap()).collect();
         // Ours is the cheapest and the only real-time one.
         assert!(flops[3] < flops[0] && flops[3] < flops[1] && flops[3] < flops[2]);
-        assert!(latency[3] < 33.3, "ours must be real-time: {} ms", latency[3]);
+        assert!(
+            latency[3] < 33.3,
+            "ours must be real-time: {} ms",
+            latency[3]
+        );
         for l in &latency[..3] {
             assert!(*l > 100.0, "baselines are not real-time: {l} ms");
         }

@@ -28,11 +28,12 @@ pub fn fig01_fec_frame_loss(budget: &ExperimentBudget) -> Figure {
         let mut series = Series::new(format!("{}% loss", (loss_rate * 100.0) as u32));
         for &ratio in &ratios {
             let parity = (ratio * PKTS_PER_FRAME as f64).ceil() as usize;
-            let mut model =
-                GilbertElliott::with_rate(loss_rate, 4.0, budget.seed + li as u64 * 97);
+            let mut model = GilbertElliott::with_rate(loss_rate, 4.0, budget.seed + li as u64 * 97);
             let mut lost_frames = 0usize;
             for _ in 0..budget.fec_frames {
-                let losses = (0..PKTS_PER_FRAME + parity).filter(|_| model.lose()).count();
+                let losses = (0..PKTS_PER_FRAME + parity)
+                    .filter(|_| model.lose())
+                    .count();
                 if losses > parity {
                     lost_frames += 1;
                 }
@@ -161,7 +162,10 @@ mod tests {
         }
         // Higher loss needs more redundancy (compare at ratio 0.15).
         let at = |si: usize, xi: usize| fig.series[si].points[xi].1;
-        assert!(at(2, 3) >= at(0, 3) - 0.02, "5% loss should be worse than 1%");
+        assert!(
+            at(2, 3) >= at(0, 3) - 0.02,
+            "5% loss should be worse than 1%"
+        );
     }
 
     #[test]
@@ -196,7 +200,10 @@ mod tests {
             let no_rc = &fig.series[loss_idx * 2];
             let rc = &fig.series[loss_idx * 2 + 1];
             let best = |s: &crate::report::Series| {
-                s.points.iter().map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max)
+                s.points
+                    .iter()
+                    .map(|&(_, q)| q)
+                    .fold(f64::NEG_INFINITY, f64::max)
             };
             assert!(
                 best(rc) >= best(no_rc),

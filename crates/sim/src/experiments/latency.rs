@@ -11,7 +11,13 @@ pub fn tab04_latency() -> Table {
     let p = DeviceProfile::iphone12();
     let mut t = Table::new(
         "Section 8.4: per-frame latency budget (iPhone 12 model)",
-        &["resolution", "decode (ms)", "model (ms)", "total (ms)", "30 FPS?"],
+        &[
+            "resolution",
+            "decode (ms)",
+            "model (ms)",
+            "total (ms)",
+            "30 FPS?",
+        ],
     );
     for &rung in &Resolution::LADDER {
         let decode = p.decode_ms(rung);
@@ -22,7 +28,11 @@ pub fn tab04_latency() -> Table {
             fmt_f(decode),
             fmt_f(model),
             fmt_f(total),
-            if total < 33.3 { "yes".into() } else { "NO".into() },
+            if total < 33.3 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t
@@ -33,7 +43,12 @@ pub fn tab04_cpu_energy() -> Table {
     let p = DeviceProfile::iphone12();
     let mut t = Table::new(
         "Section 8.4: CPU and energy vs enhanced-frame fraction",
-        &["enhanced frames", "CPU (%)", "energy (J/frame)", "battery (h)"],
+        &[
+            "enhanced frames",
+            "CPU (%)",
+            "energy (J/frame)",
+            "battery (h)",
+        ],
     );
     for &(label, f) in &[("0% (no DNN)", 0.0), ("20%", 0.2), ("100%", 1.0)] {
         t.row(vec![
@@ -53,7 +68,10 @@ pub fn tab04_warp() -> Table {
         "Section 7: grid-sample (warp) cost vs working resolution",
         &["warp resolution", "time (ms)"],
     );
-    for &(label, w, h) in &[("1080p (1920x1080)", 1920usize, 1080usize), ("270p (480x270)", 480, 270)] {
+    for &(label, w, h) in &[
+        ("1080p (1920x1080)", 1920usize, 1080usize),
+        ("270p (480x270)", 480, 270),
+    ] {
         t.row(vec![label.to_string(), fmt_f(p.warp_ms(w, h))]);
     }
     t

@@ -77,8 +77,7 @@ mod tests {
         let fig = fig13a_downscaled_throughput(&ExperimentBudget::test(), 60);
         assert_eq!(fig.series.len(), 4);
         for s in &fig.series {
-            let mean: f64 =
-                s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64;
+            let mean: f64 = s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64;
             assert!(
                 mean > 0.3 && mean < 4.0,
                 "{}: downscaled mean {mean} out of §8.3's 1–2 Mbps ballpark",

@@ -26,4 +26,5 @@ pub mod envs;
 pub mod experiments;
 pub mod pixel_session;
 pub mod report;
+pub mod scenarios;
 pub mod session;

@@ -1,0 +1,171 @@
+//! Named chaos scenarios for the soak harness (and ad-hoc robustness
+//! experiments).
+//!
+//! Each scenario is one [`FaultPlan`] — a hostile-network episode layered
+//! on top of whatever the trace and the Gilbert–Elliott process already
+//! do. The scenarios are *data*: the same plan drives the media link, the
+//! media loss process, and the point-code channel, so one description
+//! exercises the whole stack coherently (a blackout takes out both
+//! transports at the same instant; a corruption window hits exactly the
+//! payloads that survive delivery).
+//!
+//! Fault windows are placed a few seconds into the session so the ABR has
+//! real history when the episode hits, which is the interesting regime:
+//! steady state → fault → degrade → recover.
+
+use crate::session::{Scheme, SessionConfig, SessionResult, StreamingSession};
+use nerve_abr::qoe::QualityMaps;
+use nerve_net::clock::SimTime;
+use nerve_net::faults::FaultPlan;
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+
+/// Canned hostile-network episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosScenario {
+    /// No injected faults — the control arm every other scenario is
+    /// compared against.
+    Clean,
+    /// One 2 s total outage (a handoff dead zone).
+    Blackout,
+    /// Four rapid off/on cycles (a flapping link).
+    LinkFlaps,
+    /// A 3 s window of +250 ms one-way delay (bufferbloat upstream).
+    DelaySpike,
+    /// A 4 s window of up to 120 ms random per-packet jitter plus
+    /// reordering (contention).
+    JitterStorm,
+    /// Capacity cut to 15% for 5 s (congested cell edge).
+    Collapse,
+    /// 30% of delivered point-code payloads corrupted for 4 s.
+    CodeCorruption,
+    /// The acceptance scenario: a 2 s blackout, then a delay spike, with
+    /// point-code corruption overlapping both.
+    KitchenSink,
+}
+
+impl ChaosScenario {
+    pub const ALL: [ChaosScenario; 8] = [
+        ChaosScenario::Clean,
+        ChaosScenario::Blackout,
+        ChaosScenario::LinkFlaps,
+        ChaosScenario::DelaySpike,
+        ChaosScenario::JitterStorm,
+        ChaosScenario::Collapse,
+        ChaosScenario::CodeCorruption,
+        ChaosScenario::KitchenSink,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosScenario::Clean => "clean",
+            ChaosScenario::Blackout => "blackout",
+            ChaosScenario::LinkFlaps => "link-flaps",
+            ChaosScenario::DelaySpike => "delay-spike",
+            ChaosScenario::JitterStorm => "jitter-storm",
+            ChaosScenario::Collapse => "collapse",
+            ChaosScenario::CodeCorruption => "code-corruption",
+            ChaosScenario::KitchenSink => "kitchen-sink",
+        }
+    }
+
+    /// The scenario's fault plan, with per-packet draws derived from
+    /// `seed`.
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        let s = SimTime::from_secs_f64;
+        let base = FaultPlan::new(seed);
+        match self {
+            ChaosScenario::Clean => base,
+            ChaosScenario::Blackout => base.blackout(s(6.0), s(2.0)),
+            ChaosScenario::LinkFlaps => base.flaps(s(6.0), s(0.4), s(0.8), 4),
+            ChaosScenario::DelaySpike => {
+                base.delay_spike(s(6.0), s(3.0), SimTime::from_millis(250))
+            }
+            ChaosScenario::JitterStorm => base
+                .jitter_burst(s(6.0), s(4.0), SimTime::from_millis(120))
+                .reorder(s(6.0), s(4.0), 0.15, SimTime::from_millis(60)),
+            ChaosScenario::Collapse => base.throughput_collapse(s(6.0), s(5.0), 0.15),
+            ChaosScenario::CodeCorruption => base.corrupt(s(6.0), s(4.0), 0.3),
+            ChaosScenario::KitchenSink => base
+                .blackout(s(6.0), s(2.0))
+                .delay_spike(s(9.0), s(2.0), SimTime::from_millis(200))
+                .corrupt(s(6.0), s(5.0), 0.2),
+        }
+    }
+
+    /// Total injected outage time — the bound the soak asserts stalls
+    /// against.
+    pub fn blackout_secs(&self, seed: u64) -> f64 {
+        self.plan(seed).total_blackout().as_secs_f64()
+    }
+}
+
+/// Run one scheme through one chaos scenario on one network kind.
+///
+/// Uses the same downscaled-trace setup as the session tests so a
+/// faultless `Clean` run matches their regime, and seeds the fault plan
+/// independently of the loss processes.
+pub fn run_chaos(
+    scenario: ChaosScenario,
+    kind: NetworkKind,
+    scheme: Scheme,
+    seed: u64,
+    chunks: usize,
+) -> SessionResult {
+    let trace = NetworkTrace::generate(kind, seed).downscaled(1.5);
+    let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+    let mut cfg = SessionConfig::new(trace, maps, scheme);
+    cfg.chunks = chunks;
+    cfg.seed = seed;
+    cfg.faults = scenario.plan(seed ^ 0xFA17);
+    StreamingSession::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_a_valid_plan() {
+        for sc in ChaosScenario::ALL {
+            let plan = sc.plan(3);
+            plan.validate().expect(sc.label());
+            assert_eq!(
+                plan.is_empty(),
+                sc == ChaosScenario::Clean,
+                "{}",
+                sc.label()
+            );
+        }
+    }
+
+    #[test]
+    fn kitchen_sink_includes_the_acceptance_ingredients() {
+        let plan = ChaosScenario::KitchenSink.plan(1);
+        assert!((ChaosScenario::KitchenSink.blackout_secs(1) - 2.0).abs() < 1e-9);
+        // Corruption actually fires somewhere in its window.
+        let hits = (0..1000u64)
+            .filter(|i| plan.corrupt_at(SimTime::from_secs_f64(6.0 + *i as f64 * 0.004), *i))
+            .count();
+        assert!(hits > 0, "corruption never fired");
+    }
+
+    #[test]
+    fn scenario_run_is_deterministic() {
+        let a = run_chaos(
+            ChaosScenario::Blackout,
+            NetworkKind::WiFi,
+            Scheme::nerve(),
+            5,
+            6,
+        );
+        let b = run_chaos(
+            ChaosScenario::Blackout,
+            NetworkKind::WiFi,
+            Scheme::nerve(),
+            5,
+            6,
+        );
+        assert_eq!(a.qoe.to_bits(), b.qoe.to_bits());
+        assert_eq!(a.degradation, b.degradation);
+    }
+}

@@ -27,11 +27,13 @@ use nerve_abr::nemo::{NemoAbr, NemoConfig};
 use nerve_abr::predict::{Ewma, Predictor};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_abr::{Abr, AbrContext};
+use nerve_core::{DegradationLadder, DegradationRung};
 use nerve_net::clock::SimTime;
+use nerve_net::faults::{FaultPlan, FaultyLoss};
 use nerve_net::link::Link;
 use nerve_net::loss::GilbertElliott;
 use nerve_net::quicish::QuicStream;
-use nerve_net::reliable::ReliableChannel;
+use nerve_net::reliable::{ChannelStats, ReliableChannel, SendOutcome};
 use nerve_net::trace::NetworkTrace;
 use nerve_video::resolution::{CHUNK_SECONDS, GOP_FRAMES};
 
@@ -46,7 +48,12 @@ pub enum FecMode {
     Table(FecTable),
 }
 
-/// What happens to a frame that misses its playout deadline.
+/// What happens to a frame that misses its playout deadline when the
+/// scheme has no recovery. Sugar over [`DegradationLadder`]: `Stall` is
+/// [`DegradationLadder::stall_only`], `Reuse` is
+/// [`DegradationLadder::reuse_only`]. Recovery schemes ignore this and
+/// use the full [`DegradationLadder::recovery`] ladder, whose rung is
+/// picked per frame from the remaining time budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatePolicy {
     /// Stall playback until the frame arrives (players without recovery
@@ -55,6 +62,16 @@ pub enum LatePolicy {
     /// Show the previous frame again (the paper's no-recovery baseline
     /// in the lossy-network experiments, §8.3).
     Reuse,
+}
+
+impl LatePolicy {
+    /// The equivalent single-rung degradation ladder.
+    pub fn ladder(self) -> DegradationLadder {
+        match self {
+            LatePolicy::Stall => DegradationLadder::stall_only(),
+            LatePolicy::Reuse => DegradationLadder::reuse_only(),
+        }
+    }
 }
 
 /// Which ABR controls the session.
@@ -80,7 +97,11 @@ pub struct Scheme {
     pub nemo: bool,
     pub abr: AbrKind,
     pub fec: FecMode,
-    pub late_policy: LatePolicy,
+    /// Fallback ladder for frames that miss their deadline when the
+    /// scheme has **no** recovery (stall-only or freeze-only). Recovery
+    /// schemes override this with [`DegradationLadder::recovery`] sized
+    /// from [`SessionConfig::recovery_secs`].
+    pub ladder: DegradationLadder,
     /// QUIC fast retransmission enabled.
     pub retransmission: bool,
 }
@@ -97,7 +118,7 @@ impl Scheme {
                 sr: true,
             },
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -110,7 +131,7 @@ impl Scheme {
             nemo: false,
             abr: AbrKind::Blind,
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -123,7 +144,7 @@ impl Scheme {
             nemo: false,
             abr: AbrKind::Blind,
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -139,7 +160,7 @@ impl Scheme {
                 sr: false,
             },
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -157,7 +178,7 @@ impl Scheme {
             nemo: false,
             abr: AbrKind::Blind,
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -173,7 +194,7 @@ impl Scheme {
                 sr: true,
             },
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -186,7 +207,7 @@ impl Scheme {
             nemo: true,
             abr: AbrKind::Nemo,
             fec: FecMode::Off,
-            late_policy: LatePolicy::Stall,
+            ladder: DegradationLadder::stall_only(),
             retransmission: true,
         }
     }
@@ -196,8 +217,12 @@ impl Scheme {
         self
     }
 
-    pub fn with_late_policy(mut self, policy: LatePolicy) -> Self {
-        self.late_policy = policy;
+    pub fn with_late_policy(self, policy: LatePolicy) -> Self {
+        self.with_ladder(policy.ladder())
+    }
+
+    pub fn with_ladder(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = ladder;
         self
     }
 }
@@ -218,6 +243,11 @@ pub struct SessionConfig {
     pub max_buffer_secs: f64,
     /// RNG seed for the loss processes.
     pub seed: u64,
+    /// Fault scenario injected into both the media and the point-code
+    /// transports (empty by default). The plan is data: one clone feeds
+    /// the link (capacity/delay effects) and one the loss wrappers
+    /// (blackout drops, loss bursts, corruption).
+    pub faults: FaultPlan,
 }
 
 impl SessionConfig {
@@ -232,7 +262,13 @@ impl SessionConfig {
             sr_secs: 0.022,
             max_buffer_secs: 30.0,
             seed: 7,
+            faults: FaultPlan::default(),
         }
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -249,6 +285,32 @@ pub struct ChunkRecord {
     pub total_frames: usize,
 }
 
+/// How many deadline-missing frames each degradation-ladder rung
+/// absorbed over the session (non-NEMO schemes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationCounts {
+    /// Full recovery pipeline ran within budget.
+    pub full: usize,
+    /// Budget only allowed flow + warp.
+    pub warp_only: usize,
+    /// Previous frame re-displayed (freeze / reuse).
+    pub freeze: usize,
+    /// Playback stalled waiting for the frame.
+    pub stall: usize,
+}
+
+impl DegradationCounts {
+    /// Frames that missed their deadline, over all rungs.
+    pub fn total(&self) -> usize {
+        self.full + self.warp_only + self.freeze + self.stall
+    }
+
+    /// Frames that got *less* than a full recovery.
+    pub fn degraded(&self) -> usize {
+        self.warp_only + self.freeze + self.stall
+    }
+}
+
 /// Session results.
 #[derive(Debug, Clone)]
 pub struct SessionResult {
@@ -262,6 +324,11 @@ pub struct SessionResult {
     pub recovered_frame_qoe: f64,
     /// Total rebuffering time.
     pub total_rebuffer_secs: f64,
+    /// Per-rung counts of deadline-missing frames.
+    pub degradation: DegradationCounts,
+    /// Point-code channel counters (retransmissions, deadline expiries,
+    /// corrupted deliveries) — how hard the fault plan hit the codes.
+    pub code_stats: ChannelStats,
 }
 
 /// The streaming session runner.
@@ -290,11 +357,7 @@ impl StreamingSession {
                     sr_secs: cfg.sr_secs,
                     // Without transport retransmission every first-tx loss
                     // is residual; with it only ~p² survives.
-                    residual_loss_factor: if cfg.scheme.retransmission {
-                        0.1
-                    } else {
-                        1.0
-                    },
+                    residual_loss_factor: if cfg.scheme.retransmission { 0.1 } else { 1.0 },
                     ..EnhancementConfig::default()
                 },
             )),
@@ -309,20 +372,39 @@ impl StreamingSession {
             )),
         };
 
-        let link = Link::new(cfg.trace.clone());
-        let loss_model = GilbertElliott::with_rate(
-            cfg.trace.loss_rate.min(0.49),
-            cfg.trace.kind.mean_burst(),
-            cfg.seed,
+        let link = Link::new(cfg.trace.clone()).with_faults(cfg.faults.clone());
+        let loss_model = FaultyLoss::new(
+            GilbertElliott::with_rate(
+                cfg.trace.loss_rate.min(0.49),
+                cfg.trace.kind.mean_burst(),
+                cfg.seed,
+            ),
+            cfg.faults.clone(),
         );
         let attempts = if cfg.scheme.retransmission { 2 } else { 1 };
         let mut media = QuicStream::new(link.clone(), loss_model).with_max_attempts(attempts);
         // Point codes ride a separate reliable channel; its link shares
-        // the trace (bandwidth effect of 1 KB/frame is negligible).
+        // the trace (bandwidth effect of 1 KB/frame is negligible) and
+        // the fault plan (a blackout takes out both transports).
         let mut code_channel = ReliableChannel::new(
-            Link::new(cfg.trace.clone()),
-            GilbertElliott::with_rate(cfg.trace.loss_rate.min(0.49), cfg.trace.kind.mean_burst(), cfg.seed ^ 0xC0DE),
+            Link::new(cfg.trace.clone()).with_faults(cfg.faults.clone()),
+            FaultyLoss::new(
+                GilbertElliott::with_rate(
+                    cfg.trace.loss_rate.min(0.49),
+                    cfg.trace.kind.mean_burst(),
+                    cfg.seed ^ 0xC0DE,
+                ),
+                cfg.faults.clone(),
+            ),
         );
+        // Recovery schemes degrade along the paper's ladder; schemes
+        // without recovery keep their configured stall/freeze fallback.
+        let deg_ladder = if cfg.scheme.recovery {
+            DegradationLadder::recovery(cfg.recovery_secs)
+        } else {
+            cfg.scheme.ladder
+        };
+        let mut degradation = DegradationCounts::default();
 
         let mut now = SimTime::ZERO;
         let mut buffer_secs = 0.0f64;
@@ -342,8 +424,7 @@ impl StreamingSession {
             ctx.last_choice = rung;
 
             // Chunk payload with FEC overhead.
-            let media_bytes =
-                (ladder[rung] as f64 * 1000.0 / 8.0 * CHUNK_SECONDS) as usize;
+            let media_bytes = (ladder[rung] as f64 * 1000.0 / 8.0 * CHUNK_SECONDS) as usize;
             let predicted_loss = loss_tracker.predict();
             let fec_ratio = match &cfg.scheme.fec {
                 FecMode::Off => 0.0,
@@ -410,13 +491,21 @@ impl StreamingSession {
             let download_secs = download_end.saturating_sub(chunk_start).as_secs_f64();
 
             // Point codes: one 1 KB message per frame, sent as the frame
-            // is produced (paced across the chunk).
-            let code_arrivals: Vec<SimTime> = if cfg.scheme.recovery {
+            // is produced (paced across the chunk). Retransmissions stop
+            // at the frame's playout deadline — a code that cannot make
+            // its frame is not worth the bandwidth, and under a blackout
+            // the channel reports `Expired` instead of spinning forever.
+            let delta = CHUNK_SECONDS / frames as f64;
+            let code_outcomes: Vec<SendOutcome> = if cfg.scheme.recovery {
                 (0..frames)
                     .map(|i| {
                         let send_at = chunk_start
-                            + SimTime::from_secs_f64(i as f64 / frames as f64 * download_secs.min(CHUNK_SECONDS));
-                        code_channel.send(1024, send_at)
+                            + SimTime::from_secs_f64(
+                                i as f64 / frames as f64 * download_secs.min(CHUNK_SECONDS),
+                            );
+                        let deadline = chunk_start
+                            + SimTime::from_secs_f64(buffer_secs + (i + 1) as f64 * delta);
+                        code_channel.send_with_deadline(1024, send_at, deadline)
                     })
                     .collect()
             } else {
@@ -424,7 +513,6 @@ impl StreamingSession {
             };
 
             // ---- Playback accounting -------------------------------
-            let delta = CHUNK_SECONDS / frames as f64;
             let mut shift = 0.0f64; // accumulated stall time inside chunk
             let mut rebuffer = 0.0f64;
             let mut psnr_acc = 0.0f64;
@@ -456,21 +544,39 @@ impl StreamingSession {
                         }
                         n_recovered += 1;
                     } else if cfg.scheme.recovery {
-                        // Recovery path: the model runs inside the 33 ms
-                        // frame budget (§8.4), so a recovered frame causes
-                        // no stall — this is exactly how recovery converts
-                        // rebuffering into a bounded quality cost. It does
-                        // need the point code delivered in time.
-                        let code_ok = code_arrivals
+                        // Recovery path: the client picks the best ladder
+                        // rung that fits the time left in the frame slot
+                        // (§8.4). Recovery may start once the point code
+                        // is in (at earliest the slot start) and must
+                        // finish by the playout deadline — a code that
+                        // lands mid-slot leaves only enough budget for a
+                        // warp, and a missing/late/corrupted code leaves
+                        // only the codeless freeze rung. No rung stalls:
+                        // that is how recovery converts rebuffering into
+                        // a bounded quality cost.
+                        let slot_start = t_play - delta;
+                        let budget = code_outcomes
                             .get(i)
-                            .map(|t| t.saturating_sub(chunk_start).as_secs_f64() <= t_play + shift)
-                            .unwrap_or(false);
+                            .and_then(|o| o.delivery_time())
+                            .map(|t| t.saturating_sub(chunk_start).as_secs_f64())
+                            .filter(|arr| *arr <= t_play)
+                            .map(|arr| (t_play - arr.max(slot_start)).min(delta))
+                            .unwrap_or(0.0);
                         rec_chain += 1;
                         reuse_chain = 0;
-                        frame_psnr = if code_ok {
-                            self.config.maps.recovered_psnr_at_depth(rung, rec_chain)
-                        } else {
-                            self.config.maps.reuse_psnr_at_depth(rung, rec_chain)
+                        frame_psnr = match deg_ladder.select(budget) {
+                            DegradationRung::Full => {
+                                degradation.full += 1;
+                                self.config.maps.recovered_psnr_at_depth(rung, rec_chain)
+                            }
+                            DegradationRung::WarpOnly => {
+                                degradation.warp_only += 1;
+                                self.config.maps.warp_only_psnr_at_depth(rung, rec_chain)
+                            }
+                            DegradationRung::Freeze | DegradationRung::Stall => {
+                                degradation.freeze += 1;
+                                self.config.maps.reuse_psnr_at_depth(rung, rec_chain)
+                            }
                         };
                         n_recovered += 1;
                         // Recovered-frame QoE (Table 3).
@@ -478,26 +584,30 @@ impl StreamingSession {
                         recovered_qoe_acc += u;
                         recovered_qoe_n += 1;
                     } else {
-                        // No recovery.
-                        match cfg.scheme.late_policy {
-                            LatePolicy::Stall if !lost => {
+                        // No recovery: the scheme's fallback ladder only
+                        // has the stall and freeze rungs. A lost frame
+                        // can never be waited out, so it freezes even
+                        // under a stall-only ladder.
+                        match deg_ladder.select(delta) {
+                            DegradationRung::Stall if !lost => {
                                 let wait = arr - t_play;
                                 rebuffer += wait;
                                 shift += wait;
                                 reuse_chain = 0;
+                                degradation.stall += 1;
                                 frame_psnr = self.config.maps.plain_psnr[rung];
                             }
                             _ => {
                                 reuse_chain += 1;
+                                degradation.freeze += 1;
                                 frame_psnr =
                                     self.config.maps.reuse_psnr_at_depth(rung, reuse_chain);
                             }
                         }
                         n_recovered += 1; // "needed recovery"
                         let u = self.config.maps.utility_for_psnr(frame_psnr);
-                        recovered_qoe_acc += u
-                            - self.config.qoe.rebuffer_penalty
-                                * if lost { 0.0 } else { (arr - t_play).max(0.0) };
+                        recovered_qoe_acc += u - self.config.qoe.rebuffer_penalty
+                            * if lost { 0.0 } else { (arr - t_play).max(0.0) };
                         recovered_qoe_n += 1;
                     }
                 } else {
@@ -581,6 +691,8 @@ impl StreamingSession {
             },
             total_rebuffer_secs: records.iter().map(|r| r.rebuffer_secs).sum(),
             chunks: records,
+            degradation,
+            code_stats: code_channel.stats,
         }
     }
 
@@ -757,11 +869,19 @@ mod diag {
                     let r = run(s, seed);
                     agg[i] += r.qoe / 3.0;
                     reb[i] += r.total_rebuffer_secs / 3.0;
-                    rungs[i] += r.chunks.iter().map(|c| c.rung as f64).sum::<f64>() / r.chunks.len() as f64 / 3.0;
+                    rungs[i] += r.chunks.iter().map(|c| c.rung as f64).sum::<f64>()
+                        / r.chunks.len() as f64
+                        / 3.0;
                 }
             }
-            println!("loss {loss}: qoe norc-reuse {:.3} norc-stall {:.3} alone {:.3} aware {:.3}", agg[0], agg[1], agg[2], agg[3]);
-            println!("          reb {:.2} {:.2} {:.2} {:.2}  rung {:.2} {:.2} {:.2} {:.2}", reb[0], reb[1], reb[2], reb[3], rungs[0], rungs[1], rungs[2], rungs[3]);
+            println!(
+                "loss {loss}: qoe norc-reuse {:.3} norc-stall {:.3} alone {:.3} aware {:.3}",
+                agg[0], agg[1], agg[2], agg[3]
+            );
+            println!(
+                "          reb {:.2} {:.2} {:.2} {:.2}  rung {:.2} {:.2} {:.2} {:.2}",
+                reb[0], reb[1], reb[2], reb[3], rungs[0], rungs[1], rungs[2], rungs[3]
+            );
         }
     }
 }

@@ -63,7 +63,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> 
     assert_eq!(input.c(), spec.in_channels, "input channels mismatch");
     assert_eq!(
         weight.shape(),
-        [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+        [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel
+        ],
         "weight shape mismatch"
     );
     assert_eq!(bias.len(), spec.out_channels, "bias length mismatch");
@@ -127,7 +132,12 @@ pub fn conv2d_backward(
     );
 
     let mut grad_input = Tensor::zeros(input.n(), input.c(), input.h(), input.w());
-    let mut grad_weight = Tensor::zeros(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel);
+    let mut grad_weight = Tensor::zeros(
+        spec.out_channels,
+        spec.in_channels,
+        spec.kernel,
+        spec.kernel,
+    );
     let mut grad_bias = vec![0.0f32; spec.out_channels];
     let k = spec.kernel as isize;
     let pad = spec.pad as isize;

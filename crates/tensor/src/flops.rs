@@ -59,7 +59,12 @@ impl Sum for CostReport {
 
 impl fmt::Display for CostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} GFLOPs, {:.0}K params", self.gflops(), self.kparams())
+        write!(
+            f,
+            "{:.2} GFLOPs, {:.0}K params",
+            self.gflops(),
+            self.kparams()
+        )
     }
 }
 

@@ -49,14 +49,24 @@ impl Conv2d {
         let fan_in = spec.in_channels * spec.kernel * spec.kernel;
         let weight = init::he_normal(
             rng,
-            [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            [
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ],
             fan_in,
         );
         Self {
             spec,
             weight,
             bias: vec![0.0; spec.out_channels],
-            grad_weight: Tensor::zeros(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel),
+            grad_weight: Tensor::zeros(
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ),
             grad_bias: vec![0.0; spec.out_channels],
             cached_input: None,
         }
@@ -67,9 +77,19 @@ impl Conv2d {
     pub fn zeroed(spec: ConvSpec) -> Self {
         Self {
             spec,
-            weight: Tensor::zeros(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel),
+            weight: Tensor::zeros(
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ),
             bias: vec![0.0; spec.out_channels],
-            grad_weight: Tensor::zeros(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel),
+            grad_weight: Tensor::zeros(
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ),
             grad_bias: vec![0.0; spec.out_channels],
             cached_input: None,
         }
@@ -396,7 +416,10 @@ mod tests {
 
     #[test]
     fn zeroed_residual_head_starts_as_zero_function() {
-        let mut net = Sequential::new(vec![Box::new(Conv2d::zeroed(ConvSpec::same(2, 1, 3)))], 1e-3);
+        let mut net = Sequential::new(
+            vec![Box::new(Conv2d::zeroed(ConvSpec::same(2, 1, 3)))],
+            1e-3,
+        );
         let x = Tensor::full(1, 2, 4, 4, 0.5);
         let y = net.forward(&x);
         assert!(y.l1() == 0.0);

@@ -34,7 +34,10 @@ pub fn leaky_relu_backward(input: &Tensor, grad: &Tensor, alpha: f32) -> Tensor 
 /// how the paper produces 1080p output from 270p feature maps (`r = 4`).
 pub fn pixel_shuffle(x: &Tensor, r: usize) -> Tensor {
     let [n, c_in, h, w] = x.shape();
-    assert!(r > 0 && c_in % (r * r) == 0, "channels {c_in} not divisible by r^2 ({r})");
+    assert!(
+        r > 0 && c_in % (r * r) == 0,
+        "channels {c_in} not divisible by r^2 ({r})"
+    );
     let c_out = c_in / (r * r);
     let mut out = Tensor::zeros(n, c_out, h * r, w * r);
     for ni in 0..n {
@@ -60,7 +63,10 @@ pub fn pixel_shuffle(x: &Tensor, r: usize) -> Tensor {
 /// permutation).
 pub fn pixel_unshuffle(x: &Tensor, r: usize) -> Tensor {
     let [n, c, hr, wr] = x.shape();
-    assert!(r > 0 && hr % r == 0 && wr % r == 0, "spatial size not divisible by r");
+    assert!(
+        r > 0 && hr % r == 0 && wr % r == 0,
+        "spatial size not divisible by r"
+    );
     let (h, w) = (hr / r, wr / r);
     let mut out = Tensor::zeros(n, c * r * r, h, w);
     for ni in 0..n {
@@ -137,7 +143,11 @@ pub fn resize_nearest(x: &Tensor, new_h: usize, new_w: usize) -> Tensor {
 /// with border clamping. This is the paper's `W` block (grid sample).
 pub fn grid_sample(x: &Tensor, flow: &Tensor) -> Tensor {
     let [n, c, h, w] = x.shape();
-    assert_eq!(flow.shape(), [n, 2, h, w], "flow must be [n,2,h,w] matching input");
+    assert_eq!(
+        flow.shape(),
+        [n, 2, h, w],
+        "flow must be [n,2,h,w] matching input"
+    );
     let mut out = Tensor::zeros(n, c, h, w);
     for ni in 0..n {
         for y in 0..h {

@@ -112,7 +112,9 @@ impl Tensor {
 
     #[inline]
     pub fn idx(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
-        debug_assert!(n < self.shape[0] && c < self.shape[1] && y < self.shape[2] && x < self.shape[3]);
+        debug_assert!(
+            n < self.shape[0] && c < self.shape[1] && y < self.shape[2] && x < self.shape[3]
+        );
         ((n * self.shape[1] + c) * self.shape[2] + y) * self.shape[3] + x
     }
 
@@ -167,7 +169,13 @@ impl Tensor {
     pub fn channel(&self, n: usize, c: usize) -> Tensor {
         let hw = self.shape[2] * self.shape[3];
         let start = (n * self.shape[1] + c) * hw;
-        Tensor::from_vec(1, 1, self.shape[2], self.shape[3], self.data[start..start + hw].to_vec())
+        Tensor::from_vec(
+            1,
+            1,
+            self.shape[2],
+            self.shape[3],
+            self.data[start..start + hw].to_vec(),
+        )
     }
 
     /// Concatenate tensors along the channel axis. All inputs must share
@@ -197,7 +205,11 @@ impl Tensor {
 
     /// Split a tensor's channels back into equal-width chunks.
     pub fn split_channels(&self, widths: &[usize]) -> Vec<Tensor> {
-        assert_eq!(widths.iter().sum::<usize>(), self.c(), "split widths must cover all channels");
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.c(),
+            "split widths must cover all channels"
+        );
         let mut out = Vec::with_capacity(widths.len());
         let mut c0 = 0;
         for &cw in widths {

@@ -7,11 +7,10 @@ use nerve_tensor::Tensor;
 use proptest::prelude::*;
 
 fn small_plane() -> impl Strategy<Value = Tensor> {
-    (2usize..7, 2usize..7)
-        .prop_flat_map(|(h, w)| {
-            proptest::collection::vec(-1.0f32..1.0, h * w)
-                .prop_map(move |data| Tensor::from_plane(h, w, data))
-        })
+    (2usize..7, 2usize..7).prop_flat_map(|(h, w)| {
+        proptest::collection::vec(-1.0f32..1.0, h * w)
+            .prop_map(move |data| Tensor::from_plane(h, w, data))
+    })
 }
 
 /// A pair of tensors sharing one shape (avoids assume-rejection storms).

@@ -91,8 +91,12 @@ impl ColorFrame {
     pub fn resize(&self, new_width: usize, new_height: usize) -> ColorFrame {
         ColorFrame {
             y: self.y.resize(new_width, new_height),
-            cb: self.cb.resize((new_width / 2).max(1), (new_height / 2).max(1)),
-            cr: self.cr.resize((new_width / 2).max(1), (new_height / 2).max(1)),
+            cb: self
+                .cb
+                .resize((new_width / 2).max(1), (new_height / 2).max(1)),
+            cr: self
+                .cr
+                .resize((new_width / 2).max(1), (new_height / 2).max(1)),
         }
     }
 
@@ -110,11 +114,7 @@ pub fn rgb_to_ycbcr(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
     let y = 0.299 * r + 0.587 * g + 0.114 * b;
     let cb = 0.5 + (b - y) * 0.564;
     let cr = 0.5 + (r - y) * 0.713;
-    (
-        y.clamp(0.0, 1.0),
-        cb.clamp(0.0, 1.0),
-        cr.clamp(0.0, 1.0),
-    )
+    (y.clamp(0.0, 1.0), cb.clamp(0.0, 1.0), cr.clamp(0.0, 1.0))
 }
 
 /// BT.601 YCbCr -> RGB.
@@ -167,8 +167,12 @@ mod tests {
         let cf = ColorFrame::from_rgb(w, h, &rgb);
         let back = cf.to_rgb();
         // Chroma subsampling loses a little; smooth gradients survive.
-        let mad: f32 =
-            rgb.iter().zip(back.iter()).map(|(a, b)| (a - b).abs()).sum::<f32>() / rgb.len() as f32;
+        let mad: f32 = rgb
+            .iter()
+            .zip(back.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / rgb.len() as f32;
         assert!(mad < 0.05, "color round-trip MAD {mad}");
     }
 
@@ -184,7 +188,9 @@ mod tests {
     #[test]
     fn with_luma_swaps_only_luma() {
         let (w, h) = (16usize, 12usize);
-        let rgb: Vec<f32> = (0..w * h).flat_map(|i| [0.8, 0.2, (i % 7) as f32 / 7.0]).collect();
+        let rgb: Vec<f32> = (0..w * h)
+            .flat_map(|i| [0.8, 0.2, (i % 7) as f32 / 7.0])
+            .collect();
         let cf = ColorFrame::from_rgb(w, h, &rgb);
         let enhanced = cf.with_luma(Frame::filled(w, h, 0.5));
         assert_eq!(enhanced.cb, cf.cb);

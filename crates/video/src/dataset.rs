@@ -26,7 +26,10 @@ impl ClipId {
     /// with large odd constants (splitmix-style) so nearby ids produce
     /// unrelated streams.
     pub fn seed(&self) -> u64 {
-        let cat = Category::ALL.iter().position(|&c| c == self.category).unwrap() as u64;
+        let cat = Category::ALL
+            .iter()
+            .position(|&c| c == self.category)
+            .unwrap() as u64;
         let mut z = cat
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add((self.index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -52,9 +55,7 @@ impl ClipId {
 pub fn all_clips() -> Vec<ClipId> {
     Category::ALL
         .iter()
-        .flat_map(|&category| {
-            (0..VIDEOS_PER_CATEGORY).map(move |index| ClipId { category, index })
-        })
+        .flat_map(|&category| (0..VIDEOS_PER_CATEGORY).map(move |index| ClipId { category, index }))
         .collect()
 }
 

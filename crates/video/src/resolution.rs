@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn ladder_matches_paper_table() {
-        let rates: Vec<u32> = Resolution::LADDER.iter().map(|r| r.bitrate_kbps()).collect();
+        let rates: Vec<u32> = Resolution::LADDER
+            .iter()
+            .map(|r| r.bitrate_kbps())
+            .collect();
         assert_eq!(rates, vec![512, 1024, 1600, 2640, 4400]);
         let heights: Vec<usize> = Resolution::LADDER.iter().map(|r| r.dims().1).collect();
         assert_eq!(heights, vec![240, 360, 480, 720, 1080]);

@@ -212,7 +212,9 @@ impl SyntheticVideo {
     pub fn next_frame(&mut self) -> Frame {
         if self.config.cut_interval > 0
             && self.frame_index > 0
-            && self.frame_index.is_multiple_of(self.config.cut_interval as u64)
+            && self
+                .frame_index
+                .is_multiple_of(self.config.cut_interval as u64)
         {
             self.cut();
         }
@@ -387,7 +389,10 @@ mod tests {
             prev_s = s;
             prev_f = f;
         }
-        assert!(df > ds, "gameplay ({df}) should move more than education ({ds})");
+        assert!(
+            df > ds,
+            "gameplay ({df}) should move more than education ({ds})"
+        );
     }
 
     #[test]

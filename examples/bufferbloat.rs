@@ -20,7 +20,10 @@ fn main() {
     let bdp = DropTailQueue::bdp_bytes(&trace);
     println!("bottleneck: 2 Mbps, RTT 40 ms, BDP = {bdp} bytes");
 
-    for (label, capacity) in [("1 BDP (small buffer)", bdp), ("20 BDP (bufferbloat)", bdp * 20)] {
+    for (label, capacity) in [
+        ("1 BDP (small buffer)", bdp),
+        ("20 BDP (bufferbloat)", bdp * 20),
+    ] {
         let mut queue = DropTailQueue::new(trace.clone(), capacity);
         let mut late_frames = 0usize;
         let mut lost_frames = 0usize;

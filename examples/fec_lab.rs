@@ -15,7 +15,10 @@ fn main() {
     let frames = 2000usize;
 
     println!("frame loss rate under bursty loss (RS({k}, {k}+m), {frames} frames)");
-    println!("{:>6} | {:>8} | {:>8} | {:>8}", "ratio", "1% loss", "3% loss", "5% loss");
+    println!(
+        "{:>6} | {:>8} | {:>8} | {:>8}",
+        "ratio", "1% loss", "3% loss", "5% loss"
+    );
     for m in [0usize, 2, 4, 8, 12, 16, 20] {
         let ratio = m as f64 / k as f64;
         let mut row = format!("{ratio:>6.2}");
@@ -48,8 +51,15 @@ fn main() {
     println!("\nanalytic minimum redundancy for <0.1% frame loss:");
     for loss in [0.01f64, 0.03, 0.05] {
         match policy::min_ratio_for_target(k, loss, 1e-3) {
-            Some(r) => println!("  {:>2}% packet loss -> {:.0}% FEC", (loss * 100.0) as u32, r * 100.0),
-            None => println!("  {:>2}% packet loss -> unachievable", (loss * 100.0) as u32),
+            Some(r) => println!(
+                "  {:>2}% packet loss -> {:.0}% FEC",
+                (loss * 100.0) as u32,
+                r * 100.0
+            ),
+            None => println!(
+                "  {:>2}% packet loss -> unachievable",
+                (loss * 100.0) as u32
+            ),
         }
     }
 

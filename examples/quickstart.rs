@@ -27,14 +27,28 @@ fn main() {
     let mut rc = RateController::new();
     let pixel_ratio = (w * h) as f64 / (1920.0 * 1080.0);
     let kbps = (4400.0 * pixel_ratio) as u32;
-    let (encoded, bytes) =
-        encode_chunk_at_kbps(&mut encoder, &mut rc, &frames, kbps, frames.len() as f64 / 30.0);
-    println!("encoded {} frames into {} bytes (~{} kbps at this scale)", encoded.len(), bytes, kbps);
+    let (encoded, bytes) = encode_chunk_at_kbps(
+        &mut encoder,
+        &mut rc,
+        &frames,
+        kbps,
+        frames.len() as f64 / 30.0,
+    );
+    println!(
+        "encoded {} frames into {} bytes (~{} kbps at this scale)",
+        encoded.len(),
+        bytes,
+        kbps
+    );
 
     let mut decoder = Decoder::new(w, h);
     let decoded: Vec<Frame> = encoded.iter().map(|e| decoder.decode(e)).collect();
-    let decode_psnr: f64 =
-        frames.iter().zip(&decoded).map(|(a, b)| psnr(b, a)).sum::<f64>() / frames.len() as f64;
+    let decode_psnr: f64 = frames
+        .iter()
+        .zip(&decoded)
+        .map(|(a, b)| psnr(b, a))
+        .sum::<f64>()
+        / frames.len() as f64;
     println!("decode PSNR: {decode_psnr:.2} dB");
 
     // --- Lose frame 6 entirely; recover it with the point code ---------
@@ -44,7 +58,10 @@ fn main() {
     recovery.observe(&decoded[4]);
     recovery.observe(&decoded[5]);
     let code = pc_encoder.encode(&frames[6]); // extracted server-side
-    println!("binary point code: {} bytes (paper: within 1 KB)", code.byte_len());
+    println!(
+        "binary point code: {} bytes (paper: within 1 KB)",
+        code.byte_len()
+    );
     let recovered = recovery.recover(&decoded[5], &code, None);
     println!(
         "lost frame 6 -> reuse {:.2} dB | recovered {:.2} dB",

@@ -53,7 +53,10 @@ fn main() {
     let gated = train::gate_sr_heads(&mut sr, &mut train_video, 3);
     println!(
         "SR heads trained; validation gate disabled {:?}",
-        gated.iter().map(|r| format!("{}p", r.dims().1)).collect::<Vec<_>>()
+        gated
+            .iter()
+            .map(|r| format!("{}p", r.dims().1))
+            .collect::<Vec<_>>()
     );
     let mut eval = SyntheticVideo::new(SceneConfig::preset(Category::HowTo, oh, ow), 9);
     eval.take_frames(5);

@@ -72,8 +72,7 @@ fn fec_protected_frames_survive_bursty_loss() {
 fn transport_retransmission_complements_fec() {
     // With retransmission enabled, even unprotected frames mostly
     // survive; residual loss is what FEC and recovery are for.
-    let mut transport =
-        QuicStream::new(flat_link(10.0), GilbertElliott::with_rate(0.05, 4.0, 13));
+    let mut transport = QuicStream::new(flat_link(10.0), GilbertElliott::with_rate(0.05, 4.0, 13));
     for f in 0..400 {
         transport.send_burst(&[1200; 15], SimTime::from_millis(f * 33));
     }

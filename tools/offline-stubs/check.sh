@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Offline typecheck/test driver for air-gapped containers (no crates-io
+# access). Patches all external deps to the stub crates in this directory
+# and runs the given cargo subcommand against the workspace.
+#
+#   tools/offline-stubs/check.sh check --workspace --tests
+#   tools/offline-stubs/check.sh test -p nerve-net --lib
+#
+# Uses a separate target dir and lockfile so the real build is untouched.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+export CARGO_TARGET_DIR=target/offline-stub
+# Keep the real Cargo.lock (if any) out of the stub resolution.
+exec cargo --config tools/offline-stubs/patch.toml --config 'build.target-dir="target/offline-stub"' "$@"

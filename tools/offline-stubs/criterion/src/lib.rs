@@ -1,0 +1,86 @@
+//! Minimal offline criterion stub: just enough API for the bench files
+//! to typecheck. Benchmarks run for ~zero iterations; numbers mean
+//! nothing — use the real crate for measurements.
+
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher;
+        f(&mut b);
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+pub struct Bencher;
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+    }
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, F: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let _ = routine(&mut setup());
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

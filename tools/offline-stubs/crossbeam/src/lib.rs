@@ -1,0 +1,1 @@
+//! Empty offline stub — declared by the workspace but currently unused.

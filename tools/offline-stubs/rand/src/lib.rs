@@ -1,0 +1,191 @@
+//! Offline stand-in for `rand 0.10` exposing exactly the API surface this
+//! workspace uses. Built only via the `tools/offline-stubs` patch config
+//! for air-gapped typechecking/smoke-testing; the real crates are used by
+//! any environment with registry access. Streams differ from real rand,
+//! so seeded expectations may differ — statistical tolerances should hold.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rand_core {
+    pub use std::convert::Infallible;
+
+    /// Fallible RNG core (mirrors rand 0.10's `TryRng`).
+    pub trait TryRng {
+        type Error;
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+pub use rand_core::{Infallible, TryRng};
+
+/// Infallible RNG view; blanket-implemented for every infallible `TryRng`.
+pub trait Rng {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible>> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+        }
+    }
+}
+
+/// Types uniformly sampleable over a half-open or inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_one<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_one<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let denom = if inclusive { (1u64 << 53) - 1 } else { 1u64 << 53 };
+                let unit = (rng.next_u64() >> 11) as $t / denom as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_one<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "empty range");
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly. The blanket impls over
+/// `SampleUniform` matter: they let inference unify `Range<{float}>`
+/// with the expected output type exactly like the real crate does.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_one(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_one(rng, lo, hi, true)
+    }
+}
+
+/// Convenience sampling (mirrors rand 0.10's `RngExt`).
+pub trait RngExt: Rng {
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: Rng> RngExt for T {}
+
+/// Seedable construction (simplified: only `seed_from_u64` is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// SplitMix64-fed xoshiro-like generator. Deliberately not `Clone`,
+    /// matching real `StdRng`'s 0.10 semantics the workspace relies on.
+    #[derive(Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::TryRng for StdRng {
+        type Error = super::Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.next() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            Ok(self.next())
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline serde stub: empty marker traits plus no-op derives. Nothing
+//! in the workspace serializes through serde at runtime (the derives are
+//! forward-looking), so this is enough for air-gapped typechecking.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
