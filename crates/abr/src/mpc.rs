@@ -200,23 +200,30 @@ impl EnhancementAwareAbr {
 
         // Quality and rebuffering under the configured awareness.
         let (utility, rebuffer) = if self.config.recovery_aware || self.config.sr_aware {
-            // Mean consecutive-recovery chain depth. Losses are bursty
-            // but chains reset at every good frame: the expected run
-            // length under per-frame loss probability q is 1/(1-q);
-            // lateness additionally bunches at the chunk tail. Clamp the
-            // estimate to a short chain — assuming "half the chunk is one
-            // chain" (an earlier version) makes high rungs look
-            // catastrophic under loss and freezes the controller at the
-            // bottom of the ladder.
-            let q = (n_recovered as f64 / frames as f64).min(0.95);
-            let depth = (1.0 / (1.0 - q)).ceil().clamp(1.0, 6.0) as usize;
-            let q_rec = self.maps.recovered_psnr_at_depth(rung, depth);
             let q_plain = self.maps.plain_psnr[rung];
             let q_sr = self.maps.sr_psnr[rung];
             let mut psnr_acc = q_plain * n_plain as f64;
             let mut rebuffer = 0.0;
             if self.config.recovery_aware {
-                psnr_acc += q_rec * n_recovered as f64;
+                // Two recovered-frame populations with very different
+                // chain shapes. *Late* frames bunch contiguously at the
+                // chunk tail (arrival falls behind playout and stays
+                // behind), so they form one chain whose depth runs
+                // 1..n_late — their quality decays with the predicted
+                // chain length, exactly as the player will experience it.
+                // *Lost* frames scatter; chains reset at every good frame
+                // and the expected run length under per-frame loss q is
+                // 1/(1-q), clamped short. (A fixed short clamp applied to
+                // the late population too — an earlier version — hides
+                // the cost of holding a rung the link can no longer
+                // sustain, which is precisely when the controller must
+                // downgrade.)
+                for d in 1..=n_late {
+                    psnr_acc += self.maps.recovered_psnr_at_depth(rung, d);
+                }
+                let depth_lost =
+                    (1.0 / (1.0 - p_frame_lost.min(0.8))).ceil().clamp(1.0, 6.0) as usize;
+                psnr_acc += self.maps.recovered_psnr_at_depth(rung, depth_lost) * n_lost as f64;
                 // Recovery runs within the 33 ms frame budget (§8.4): a
                 // recovered frame costs at most min(wait, T_RC) of stall.
                 rebuffer += recovery_rebuffer;

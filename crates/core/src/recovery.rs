@@ -1266,7 +1266,7 @@ mod diag {
     use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
 
     #[test]
-    #[ignore]
+    #[ignore = "diagnostic printout: per-stage PSNR breakdown (reuse / historical warp / pipeline / oracle warp) for tuning, no pass criterion"]
     fn stage_isolation() {
         use nerve_flow::lk::estimate;
         use nerve_flow::warp::warp_frame;
@@ -1326,7 +1326,7 @@ mod diag {
     }
 
     #[test]
-    #[ignore]
+    #[ignore = "diagnostic printout: PSNR-vs-chain-depth curves for eyeballing Figure 7 shape, no pass criterion"]
     fn fig7_chain_shape() {
         use crate::baselines::NoCodeRecovery;
         let (w, h) = (112usize, 64usize);
@@ -1378,7 +1378,7 @@ mod diag {
     }
 
     #[test]
-    #[ignore]
+    #[ignore = "diagnostic printout: per-frame PSNR around a scene cut for tuning cut detection, no pass criterion"]
     fn cut_timeseries() {
         use crate::baselines::NoCodeRecovery;
         let (w, h) = (112usize, 64usize);
@@ -1424,7 +1424,7 @@ mod diag {
     }
 
     #[test]
-    #[ignore]
+    #[ignore = "diagnostic printout: recovery PSNR across motion magnitudes for tuning, no pass criterion"]
     fn motion_sweep() {
         for motion in [0.5f32, 1.0, 2.0, 4.0] {
             let (w, h) = (112usize, 64usize);

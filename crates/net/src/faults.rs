@@ -285,10 +285,8 @@ impl FaultPlan {
                 Fault::LossBurst {
                     window,
                     probability,
-                } if window.contains(t) => {
-                    if self.hash01(t, salt, i as u64) < *probability {
-                        return true;
-                    }
+                } if window.contains(t) && self.hash01(t, salt, i as u64) < *probability => {
+                    return true;
                 }
                 _ => {}
             }
@@ -375,7 +373,7 @@ impl FaultPlan {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(t.as_micros())
             .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
-            .wrapping_add(stream.wrapping_mul(0xCA5A_8268_95121_157 ^ 0xB5));
+            .wrapping_add(stream.wrapping_mul(0xCA5A_8268_9512_1157 ^ 0xB5));
         // SplitMix64 finalizer.
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

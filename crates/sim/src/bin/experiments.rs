@@ -4,31 +4,74 @@
 //!   nerve-experiments                # run everything at standard budget
 //!   nerve-experiments --quick        # small budget (seconds)
 //!   nerve-experiments fig12 tab01    # run selected experiments
+//!   nerve-experiments --jobs 4      # sweep worker pool size
+//!   nerve-experiments --bench-out[=PATH]  # write BENCH_sweep.json
+//!
+//! Each selected experiment is one unit of the outermost parallel sweep:
+//! runners fan out across the worker pool (nested sweeps inside a runner
+//! drop to serial), and outputs print in the fixed serial order, so the
+//! report is byte-identical at any `--jobs` value.
 
 use nerve_sim::calibrate::{calibrate, CalibrationBudget};
 use nerve_sim::experiments::{ablations, dnn, fec, latency, qoe, traces, ExperimentBudget};
+use nerve_sim::sweep;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+type Job<'a> = (&'static str, Box<dyn Fn() -> String + Send + Sync + 'a>);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut quick = false;
+    let mut bench_out: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--quick" {
+            quick = true;
+        } else if a == "--jobs" {
+            let n = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            sweep::set_workers(n);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            let n = v
+                .parse::<usize>()
+                .unwrap_or_else(|_| die("--jobs needs a positive integer"));
+            sweep::set_workers(n);
+        } else if a == "--bench-out" {
+            // Optional value: a following non-flag token is the path.
+            match it.peek() {
+                Some(v) if !v.starts_with("--") && !is_experiment_name(v) => {
+                    bench_out = Some(it.next().unwrap().clone());
+                }
+                _ => bench_out = Some("BENCH_sweep.json".to_string()),
+            }
+        } else if let Some(v) = a.strip_prefix("--bench-out=") {
+            bench_out = Some(v.to_string());
+        } else if a.starts_with("--") {
+            die(&format!("unknown flag {a}"));
+        } else {
+            selected.push(a.clone());
+        }
+    }
     let budget = if quick {
         ExperimentBudget::test()
     } else {
         ExperimentBudget::standard()
     };
-    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
-    // Calibration feeds the QoE experiments (and Figure 4).
+    let t_start = Instant::now();
+    // Calibration feeds the QoE experiments (and Figure 4). It runs
+    // before the sweep — every QoE runner reads its maps.
     let needs_cal = [
         "fig02", "fig04", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "tab03",
     ]
     .iter()
     .any(|n| want(n));
+    let mut cal_secs = 0.0f64;
     let cal = if needs_cal {
         eprintln!("[calibrating quality maps from the pixel pipeline...]");
         let cal_budget = if quick {
@@ -36,81 +79,235 @@ fn main() {
         } else {
             budget.calibration.clone()
         };
-        Some(calibrate(&cal_budget))
+        let t0 = Instant::now();
+        let cal = calibrate(&cal_budget);
+        cal_secs = t0.elapsed().as_secs_f64();
+        Some(cal)
     } else {
         None
     };
+    // Shadow with a reference so `move` closures copy it, not the value.
+    let budget = &budget;
 
+    let mut jobs: Vec<Job> = Vec::new();
     if want("fig01") {
-        let fig = fec::fig01_fec_frame_loss(&budget);
-        println!("{fig}");
-        for (name, ratio) in fec::fig01_required_ratios(&fig) {
-            println!("# {name}: needs ~{ratio:.2} redundancy for <2% frame loss");
-        }
-        println!();
+        jobs.push((
+            "fig01",
+            Box::new(move || {
+                let fig = fec::fig01_fec_frame_loss(budget);
+                let mut s = format!("{fig}\n");
+                for (name, ratio) in fec::fig01_required_ratios(&fig) {
+                    let _ = writeln!(
+                        s,
+                        "# {name}: needs ~{ratio:.2} redundancy for <2% frame loss"
+                    );
+                }
+                s.push('\n');
+                s
+            }),
+        ));
     }
     if let Some(cal) = &cal {
         if want("fig02") {
-            println!("{}", fec::fig02_fec_qoe(&budget, &cal.maps));
+            jobs.push((
+                "fig02",
+                Box::new(move || format!("{}\n", fec::fig02_fec_qoe(budget, &cal.maps))),
+            ));
         }
         if want("fig04") {
-            let (a, b) = dnn::fig04_mappings(cal);
-            println!("{a}\n{b}");
+            jobs.push((
+                "fig04",
+                Box::new(move || {
+                    let (a, b) = dnn::fig04_mappings(cal);
+                    format!("{a}\n{b}\n")
+                }),
+            ));
         }
     }
     if want("tab01") {
-        println!("{}", dnn::tab01_sr_comparison(&budget));
+        jobs.push((
+            "tab01",
+            Box::new(move || format!("{}\n", dnn::tab01_sr_comparison(budget))),
+        ));
     }
     if want("fig07") {
-        let (p, s) = dnn::fig07_recovery_quality(&budget);
-        println!("{p}\n{s}");
+        jobs.push((
+            "fig07",
+            Box::new(move || {
+                let (p, s) = dnn::fig07_recovery_quality(budget);
+                format!("{p}\n{s}\n")
+            }),
+        ));
     }
     if want("fig08") {
-        let (p, s) = dnn::fig08_partial_recovery(&budget);
-        println!("{p}\n{s}");
+        jobs.push((
+            "fig08",
+            Box::new(move || {
+                let (p, s) = dnn::fig08_partial_recovery(budget);
+                format!("{p}\n{s}\n")
+            }),
+        ));
     }
     if want("fig10") {
-        let (p, s) = dnn::fig10_sr_quality(&budget);
-        println!("{p}\n{s}");
+        jobs.push((
+            "fig10",
+            Box::new(move || {
+                let (p, s) = dnn::fig10_sr_quality(budget);
+                format!("{p}\n{s}\n")
+            }),
+        ));
     }
     if want("tab02") {
-        println!("{}", traces::tab02_traces(budget.seed));
+        jobs.push((
+            "tab02",
+            Box::new(move || format!("{}\n", traces::tab02_traces(budget.seed))),
+        ));
     }
     if let Some(cal) = &cal {
-        if want("fig12") {
-            println!("{}", qoe::fig12_recovery_schemes(&budget, &cal.maps));
-        }
-        if want("tab03") {
-            println!("{}", qoe::tab03_recovered_qoe(&budget, &cal.maps));
+        type QoeTable =
+            fn(&ExperimentBudget, &nerve_abr::qoe::QualityMaps) -> nerve_sim::report::Table;
+        for (name, f) in [
+            ("fig12", qoe::fig12_recovery_schemes as QoeTable),
+            ("tab03", qoe::tab03_recovered_qoe as QoeTable),
+        ] {
+            if want(name) {
+                jobs.push((
+                    name,
+                    Box::new(move || format!("{}\n", f(budget, &cal.maps))),
+                ));
+            }
         }
         if want("fig13") {
-            println!("{}", traces::fig13a_downscaled_throughput(&budget, 120));
-            println!("{}", qoe::fig13b_recovered_fraction(&budget, &cal.maps));
+            jobs.push((
+                "fig13",
+                Box::new(move || {
+                    format!(
+                        "{}\n{}\n",
+                        traces::fig13a_downscaled_throughput(budget, 120),
+                        qoe::fig13b_recovered_fraction(budget, &cal.maps)
+                    )
+                }),
+            ));
         }
         if want("fig14") {
-            println!("{}", qoe::fig14_5g_timeseries(&budget, &cal.maps));
+            jobs.push((
+                "fig14",
+                Box::new(move || format!("{}\n", qoe::fig14_5g_timeseries(budget, &cal.maps))),
+            ));
         }
-        if want("fig15") {
-            println!("{}", qoe::fig15_lossy_no_fec(&budget, &cal.maps));
-        }
-        if want("fig16") {
-            println!("{}", qoe::fig16_lossy_with_fec(&budget, &cal.maps));
-        }
-        if want("fig17") {
-            println!("{}", qoe::fig17_sr_schemes(&budget, &cal.maps));
-        }
-        if want("fig18") {
-            println!("{}", qoe::fig18_full_system(&budget, &cal.maps));
+        for (name, f) in [
+            ("fig15", qoe::fig15_lossy_no_fec as QoeTable),
+            ("fig16", qoe::fig16_lossy_with_fec as QoeTable),
+            ("fig17", qoe::fig17_sr_schemes as QoeTable),
+            ("fig18", qoe::fig18_full_system as QoeTable),
+        ] {
+            if want(name) {
+                jobs.push((
+                    name,
+                    Box::new(move || format!("{}\n", f(budget, &cal.maps))),
+                ));
+            }
         }
     }
     if want("ablations") {
-        println!("{}", ablations::ablation_code_size(&budget));
-        println!("{}", ablations::ablation_warp_scale(&budget));
-        println!("{}", ablations::ablation_threshold(&budget));
+        jobs.push((
+            "ablations",
+            Box::new(move || {
+                format!(
+                    "{}\n{}\n{}\n",
+                    ablations::ablation_code_size(budget),
+                    ablations::ablation_warp_scale(budget),
+                    ablations::ablation_threshold(budget)
+                )
+            }),
+        ));
     }
     if want("tab04") {
-        println!("{}", latency::tab04_latency());
-        println!("{}", latency::tab04_cpu_energy());
-        println!("{}", latency::tab04_warp());
+        jobs.push((
+            "tab04",
+            Box::new(|| {
+                format!(
+                    "{}\n{}\n{}\n",
+                    latency::tab04_latency(),
+                    latency::tab04_cpu_energy(),
+                    latency::tab04_warp()
+                )
+            }),
+        ));
     }
+
+    // The outermost sweep: whole experiment runners fan out across the
+    // pool; results come back in the fixed report order.
+    let workers = sweep::workers();
+    let timed = sweep::map(&jobs, |_, (name, f)| {
+        let t0 = Instant::now();
+        let out = f();
+        (*name, out, t0.elapsed().as_secs_f64())
+    });
+    for (_, out, _) in &timed {
+        print!("{out}");
+    }
+    let total_secs = t_start.elapsed().as_secs_f64();
+    eprintln!(
+        "[sweep: {} experiment(s) on {workers} worker(s) in {total_secs:.2}s]",
+        timed.len()
+    );
+
+    if let Some(path) = bench_out {
+        let mut entries = String::new();
+        if needs_cal {
+            let _ = write!(
+                entries,
+                "\n    {{\"name\": \"calibrate\", \"secs\": {cal_secs:.4}}}"
+            );
+        }
+        for (name, _, secs) in &timed {
+            if !entries.is_empty() {
+                entries.push(',');
+            }
+            let _ = write!(
+                entries,
+                "\n    {{\"name\": \"{name}\", \"secs\": {secs:.4}}}"
+            );
+        }
+        let json = format!(
+            "{{\n  \"bin\": \"nerve-experiments\",\n  \"workers\": {workers},\n  \"quick\": {quick},\n  \"total_secs\": {total_secs:.4},\n  \"experiments\": [{entries}\n  ]\n}}\n"
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("[failed to write {path}: {e}]");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
+}
+
+/// Known experiment names (used to disambiguate `--bench-out <path>`
+/// from `--bench-out fig12`).
+fn is_experiment_name(s: &str) -> bool {
+    matches!(
+        s,
+        "fig01"
+            | "fig02"
+            | "fig04"
+            | "fig07"
+            | "fig08"
+            | "fig10"
+            | "fig12"
+            | "fig13"
+            | "fig14"
+            | "fig15"
+            | "fig16"
+            | "fig17"
+            | "fig18"
+            | "tab01"
+            | "tab02"
+            | "tab03"
+            | "tab04"
+            | "ablations"
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nerve-experiments: {msg}");
+    std::process::exit(2);
 }

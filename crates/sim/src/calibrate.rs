@@ -9,6 +9,7 @@
 //! Calibration budgets are explicit so tests run in seconds while the
 //! experiment binary can spend more.
 
+use crate::sweep;
 use nerve_abr::qoe::QualityMaps;
 use nerve_codec::rate::{encode_chunk_at_kbps, RateController};
 use nerve_codec::{Decoder, Encoder, EncoderConfig};
@@ -80,6 +81,100 @@ pub fn output_dims(scale_divisor: usize) -> (usize, usize) {
     Resolution::R1080.dims_scaled(scale_divisor)
 }
 
+/// One plain-PSNR calibration unit: encode/decode `clip` at `rung` and
+/// return the (PSNR sum, frame count) partial. Pure per (rung, clip), so
+/// the (rung × clip) grid fans out across the sweep pool.
+fn plain_psnr_unit(
+    budget: &CalibrationBudget,
+    clip: &dataset::ClipId,
+    rung: Resolution,
+    oh: usize,
+    ow: usize,
+) -> (f64, usize) {
+    let (rw, rh) = rung.dims_scaled(budget.scale_divisor);
+    let mut video = clip.open(oh, ow);
+    let frames: Vec<Frame> = video
+        .take_frames(budget.frames_per_clip)
+        .into_iter()
+        .map(|f| f.resize(rw, rh))
+        .collect();
+    let hr: Vec<Frame> = {
+        let mut v = clip.open(oh, ow);
+        v.take_frames(budget.frames_per_clip)
+    };
+    let mut enc = Encoder::new(EncoderConfig::new(rw, rh));
+    let mut rc = RateController::new();
+    // Scale the bitrate to the evaluation scale: bits scale with
+    // pixel count relative to the rung's full-scale dims.
+    let (fw, fh) = rung.dims();
+    let pixel_ratio = (rw * rh) as f64 / (fw * fh) as f64;
+    let kbps = (rung.bitrate_kbps() as f64 * pixel_ratio).max(8.0) as u32;
+    let (encoded, _) = encode_chunk_at_kbps(
+        &mut enc,
+        &mut rc,
+        &frames,
+        kbps,
+        budget.frames_per_clip as f64 / 30.0,
+    );
+    let mut dec = Decoder::new(rw, rh);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (e, gt) in encoded.iter().zip(hr.iter()) {
+        // Quality is judged at output (1080p-equivalent) size,
+        // matching §8.1 ("raw 1080p videos as a reference").
+        let decoded = dec.decode(e).resize(ow, oh);
+        total += psnr(&decoded, gt);
+        count += 1;
+    }
+    (total, count)
+}
+
+/// One recovery-curve unit: top-rung encode/decode of `clip`'s window,
+/// then chained recoveries. Returns per-depth recovered PSNRs, per-depth
+/// reuse PSNRs, and the (decoded-PSNR sum, frame count) partial.
+fn recovery_clip_unit(
+    budget: &CalibrationBudget,
+    clip: &dataset::ClipId,
+    code_cfg: &PointCodeConfig,
+    oh: usize,
+    ow: usize,
+) -> (Vec<f64>, Vec<f64>, f64, usize) {
+    let encoder = PointCodeEncoder::new(code_cfg.clone());
+    let mut video = clip.open(oh, ow);
+    let gts: Vec<Frame> = video.take_frames(3 + budget.max_recovery_depth);
+    // Top-rung encode/decode of the whole window.
+    let mut enc = Encoder::new(EncoderConfig::new(ow, oh));
+    let mut rc = RateController::new();
+    let (fw, fh) = Resolution::R1080.dims();
+    let pixel_ratio = (ow * oh) as f64 / (fw * fh) as f64;
+    let kbps = (Resolution::R1080.bitrate_kbps() as f64 * pixel_ratio).max(8.0) as u32;
+    let (encoded, _) = encode_chunk_at_kbps(&mut enc, &mut rc, &gts, kbps, gts.len() as f64 / 30.0);
+    let mut dec = Decoder::new(ow, oh);
+    let decoded: Vec<Frame> = encoded.iter().map(|e| dec.decode(e)).collect();
+    let mut decoded_psnr_sum = 0.0f64;
+    let mut decoded_n = 0usize;
+    for (d, g) in decoded.iter().zip(gts.iter()) {
+        decoded_psnr_sum += psnr(d, g);
+        decoded_n += 1;
+    }
+
+    let mut model = RecoveryModel::new(RecoveryConfig::with_code(oh, ow, code_cfg.clone()));
+    model.observe(&decoded[1]);
+    model.observe(&decoded[2]);
+    let last_good = decoded[2].clone();
+    let mut cur_prev = decoded[2].clone();
+    let mut depth_psnr = Vec::with_capacity(budget.max_recovery_depth);
+    let mut reuse_psnr = Vec::with_capacity(budget.max_recovery_depth);
+    for depth in 0..budget.max_recovery_depth {
+        let gt = &gts[3 + depth];
+        let rec = model.recover(&cur_prev, &encoder.encode(gt), None);
+        depth_psnr.push(psnr(&rec, gt));
+        reuse_psnr.push(psnr(&last_good, gt));
+        cur_prev = rec;
+    }
+    (depth_psnr, reuse_psnr, decoded_psnr_sum, decoded_n)
+}
+
 /// Run the full calibration.
 pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
     let (ow, oh) = output_dims(budget.scale_divisor);
@@ -93,45 +188,20 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
         .iter()
         .map(|r| r.bitrate_kbps())
         .collect();
+    // (rung × clip) units fan out across the pool; per-rung reduction
+    // folds clip partials in clip order, matching the old serial loop.
+    let rung_clip = sweep::grid(
+        &(0..Resolution::LADDER.len()).collect::<Vec<_>>(),
+        &(0..clips.len()).collect::<Vec<_>>(),
+    );
+    let partials = sweep::map(&rung_clip, |_, &(ri, ci)| {
+        plain_psnr_unit(budget, &clips[ci], Resolution::LADDER[ri], oh, ow)
+    });
     let mut plain_psnr = Vec::with_capacity(Resolution::LADDER.len());
-    for &rung in &Resolution::LADDER {
-        let (rw, rh) = rung.dims_scaled(budget.scale_divisor);
-        let mut total = 0.0;
-        let mut count = 0usize;
-        for clip in &clips {
-            let mut video = clip.open(oh, ow);
-            let frames: Vec<Frame> = video
-                .take_frames(budget.frames_per_clip)
-                .into_iter()
-                .map(|f| f.resize(rw, rh))
-                .collect();
-            let hr: Vec<Frame> = {
-                let mut v = clip.open(oh, ow);
-                v.take_frames(budget.frames_per_clip)
-            };
-            let mut enc = Encoder::new(EncoderConfig::new(rw, rh));
-            let mut rc = RateController::new();
-            // Scale the bitrate to the evaluation scale: bits scale with
-            // pixel count relative to the rung's full-scale dims.
-            let (fw, fh) = rung.dims();
-            let pixel_ratio = (rw * rh) as f64 / (fw * fh) as f64;
-            let kbps = (rung.bitrate_kbps() as f64 * pixel_ratio).max(8.0) as u32;
-            let (encoded, _) = encode_chunk_at_kbps(
-                &mut enc,
-                &mut rc,
-                &frames,
-                kbps,
-                budget.frames_per_clip as f64 / 30.0,
-            );
-            let mut dec = Decoder::new(rw, rh);
-            for (e, gt) in encoded.iter().zip(hr.iter()) {
-                // Quality is judged at output (1080p-equivalent) size,
-                // matching §8.1 ("raw 1080p videos as a reference").
-                let decoded = dec.decode(e).resize(ow, oh);
-                total += psnr(&decoded, gt);
-                count += 1;
-            }
-        }
+    for per_rung in partials.chunks(clips.len()) {
+        let (total, count) = per_rung
+            .iter()
+            .fold((0.0, 0usize), |(t, c), &(pt, pc)| (t + pt, c + pc));
         plain_psnr.push(total / count as f64);
     }
     let bitrate_curve: Vec<(u32, f64)> = ladder
@@ -142,46 +212,29 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
 
     // ---- Recovery curve (Figure 4a) at the top rung. -----------------
     let code_cfg = PointCodeConfig::scaled((budget.scale_divisor / 4).max(1));
-    let encoder = PointCodeEncoder::new(code_cfg.clone());
     // Recovery operates on *decoded* frames in production: encode/decode
     // the clip at the top rung first, then chain recoveries from the
     // decoded prefix. (Calibrating on raw frames would make recovery
     // look better than a plain decode — a unit inconsistency that
     // silently neuters FEC and awareness decisions downstream.)
+    // Each clip is an independent sweep unit; partials merge in clip
+    // order after the join.
+    let clip_partials = sweep::map(&clips, |_, clip| {
+        recovery_clip_unit(budget, clip, &code_cfg, oh, ow)
+    });
     let mut depth_psnr: Vec<Vec<f64>> = vec![Vec::new(); budget.max_recovery_depth];
     let mut reuse_depth_psnr: Vec<Vec<f64>> = vec![Vec::new(); budget.max_recovery_depth];
     let mut decoded_top_psnr_acc = 0.0f64;
     let mut decoded_top_n = 0usize;
-    for clip in &clips {
-        let mut video = clip.open(oh, ow);
-        let gts: Vec<Frame> = video.take_frames(3 + budget.max_recovery_depth);
-        // Top-rung encode/decode of the whole window.
-        let mut enc = Encoder::new(EncoderConfig::new(ow, oh));
-        let mut rc = RateController::new();
-        let (fw, fh) = Resolution::R1080.dims();
-        let pixel_ratio = (ow * oh) as f64 / (fw * fh) as f64;
-        let kbps = (Resolution::R1080.bitrate_kbps() as f64 * pixel_ratio).max(8.0) as u32;
-        let (encoded, _) =
-            encode_chunk_at_kbps(&mut enc, &mut rc, &gts, kbps, gts.len() as f64 / 30.0);
-        let mut dec = Decoder::new(ow, oh);
-        let decoded: Vec<Frame> = encoded.iter().map(|e| dec.decode(e)).collect();
-        for (d, g) in decoded.iter().zip(gts.iter()) {
-            decoded_top_psnr_acc += psnr(d, g);
-            decoded_top_n += 1;
+    for (dp, rp, psum, n) in &clip_partials {
+        for (depth, &v) in dp.iter().enumerate() {
+            depth_psnr[depth].push(v);
         }
-
-        let mut model = RecoveryModel::new(RecoveryConfig::with_code(oh, ow, code_cfg.clone()));
-        model.observe(&decoded[1]);
-        model.observe(&decoded[2]);
-        let last_good = decoded[2].clone();
-        let mut cur_prev = decoded[2].clone();
-        for depth in 0..budget.max_recovery_depth {
-            let gt = &gts[3 + depth];
-            let rec = model.recover(&cur_prev, &encoder.encode(gt), None);
-            depth_psnr[depth].push(psnr(&rec, gt));
-            reuse_depth_psnr[depth].push(psnr(&last_good, gt));
-            cur_prev = rec;
+        for (depth, &v) in rp.iter().enumerate() {
+            reuse_depth_psnr[depth].push(v);
         }
+        decoded_top_psnr_acc += psum;
+        decoded_top_n += n;
     }
     let decoded_top_psnr = decoded_top_psnr_acc / decoded_top_n.max(1) as f64;
     let recovery_curve: Vec<(usize, f64)> = depth_psnr
@@ -225,6 +278,9 @@ pub fn calibrate(budget: &CalibrationBudget) -> Calibration {
     };
 
     // ---- SR curve (Figure 10). ---------------------------------------
+    // Stays serial: training and evaluation mutate one SuperResolver
+    // (stateful temporal reuse), so there is no pure per-unit split.
+    // The conv2d forward inside it parallelises on the same pool instead.
     let sr_config = SrConfig::at_scale(budget.scale_divisor);
     let mut sr = SuperResolver::new(sr_config);
     for clip in &clips {

@@ -28,3 +28,4 @@ pub mod pixel_session;
 pub mod report;
 pub mod scenarios;
 pub mod session;
+pub mod sweep;

@@ -14,6 +14,7 @@
 //! steady state → fault → degrade → recover.
 
 use crate::session::{Scheme, SessionConfig, SessionResult, StreamingSession};
+use crate::sweep;
 use nerve_abr::qoe::QualityMaps;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
@@ -120,6 +121,27 @@ pub fn run_chaos(
     StreamingSession::new(cfg).run()
 }
 
+/// The full scenario × network matrix for one scheme, fanned across the
+/// sweep pool. Results come back in row-major [`sweep::grid`] order
+/// (scenario-major, network-minor), each paired with its coordinates —
+/// exactly the order the serial nested loop would visit, so soak
+/// summaries built from it are bit-identical at any worker count.
+pub fn run_chaos_matrix(
+    scheme: &Scheme,
+    seed: u64,
+    chunks: usize,
+) -> Vec<(ChaosScenario, NetworkKind, SessionResult)> {
+    let cells = sweep::grid(&ChaosScenario::ALL, &NetworkKind::ALL);
+    let results = sweep::map(&cells, |_, &(sc, kind)| {
+        run_chaos(sc, kind, scheme.clone(), seed, chunks)
+    });
+    cells
+        .into_iter()
+        .zip(results)
+        .map(|((sc, kind), r)| (sc, kind, r))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,7 +150,8 @@ mod tests {
     fn every_scenario_builds_a_valid_plan() {
         for sc in ChaosScenario::ALL {
             let plan = sc.plan(3);
-            plan.validate().expect(sc.label());
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: {e:?}", sc.label()));
             assert_eq!(
                 plan.is_empty(),
                 sc == ChaosScenario::Clean,

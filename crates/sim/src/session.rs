@@ -840,8 +840,11 @@ mod diag {
     use super::*;
     use nerve_net::trace::NetworkKind;
 
+    /// Breakdown of the lossy-link schemes (once a diagnostics-only
+    /// printout, now assertion-bearing): concealment schemes never wait
+    /// on late frames, so only the stall baseline rebuffers, and the
+    /// recovery schemes clear the reuse baseline on QoE.
     #[test]
-    #[ignore]
     fn lossy_scheme_breakdown() {
         let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
         for loss in [0.01, 0.05] {
@@ -882,6 +885,35 @@ mod diag {
                 "          reb {:.2} {:.2} {:.2} {:.2}  rung {:.2} {:.2} {:.2} {:.2}",
                 reb[0], reb[1], reb[2], reb[3], rungs[0], rungs[1], rungs[2], rungs[3]
             );
+            // Waiting for late frames without retransmission stalls for
+            // seconds per session; every concealment path stays fluid.
+            assert!(
+                reb[1] > 1.0,
+                "stall baseline should rebuffer at loss {loss}: {:.2}s",
+                reb[1]
+            );
+            for (i, r) in [(0, reb[0]), (2, reb[2]), (3, reb[3])] {
+                assert!(
+                    r < reb[1] * 0.1,
+                    "concealment scheme {i} should not stall at loss {loss}: \
+                     {r:.2}s vs baseline {:.2}s",
+                    reb[1]
+                );
+            }
+            // Recovery (alone or ABR-aware) must beat both no-recovery
+            // baselines on QoE — that is the point of the system.
+            for (name, qoe) in [("alone", agg[2]), ("aware", agg[3])] {
+                assert!(
+                    qoe > agg[0],
+                    "{name} {qoe:.3} should beat norc-reuse {:.3} at loss {loss}",
+                    agg[0]
+                );
+                assert!(
+                    qoe > agg[1],
+                    "{name} {qoe:.3} should beat norc-stall {:.3} at loss {loss}",
+                    agg[1]
+                );
+            }
         }
     }
 }

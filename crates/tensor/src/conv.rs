@@ -34,10 +34,36 @@ impl ConvSpec {
     }
 
     /// Output spatial size for a given input size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the spec cannot produce any
+    /// output for this input — `kernel > h + 2*pad` (or the same for `w`),
+    /// or `stride == 0`. Use [`ConvSpec::checked_out_size`] to handle
+    /// these cases without panicking. (The unchecked subtraction this
+    /// replaces underflowed: panic in debug, a wrapped huge size in
+    /// release.)
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
-        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
-        (oh, ow)
+        self.checked_out_size(h, w).unwrap_or_else(|| {
+            panic!(
+                "ConvSpec::out_size: no valid output for {h}x{w} input \
+                 (kernel {} stride {} pad {}): kernel must not exceed the \
+                 padded input and stride must be nonzero",
+                self.kernel, self.stride, self.pad
+            )
+        })
+    }
+
+    /// [`ConvSpec::out_size`] with checked arithmetic: `None` when the
+    /// kernel exceeds the padded input in either dimension or the stride
+    /// is zero.
+    pub fn checked_out_size(&self, h: usize, w: usize) -> Option<(usize, usize)> {
+        if self.stride == 0 {
+            return None;
+        }
+        let oh = (h.checked_add(2 * self.pad)?).checked_sub(self.kernel)? / self.stride + 1;
+        let ow = (w.checked_add(2 * self.pad)?).checked_sub(self.kernel)? / self.stride + 1;
+        Some((oh, ow))
     }
 
     /// Number of learnable parameters (weights + biases).
@@ -55,10 +81,20 @@ impl ConvSpec {
     }
 }
 
+/// Below this many multiply-accumulates the scoped-thread split costs
+/// more than it saves and the forward pass stays serial.
+const PAR_MIN_MACS: usize = 1 << 20;
+
 /// Forward convolution.
 ///
 /// `input` is `[n, in_c, h, w]`, `weight` is `[out_c, in_c, k, k]`, `bias`
 /// has `out_c` elements. Returns `[n, out_c, oh, ow]`.
+///
+/// Large inputs are split over batch × output-channel planes across the
+/// shared worker pool ([`crate::par`]). Every plane is written by exactly
+/// one worker and each value is computed independently, so the output is
+/// bit-identical at every worker count; nested calls from inside a pool
+/// worker stay serial.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
     assert_eq!(input.c(), spec.in_channels, "input channels mismatch");
     assert_eq!(
@@ -75,38 +111,86 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> 
 
     let (oh, ow) = spec.out_size(input.h(), input.w());
     let mut out = Tensor::zeros(input.n(), spec.out_channels, oh, ow);
-    let k = spec.kernel as isize;
-    let pad = spec.pad as isize;
-
-    for n in 0..input.n() {
-        for oc in 0..spec.out_channels {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bias[oc];
-                    let iy0 = (oy * spec.stride) as isize - pad;
-                    let ix0 = (ox * spec.stride) as isize - pad;
-                    for ic in 0..spec.in_channels {
-                        for ky in 0..k {
-                            let iy = iy0 + ky;
-                            if iy < 0 || iy >= input.h() as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = ix0 + kx;
-                                if ix < 0 || ix >= input.w() as isize {
-                                    continue;
-                                }
-                                acc += input.get(n, ic, iy as usize, ix as usize)
-                                    * weight.get(oc, ic, ky as usize, kx as usize);
-                            }
-                        }
-                    }
-                    out.set(n, oc, oy, ox, acc);
-                }
+    let planes = input.n() * spec.out_channels;
+    let plane_len = oh * ow;
+    if planes == 0 || plane_len == 0 {
+        return out;
+    }
+    let macs = planes * plane_len * spec.in_channels * spec.kernel * spec.kernel;
+    let workers = crate::par::workers().min(planes);
+    if workers > 1 && !crate::par::in_pool() && macs >= PAR_MIN_MACS {
+        // Contiguous plane ranges, one scoped thread each.
+        let per = planes.div_ceil(workers);
+        let mut groups: Vec<Vec<(usize, &mut [f32])>> = Vec::with_capacity(workers);
+        let mut cur: Vec<(usize, &mut [f32])> = Vec::with_capacity(per);
+        for item in out.data_mut().chunks_mut(plane_len).enumerate() {
+            cur.push(item);
+            if cur.len() == per {
+                groups.push(std::mem::take(&mut cur));
             }
+        }
+        if !cur.is_empty() {
+            groups.push(cur);
+        }
+        crossbeam::scope(|s| {
+            for group in groups {
+                s.spawn(move |_| {
+                    let _in_pool = crate::par::PoolGuard::new();
+                    for (p, plane) in group {
+                        conv_plane(input, weight, bias, spec, p, plane);
+                    }
+                });
+            }
+        })
+        .expect("conv2d worker panicked");
+    } else {
+        for (p, plane) in out.data_mut().chunks_mut(plane_len).enumerate() {
+            conv_plane(input, weight, bias, spec, p, plane);
         }
     }
     out
+}
+
+/// Compute output plane `p` (flat batch×channel index: batch item
+/// `p / out_channels`, channel `p % out_channels`) into `plane`. Shared
+/// by the serial and parallel forward paths.
+fn conv_plane(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: ConvSpec,
+    p: usize,
+    plane: &mut [f32],
+) {
+    let (oh, ow) = spec.out_size(input.h(), input.w());
+    let n = p / spec.out_channels;
+    let oc = p % spec.out_channels;
+    let k = spec.kernel as isize;
+    let pad = spec.pad as isize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = bias[oc];
+            let iy0 = (oy * spec.stride) as isize - pad;
+            let ix0 = (ox * spec.stride) as isize - pad;
+            for ic in 0..spec.in_channels {
+                for ky in 0..k {
+                    let iy = iy0 + ky;
+                    if iy < 0 || iy >= input.h() as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = ix0 + kx;
+                        if ix < 0 || ix >= input.w() as isize {
+                            continue;
+                        }
+                        acc += input.get(n, ic, iy as usize, ix as usize)
+                            * weight.get(oc, ic, ky as usize, kx as usize);
+                    }
+                }
+            }
+            plane[oy * ow + ox] = acc;
+        }
+    }
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -256,6 +340,65 @@ mod tests {
         assert_eq!(spec.params(), (16 * 8 * 9 + 16) as u64);
         // 2 * out_c*oh*ow*in_c*k*k at 4x4.
         assert_eq!(spec.flops(4, 4), 2 * 16 * 16 * 8 * 9);
+    }
+
+    #[test]
+    fn checked_out_size_rejects_oversized_kernel_and_zero_stride() {
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 9,
+            stride: 1,
+            pad: 1,
+        };
+        // 4 + 2*1 < 9 in either dimension: no valid output.
+        assert_eq!(spec.checked_out_size(4, 16), None);
+        assert_eq!(spec.checked_out_size(16, 4), None);
+        // Exactly covering the padded input yields a single position.
+        assert_eq!(spec.checked_out_size(7, 7), Some((1, 1)));
+        let degenerate = ConvSpec { stride: 0, ..spec };
+        assert_eq!(degenerate.checked_out_size(16, 16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must not exceed the padded input")]
+    fn out_size_panics_with_clear_message_on_underflow() {
+        // Regression: this underflowed (debug panic on the subtraction,
+        // wrapped huge size in release) before checked arithmetic.
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 9,
+            stride: 1,
+            pad: 1,
+        };
+        let _ = spec.out_size(4, 4);
+    }
+
+    #[test]
+    fn parallel_forward_is_bit_identical_to_serial() {
+        let _guard = crate::par::test_lock();
+        let spec = ConvSpec::same(8, 4, 3);
+        let fill = |seed: u32, len: usize| -> Vec<f32> {
+            let mut state = seed;
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+                })
+                .collect()
+        };
+        // 2*4 planes x 64*64 x 8*9 MACs ≈ 2.4M: crosses PAR_MIN_MACS.
+        let input = Tensor::from_vec(2, 8, 64, 64, fill(3, 2 * 8 * 64 * 64));
+        let weight = Tensor::from_vec(4, 8, 3, 3, fill(4, 4 * 8 * 9));
+        let bias = vec![0.05, -0.1, 0.2, 0.0];
+        let prev = crate::par::workers();
+        crate::par::set_workers(1);
+        let serial = conv2d(&input, &weight, &bias, spec);
+        crate::par::set_workers(4);
+        let parallel = conv2d(&input, &weight, &bias, spec);
+        crate::par::set_workers(prev);
+        assert_eq!(serial.data(), parallel.data());
     }
 
     /// Numerical gradient check: perturb each weight, compare analytic

@@ -21,7 +21,10 @@
 //! * [`flops`] — analytic FLOP/parameter counting used to regenerate the
 //!   paper's Table 1 columns.
 //!
-//! Everything is deterministic given a seed; no threads, no unsafe.
+//! Everything is deterministic given a seed; no unsafe. The only
+//! threading is the scoped batch×channel split in [`conv::conv2d`],
+//! which writes disjoint output planes and is bit-identical at every
+//! worker count (see [`par`]).
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
 
@@ -32,6 +35,7 @@ pub mod loss;
 pub mod net;
 pub mod ops;
 pub mod optim;
+pub mod par;
 pub mod tensor;
 
 pub use flops::CostReport;

@@ -1,0 +1,65 @@
+//! The parallel sweep's core contract: output is byte-identical at any
+//! worker count. These tests pin the process-wide pool to 1, 2, and N
+//! workers and compare rendered experiment tables and calibrated quality
+//! maps byte for byte. Scheduling (which worker runs which unit) is the
+//! only thing the worker count may change.
+
+use nerve_sim::calibrate::{calibrate, CalibrationBudget};
+use nerve_sim::experiments::{qoe, ExperimentBudget};
+use nerve_sim::sweep;
+use std::sync::Mutex;
+
+/// Worker counts under test: serial, minimal parallelism, and a count
+/// above this machine's likely core count (oversubscription must not
+/// change results either).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Both tests mutate the process-wide worker count; serialize them.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn at_workers<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = sweep::workers();
+    sweep::set_workers(n);
+    let out = f();
+    sweep::set_workers(prev);
+    out
+}
+
+#[test]
+fn qoe_experiment_is_byte_identical_across_worker_counts() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = ExperimentBudget::test();
+    let maps = nerve_abr::qoe::QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+    let renders: Vec<String> = WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            at_workers(w, || {
+                qoe::fig12_recovery_schemes(&budget, &maps).to_string()
+            })
+        })
+        .collect();
+    for (w, render) in WORKER_COUNTS.iter().zip(&renders).skip(1) {
+        assert_eq!(
+            &renders[0], render,
+            "fig12 table diverged between 1 and {w} workers"
+        );
+    }
+}
+
+#[test]
+fn calibration_maps_are_byte_identical_across_worker_counts() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = CalibrationBudget::test();
+    // Debug-format f64s round-trip (shortest-representation printing),
+    // so equal strings here mean bit-equal map contents.
+    let renders: Vec<String> = WORKER_COUNTS
+        .iter()
+        .map(|&w| at_workers(w, || format!("{:?}", calibrate(&budget).maps)))
+        .collect();
+    for (w, render) in WORKER_COUNTS.iter().zip(&renders).skip(1) {
+        assert_eq!(
+            &renders[0], render,
+            "calibrated maps diverged between 1 and {w} workers"
+        );
+    }
+}

@@ -1,1 +1,55 @@
-//! Empty offline stub — declared by the workspace but currently unused.
+//! Offline stand-in for `crossbeam 0.8` exposing exactly the API surface
+//! this workspace uses: `crossbeam::scope` / `crossbeam::thread::scope`
+//! with `Scope::spawn` and `ScopedJoinHandle::join`.
+//!
+//! The stub runs every spawned closure **eagerly on the calling thread**
+//! (spawn order), so in-container runs are sequential-but-deterministic;
+//! environments with registry access get real scoped threads from the
+//! real crate. Sweep code must therefore never block inside a spawned
+//! closure waiting on a sibling — the deterministic index-slot pattern
+//! used by `nerve-sim::sweep` satisfies this by construction.
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// Mirror of `crossbeam_utils::thread::Scope`.
+    pub struct Scope<'env> {
+        _env: PhantomData<&'env mut &'env ()>,
+    }
+
+    /// Mirror of `crossbeam_utils::thread::ScopedJoinHandle`. The result
+    /// is already computed by the time the handle exists.
+    pub struct ScopedJoinHandle<'scope, T> {
+        result: T,
+        _scope: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            Ok(self.result)
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            ScopedJoinHandle {
+                result: f(self),
+                _scope: PhantomData,
+            }
+        }
+    }
+
+    /// Mirror of `crossbeam_utils::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        Ok(f(&Scope { _env: PhantomData }))
+    }
+}
+
+pub use thread::scope;
