@@ -79,3 +79,63 @@ pub trait Abr {
     /// Short display name (figure legends).
     fn name(&self) -> &'static str;
 }
+
+/// An [`Abr`] clamped to a maximum ladder rung.
+///
+/// Edge-server admission control downgrades a session by capping the
+/// rungs its controller may pick (BONES-style: shared bandwidth and
+/// shared enhancement compute are rationed by bounding each client's
+/// demand, not by rewriting its policy). The inner ABR still sees the
+/// full context — only its decision is clamped, so lifting the cap later
+/// restores full-quality behaviour with no controller state loss.
+pub struct CappedAbr {
+    inner: Box<dyn Abr>,
+    cap: usize,
+}
+
+impl CappedAbr {
+    /// Clamp `inner` to ladder indices `0..=cap`.
+    pub fn new(inner: Box<dyn Abr>, cap: usize) -> Self {
+        Self { inner, cap }
+    }
+
+    /// The active rung cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Abr for CappedAbr {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        self.inner.choose(ctx).min(self.cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "capped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Greedy;
+    impl Abr for Greedy {
+        fn choose(&mut self, ctx: &AbrContext) -> usize {
+            ctx.ladder_kbps.len() - 1
+        }
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+    }
+
+    #[test]
+    fn capped_abr_clamps_greedy_choice() {
+        let ctx = AbrContext::bootstrap(vec![512, 1024, 1600, 2640, 4400], 4.0, 120);
+        let mut capped = CappedAbr::new(Box::new(Greedy), 2);
+        assert_eq!(capped.choose(&ctx), 2);
+        assert_eq!(capped.cap(), 2);
+        let mut uncapped = CappedAbr::new(Box::new(Greedy), 4);
+        assert_eq!(uncapped.choose(&ctx), 4);
+    }
+}

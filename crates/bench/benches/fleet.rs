@@ -1,0 +1,56 @@
+//! Bench target `fleet` — the edge-server subsystem: cross-session
+//! batched inference and the full multi-session fleet loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_net::clock::SimTime;
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+use nerve_serve::{run_fleet, FleetConfig, InferenceBatcher, InferenceJob, JobKind, ServerModel};
+use std::hint::black_box;
+
+const LADDER: [u32; 5] = [512, 1024, 1600, 2640, 4400];
+
+fn batcher_with(jobs: usize) -> InferenceBatcher {
+    let mut b = InferenceBatcher::new(
+        ServerModel::bench(),
+        LADDER.to_vec(),
+        (0..jobs as u64)
+            .map(|s| s.wrapping_mul(0x9E37_79B9))
+            .collect(),
+    );
+    for s in 0..jobs {
+        b.enqueue(InferenceJob {
+            session: s,
+            chunk: 0,
+            frame: s,
+            kind: JobKind::Recovery,
+            rung: 4,
+            chain: 1,
+            deadline: SimTime::from_secs_f64(100.0),
+        });
+    }
+    b
+}
+
+fn batched_inference(c: &mut Criterion) {
+    // The coalescing claim: one stacked conv over N jobs vs N singles.
+    for n in [1usize, 8, 32] {
+        c.bench_function(&format!("batcher_flush_{n}_jobs"), |b| {
+            b.iter(|| {
+                let mut batcher = batcher_with(black_box(n));
+                black_box(batcher.flush(SimTime::ZERO))
+            })
+        });
+    }
+}
+
+fn fleet_loop(c: &mut Criterion) {
+    c.bench_function("fleet_8_sessions_2_chunks", |b| {
+        let mut cfg = FleetConfig::small(8, 11);
+        cfg.chunks_per_session = 2;
+        let trace = NetworkTrace::generate(NetworkKind::WiFi, 11).downscaled(12.0);
+        b.iter(|| black_box(run_fleet(&cfg, &trace)))
+    });
+}
+
+criterion_group!(benches, batched_inference, fleet_loop);
+criterion_main!(benches);

@@ -114,3 +114,114 @@ proptest! {
         prop_assert_eq!(join(&shards).unwrap(), payload);
     }
 }
+
+// ---------------------------------------------------------------------
+// Exhaustive checks (no sampling): the full multiplicative group, and
+// every survivable erasure pattern for the fleet's FEC configurations.
+// ---------------------------------------------------------------------
+
+/// mul/div round-trip over ALL 255 × 255 nonzero pairs: `(a·b)/b = a`
+/// and `(a/b)·b = a`. 65 025 cases — exhaustive, not sampled.
+#[test]
+fn gf256_mul_div_round_trip_all_nonzero_pairs() {
+    for a in 1u8..=255 {
+        for b in 1u8..=255 {
+            let p = gf256::mul(a, b);
+            assert_eq!(gf256::div(p, b), a, "({a}*{b})/{b}");
+            let q = gf256::div(a, b);
+            assert_eq!(gf256::mul(q, b), a, "({a}/{b})*{b}");
+        }
+    }
+}
+
+/// Every nonzero element has a unique inverse and `a · a⁻¹ = 1`.
+#[test]
+fn gf256_inverses_are_total_and_unique() {
+    let mut seen = [false; 256];
+    for a in 1u8..=255 {
+        let i = gf256::inv(a);
+        assert_eq!(gf256::mul(a, i), 1, "a={a} inv={i}");
+        assert!(!seen[i as usize], "inverse {i} repeated at a={a}");
+        seen[i as usize] = true;
+    }
+}
+
+/// Encode → puncture → decode identity for k = 4..=8 data shards, at
+/// EVERY survivable erasure count e in 0..=parity, over EVERY C(n, e)
+/// erasure pattern. This is the exhaustive version of the sampled
+/// proptest above, pinned to the FEC geometries the streaming stack
+/// actually uses (Table-2 loss regimes put parity at 2–4 shards).
+#[test]
+fn rs_survives_every_erasure_pattern_k4_to_k8() {
+    for k in 4usize..=8 {
+        for parity in 1usize..=4 {
+            let rs = ReedSolomon::new(k, parity).unwrap();
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| {
+                    (0..16)
+                        .map(|j| (i * 37 + j * 11 + k + parity) as u8)
+                        .collect()
+                })
+                .collect();
+            let encoded = rs.encode(&data).unwrap();
+            let n = k + parity;
+            for e in 0..=parity {
+                for pattern in combinations(n, e) {
+                    let mut received: Vec<Option<Vec<u8>>> =
+                        encoded.iter().cloned().map(Some).collect();
+                    for &idx in &pattern {
+                        received[idx] = None;
+                    }
+                    let decoded = rs.reconstruct(&received).unwrap_or_else(|err| {
+                        panic!("k={k} p={parity} erased {pattern:?}: {err:?}")
+                    });
+                    assert_eq!(decoded, data, "k={k} p={parity} erased {pattern:?}");
+                }
+            }
+        }
+    }
+}
+
+/// One erasure past parity always fails cleanly, for the same geometry
+/// sweep — punctured decode never fabricates data.
+#[test]
+fn rs_rejects_every_pattern_one_past_parity() {
+    for k in 4usize..=8 {
+        for parity in 1usize..=3 {
+            let rs = ReedSolomon::new(k, parity).unwrap();
+            let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; 8]).collect();
+            let encoded = rs.encode(&data).unwrap();
+            let n = k + parity;
+            for pattern in combinations(n, parity + 1) {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    encoded.iter().cloned().map(Some).collect();
+                for &idx in &pattern {
+                    received[idx] = None;
+                }
+                assert!(
+                    rs.reconstruct(&received).is_err(),
+                    "k={k} p={parity} erased {pattern:?} must fail"
+                );
+            }
+        }
+    }
+}
+
+/// All `e`-element subsets of `0..n`, lexicographic.
+fn combinations(n: usize, e: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(e);
+    fn rec(start: usize, n: usize, e: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == e {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, e, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, e, &mut cur, &mut out);
+    out
+}

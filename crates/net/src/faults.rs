@@ -203,6 +203,26 @@ impl FaultPlan {
         })
     }
 
+    /// Compose two plans into one: the union of both fault lists under
+    /// *this* plan's seed.
+    ///
+    /// Fleet serving uses this to overlay a per-session plan (one
+    /// client's handoff blackout) on a fleet-wide plan (the edge uplink's
+    /// congestion collapse): each session's transports get one merged
+    /// plan, so a query sees every fault that applies to it. Capacity
+    /// factors multiply and loss probabilities union exactly as if the
+    /// faults had been built into a single plan; `other`'s seed is
+    /// dropped — per-packet draws must come from one stream or the merge
+    /// would double-draw at the same `(time, salt)`.
+    pub fn merged(&self, other: &FaultPlan) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults.extend(other.faults.iter().cloned());
+        FaultPlan {
+            faults,
+            seed: self.seed,
+        }
+    }
+
     /// Validate every fault's parameters. Builders accept anything so a
     /// scenario can be deserialized and *then* checked; call this before
     /// wiring a plan into a session.
@@ -426,6 +446,25 @@ impl<L: crate::loss::LossModel> crate::loss::LossModel for FaultyLoss<L> {
 mod tests {
     use super::*;
     use crate::loss::{LossModel, NoLoss};
+
+    #[test]
+    fn merged_plans_union_faults_and_keep_left_seed() {
+        let fleet = FaultPlan::new(3).throughput_collapse(
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+            0.5,
+        );
+        let session =
+            FaultPlan::new(99).blackout(SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(1.0));
+        let merged = fleet.merged(&session);
+        assert_eq!(merged.faults().len(), 2);
+        // Both effects visible through one plan.
+        assert_eq!(merged.capacity_factor(SimTime::from_secs_f64(1.5)), 0.5);
+        assert!(merged.blackout_at(SimTime::from_secs_f64(5.5)));
+        assert!(!merged.blackout_at(SimTime::from_secs_f64(0.5)));
+        // Draw stream comes from the left (fleet) plan's seed.
+        assert_eq!(merged.seed, 3);
+    }
 
     fn secs(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)

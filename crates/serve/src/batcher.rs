@@ -1,0 +1,470 @@
+//! Cross-session inference batching with a deadline-aware queue.
+//!
+//! NEMO-style per-client enhancement runs one small model per stream —
+//! fine for one phone, ruinous for an edge server with dozens of
+//! sessions: the per-call fixed cost (weight traversal, cache warmup,
+//! dispatch) dominates and the worker pool starves on tiny kernels. The
+//! batcher coalesces every session's pending SR/recovery head into **one
+//! stacked `conv2d` call** ([`nerve_tensor::Tensor::stack`]) so the
+//! batch × out-channel split in [`nerve_tensor::conv::conv2d`] actually
+//! has planes to distribute across the [`nerve_tensor::par`] pool.
+//!
+//! Scheduling is earliest-deadline-first over *playout* deadlines, with
+//! the PR-1 degradation ladder as the shed path: a job whose remaining
+//! budget no longer covers a full forward pass is degraded to warp-only,
+//! and past that to a freeze — it never occupies server compute that
+//! urgent jobs need, and it never silently starves: every degraded job
+//! increments a per-session counter the fleet report surfaces. A slow
+//! session therefore cannot push other sessions past their playout
+//! budget; it can only consume its own.
+//!
+//! Everything is deterministic: the queue orders by
+//! `(deadline, session, chunk, frame)` — a total order — service times
+//! are a pure function of the job and the server model, and the batched
+//! forward pass is bit-identical at every worker count.
+
+use nerve_core::{DegradationLadder, DegradationRung};
+use nerve_net::clock::SimTime;
+use nerve_tensor::conv::{conv2d, ConvSpec};
+use nerve_tensor::Tensor;
+use nerve_video::rng::DetRng;
+use rand::RngExt;
+
+/// Which enhancement a job asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Lost/late frame: point-code flow + warp + enhancement head.
+    Recovery,
+    /// On-time frame with slack: super-resolution head.
+    Sr,
+}
+
+/// One frame's worth of enhancement work, queued by a session.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceJob {
+    pub session: usize,
+    pub chunk: usize,
+    pub frame: usize,
+    pub kind: JobKind,
+    /// Ladder rung of the chunk (scales input size, hence MACs).
+    pub rung: usize,
+    /// Consecutive-enhancement chain depth at enqueue time (recovery
+    /// quality decays with depth; see `QualityMaps::*_at_depth`).
+    pub chain: usize,
+    /// Absolute playout deadline.
+    pub deadline: SimTime,
+}
+
+/// What the server did with one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Full forward pass ran in the batch.
+    Full,
+    /// Budget covered only flow + warp (recovery jobs).
+    WarpOnly,
+    /// Shed: no compute spent; the client freezes (recovery) or shows
+    /// the plain frame (SR).
+    Shed,
+}
+
+/// A resolved job, reported back to the fleet loop.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome {
+    pub job: InferenceJob,
+    pub service: Service,
+    /// When the server finished this job (equals flush time for shed).
+    pub completion: SimTime,
+    /// `deadline - completion` for served jobs, in seconds.
+    pub slack_secs: f64,
+    /// Mean activation of the job's output planes (0 when no forward
+    /// pass ran). Pure function of the job identity and fleet seed, so
+    /// it doubles as a determinism witness across worker counts.
+    pub checksum: f32,
+}
+
+/// The shared enhancement backbone and the server's compute model.
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    /// Per-job input feature map: channels × height × width.
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub height: usize,
+    pub width: usize,
+    pub kernel: usize,
+    /// Server inference throughput, multiply-accumulates per second.
+    pub macs_per_sec: f64,
+    /// Fixed per-flush cost (dispatch, weight traversal) that batching
+    /// amortizes across every job in the batch.
+    pub batch_overhead_secs: f64,
+}
+
+impl ServerModel {
+    /// A small backbone that keeps debug-mode fleet tests fast.
+    pub fn small() -> Self {
+        Self {
+            in_channels: 2,
+            out_channels: 4,
+            height: 8,
+            width: 16,
+            kernel: 3,
+            macs_per_sec: 2.0e9,
+            batch_overhead_secs: 0.002,
+        }
+    }
+
+    /// A backbone sized so batched calls cross the conv parallelization
+    /// threshold — what the fleet bench exercises.
+    pub fn bench() -> Self {
+        Self {
+            in_channels: 8,
+            out_channels: 16,
+            height: 32,
+            width: 64,
+            kernel: 3,
+            macs_per_sec: 2.0e10,
+            batch_overhead_secs: 0.002,
+        }
+    }
+
+    fn spec(&self) -> ConvSpec {
+        ConvSpec::same(self.in_channels, self.out_channels, self.kernel)
+    }
+
+    /// MACs of one full forward pass at the top rung.
+    pub fn macs_per_job(&self) -> f64 {
+        // flops counts 2 ops per MAC.
+        (self.spec().flops(self.height, self.width) / 2) as f64
+    }
+
+    /// Rung scaling of compute: enhancement input size tracks the rung's
+    /// bitrate (higher rungs carry larger frames into the models).
+    pub fn rung_scale(ladder_kbps: &[u32], rung: usize) -> f64 {
+        let top = *ladder_kbps.last().expect("non-empty ladder") as f64;
+        f64::from(ladder_kbps[rung.min(ladder_kbps.len() - 1)]) / top
+    }
+}
+
+/// Batch-size histogram buckets: 1, 2, 3–4, 5–8, …, 65+.
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// Bucket label for the occupancy histogram.
+pub fn occupancy_label(bucket: usize) -> &'static str {
+    match bucket {
+        0 => "1",
+        1 => "2",
+        2 => "3-4",
+        3 => "5-8",
+        4 => "9-16",
+        5 => "17-32",
+        6 => "33-64",
+        _ => "65+",
+    }
+}
+
+fn occupancy_bucket(batch: usize) -> usize {
+    debug_assert!(batch >= 1);
+    ((batch.max(1) as f64).log2().ceil() as usize).min(OCCUPANCY_BUCKETS - 1)
+}
+
+/// Cumulative batcher statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BatcherStats {
+    /// Batched forward passes executed.
+    pub batches: usize,
+    /// Jobs served with a full forward pass.
+    pub full: usize,
+    /// Recovery jobs degraded to warp-only.
+    pub warp_only: usize,
+    /// Jobs shed entirely.
+    pub shed: usize,
+    /// Histogram of batch sizes (see [`occupancy_label`]).
+    pub occupancy: [usize; OCCUPANCY_BUCKETS],
+}
+
+/// The cross-session inference batcher.
+pub struct InferenceBatcher {
+    model: ServerModel,
+    ladder_kbps: Vec<u32>,
+    weight: Tensor,
+    bias: Vec<f32>,
+    queue: Vec<InferenceJob>,
+    /// Per-session seeds for synthetic input features (index = session).
+    input_seeds: Vec<u64>,
+    pub stats: BatcherStats,
+}
+
+impl InferenceBatcher {
+    /// `input_seeds[s]` seeds session `s`'s synthetic input features
+    /// (derive them with `rng::seed_for(fleet_seed, s, Inference)`).
+    pub fn new(model: ServerModel, ladder_kbps: Vec<u32>, input_seeds: Vec<u64>) -> Self {
+        let spec = model.spec();
+        // Deterministic backbone weights: the same fleet seed everywhere
+        // would also work, but weights are part of the *server*, not of
+        // any session, so a fixed stream keeps them stable across fleet
+        // configurations.
+        let mut rng = DetRng::new(0x5EED_BA7C_4E55_0001);
+        let wlen = spec.out_channels * spec.in_channels * spec.kernel * spec.kernel;
+        let scale = (2.0 / (spec.in_channels * spec.kernel * spec.kernel) as f32).sqrt();
+        let weight = Tensor::from_vec(
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+            (0..wlen)
+                .map(|_| rng.random_range(-1.0f32..1.0) * scale)
+                .collect(),
+        );
+        let bias = vec![0.0; spec.out_channels];
+        Self {
+            model,
+            ladder_kbps,
+            weight,
+            bias,
+            queue: Vec::new(),
+            input_seeds,
+            stats: BatcherStats::default(),
+        }
+    }
+
+    /// Queue one job. Order of enqueue does not matter: flushing imposes
+    /// the canonical `(deadline, session, chunk, frame)` order.
+    pub fn enqueue(&mut self, job: InferenceJob) {
+        self.queue.push(job);
+    }
+
+    /// Jobs currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Service time of one full forward pass at `rung`.
+    pub fn full_service_secs(&self, rung: usize) -> f64 {
+        self.model.macs_per_job() * ServerModel::rung_scale(&self.ladder_kbps, rung)
+            / self.model.macs_per_sec
+    }
+
+    /// Drain the queue: EDF service with ladder-based shedding, then one
+    /// batched forward pass over every full-served job.
+    pub fn flush(&mut self, now: SimTime) -> Vec<JobOutcome> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let mut jobs = std::mem::take(&mut self.queue);
+        jobs.sort_by_key(|j| (j.deadline, j.session, j.chunk, j.frame));
+
+        // EDF pass over the service timeline: the cursor starts after
+        // the fixed batch overhead and advances by each served job's
+        // cost. A job's budget is what remains of its deadline when the
+        // cursor reaches it — the degradation ladder picks the best rung
+        // that still fits, exactly as the client-side session does for
+        // late frames.
+        let mut cursor = now + SimTime::from_secs_f64(self.model.batch_overhead_secs);
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut batch_members: Vec<usize> = Vec::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            let full_cost = self.full_service_secs(job.rung);
+            let budget = job.deadline.saturating_sub(cursor).as_secs_f64();
+            let (service, cost) = match job.kind {
+                JobKind::Recovery => {
+                    let ladder = DegradationLadder::recovery(full_cost);
+                    match ladder.select(budget) {
+                        DegradationRung::Full => (Service::Full, full_cost),
+                        DegradationRung::WarpOnly => {
+                            (Service::WarpOnly, ladder.cost_of(DegradationRung::WarpOnly))
+                        }
+                        DegradationRung::Freeze | DegradationRung::Stall => (Service::Shed, 0.0),
+                    }
+                }
+                JobKind::Sr => {
+                    if budget >= full_cost {
+                        (Service::Full, full_cost)
+                    } else {
+                        (Service::Shed, 0.0)
+                    }
+                }
+            };
+            let completion = cursor + SimTime::from_secs_f64(cost);
+            match service {
+                Service::Full => {
+                    self.stats.full += 1;
+                    batch_members.push(idx);
+                }
+                Service::WarpOnly => self.stats.warp_only += 1,
+                Service::Shed => self.stats.shed += 1,
+            }
+            if cost > 0.0 {
+                cursor = completion;
+            }
+            outcomes.push(JobOutcome {
+                job: *job,
+                service,
+                completion,
+                slack_secs: job.deadline.saturating_sub(completion).as_secs_f64(),
+                checksum: 0.0,
+            });
+        }
+
+        // One stacked forward pass for every full-served job: this is
+        // the call whose batch × out-channel planes fan out across the
+        // worker pool.
+        if !batch_members.is_empty() {
+            let inputs: Vec<Tensor> = batch_members
+                .iter()
+                .map(|&idx| self.job_input(&jobs[idx]))
+                .collect();
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let stacked = Tensor::stack(&refs);
+            let out = conv2d(&stacked, &self.weight, &self.bias, self.model.spec());
+            let plane = out.h() * out.w() * out.c();
+            for (bi, &idx) in batch_members.iter().enumerate() {
+                let start = bi * plane;
+                let mean: f32 = out.data()[start..start + plane].iter().sum::<f32>() / plane as f32;
+                outcomes[idx].checksum = mean;
+            }
+            self.stats.batches += 1;
+            self.stats.occupancy[occupancy_bucket(batch_members.len())] += 1;
+        }
+        outcomes
+    }
+
+    /// Synthetic input features for one job: a pure function of
+    /// `(session seed, chunk, frame)`, independent of enqueue order.
+    fn job_input(&self, job: &InferenceJob) -> Tensor {
+        let seed = self.input_seeds[job.session]
+            ^ (job.chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (job.frame as u64).rotate_left(32);
+        let mut rng = DetRng::new(seed);
+        let len = self.model.in_channels * self.model.height * self.model.width;
+        Tensor::from_vec(
+            1,
+            self.model.in_channels,
+            self.model.height,
+            self.model.width,
+            (0..len).map(|_| rng.random_range(-1.0f32..1.0)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(session: usize, frame: usize, deadline_secs: f64, kind: JobKind) -> InferenceJob {
+        InferenceJob {
+            session,
+            chunk: 0,
+            frame,
+            kind,
+            rung: 4,
+            chain: 1,
+            deadline: SimTime::from_secs_f64(deadline_secs),
+        }
+    }
+
+    fn batcher(sessions: usize) -> InferenceBatcher {
+        InferenceBatcher::new(
+            ServerModel::small(),
+            vec![512, 1024, 1600, 2640, 4400],
+            (0..sessions as u64)
+                .map(|s| s.wrapping_mul(0x1234_5678_9ABC_DEF1))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn flush_serves_jobs_with_headroom_in_one_batch() {
+        let mut b = batcher(4);
+        for s in 0..4 {
+            b.enqueue(job(s, 0, 10.0, JobKind::Recovery));
+        }
+        let out = b.flush(SimTime::ZERO);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.service == Service::Full));
+        assert!(out.iter().all(|o| o.slack_secs > 0.0));
+        assert_eq!(b.stats.batches, 1, "one stacked conv for all sessions");
+        assert_eq!(b.stats.occupancy[occupancy_bucket(4)], 1);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_not_served() {
+        let mut b = batcher(2);
+        b.enqueue(job(0, 0, 10.0, JobKind::Recovery));
+        b.enqueue(job(1, 0, 0.0, JobKind::Recovery)); // already past deadline
+        let out = b.flush(SimTime::from_secs_f64(1.0));
+        let by_session: Vec<Service> = out.iter().map(|o| o.service).collect();
+        // Session 1's job expired → shed; session 0's still has 9 s.
+        assert!(by_session.contains(&Service::Full));
+        assert!(by_session.contains(&Service::Shed));
+        assert_eq!(b.stats.shed, 1);
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_warp_only() {
+        let mut b = batcher(1);
+        let full = b.full_service_secs(4);
+        // Deadline covers the overhead plus half a full pass: the ladder
+        // falls to warp-only (cost fraction < 1/2 of full).
+        let deadline = b.model.batch_overhead_secs + full * 0.5;
+        b.enqueue(job(0, 0, deadline, JobKind::Recovery));
+        let out = b.flush(SimTime::ZERO);
+        assert_eq!(out[0].service, Service::WarpOnly);
+        assert_eq!(b.stats.warp_only, 1);
+    }
+
+    #[test]
+    fn sr_jobs_skip_instead_of_degrading() {
+        let mut b = batcher(1);
+        b.enqueue(job(0, 0, 1e-9, JobKind::Sr));
+        let out = b.flush(SimTime::ZERO);
+        assert_eq!(out[0].service, Service::Shed);
+    }
+
+    #[test]
+    fn slow_session_backlog_cannot_starve_urgent_jobs() {
+        let mut b = batcher(2);
+        // Session 0 floods 50 far-deadline jobs; session 1 has one
+        // urgent job. EDF puts the urgent job first regardless of
+        // enqueue order.
+        for f in 0..50 {
+            b.enqueue(job(0, f, 100.0, JobKind::Recovery));
+        }
+        let urgent_deadline = b.model.batch_overhead_secs + b.full_service_secs(4) * 1.5;
+        b.enqueue(job(1, 0, urgent_deadline, JobKind::Recovery));
+        let out = b.flush(SimTime::ZERO);
+        let urgent = out.iter().find(|o| o.job.session == 1).unwrap();
+        assert_eq!(
+            urgent.service,
+            Service::Full,
+            "urgent job must be served before the backlog"
+        );
+    }
+
+    #[test]
+    fn outcomes_and_checksums_are_deterministic_and_order_free() {
+        let run = |order: &[usize]| {
+            let mut b = batcher(3);
+            for &s in order {
+                b.enqueue(job(s, s, 10.0 + s as f64, JobKind::Recovery));
+            }
+            b.flush(SimTime::ZERO)
+                .iter()
+                .map(|o| (o.job.session, o.checksum.to_bits(), o.completion))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(&[0, 1, 2]),
+            run(&[2, 0, 1]),
+            "enqueue order must not matter"
+        );
+    }
+
+    #[test]
+    fn occupancy_buckets_are_monotone() {
+        assert_eq!(occupancy_bucket(1), 0);
+        assert_eq!(occupancy_bucket(2), 1);
+        assert_eq!(occupancy_bucket(4), 2);
+        assert_eq!(occupancy_bucket(8), 3);
+        assert_eq!(occupancy_bucket(64), 6);
+        assert_eq!(occupancy_bucket(1000), OCCUPANCY_BUCKETS - 1);
+    }
+}

@@ -1,0 +1,876 @@
+//! The deterministic multi-session fleet loop.
+//!
+//! One edge server, N concurrent client sessions, one shared uplink. The
+//! loop is a fluid-flow discrete-event simulation over virtual time:
+//! downloading sessions split the trace-driven capacity by weighted fair
+//! share, chunk completions classify frames and enqueue SR/recovery work
+//! on the cross-session [`InferenceBatcher`], and the batcher flushes on
+//! a fixed server tick so jobs from different sessions coalesce into one
+//! stacked forward pass.
+//!
+//! Determinism is by construction, not by locking: the loop itself is
+//! serial (sessions advance in id order at every event), service order
+//! inside a flush is the canonical EDF order, and the batched `conv2d`
+//! is bit-identical at every worker count — so the entire
+//! [`FleetResult`], down to activation checksums, is byte-identical
+//! whether the tensor pool runs 1 worker or 16. `--jobs` changes
+//! wall-clock time only.
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionController, SessionDemand};
+use crate::batcher::{BatcherStats, InferenceBatcher, InferenceJob, JobKind, ServerModel, Service};
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
+use nerve_abr::{Abr, AbrContext, CappedAbr};
+use nerve_net::clock::SimTime;
+use nerve_net::faults::FaultPlan;
+use nerve_net::loss::{GilbertElliott, LossModel};
+use nerve_net::trace::NetworkTrace;
+use nerve_video::rng::{seed_for, StreamComponent};
+
+/// Client heterogeneity: what a session pays for and how it is weighted
+/// on the shared uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientClass {
+    /// 2× uplink weight, recovery + SR.
+    Premium,
+    /// 1× weight, recovery only.
+    Standard,
+    /// 1× weight, no enhancement: damaged frames freeze client-side.
+    Basic,
+}
+
+impl ClientClass {
+    /// Deterministic class assignment by session id (round-robin).
+    pub fn of(session: usize) -> Self {
+        match session % 3 {
+            0 => ClientClass::Premium,
+            1 => ClientClass::Standard,
+            _ => ClientClass::Basic,
+        }
+    }
+
+    pub fn weight(self) -> f64 {
+        match self {
+            ClientClass::Premium => 2.0,
+            _ => 1.0,
+        }
+    }
+
+    pub fn recovery(self) -> bool {
+        !matches!(self, ClientClass::Basic)
+    }
+
+    pub fn sr(self) -> bool {
+        matches!(self, ClientClass::Premium)
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientClass::Premium => "premium",
+            ClientClass::Standard => "standard",
+            ClientClass::Basic => "basic",
+        }
+    }
+}
+
+/// Everything that defines one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of client sessions.
+    pub sessions: usize,
+    /// Chunks each session plays before leaving.
+    pub chunks_per_session: usize,
+    /// Root seed; every per-session stream is derived with
+    /// [`seed_for`], so results are stable under session reordering.
+    pub seed: u64,
+    /// Bitrate ladder, kbps ascending.
+    pub ladder_kbps: Vec<u32>,
+    pub chunk_seconds: f64,
+    pub frames_per_chunk: usize,
+    /// Every `anchor_stride`-th frame is an SR anchor (NEMO-style:
+    /// super-resolve anchors, reuse between them).
+    pub anchor_stride: usize,
+    /// Session `i` arrives at `i * stagger_secs`.
+    pub stagger_secs: f64,
+    /// Client buffer cap, seconds.
+    pub max_buffer_secs: f64,
+    /// Mean packet loss and mean burst length of each session's
+    /// Gilbert–Elliott channel.
+    pub avg_loss: f64,
+    pub mean_burst: f64,
+    /// Transport packet payload, bytes.
+    pub packet_bytes: f64,
+    /// Server front door.
+    pub admission: AdmissionConfig,
+    /// Shared enhancement backbone + compute model.
+    pub model: ServerModel,
+    /// Batcher flush cadence (also the event loop's coarsest step).
+    pub flush_tick_secs: f64,
+    /// Faults hitting the shared uplink (every session sees these).
+    pub fleet_faults: FaultPlan,
+    /// Every `overlay_every`-th session gets a per-session fault overlay
+    /// merged onto the fleet plan (0 disables overlays).
+    pub overlay_every: usize,
+    pub qoe: QoeParams,
+    /// Hard stop for the virtual clock (guards against a dead uplink).
+    pub max_virtual_secs: f64,
+}
+
+impl FleetConfig {
+    /// A debug-speed fleet: small model, short chunks, few frames.
+    pub fn small(sessions: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            chunks_per_session: 4,
+            seed,
+            ladder_kbps: vec![512, 1024, 1600, 2640, 4400],
+            chunk_seconds: 2.0,
+            frames_per_chunk: 30,
+            anchor_stride: 10,
+            stagger_secs: 0.25,
+            max_buffer_secs: 12.0,
+            avg_loss: 0.02,
+            mean_burst: 4.0,
+            packet_bytes: 1200.0,
+            admission: AdmissionConfig::default(),
+            model: ServerModel::small(),
+            flush_tick_secs: 0.25,
+            fleet_faults: FaultPlan::new(0),
+            overlay_every: 4,
+            qoe: QoeParams::default(),
+            max_virtual_secs: 600.0,
+        }
+    }
+}
+
+/// Per-session counters the fleet report surfaces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionCounters {
+    /// Enhancement jobs this session enqueued.
+    pub jobs: usize,
+    /// Jobs served with a full forward pass.
+    pub full: usize,
+    /// Recovery jobs degraded (warp-only or shed): the "starvation has a
+    /// counter" guarantee — any recovery job that misses its budget
+    /// increments this.
+    pub degraded: usize,
+    /// SR anchors skipped for lack of budget (plain quality, §6's normal
+    /// non-SR path — not a degradation).
+    pub sr_skipped: usize,
+    /// Damaged frames frozen client-side (no recovery available).
+    pub freezes: usize,
+}
+
+/// One session's slice of the fleet outcome.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    pub id: usize,
+    pub class: ClientClass,
+    /// Rung cap from admission (`None` = admitted at full ladder).
+    pub cap: Option<usize>,
+    pub rejected: bool,
+    pub qoe: f64,
+    pub mean_utility_mbps: f64,
+    pub rebuffer_secs: f64,
+    pub stall_ratio: f64,
+    pub mean_rung: f64,
+    pub chunks_played: usize,
+    pub counters: SessionCounters,
+    /// Sum of this session's job activation checksums, settled in
+    /// canonical flush order — a determinism witness.
+    pub checksum: f32,
+}
+
+/// Aggregate outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    pub sessions: Vec<SessionSummary>,
+    /// Mean QoE over admitted sessions.
+    pub mean_qoe: f64,
+    /// Jain fairness index over admitted sessions' mean utility.
+    pub fairness: f64,
+    /// Aggregate stall ratio: rebuffer time over play+rebuffer time.
+    pub stall_ratio: f64,
+    pub accepted: usize,
+    pub downgraded: usize,
+    pub rejected: usize,
+    pub batcher: BatcherStats,
+    /// p95 of deadline slack over full-served jobs, seconds.
+    pub p95_slack_secs: f64,
+    /// Virtual time at which the fleet drained.
+    pub virtual_secs: f64,
+}
+
+impl FleetResult {
+    /// Canonical full-precision rendering for byte-identity checks:
+    /// every float is emitted as raw bits, so two runs agree on this
+    /// string iff they agree bit-for-bit on every number that matters.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fleet qoe={:016x} fair={:016x} stall={:016x} adm={}/{}/{} p95={:016x} batches={} full={} warp={} shed={}",
+            self.mean_qoe.to_bits(),
+            self.fairness.to_bits(),
+            self.stall_ratio.to_bits(),
+            self.accepted,
+            self.downgraded,
+            self.rejected,
+            self.p95_slack_secs.to_bits(),
+            self.batcher.batches,
+            self.batcher.full,
+            self.batcher.warp_only,
+            self.batcher.shed,
+        );
+        let _ = writeln!(s, "occupancy={:?}", self.batcher.occupancy);
+        for sess in &self.sessions {
+            let _ = writeln!(
+                s,
+                "s{} {} cap={:?} rej={} qoe={:016x} util={:016x} rebuf={:016x} rung={:016x} jobs={} deg={} srskip={} frz={} sum={:08x}",
+                sess.id,
+                sess.class.label(),
+                sess.cap,
+                sess.rejected,
+                sess.qoe.to_bits(),
+                sess.mean_utility_mbps.to_bits(),
+                sess.rebuffer_secs.to_bits(),
+                sess.mean_rung.to_bits(),
+                sess.counters.jobs,
+                sess.counters.degraded,
+                sess.counters.sr_skipped,
+                sess.counters.freezes,
+                sess.checksum.to_bits(),
+            );
+        }
+        s
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Not yet arrived, or draining an over-full buffer.
+    Waiting {
+        until: SimTime,
+    },
+    Downloading {
+        rung: usize,
+        bytes_left: f64,
+        bytes_total: f64,
+        started: SimTime,
+        buffer_at_start: f64,
+    },
+    Done,
+}
+
+/// Accumulates one chunk's frames until every enhancement job settles.
+#[derive(Debug, Clone, Default)]
+struct ChunkAcc {
+    started: bool,
+    rung: usize,
+    frames: usize,
+    resolved: usize,
+    psnr_sum: f64,
+    rebuffer_secs: f64,
+}
+
+struct SessionState {
+    class: ClientClass,
+    weight: f64,
+    cap: Option<usize>,
+    rejected: bool,
+    abr: Box<dyn Abr>,
+    ctx: AbrContext,
+    phase: Phase,
+    buffer_secs: f64,
+    /// When `buffer_secs` was last brought up to date (the buffer drains
+    /// in real time between chunk requests too).
+    buffer_asof: SimTime,
+    chunk_idx: usize,
+    loss: GilbertElliott,
+    overlay: FaultPlan,
+    chunks: Vec<ChunkAcc>,
+    chain: usize,
+    rung_sum: usize,
+    counters: SessionCounters,
+    checksum: f32,
+    rebuffer_total: f64,
+}
+
+/// Expected steady-state demand of one session capped at `cap`, used by
+/// admission: the rung's bitrate, plus enhancement compute for SR
+/// anchors and the expected damaged-frame recovery load.
+fn demand_at(cfg: &FleetConfig, cap: usize) -> SessionDemand {
+    let anchors = (cfg.frames_per_chunk / cfg.anchor_stride.max(1)) as f64;
+    let expected_damaged = cfg.frames_per_chunk as f64 * cfg.avg_loss;
+    let jobs_per_sec = (anchors + expected_damaged) / cfg.chunk_seconds;
+    let macs_per_job = cfg.model.macs_per_job() * ServerModel::rung_scale(&cfg.ladder_kbps, cap);
+    SessionDemand {
+        bandwidth_kbps: f64::from(cfg.ladder_kbps[cap]),
+        macs_per_sec: jobs_per_sec * macs_per_job,
+    }
+}
+
+fn make_abr(cfg: &FleetConfig, maps: &QualityMaps, class: ClientClass) -> Box<dyn Abr> {
+    Box::new(EnhancementAwareAbr::new(
+        maps.clone(),
+        cfg.qoe,
+        EnhancementConfig {
+            recovery_aware: class.recovery(),
+            sr_aware: class.sr(),
+            ..EnhancementConfig::default()
+        },
+    ))
+}
+
+/// Per-session fault overlay: a mid-run throughput collapse on every
+/// `overlay_every`-th session, merged onto the fleet-wide plan.
+fn overlay_for(cfg: &FleetConfig, id: usize) -> FaultPlan {
+    let base = FaultPlan::new(seed_for(cfg.seed, id as u64, StreamComponent::Faults));
+    if cfg.overlay_every > 0 && id % cfg.overlay_every == cfg.overlay_every - 1 {
+        base.throughput_collapse(
+            SimTime::from_secs_f64(6.0),
+            SimTime::from_secs_f64(4.0),
+            0.4,
+        )
+    } else {
+        base
+    }
+    .merged(&cfg.fleet_faults)
+}
+
+/// Run one fleet to completion. Serial and deterministic: the same
+/// `(cfg, trace)` always yields a byte-identical [`FleetResult::digest`],
+/// at any tensor worker count.
+pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
+    assert!(cfg.sessions > 0, "fleet needs at least one session");
+    assert!(cfg.flush_tick_secs > 0.0);
+    let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+    let top_rung = cfg.ladder_kbps.len() - 1;
+    let delta = cfg.chunk_seconds / cfg.frames_per_chunk as f64;
+
+    let mut admission = AdmissionController::new(&cfg.admission);
+    let mut batcher = InferenceBatcher::new(
+        cfg.model.clone(),
+        cfg.ladder_kbps.clone(),
+        (0..cfg.sessions)
+            .map(|s| seed_for(cfg.seed, s as u64, StreamComponent::Inference))
+            .collect(),
+    );
+
+    let mut sessions: Vec<SessionState> = (0..cfg.sessions)
+        .map(|id| {
+            let class = ClientClass::of(id);
+            SessionState {
+                class,
+                weight: class.weight(),
+                cap: None,
+                rejected: false,
+                abr: make_abr(cfg, &maps, class),
+                ctx: AbrContext::bootstrap(
+                    cfg.ladder_kbps.clone(),
+                    cfg.chunk_seconds,
+                    cfg.frames_per_chunk,
+                ),
+                phase: Phase::Waiting {
+                    until: SimTime::from_secs_f64(id as f64 * cfg.stagger_secs),
+                },
+                buffer_secs: 0.0,
+                buffer_asof: SimTime::ZERO,
+                chunk_idx: 0,
+                loss: GilbertElliott::with_rate(
+                    cfg.avg_loss,
+                    cfg.mean_burst,
+                    seed_for(cfg.seed, id as u64, StreamComponent::MediaLoss),
+                ),
+                overlay: overlay_for(cfg, id),
+                chunks: vec![ChunkAcc::default(); cfg.chunks_per_session],
+                chain: 0,
+                rung_sum: 0,
+                counters: SessionCounters::default(),
+                checksum: 0.0,
+                rebuffer_total: 0.0,
+            }
+        })
+        .collect();
+
+    let tick_us = (cfg.flush_tick_secs * 1e6).round().max(1.0) as u64;
+    let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
+    let mut t = SimTime::ZERO;
+    let mut slacks: Vec<f64> = Vec::new();
+
+    // One settle closure used for every flush: maps a batcher outcome
+    // back onto its session's chunk accumulator and counters.
+    fn settle(
+        sessions: &mut [SessionState],
+        maps: &QualityMaps,
+        slacks: &mut Vec<f64>,
+        outcomes: &[crate::batcher::JobOutcome],
+    ) {
+        for o in outcomes {
+            let s = &mut sessions[o.job.session];
+            let acc = &mut s.chunks[o.job.chunk];
+            let psnr = match (o.job.kind, o.service) {
+                (JobKind::Recovery, Service::Full) => {
+                    maps.recovered_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Recovery, Service::WarpOnly) => {
+                    s.counters.degraded += 1;
+                    maps.warp_only_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Recovery, Service::Shed) => {
+                    s.counters.degraded += 1;
+                    maps.reuse_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Sr, Service::Full) => maps.sr_psnr[o.job.rung],
+                (JobKind::Sr, _) => {
+                    s.counters.sr_skipped += 1;
+                    maps.plain_psnr[o.job.rung]
+                }
+            };
+            if o.service == Service::Full {
+                s.counters.full += 1;
+                slacks.push(o.slack_secs);
+            }
+            s.checksum += o.checksum;
+            acc.psnr_sum += psnr;
+            acc.resolved += 1;
+        }
+    }
+
+    loop {
+        if t >= hard_stop {
+            break;
+        }
+        let all_done = sessions.iter().all(|s| matches!(s.phase, Phase::Done));
+        if all_done {
+            break;
+        }
+
+        // Shared-uplink capacity at `t`: trace rate scaled by fleet-wide
+        // faults; each downloading session gets a weighted fair share,
+        // further scaled by its own overlay (session overlays apply only
+        // to their session — the fleet factor is already in the pool, so
+        // the overlay's own factor is divided back out of the merge).
+        let fleet_factor = if cfg.fleet_faults.blackout_at(t) {
+            0.0
+        } else {
+            cfg.fleet_faults.capacity_factor(t)
+        };
+        let pool = trace.bytes_per_sec_at(t) * fleet_factor;
+        let total_weight: f64 = sessions
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Downloading { .. }))
+            .map(|s| s.weight)
+            .sum();
+        let rate_of = |s: &SessionState| -> f64 {
+            let overlay_factor = if s.overlay.blackout_at(t) {
+                0.0
+            } else if fleet_factor > 0.0 {
+                // merged() includes the fleet faults; undo the fleet
+                // factor so it is not applied twice.
+                s.overlay.capacity_factor(t) / fleet_factor
+            } else {
+                0.0
+            };
+            if total_weight > 0.0 {
+                pool * (s.weight / total_weight) * overlay_factor.min(1.0)
+            } else {
+                0.0
+            }
+        };
+
+        // Next event: tick boundary, a waiting session's wake-up, or the
+        // earliest in-flight completion at current rates.
+        let mut next = hard_stop.min(SimTime(((t.0 / tick_us) + 1) * tick_us));
+        for s in &sessions {
+            match s.phase {
+                Phase::Waiting { until } if until > t => next = next.min(until),
+                Phase::Downloading { bytes_left, .. } => {
+                    let r = rate_of(s);
+                    if r > 0.0 {
+                        let secs = bytes_left / r;
+                        next = next.min(t + SimTime::from_secs_f64(secs + 1e-9));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let dt = next.saturating_sub(t).as_secs_f64().max(1e-6);
+
+        // Advance in-flight downloads by their share over [t, next).
+        let rates: Vec<f64> = sessions.iter().map(rate_of).collect();
+        for (s, r) in sessions.iter_mut().zip(&rates) {
+            if let Phase::Downloading { bytes_left, .. } = &mut s.phase {
+                *bytes_left = (*bytes_left - r * dt).max(0.0);
+            }
+        }
+        t = next.max(t + SimTime(1));
+
+        // Wake waiting sessions and start their next chunk (admission
+        // gates only the first).
+        for s in sessions.iter_mut() {
+            match s.phase {
+                Phase::Waiting { until } if until <= t => {}
+                _ => continue,
+            }
+            if s.chunk_idx == 0 && !s.rejected && s.cap.is_none() {
+                match admission.admit(t, top_rung, |cap| demand_at(cfg, cap)) {
+                    Admission::Accept => {}
+                    Admission::Downgrade { cap } => {
+                        let inner = make_abr(cfg, &maps, s.class);
+                        s.abr = Box::new(CappedAbr::new(inner, cap));
+                        s.cap = Some(cap);
+                    }
+                    Admission::Reject => {
+                        s.rejected = true;
+                        s.phase = Phase::Done;
+                        continue;
+                    }
+                }
+            }
+            if s.chunk_idx >= cfg.chunks_per_session {
+                s.phase = Phase::Done;
+                continue;
+            }
+            // Drain the buffer for the idle time since it was last
+            // updated (completion or drain-wait end to now).
+            let idle = t.saturating_sub(s.buffer_asof).as_secs_f64();
+            s.buffer_secs = (s.buffer_secs - idle).max(0.0);
+            s.buffer_asof = t;
+            s.ctx.buffer_secs = s.buffer_secs;
+            let rung = s.abr.choose(&s.ctx).min(top_rung);
+            s.ctx.last_choice = rung;
+            let bytes = f64::from(cfg.ladder_kbps[rung]) * 1000.0 / 8.0 * cfg.chunk_seconds;
+            s.rung_sum += rung;
+            s.chunks[s.chunk_idx].started = true;
+            s.chunks[s.chunk_idx].rung = rung;
+            s.chunks[s.chunk_idx].frames = cfg.frames_per_chunk;
+            s.phase = Phase::Downloading {
+                rung,
+                bytes_left: bytes,
+                bytes_total: bytes,
+                started: t,
+                buffer_at_start: s.buffer_secs,
+            };
+        }
+
+        // Handle completions in session-id order (canonical).
+        for (id, s) in sessions.iter_mut().enumerate() {
+            let (rung, bytes_total, started, buffer_at_start) = match s.phase {
+                Phase::Downloading {
+                    rung,
+                    bytes_left,
+                    bytes_total,
+                    started,
+                    buffer_at_start,
+                } if bytes_left <= 1e-6 => (rung, bytes_total, started, buffer_at_start),
+                _ => continue,
+            };
+            let dl_secs = t.saturating_sub(started).as_secs_f64().max(1e-6);
+            let rebuffer = (dl_secs - buffer_at_start).max(0.0);
+            s.rebuffer_total += rebuffer;
+            let chunk = s.chunk_idx;
+            s.chunks[chunk].rebuffer_secs = rebuffer;
+
+            // Frame classification. Playback of this chunk begins once
+            // the buffer (plus any stall) allows: frame i plays at
+            // `started + buffer_at_start + rebuffer + i·delta` — by
+            // construction at or after its own (fluid) arrival, so
+            // damage comes from the loss processes and deadline pressure
+            // comes from the *server*, which is the contended resource
+            // this subsystem models.
+            let play_base = buffer_at_start + rebuffer;
+            let pkts_per_frame =
+                ((bytes_total / cfg.frames_per_chunk as f64) / cfg.packet_bytes).ceil() as usize;
+            let mut damaged_frames = 0usize;
+            for frame in 0..cfg.frames_per_chunk {
+                let arr = started
+                    + SimTime::from_secs_f64(
+                        dl_secs * (frame + 1) as f64 / cfg.frames_per_chunk as f64,
+                    );
+                let deadline = started + SimTime::from_secs_f64(play_base + frame as f64 * delta);
+                let mut damaged = false;
+                for _ in 0..pkts_per_frame.max(1) {
+                    damaged |= s.loss.lose();
+                }
+                damaged |= s.overlay.lose_at(arr, (chunk * 1000 + frame) as u64);
+                if damaged {
+                    damaged_frames += 1;
+                    s.chain += 1;
+                    if s.class.recovery() {
+                        s.counters.jobs += 1;
+                        batcher.enqueue(InferenceJob {
+                            session: id,
+                            chunk,
+                            frame,
+                            kind: JobKind::Recovery,
+                            rung,
+                            chain: s.chain,
+                            deadline,
+                        });
+                    } else {
+                        s.counters.freezes += 1;
+                        s.chunks[chunk].psnr_sum += maps.reuse_psnr_at_depth(rung, s.chain);
+                        s.chunks[chunk].resolved += 1;
+                    }
+                } else {
+                    s.chain = 0;
+                    if s.class.sr() && frame % cfg.anchor_stride == 0 {
+                        s.counters.jobs += 1;
+                        batcher.enqueue(InferenceJob {
+                            session: id,
+                            chunk,
+                            frame,
+                            kind: JobKind::Sr,
+                            rung,
+                            chain: 0,
+                            deadline,
+                        });
+                    } else {
+                        s.chunks[chunk].psnr_sum += maps.plain_psnr[rung];
+                        s.chunks[chunk].resolved += 1;
+                    }
+                }
+            }
+
+            // ABR observations and buffer update.
+            let tput_kbps = bytes_total * 8.0 / 1000.0 / dl_secs;
+            s.ctx.throughput_kbps.push(tput_kbps);
+            s.ctx
+                .loss_rates
+                .push(damaged_frames as f64 / cfg.frames_per_chunk as f64);
+            if s.ctx.throughput_kbps.len() > 8 {
+                s.ctx.throughput_kbps.remove(0);
+                s.ctx.loss_rates.remove(0);
+            }
+            s.buffer_secs = (buffer_at_start - dl_secs).max(0.0) + cfg.chunk_seconds;
+            s.buffer_asof = t;
+            s.chunk_idx += 1;
+            if s.chunk_idx >= cfg.chunks_per_session {
+                s.phase = Phase::Done;
+            } else if s.buffer_secs > cfg.max_buffer_secs {
+                // Hold the next request until the buffer drains back to
+                // the cap (the wake-up path drains it by the idle time).
+                let wait = s.buffer_secs - cfg.max_buffer_secs;
+                s.phase = Phase::Waiting {
+                    until: t + SimTime::from_secs_f64(wait),
+                };
+            } else {
+                s.phase = Phase::Waiting { until: t };
+            }
+        }
+
+        // Server tick: flush the cross-session batch.
+        if t.0.is_multiple_of(tick_us) && batcher.pending() > 0 {
+            let outcomes = batcher.flush(t);
+            settle(&mut sessions, &maps, &mut slacks, &outcomes);
+        }
+    }
+
+    // Drain whatever is still queued (sessions that finished between
+    // ticks, or the hard-stop path).
+    if batcher.pending() > 0 {
+        let outcomes = batcher.flush(t);
+        settle(&mut sessions, &maps, &mut slacks, &outcomes);
+    }
+
+    // Assemble per-session summaries.
+    let summaries: Vec<SessionSummary> = sessions
+        .iter()
+        .enumerate()
+        .map(|(id, s)| {
+            let outcomes: Vec<ChunkOutcome> = s
+                .chunks
+                .iter()
+                .filter(|c| c.started && c.resolved == c.frames && c.frames > 0)
+                .map(|c| ChunkOutcome {
+                    utility_mbps: maps.utility_for_psnr(c.psnr_sum / c.frames as f64),
+                    rebuffer_secs: c.rebuffer_secs,
+                })
+                .collect();
+            let qoe = session_qoe(&outcomes, &cfg.qoe);
+            let mean_utility = if outcomes.is_empty() {
+                0.0
+            } else {
+                outcomes.iter().map(|c| c.utility_mbps).sum::<f64>() / outcomes.len() as f64
+            };
+            let played = outcomes.len() as f64 * cfg.chunk_seconds;
+            let stall_ratio = if played + s.rebuffer_total > 0.0 {
+                s.rebuffer_total / (played + s.rebuffer_total)
+            } else {
+                0.0
+            };
+            let chunks_played = outcomes.len();
+            SessionSummary {
+                id,
+                class: s.class,
+                cap: s.cap,
+                rejected: s.rejected,
+                qoe,
+                mean_utility_mbps: mean_utility,
+                rebuffer_secs: s.rebuffer_total,
+                stall_ratio,
+                mean_rung: if chunks_played > 0 {
+                    s.rung_sum as f64 / s.chunk_idx.max(1) as f64
+                } else {
+                    0.0
+                },
+                chunks_played,
+                counters: s.counters,
+                checksum: s.checksum,
+            }
+        })
+        .collect();
+
+    let admitted: Vec<&SessionSummary> = summaries.iter().filter(|s| !s.rejected).collect();
+    let mean_qoe = if admitted.is_empty() {
+        0.0
+    } else {
+        admitted.iter().map(|s| s.qoe).sum::<f64>() / admitted.len() as f64
+    };
+    let utilities: Vec<f64> = admitted.iter().map(|s| s.mean_utility_mbps).collect();
+    let total_rebuffer: f64 = admitted.iter().map(|s| s.rebuffer_secs).sum();
+    let total_played: f64 = admitted
+        .iter()
+        .map(|s| s.chunks_played as f64 * cfg.chunk_seconds)
+        .sum();
+    slacks.sort_by(f64::total_cmp);
+    let p95 = if slacks.is_empty() {
+        0.0
+    } else {
+        slacks[((slacks.len() as f64 * 0.95).ceil() as usize).clamp(1, slacks.len()) - 1]
+    };
+    FleetResult {
+        mean_qoe,
+        fairness: jain_fairness(&utilities),
+        stall_ratio: if total_played + total_rebuffer > 0.0 {
+            total_rebuffer / (total_played + total_rebuffer)
+        } else {
+            0.0
+        },
+        accepted: admission.accepted,
+        downgraded: admission.downgraded,
+        rejected: admission.rejected,
+        batcher: batcher.stats.clone(),
+        p95_slack_secs: p95,
+        virtual_secs: t.as_secs_f64(),
+        sessions: summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerve_net::trace::{NetworkKind, NetworkTrace};
+
+    fn trace(seed: u64) -> NetworkTrace {
+        NetworkTrace::generate(NetworkKind::WiFi, seed).downscaled(12.0)
+    }
+
+    #[test]
+    fn fleet_runs_to_completion_and_settles_every_frame() {
+        let cfg = FleetConfig::small(4, 7);
+        let r = run_fleet(&cfg, &trace(7));
+        assert_eq!(r.sessions.len(), 4);
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.chunks_played, cfg.chunks_per_session,
+                "session {} must finish all chunks",
+                s.id
+            );
+        }
+        assert!(
+            r.virtual_secs < cfg.max_virtual_secs,
+            "must drain, not time out"
+        );
+        assert!(r.fairness > 0.0 && r.fairness <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn digest_is_identical_across_repeat_runs() {
+        let cfg = FleetConfig::small(6, 21);
+        let a = run_fleet(&cfg, &trace(21)).digest();
+        let b = run_fleet(&cfg, &trace(21)).digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tight_admission_budget_downgrades_or_rejects_sessions() {
+        let mut cfg = FleetConfig::small(8, 3);
+        // Budget fits roughly two top-rung sessions.
+        cfg.admission.bandwidth_kbps = 9_000.0;
+        let r = run_fleet(&cfg, &trace(3));
+        assert!(
+            r.downgraded + r.rejected >= 1,
+            "admission must shed load: {}/{}/{}",
+            r.accepted,
+            r.downgraded,
+            r.rejected
+        );
+        let capped = r.sessions.iter().find(|s| s.cap.is_some());
+        if let Some(s) = capped {
+            assert!(
+                s.mean_rung <= s.cap.unwrap() as f64 + 1e-9,
+                "capped session must respect its rung cap"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_server_degrades_with_counters_not_silent_starvation() {
+        let mut cfg = FleetConfig::small(6, 11);
+        // A server ~1000× too slow: most recovery jobs cannot fit their
+        // playout budget and must land on the ladder's lower rungs.
+        cfg.model.macs_per_sec = 2.0e4;
+        cfg.admission.macs_per_sec = f64::INFINITY;
+        let r = run_fleet(&cfg, &trace(11));
+        let degraded: usize = r.sessions.iter().map(|s| s.counters.degraded).sum();
+        assert!(
+            degraded > 0,
+            "overload must surface as degradation counters"
+        );
+        // Every enqueued job is accounted for: full + degraded + skipped.
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+                "no silent job loss for session {}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn batcher_coalesces_across_sessions() {
+        let cfg = FleetConfig::small(8, 5);
+        let r = run_fleet(&cfg, &trace(5));
+        let multi: usize = r.batcher.occupancy[1..].iter().sum();
+        assert!(
+            multi > 0,
+            "at least one flush must batch >1 job: occupancy {:?}",
+            r.batcher.occupancy
+        );
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_fairness(&[1.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+    }
+}

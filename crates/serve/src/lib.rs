@@ -1,0 +1,39 @@
+//! `nerve-serve`: a deterministic multi-session edge server.
+//!
+//! The client-side crates model one phone recovering one stream. This
+//! crate models the other end of the deployment story: an edge server
+//! terminating N concurrent sessions that share an uplink and a single
+//! enhancement backbone. Three pieces compose:
+//!
+//! * [`fleet`] — a virtual-time event loop interleaving per-session
+//!   chunk downloads over a shared [`nerve_net::trace::NetworkTrace`]
+//!   capacity pool (weighted fair share, per-session
+//!   [`nerve_net::faults::FaultPlan`] overlays merged onto the fleet
+//!   plan).
+//! * [`batcher`] — a cross-session inference batcher that coalesces
+//!   pending SR/recovery work into single batched `conv2d` calls on the
+//!   `nerve-tensor` worker pool, with an earliest-deadline-first queue
+//!   and the PR-1 degradation ladder as the shed path.
+//! * [`admission`] — token-bucket admission control over aggregate
+//!   bandwidth and inference MACs: arriving sessions are accepted,
+//!   downgraded to a rung cap ([`nerve_abr::CappedAbr`]), or rejected.
+//!
+//! Everything is deterministic by construction: the loop is serial, all
+//! randomness flows through [`nerve_video::rng::seed_for`] per-session
+//! streams, and the batched convolution is bit-identical at every worker
+//! count — so a fleet's [`fleet::FleetResult::digest`] is byte-identical
+//! at `--jobs 1` and `--jobs 16`.
+
+pub mod admission;
+pub mod batcher;
+pub mod fleet;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket};
+pub use batcher::{
+    occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
+    ServerModel, Service, OCCUPANCY_BUCKETS,
+};
+pub use fleet::{
+    jain_fairness, run_fleet, ClientClass, FleetConfig, FleetResult, SessionCounters,
+    SessionSummary,
+};

@@ -6,6 +6,7 @@
 //!   nerve-experiments fig12 tab01    # run selected experiments
 //!   nerve-experiments --jobs 4      # sweep worker pool size
 //!   nerve-experiments --bench-out[=PATH]  # write BENCH_sweep.json
+//!   nerve-experiments fleet --sessions 64  # multi-session edge server
 //!
 //! Each selected experiment is one unit of the outermost parallel sweep:
 //! runners fan out across the worker pool (nested sweeps inside a runner
@@ -13,7 +14,7 @@
 //! report is byte-identical at any `--jobs` value.
 
 use nerve_sim::calibrate::{calibrate, CalibrationBudget};
-use nerve_sim::experiments::{ablations, dnn, fec, latency, qoe, traces, ExperimentBudget};
+use nerve_sim::experiments::{ablations, dnn, fec, fleet, latency, qoe, traces, ExperimentBudget};
 use nerve_sim::sweep;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,11 +25,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut bench_out: Option<String> = None;
+    let mut sessions = 16usize;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if a == "--quick" {
             quick = true;
+        } else if a == "--sessions" {
+            sessions = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("--sessions needs a positive integer"));
+        } else if let Some(v) = a.strip_prefix("--sessions=") {
+            sessions = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("--sessions needs a positive integer"));
         } else if a == "--jobs" {
             let n = it
                 .next()
@@ -222,6 +236,17 @@ fn main() {
             }),
         ));
     }
+    if want("fleet") {
+        jobs.push((
+            "fleet",
+            Box::new(move || {
+                // One fleet point per sweep unit happens inside the
+                // runner; nested sweeps drop to serial automatically.
+                let chunks = budget.chunks_per_trace.clamp(2, 8);
+                format!("{}\n", fleet::fleet_report(sessions, chunks, budget.seed))
+            }),
+        ));
+    }
     if want("tab04") {
         jobs.push((
             "tab04",
@@ -304,6 +329,7 @@ fn is_experiment_name(s: &str) -> bool {
             | "tab03"
             | "tab04"
             | "ablations"
+            | "fleet"
     )
 }
 

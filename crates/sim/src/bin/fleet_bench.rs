@@ -1,0 +1,133 @@
+//! `nerve-fleet-bench` — throughput and deadline-slack trajectory of the
+//! multi-session edge server. Stable-toolchain, no nightly `test` crate:
+//! runs the fleet at N = 1 / 8 / 64 sessions, times each point, checks
+//! the result digest is byte-identical between 1 worker and the full
+//! pool, and writes `BENCH_fleet.json`.
+//!
+//! Usage:
+//!   nerve-fleet-bench [--jobs N] [--out PATH] [--sessions N] [--full]
+
+use nerve_sim::experiments::fleet;
+use nerve_sim::sweep;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_fleet.json".to_string();
+    let mut jobs_override: Option<usize> = None;
+    let mut max_sessions = 64usize;
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs_override = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--jobs needs a positive integer")),
+                )
+            }
+            "--out" => {
+                out_path = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .clone()
+            }
+            "--sessions" => {
+                max_sessions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| die("--sessions needs a positive integer"))
+            }
+            "--full" => full = true,
+            _ => {
+                if let Some(v) = a.strip_prefix("--jobs=") {
+                    jobs_override = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| die("--jobs needs a positive integer")),
+                    );
+                } else if let Some(v) = a.strip_prefix("--out=") {
+                    out_path = v.to_string();
+                } else if let Some(v) = a.strip_prefix("--sessions=") {
+                    max_sessions = v
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--sessions needs a positive integer"));
+                } else {
+                    die(&format!("unknown argument {a}"));
+                }
+            }
+        }
+    }
+    if let Some(n) = jobs_override {
+        sweep::set_workers(n);
+    }
+    let workers = sweep::workers();
+    let chunks = if full { 8 } else { 4 };
+    let seed = 2024;
+
+    // Determinism gate first: the largest fleet must produce a
+    // byte-identical digest pinned to 1 worker and on the full pool.
+    eprintln!("[fleet-bench: {workers} worker(s); determinism gate at N={max_sessions}...]");
+    let serial = with_workers(1, || fleet::run_point(max_sessions, chunks, seed));
+    let parallel = with_workers(workers, || fleet::run_point(max_sessions, chunks, seed));
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "fleet digest diverged between 1 and {workers} workers"
+    );
+
+    let mut entries = String::new();
+    for n in fleet::fleet_points(max_sessions) {
+        let t0 = Instant::now();
+        let r = fleet::run_point(n, chunks, seed);
+        let wall = t0.elapsed().as_secs_f64();
+        let rate = n as f64 / wall.max(1e-9);
+        if !entries.is_empty() {
+            entries.push(',');
+        }
+        let _ = write!(
+            entries,
+            "\n    {{\"sessions\": {n}, \"wall_secs\": {wall:.4}, \"sessions_per_sec\": {rate:.3}, \
+             \"p95_slack_secs\": {:.6}, \"mean_qoe\": {:.6}, \"fairness\": {:.6}, \
+             \"stall_ratio\": {:.6}, \"batches\": {}, \"downgraded\": {}, \"rejected\": {}}}",
+            r.p95_slack_secs,
+            r.mean_qoe,
+            r.fairness,
+            r.stall_ratio,
+            r.batcher.batches,
+            r.downgraded,
+            r.rejected,
+        );
+        eprintln!(
+            "[N={n}: {wall:.2}s wall, {rate:.1} sessions/s, p95 slack {:.3}s]",
+            r.p95_slack_secs
+        );
+    }
+    let json = format!(
+        "{{\n  \"bin\": \"nerve-fleet-bench\",\n  \"workers\": {workers},\n  \"full\": {full},\n  \"chunks\": {chunks},\n  \"points\": [{entries}\n  ]\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("[failed to write {out_path}: {e}]");
+        std::process::exit(1);
+    }
+    eprintln!("[wrote {out_path}]");
+}
+
+/// Run `f` with the pool pinned to `n` workers, restoring the previous
+/// count afterwards.
+fn with_workers<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = sweep::workers();
+    sweep::set_workers(n);
+    let out = f();
+    sweep::set_workers(prev);
+    out
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nerve-fleet-bench: {msg}");
+    std::process::exit(2);
+}

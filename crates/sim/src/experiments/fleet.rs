@@ -1,0 +1,158 @@
+//! Fleet serving report: the edge server under multi-session load.
+//!
+//! Runs [`nerve_serve::run_fleet`] at a ladder of session counts and
+//! renders the aggregate picture — QoE, Jain fairness, stall ratio,
+//! admission decisions, batcher occupancy, p95 frame-deadline slack.
+//! Each session count is one unit of the parallel sweep, so `--jobs`
+//! fans fleet points across the pool while every individual fleet stays
+//! serial and byte-deterministic.
+
+use crate::report::{fmt_f, Table};
+use crate::sweep;
+use nerve_net::trace::{NetworkKind, NetworkTrace};
+use nerve_serve::batcher::occupancy_label;
+use nerve_serve::{run_fleet, FleetConfig, FleetResult, OCCUPANCY_BUCKETS};
+use nerve_video::rng::{seed_for, StreamComponent};
+
+/// The session counts one fleet report covers: 1 and 8 as fixed
+/// reference points, plus the requested count.
+pub fn fleet_points(sessions: usize) -> Vec<usize> {
+    let mut pts = vec![1, 8, sessions.max(1)];
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// The fleet configuration for `n` sessions. The uplink and the
+/// admission budgets scale with the fleet so a 64-session run contends
+/// the same way per session as an 8-session run — except at the
+/// admission margin, which is sized to shed the top-rung tail. The
+/// arrival window is capped at 4 s: with a per-session budget below the
+/// top rung, a bounded window keeps the shed fraction n-invariant
+/// (otherwise bucket refill during a long staggered arrival ramp would
+/// quietly admit any fleet at full quality).
+pub fn fleet_config(n: usize, chunks: usize, seed: u64) -> (FleetConfig, NetworkTrace) {
+    let mut cfg = FleetConfig::small(n, seed);
+    cfg.chunks_per_session = chunks.max(2);
+    cfg.stagger_secs = (4.0 / n as f64).min(0.25);
+    cfg.admission.bandwidth_kbps = 2400.0 * n as f64;
+    cfg.admission.macs_per_sec = 1.0e9 * n as f64;
+    let trace = NetworkTrace::generate(
+        NetworkKind::WiFi,
+        seed_for(seed, n as u64, StreamComponent::Trace),
+    )
+    .downscaled(1.5 * n as f64);
+    (cfg, trace)
+}
+
+/// Run one fleet point.
+pub fn run_point(n: usize, chunks: usize, seed: u64) -> FleetResult {
+    let (cfg, trace) = fleet_config(n, chunks, seed);
+    run_fleet(&cfg, &trace)
+}
+
+/// The full fleet report at a ladder of session counts.
+pub fn fleet_report(sessions: usize, chunks: usize, seed: u64) -> String {
+    let points = fleet_points(sessions);
+    let results = sweep::map(&points, |_, &n| (n, run_point(n, chunks, seed)));
+
+    let mut summary = Table::new(
+        "Fleet serving: shared uplink + cross-session batched inference",
+        &[
+            "sessions",
+            "mean QoE",
+            "fairness",
+            "stall",
+            "accept",
+            "downgrade",
+            "reject",
+            "batches",
+            "p95 slack (s)",
+        ],
+    );
+    for (n, r) in &results {
+        summary.row(vec![
+            n.to_string(),
+            fmt_f(r.mean_qoe),
+            fmt_f(r.fairness),
+            fmt_f(r.stall_ratio),
+            r.accepted.to_string(),
+            r.downgraded.to_string(),
+            r.rejected.to_string(),
+            r.batcher.batches.to_string(),
+            fmt_f(r.p95_slack_secs),
+        ]);
+    }
+
+    let (_, largest) = results.last().expect("at least one fleet point");
+    let mut occupancy = Table::new(
+        "Batch occupancy at the largest fleet (jobs per stacked conv2d)",
+        &["batch size", "flushes"],
+    );
+    for b in 0..OCCUPANCY_BUCKETS {
+        if largest.batcher.occupancy[b] > 0 {
+            occupancy.row(vec![
+                occupancy_label(b).to_string(),
+                largest.batcher.occupancy[b].to_string(),
+            ]);
+        }
+    }
+
+    let mut per_session = Table::new(
+        "Per-session outcomes at the largest fleet",
+        &[
+            "session",
+            "class",
+            "cap",
+            "QoE",
+            "rebuffer (s)",
+            "mean rung",
+            "jobs",
+            "degraded",
+            "sr skip",
+            "freezes",
+        ],
+    );
+    for s in &largest.sessions {
+        per_session.row(vec![
+            s.id.to_string(),
+            s.class.label().to_string(),
+            match (s.rejected, s.cap) {
+                (true, _) => "rejected".to_string(),
+                (false, Some(c)) => format!("<={c}"),
+                (false, None) => "full".to_string(),
+            },
+            fmt_f(s.qoe),
+            fmt_f(s.rebuffer_secs),
+            fmt_f(s.mean_rung),
+            s.counters.jobs.to_string(),
+            s.counters.degraded.to_string(),
+            s.counters.sr_skipped.to_string(),
+            s.counters.freezes.to_string(),
+        ]);
+    }
+
+    format!("{summary}\n{occupancy}\n{per_session}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_points_dedup_and_sort() {
+        assert_eq!(fleet_points(64), vec![1, 8, 64]);
+        assert_eq!(fleet_points(8), vec![1, 8]);
+        assert_eq!(fleet_points(1), vec![1, 8]);
+        assert_eq!(fleet_points(3), vec![1, 3, 8]);
+    }
+
+    #[test]
+    fn report_renders_and_is_deterministic() {
+        let a = fleet_report(3, 2, 42);
+        let b = fleet_report(3, 2, 42);
+        assert_eq!(a, b);
+        assert!(a.contains("Fleet serving"));
+        assert!(a.contains("Per-session outcomes"));
+    }
+}

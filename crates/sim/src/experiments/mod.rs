@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod dnn;
 pub mod fec;
+pub mod fleet;
 pub mod latency;
 pub mod qoe;
 pub mod traces;

@@ -36,6 +36,7 @@ use nerve_net::quicish::QuicStream;
 use nerve_net::reliable::{ChannelStats, ReliableChannel, SendOutcome};
 use nerve_net::trace::NetworkTrace;
 use nerve_video::resolution::{CHUNK_SECONDS, GOP_FRAMES};
+use nerve_video::rng::{seed_for, StreamComponent};
 
 /// FEC policy of a scheme.
 #[derive(Debug, Clone)]
@@ -373,6 +374,10 @@ impl StreamingSession {
         };
 
         let link = Link::new(cfg.trace.clone()).with_faults(cfg.faults.clone());
+        // A single session is session 0 of its own fleet; the fleet
+        // runner derives sibling streams with other session ids. The
+        // media stream keeps `cfg.seed` itself so single-session results
+        // are unchanged by the splitter's introduction.
         let loss_model = FaultyLoss::new(
             GilbertElliott::with_rate(
                 cfg.trace.loss_rate.min(0.49),
@@ -385,14 +390,16 @@ impl StreamingSession {
         let mut media = QuicStream::new(link.clone(), loss_model).with_max_attempts(attempts);
         // Point codes ride a separate reliable channel; its link shares
         // the trace (bandwidth effect of 1 KB/frame is negligible) and
-        // the fault plan (a blackout takes out both transports).
+        // the fault plan (a blackout takes out both transports). Its loss
+        // stream is split off with [`seed_for`] rather than an ad-hoc
+        // XOR constant.
         let mut code_channel = ReliableChannel::new(
             Link::new(cfg.trace.clone()).with_faults(cfg.faults.clone()),
             FaultyLoss::new(
                 GilbertElliott::with_rate(
                     cfg.trace.loss_rate.min(0.49),
                     cfg.trace.kind.mean_burst(),
-                    cfg.seed ^ 0xC0DE,
+                    seed_for(cfg.seed, 0, StreamComponent::CodeLoss),
                 ),
                 cfg.faults.clone(),
             ),

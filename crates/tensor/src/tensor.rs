@@ -203,6 +203,31 @@ impl Tensor {
         out
     }
 
+    /// Stack tensors along the batch axis. All inputs must share
+    /// `c`, `h`, `w`; the output batch is the sum of input batches.
+    ///
+    /// This is how the edge server's cross-session batcher coalesces
+    /// per-session inference inputs into one `conv2d` call: the batched
+    /// forward pass splits batch × out-channel planes across the worker
+    /// pool, so stacking is what converts "N sessions, N small convs"
+    /// into "one conv wide enough to parallelize".
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack needs at least one tensor");
+        let [_, c, h, w] = parts[0].shape;
+        let total_n: usize = parts.iter().map(|t| t.n()).sum();
+        for t in parts {
+            assert_eq!([t.c(), t.h(), t.w()], [c, h, w], "stack shape mismatch");
+        }
+        let mut data = Vec::with_capacity(total_n * c * h * w);
+        for t in parts {
+            data.extend_from_slice(&t.data);
+        }
+        Tensor {
+            shape: [total_n, c, h, w],
+            data,
+        }
+    }
+
     /// Split a tensor's channels back into equal-width chunks.
     pub fn split_channels(&self, widths: &[usize]) -> Vec<Tensor> {
         assert_eq!(
@@ -382,6 +407,29 @@ mod tests {
         let parts = cat.split_channels(&[2, 1]);
         assert_eq!(parts[0], a);
         assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn stack_concatenates_batches_in_order() {
+        let a = Tensor::full(1, 2, 2, 2, 1.0);
+        let b = Tensor::full(2, 2, 2, 2, 2.0);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), [3, 2, 2, 2]);
+        assert_eq!(s.get(0, 0, 0, 0), 1.0);
+        assert_eq!(s.get(1, 1, 1, 1), 2.0);
+        assert_eq!(s.get(2, 0, 0, 0), 2.0);
+        // Batch n of the stack is byte-identical to its source tensor.
+        let hw = 2 * 2 * 2;
+        assert_eq!(&s.data()[..hw], a.data());
+        assert_eq!(&s.data()[hw..], b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "stack shape mismatch")]
+    fn stack_rejects_mismatched_planes() {
+        let a = Tensor::zeros(1, 1, 2, 2);
+        let b = Tensor::zeros(1, 1, 3, 2);
+        let _ = Tensor::stack(&[&a, &b]);
     }
 
     #[test]

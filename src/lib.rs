@@ -58,6 +58,7 @@ pub use nerve_core as core;
 pub use nerve_fec as fec;
 pub use nerve_flow as flow;
 pub use nerve_net as net;
+pub use nerve_serve as serve;
 pub use nerve_sim as sim;
 pub use nerve_tensor as tensor;
 pub use nerve_video as video;
@@ -77,6 +78,7 @@ pub mod prelude {
     };
     pub use nerve_fec::rs::ReedSolomon;
     pub use nerve_net::trace::{NetworkKind, NetworkTrace, TraceGenerator};
+    pub use nerve_serve::{run_fleet, FleetConfig, FleetResult};
     pub use nerve_sim::session::{SessionConfig, StreamingSession};
     pub use nerve_video::{
         frame::Frame,

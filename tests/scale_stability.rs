@@ -85,3 +85,61 @@ fn sr_beats_bilinear_at_both_scales() {
         "SR should show a real gain at some scale: {coarse:.2} / {fine:.2}"
     );
 }
+
+/// The fleet-scale stability claim: a 64-session edge-server run over a
+/// shared trace completes without panics, keeps the aggregate stall
+/// ratio bounded, sheds load visibly (≥1 downgraded session, every
+/// missed budget behind a degradation counter), and its result digest is
+/// byte-identical at 1 and 4 tensor-pool workers (`--jobs 1` vs
+/// `--jobs 4`).
+#[test]
+fn fleet_64_sessions_is_stable_and_jobs_invariant() {
+    use nerve::sim::experiments::fleet::fleet_config;
+    use nerve::sim::sweep;
+
+    let (cfg, trace) = fleet_config(64, 3, 97);
+    let prev = sweep::workers();
+    sweep::set_workers(1);
+    let serial = run_fleet(&cfg, &trace);
+    sweep::set_workers(4);
+    let parallel = run_fleet(&cfg, &trace);
+    sweep::set_workers(prev);
+
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "fleet result must be byte-identical at --jobs 1 and --jobs 4"
+    );
+
+    let r = serial;
+    assert_eq!(r.sessions.len(), 64);
+    assert!(
+        r.stall_ratio < 0.6,
+        "aggregate stall ratio {:.3} must stay bounded",
+        r.stall_ratio
+    );
+    assert!(
+        r.downgraded >= 1,
+        "admission must downgrade at least one session: {}/{}/{}",
+        r.accepted,
+        r.downgraded,
+        r.rejected
+    );
+    // No silent starvation: every enqueued enhancement job is accounted
+    // for as full-served, degraded (counter visible), or an SR skip.
+    for s in r.sessions.iter().filter(|s| !s.rejected) {
+        assert_eq!(
+            s.counters.jobs,
+            s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+            "session {} lost jobs without a counter",
+            s.id
+        );
+    }
+    // Cross-session batching actually happened.
+    let multi: usize = r.batcher.occupancy[1..].iter().sum();
+    assert!(
+        multi > 0,
+        "expected multi-job batches: {:?}",
+        r.batcher.occupancy
+    );
+}
