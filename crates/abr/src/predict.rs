@@ -27,6 +27,17 @@ impl Ewma {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
         Self { alpha, value: None }
     }
+
+    /// Current smoothed value (`None` before the first sample) — exposed
+    /// so session checkpoints can serialize predictor state exactly.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Restore the smoothed value captured by [`Ewma::value`].
+    pub fn restore_value(&mut self, value: Option<f64>) {
+        self.value = value;
+    }
 }
 
 impl Predictor for Ewma {
@@ -67,6 +78,17 @@ impl HoltWinters {
             level: None,
             trend: 0.0,
         }
+    }
+
+    /// Current (level, trend) — exposed for session checkpoints.
+    pub fn state(&self) -> (Option<f64>, f64) {
+        (self.level, self.trend)
+    }
+
+    /// Restore the state captured by [`HoltWinters::state`].
+    pub fn restore_state(&mut self, level: Option<f64>, trend: f64) {
+        self.level = level;
+        self.trend = trend;
     }
 }
 

@@ -7,6 +7,7 @@
 //! property rate control and the FEC experiments need.
 
 use crate::dct::zigzag_order;
+use crate::error::DecodeError;
 
 /// Append an unsigned LEB128 varint.
 pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
@@ -83,21 +84,32 @@ pub fn encode_block(levels: &[i32; 64], out: &mut Vec<u8>) {
 }
 
 /// Decode one block encoded by [`encode_block`]; advances `pos`.
-pub fn decode_block(data: &[u8], pos: &mut usize) -> Option<[i32; 64]> {
+///
+/// Total over arbitrary bytes: any malformation maps to a structured
+/// [`DecodeError`] rather than a panic, so a corrupted slice (or one
+/// whose residual corruption beat the CRC) degrades to an erasure.
+pub fn decode_block(data: &[u8], pos: &mut usize) -> Result<[i32; 64], DecodeError> {
     let order = zigzag_order();
     let mut levels = [0i32; 64];
     let mut scan = 0usize;
     loop {
-        let first = *data.get(*pos)?;
+        let first = *data.get(*pos).ok_or(DecodeError::Truncated { pos: *pos })?;
         if first == 0xFF {
             *pos += 1;
-            return Some(levels);
+            return Ok(levels);
         }
-        let run = get_uvarint(data, pos)? as usize;
-        let level = get_ivarint(data, pos)?;
-        scan += run;
-        if scan >= 64 || level == 0 {
-            return None; // corrupt stream
+        let pair_pos = *pos;
+        let run = get_uvarint(data, pos).ok_or(DecodeError::Truncated { pos: pair_pos })? as usize;
+        let level = get_ivarint(data, pos).ok_or(DecodeError::Truncated { pos: pair_pos })?;
+        scan = scan.saturating_add(run);
+        if scan >= 64 {
+            return Err(DecodeError::RunPastEob {
+                pos: pair_pos,
+                scan,
+            });
+        }
+        if level == 0 {
+            return Err(DecodeError::ZeroLevel { pos: pair_pos });
         }
         levels[order[scan]] = level as i32;
         scan += 1;
@@ -167,7 +179,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_block(&levels, &mut buf);
             let mut pos = 0;
-            assert_eq!(decode_block(&buf, &mut pos), Some(levels));
+            assert_eq!(decode_block(&buf, &mut pos), Ok(levels));
         }
     }
 
@@ -187,14 +199,57 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_returns_none() {
+    fn truncated_stream_reports_structured_error() {
         let mut levels = [0i32; 64];
         levels[5] = 9;
         let mut buf = Vec::new();
         encode_block(&levels, &mut buf);
         buf.pop(); // drop the EOB
         let mut pos = 0;
-        assert_eq!(decode_block(&buf, &mut pos), None);
+        assert!(matches!(
+            decode_block(&buf, &mut pos),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn run_escaping_the_block_is_rejected() {
+        // run=70 (> 63) then level=1: the scan leaves the block.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 70);
+        put_ivarint(&mut buf, 1);
+        buf.push(0xFF);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_block(&buf, &mut pos),
+            Err(DecodeError::RunPastEob { scan: 70, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_level_is_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 0);
+        put_ivarint(&mut buf, 0);
+        buf.push(0xFF);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_block(&buf, &mut pos),
+            Err(DecodeError::ZeroLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected_not_looped() {
+        // 11 continuation bytes push the shift past 63 bits.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_block(&buf, &mut pos),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -207,8 +262,8 @@ mod tests {
         encode_block(&a, &mut buf);
         encode_block(&b, &mut buf);
         let mut pos = 0;
-        assert_eq!(decode_block(&buf, &mut pos), Some(a));
-        assert_eq!(decode_block(&buf, &mut pos), Some(b));
+        assert_eq!(decode_block(&buf, &mut pos), Ok(a));
+        assert_eq!(decode_block(&buf, &mut pos), Ok(b));
         assert_eq!(pos, buf.len());
     }
 }

@@ -15,6 +15,7 @@ use crate::bitstream::{decode_block, get_ivarint};
 use crate::block::{extract8, mb_grid, store8, MB};
 use crate::dct;
 use crate::encoder::{EncodedFrame, FrameKind};
+use crate::error::DecodeError;
 use crate::quant;
 use nerve_video::frame::Frame;
 
@@ -84,9 +85,23 @@ impl Decoder {
     }
 
     /// Override the reference frame (e.g. with a recovered frame).
+    /// Panics on a dimension mismatch; see [`Decoder::try_set_reference`].
     pub fn set_reference(&mut self, frame: Frame) {
-        assert_eq!((frame.width(), frame.height()), (self.width, self.height));
+        if let Err(e) = self.try_set_reference(frame) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible reference override for untrusted callers.
+    pub fn try_set_reference(&mut self, frame: Frame) -> Result<(), DecodeError> {
+        if (frame.width(), frame.height()) != (self.width, self.height) {
+            return Err(DecodeError::DimensionMismatch {
+                expected: (self.width, self.height),
+                got: (frame.width(), frame.height()),
+            });
+        }
         self.reference = Some(frame);
+        Ok(())
     }
 
     pub fn reference(&self) -> Option<&Frame> {
@@ -99,14 +114,38 @@ impl Decoder {
         self.decode_partial(encoded, &present).frame
     }
 
-    /// Decode with a per-slice presence mask.
+    /// Decode with a per-slice presence mask. Panics on a caller-side
+    /// contract violation; see [`Decoder::try_decode_partial`].
     pub fn decode_partial(&mut self, encoded: &EncodedFrame, present: &[bool]) -> PartialDecode {
-        assert_eq!(
-            present.len(),
-            encoded.slices.len(),
-            "presence mask must cover all slices"
-        );
-        assert_eq!((encoded.width, encoded.height), (self.width, self.height));
+        match self.try_decode_partial(encoded, present) {
+            Ok(pd) => pd,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible partial decode: structured errors for mask/dimension
+    /// mismatches instead of aborting the client. Malformed *slice
+    /// payloads* are never an error — a slice that fails to decode is
+    /// demoted to a lost slice (reference-concealed, marked invalid),
+    /// which is exactly how corruption that beat the packet CRC
+    /// degrades.
+    pub fn try_decode_partial(
+        &mut self,
+        encoded: &EncodedFrame,
+        present: &[bool],
+    ) -> Result<PartialDecode, DecodeError> {
+        if present.len() != encoded.slices.len() {
+            return Err(DecodeError::PresenceMaskMismatch {
+                slices: encoded.slices.len(),
+                mask: present.len(),
+            });
+        }
+        if (encoded.width, encoded.height) != (self.width, self.height) {
+            return Err(DecodeError::DimensionMismatch {
+                expected: (self.width, self.height),
+                got: (encoded.width, encoded.height),
+            });
+        }
         let (mbs_x, mbs_y) = mb_grid(self.width, self.height);
 
         // Start from the reference (frame-copy concealment for missing
@@ -123,32 +162,32 @@ impl Decoder {
                 complete = false;
                 continue;
             }
-            let decoded_rows = self.decode_slice(encoded, slice, mbs_x, &mut frame);
-            if decoded_rows {
-                for r in slice.mb_row_start..(slice.mb_row_start + slice.mb_rows).min(mbs_y) {
-                    mb_row_valid[r] = true;
+            match self.decode_slice(encoded, slice, mbs_x, &mut frame) {
+                Ok(()) => {
+                    for r in slice.mb_row_start..(slice.mb_row_start + slice.mb_rows).min(mbs_y) {
+                        mb_row_valid[r] = true;
+                    }
                 }
-            } else {
-                complete = false; // corrupt payload counts as lost
+                Err(_) => complete = false, // corrupt payload counts as lost
             }
         }
 
         self.reference = Some(frame.clone());
-        PartialDecode {
+        Ok(PartialDecode {
             frame,
             mb_row_valid,
             complete,
-        }
+        })
     }
 
-    /// Decode one slice into `frame`. Returns false on corrupt data.
+    /// Decode one slice into `frame`; structured error on corrupt data.
     fn decode_slice(
         &self,
         encoded: &EncodedFrame,
         slice: &crate::encoder::Slice,
         mbs_x: usize,
         frame: &mut Frame,
-    ) -> bool {
+    ) -> Result<(), DecodeError> {
         let mut pos = 0usize;
         let data = &slice.data;
         let qscale = encoded.qscale;
@@ -160,9 +199,7 @@ impl Decoder {
                     FrameKind::Intra => {
                         for by in 0..2isize {
                             for bx in 0..2isize {
-                                let Some(levels) = decode_block(data, &mut pos) else {
-                                    return false;
-                                };
+                                let levels = decode_block(data, &mut pos)?;
                                 let mut rec = dct::inverse(&quant::dequantize(&levels, qscale));
                                 for v in &mut rec {
                                     *v += 128.0;
@@ -172,20 +209,17 @@ impl Decoder {
                         }
                     }
                     FrameKind::Inter => {
-                        let Some(reference) = self.reference.as_ref() else {
-                            return false;
-                        };
-                        let Some(dx) = get_ivarint(data, &mut pos) else {
-                            return false;
-                        };
-                        let Some(dy) = get_ivarint(data, &mut pos) else {
-                            return false;
-                        };
+                        let reference = self
+                            .reference
+                            .as_ref()
+                            .ok_or(DecodeError::Truncated { pos: 0 })?;
+                        let dx =
+                            get_ivarint(data, &mut pos).ok_or(DecodeError::Truncated { pos })?;
+                        let dy =
+                            get_ivarint(data, &mut pos).ok_or(DecodeError::Truncated { pos })?;
                         for by in 0..2isize {
                             for bx in 0..2isize {
-                                let Some(levels) = decode_block(data, &mut pos) else {
-                                    return false;
-                                };
+                                let levels = decode_block(data, &mut pos)?;
                                 let x0 = px + bx * 8;
                                 let y0 = py + by * 8;
                                 let pred = extract8(reference, x0 + dx as isize, y0 + dy as isize);
@@ -201,7 +235,7 @@ impl Decoder {
                 }
             }
         }
-        true
+        Ok(())
     }
 }
 
@@ -328,6 +362,42 @@ mod tests {
         dec2.decode(&encoded[0]);
         let clean = dec2.decode(&encoded[1]);
         assert!(psnr(&poisoned, &clean) < 40.0, "reference must matter");
+    }
+
+    #[test]
+    fn wrong_mask_length_is_a_structured_error() {
+        let frames = clip(1);
+        let (encoded, _) = encode_all(&frames, 2.0);
+        let mut dec = Decoder::new(64, 48);
+        let err = dec
+            .try_decode_partial(&encoded[0], &[true])
+            .expect_err("3 slices vs 1-entry mask");
+        assert_eq!(
+            err,
+            DecodeError::PresenceMaskMismatch { slices: 3, mask: 1 }
+        );
+    }
+
+    #[test]
+    fn wrong_dimensions_are_a_structured_error() {
+        let frames = clip(1);
+        let (encoded, _) = encode_all(&frames, 2.0);
+        let mut dec = Decoder::new(32, 32);
+        let present = vec![true; encoded[0].slices.len()];
+        let err = dec
+            .try_decode_partial(&encoded[0], &present)
+            .expect_err("64x48 frame into 32x32 decoder");
+        assert_eq!(
+            err,
+            DecodeError::DimensionMismatch {
+                expected: (32, 32),
+                got: (64, 48),
+            }
+        );
+        let err = dec
+            .try_set_reference(Frame::new(64, 48))
+            .expect_err("reference dims must match");
+        assert!(matches!(err, DecodeError::DimensionMismatch { .. }));
     }
 
     #[test]

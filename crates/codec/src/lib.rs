@@ -31,9 +31,11 @@ pub mod dct;
 pub mod deblock;
 pub mod decoder;
 pub mod encoder;
+pub mod error;
 pub mod packet;
 pub mod quant;
 pub mod rate;
 
 pub use decoder::{Decoder, PartialDecode};
 pub use encoder::{EncodedFrame, Encoder, EncoderConfig, FrameKind};
+pub use error::DecodeError;

@@ -4,9 +4,17 @@
 //! only if *all* of its packets arrive — so the loss of one packet costs
 //! one slice (a band of macroblock rows), giving exactly the partial-
 //! frame semantics the recovery model consumes.
+//!
+//! Every packet carries a CRC32 over its payload ([`VideoPacket::crc`]).
+//! Receivers call [`VideoPacket::verify`] and treat a failing packet as
+//! lost: [`slice_presence`] and [`reassemble`] demote corruption to an
+//! erasure, so a flipped byte costs one slice instead of feeding garbage
+//! into the decoder.
 
 use crate::encoder::EncodedFrame;
+use crate::error::DecodeError;
 use bytes::Bytes;
+use nerve_net::integrity::crc32;
 
 /// Conventional MTU payload for video packets (bytes).
 pub const DEFAULT_MTU: usize = 1200;
@@ -21,18 +29,28 @@ pub struct VideoPacket {
     /// Total packets carrying this slice.
     pub total_parts: usize,
     pub payload: Bytes,
+    /// CRC32 of `payload` stamped at packetize time.
+    pub crc: u32,
 }
 
 impl VideoPacket {
-    /// Wire size including a nominal 12-byte header.
+    /// Wire size including a nominal 12-byte header (the CRC travels in
+    /// the header, alongside sequence and slice fields).
     pub fn wire_bytes(&self) -> usize {
         self.payload.len() + 12
     }
+
+    /// True when the payload still matches the CRC stamped at send time.
+    pub fn verify(&self) -> bool {
+        crc32(&self.payload) == self.crc
+    }
 }
 
-/// Split an encoded frame into packets.
-pub fn packetize(frame: &EncodedFrame, mtu: usize) -> Vec<VideoPacket> {
-    assert!(mtu > 0);
+/// Split an encoded frame into packets; structured error on a zero MTU.
+pub fn try_packetize(frame: &EncodedFrame, mtu: usize) -> Result<Vec<VideoPacket>, DecodeError> {
+    if mtu == 0 {
+        return Err(DecodeError::ZeroMtu);
+    }
     let mut packets = Vec::new();
     for (slice_index, slice) in frame.slices.iter().enumerate() {
         let data = Bytes::from(slice.data.clone());
@@ -40,42 +58,69 @@ pub fn packetize(frame: &EncodedFrame, mtu: usize) -> Vec<VideoPacket> {
         for part in 0..total_parts {
             let start = part * mtu;
             let end = ((part + 1) * mtu).min(data.len());
+            let payload = data.slice(start..end);
+            let crc = crc32(&payload);
             packets.push(VideoPacket {
                 frame_index: frame.frame_index,
                 slice_index,
                 part,
                 total_parts,
-                payload: data.slice(start..end),
+                payload,
+                crc,
             });
         }
     }
-    packets
+    Ok(packets)
+}
+
+/// Split an encoded frame into packets.
+///
+/// # Panics
+///
+/// Panics when `mtu == 0`; use [`try_packetize`] for a fallible variant.
+pub fn packetize(frame: &EncodedFrame, mtu: usize) -> Vec<VideoPacket> {
+    match try_packetize(frame, mtu) {
+        Ok(packets) => packets,
+        Err(e) => panic!("packetize: {e}"),
+    }
 }
 
 /// Given the set of packets that actually arrived for one frame, compute
 /// the per-slice presence mask for [`crate::Decoder::decode_partial`].
 ///
-/// `n_slices` must match the encoded frame's slice count.
+/// Packets whose payload fails [`VideoPacket::verify`] are treated as
+/// lost (corruption demoted to erasure). `n_slices` must match the
+/// encoded frame's slice count.
+///
+/// Distinct parts are tracked per slice — a duplicated packet (network
+/// replay) never stands in for a missing one — so the mask agrees
+/// exactly with what [`reassemble`] can produce.
 pub fn slice_presence(received: &[&VideoPacket], n_slices: usize) -> Vec<bool> {
-    let mut counts = vec![0usize; n_slices];
-    let mut needed = vec![usize::MAX; n_slices];
+    let mut seen: Vec<Vec<bool>> = vec![Vec::new(); n_slices];
     for p in received {
-        if p.slice_index < n_slices {
-            counts[p.slice_index] += 1;
-            needed[p.slice_index] = p.total_parts;
+        if p.slice_index >= n_slices || !p.verify() {
+            continue;
+        }
+        let v = &mut seen[p.slice_index];
+        if v.len() < p.total_parts {
+            v.resize(p.total_parts, false);
+        }
+        if p.part < v.len() {
+            v[p.part] = true;
         }
     }
-    (0..n_slices)
-        .map(|i| needed[i] != usize::MAX && counts[i] >= needed[i])
+    seen.into_iter()
+        .map(|v| !v.is_empty() && v.iter().all(|&s| s))
         .collect()
 }
 
 /// Reassemble the slice payloads that fully arrived. Returns, per slice,
-/// `Some(bytes)` when complete. Packets may arrive in any order.
+/// `Some(bytes)` when complete. Packets may arrive in any order;
+/// corrupted packets (CRC mismatch) count as missing.
 pub fn reassemble(received: &[&VideoPacket], n_slices: usize) -> Vec<Option<Vec<u8>>> {
     let mut parts: Vec<Vec<Option<&Bytes>>> = vec![Vec::new(); n_slices];
     for p in received {
-        if p.slice_index >= n_slices {
+        if p.slice_index >= n_slices || !p.verify() {
             continue;
         }
         let v = &mut parts[p.slice_index];
@@ -184,5 +229,45 @@ mod tests {
         assert_eq!(mask, vec![false, false, false]);
         let slices = reassemble(&[], 3);
         assert!(slices.iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn zero_mtu_is_a_structured_error() {
+        let e = one_encoded_frame();
+        assert!(matches!(
+            try_packetize(&e, 0),
+            Err(crate::error::DecodeError::ZeroMtu)
+        ));
+    }
+
+    #[test]
+    fn fresh_packets_verify() {
+        let e = one_encoded_frame();
+        let packets = packetize(&e, 200);
+        assert!(packets.iter().all(|p| p.verify()));
+    }
+
+    #[test]
+    fn corrupted_packet_is_demoted_to_erasure() {
+        let e = one_encoded_frame();
+        let mut packets = packetize(&e, 1200);
+        let n = e.slices.len();
+        // Flip one byte of slice 1's payload; the CRC no longer matches.
+        let victim = packets
+            .iter_mut()
+            .find(|p| p.slice_index == 1)
+            .expect("slice 1 packet");
+        let mut bytes = victim.payload.to_vec();
+        bytes[0] ^= 0x5A;
+        victim.payload = Bytes::from(bytes);
+        assert!(!victim.verify());
+
+        let received: Vec<&VideoPacket> = packets.iter().collect();
+        let mask = slice_presence(&received, n);
+        assert!(!mask[1], "corrupted slice must read as absent");
+        assert!(mask[0]);
+        let slices = reassemble(&received, n);
+        assert!(slices[1].is_none(), "corrupted slice must not reassemble");
+        assert_eq!(slices[0].as_deref(), Some(e.slices[0].data.as_slice()));
     }
 }

@@ -25,6 +25,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
 
 pub mod baselines;
+pub mod breaker;
 pub mod device;
 pub mod error;
 pub mod point_code;
@@ -32,6 +33,7 @@ pub mod recovery;
 pub mod sr;
 pub mod train;
 
+pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use error::RecoveryError;
 pub use point_code::{PointCode, PointCodeConfig, PointCodeEncoder};
 pub use recovery::{DegradationLadder, DegradationRung, RecoveryConfig, RecoveryModel};

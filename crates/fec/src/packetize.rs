@@ -4,8 +4,15 @@
 //! (padded with a length prefix so the exact byte count survives the
 //! round trip), which become the RS data shards; parity shards travel as
 //! extra packets of the same size.
+//!
+//! On the wire each shard is framed with a CRC32 trailer
+//! ([`seal_shards`]); the receiver runs [`open_shards`] before
+//! reconstruction, so a shard corrupted in flight is demoted to an
+//! erasure (`None`) — exactly what Reed-Solomon already knows how to
+//! repair — instead of silently poisoning the decode matrix.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use nerve_net::integrity::{open, seal};
 
 /// Split `payload` into `k` equal shards, prefixing the original length.
 ///
@@ -47,6 +54,23 @@ pub fn join(shards: &[Vec<u8>]) -> Option<Vec<u8>> {
         return None;
     }
     Some(all[4..4 + len].to_vec())
+}
+
+/// Frame every shard (data and parity alike) with a CRC32 trailer for
+/// transmission. Inverse of [`open_shards`].
+pub fn seal_shards(shards: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    shards.iter().map(|s| seal(s)).collect()
+}
+
+/// Verify and strip the CRC32 trailer on each received shard. A missing
+/// shard stays `None`; a shard whose checksum fails becomes `None` too
+/// (corruption demoted to erasure), ready for
+/// [`crate::rs::ReedSolomon::reconstruct`].
+pub fn open_shards(received: &[Option<Vec<u8>>]) -> Vec<Option<Vec<u8>>> {
+    received
+        .iter()
+        .map(|s| s.as_deref().and_then(open).map(|payload| payload.to_vec()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,5 +134,55 @@ mod tests {
         received[11] = None;
         let recovered = rs.reconstruct(&received).unwrap();
         assert_eq!(join(&recovered).unwrap(), payload);
+    }
+
+    #[test]
+    fn seal_open_shards_round_trip() {
+        let shards = split(&(0..90u8).collect::<Vec<_>>(), 3);
+        let sealed = seal_shards(&shards);
+        assert!(sealed
+            .iter()
+            .zip(&shards)
+            .all(|(s, p)| s.len() == p.len() + 4));
+        let received: Vec<Option<Vec<u8>>> = sealed.into_iter().map(Some).collect();
+        let opened = open_shards(&received);
+        let opened: Vec<Vec<u8>> = opened.into_iter().map(|s| s.unwrap()).collect();
+        assert_eq!(opened, shards);
+    }
+
+    #[test]
+    fn corrupted_shard_becomes_erasure_and_rs_recovers() {
+        use crate::rs::ReedSolomon;
+        use nerve_net::integrity::flip_bytes;
+        let payload: Vec<u8> = (0..255u8).cycle().take(4000).collect();
+        let k = 8;
+        let rs = ReedSolomon::new(k, 3).unwrap();
+        let encoded = rs.encode(&split(&payload, k)).unwrap();
+        let mut wire: Vec<Option<Vec<u8>>> = seal_shards(&encoded).into_iter().map(Some).collect();
+        // One shard lost outright, two corrupted in flight.
+        wire[2] = None;
+        flip_bytes(wire[5].as_mut().unwrap(), 41, 2);
+        flip_bytes(wire[9].as_mut().unwrap(), 42, 1);
+        let opened = open_shards(&wire);
+        assert!(opened[2].is_none());
+        assert!(opened[5].is_none(), "corrupt shard must demote to erasure");
+        assert!(opened[9].is_none(), "corrupt shard must demote to erasure");
+        let recovered = rs.reconstruct(&opened).unwrap();
+        assert_eq!(join(&recovered).unwrap(), payload);
+    }
+
+    #[test]
+    fn too_many_corrupt_shards_fail_loud_not_wrong() {
+        use crate::rs::ReedSolomon;
+        use nerve_net::integrity::flip_bytes;
+        let payload: Vec<u8> = (7..107u8).collect();
+        let rs = ReedSolomon::new(4, 1).unwrap();
+        let encoded = rs.encode(&split(&payload, 4)).unwrap();
+        let mut wire: Vec<Option<Vec<u8>>> = seal_shards(&encoded).into_iter().map(Some).collect();
+        for (i, shard) in wire.iter_mut().enumerate().take(2) {
+            flip_bytes(shard.as_mut().unwrap(), 100 + i as u64, 1);
+        }
+        // 2 erasures, 1 parity: reconstruction must refuse, not invent data.
+        assert!(rs.reconstruct(&open_shards(&wire)).is_err());
     }
 }

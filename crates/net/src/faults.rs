@@ -5,7 +5,10 @@
 //! links also fail in structured ways — link blackouts during handoffs,
 //! delay spikes when a queue upstream fills, jitter storms under
 //! contention, throughput collapse in a dead zone, reordering across
-//! cellular bearers, and payload corruption that survives checksums.
+//! cellular bearers, payload corruption (almost always caught by the
+//! CRC32 framing in [`crate::integrity`], demoted to an erasure, with a
+//! configurable residual rate that beats the checksum), and bearer
+//! disconnects that force a full session teardown and reconnect.
 //! GRACE's evaluation argument applies here: a loss-resilient system has
 //! to be exercised under the full range of loss *patterns*, not only
 //! i.i.d. drops.
@@ -78,13 +81,24 @@ pub enum Fault {
         window: FaultWindow,
         probability: f64,
     },
-    /// Per-message probability that a *delivered* payload arrives with
-    /// flipped bits (corruption that beat the checksum). Consumers must
-    /// treat the payload as unusable.
+    /// Per-message probability that a delivered payload arrives with
+    /// flipped bits. Receivers verify the CRC32 framing
+    /// ([`crate::integrity`]): detected corruption is demoted to an
+    /// erasure (retransmit or FEC-recover), while a plan-level residual
+    /// rate ([`FaultPlan::residual_corrupt_rate`]) lets a configurable
+    /// fraction beat the checksum and reach the decoder as damaged
+    /// bytes. Query via [`FaultPlan::corruption_at`] /
+    /// [`FaultPlan::corrupt_bytes`].
     Corrupt {
         window: FaultWindow,
         probability: f64,
     },
+    /// Bearer death: the link is gone (zero capacity, all packets lost,
+    /// like [`Fault::Blackout`]) *and* the session layer must tear down
+    /// its transports and reconnect — `nerve-sim` resumes from a
+    /// `SessionCheckpoint` after the window closes plus a handshake.
+    /// A short blackout never forces teardown; a disconnect always does.
+    Disconnect(FaultWindow),
 }
 
 impl Fault {
@@ -98,7 +112,30 @@ impl Fault {
             | Fault::Reorder { window, .. }
             | Fault::Duplicate { window, .. }
             | Fault::Corrupt { window, .. } => *window,
+            Fault::Disconnect(w) => *w,
         }
+    }
+}
+
+/// Classification of a delivery under the plan's corruption faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Payload arrived intact.
+    Clean,
+    /// Payload was damaged and the CRC32 framing catches it: the
+    /// receiver demotes the message to an erasure (retransmit, FEC
+    /// repair, or conceal — never render).
+    Detected,
+    /// Payload was damaged in a way the checksum does not catch
+    /// (2^-32 collisions, corruption above the checksummed hop): the
+    /// receiver accepts flipped bytes and the decoder must survive them.
+    Residual,
+}
+
+impl Corruption {
+    /// Any corruption at all (detected or residual)?
+    pub fn is_corrupt(&self) -> bool {
+        !matches!(self, Corruption::Clean)
     }
 }
 
@@ -111,6 +148,11 @@ impl Fault {
 pub struct FaultPlan {
     faults: Vec<Fault>,
     seed: u64,
+    /// Fraction of corrupted deliveries that beat the CRC32 checksum
+    /// (drawn from a distinct hash stream). 0 (the default) means every
+    /// corruption is detectable.
+    #[serde(default)]
+    residual_corrupt_rate: f64,
 }
 
 impl FaultPlan {
@@ -119,6 +161,7 @@ impl FaultPlan {
         Self {
             faults: Vec::new(),
             seed,
+            residual_corrupt_rate: 0.0,
         }
     }
 
@@ -203,6 +246,25 @@ impl FaultPlan {
         })
     }
 
+    /// Set the fraction of corrupted deliveries that beat the checksum
+    /// (classified [`Corruption::Residual`] instead of
+    /// [`Corruption::Detected`]).
+    pub fn with_residual_corrupt_rate(mut self, rate: f64) -> Self {
+        self.residual_corrupt_rate = rate;
+        self
+    }
+
+    /// The configured beat-the-checksum fraction.
+    pub fn residual_corrupt_rate(&self) -> f64 {
+        self.residual_corrupt_rate
+    }
+
+    /// Bearer death from `at` for `duration`: blackout semantics plus a
+    /// mandatory session teardown/reconnect.
+    pub fn disconnect(self, at: SimTime, duration: SimTime) -> Self {
+        self.fault(Fault::Disconnect(FaultWindow::new(at, duration)))
+    }
+
     /// Compose two plans into one: the union of both fault lists under
     /// *this* plan's seed.
     ///
@@ -220,6 +282,9 @@ impl FaultPlan {
         FaultPlan {
             faults,
             seed: self.seed,
+            // The stricter (higher) residual rate wins: a merge must not
+            // silently soften either scenario's checksum-beating model.
+            residual_corrupt_rate: self.residual_corrupt_rate.max(other.residual_corrupt_rate),
         }
     }
 
@@ -245,19 +310,28 @@ impl FaultPlan {
                         });
                     }
                 }
-                Fault::Blackout(_) | Fault::DelaySpike { .. } | Fault::JitterBurst { .. } => {}
+                Fault::Blackout(_)
+                | Fault::Disconnect(_)
+                | Fault::DelaySpike { .. }
+                | Fault::JitterBurst { .. } => {}
             }
+        }
+        if !(0.0..=1.0).contains(&self.residual_corrupt_rate) {
+            return Err(NetError::InvalidProbability {
+                what: "residual corrupt rate",
+                value: self.residual_corrupt_rate,
+            });
         }
         Ok(())
     }
 
     // ---- queries (all deterministic and side-effect free) ------------
 
-    /// Is the link blacked out at `t`?
+    /// Is the link dead at `t` (blackout or disconnect window)?
     pub fn blackout_at(&self, t: SimTime) -> bool {
         self.faults
             .iter()
-            .any(|f| matches!(f, Fault::Blackout(w) if w.contains(t)))
+            .any(|f| matches!(f, Fault::Blackout(w) | Fault::Disconnect(w) if w.contains(t)))
     }
 
     /// Capacity multiplier at `t`: 0 during a blackout, the product of
@@ -266,7 +340,7 @@ impl FaultPlan {
         let mut factor = 1.0;
         for f in &self.faults {
             match f {
-                Fault::Blackout(w) if w.contains(t) => return 0.0,
+                Fault::Blackout(w) | Fault::Disconnect(w) if w.contains(t) => return 0.0,
                 Fault::ThroughputCollapse { window, factor: k } if window.contains(t) => {
                     factor *= k.clamp(0.0, 1.0);
                 }
@@ -301,7 +375,7 @@ impl FaultPlan {
     pub fn lose_at(&self, t: SimTime, salt: u64) -> bool {
         for (i, f) in self.faults.iter().enumerate() {
             match f {
-                Fault::Blackout(w) if w.contains(t) => return true,
+                Fault::Blackout(w) | Fault::Disconnect(w) if w.contains(t) => return true,
                 Fault::LossBurst {
                     window,
                     probability,
@@ -347,8 +421,16 @@ impl FaultPlan {
         false
     }
 
-    /// Does a message delivered at `t` arrive corrupted?
+    /// Does a message delivered at `t` arrive corrupted (either kind)?
     pub fn corrupt_at(&self, t: SimTime, salt: u64) -> bool {
+        self.corruption_at(t, salt).is_corrupt()
+    }
+
+    /// Classify a delivery at `t`: clean, CRC-detectable corruption, or
+    /// residual corruption that beat the checksum. The residual
+    /// sub-draw comes from a distinct hash stream (`RESIDUAL_STREAM`)
+    /// so enabling it never perturbs which deliveries get corrupted.
+    pub fn corruption_at(&self, t: SimTime, salt: u64) -> Corruption {
         for (i, f) in self.faults.iter().enumerate() {
             if let Fault::Corrupt {
                 window,
@@ -356,11 +438,60 @@ impl FaultPlan {
             } = f
             {
                 if window.contains(t) && self.hash01(t, salt, i as u64) < *probability {
-                    return true;
+                    let residual = self.residual_corrupt_rate > 0.0
+                        && self.hash01(t, salt, Self::RESIDUAL_STREAM) < self.residual_corrupt_rate;
+                    return if residual {
+                        Corruption::Residual
+                    } else {
+                        Corruption::Detected
+                    };
                 }
             }
         }
-        false
+        Corruption::Clean
+    }
+
+    /// Hash-stream index reserved for the residual (beat-the-checksum)
+    /// sub-draw; far above any plausible fault-list index.
+    const RESIDUAL_STREAM: u64 = u64::MAX ^ 0xC0DE;
+
+    /// Apply the plan's corruption model to real bytes: if the delivery
+    /// at `t` draws corruption, flip payload bytes deterministically
+    /// (seeded by the same draw identity) and return the classification.
+    /// Detected corruption flips sealed bytes the CRC will catch;
+    /// residual corruption models damage the checksum cannot see, so the
+    /// caller applies it *after* CRC verification.
+    pub fn corrupt_bytes(&self, payload: &mut [u8], t: SimTime, salt: u64) -> Corruption {
+        let verdict = self.corruption_at(t, salt);
+        if verdict.is_corrupt() {
+            let flip_salt = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t.as_micros())
+                .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            crate::integrity::flip_bytes(payload, flip_salt, 2);
+        }
+        verdict
+    }
+
+    /// Session-teardown events: every [`Fault::Disconnect`] window, plus
+    /// any blackout at least `blackout_threshold` long (the session
+    /// layer treats a long enough outage as a dead bearer), sorted by
+    /// start time. `None` disables blackout promotion.
+    pub fn reconnect_events(&self, blackout_threshold: Option<SimTime>) -> Vec<FaultWindow> {
+        let mut windows: Vec<FaultWindow> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Disconnect(w) => Some(*w),
+                Fault::Blackout(w) => {
+                    blackout_threshold.and_then(|th| (w.duration >= th).then_some(*w))
+                }
+                _ => None,
+            })
+            .collect();
+        windows.sort_by_key(|w| (w.start, w.duration));
+        windows
     }
 
     /// Total blacked-out time across the plan (windows are summed; the
@@ -420,6 +551,25 @@ impl<L: crate::loss::LossModel> FaultyLoss<L> {
             plan,
             packets: 0,
         }
+    }
+
+    /// Packets drawn so far (the hash salt counter) — checkpointable.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Restore the packet counter from a checkpoint.
+    pub fn set_packets(&mut self, packets: u64) {
+        self.packets = packets;
+    }
+
+    /// The wrapped base loss model (for checkpointing its state).
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
     }
 }
 
@@ -601,6 +751,102 @@ mod tests {
             .corrupt(secs(0.0), secs(1.0), 0.7)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn corruption_classifies_by_residual_rate() {
+        let base = FaultPlan::new(21).corrupt(secs(0.0), secs(1000.0), 0.25);
+        let with_residual = base.clone().with_residual_corrupt_rate(0.3);
+        let n = 20_000u64;
+        let (mut detected, mut residual, mut total) = (0u64, 0u64, 0u64);
+        for i in 0..n {
+            let t = SimTime::from_micros(i * 11 + 5);
+            let v = with_residual.corruption_at(t, i);
+            // The residual sub-draw must not change *which* deliveries
+            // corrupt, only how they classify.
+            assert_eq!(v.is_corrupt(), base.corruption_at(t, i).is_corrupt());
+            match v {
+                Corruption::Detected => detected += 1,
+                Corruption::Residual => residual += 1,
+                Corruption::Clean => continue,
+            }
+            total += 1;
+        }
+        assert!(detected > 0 && residual > 0);
+        let frac = residual as f64 / total as f64;
+        assert!((frac - 0.3).abs() < 0.03, "residual fraction {frac}");
+        // Without a residual rate, every corruption is detectable.
+        for i in 0..n {
+            let t = SimTime::from_micros(i * 11 + 5);
+            assert_ne!(base.corruption_at(t, i), Corruption::Residual);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_real_payload_bytes() {
+        let p = FaultPlan::new(8).corrupt(secs(0.0), secs(100.0), 1.0);
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut damaged = original.clone();
+        let verdict = p.corrupt_bytes(&mut damaged, secs(1.0), 7);
+        assert!(verdict.is_corrupt());
+        assert_ne!(damaged, original, "corruption must damage real bytes");
+        // Same identity flips identically; clean deliveries untouched.
+        let mut again = original.clone();
+        p.corrupt_bytes(&mut again, secs(1.0), 7);
+        assert_eq!(again, damaged);
+        let clean = FaultPlan::new(8);
+        let mut untouched = original.clone();
+        assert_eq!(
+            clean.corrupt_bytes(&mut untouched, secs(1.0), 7),
+            Corruption::Clean
+        );
+        assert_eq!(untouched, original);
+    }
+
+    #[test]
+    fn disconnect_is_blackout_plus_teardown() {
+        let p = FaultPlan::new(13)
+            .disconnect(secs(4.0), secs(2.0))
+            .blackout(secs(10.0), secs(3.0))
+            .blackout(secs(20.0), secs(0.5));
+        // Blackout semantics inside the window.
+        assert!(p.blackout_at(secs(5.0)));
+        assert_eq!(p.capacity_factor(secs(5.0)), 0.0);
+        assert!(p.lose_at(secs(5.0), 1));
+        assert!(!p.blackout_at(secs(6.5)));
+        // Teardown events: the disconnect always, the blackout only when
+        // it crosses the promotion threshold.
+        let none = p.reconnect_events(None);
+        assert_eq!(none.len(), 1);
+        assert_eq!(none[0].start, secs(4.0));
+        let promoted = p.reconnect_events(Some(secs(1.0)));
+        assert_eq!(promoted.len(), 2);
+        assert_eq!(promoted[1].start, secs(10.0));
+        // Disconnects do not count toward blackout totals.
+        assert_eq!(p.total_blackout(), secs(3.5));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn merged_plans_keep_stricter_residual_rate() {
+        let a = FaultPlan::new(1).with_residual_corrupt_rate(0.1);
+        let b = FaultPlan::new(2).with_residual_corrupt_rate(0.4);
+        assert_eq!(a.merged(&b).residual_corrupt_rate(), 0.4);
+        assert_eq!(b.merged(&a).residual_corrupt_rate(), 0.4);
+        assert!(FaultPlan::new(1)
+            .with_residual_corrupt_rate(1.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn faulty_loss_state_round_trips() {
+        let mut fl = FaultyLoss::new(NoLoss, FaultPlan::new(1));
+        fl.lose_at(secs(0.1));
+        fl.lose_at(secs(0.2));
+        assert_eq!(fl.packets(), 2);
+        fl.set_packets(7);
+        assert_eq!(fl.packets(), 7);
     }
 
     #[test]

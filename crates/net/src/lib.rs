@@ -20,12 +20,17 @@
 //!   loss for QUIC on 5G).
 //! * [`faults`] — composable, seed-deterministic fault injection
 //!   (blackouts, flaps, delay spikes, jitter, collapse, reorder,
-//!   duplication, corruption) layered over all of the above.
+//!   duplication, corruption, disconnects) layered over all of the
+//!   above.
+//! * [`integrity`] — dependency-free CRC32 payload framing shared by
+//!   every wire format in the workspace; detected corruption becomes an
+//!   erasure instead of rendered garbage.
 //! * [`error`] — structured validation errors replacing hot-path asserts.
 
 pub mod clock;
 pub mod error;
 pub mod faults;
+pub mod integrity;
 pub mod link;
 pub mod loss;
 pub mod queue;
@@ -36,5 +41,6 @@ pub mod trace;
 
 pub use clock::SimTime;
 pub use error::NetError;
-pub use faults::{Fault, FaultPlan, FaultWindow, FaultyLoss};
+pub use faults::{Corruption, Fault, FaultPlan, FaultWindow, FaultyLoss};
+pub use loss::LossState;
 pub use trace::{NetworkKind, NetworkTrace};

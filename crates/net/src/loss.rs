@@ -29,11 +29,30 @@ pub trait LossModel {
     fn average_rate(&self) -> f64;
 }
 
+/// Replayable position of a loss process: its seed, how many draws have
+/// been consumed, and (for Gilbert–Elliott) the current chain state.
+///
+/// `StdRng` exposes no internal state, and swapping it for an
+/// exportable generator would shift every calibrated loss stream in the
+/// workspace — so checkpoints capture *position*, and
+/// restore re-seeds the generator and replays `draws` uniform draws to
+/// fast-forward it. Draw counts are per-chunk-scale (thousands), so the
+/// replay is microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LossState {
+    pub seed: u64,
+    pub draws: u64,
+    /// Gilbert–Elliott chain state (ignored by Bernoulli).
+    pub bad: bool,
+}
+
 /// Independent loss with fixed probability.
 #[derive(Debug)]
 pub struct Bernoulli {
     p: f64,
     rng: StdRng,
+    seed: u64,
+    draws: u64,
 }
 
 impl Bernoulli {
@@ -55,12 +74,35 @@ impl Bernoulli {
         Ok(Self {
             p,
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
         })
+    }
+
+    /// Current replayable position.
+    pub fn state(&self) -> LossState {
+        LossState {
+            seed: self.seed,
+            draws: self.draws,
+            bad: false,
+        }
+    }
+
+    /// Restore to a captured position: re-seed and replay the draws.
+    pub fn restore(&mut self, state: LossState) {
+        self.seed = state.seed;
+        self.rng = StdRng::seed_from_u64(state.seed);
+        self.draws = 0;
+        for _ in 0..state.draws {
+            let _: f64 = self.rng.random_range(0.0..1.0);
+            self.draws += 1;
+        }
     }
 }
 
 impl LossModel for Bernoulli {
     fn lose(&mut self) -> bool {
+        self.draws += 1;
         self.rng.random_range(0.0..1.0) < self.p
     }
 
@@ -81,6 +123,8 @@ pub struct GilbertElliott {
     p_bg: f64,
     bad: bool,
     rng: StdRng,
+    seed: u64,
+    draws: u64,
 }
 
 impl GilbertElliott {
@@ -104,6 +148,8 @@ impl GilbertElliott {
             p_bg,
             bad: false,
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
         })
     }
 
@@ -145,10 +191,34 @@ impl GilbertElliott {
     pub fn p_bg(&self) -> f64 {
         self.p_bg
     }
-}
 
-impl LossModel for GilbertElliott {
-    fn lose(&mut self) -> bool {
+    /// Current replayable position (seed, draw count, chain state).
+    pub fn state(&self) -> LossState {
+        LossState {
+            seed: self.seed,
+            draws: self.draws,
+            bad: self.bad,
+        }
+    }
+
+    /// Restore to a captured position: re-seed, replay the draws, and
+    /// reinstate the chain state. Replaying reproduces the chain state
+    /// too; `state.bad` is asserted against it as a cheap integrity
+    /// check on the checkpoint.
+    pub fn restore(&mut self, state: LossState) {
+        self.seed = state.seed;
+        self.rng = StdRng::seed_from_u64(state.seed);
+        self.bad = false;
+        self.draws = 0;
+        for _ in 0..state.draws {
+            self.step();
+        }
+        debug_assert_eq!(self.bad, state.bad, "replayed GE chain diverged");
+        self.bad = state.bad;
+    }
+
+    fn step(&mut self) -> bool {
+        self.draws += 1;
         let u: f64 = self.rng.random_range(0.0..1.0);
         if self.bad {
             if u < self.p_bg {
@@ -158,6 +228,12 @@ impl LossModel for GilbertElliott {
             self.bad = true;
         }
         self.bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn lose(&mut self) -> bool {
+        self.step()
     }
 
     fn average_rate(&self) -> f64 {
@@ -344,6 +420,34 @@ mod tests {
             Err(NetError::InvalidProbability { .. })
         ));
         assert!(GilbertElliott::try_with_rate(0.1, 4.0, 1).is_ok());
+    }
+
+    #[test]
+    fn loss_state_restore_resumes_the_exact_stream() {
+        let mut live = GilbertElliott::with_rate(0.1, 4.0, 123);
+        for _ in 0..777 {
+            live.lose();
+        }
+        let snap = live.state();
+        assert_eq!(snap.draws, 777);
+
+        // A fresh model restored from the snapshot continues identically.
+        let mut resumed = GilbertElliott::with_rate(0.1, 4.0, 0);
+        resumed.restore(snap);
+        assert_eq!(resumed.state(), snap);
+        for _ in 0..500 {
+            assert_eq!(live.lose(), resumed.lose());
+        }
+
+        let mut b_live = Bernoulli::new(0.2, 55);
+        for _ in 0..300 {
+            b_live.lose();
+        }
+        let mut b_resumed = Bernoulli::new(0.2, 1);
+        b_resumed.restore(b_live.state());
+        for _ in 0..500 {
+            assert_eq!(b_live.lose(), b_resumed.lose());
+        }
     }
 
     #[test]

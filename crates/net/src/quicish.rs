@@ -15,6 +15,7 @@
 //! client derives per-slice/frame completeness and lateness.
 
 use crate::clock::SimTime;
+use crate::faults::Corruption;
 use crate::link::Link;
 use crate::loss::LossModel;
 
@@ -26,6 +27,22 @@ pub struct PacketOutcome {
     pub arrival: Option<SimTime>,
     /// Number of retransmission attempts used (0 = original got through).
     pub retransmits: u32,
+    /// The delivered copy carries residual corruption (bit flips that
+    /// beat the CRC). Detected corruption never shows up here — the
+    /// receiver drops the copy and the stream retransmits. Consumers
+    /// treat a corrupted packet as an erasure (FEC / concealment).
+    pub corrupted: bool,
+}
+
+impl PacketOutcome {
+    /// Arrival time if the packet is usable (delivered and intact).
+    pub fn intact_arrival(&self) -> Option<SimTime> {
+        if self.corrupted {
+            None
+        } else {
+            self.arrival
+        }
+    }
 }
 
 /// Transmission statistics for a stream.
@@ -40,6 +57,11 @@ pub struct StreamStats {
     pub reordered: u64,
     /// Packets delivered twice (fault-injected duplication).
     pub duplicates: u64,
+    /// Copies dropped by the receiver's CRC check (each triggers the
+    /// normal retransmission path).
+    pub crc_dropped: u64,
+    /// Packets delivered with residual (checksum-beating) corruption.
+    pub residual_corrupted: u64,
 }
 
 impl StreamStats {
@@ -125,13 +147,32 @@ impl<L: LossModel> QuicStream<L> {
                 // Fault-injected hold-back: the packet arrives late
                 // relative to packets serialized just after it.
                 let hold = faults.reorder_delay(attempt_arrival, self.seq);
-                if hold > SimTime::ZERO {
-                    self.stats.reordered += 1;
+                let arrival = attempt_arrival + hold;
+                // Receiver-side CRC verification, salted per attempt so
+                // a retransmitted copy draws independently.
+                let salt = self.seq ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                match faults.corruption_at(arrival, salt) {
+                    Corruption::Detected => {
+                        // The copy arrived damaged and the CRC caught it:
+                        // drop it and fall through to the retransmission
+                        // path exactly as if it had been lost in flight.
+                        self.stats.crc_dropped += 1;
+                    }
+                    verdict => {
+                        if hold > SimTime::ZERO {
+                            self.stats.reordered += 1;
+                        }
+                        let corrupted = verdict == Corruption::Residual;
+                        if corrupted {
+                            self.stats.residual_corrupted += 1;
+                        }
+                        return PacketOutcome {
+                            arrival: Some(arrival),
+                            retransmits: attempt,
+                            corrupted,
+                        };
+                    }
                 }
-                return PacketOutcome {
-                    arrival: Some(attempt_arrival + hold),
-                    retransmits: attempt,
-                };
             }
             if attempt == 0 {
                 self.stats.packets_lost_first_tx += 1;
@@ -142,6 +183,7 @@ impl<L: LossModel> QuicStream<L> {
                 return PacketOutcome {
                     arrival: None,
                     retransmits: attempt - 1,
+                    corrupted: false,
                 };
             }
             self.stats.retransmissions += 1;
@@ -159,6 +201,40 @@ impl<L: LossModel> QuicStream<L> {
             .map(|&b| self.send_packet(b, now))
             .collect()
     }
+
+    /// The wrapped loss model (for checkpointing its RNG position).
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    pub fn loss_mut(&mut self) -> &mut L {
+        &mut self.loss
+    }
+
+    /// Capture the stream's mutable state (the link is stateless and the
+    /// loss model is checkpointed separately).
+    pub fn state(&self) -> QuicState {
+        QuicState {
+            cursor: self.cursor,
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured by [`QuicStream::state`].
+    pub fn restore_state(&mut self, state: &QuicState) {
+        self.cursor = state.cursor;
+        self.seq = state.seq;
+        self.stats = state.stats;
+    }
+}
+
+/// Checkpointable snapshot of a [`QuicStream`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuicState {
+    pub cursor: SimTime,
+    pub seq: u64,
+    pub stats: StreamStats,
 }
 
 #[cfg(test)]
@@ -301,6 +377,67 @@ mod tests {
             "duplicates {}",
             q.stats.duplicates
         );
+    }
+
+    #[test]
+    fn detected_corruption_is_dropped_and_retransmitted() {
+        use crate::faults::FaultPlan;
+        // Corruption confined to a short window: the first copy fails
+        // its CRC, the retransmission (1 RTT later, past the window)
+        // arrives clean.
+        let plan = FaultPlan::new(31).corrupt(SimTime::ZERO, SimTime::from_millis(50), 1.0);
+        let mut q = QuicStream::new(flat_link(10.0, 40).with_faults(plan), NoLoss);
+        let o = q.send_packet(1200, SimTime::ZERO);
+        assert!(!o.corrupted);
+        assert!(o.retransmits >= 1, "CRC drop must retransmit");
+        assert!(o.arrival.unwrap() >= SimTime::from_millis(50));
+        assert!(q.stats.crc_dropped >= 1);
+        assert_eq!(q.stats.residual_corrupted, 0);
+        assert_eq!(o.intact_arrival(), o.arrival);
+    }
+
+    #[test]
+    fn persistent_detected_corruption_becomes_residual_loss() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::new(32).corrupt(SimTime::ZERO, SimTime::from_secs_f64(1e4), 1.0);
+        let mut q = QuicStream::new(flat_link(10.0, 40).with_faults(plan), NoLoss);
+        let o = q.send_packet(1200, SimTime::ZERO);
+        assert_eq!(o.arrival, None, "every copy fails its CRC");
+        assert_eq!(q.stats.crc_dropped, 3);
+        assert_eq!(q.stats.residual_losses, 1);
+    }
+
+    #[test]
+    fn residual_corruption_delivers_flagged_packets() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::new(33)
+            .corrupt(SimTime::ZERO, SimTime::from_secs_f64(1e4), 1.0)
+            .with_residual_corrupt_rate(1.0);
+        let mut q = QuicStream::new(flat_link(10.0, 40).with_faults(plan), NoLoss);
+        let o = q.send_packet(1200, SimTime::ZERO);
+        assert!(o.corrupted);
+        assert!(o.arrival.is_some());
+        assert_eq!(o.intact_arrival(), None);
+        assert_eq!(q.stats.residual_corrupted, 1);
+        assert_eq!(q.stats.crc_dropped, 0);
+    }
+
+    #[test]
+    fn stream_state_round_trips_through_restore() {
+        let mut live = QuicStream::new(flat_link(10.0, 40), Bernoulli::new(0.2, 17));
+        live.send_burst(&[1200; 500], SimTime::ZERO);
+        let snap = live.state();
+        let loss_snap = live.loss().state();
+
+        let mut resumed = QuicStream::new(flat_link(10.0, 40), Bernoulli::new(0.2, 1));
+        resumed.restore_state(&snap);
+        resumed.loss_mut().restore(loss_snap);
+        assert_eq!(resumed.state(), snap);
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(700 + i);
+            assert_eq!(live.send_packet(1200, t), resumed.send_packet(1200, t));
+        }
+        assert_eq!(live.state(), resumed.state());
     }
 
     #[test]

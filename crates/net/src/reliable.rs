@@ -17,9 +17,10 @@
 
 use crate::clock::SimTime;
 use crate::error::NetError;
+use crate::faults::Corruption;
 use crate::link::Link;
 use crate::loss::LossModel;
-use crate::rtt::RttEstimator;
+use crate::rtt::{RttEstimator, RttState};
 
 /// Maximum payload carried per segment.
 pub const MSS: usize = 1460;
@@ -36,8 +37,11 @@ pub enum SendOutcome {
     Delivered {
         /// Arrival time of the last byte (in-order floor applied).
         at: SimTime,
-        /// The payload arrived but a fault corrupted it in flight;
-        /// consumers must discard it.
+        /// The payload arrived with *residual* corruption — flipped
+        /// bits the CRC32 framing could not catch. Detected corruption
+        /// never surfaces here: the receiver demotes it to an erasure
+        /// and the channel retransmits. Consumers must discard a
+        /// corrupted payload (or feed it to a hardened decoder).
         corrupted: bool,
         /// Retransmissions spent on this message.
         retransmissions: u32,
@@ -83,8 +87,11 @@ pub struct ChannelStats {
     pub retransmissions: u64,
     /// Messages abandoned (attempt budget or deadline exhausted).
     pub expired: u64,
-    /// Messages delivered with fault-injected corruption.
+    /// Messages delivered with *residual* corruption (beat the CRC).
     pub corrupted: u64,
+    /// Deliveries whose CRC check failed: demoted to erasures and
+    /// retransmitted (each also counts one retransmission).
+    pub crc_detected: u64,
 }
 
 /// A reliable in-order message channel over a lossy link.
@@ -164,74 +171,157 @@ impl<L: LossModel> ReliableChannel<L> {
         self.seq += 1;
         let segments = bytes.div_ceil(MSS).max(1);
         let segment_bytes = MSS.min(bytes).max(1);
-        let mut t = now;
-        let mut last_arrival = now;
         let mut message_retransmissions = 0u32;
         let mut attempts = 0u32;
-        for _ in 0..segments {
-            let mut attempt_start = t;
-            let mut delivered = false;
-            for attempt in 0..self.max_attempts {
-                if let Some(d) = deadline {
-                    if attempt > 0 && attempt_start >= d {
+        // Outer loop: whole-message passes. A pass whose CRC check fails
+        // at the receiver is demoted to an erasure and the message is
+        // retransmitted one RTO later, sharing the same bounded budget.
+        let mut pass_start = now;
+        for crc_round in 0..self.max_attempts as u64 {
+            let mut t = pass_start;
+            let mut last_arrival = pass_start;
+            for _ in 0..segments {
+                let mut attempt_start = t;
+                let mut delivered = false;
+                for attempt in 0..self.max_attempts {
+                    if let Some(d) = deadline {
+                        if attempt > 0 && attempt_start >= d {
+                            break;
+                        }
+                    }
+                    attempts += 1;
+                    let arrival = self.link.deliver(segment_bytes, attempt_start);
+                    if !self.loss.lose_at(attempt_start) {
+                        // ACK returns one-way later; sample the full RTT.
+                        self.rtt.observe(
+                            (arrival + self.link.one_way_delay()).saturating_sub(attempt_start),
+                        );
+                        last_arrival = arrival;
+                        delivered = true;
                         break;
                     }
+                    message_retransmissions += 1;
+                    self.stats.retransmissions += 1;
+                    self.retransmissions += 1;
+                    attempt_start += self.rtt.rto();
                 }
-                attempts += 1;
-                let arrival = self.link.deliver(segment_bytes, attempt_start);
-                if !self.loss.lose_at(attempt_start) {
-                    // ACK returns one-way later; sample the full RTT.
-                    self.rtt.observe(
-                        (arrival + self.link.one_way_delay()).saturating_sub(attempt_start),
-                    );
-                    last_arrival = arrival;
-                    delivered = true;
-                    break;
+                if !delivered {
+                    self.stats.expired += 1;
+                    // Clamp to the deadline, but never report giving up
+                    // before the send itself began (a send issued past its
+                    // deadline still gives up "now", not in the past).
+                    let gave_up_at = match deadline {
+                        Some(d) if attempt_start > d => d.max(now),
+                        _ => attempt_start,
+                    };
+                    return SendOutcome::Expired {
+                        at: gave_up_at,
+                        attempts,
+                    };
                 }
-                message_retransmissions += 1;
-                self.stats.retransmissions += 1;
-                self.retransmissions += 1;
-                attempt_start += self.rtt.rto();
+                // Next segment can be pipelined right behind this one.
+                t = self.link.transmit_end(segment_bytes, t);
             }
-            if !delivered {
-                self.stats.expired += 1;
-                // Clamp to the deadline, but never report giving up
-                // before the send itself began (a send issued past its
-                // deadline still gives up "now", not in the past).
-                let gave_up_at = match deadline {
-                    Some(d) if attempt_start > d => d.max(now),
-                    _ => attempt_start,
-                };
-                return SendOutcome::Expired {
-                    at: gave_up_at,
-                    attempts,
-                };
+            // In-order delivery: never before a previously sent message.
+            let delivery = if last_arrival > self.last_delivery {
+                last_arrival
+            } else {
+                self.last_delivery
+            };
+            self.last_delivery = delivery;
+            // Receiver-side CRC verification. Round 0 salts with the bare
+            // sequence number (same draw identity as before CRC framing);
+            // retransmitted passes draw independently.
+            let salt = self.seq ^ crc_round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match self.link.faults().corruption_at(delivery, salt) {
+                Corruption::Clean => {
+                    return SendOutcome::Delivered {
+                        at: delivery,
+                        corrupted: false,
+                        retransmissions: message_retransmissions,
+                    };
+                }
+                Corruption::Residual => {
+                    self.stats.corrupted += 1;
+                    return SendOutcome::Delivered {
+                        at: delivery,
+                        corrupted: true,
+                        retransmissions: message_retransmissions,
+                    };
+                }
+                Corruption::Detected => {
+                    self.stats.crc_detected += 1;
+                    message_retransmissions += 1;
+                    self.stats.retransmissions += 1;
+                    self.retransmissions += 1;
+                    let restart = delivery + self.rtt.rto();
+                    if crc_round + 1 >= self.max_attempts as u64 {
+                        self.stats.expired += 1;
+                        return SendOutcome::Expired {
+                            at: delivery,
+                            attempts,
+                        };
+                    }
+                    if let Some(d) = deadline {
+                        if restart >= d {
+                            self.stats.expired += 1;
+                            return SendOutcome::Expired {
+                                at: d.max(now),
+                                attempts,
+                            };
+                        }
+                    }
+                    pass_start = restart;
+                }
             }
-            // Next segment can be pipelined right behind this one.
-            t = self.link.transmit_end(segment_bytes, t);
         }
-        // In-order delivery: never before a previously sent message.
-        let delivery = if last_arrival > self.last_delivery {
-            last_arrival
-        } else {
-            self.last_delivery
-        };
-        self.last_delivery = delivery;
-        let corrupted = self.link.faults().corrupt_at(delivery, self.seq);
-        if corrupted {
-            self.stats.corrupted += 1;
-        }
-        SendOutcome::Delivered {
-            at: delivery,
-            corrupted,
-            retransmissions: message_retransmissions,
-        }
+        unreachable!("corruption retry loop always returns within the attempt budget")
     }
 
     /// Current RTO (exposed for tests/diagnostics).
     pub fn rto(&self) -> SimTime {
         self.rtt.rto()
     }
+
+    /// The wrapped loss model (for checkpointing its RNG position).
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    pub fn loss_mut(&mut self) -> &mut L {
+        &mut self.loss
+    }
+
+    /// Capture the channel's mutable state (everything except the link
+    /// and loss model, which the caller checkpoints separately).
+    pub fn state(&self) -> ChannelState {
+        ChannelState {
+            last_delivery: self.last_delivery,
+            seq: self.seq,
+            stats: self.stats,
+            retransmissions: self.retransmissions,
+            rtt: self.rtt.state(),
+        }
+    }
+
+    /// Restore state captured by [`ReliableChannel::state`].
+    pub fn restore_state(&mut self, state: &ChannelState) {
+        self.last_delivery = state.last_delivery;
+        self.seq = state.seq;
+        self.stats = state.stats;
+        self.retransmissions = state.retransmissions;
+        self.rtt.restore(state.rtt);
+    }
+}
+
+/// Checkpointable snapshot of a [`ReliableChannel`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelState {
+    pub last_delivery: SimTime,
+    pub seq: u64,
+    pub stats: ChannelStats,
+    pub retransmissions: u64,
+    pub rtt: RttState,
 }
 
 #[cfg(test)]
@@ -388,8 +478,50 @@ mod tests {
     }
 
     #[test]
-    fn corruption_marks_delivery_unusable() {
+    fn detected_corruption_retransmits_until_clean() {
+        // Corruption confined to a window: the first delivery lands
+        // inside it, fails its CRC, and the retransmitted copy (one RTO
+        // later, outside the window) arrives clean.
+        let plan = FaultPlan::new(6).corrupt(SimTime::ZERO, SimTime::from_millis(500), 1.0);
+        let mut ch = ReliableChannel::new(flat_link(10.0, 20).with_faults(plan), NoLoss);
+        let outcome = ch.send(1024, SimTime::ZERO);
+        match outcome {
+            SendOutcome::Delivered {
+                at,
+                corrupted,
+                retransmissions,
+            } => {
+                assert!(!corrupted, "retransmitted copy must be clean");
+                assert!(retransmissions >= 1);
+                assert!(at >= SimTime::from_millis(500), "clean copy at {at}");
+            }
+            other => panic!("expected Delivered, got {other:?}"),
+        }
+        assert!(ch.stats.crc_detected >= 1);
+        assert_eq!(ch.stats.corrupted, 0);
+        assert_eq!(ch.stats.expired, 0);
+    }
+
+    #[test]
+    fn persistent_detected_corruption_expires() {
+        // Corruption everywhere and fully detectable: every pass fails
+        // its CRC, the budget runs out, the message expires.
         let plan = FaultPlan::new(6).corrupt(SimTime::ZERO, SimTime::from_secs_f64(1e6), 1.0);
+        let mut ch = ReliableChannel::new(flat_link(10.0, 20).with_faults(plan), NoLoss);
+        let outcome = ch.send(1024, SimTime::ZERO);
+        assert!(outcome.is_expired(), "got {outcome:?}");
+        assert_eq!(ch.stats.crc_detected, DEFAULT_MAX_ATTEMPTS as u64);
+        assert_eq!(ch.stats.expired, 1);
+        assert_eq!(outcome.delivery_time(), None);
+    }
+
+    #[test]
+    fn residual_corruption_marks_delivery_unusable() {
+        // A residual rate of 1.0 means every corruption beats the CRC:
+        // the old delivered-but-corrupted contract, now opt-in.
+        let plan = FaultPlan::new(6)
+            .corrupt(SimTime::ZERO, SimTime::from_secs_f64(1e6), 1.0)
+            .with_residual_corrupt_rate(1.0);
         let mut ch = ReliableChannel::new(flat_link(10.0, 20).with_faults(plan), NoLoss);
         let outcome = ch.send(1024, SimTime::ZERO);
         match outcome {
@@ -398,6 +530,29 @@ mod tests {
         }
         assert_eq!(outcome.delivery_time(), None);
         assert_eq!(ch.stats.corrupted, 1);
+        assert_eq!(ch.stats.crc_detected, 0);
+    }
+
+    #[test]
+    fn channel_state_round_trips_through_restore() {
+        let mut live = ReliableChannel::new(flat_link(10.0, 20), Bernoulli::new(0.3, 9));
+        for i in 0..20u64 {
+            let _ = live.send(1024, SimTime::from_millis(i * 40));
+        }
+        let snap = live.state();
+        let loss_snap = live.loss().state();
+
+        let mut resumed = ReliableChannel::new(flat_link(10.0, 20), Bernoulli::new(0.3, 1));
+        resumed.restore_state(&snap);
+        resumed.loss_mut().restore(loss_snap);
+        assert_eq!(resumed.state(), snap);
+
+        // Identical behavior from here on.
+        for i in 20..40u64 {
+            let t = SimTime::from_millis(i * 40);
+            assert_eq!(live.send(1024, t), resumed.send(1024, t));
+        }
+        assert_eq!(live.state(), resumed.state());
     }
 
     #[test]

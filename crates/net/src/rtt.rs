@@ -54,6 +54,28 @@ impl RttEstimator {
             Some(srtt) => SimTime(((srtt + 4.0 * self.rttvar).max(self.min_rto_us)) as u64),
         }
     }
+
+    /// Current smoothing state (for checkpoints).
+    pub fn state(&self) -> RttState {
+        RttState {
+            srtt: self.srtt,
+            rttvar: self.rttvar,
+        }
+    }
+
+    /// Restore a captured smoothing state.
+    pub fn restore(&mut self, state: RttState) {
+        self.srtt = state.srtt;
+        self.rttvar = state.rttvar;
+    }
+}
+
+/// Replayable estimator state: exact float values, so a restored
+/// estimator computes bit-identical RTOs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RttState {
+    pub srtt: Option<f64>,
+    pub rttvar: f64,
 }
 
 impl Default for RttEstimator {

@@ -23,7 +23,10 @@
 //! are a pure function of the job and the server model, and the batched
 //! forward pass is bit-identical at every worker count.
 
-use nerve_core::{DegradationLadder, DegradationRung};
+use nerve_core::{
+    BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker, DegradationLadder,
+    DegradationRung,
+};
 use nerve_net::clock::SimTime;
 use nerve_tensor::conv::{conv2d, ConvSpec};
 use nerve_tensor::Tensor;
@@ -179,6 +182,9 @@ pub struct BatcherStats {
     pub shed: usize,
     /// Histogram of batch sizes (see [`occupancy_label`]).
     pub occupancy: [usize; OCCUPANCY_BUCKETS],
+    /// Circuit-breaker transition/action counters (all zero when the
+    /// batcher runs without a breaker).
+    pub breaker: BreakerCounters,
 }
 
 /// The cross-session inference batcher.
@@ -190,6 +196,8 @@ pub struct InferenceBatcher {
     queue: Vec<InferenceJob>,
     /// Per-session seeds for synthetic input features (index = session).
     input_seeds: Vec<u64>,
+    /// Optional overload breaker (see [`nerve_core::breaker`]).
+    breaker: Option<CircuitBreaker>,
     pub stats: BatcherStats,
 }
 
@@ -222,8 +230,20 @@ impl InferenceBatcher {
             bias,
             queue: Vec::new(),
             input_seeds,
+            breaker: None,
             stats: BatcherStats::default(),
         }
+    }
+
+    /// Arm the overload circuit breaker.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(config));
+        self
+    }
+
+    /// Current breaker state (`None` when no breaker is armed).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
     }
 
     /// Queue one job. Order of enqueue does not matter: flushing imposes
@@ -258,32 +278,65 @@ impl InferenceBatcher {
         // cursor reaches it — the degradation ladder picks the best rung
         // that still fits, exactly as the client-side session does for
         // late frames.
+        if let Some(b) = self.breaker.as_mut() {
+            b.begin_flush(now.as_secs_f64());
+        }
         let mut cursor = now + SimTime::from_secs_f64(self.model.batch_overhead_secs);
         let mut outcomes = Vec::with_capacity(jobs.len());
         let mut batch_members: Vec<usize> = Vec::new();
         for (idx, job) in jobs.iter().enumerate() {
             let full_cost = self.full_service_secs(job.rung);
             let budget = job.deadline.saturating_sub(cursor).as_secs_f64();
-            let (service, cost) = match job.kind {
-                JobKind::Recovery => {
-                    let ladder = DegradationLadder::recovery(full_cost);
-                    match ladder.select(budget) {
-                        DegradationRung::Full => (Service::Full, full_cost),
-                        DegradationRung::WarpOnly => {
-                            (Service::WarpOnly, ladder.cost_of(DegradationRung::WarpOnly))
+            let allowed = match self.breaker.as_mut() {
+                Some(b) => b.allow_full(),
+                None => true,
+            };
+            let (service, cost) = if !allowed {
+                // Breaker open (or probe allowance spent): fast-shed to
+                // the cheap rung without attempting a full pass.
+                match job.kind {
+                    JobKind::Recovery => {
+                        let ladder = DegradationLadder::recovery(full_cost);
+                        let warp = ladder.cost_of(DegradationRung::WarpOnly);
+                        if budget >= warp {
+                            (Service::WarpOnly, warp)
+                        } else {
+                            (Service::Shed, 0.0)
                         }
-                        DegradationRung::Freeze | DegradationRung::Stall => (Service::Shed, 0.0),
                     }
+                    JobKind::Sr => (Service::Shed, 0.0),
                 }
-                JobKind::Sr => {
-                    if budget >= full_cost {
-                        (Service::Full, full_cost)
-                    } else {
-                        (Service::Shed, 0.0)
+            } else {
+                match job.kind {
+                    JobKind::Recovery => {
+                        let ladder = DegradationLadder::recovery(full_cost);
+                        match ladder.select(budget) {
+                            DegradationRung::Full => (Service::Full, full_cost),
+                            DegradationRung::WarpOnly => {
+                                (Service::WarpOnly, ladder.cost_of(DegradationRung::WarpOnly))
+                            }
+                            DegradationRung::Freeze | DegradationRung::Stall => {
+                                (Service::Shed, 0.0)
+                            }
+                        }
+                    }
+                    JobKind::Sr => {
+                        if budget >= full_cost {
+                            (Service::Full, full_cost)
+                        } else {
+                            (Service::Shed, 0.0)
+                        }
                     }
                 }
             };
             let completion = cursor + SimTime::from_secs_f64(cost);
+            if allowed {
+                if let Some(b) = self.breaker.as_mut() {
+                    // "Met the deadline" at the server = a full pass fit
+                    // the budget; anything less is a service miss.
+                    b.record(service == Service::Full, completion.as_secs_f64());
+                }
+            }
             match service {
                 Service::Full => {
                     self.stats.full += 1;
@@ -323,6 +376,17 @@ impl InferenceBatcher {
             }
             self.stats.batches += 1;
             self.stats.occupancy[occupancy_bucket(batch_members.len())] += 1;
+        }
+
+        // Watchdog: a flush that overran its compute budget trips the
+        // breaker open so the *next* flush fast-sheds instead of piling
+        // more full-pass attempts onto a server already behind.
+        if let Some(b) = self.breaker.as_mut() {
+            let spent = cursor.saturating_sub(now).as_secs_f64();
+            if spent > b.config().watchdog_budget_secs {
+                b.trip_watchdog(cursor.as_secs_f64());
+            }
+            self.stats.breaker = b.counters;
         }
         outcomes
     }
@@ -456,6 +520,70 @@ mod tests {
             run(&[2, 0, 1]),
             "enqueue order must not matter"
         );
+    }
+
+    fn breaker_cfg() -> BreakerConfig {
+        BreakerConfig {
+            open_after_misses: 2,
+            cooldown_secs: 1.0,
+            probe_jobs: 2,
+            watchdog_budget_secs: 10.0,
+        }
+    }
+
+    #[test]
+    fn sustained_misses_open_the_breaker_and_probes_reclose_it() {
+        let mut b = batcher(1).with_breaker(breaker_cfg());
+        assert_eq!(b.breaker_state(), Some(BreakerState::Closed));
+
+        // Two already-expired jobs: consecutive service misses → open.
+        b.enqueue(job(0, 0, 0.0, JobKind::Recovery));
+        b.enqueue(job(0, 1, 0.0, JobKind::Recovery));
+        b.flush(SimTime::from_secs_f64(1.0));
+        assert_eq!(b.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(b.stats.breaker.opened, 1);
+
+        // Before the cooldown even a healthy job is fast-shed to
+        // warp-only — no full-pass attempt, no batch.
+        b.enqueue(job(0, 2, 100.0, JobKind::Recovery));
+        let out = b.flush(SimTime::from_secs_f64(1.5));
+        assert_eq!(out[0].service, Service::WarpOnly);
+        assert!(b.stats.breaker.fast_shed >= 1);
+        assert_eq!(b.breaker_state(), Some(BreakerState::Open));
+
+        // Past the cooldown the flush goes half-open, both probes fit
+        // their deadlines, and the breaker closes again.
+        b.enqueue(job(0, 3, 100.0, JobKind::Recovery));
+        b.enqueue(job(0, 4, 100.0, JobKind::Recovery));
+        let out = b.flush(SimTime::from_secs_f64(3.0));
+        assert!(out.iter().all(|o| o.service == Service::Full));
+        assert_eq!(b.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(b.stats.breaker.half_opened, 1);
+        assert_eq!(b.stats.breaker.closed, 1);
+    }
+
+    #[test]
+    fn watchdog_trips_on_an_oversized_flush() {
+        let mut b = batcher(1).with_breaker(BreakerConfig {
+            watchdog_budget_secs: 1e-6,
+            open_after_misses: 100,
+            ..BreakerConfig::default()
+        });
+        b.enqueue(job(0, 0, 10.0, JobKind::Recovery));
+        let out = b.flush(SimTime::ZERO);
+        assert_eq!(out[0].service, Service::Full, "the job itself is served");
+        assert_eq!(b.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(b.stats.breaker.watchdog_trips, 1);
+        assert_eq!(b.stats.breaker.opened, 1);
+    }
+
+    #[test]
+    fn breakerless_batcher_reports_zero_breaker_counters() {
+        let mut b = batcher(1);
+        b.enqueue(job(0, 0, 10.0, JobKind::Recovery));
+        b.flush(SimTime::ZERO);
+        assert_eq!(b.stats.breaker, BreakerCounters::default());
+        assert_eq!(b.breaker_state(), None);
     }
 
     #[test]

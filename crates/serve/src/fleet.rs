@@ -21,6 +21,7 @@ use crate::batcher::{BatcherStats, InferenceBatcher, InferenceJob, JobKind, Serv
 use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_abr::{Abr, AbrContext, CappedAbr};
+use nerve_core::BreakerConfig;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
 use nerve_net::loss::{GilbertElliott, LossModel};
@@ -114,6 +115,33 @@ pub struct FleetConfig {
     pub qoe: QoeParams,
     /// Hard stop for the virtual clock (guards against a dead uplink).
     pub max_virtual_secs: f64,
+    /// Per-session crash events: at `at_secs` the session's in-flight
+    /// download is aborted (its bookkeeping reverted) and the client is
+    /// offline for `down_secs` before re-requesting the same chunk.
+    pub crash_plan: Vec<SessionCrash>,
+    /// One whole-server restart: pending work is drained (every
+    /// accounted job settles), then the server takes no flushes while
+    /// down — jobs queue up and settle after it returns.
+    pub server_restart: Option<ServerRestart>,
+    /// Arm the batcher's overload circuit breaker.
+    pub breaker: Option<BreakerConfig>,
+}
+
+/// One client crash in the fleet's crash plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionCrash {
+    pub session: usize,
+    /// Virtual time of the crash.
+    pub at_secs: f64,
+    /// Offline time before the client reconnects and retries.
+    pub down_secs: f64,
+}
+
+/// One edge-server restart window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerRestart {
+    pub at_secs: f64,
+    pub down_secs: f64,
 }
 
 impl FleetConfig {
@@ -139,6 +167,9 @@ impl FleetConfig {
             overlay_every: 4,
             qoe: QoeParams::default(),
             max_virtual_secs: 600.0,
+            crash_plan: Vec::new(),
+            server_restart: None,
+            breaker: None,
         }
     }
 }
@@ -159,6 +190,8 @@ pub struct SessionCounters {
     pub sr_skipped: usize,
     /// Damaged frames frozen client-side (no recovery available).
     pub freezes: usize,
+    /// Crash events this session absorbed (aborted download + retry).
+    pub crashes: usize,
 }
 
 /// One session's slice of the fleet outcome.
@@ -199,6 +232,10 @@ pub struct FleetResult {
     pub p95_slack_secs: f64,
     /// Virtual time at which the fleet drained.
     pub virtual_secs: f64,
+    /// Total client crash events absorbed across sessions.
+    pub crashes: usize,
+    /// Server restarts performed.
+    pub server_restarts: usize,
 }
 
 impl FleetResult {
@@ -224,10 +261,22 @@ impl FleetResult {
             self.batcher.shed,
         );
         let _ = writeln!(s, "occupancy={:?}", self.batcher.occupancy);
+        let b = &self.batcher.breaker;
+        let _ = writeln!(
+            s,
+            "crashes={} restarts={} breaker=o{}h{}c{}w{}f{}",
+            self.crashes,
+            self.server_restarts,
+            b.opened,
+            b.half_opened,
+            b.closed,
+            b.watchdog_trips,
+            b.fast_shed,
+        );
         for sess in &self.sessions {
             let _ = writeln!(
                 s,
-                "s{} {} cap={:?} rej={} qoe={:016x} util={:016x} rebuf={:016x} rung={:016x} jobs={} deg={} srskip={} frz={} sum={:08x}",
+                "s{} {} cap={:?} rej={} qoe={:016x} util={:016x} rebuf={:016x} rung={:016x} jobs={} deg={} srskip={} frz={} crash={} sum={:08x}",
                 sess.id,
                 sess.class.label(),
                 sess.cap,
@@ -240,6 +289,7 @@ impl FleetResult {
                 sess.counters.degraded,
                 sess.counters.sr_skipped,
                 sess.counters.freezes,
+                sess.counters.crashes,
                 sess.checksum.to_bits(),
             );
         }
@@ -370,6 +420,27 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
             .map(|s| seed_for(cfg.seed, s as u64, StreamComponent::Inference))
             .collect(),
     );
+    if let Some(breaker) = cfg.breaker {
+        batcher = batcher.with_breaker(breaker);
+    }
+
+    // Crash plane events, in canonical (time, session) order; a cursor
+    // walks them exactly once as virtual time passes their instants.
+    let mut crashes: Vec<SessionCrash> = cfg
+        .crash_plan
+        .iter()
+        .copied()
+        .filter(|c| c.session < cfg.sessions)
+        .collect();
+    crashes.sort_by(|a, b| {
+        a.at_secs
+            .total_cmp(&b.at_secs)
+            .then(a.session.cmp(&b.session))
+    });
+    let mut crash_cursor = 0usize;
+    let mut restart_pending = cfg.server_restart;
+    let mut server_down_until: Option<SimTime> = None;
+    let mut server_restarts = 0usize;
 
     let mut sessions: Vec<SessionState> = (0..cfg.sessions)
         .map(|id| {
@@ -493,9 +564,22 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
             }
         };
 
-        // Next event: tick boundary, a waiting session's wake-up, or the
-        // earliest in-flight completion at current rates.
+        // Next event: tick boundary, a waiting session's wake-up, the
+        // earliest in-flight completion at current rates, or a pending
+        // crash/restart instant.
         let mut next = hard_stop.min(SimTime(((t.0 / tick_us) + 1) * tick_us));
+        if let Some(c) = crashes.get(crash_cursor) {
+            let at = SimTime::from_secs_f64(c.at_secs);
+            if at > t {
+                next = next.min(at);
+            }
+        }
+        if let Some(r) = restart_pending {
+            let at = SimTime::from_secs_f64(r.at_secs);
+            if at > t {
+                next = next.min(at);
+            }
+        }
         for s in &sessions {
             match s.phase {
                 Phase::Waiting { until } if until > t => next = next.min(until),
@@ -519,6 +603,50 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
             }
         }
         t = next.max(t + SimTime(1));
+
+        // Server restart: drain everything already accounted (every
+        // pending job settles through the normal path — nothing is
+        // dropped), then go dark until the window ends; ticks meanwhile
+        // skip the flush and jobs queue up.
+        if let Some(r) = restart_pending {
+            if SimTime::from_secs_f64(r.at_secs) <= t {
+                if batcher.pending() > 0 {
+                    let outcomes = batcher.flush(t);
+                    settle(&mut sessions, &maps, &mut slacks, &outcomes);
+                }
+                server_down_until = Some(SimTime::from_secs_f64(r.at_secs + r.down_secs));
+                server_restarts += 1;
+                restart_pending = None;
+            }
+        }
+
+        // Client crashes: abort the in-flight download (reverting its
+        // chunk bookkeeping — completion never ran, so no job was
+        // enqueued for it) and hold the session offline until the crash
+        // window ends; it then retries the same chunk.
+        while let Some(c) = crashes.get(crash_cursor).copied() {
+            if SimTime::from_secs_f64(c.at_secs) > t {
+                break;
+            }
+            crash_cursor += 1;
+            let until = SimTime::from_secs_f64(c.at_secs + c.down_secs);
+            let s = &mut sessions[c.session];
+            match s.phase {
+                Phase::Done => {}
+                Phase::Waiting { until: w } => {
+                    s.counters.crashes += 1;
+                    s.phase = Phase::Waiting {
+                        until: w.max(until),
+                    };
+                }
+                Phase::Downloading { rung, .. } => {
+                    s.counters.crashes += 1;
+                    s.rung_sum -= rung;
+                    s.chunks[s.chunk_idx] = ChunkAcc::default();
+                    s.phase = Phase::Waiting { until };
+                }
+            }
+        }
 
         // Wake waiting sessions and start their next chunk (admission
         // gates only the first).
@@ -674,8 +802,10 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
             }
         }
 
-        // Server tick: flush the cross-session batch.
-        if t.0.is_multiple_of(tick_us) && batcher.pending() > 0 {
+        // Server tick: flush the cross-session batch (unless the server
+        // is mid-restart — queued jobs wait for it to come back).
+        let server_up = server_down_until.is_none_or(|d| t >= d);
+        if server_up && t.0.is_multiple_of(tick_us) && batcher.pending() > 0 {
             let outcomes = batcher.flush(t);
             settle(&mut sessions, &maps, &mut slacks, &outcomes);
         }
@@ -768,6 +898,8 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         batcher: batcher.stats.clone(),
         p95_slack_secs: p95,
         virtual_secs: t.as_secs_f64(),
+        crashes: summaries.iter().map(|s| s.counters.crashes).sum(),
+        server_restarts,
         sessions: summaries,
     }
 }
@@ -864,6 +996,103 @@ mod tests {
             "at least one flush must batch >1 job: occupancy {:?}",
             r.batcher.occupancy
         );
+    }
+
+    #[test]
+    fn crash_plan_aborts_and_retries_without_losing_chunks() {
+        let mut cfg = FleetConfig::small(4, 13);
+        cfg.crash_plan = vec![
+            SessionCrash {
+                session: 1,
+                at_secs: 1.0,
+                down_secs: 1.5,
+            },
+            SessionCrash {
+                session: 2,
+                at_secs: 2.0,
+                down_secs: 0.5,
+            },
+        ];
+        let r = run_fleet(&cfg, &trace(13));
+        assert_eq!(r.crashes, 2, "both crash events must be absorbed");
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.chunks_played, cfg.chunks_per_session,
+                "session {} must still finish every chunk after crashing",
+                s.id
+            );
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+                "no silent job loss for session {}",
+                s.id
+            );
+        }
+        let a = run_fleet(&cfg, &trace(13)).digest();
+        let b = run_fleet(&cfg, &trace(13)).digest();
+        assert_eq!(a, b, "crash plans must stay deterministic");
+    }
+
+    #[test]
+    fn server_restart_drains_without_losing_accounted_jobs() {
+        let mut cfg = FleetConfig::small(6, 17);
+        cfg.server_restart = Some(ServerRestart {
+            at_secs: 2.0,
+            down_secs: 1.0,
+        });
+        let r = run_fleet(&cfg, &trace(17));
+        assert_eq!(r.server_restarts, 1);
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.chunks_played, cfg.chunks_per_session,
+                "session {} must finish despite the restart",
+                s.id
+            );
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+                "every job must settle for session {}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_fleet_with_breaker_surfaces_transitions_in_result() {
+        let mut cfg = FleetConfig::small(6, 11);
+        // Same ~1000×-too-slow server as the starvation test, now with a
+        // breaker armed: sustained misses must open it at least once.
+        cfg.model.macs_per_sec = 2.0e4;
+        cfg.admission.macs_per_sec = f64::INFINITY;
+        cfg.breaker = Some(nerve_core::BreakerConfig {
+            open_after_misses: 4,
+            cooldown_secs: 0.5,
+            probe_jobs: 2,
+            watchdog_budget_secs: 10.0,
+        });
+        let r = run_fleet(&cfg, &trace(11));
+        assert!(
+            r.batcher.breaker.opened >= 1,
+            "sustained overload must open the breaker: {:?}",
+            r.batcher.breaker
+        );
+        assert!(
+            r.batcher.breaker.fast_shed >= 1,
+            "an open breaker must fast-shed at least one job"
+        );
+        assert!(
+            r.digest().contains("breaker=o"),
+            "breaker counters must be part of the digest"
+        );
+        // Accounting still holds under the breaker.
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+                "breaker must not cause silent job loss for session {}",
+                s.id
+            );
+        }
     }
 
     #[test]

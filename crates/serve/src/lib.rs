@@ -34,6 +34,6 @@ pub use batcher::{
     ServerModel, Service, OCCUPANCY_BUCKETS,
 };
 pub use fleet::{
-    jain_fairness, run_fleet, ClientClass, FleetConfig, FleetResult, SessionCounters,
-    SessionSummary,
+    jain_fairness, run_fleet, ClientClass, FleetConfig, FleetResult, ServerRestart,
+    SessionCounters, SessionCrash, SessionSummary,
 };

@@ -1,0 +1,614 @@
+//! Byte-exact session checkpoints for crash recovery.
+//!
+//! A [`SessionCheckpoint`] captures everything mutable about a running
+//! [`crate::session::SessionRunner`] — playout buffer, ABR context and
+//! loss-prediction state, both transports (sequence numbers, RTT
+//! estimator, loss-RNG stream positions), and every result accumulator —
+//! so a session killed mid-stream can be rebuilt in a fresh process and
+//! finish with results bit-identical to an uninterrupted run.
+//!
+//! The wire format is deliberately dependency-free: little-endian
+//! integers, `f64::to_bits` for floats (exact round trip, no text
+//! formatting), a magic/version header, and a CRC32 trailer (the same
+//! [`nerve_net::integrity`] framing the transports use). Reconnects
+//! funnel through this serialization *in-process* too: the session
+//! layer's only teardown/resume path is checkpoint → bytes → restore,
+//! so the codec is exercised by every chaos test, not just by the
+//! kill-resume ones.
+
+use nerve_net::clock::SimTime;
+use nerve_net::integrity::{crc32, open, seal};
+use nerve_net::loss::LossState;
+use nerve_net::quicish::{QuicState, StreamStats};
+use nerve_net::reliable::{ChannelState, ChannelStats};
+use nerve_net::rtt::RttState;
+use std::fmt;
+
+use crate::session::ChunkRecord;
+
+/// First bytes of a serialized checkpoint ("NRVC").
+pub const MAGIC: u32 = 0x4E52_5643;
+/// Format version; bumped on any layout change.
+pub const VERSION: u16 = 1;
+
+/// Why a checkpoint failed to deserialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// CRC trailer missing or mismatched: the bytes were damaged.
+    Corrupt,
+    /// Leading magic is not [`MAGIC`].
+    BadMagic(u32),
+    /// Version is not [`VERSION`].
+    BadVersion(u16),
+    /// The body ended before a field was fully read.
+    Truncated,
+    /// Bytes were left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Corrupt => write!(f, "checkpoint failed its CRC"),
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#x}"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::TrailingBytes(n) => write!(f, "{n} trailing bytes after checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Little-endian byte sink for checkpoint fields.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Exact float round trip via the bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    pub fn time(&mut self, t: SimTime) {
+        self.u64(t.as_micros());
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian reader over a checkpoint body.
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(CheckpointError::Truncated)?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
+        Ok(self.u64()? as usize)
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CheckpointError> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
+        Ok(if self.u8()? != 0 {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    pub fn time(&mut self) -> Result<SimTime, CheckpointError> {
+        Ok(SimTime::from_micros(self.u64()?))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+/// Everything mutable about a mid-stream session.
+///
+/// Immutable configuration (trace, scheme, quality maps, seed) is *not*
+/// here: the resuming process supplies the same `SessionConfig` it
+/// started with, and the checkpoint layers the dynamic state on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    // Progress and crash-plane accounting.
+    pub chunk_index: u64,
+    pub epoch: u64,
+    pub reconnects: u64,
+    pub downtime_secs: f64,
+    pub pending_rebuffer: f64,
+    // Playback clock and buffer.
+    pub now: SimTime,
+    pub buffer_secs: f64,
+    pub reuse_chain: u64,
+    // ABR state (the controllers themselves are pure).
+    pub loss_pred: Option<f64>,
+    pub last_choice: u64,
+    pub throughput_kbps: Vec<f64>,
+    pub loss_rates: Vec<f64>,
+    // Media transport.
+    pub media: QuicState,
+    pub media_loss: LossState,
+    pub media_fault_packets: u64,
+    // Point-code channel.
+    pub code: ChannelState,
+    pub code_loss: LossState,
+    pub code_fault_packets: u64,
+    // Result accumulators: (full, warp_only, freeze, stall).
+    pub degradation: [u64; 4],
+    pub recovered_frames_total: u64,
+    pub frames_total: u64,
+    pub recovered_qoe_acc: f64,
+    pub recovered_qoe_n: u64,
+    /// Per-chunk (utility_mbps, rebuffer_secs) QoE outcomes so far.
+    pub outcomes: Vec<(f64, f64)>,
+    pub records: Vec<ChunkRecord>,
+}
+
+impl SessionCheckpoint {
+    /// Serialize to the framed wire format (magic, version, body, CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(MAGIC);
+        w.u16(VERSION);
+        w.u64(self.chunk_index);
+        w.u64(self.epoch);
+        w.u64(self.reconnects);
+        w.f64(self.downtime_secs);
+        w.f64(self.pending_rebuffer);
+        w.time(self.now);
+        w.f64(self.buffer_secs);
+        w.u64(self.reuse_chain);
+        w.opt_f64(self.loss_pred);
+        w.u64(self.last_choice);
+        w.usize(self.throughput_kbps.len());
+        for &v in &self.throughput_kbps {
+            w.f64(v);
+        }
+        w.usize(self.loss_rates.len());
+        for &v in &self.loss_rates {
+            w.f64(v);
+        }
+        write_quic(&mut w, &self.media);
+        write_loss(&mut w, &self.media_loss);
+        w.u64(self.media_fault_packets);
+        write_channel(&mut w, &self.code);
+        write_loss(&mut w, &self.code_loss);
+        w.u64(self.code_fault_packets);
+        for &d in &self.degradation {
+            w.u64(d);
+        }
+        w.u64(self.recovered_frames_total);
+        w.u64(self.frames_total);
+        w.f64(self.recovered_qoe_acc);
+        w.u64(self.recovered_qoe_n);
+        w.usize(self.outcomes.len());
+        for &(u, r) in &self.outcomes {
+            w.f64(u);
+            w.f64(r);
+        }
+        w.usize(self.records.len());
+        for rec in &self.records {
+            w.f64(rec.start_secs);
+            w.usize(rec.rung);
+            w.f64(rec.throughput_kbps);
+            w.f64(rec.qoe);
+            w.f64(rec.utility_mbps);
+            w.f64(rec.rebuffer_secs);
+            w.usize(rec.recovered_frames);
+            w.usize(rec.total_frames);
+        }
+        seal(&w.into_bytes())
+    }
+
+    /// CRC32 over the serialized body — a compact fingerprint two runs
+    /// can compare without shipping the whole checkpoint.
+    pub fn digest(&self) -> u32 {
+        crc32(&self.to_bytes())
+    }
+
+    /// Parse bytes produced by [`SessionCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let body = open(bytes).ok_or(CheckpointError::Corrupt)?;
+        let mut r = ByteReader::new(body);
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let chunk_index = r.u64()?;
+        let epoch = r.u64()?;
+        let reconnects = r.u64()?;
+        let downtime_secs = r.f64()?;
+        let pending_rebuffer = r.f64()?;
+        let now = r.time()?;
+        let buffer_secs = r.f64()?;
+        let reuse_chain = r.u64()?;
+        let loss_pred = r.opt_f64()?;
+        let last_choice = r.u64()?;
+        let n = r.usize()?;
+        let throughput_kbps = read_vec_f64(&mut r, n)?;
+        let n = r.usize()?;
+        let loss_rates = read_vec_f64(&mut r, n)?;
+        let media = read_quic(&mut r)?;
+        let media_loss = read_loss(&mut r)?;
+        let media_fault_packets = r.u64()?;
+        let code = read_channel(&mut r)?;
+        let code_loss = read_loss(&mut r)?;
+        let code_fault_packets = r.u64()?;
+        let mut degradation = [0u64; 4];
+        for d in &mut degradation {
+            *d = r.u64()?;
+        }
+        let recovered_frames_total = r.u64()?;
+        let frames_total = r.u64()?;
+        let recovered_qoe_acc = r.f64()?;
+        let recovered_qoe_n = r.u64()?;
+        let n = r.usize()?;
+        let mut outcomes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            outcomes.push((r.f64()?, r.f64()?));
+        }
+        let n = r.usize()?;
+        let mut records = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            records.push(ChunkRecord {
+                start_secs: r.f64()?,
+                rung: r.usize()?,
+                throughput_kbps: r.f64()?,
+                qoe: r.f64()?,
+                utility_mbps: r.f64()?,
+                rebuffer_secs: r.f64()?,
+                recovered_frames: r.usize()?,
+                total_frames: r.usize()?,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::TrailingBytes(r.remaining()));
+        }
+        Ok(Self {
+            chunk_index,
+            epoch,
+            reconnects,
+            downtime_secs,
+            pending_rebuffer,
+            now,
+            buffer_secs,
+            reuse_chain,
+            loss_pred,
+            last_choice,
+            throughput_kbps,
+            loss_rates,
+            media,
+            media_loss,
+            media_fault_packets,
+            code,
+            code_loss,
+            code_fault_packets,
+            degradation,
+            recovered_frames_total,
+            frames_total,
+            recovered_qoe_acc,
+            recovered_qoe_n,
+            outcomes,
+            records,
+        })
+    }
+}
+
+fn read_vec_f64(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<f64>, CheckpointError> {
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}
+
+fn write_loss(w: &mut ByteWriter, s: &LossState) {
+    w.u64(s.seed);
+    w.u64(s.draws);
+    w.bool(s.bad);
+}
+
+fn read_loss(r: &mut ByteReader<'_>) -> Result<LossState, CheckpointError> {
+    Ok(LossState {
+        seed: r.u64()?,
+        draws: r.u64()?,
+        bad: r.bool()?,
+    })
+}
+
+fn write_stream_stats(w: &mut ByteWriter, s: &StreamStats) {
+    w.u64(s.packets_sent);
+    w.u64(s.packets_lost_first_tx);
+    w.u64(s.retransmissions);
+    w.u64(s.residual_losses);
+    w.u64(s.reordered);
+    w.u64(s.duplicates);
+    w.u64(s.crc_dropped);
+    w.u64(s.residual_corrupted);
+}
+
+fn read_stream_stats(r: &mut ByteReader<'_>) -> Result<StreamStats, CheckpointError> {
+    Ok(StreamStats {
+        packets_sent: r.u64()?,
+        packets_lost_first_tx: r.u64()?,
+        retransmissions: r.u64()?,
+        residual_losses: r.u64()?,
+        reordered: r.u64()?,
+        duplicates: r.u64()?,
+        crc_dropped: r.u64()?,
+        residual_corrupted: r.u64()?,
+    })
+}
+
+fn write_quic(w: &mut ByteWriter, s: &QuicState) {
+    w.time(s.cursor);
+    w.u64(s.seq);
+    write_stream_stats(w, &s.stats);
+}
+
+fn read_quic(r: &mut ByteReader<'_>) -> Result<QuicState, CheckpointError> {
+    Ok(QuicState {
+        cursor: r.time()?,
+        seq: r.u64()?,
+        stats: read_stream_stats(r)?,
+    })
+}
+
+fn write_channel(w: &mut ByteWriter, s: &ChannelState) {
+    w.time(s.last_delivery);
+    w.u64(s.seq);
+    w.u64(s.stats.messages);
+    w.u64(s.stats.retransmissions);
+    w.u64(s.stats.expired);
+    w.u64(s.stats.corrupted);
+    w.u64(s.stats.crc_detected);
+    w.u64(s.retransmissions);
+    w.opt_f64(s.rtt.srtt);
+    w.f64(s.rtt.rttvar);
+}
+
+fn read_channel(r: &mut ByteReader<'_>) -> Result<ChannelState, CheckpointError> {
+    Ok(ChannelState {
+        last_delivery: r.time()?,
+        seq: r.u64()?,
+        stats: ChannelStats {
+            messages: r.u64()?,
+            retransmissions: r.u64()?,
+            expired: r.u64()?,
+            corrupted: r.u64()?,
+            crc_detected: r.u64()?,
+        },
+        retransmissions: r.u64()?,
+        rtt: RttState {
+            srtt: r.opt_f64()?,
+            rttvar: r.f64()?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionCheckpoint {
+        SessionCheckpoint {
+            chunk_index: 12,
+            epoch: 1,
+            reconnects: 1,
+            downtime_secs: 2.75,
+            pending_rebuffer: 0.4,
+            now: SimTime::from_micros(48_250_001),
+            buffer_secs: 11.328_125,
+            reuse_chain: 2,
+            loss_pred: Some(0.031_25),
+            last_choice: 3,
+            throughput_kbps: vec![4_400.0, 2_640.0, 1_600.5],
+            loss_rates: vec![0.0, 0.062_5],
+            media: QuicState {
+                cursor: SimTime::from_micros(48_000_000),
+                seq: 5_120,
+                stats: StreamStats {
+                    packets_sent: 5_120,
+                    packets_lost_first_tx: 31,
+                    retransmissions: 29,
+                    residual_losses: 2,
+                    reordered: 1,
+                    duplicates: 0,
+                    crc_dropped: 3,
+                    residual_corrupted: 1,
+                },
+            },
+            media_loss: LossState {
+                seed: 7,
+                draws: 5_149,
+                bad: true,
+            },
+            media_fault_packets: 5_152,
+            code: ChannelState {
+                last_delivery: SimTime::from_micros(47_990_000),
+                seq: 360,
+                stats: ChannelStats {
+                    messages: 360,
+                    retransmissions: 12,
+                    expired: 4,
+                    corrupted: 1,
+                    crc_detected: 2,
+                },
+                retransmissions: 12,
+                rtt: RttState {
+                    srtt: Some(0.041_503_906_25),
+                    rttvar: 0.003_1,
+                },
+            },
+            code_loss: LossState {
+                seed: 99,
+                draws: 374,
+                bad: false,
+            },
+            code_fault_packets: 374,
+            degradation: [40, 9, 3, 0],
+            recovered_frames_total: 52,
+            frames_total: 1_440,
+            recovered_qoe_acc: 83.25,
+            recovered_qoe_n: 52,
+            outcomes: vec![(4.4, 0.0), (2.64, 0.125)],
+            records: vec![ChunkRecord {
+                start_secs: 4.0,
+                rung: 3,
+                throughput_kbps: 5_210.7,
+                qoe: 0.0,
+                utility_mbps: 4.4,
+                rebuffer_secs: 0.125,
+                recovered_frames: 5,
+                total_frames: 120,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let cp = sample();
+        let bytes = cp.to_bytes();
+        let back = SessionCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cp);
+        // Re-serialization is byte-identical (the digest is stable).
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.digest(), cp.digest());
+    }
+
+    #[test]
+    fn tampered_bytes_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert_eq!(
+            SessionCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = sample().to_bytes();
+        // Any truncation breaks the CRC before it can break the parser.
+        assert!(SessionCheckpoint::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+        assert!(SessionCheckpoint::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_reported() {
+        let mut w = ByteWriter::new();
+        w.u32(0xDEAD_BEEF);
+        w.u16(VERSION);
+        let bytes = seal(&w.into_bytes());
+        assert_eq!(
+            SessionCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic(0xDEAD_BEEF))
+        );
+        let mut w = ByteWriter::new();
+        w.u32(MAGIC);
+        w.u16(VERSION + 1);
+        let bytes = seal(&w.into_bytes());
+        assert_eq!(
+            SessionCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadVersion(VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn distinct_states_have_distinct_digests() {
+        let a = sample();
+        let mut b = sample();
+        b.buffer_secs += 1.0 / 1024.0;
+        assert_ne!(a.digest(), b.digest());
+    }
+}

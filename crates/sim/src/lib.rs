@@ -22,6 +22,7 @@
 //! (the binary) prints any or all of them.
 
 pub mod calibrate;
+pub mod checkpoint;
 pub mod envs;
 pub mod experiments;
 pub mod pixel_session;

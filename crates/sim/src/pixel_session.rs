@@ -12,12 +12,14 @@
 //! DNN-quality and QoE experiments each have their own dedicated
 //! machinery; this is the cross-check that ties them together.
 
-use nerve_codec::packet::{packetize, slice_presence};
+use nerve_codec::packet::{packetize, slice_presence, VideoPacket};
 use nerve_codec::rate::{encode_chunk_at_kbps, RateController};
 use nerve_codec::{Decoder, Encoder, EncoderConfig};
 use nerve_core::point_code::{PointCodeConfig, PointCodeEncoder};
 use nerve_core::recovery::{PartialFrame, RecoveryConfig, RecoveryModel};
 use nerve_net::clock::SimTime;
+use nerve_net::faults::{FaultPlan, FaultyLoss};
+use nerve_net::integrity::flip_bytes;
 use nerve_net::link::Link;
 use nerve_net::loss::GilbertElliott;
 use nerve_net::quicish::QuicStream;
@@ -41,6 +43,10 @@ pub struct PixelSessionConfig {
     /// Client-side recovery on/off.
     pub recovery: bool,
     pub seed: u64,
+    /// Injected transport faults (corruption windows matter here: a
+    /// residually corrupted packet is delivered and must be caught by
+    /// the codec packet CRC, never rendered).
+    pub faults: FaultPlan,
 }
 
 impl PixelSessionConfig {
@@ -54,6 +60,7 @@ impl PixelSessionConfig {
             kbps: 260,
             recovery,
             seed: 11,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -68,6 +75,9 @@ pub struct PixelSessionResult {
     pub total_frames: usize,
     /// Mean PSNR over impaired frames only.
     pub impaired_psnr: f64,
+    /// Delivered packets whose payload failed the codec CRC (residual
+    /// transport corruption demoted to an erasure at the client).
+    pub crc_rejected: usize,
 }
 
 /// Run the pixel-accurate session.
@@ -79,11 +89,14 @@ pub fn run_pixel_session(config: &PixelSessionConfig) -> PixelSessionResult {
     let mut video = SyntheticVideo::new(scene, config.seed);
 
     let mut media = QuicStream::new(
-        Link::new(config.trace.clone()),
-        GilbertElliott::with_rate(
-            config.trace.loss_rate.min(0.49),
-            config.trace.kind.mean_burst(),
-            config.seed,
+        Link::new(config.trace.clone()).with_faults(config.faults.clone()),
+        FaultyLoss::new(
+            GilbertElliott::with_rate(
+                config.trace.loss_rate.min(0.49),
+                config.trace.kind.mean_burst(),
+                config.seed,
+            ),
+            config.faults.clone(),
         ),
     );
 
@@ -104,6 +117,7 @@ pub fn run_pixel_session(config: &PixelSessionConfig) -> PixelSessionResult {
     let mut impaired = 0usize;
     let mut impaired_psnr_sum = 0.0;
     let mut total = 0usize;
+    let mut crc_rejected = 0usize;
 
     for _ in 0..config.chunks {
         let frames: Vec<Frame> = video.take_frames(config.chunk_frames);
@@ -122,12 +136,28 @@ pub fn run_pixel_session(config: &PixelSessionConfig) -> PixelSessionResult {
             let sizes: Vec<usize> = packets.iter().map(|p| p.wire_bytes()).collect();
             let outcomes = media.send_burst(&sizes, now);
             now += SimTime::from_millis(33);
-            let received: Vec<_> = packets
-                .iter()
-                .zip(outcomes.iter())
-                .filter(|(_, o)| o.arrival.is_some())
-                .map(|(p, _)| p)
-                .collect();
+            let mut delivered: Vec<VideoPacket> = Vec::new();
+            for (pi, (p, o)) in packets.iter().zip(outcomes.iter()).enumerate() {
+                if o.arrival.is_none() {
+                    continue;
+                }
+                let mut p = p.clone();
+                if o.corrupted {
+                    // The transport delivered a residually corrupted copy:
+                    // flip real payload bytes so the codec packet CRC — not
+                    // a simulation flag — is what keeps it off the screen.
+                    let mut payload = p.payload.to_vec();
+                    let salt = config.seed ^ (((total as u64) << 8) | pi as u64);
+                    flip_bytes(&mut payload, salt, 2);
+                    p.payload = payload.into();
+                }
+                if p.verify() {
+                    delivered.push(p);
+                } else {
+                    crc_rejected += 1;
+                }
+            }
+            let received: Vec<&VideoPacket> = delivered.iter().collect();
             let present = slice_presence(&received, e.slices.len());
 
             let pd = decoder.decode_partial(e, &present);
@@ -165,6 +195,7 @@ pub fn run_pixel_session(config: &PixelSessionConfig) -> PixelSessionResult {
         } else {
             0.0
         },
+        crc_rejected,
     }
 }
 
@@ -221,6 +252,36 @@ mod tests {
         t.loss_rate = 0.0;
         let r = run_pixel_session(&PixelSessionConfig::small(t, true));
         assert_eq!(r.impaired_frames, 0);
+        assert_eq!(r.crc_rejected, 0);
         assert!(r.mean_psnr > 20.0, "clean decode PSNR {:.2}", r.mean_psnr);
+    }
+
+    #[test]
+    fn corrupted_packets_never_reach_the_renderer() {
+        // An otherwise lossless link, but every packet in a long window
+        // is corrupted and every corruption beats the *transport* CRC:
+        // the codec packet CRC is the only line of defence left.
+        let mut t = NetworkTrace::generate(NetworkKind::WiFi, 7).downscaled(1.0);
+        t.loss_rate = 0.0;
+        let mut cfg = PixelSessionConfig::small(t, true);
+        cfg.faults = FaultPlan::default()
+            .corrupt(SimTime::ZERO, SimTime::from_secs_f64(2.0), 0.6)
+            .with_residual_corrupt_rate(1.0);
+        let r = run_pixel_session(&cfg);
+        assert!(
+            r.crc_rejected > 0,
+            "corruption window must produce CRC-rejected deliveries"
+        );
+        assert!(
+            r.impaired_frames > 0,
+            "rejected packets must surface as erasures, not clean frames"
+        );
+        // Erasure + recovery keeps displayed quality sane; a corrupted
+        // slice decoded as-is would crater PSNR far below this floor.
+        assert!(r.mean_psnr > 15.0, "mean PSNR {:.2}", r.mean_psnr);
+
+        let again = run_pixel_session(&cfg);
+        assert_eq!(r.crc_rejected, again.crc_rejected);
+        assert_eq!(r.mean_psnr.to_bits(), again.mean_psnr.to_bits());
     }
 }

@@ -13,7 +13,7 @@
 //! real history when the episode hits, which is the interesting regime:
 //! steady state → fault → degrade → recover.
 
-use crate::session::{Scheme, SessionConfig, SessionResult, StreamingSession};
+use crate::session::{ReconnectPolicy, Scheme, SessionConfig, SessionResult, StreamingSession};
 use crate::sweep;
 use nerve_abr::qoe::QualityMaps;
 use nerve_net::clock::SimTime;
@@ -37,15 +37,20 @@ pub enum ChaosScenario {
     JitterStorm,
     /// Capacity cut to 15% for 5 s (congested cell edge).
     Collapse,
-    /// 30% of delivered point-code payloads corrupted for 4 s.
+    /// 30% of delivered payloads corrupted for 4 s; one in five beats the
+    /// transport checksum and must be caught downstream.
     CodeCorruption,
+    /// A 3 s bearer death mid-stream. With a reconnect policy the session
+    /// tears down, reconnects, and resumes from its checkpoint; without
+    /// one it is an ordinary blackout.
+    Disconnect,
     /// The acceptance scenario: a 2 s blackout, then a delay spike, with
-    /// point-code corruption overlapping both.
+    /// corruption (some residual) overlapping both.
     KitchenSink,
 }
 
 impl ChaosScenario {
-    pub const ALL: [ChaosScenario; 8] = [
+    pub const ALL: [ChaosScenario; 9] = [
         ChaosScenario::Clean,
         ChaosScenario::Blackout,
         ChaosScenario::LinkFlaps,
@@ -53,6 +58,7 @@ impl ChaosScenario {
         ChaosScenario::JitterStorm,
         ChaosScenario::Collapse,
         ChaosScenario::CodeCorruption,
+        ChaosScenario::Disconnect,
         ChaosScenario::KitchenSink,
     ];
 
@@ -65,6 +71,7 @@ impl ChaosScenario {
             ChaosScenario::JitterStorm => "jitter-storm",
             ChaosScenario::Collapse => "collapse",
             ChaosScenario::CodeCorruption => "code-corruption",
+            ChaosScenario::Disconnect => "disconnect",
             ChaosScenario::KitchenSink => "kitchen-sink",
         }
     }
@@ -85,11 +92,15 @@ impl ChaosScenario {
                 .jitter_burst(s(6.0), s(4.0), SimTime::from_millis(120))
                 .reorder(s(6.0), s(4.0), 0.15, SimTime::from_millis(60)),
             ChaosScenario::Collapse => base.throughput_collapse(s(6.0), s(5.0), 0.15),
-            ChaosScenario::CodeCorruption => base.corrupt(s(6.0), s(4.0), 0.3),
+            ChaosScenario::CodeCorruption => base
+                .corrupt(s(6.0), s(4.0), 0.3)
+                .with_residual_corrupt_rate(0.2),
+            ChaosScenario::Disconnect => base.disconnect(s(8.0), s(3.0)),
             ChaosScenario::KitchenSink => base
                 .blackout(s(6.0), s(2.0))
                 .delay_spike(s(9.0), s(2.0), SimTime::from_millis(200))
-                .corrupt(s(6.0), s(5.0), 0.2),
+                .corrupt(s(6.0), s(5.0), 0.2)
+                .with_residual_corrupt_rate(0.2),
         }
     }
 
@@ -118,6 +129,27 @@ pub fn run_chaos(
     cfg.chunks = chunks;
     cfg.seed = seed;
     cfg.faults = scenario.plan(seed ^ 0xFA17);
+    StreamingSession::new(cfg).run()
+}
+
+/// [`run_chaos`] with the crash plane armed: outages past the policy's
+/// blackout threshold tear the session down and resume it from a
+/// serialized checkpoint instead of merely starving the link.
+pub fn run_chaos_with_reconnect(
+    scenario: ChaosScenario,
+    kind: NetworkKind,
+    scheme: Scheme,
+    seed: u64,
+    chunks: usize,
+    policy: ReconnectPolicy,
+) -> SessionResult {
+    let trace = NetworkTrace::generate(kind, seed).downscaled(1.5);
+    let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
+    let mut cfg = SessionConfig::new(trace, maps, scheme);
+    cfg.chunks = chunks;
+    cfg.seed = seed;
+    cfg.faults = scenario.plan(seed ^ 0xFA17);
+    cfg.reconnect = Some(policy);
     StreamingSession::new(cfg).run()
 }
 

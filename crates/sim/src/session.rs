@@ -29,14 +29,17 @@ use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_abr::{Abr, AbrContext};
 use nerve_core::{DegradationLadder, DegradationRung};
 use nerve_net::clock::SimTime;
-use nerve_net::faults::{FaultPlan, FaultyLoss};
+use nerve_net::faults::{FaultPlan, FaultWindow, FaultyLoss};
+use nerve_net::integrity::crc32;
 use nerve_net::link::Link;
-use nerve_net::loss::GilbertElliott;
+use nerve_net::loss::{GilbertElliott, LossState};
 use nerve_net::quicish::QuicStream;
 use nerve_net::reliable::{ChannelStats, ReliableChannel, SendOutcome};
 use nerve_net::trace::NetworkTrace;
 use nerve_video::resolution::{CHUNK_SECONDS, GOP_FRAMES};
 use nerve_video::rng::{seed_for, StreamComponent};
+
+use crate::checkpoint::{ByteWriter, SessionCheckpoint};
 
 /// FEC policy of a scheme.
 #[derive(Debug, Clone)]
@@ -228,7 +231,29 @@ impl Scheme {
     }
 }
 
+/// When and how the session tears down and reconnects after an outage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// A blackout at least this long is treated as a dead bearer and
+    /// promoted to a teardown (explicit [`nerve_net::faults::Fault::Disconnect`]
+    /// events always tear down).
+    pub blackout_threshold_secs: f64,
+    /// Transport re-establishment time charged after the outage ends
+    /// (DNS + handshakes + the point-code resync round trip).
+    pub handshake_secs: f64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            blackout_threshold_secs: 1.5,
+            handshake_secs: 0.3,
+        }
+    }
+}
+
 /// Session configuration.
+#[derive(Clone)]
 pub struct SessionConfig {
     pub trace: NetworkTrace,
     pub maps: QualityMaps,
@@ -249,6 +274,12 @@ pub struct SessionConfig {
     /// the link (capacity/delay effects) and one the loss wrappers
     /// (blackout drops, loss bursts, corruption).
     pub faults: FaultPlan,
+    /// Crash/reconnect plane: `Some` makes the session tear down on
+    /// [`nerve_net::faults::Fault::Disconnect`] events (and blackouts
+    /// past the threshold) and resume from a serialized
+    /// [`SessionCheckpoint`]. `None` (the default) keeps the legacy
+    /// ride-it-out behaviour bit-identical.
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl SessionConfig {
@@ -264,6 +295,7 @@ impl SessionConfig {
             max_buffer_secs: 30.0,
             seed: 7,
             faults: FaultPlan::default(),
+            reconnect: None,
         }
     }
 
@@ -271,10 +303,15 @@ impl SessionConfig {
         self.faults = faults;
         self
     }
+
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
 }
 
 /// Per-chunk record kept for time-series figures.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkRecord {
     pub start_secs: f64,
     pub rung: usize,
@@ -330,9 +367,58 @@ pub struct SessionResult {
     /// Point-code channel counters (retransmissions, deadline expiries,
     /// corrupted deliveries) — how hard the fault plan hit the codes.
     pub code_stats: ChannelStats,
+    /// Teardown/reconnect cycles the crash plane performed.
+    pub reconnects: usize,
+    /// Wall time spent disconnected (outage remainder plus handshakes).
+    pub downtime_secs: f64,
 }
 
-/// The streaming session runner.
+impl SessionResult {
+    /// Order-independent fingerprint of everything schedule-sensitive:
+    /// two runs of the same configuration must agree bit-for-bit, so a
+    /// resumed-from-checkpoint session can be compared against an
+    /// uninterrupted one with a single integer.
+    pub fn invariant_digest(&self) -> u32 {
+        let mut w = ByteWriter::new();
+        w.f64(self.qoe);
+        w.f64(self.recovered_fraction);
+        w.f64(self.recovered_frame_qoe);
+        w.f64(self.total_rebuffer_secs);
+        w.usize(self.reconnects);
+        w.f64(self.downtime_secs);
+        for d in [
+            self.degradation.full,
+            self.degradation.warp_only,
+            self.degradation.freeze,
+            self.degradation.stall,
+        ] {
+            w.usize(d);
+        }
+        for c in [
+            self.code_stats.messages,
+            self.code_stats.retransmissions,
+            self.code_stats.expired,
+            self.code_stats.corrupted,
+            self.code_stats.crc_detected,
+        ] {
+            w.u64(c);
+        }
+        w.usize(self.chunks.len());
+        for r in &self.chunks {
+            w.f64(r.start_secs);
+            w.usize(r.rung);
+            w.f64(r.throughput_kbps);
+            w.f64(r.qoe);
+            w.f64(r.utility_mbps);
+            w.f64(r.rebuffer_secs);
+            w.usize(r.recovered_frames);
+            w.usize(r.total_frames);
+        }
+        crc32(&w.into_bytes())
+    }
+}
+
+/// The streaming session runner (whole-session wrapper).
 pub struct StreamingSession {
     config: SessionConfig,
 }
@@ -342,12 +428,62 @@ impl StreamingSession {
         Self { config }
     }
 
-    /// Stream the whole session and report.
+    /// Stream the whole session and report. Equivalent to driving a
+    /// [`SessionRunner`] chunk by chunk.
     pub fn run(self) -> SessionResult {
-        let cfg = &self.config;
+        let mut runner = SessionRunner::new(self.config);
+        while !runner.is_done() {
+            runner.step();
+        }
+        runner.finish()
+    }
+}
+
+/// The resumable streaming session: one [`SessionRunner::step`] streams
+/// one chunk and then services any pending teardown/reconnect event.
+///
+/// Every piece of cross-chunk state lives on this struct so that
+/// [`SessionRunner::checkpoint`] can capture it exactly and
+/// [`SessionRunner::resume`] can rebuild it in a fresh process. The
+/// in-process reconnect path goes through the *serialized* checkpoint
+/// too — there is no shortcut that could let the byte format rot.
+pub struct SessionRunner {
+    config: SessionConfig,
+    /// Teardown events (disconnects plus over-threshold blackouts),
+    /// sorted; `epoch` indexes the next unserviced one.
+    events: Vec<FaultWindow>,
+    abr: Box<dyn Abr>,
+    link: Link,
+    media: QuicStream<FaultyLoss<GilbertElliott>>,
+    code_channel: ReliableChannel<FaultyLoss<GilbertElliott>>,
+    deg_ladder: DegradationLadder,
+    ladder: Vec<u32>,
+    // ---- checkpointed state ----
+    chunk_index: usize,
+    now: SimTime,
+    buffer_secs: f64,
+    loss_tracker: Ewma,
+    ctx: AbrContext,
+    outcomes: Vec<ChunkOutcome>,
+    records: Vec<ChunkRecord>,
+    degradation: DegradationCounts,
+    recovered_frames_total: usize,
+    frames_total: usize,
+    recovered_qoe_acc: f64,
+    recovered_qoe_n: usize,
+    reuse_chain: usize,
+    epoch: u64,
+    reconnects: usize,
+    downtime_secs: f64,
+    pending_rebuffer: f64,
+}
+
+impl SessionRunner {
+    pub fn new(config: SessionConfig) -> Self {
+        let cfg = &config;
         let frames = GOP_FRAMES;
         let ladder: Vec<u32> = cfg.maps.ladder_kbps.clone();
-        let mut abr: Box<dyn Abr> = match cfg.scheme.abr {
+        let abr: Box<dyn Abr> = match cfg.scheme.abr {
             AbrKind::Aware { recovery, sr } => Box::new(EnhancementAwareAbr::new(
                 cfg.maps.clone(),
                 cfg.qoe,
@@ -387,13 +523,13 @@ impl StreamingSession {
             cfg.faults.clone(),
         );
         let attempts = if cfg.scheme.retransmission { 2 } else { 1 };
-        let mut media = QuicStream::new(link.clone(), loss_model).with_max_attempts(attempts);
+        let media = QuicStream::new(link.clone(), loss_model).with_max_attempts(attempts);
         // Point codes ride a separate reliable channel; its link shares
         // the trace (bandwidth effect of 1 KB/frame is negligible) and
         // the fault plan (a blackout takes out both transports). Its loss
         // stream is split off with [`seed_for`] rather than an ad-hoc
         // XOR constant.
-        let mut code_channel = ReliableChannel::new(
+        let code_channel = ReliableChannel::new(
             Link::new(cfg.trace.clone()).with_faults(cfg.faults.clone()),
             FaultyLoss::new(
                 GilbertElliott::with_rate(
@@ -411,295 +547,498 @@ impl StreamingSession {
         } else {
             cfg.scheme.ladder
         };
-        let mut degradation = DegradationCounts::default();
+        let events = match cfg.reconnect {
+            Some(p) => cfg
+                .faults
+                .reconnect_events(Some(SimTime::from_secs_f64(p.blackout_threshold_secs))),
+            None => Vec::new(),
+        };
+        let ctx = AbrContext::bootstrap(ladder.clone(), CHUNK_SECONDS, frames);
+        Self {
+            config,
+            events,
+            abr,
+            link,
+            media,
+            code_channel,
+            deg_ladder,
+            ladder,
+            chunk_index: 0,
+            now: SimTime::ZERO,
+            buffer_secs: 0.0,
+            loss_tracker: Ewma::new(0.3),
+            ctx,
+            outcomes: Vec::new(),
+            records: Vec::new(),
+            degradation: DegradationCounts::default(),
+            recovered_frames_total: 0,
+            frames_total: 0,
+            recovered_qoe_acc: 0.0,
+            recovered_qoe_n: 0,
+            reuse_chain: 0,
+            epoch: 0,
+            reconnects: 0,
+            downtime_secs: 0.0,
+            pending_rebuffer: 0.0,
+        }
+    }
 
-        let mut now = SimTime::ZERO;
-        let mut buffer_secs = 0.0f64;
-        let mut loss_tracker = Ewma::new(0.3);
-        let mut ctx = AbrContext::bootstrap(ladder.clone(), CHUNK_SECONDS, frames);
-        let mut outcomes: Vec<ChunkOutcome> = Vec::new();
-        let mut records: Vec<ChunkRecord> = Vec::new();
-        let mut recovered_frames_total = 0usize;
-        let mut frames_total = 0usize;
-        let mut recovered_qoe_acc = 0.0f64;
-        let mut recovered_qoe_n = 0usize;
-        let mut reuse_chain = 0usize;
+    /// Rebuild a runner from `config` plus a [`SessionCheckpoint`]. The
+    /// config must be the one the checkpointed session started with; the
+    /// checkpoint layers all dynamic state on top.
+    pub fn resume(config: SessionConfig, cp: &SessionCheckpoint) -> Self {
+        let mut r = Self::new(config);
+        r.chunk_index = cp.chunk_index as usize;
+        r.epoch = cp.epoch;
+        r.reconnects = cp.reconnects as usize;
+        r.downtime_secs = cp.downtime_secs;
+        r.pending_rebuffer = cp.pending_rebuffer;
+        r.now = cp.now;
+        r.buffer_secs = cp.buffer_secs;
+        r.reuse_chain = cp.reuse_chain as usize;
+        r.loss_tracker.restore_value(cp.loss_pred);
+        r.ctx.buffer_secs = cp.buffer_secs;
+        r.ctx.last_choice = cp.last_choice as usize;
+        r.ctx.throughput_kbps = cp.throughput_kbps.clone();
+        r.ctx.loss_rates = cp.loss_rates.clone();
+        r.media.restore_state(&cp.media);
+        r.media.loss_mut().set_packets(cp.media_fault_packets);
+        r.media.loss_mut().inner_mut().restore(cp.media_loss);
+        r.code_channel.restore_state(&cp.code);
+        r.code_channel.loss_mut().set_packets(cp.code_fault_packets);
+        r.code_channel.loss_mut().inner_mut().restore(cp.code_loss);
+        r.degradation = DegradationCounts {
+            full: cp.degradation[0] as usize,
+            warp_only: cp.degradation[1] as usize,
+            freeze: cp.degradation[2] as usize,
+            stall: cp.degradation[3] as usize,
+        };
+        r.recovered_frames_total = cp.recovered_frames_total as usize;
+        r.frames_total = cp.frames_total as usize;
+        r.recovered_qoe_acc = cp.recovered_qoe_acc;
+        r.recovered_qoe_n = cp.recovered_qoe_n as usize;
+        r.outcomes = cp
+            .outcomes
+            .iter()
+            .map(|&(utility_mbps, rebuffer_secs)| ChunkOutcome {
+                utility_mbps,
+                rebuffer_secs,
+            })
+            .collect();
+        r.records = cp.records.clone();
+        r
+    }
 
-        for _ in 0..cfg.chunks {
-            ctx.buffer_secs = buffer_secs;
-            let rung = abr.choose(&ctx).min(ladder.len() - 1);
-            ctx.last_choice = rung;
-
-            // Chunk payload with FEC overhead.
-            let media_bytes = (ladder[rung] as f64 * 1000.0 / 8.0 * CHUNK_SECONDS) as usize;
-            let predicted_loss = loss_tracker.predict();
-            let fec_ratio = match &cfg.scheme.fec {
-                FecMode::Off => 0.0,
-                FecMode::Fixed(r) => *r,
-                FecMode::Table(t) => t.lookup(predicted_loss),
-            };
-
-            // Packetize: FEC parity is interleaved over blocks of frames
-            // (per-frame parity with 2–4 packets per frame would quantize
-            // the redundancy ratio to 25–50% steps; block interleaving is
-            // how streaming FEC is actually deployed).
-            const FEC_BLOCK_FRAMES: usize = 8;
-            let bytes_per_frame = media_bytes / frames;
-            let pkts_per_frame = bytes_per_frame.div_ceil(1200).max(1);
-
-            let chunk_start = now;
-            let mut frame_arrivals: Vec<Option<SimTime>> = Vec::with_capacity(frames);
-            let mut first_tx_lost = 0usize;
-            let mut pkts_sent = 0usize;
-            let mut fi = 0usize;
-            while fi < frames {
-                let block_frames = FEC_BLOCK_FRAMES.min(frames - fi);
-                let data_pkts = pkts_per_frame * block_frames;
-                let parity_pkts = (fec_ratio * data_pkts as f64).ceil() as usize;
-                let sizes = vec![1200usize; data_pkts + parity_pkts];
-                let outcomes = media.send_burst(&sizes, chunk_start);
-                pkts_sent += data_pkts;
-                first_tx_lost += outcomes
-                    .iter()
-                    .take(data_pkts)
-                    .filter(|o| o.retransmits > 0 || o.arrival.is_none())
-                    .count();
-
-                let total_lost = outcomes.iter().filter(|o| o.arrival.is_none()).count();
-                let block_recoverable = total_lost <= parity_pkts;
-                let block_last_arrival = outcomes
-                    .iter()
-                    .filter_map(|o| o.arrival)
-                    .max()
-                    .unwrap_or(chunk_start);
-                for bf in 0..block_frames {
-                    let start = bf * pkts_per_frame;
-                    let frame_outcomes = &outcomes[start..start + pkts_per_frame];
-                    let frame_lost = frame_outcomes.iter().any(|o| o.arrival.is_none());
-                    if !frame_lost {
-                        let arr = frame_outcomes.iter().filter_map(|o| o.arrival).max();
-                        frame_arrivals.push(arr);
-                    } else if block_recoverable && parity_pkts > 0 {
-                        // Erasure-decoded from parity: available once the
-                        // whole block (incl. parity) is in.
-                        frame_arrivals.push(Some(block_last_arrival));
-                    } else {
-                        frame_arrivals.push(None);
-                    }
-                }
-                fi += block_frames;
-            }
-            let download_end = frame_arrivals
+    /// Capture every piece of dynamic state as a checkpoint.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            chunk_index: self.chunk_index as u64,
+            epoch: self.epoch,
+            reconnects: self.reconnects as u64,
+            downtime_secs: self.downtime_secs,
+            pending_rebuffer: self.pending_rebuffer,
+            now: self.now,
+            buffer_secs: self.buffer_secs,
+            reuse_chain: self.reuse_chain as u64,
+            loss_pred: self.loss_tracker.value(),
+            last_choice: self.ctx.last_choice as u64,
+            throughput_kbps: self.ctx.throughput_kbps.clone(),
+            loss_rates: self.ctx.loss_rates.clone(),
+            media: self.media.state(),
+            media_loss: self.media.loss().inner().state(),
+            media_fault_packets: self.media.loss().packets(),
+            code: self.code_channel.state(),
+            code_loss: self.code_channel.loss().inner().state(),
+            code_fault_packets: self.code_channel.loss().packets(),
+            degradation: [
+                self.degradation.full as u64,
+                self.degradation.warp_only as u64,
+                self.degradation.freeze as u64,
+                self.degradation.stall as u64,
+            ],
+            recovered_frames_total: self.recovered_frames_total as u64,
+            frames_total: self.frames_total as u64,
+            recovered_qoe_acc: self.recovered_qoe_acc,
+            recovered_qoe_n: self.recovered_qoe_n as u64,
+            outcomes: self
+                .outcomes
                 .iter()
-                .flatten()
-                .copied()
-                .max()
-                .unwrap_or_else(|| link.deliver(media_bytes, chunk_start));
-            let download_secs = download_end.saturating_sub(chunk_start).as_secs_f64();
+                .map(|o| (o.utility_mbps, o.rebuffer_secs))
+                .collect(),
+            records: self.records.clone(),
+        }
+    }
 
-            // Point codes: one 1 KB message per frame, sent as the frame
-            // is produced (paced across the chunk). Retransmissions stop
-            // at the frame's playout deadline — a code that cannot make
-            // its frame is not worth the bandwidth, and under a blackout
-            // the channel reports `Expired` instead of spinning forever.
-            let delta = CHUNK_SECONDS / frames as f64;
-            let code_outcomes: Vec<SendOutcome> = if cfg.scheme.recovery {
-                (0..frames)
-                    .map(|i| {
-                        let send_at = chunk_start
-                            + SimTime::from_secs_f64(
-                                i as f64 / frames as f64 * download_secs.min(CHUNK_SECONDS),
-                            );
-                        let deadline = chunk_start
-                            + SimTime::from_secs_f64(buffer_secs + (i + 1) as f64 * delta);
-                        code_channel.send_with_deadline(1024, send_at, deadline)
-                    })
-                    .collect()
+    /// All requested chunks streamed.
+    pub fn is_done(&self) -> bool {
+        self.chunk_index >= self.config.chunks
+    }
+
+    /// Chunks streamed so far.
+    pub fn chunk_index(&self) -> usize {
+        self.chunk_index
+    }
+
+    /// Stream one chunk, then service any teardown event it crossed.
+    pub fn step(&mut self) {
+        self.step_chunk();
+        self.service_reconnects();
+    }
+
+    /// Crash plane: when the chunk just streamed ran into a pending
+    /// outage window, tear the transports down and resume from a
+    /// serialized checkpoint — the byte round trip IS the reconnect
+    /// path. The fresh connection's loss processes are reseeded from the
+    /// epoch-salted [`StreamComponent::Reconnect`] stream (a new bearer
+    /// does not continue the old one's fade pattern), which keeps
+    /// kill-and-resume runs bit-identical: the reseed is a pure function
+    /// of (seed, epoch), both of which the checkpoint carries.
+    fn service_reconnects(&mut self) {
+        let Some(policy) = self.config.reconnect else {
+            return;
+        };
+        while let Some(window) = self.events.get(self.epoch as usize).copied() {
+            if self.now < window.start {
+                break;
+            }
+            self.reconnects += 1;
+            self.epoch += 1;
+            let resume_at =
+                self.now.max(window.end()) + SimTime::from_secs_f64(policy.handshake_secs);
+            let gap = resume_at.saturating_sub(self.now).as_secs_f64();
+            self.downtime_secs += gap;
+            // The player keeps draining its buffer while disconnected;
+            // the shortfall is a stall charged to the next chunk's QoE.
+            if self.buffer_secs < gap {
+                self.pending_rebuffer += gap - self.buffer_secs;
+                self.buffer_secs = 0.0;
             } else {
-                Vec::new()
-            };
+                self.buffer_secs -= gap;
+            }
+            self.now = resume_at;
 
-            // ---- Playback accounting -------------------------------
-            let mut shift = 0.0f64; // accumulated stall time inside chunk
-            let mut rebuffer = 0.0f64;
-            let mut psnr_acc = 0.0f64;
-            let mut n_recovered = 0usize;
-            let mut rec_chain = 0usize;
-            for (i, arrival) in frame_arrivals.iter().enumerate() {
-                let t_play = buffer_secs + (i + 1) as f64 * delta + shift;
-                let (arr, lost) = match arrival {
-                    Some(t) => (t.saturating_sub(chunk_start).as_secs_f64(), false),
-                    None => (f64::INFINITY, true),
-                };
-                let late = arr > t_play;
-                let frame_psnr;
-                if lost || late {
-                    if cfg.scheme.nemo {
-                        if lost {
-                            // No recovery: the viewer sees the previous
-                            // frame again.
-                            reuse_chain += 1;
-                            frame_psnr = self.nemo_reuse_psnr(rung, reuse_chain);
-                        } else {
-                            // Late frame: stall until it arrives, then
-                            // display it at NEMO's enhanced quality.
+            // Teardown and resume THROUGH the serialized form.
+            let bytes = self.checkpoint().to_bytes();
+            let cp = SessionCheckpoint::from_bytes(&bytes)
+                .expect("a checkpoint this session just wrote must parse");
+            let mut fresh = SessionRunner::resume(self.config.clone(), &cp);
+            let epoch_seed = seed_for(self.config.seed, self.epoch, StreamComponent::Reconnect);
+            fresh.media.loss_mut().inner_mut().restore(LossState {
+                seed: epoch_seed,
+                draws: 0,
+                bad: false,
+            });
+            fresh
+                .code_channel
+                .loss_mut()
+                .inner_mut()
+                .restore(LossState {
+                    seed: seed_for(epoch_seed, 0, StreamComponent::CodeLoss),
+                    draws: 0,
+                    bad: false,
+                });
+            *self = fresh;
+        }
+    }
+
+    /// Stream one chunk (the paper's 4-second GOP).
+    fn step_chunk(&mut self) {
+        let frames = GOP_FRAMES;
+        self.ctx.buffer_secs = self.buffer_secs;
+        let rung = self.abr.choose(&self.ctx).min(self.ladder.len() - 1);
+        self.ctx.last_choice = rung;
+
+        // Chunk payload with FEC overhead.
+        let media_bytes = (self.ladder[rung] as f64 * 1000.0 / 8.0 * CHUNK_SECONDS) as usize;
+        let predicted_loss = self.loss_tracker.predict();
+        let fec_ratio = match &self.config.scheme.fec {
+            FecMode::Off => 0.0,
+            FecMode::Fixed(r) => *r,
+            FecMode::Table(t) => t.lookup(predicted_loss),
+        };
+
+        // Packetize: FEC parity is interleaved over blocks of frames
+        // (per-frame parity with 2–4 packets per frame would quantize
+        // the redundancy ratio to 25–50% steps; block interleaving is
+        // how streaming FEC is actually deployed).
+        const FEC_BLOCK_FRAMES: usize = 8;
+        let bytes_per_frame = media_bytes / frames;
+        let pkts_per_frame = bytes_per_frame.div_ceil(1200).max(1);
+
+        let chunk_start = self.now;
+        let mut frame_arrivals: Vec<Option<SimTime>> = Vec::with_capacity(frames);
+        let mut first_tx_lost = 0usize;
+        let mut pkts_sent = 0usize;
+        let mut fi = 0usize;
+        while fi < frames {
+            let block_frames = FEC_BLOCK_FRAMES.min(frames - fi);
+            let data_pkts = pkts_per_frame * block_frames;
+            let parity_pkts = (fec_ratio * data_pkts as f64).ceil() as usize;
+            let sizes = vec![1200usize; data_pkts + parity_pkts];
+            // A packet delivered with residual corruption fails the codec
+            // CRC at the client: `intact_arrival` demotes it to a loss.
+            let burst = self.media.send_burst(&sizes, chunk_start);
+            pkts_sent += data_pkts;
+            first_tx_lost += burst
+                .iter()
+                .take(data_pkts)
+                .filter(|o| o.retransmits > 0 || o.intact_arrival().is_none())
+                .count();
+
+            let total_lost = burst
+                .iter()
+                .filter(|o| o.intact_arrival().is_none())
+                .count();
+            let block_recoverable = total_lost <= parity_pkts;
+            let block_last_arrival = burst
+                .iter()
+                .filter_map(|o| o.intact_arrival())
+                .max()
+                .unwrap_or(chunk_start);
+            for bf in 0..block_frames {
+                let start = bf * pkts_per_frame;
+                let frame_outcomes = &burst[start..start + pkts_per_frame];
+                let frame_lost = frame_outcomes.iter().any(|o| o.intact_arrival().is_none());
+                if !frame_lost {
+                    let arr = frame_outcomes
+                        .iter()
+                        .filter_map(|o| o.intact_arrival())
+                        .max();
+                    frame_arrivals.push(arr);
+                } else if block_recoverable && parity_pkts > 0 {
+                    // Erasure-decoded from parity: available once the
+                    // whole block (incl. parity) is in.
+                    frame_arrivals.push(Some(block_last_arrival));
+                } else {
+                    frame_arrivals.push(None);
+                }
+            }
+            fi += block_frames;
+        }
+        let download_end = frame_arrivals
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or_else(|| self.link.deliver(media_bytes, chunk_start));
+        let download_secs = download_end.saturating_sub(chunk_start).as_secs_f64();
+
+        // Point codes: one 1 KB message per frame, sent as the frame
+        // is produced (paced across the chunk). Retransmissions stop
+        // at the frame's playout deadline — a code that cannot make
+        // its frame is not worth the bandwidth, and under a blackout
+        // the channel reports `Expired` instead of spinning forever.
+        let delta = CHUNK_SECONDS / frames as f64;
+        let code_outcomes: Vec<SendOutcome> = if self.config.scheme.recovery {
+            (0..frames)
+                .map(|i| {
+                    let send_at = chunk_start
+                        + SimTime::from_secs_f64(
+                            i as f64 / frames as f64 * download_secs.min(CHUNK_SECONDS),
+                        );
+                    let deadline = chunk_start
+                        + SimTime::from_secs_f64(self.buffer_secs + (i + 1) as f64 * delta);
+                    self.code_channel
+                        .send_with_deadline(1024, send_at, deadline)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // ---- Playback accounting -------------------------------
+        let mut shift = 0.0f64; // accumulated stall time inside chunk
+        let mut rebuffer = 0.0f64;
+        let mut psnr_acc = 0.0f64;
+        let mut n_recovered = 0usize;
+        let mut rec_chain = 0usize;
+        for (i, arrival) in frame_arrivals.iter().enumerate() {
+            let t_play = self.buffer_secs + (i + 1) as f64 * delta + shift;
+            let (arr, lost) = match arrival {
+                Some(t) => (t.saturating_sub(chunk_start).as_secs_f64(), false),
+                None => (f64::INFINITY, true),
+            };
+            let late = arr > t_play;
+            let frame_psnr;
+            if lost || late {
+                if self.config.scheme.nemo {
+                    if lost {
+                        // No recovery: the viewer sees the previous
+                        // frame again.
+                        self.reuse_chain += 1;
+                        frame_psnr = self.nemo_reuse_psnr(rung, self.reuse_chain);
+                    } else {
+                        // Late frame: stall until it arrives, then
+                        // display it at NEMO's enhanced quality.
+                        let wait = arr - t_play;
+                        rebuffer += wait;
+                        shift += wait;
+                        self.reuse_chain = 0;
+                        frame_psnr = self.nemo_sr_psnr(rung);
+                    }
+                    n_recovered += 1;
+                } else if self.config.scheme.recovery {
+                    // Recovery path: the client picks the best ladder
+                    // rung that fits the time left in the frame slot
+                    // (§8.4). Recovery may start once the point code
+                    // is in (at earliest the slot start) and must
+                    // finish by the playout deadline — a code that
+                    // lands mid-slot leaves only enough budget for a
+                    // warp, and a missing/late/corrupted code leaves
+                    // only the codeless freeze rung. No rung stalls:
+                    // that is how recovery converts rebuffering into
+                    // a bounded quality cost.
+                    let slot_start = t_play - delta;
+                    let budget = code_outcomes
+                        .get(i)
+                        .and_then(|o| o.delivery_time())
+                        .map(|t| t.saturating_sub(chunk_start).as_secs_f64())
+                        .filter(|arr| *arr <= t_play)
+                        .map(|arr| (t_play - arr.max(slot_start)).min(delta))
+                        .unwrap_or(0.0);
+                    rec_chain += 1;
+                    self.reuse_chain = 0;
+                    frame_psnr = match self.deg_ladder.select(budget) {
+                        DegradationRung::Full => {
+                            self.degradation.full += 1;
+                            self.config.maps.recovered_psnr_at_depth(rung, rec_chain)
+                        }
+                        DegradationRung::WarpOnly => {
+                            self.degradation.warp_only += 1;
+                            self.config.maps.warp_only_psnr_at_depth(rung, rec_chain)
+                        }
+                        DegradationRung::Freeze | DegradationRung::Stall => {
+                            self.degradation.freeze += 1;
+                            self.config.maps.reuse_psnr_at_depth(rung, rec_chain)
+                        }
+                    };
+                    n_recovered += 1;
+                    // Recovered-frame QoE (Table 3).
+                    let u = self.config.maps.utility_for_psnr(frame_psnr);
+                    self.recovered_qoe_acc += u;
+                    self.recovered_qoe_n += 1;
+                } else {
+                    // No recovery: the scheme's fallback ladder only
+                    // has the stall and freeze rungs. A lost frame
+                    // can never be waited out, so it freezes even
+                    // under a stall-only ladder.
+                    match self.deg_ladder.select(delta) {
+                        DegradationRung::Stall if !lost => {
                             let wait = arr - t_play;
                             rebuffer += wait;
                             shift += wait;
-                            reuse_chain = 0;
-                            frame_psnr = self.nemo_sr_psnr(rung);
+                            self.reuse_chain = 0;
+                            self.degradation.stall += 1;
+                            frame_psnr = self.config.maps.plain_psnr[rung];
                         }
-                        n_recovered += 1;
-                    } else if cfg.scheme.recovery {
-                        // Recovery path: the client picks the best ladder
-                        // rung that fits the time left in the frame slot
-                        // (§8.4). Recovery may start once the point code
-                        // is in (at earliest the slot start) and must
-                        // finish by the playout deadline — a code that
-                        // lands mid-slot leaves only enough budget for a
-                        // warp, and a missing/late/corrupted code leaves
-                        // only the codeless freeze rung. No rung stalls:
-                        // that is how recovery converts rebuffering into
-                        // a bounded quality cost.
-                        let slot_start = t_play - delta;
-                        let budget = code_outcomes
-                            .get(i)
-                            .and_then(|o| o.delivery_time())
-                            .map(|t| t.saturating_sub(chunk_start).as_secs_f64())
-                            .filter(|arr| *arr <= t_play)
-                            .map(|arr| (t_play - arr.max(slot_start)).min(delta))
-                            .unwrap_or(0.0);
-                        rec_chain += 1;
-                        reuse_chain = 0;
-                        frame_psnr = match deg_ladder.select(budget) {
-                            DegradationRung::Full => {
-                                degradation.full += 1;
-                                self.config.maps.recovered_psnr_at_depth(rung, rec_chain)
-                            }
-                            DegradationRung::WarpOnly => {
-                                degradation.warp_only += 1;
-                                self.config.maps.warp_only_psnr_at_depth(rung, rec_chain)
-                            }
-                            DegradationRung::Freeze | DegradationRung::Stall => {
-                                degradation.freeze += 1;
-                                self.config.maps.reuse_psnr_at_depth(rung, rec_chain)
-                            }
-                        };
-                        n_recovered += 1;
-                        // Recovered-frame QoE (Table 3).
-                        let u = self.config.maps.utility_for_psnr(frame_psnr);
-                        recovered_qoe_acc += u;
-                        recovered_qoe_n += 1;
-                    } else {
-                        // No recovery: the scheme's fallback ladder only
-                        // has the stall and freeze rungs. A lost frame
-                        // can never be waited out, so it freezes even
-                        // under a stall-only ladder.
-                        match deg_ladder.select(delta) {
-                            DegradationRung::Stall if !lost => {
-                                let wait = arr - t_play;
-                                rebuffer += wait;
-                                shift += wait;
-                                reuse_chain = 0;
-                                degradation.stall += 1;
-                                frame_psnr = self.config.maps.plain_psnr[rung];
-                            }
-                            _ => {
-                                reuse_chain += 1;
-                                degradation.freeze += 1;
-                                frame_psnr =
-                                    self.config.maps.reuse_psnr_at_depth(rung, reuse_chain);
-                            }
+                        _ => {
+                            self.reuse_chain += 1;
+                            self.degradation.freeze += 1;
+                            frame_psnr =
+                                self.config.maps.reuse_psnr_at_depth(rung, self.reuse_chain);
                         }
-                        n_recovered += 1; // "needed recovery"
-                        let u = self.config.maps.utility_for_psnr(frame_psnr);
-                        recovered_qoe_acc += u - self.config.qoe.rebuffer_penalty
-                            * if lost { 0.0 } else { (arr - t_play).max(0.0) };
-                        recovered_qoe_n += 1;
                     }
-                } else {
-                    rec_chain = 0;
-                    reuse_chain = 0;
-                    // On time: SR if slack allows (§6: skip SR if it would
-                    // cause rebuffering).
-                    let slack = t_play - arr;
-                    frame_psnr = if cfg.scheme.nemo {
-                        self.nemo_sr_psnr(rung)
-                    } else if cfg.scheme.sr && slack >= cfg.sr_secs {
-                        self.config.maps.sr_psnr[rung]
-                    } else {
-                        self.config.maps.plain_psnr[rung]
-                    };
+                    n_recovered += 1; // "needed recovery"
+                    let u = self.config.maps.utility_for_psnr(frame_psnr);
+                    self.recovered_qoe_acc += u - self.config.qoe.rebuffer_penalty
+                        * if lost { 0.0 } else { (arr - t_play).max(0.0) };
+                    self.recovered_qoe_n += 1;
                 }
-                psnr_acc += frame_psnr;
+            } else {
+                rec_chain = 0;
+                self.reuse_chain = 0;
+                // On time: SR if slack allows (§6: skip SR if it would
+                // cause rebuffering).
+                let slack = t_play - arr;
+                frame_psnr = if self.config.scheme.nemo {
+                    self.nemo_sr_psnr(rung)
+                } else if self.config.scheme.sr && slack >= self.config.sr_secs {
+                    self.config.maps.sr_psnr[rung]
+                } else {
+                    self.config.maps.plain_psnr[rung]
+                };
             }
-
-            let mean_psnr = psnr_acc / frames as f64;
-            let utility = self.config.maps.utility_for_psnr(mean_psnr);
-            outcomes.push(ChunkOutcome {
-                utility_mbps: utility,
-                rebuffer_secs: rebuffer,
-            });
-
-            // Observed network feedback for the ABR.
-            let observed_kbps = media_bytes as f64 * 8.0 / 1000.0 / download_secs.max(1e-6);
-            let observed_loss = first_tx_lost as f64 / pkts_sent.max(1) as f64;
-            loss_tracker.update(observed_loss);
-            ctx.throughput_kbps.push(observed_kbps);
-            ctx.loss_rates.push(observed_loss);
-            if ctx.throughput_kbps.len() > 10 {
-                ctx.throughput_kbps.remove(0);
-                ctx.loss_rates.remove(0);
-            }
-
-            // Buffer dynamics: download consumed `download_secs` of wall
-            // time while the buffer drained; the chunk adds CHUNK_SECONDS.
-            buffer_secs = (buffer_secs - download_secs - rebuffer).max(0.0) + CHUNK_SECONDS;
-            now = download_end;
-            if buffer_secs > cfg.max_buffer_secs {
-                let idle = buffer_secs - cfg.max_buffer_secs;
-                now += SimTime::from_secs_f64(idle);
-                buffer_secs = cfg.max_buffer_secs;
-            }
-
-            recovered_frames_total += n_recovered;
-            frames_total += frames;
-            records.push(ChunkRecord {
-                start_secs: chunk_start.as_secs_f64(),
-                rung,
-                throughput_kbps: observed_kbps,
-                qoe: 0.0, // filled below once smoothness is known
-                utility_mbps: utility,
-                rebuffer_secs: rebuffer,
-                recovered_frames: n_recovered,
-                total_frames: frames,
-            });
+            psnr_acc += frame_psnr;
         }
 
+        // A blackout that outlasted the buffer left a stall behind; it is
+        // charged to this chunk's QoE (the wall time was already spent
+        // during the reconnect, so the buffer math below must not see it).
+        let carried_rebuffer = self.pending_rebuffer;
+        self.pending_rebuffer = 0.0;
+
+        let mean_psnr = psnr_acc / frames as f64;
+        let utility = self.config.maps.utility_for_psnr(mean_psnr);
+        self.outcomes.push(ChunkOutcome {
+            utility_mbps: utility,
+            rebuffer_secs: rebuffer + carried_rebuffer,
+        });
+
+        // Observed network feedback for the ABR.
+        let observed_kbps = media_bytes as f64 * 8.0 / 1000.0 / download_secs.max(1e-6);
+        let observed_loss = first_tx_lost as f64 / pkts_sent.max(1) as f64;
+        self.loss_tracker.update(observed_loss);
+        self.ctx.throughput_kbps.push(observed_kbps);
+        self.ctx.loss_rates.push(observed_loss);
+        if self.ctx.throughput_kbps.len() > 10 {
+            self.ctx.throughput_kbps.remove(0);
+            self.ctx.loss_rates.remove(0);
+        }
+
+        // Buffer dynamics: download consumed `download_secs` of wall
+        // time while the buffer drained; the chunk adds CHUNK_SECONDS.
+        self.buffer_secs = (self.buffer_secs - download_secs - rebuffer).max(0.0) + CHUNK_SECONDS;
+        self.now = download_end;
+        if self.buffer_secs > self.config.max_buffer_secs {
+            let idle = self.buffer_secs - self.config.max_buffer_secs;
+            self.now += SimTime::from_secs_f64(idle);
+            self.buffer_secs = self.config.max_buffer_secs;
+        }
+
+        self.recovered_frames_total += n_recovered;
+        self.frames_total += frames;
+        self.records.push(ChunkRecord {
+            start_secs: chunk_start.as_secs_f64(),
+            rung,
+            throughput_kbps: observed_kbps,
+            qoe: 0.0, // filled at finish() once smoothness is known
+            utility_mbps: utility,
+            rebuffer_secs: rebuffer + carried_rebuffer,
+            recovered_frames: n_recovered,
+            total_frames: frames,
+        });
+        self.chunk_index += 1;
+    }
+
+    /// Close out the session and report.
+    pub fn finish(mut self) -> SessionResult {
         // Per-chunk QoE including the smoothness term.
-        for i in 0..records.len() {
+        for i in 0..self.records.len() {
             let prev_u = if i == 0 {
-                records[0].utility_mbps
+                self.records[0].utility_mbps
             } else {
-                records[i - 1].utility_mbps
+                self.records[i - 1].utility_mbps
             };
-            records[i].qoe = records[i].utility_mbps
-                - self.config.qoe.rebuffer_penalty * records[i].rebuffer_secs
-                - self.config.qoe.smoothness_weight * (records[i].utility_mbps - prev_u).abs();
+            self.records[i].qoe = self.records[i].utility_mbps
+                - self.config.qoe.rebuffer_penalty * self.records[i].rebuffer_secs
+                - self.config.qoe.smoothness_weight * (self.records[i].utility_mbps - prev_u).abs();
         }
 
         SessionResult {
-            qoe: session_qoe(&outcomes, &self.config.qoe),
-            recovered_fraction: recovered_frames_total as f64 / frames_total.max(1) as f64,
-            recovered_frame_qoe: if recovered_qoe_n > 0 {
-                recovered_qoe_acc / recovered_qoe_n as f64
+            qoe: session_qoe(&self.outcomes, &self.config.qoe),
+            recovered_fraction: self.recovered_frames_total as f64
+                / self.frames_total.max(1) as f64,
+            recovered_frame_qoe: if self.recovered_qoe_n > 0 {
+                self.recovered_qoe_acc / self.recovered_qoe_n as f64
             } else {
                 0.0
             },
-            total_rebuffer_secs: records.iter().map(|r| r.rebuffer_secs).sum(),
-            chunks: records,
-            degradation,
-            code_stats: code_channel.stats,
+            total_rebuffer_secs: self.records.iter().map(|r| r.rebuffer_secs).sum(),
+            chunks: self.records,
+            degradation: self.degradation,
+            code_stats: self.code_channel.stats,
+            reconnects: self.reconnects,
+            downtime_secs: self.downtime_secs,
         }
     }
 
@@ -839,6 +1178,91 @@ mod tests {
         let a = run(Scheme::nerve(), 11);
         let b = run(Scheme::nerve(), 11);
         assert_eq!(a.qoe.to_bits(), b.qoe.to_bits());
+    }
+
+    /// A session config with a mid-stream outage long enough to trip the
+    /// blackout threshold and force a teardown/reconnect cycle.
+    fn disconnect_cfg(seed: u64) -> SessionConfig {
+        let faults = FaultPlan::default()
+            .disconnect(SimTime::from_secs_f64(18.0), SimTime::from_secs_f64(3.0));
+        let mut cfg = SessionConfig::new(trace(NetworkKind::FiveG, seed), maps(), Scheme::nerve());
+        cfg.chunks = 20;
+        cfg.seed = seed;
+        cfg.with_faults(faults)
+            .with_reconnect(ReconnectPolicy::default())
+    }
+
+    #[test]
+    fn blackout_past_threshold_tears_down_and_reconnects() {
+        let r = StreamingSession::new(disconnect_cfg(22)).run();
+        assert_eq!(r.reconnects, 1, "one outage window → one teardown");
+        assert!(
+            r.downtime_secs >= ReconnectPolicy::default().handshake_secs,
+            "downtime {:.3}s must cover at least the handshake",
+            r.downtime_secs
+        );
+        let again = StreamingSession::new(disconnect_cfg(22)).run();
+        assert_eq!(r.invariant_digest(), again.invariant_digest());
+    }
+
+    #[test]
+    fn without_reconnect_policy_no_teardown_happens() {
+        let mut cfg = disconnect_cfg(23);
+        cfg.reconnect = None;
+        let r = StreamingSession::new(cfg).run();
+        assert_eq!(r.reconnects, 0);
+        assert_eq!(r.downtime_secs, 0.0);
+    }
+
+    #[test]
+    fn killed_session_resumes_to_the_uninterrupted_digest() {
+        let cfg = disconnect_cfg(21);
+        let uninterrupted = StreamingSession::new(cfg.clone()).run();
+
+        // Stream part of the session, checkpoint, and "crash" by dropping
+        // the runner. The serialized bytes are all that survives.
+        let mut runner = SessionRunner::new(cfg.clone());
+        while runner.chunk_index() < 7 {
+            runner.step();
+        }
+        let bytes = runner.checkpoint().to_bytes();
+        drop(runner);
+
+        let cp = SessionCheckpoint::from_bytes(&bytes).expect("own checkpoint must parse");
+        let mut resumed = SessionRunner::resume(cfg, &cp);
+        while !resumed.is_done() {
+            resumed.step();
+        }
+        let r = resumed.finish();
+        assert_eq!(
+            r.invariant_digest(),
+            uninterrupted.invariant_digest(),
+            "resumed run must be bit-identical to the uninterrupted one"
+        );
+        assert_eq!(r.reconnects, uninterrupted.reconnects);
+    }
+
+    #[test]
+    fn checkpoint_can_be_taken_at_any_chunk_boundary() {
+        let cfg = disconnect_cfg(24);
+        let reference = StreamingSession::new(cfg.clone()).run().invariant_digest();
+        for cut in [1usize, 10, 19] {
+            let mut runner = SessionRunner::new(cfg.clone());
+            while runner.chunk_index() < cut {
+                runner.step();
+            }
+            let bytes = runner.checkpoint().to_bytes();
+            let cp = SessionCheckpoint::from_bytes(&bytes).unwrap();
+            let mut resumed = SessionRunner::resume(cfg.clone(), &cp);
+            while !resumed.is_done() {
+                resumed.step();
+            }
+            assert_eq!(
+                resumed.finish().invariant_digest(),
+                reference,
+                "cut at chunk {cut} diverged"
+            );
+        }
     }
 }
 

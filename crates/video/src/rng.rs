@@ -67,6 +67,9 @@ pub enum StreamComponent {
     Inference = 4,
     /// Per-session network trace generation (fleet serving).
     Trace = 5,
+    /// Post-reconnect handshake draws (crash-recovery epochs; salted
+    /// further by epoch index at the call site).
+    Reconnect = 6,
 }
 
 impl TryRng for DetRng {

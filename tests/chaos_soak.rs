@@ -12,8 +12,8 @@ use nerve_net::link::Link;
 use nerve_net::loss::Bernoulli;
 use nerve_net::reliable::ReliableChannel;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
-use nerve_sim::scenarios::{run_chaos, run_chaos_matrix, ChaosScenario};
-use nerve_sim::session::Scheme;
+use nerve_sim::scenarios::{run_chaos, run_chaos_matrix, run_chaos_with_reconnect, ChaosScenario};
+use nerve_sim::session::{ReconnectPolicy, Scheme};
 
 const CHUNKS: usize = 12;
 
@@ -67,7 +67,9 @@ fn kitchen_sink_survives_on_every_network_kind() {
             // degradation is NOT compared against clean — under chaos
             // the ABR drops to cheaper rungs, which can mean *fewer*
             // late frames.
-            code_hits += chaos.code_stats.expired + chaos.code_stats.corrupted;
+            code_hits += chaos.code_stats.expired
+                + chaos.code_stats.corrupted
+                + chaos.code_stats.crc_detected;
         }
     }
     // The fault plan actually bit somewhere: across the matrix the code
@@ -76,6 +78,62 @@ fn kitchen_sink_survives_on_every_network_kind() {
         code_hits > 0,
         "kitchen sink never touched the code channel on any network kind"
     );
+}
+
+/// The crash plane under soak: a 3 s mid-stream bearer death with a
+/// reconnect policy armed tears the session down and resumes it from a
+/// serialized checkpoint. The run must complete with the requested
+/// shape, actually reconnect on every network kind, and be
+/// digest-stable across repeats (the resumed epochs reseed from a pure
+/// function of `(seed, epoch)`, so nothing leaks from the torn-down
+/// process into the resumed one).
+#[test]
+fn disconnect_soak_reconnects_and_is_digest_stable() {
+    for kind in NetworkKind::ALL {
+        for seed in [2u64, 9] {
+            let run = || {
+                run_chaos_with_reconnect(
+                    ChaosScenario::Disconnect,
+                    kind,
+                    Scheme::nerve(),
+                    seed,
+                    CHUNKS,
+                    ReconnectPolicy::default(),
+                )
+            };
+            let a = run();
+            let b = run();
+            let label = format!("{} seed {seed}", kind.label());
+
+            assert_eq!(a.chunks.len(), CHUNKS, "{label}");
+            assert!(a.qoe.is_finite(), "{label}: QoE {}", a.qoe);
+            assert!(
+                a.reconnects >= 1,
+                "{label}: a 3 s bearer death past the 1.5 s threshold must reconnect"
+            );
+            assert!(
+                a.downtime_secs > 0.0,
+                "{label}: reconnects must account downtime"
+            );
+            assert_eq!(
+                a.invariant_digest(),
+                b.invariant_digest(),
+                "{label}: reconnect soak must be digest-stable across repeats"
+            );
+
+            // Without the policy the same plan is an ordinary blackout:
+            // the session starves through it instead of tearing down.
+            let plain = run_chaos(
+                ChaosScenario::Disconnect,
+                kind,
+                Scheme::nerve(),
+                seed,
+                CHUNKS,
+            );
+            assert_eq!(plain.reconnects, 0, "{label}");
+            assert_eq!(plain.chunks.len(), CHUNKS, "{label}");
+        }
+    }
 }
 
 #[test]
@@ -126,7 +184,7 @@ fn full_matrix_soak() {
     let mut nerve_qoe = 0.0f64;
     let mut baseline_qoe = 0.0f64;
     for seed in [1u64, 5, 11] {
-        // Each matrix call fans the 8 × 4 cells across the sweep pool;
+        // Each matrix call fans the 9 × 4 cells across the sweep pool;
         // results come back in deterministic scenario-major order.
         let ours = run_chaos_matrix(&Scheme::nerve(), seed, CHUNKS);
         let base = run_chaos_matrix(&Scheme::without_recovery(), seed, CHUNKS);

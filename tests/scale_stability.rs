@@ -143,3 +143,77 @@ fn fleet_64_sessions_is_stable_and_jobs_invariant() {
         r.batcher.occupancy
     );
 }
+
+/// The crash plane at fleet scale: session crashes, one server restart,
+/// and an armed circuit breaker must not cost determinism — the full
+/// result digest (which folds in crash counts, restart counts, and
+/// breaker transition counters) stays byte-identical at 1 and 4
+/// tensor-pool workers, and the job-accounting invariant still holds
+/// for every surviving session.
+#[test]
+fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
+    use nerve::core::BreakerConfig;
+    use nerve::serve::{ServerRestart, SessionCrash};
+    use nerve::sim::experiments::fleet::fleet_config;
+    use nerve::sim::sweep;
+
+    let (mut cfg, trace) = fleet_config(24, 3, 53);
+    cfg.crash_plan = vec![
+        SessionCrash {
+            session: 3,
+            at_secs: 1.0,
+            down_secs: 0.8,
+        },
+        SessionCrash {
+            session: 11,
+            at_secs: 2.2,
+            down_secs: 0.5,
+        },
+        SessionCrash {
+            session: 17,
+            at_secs: 2.2,
+            down_secs: 1.1,
+        },
+    ];
+    cfg.server_restart = Some(ServerRestart {
+        at_secs: 1.6,
+        down_secs: 0.7,
+    });
+    cfg.breaker = Some(BreakerConfig::default());
+
+    let prev = sweep::workers();
+    sweep::set_workers(1);
+    let serial = run_fleet(&cfg, &trace);
+    sweep::set_workers(4);
+    let parallel = run_fleet(&cfg, &trace);
+    sweep::set_workers(prev);
+
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "crash/restart/breaker fleet must be byte-identical at --jobs 1 and --jobs 4"
+    );
+
+    let r = serial;
+    assert_eq!(r.sessions.len(), 24);
+    assert_eq!(r.server_restarts, 1);
+    assert!(
+        r.crashes >= 1,
+        "at least one planned crash must land mid-session: {}",
+        r.crashes
+    );
+    // The digest exposes the resilience counters, so a regression in
+    // crash or breaker behavior shows up as a digest change.
+    let digest = r.digest();
+    assert!(digest.contains("crashes="), "digest must expose crashes");
+    assert!(digest.contains("breaker=o"), "digest must expose breaker");
+    // No crashed or restarted job escapes the accounting identity.
+    for s in r.sessions.iter().filter(|s| !s.rejected) {
+        assert_eq!(
+            s.counters.jobs,
+            s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+            "session {} lost jobs across crash/restart",
+            s.id
+        );
+    }
+}
