@@ -215,7 +215,9 @@ impl SuperResolver {
             .heads
             .get_mut(&rung)
             .expect("head exists for sub-1080p rung");
-        let residual = head.forward(&input); // [1,1,lh*r,lw*r]
+        // Conv-backed head: conv2d self-reports exact MACs to the
+        // meter's "sr" scope.
+        let residual = nerve_tensor::meter::stage("sr", || head.forward(&input)); // [1,1,lh*r,lw*r]
         let r = residual.shape();
         let residual_frame = Frame::from_data(r[3], r[2], residual.data().to_vec()).resize(ow, oh);
 

@@ -1,0 +1,110 @@
+//! Deterministic observability plane for the NERVE workspace.
+//!
+//! Everything in this crate is designed around one invariant: **enabling
+//! observability must never change a result**. Simulation results are
+//! compared as byte-identical digests across worker counts and across
+//! checkpoint/resume, so the plane obeys three rules (see DESIGN.md
+//! "Observability"):
+//!
+//! 1. **Virtual time only.** Spans and events are stamped with the
+//!    simulation clock (microseconds as `u64`, the same unit as
+//!    `nerve_net::clock::SimTime`), never the wall clock. This crate
+//!    deliberately takes raw `u64` micros so it depends on nothing.
+//! 2. **No ambient state.** There is no global collector; a [`Registry`]
+//!    or [`Recorder`] is passed down explicitly, so two runs never share
+//!    (or race on) accounting, and a run without one pays nothing.
+//! 3. **Content-derived identity.** Spans are keyed by caller-provided
+//!    `(name, idx)` pairs, never by a monotonically increasing internal
+//!    counter, so a trace resumed from a checkpoint concatenates
+//!    byte-identically with the prefix written before the kill.
+//!
+//! The crate has four pieces:
+//!
+//! * [`metrics`] — a typed registry of counters, gauges, and fixed-edge
+//!   histograms with a canonically ordered, deterministic snapshot.
+//! * [`span`] — the [`Recorder`] trait with hierarchical spans and
+//!   point events; [`NoopRecorder`] (zero-sized, allocation-free) and
+//!   [`TraceRecorder`] (stable JSONL) implementations.
+//! * [`profile`] — per-stage MACs/bytes cost attribution types filled
+//!   in by the `nerve-tensor` meter.
+//! * [`stats`] — small shared statistics helpers (nearest-rank
+//!   percentile) so quantile conventions are pinned in one place.
+
+pub mod metrics;
+pub mod profile;
+pub mod span;
+pub mod stats;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use profile::{CostProfile, StageCost};
+pub use span::{FieldValue, NoopRecorder, Recorder, TraceRecorder};
+pub use stats::percentile_nearest_rank;
+
+/// Bundled observability context: one metrics registry plus one span
+/// recorder, threaded through runners as `Option<&mut Obs>` so the
+/// disabled path (`None`) touches neither and allocates nothing.
+pub struct Obs {
+    pub registry: Registry,
+    pub recorder: Box<dyn Recorder>,
+}
+
+impl Obs {
+    /// An active context writing spans to a [`TraceRecorder`].
+    pub fn trace() -> Self {
+        Obs {
+            registry: Registry::new(),
+            recorder: Box::new(TraceRecorder::new()),
+        }
+    }
+
+    /// A context with a registry but no span recording. `NoopRecorder`
+    /// is zero-sized, so the `Box` does not allocate.
+    pub fn metrics_only() -> Self {
+        Obs {
+            registry: Registry::new(),
+            recorder: Box::new(NoopRecorder),
+        }
+    }
+
+    /// Open a span. Must be balanced by [`Obs::close`].
+    pub fn open(&mut self, name: &str, idx: u64, t_us: u64) {
+        self.recorder.span_start(name, idx, t_us);
+    }
+
+    /// Close the innermost open span.
+    pub fn close(&mut self, t_us: u64) {
+        self.recorder.span_end(t_us);
+    }
+
+    /// Record a point event with typed fields.
+    pub fn event(&mut self, name: &str, idx: u64, t_us: u64, fields: &[(&str, FieldValue)]) {
+        self.recorder.event(name, idx, t_us, fields);
+    }
+
+    /// The recorded JSONL trace, if the recorder keeps one.
+    pub fn trace_lines(&self) -> Option<&str> {
+        self.recorder.lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_trace_roundtrip() {
+        let mut o = Obs::trace();
+        o.open("run", 0, 10);
+        o.event("tick", 1, 15, &[("v", FieldValue::U64(3))]);
+        o.close(20);
+        let lines = o.trace_lines().unwrap();
+        assert_eq!(lines.lines().count(), 3);
+        assert!(lines.starts_with("{\"t_us\":10,"));
+    }
+
+    #[test]
+    fn metrics_only_has_no_trace() {
+        let o = Obs::metrics_only();
+        assert!(o.trace_lines().is_none());
+    }
+}

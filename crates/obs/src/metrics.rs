@@ -1,0 +1,405 @@
+//! Typed metrics registry: counters, gauges, and fixed-edge histograms.
+//!
+//! Handles are `Rc`-backed, so incrementing a counter on a hot path is
+//! a single `Cell` write — no locks, no hashing, no allocation. The
+//! registry is intentionally `!Send`: every deterministic runner in
+//! this workspace is a serial event loop on one thread, and keeping the
+//! registry thread-local-by-construction means metrics can never
+//! introduce cross-thread ordering (and therefore cannot break the
+//! `--jobs` byte-identity invariant).
+//!
+//! Snapshots iterate names in canonical (lexicographic) order and
+//! render with a fixed format, so a snapshot table is byte-stable
+//! across runs, worker counts, and platforms.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Monotone event counter.
+#[derive(Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Last-value gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+#[derive(Clone)]
+struct HistInner {
+    /// Upper bucket edges, strictly increasing. A value `v` lands in
+    /// the first bucket with `v <= edge`; values above the last edge
+    /// land in the implicit overflow bucket.
+    edges: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == edges.len() + 1` (overflow
+    /// bucket last). Non-cumulative.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+/// Fixed-edge histogram. Edges are pinned at registration; observing
+/// never allocates.
+#[derive(Clone)]
+pub struct Histogram(Rc<RefCell<HistInner>>);
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing: {edges:?}"
+        );
+        Histogram(Rc::new(RefCell::new(HistInner {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            sum: 0.0,
+            total: 0,
+        })))
+    }
+
+    pub fn observe(&self, v: f64) {
+        let mut h = self.0.borrow_mut();
+        let i = h.edges.partition_point(|&e| e < v);
+        h.counts[i] += 1;
+        h.sum += v;
+        h.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.borrow().total
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.0.borrow().sum
+    }
+
+    /// `(upper_edge, count)` pairs; the overflow bucket reports
+    /// `f64::INFINITY` as its edge.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let h = self.0.borrow();
+        h.edges
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(h.counts.iter().copied())
+            .collect()
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Name-keyed registry of metrics. Cloning shares the underlying map,
+/// so a runner and its caller can both hold it.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register a counter. Panics if `name` is already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.borrow_mut();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.borrow_mut();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or register a histogram with the given upper bucket edges.
+    /// Panics on a type clash or if re-registered with different edges.
+    pub fn histogram(&self, name: &str, edges: &[f64]) -> Histogram {
+        let mut map = self.inner.borrow_mut();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(edges)))
+        {
+            Metric::Histogram(h) => {
+                assert!(
+                    h.0.borrow().edges == edges,
+                    "histogram {name:?} re-registered with different edges"
+                );
+                h.clone()
+            }
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, in canonical name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.borrow();
+        Snapshot {
+            rows: map
+                .iter()
+                .map(|(name, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Metric::Histogram(h) => SnapshotValue::Histogram {
+                            buckets: h.buckets(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        },
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One captured metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// Deterministic point-in-time capture of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` rows in lexicographic name order.
+    pub rows: Vec<(String, SnapshotValue)>,
+}
+
+/// A captured histogram: `(buckets, sum, count)`, with `buckets` as
+/// `(upper_edge, count)` pairs (the final edge is `f64::INFINITY`).
+pub type HistogramSnapshot = (Vec<(f64, u64)>, f64, u64);
+
+impl Snapshot {
+    fn value(&self, name: &str) -> Option<&SnapshotValue> {
+        self.rows
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.rows[i].1)
+    }
+
+    /// Counter value, if `name` is a registered counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.value(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a registered gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.value(name)? {
+            SnapshotValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram `(buckets, sum, count)`, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.value(name)? {
+            SnapshotValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => Some((buckets.clone(), *sum, *count)),
+            _ => None,
+        }
+    }
+
+    /// Fixed-width text table, one metric per line, byte-stable across
+    /// runs. Histograms expand into one `name{le=edge}` line per bucket
+    /// plus `_sum` and `_count` lines.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let mut lines: Vec<(String, String)> = Vec::new();
+        for (name, v) in &self.rows {
+            match v {
+                SnapshotValue::Counter(c) => lines.push((name.clone(), c.to_string())),
+                SnapshotValue::Gauge(g) => lines.push((name.clone(), fmt_f64(*g))),
+                SnapshotValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    for (edge, n) in buckets {
+                        lines.push((format!("{name}{{le={}}}", fmt_f64(*edge)), n.to_string()));
+                    }
+                    lines.push((format!("{name}_sum"), fmt_f64(*sum)));
+                    lines.push((format!("{name}_count"), count.to_string()));
+                }
+            }
+        }
+        let width = lines.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in lines {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        out
+    }
+
+    /// One JSON object per metric, fixed key order, canonical name
+    /// order — the machine-readable tail of a `--trace-out` file.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.rows {
+            match v {
+                SnapshotValue::Counter(c) => {
+                    let _ = writeln!(out, "{{\"metric\":\"{name}\",\"counter\":{c}}}");
+                }
+                SnapshotValue::Gauge(g) => {
+                    let _ = writeln!(out, "{{\"metric\":\"{name}\",\"gauge\":{}}}", fmt_f64(*g));
+                }
+                SnapshotValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let _ = write!(out, "{{\"metric\":\"{name}\",\"buckets\":[");
+                    for (i, (edge, n)) in buckets.iter().enumerate() {
+                        let sep = if i == 0 { "" } else { "," };
+                        let _ = write!(out, "{sep}[{},{n}]", fmt_f64(*edge));
+                    }
+                    let _ = writeln!(out, "],\"sum\":{},\"count\":{count}}}", fmt_f64(*sum));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic float formatting shared by tables, JSONL metrics, and
+/// trace fields: Rust's shortest-roundtrip `Display`, with non-finite
+/// values (JSON cannot carry them) mapped to quoted labels.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v == f64::INFINITY {
+        "\"inf\"".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "\"-inf\"".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_sharing() {
+        let reg = Registry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.snapshot().counter("x.hits"), Some(5));
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let reg = Registry::new();
+        let g = reg.gauge("x.level");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(reg.snapshot().gauge("x.level"), Some(-2.25));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_upper_inclusive() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 4.0, 4.5] {
+            h.observe(v);
+        }
+        let (buckets, sum, count) = reg.snapshot().histogram("lat").unwrap();
+        // v <= edge lands in the bucket: [0.5, 1.0] | (1.0, 2.0] | (2.0, 4.0] | overflow
+        assert_eq!(
+            buckets,
+            vec![(1.0, 2), (2.0, 2), (4.0, 1), (f64::INFINITY, 1)]
+        );
+        assert_eq!(count, 6);
+        assert!((sum - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_clash_panics() {
+        let reg = Registry::new();
+        reg.counter("m");
+        reg.gauge("m");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_stable() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.gauge("c").set(0.5);
+        let s = reg.snapshot();
+        let names: Vec<_> = s.rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(s.render_table(), "a  2\nb  1\nc  0.5\n");
+        assert_eq!(
+            s.render_jsonl(),
+            "{\"metric\":\"a\",\"counter\":2}\n{\"metric\":\"b\",\"counter\":1}\n{\"metric\":\"c\",\"gauge\":0.5}\n"
+        );
+    }
+
+    #[test]
+    fn snapshot_getters_reject_wrong_type() {
+        let reg = Registry::new();
+        reg.counter("n");
+        let s = reg.snapshot();
+        assert_eq!(s.gauge("n"), None);
+        assert_eq!(s.counter("missing"), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-stage compute cost attribution.
+//!
+//! The `nerve-tensor` meter (see `nerve_tensor::meter`) accumulates
+//! MACs and bytes moved into a thread-local profile, attributed to the
+//! innermost named stage scope (`flow`, `warp`, `enhance`, `inpaint`,
+//! `sr`, ...). These are the *types* it fills in, kept here so every
+//! crate can consume a profile without depending on the tensor crate.
+
+use crate::metrics::{fmt_f64, Registry};
+use std::fmt;
+
+/// Accumulated cost of one named stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCost {
+    /// Multiply-accumulate operations (1 MAC = 2 FLOPs).
+    pub macs: u64,
+    /// Bytes read + written by the accounted kernels.
+    pub bytes: u64,
+    /// Number of scope entries that contributed.
+    pub calls: u64,
+}
+
+impl StageCost {
+    pub fn add(&mut self, macs: u64, bytes: u64) {
+        self.macs += macs;
+        self.bytes += bytes;
+    }
+}
+
+/// A per-stage cost breakdown, in first-use stage order (deterministic:
+/// stage order is the order the serial pipeline first entered each
+/// scope, never a hash order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostProfile {
+    pub stages: Vec<(String, StageCost)>,
+}
+
+impl CostProfile {
+    /// Get-or-insert the named stage.
+    pub fn stage_mut(&mut self, name: &str) -> &mut StageCost {
+        if let Some(i) = self.stages.iter().position(|(n, _)| n == name) {
+            return &mut self.stages[i].1;
+        }
+        self.stages.push((name.to_string(), StageCost::default()));
+        &mut self.stages.last_mut().unwrap().1
+    }
+
+    /// Cost of one stage, zero if never entered.
+    pub fn stage(&self, name: &str) -> StageCost {
+        self.stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Total MACs across all stages.
+    pub fn total_macs(&self) -> u64 {
+        self.stages.iter().map(|(_, c)| c.macs).sum()
+    }
+
+    /// Total bytes across all stages.
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|(_, c)| c.bytes).sum()
+    }
+
+    /// Fold this profile into a registry as
+    /// `cost.<stage>.{macs,bytes,calls}` counters.
+    pub fn export(&self, registry: &Registry) {
+        for (name, c) in &self.stages {
+            registry.counter(&format!("cost.{name}.macs")).add(c.macs);
+            registry.counter(&format!("cost.{name}.bytes")).add(c.bytes);
+            registry.counter(&format!("cost.{name}.calls")).add(c.calls);
+        }
+    }
+
+    /// Merge another profile into this one (stage-wise sum; unseen
+    /// stages append in the other profile's order).
+    pub fn merge(&mut self, other: &CostProfile) {
+        for (name, c) in &other.stages {
+            let s = self.stage_mut(name);
+            s.macs += c.macs;
+            s.bytes += c.bytes;
+            s.calls += c.calls;
+        }
+    }
+}
+
+impl fmt::Display for CostProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_macs().max(1) as f64;
+        for (name, c) in &self.stages {
+            writeln!(
+                f,
+                "{name:<10} {:>14} MACs ({}%)  {:>12} bytes  {:>6} calls",
+                c.macs,
+                fmt_f64((c.macs as f64 / total * 1000.0).round() / 10.0),
+                c.bytes,
+                c.calls
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_first_use() {
+        let mut p = CostProfile::default();
+        p.stage_mut("warp").add(10, 100);
+        p.stage_mut("flow").add(5, 50);
+        p.stage_mut("warp").add(1, 1);
+        let names: Vec<_> = p.stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["warp", "flow"]);
+        assert_eq!(
+            p.stage("warp"),
+            StageCost {
+                macs: 11,
+                bytes: 101,
+                calls: 0
+            }
+        );
+        assert_eq!(p.total_macs(), 16);
+        assert_eq!(p.total_bytes(), 151);
+    }
+
+    #[test]
+    fn export_lands_in_registry() {
+        let mut p = CostProfile::default();
+        let s = p.stage_mut("enhance");
+        s.add(1000, 4000);
+        s.calls = 2;
+        let reg = Registry::new();
+        p.export(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cost.enhance.macs"), Some(1000));
+        assert_eq!(snap.counter("cost.enhance.bytes"), Some(4000));
+        assert_eq!(snap.counter("cost.enhance.calls"), Some(2));
+    }
+
+    #[test]
+    fn merge_sums_stagewise() {
+        let mut a = CostProfile::default();
+        a.stage_mut("flow").add(1, 2);
+        let mut b = CostProfile::default();
+        b.stage_mut("flow").add(10, 20);
+        b.stage_mut("sr").add(100, 200);
+        a.merge(&b);
+        assert_eq!(a.stage("flow").macs, 11);
+        assert_eq!(a.stage("sr").bytes, 200);
+    }
+}

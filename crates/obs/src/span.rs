@@ -1,0 +1,267 @@
+//! Hierarchical spans and point events over virtual time.
+//!
+//! A [`Recorder`] receives span open/close pairs and point events from
+//! instrumented runners. Identity is **content-derived**: every span
+//! and event carries a caller-chosen `(name, idx)` pair (e.g.
+//! `("session.chunk", chunk_index)`), and hierarchy is implied by
+//! open/close nesting — there are no internal auto-incremented span
+//! IDs. This is what makes a resumed trace byte-compatible: a runner
+//! restored from a checkpoint emits exactly the lines the killed run
+//! would have emitted next, so `prefix + resumed == uninterrupted`.
+//!
+//! Timestamps are virtual-clock microseconds (`u64`, the unit of
+//! `SimTime`), never wall time.
+
+use crate::metrics::fmt_f64;
+use std::fmt::Write as _;
+
+/// A typed event field value.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue<'a> {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(&'a str),
+}
+
+impl FieldValue<'_> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => {
+                let _ = write!(out, "{}", fmt_f64(*v));
+            }
+            FieldValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Sink for spans and events. Implementations must be passive: they
+/// observe the run but never feed anything back into it.
+pub trait Recorder {
+    /// Whether this recorder keeps anything. Call sites may use this to
+    /// skip building expensive field values.
+    fn enabled(&self) -> bool;
+
+    /// Open a span `(name, idx)` at virtual time `t_us`. Spans nest;
+    /// every open must be balanced by a [`Recorder::span_end`].
+    fn span_start(&mut self, name: &str, idx: u64, t_us: u64);
+
+    /// Close the innermost open span at virtual time `t_us`.
+    fn span_end(&mut self, t_us: u64);
+
+    /// Record a point event with typed fields (order-preserving).
+    fn event(&mut self, name: &str, idx: u64, t_us: u64, fields: &[(&str, FieldValue)]);
+
+    /// The accumulated JSONL text, if this recorder keeps one.
+    fn lines(&self) -> Option<&str> {
+        None
+    }
+}
+
+/// The disabled recorder: zero-sized, every method a no-op, no
+/// allocation anywhere (even `Box::new(NoopRecorder)` allocates
+/// nothing, since the type is zero-sized).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_start(&mut self, _name: &str, _idx: u64, _t_us: u64) {}
+
+    fn span_end(&mut self, _t_us: u64) {}
+
+    fn event(&mut self, _name: &str, _idx: u64, _t_us: u64, _fields: &[(&str, FieldValue)]) {}
+}
+
+/// One open span on the recorder's stack.
+#[derive(Clone, Debug)]
+struct OpenSpan {
+    name: String,
+    idx: u64,
+}
+
+/// Records spans and events as stable JSONL: fixed key order
+/// (`t_us`, `ev`, `name`, `idx`, `depth`, then caller fields in call
+/// order), lexical float formatting via shortest-roundtrip `Display`,
+/// one line per record. Two runs that perform the same virtual-time
+/// work produce byte-identical logs regardless of worker count.
+#[derive(Default)]
+pub struct TraceRecorder {
+    out: String,
+    stack: Vec<OpenSpan>,
+}
+
+impl TraceRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently open spans.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Consume the recorder, returning the JSONL log. Panics if spans
+    /// are still open — an unbalanced trace is a bug at the call site.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "trace finished with {} unclosed span(s)",
+            self.stack.len()
+        );
+        self.out
+    }
+
+    fn head(&mut self, t_us: u64, ev: &str, name: &str, idx: u64) {
+        let depth = self.stack.len();
+        let _ = write!(
+            self.out,
+            "{{\"t_us\":{t_us},\"ev\":\"{ev}\",\"name\":\"{name}\",\"idx\":{idx},\"depth\":{depth}"
+        );
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&mut self, name: &str, idx: u64, t_us: u64) {
+        self.head(t_us, "open", name, idx);
+        self.out.push_str("}\n");
+        self.stack.push(OpenSpan {
+            name: name.to_string(),
+            idx,
+        });
+    }
+
+    fn span_end(&mut self, t_us: u64) {
+        let span = self
+            .stack
+            .pop()
+            .expect("span_end with no open span — unbalanced trace");
+        let depth = self.stack.len();
+        let _ = writeln!(
+            self.out,
+            "{{\"t_us\":{t_us},\"ev\":\"close\",\"name\":\"{}\",\"idx\":{},\"depth\":{depth}}}",
+            span.name, span.idx
+        );
+    }
+
+    fn event(&mut self, name: &str, idx: u64, t_us: u64, fields: &[(&str, FieldValue)]) {
+        self.head(t_us, "event", name, idx);
+        for (key, value) in fields {
+            let _ = write!(self.out, ",\"{key}\":");
+            value.write_json(&mut self.out);
+        }
+        self.out.push_str("}\n");
+    }
+
+    fn lines(&self) -> Option<&str> {
+        Some(&self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_fixed_key_order_and_depth() {
+        let mut r = TraceRecorder::new();
+        r.span_start("fleet.run", 0, 0);
+        r.span_start("fleet.flush", 3, 100);
+        r.event(
+            "job",
+            7,
+            150,
+            &[
+                ("service", FieldValue::Str("full")),
+                ("slack", FieldValue::F64(0.25)),
+            ],
+        );
+        r.span_end(200);
+        r.span_end(300);
+        let log = r.finish();
+        let expected = concat!(
+            "{\"t_us\":0,\"ev\":\"open\",\"name\":\"fleet.run\",\"idx\":0,\"depth\":0}\n",
+            "{\"t_us\":100,\"ev\":\"open\",\"name\":\"fleet.flush\",\"idx\":3,\"depth\":1}\n",
+            "{\"t_us\":150,\"ev\":\"event\",\"name\":\"job\",\"idx\":7,\"depth\":2,\"service\":\"full\",\"slack\":0.25}\n",
+            "{\"t_us\":200,\"ev\":\"close\",\"name\":\"fleet.flush\",\"idx\":3,\"depth\":1}\n",
+            "{\"t_us\":300,\"ev\":\"close\",\"name\":\"fleet.run\",\"idx\":0,\"depth\":0}\n",
+        );
+        assert_eq!(log, expected);
+    }
+
+    #[test]
+    fn resume_concatenation_is_byte_identical() {
+        // The property the checkpoint/resume test relies on: a trace
+        // split at any balanced point concatenates to the full trace,
+        // because no internal counter spans the split.
+        let emit = |r: &mut TraceRecorder, chunk: u64| {
+            r.span_start("chunk", chunk, chunk * 10);
+            r.event(
+                "frame",
+                chunk,
+                chunk * 10 + 5,
+                &[("n", FieldValue::U64(chunk))],
+            );
+            r.span_end(chunk * 10 + 9);
+        };
+        let mut full = TraceRecorder::new();
+        (0..6).for_each(|c| emit(&mut full, c));
+
+        let mut a = TraceRecorder::new();
+        (0..3).for_each(|c| emit(&mut a, c));
+        let mut b = TraceRecorder::new();
+        (3..6).for_each(|c| emit(&mut b, c));
+
+        assert_eq!(full.finish(), a.finish() + &b.finish());
+    }
+
+    #[test]
+    fn string_fields_are_escaped() {
+        let mut r = TraceRecorder::new();
+        r.event("e", 0, 0, &[("s", FieldValue::Str("a\"b\\c\nd"))]);
+        assert_eq!(
+            r.lines().unwrap(),
+            "{\"t_us\":0,\"ev\":\"event\",\"name\":\"e\",\"idx\":0,\"depth\":0,\"s\":\"a\\\"b\\\\c\\nd\"}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_finish_panics() {
+        let mut r = TraceRecorder::new();
+        r.span_start("x", 0, 0);
+        let _ = r.finish();
+    }
+
+    #[test]
+    fn noop_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared statistics helpers, so quantile conventions are defined in
+//! exactly one place instead of re-derived (slightly differently) at
+//! every call site.
+
+/// Nearest-rank percentile over a **sorted** slice.
+///
+/// The nearest-rank definition: for `0 < q <= 1` over `n` samples, the
+/// q-quantile is the sample at 1-based rank `ceil(q * n)` — the
+/// smallest value such that at least `q * n` samples are `<=` it. For
+/// `q = 0.95`, `n = 20` this is rank 19 (not 20): exactly 19/20 = 95%
+/// of samples sit at or below it.
+///
+/// Returns `None` on an empty slice (there is no sample to report —
+/// callers choose their own sentinel). `q` outside `(0, 1]` clamps to
+/// the nearest end: `q <= 0` → minimum, `q > 1` → maximum.
+///
+/// # Panics
+/// Debug-asserts that the input is sorted (by `total_cmp`).
+pub fn percentile_nearest_rank(sorted: &[f64], q: f64) -> Option<f64> {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "percentile_nearest_rank requires sorted input"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    // ceil(q * n) computed in float; the f64 nearest to 0.95 is below
+    // 0.95, so products at exact ranks (e.g. 0.95 * 20) land fractionally
+    // below the integer and ceil recovers the exact rank. The clamp
+    // pins q outside (0, 1] to the min/max sample.
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile_nearest_rank(&[], 0.95), None);
+    }
+
+    #[test]
+    fn single_sample_is_that_sample() {
+        assert_eq!(percentile_nearest_rank(&[42.0], 0.95), Some(42.0));
+        assert_eq!(percentile_nearest_rank(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile_nearest_rank(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn p95_exact_and_adjacent_counts() {
+        // n=19: ceil(18.05) = 19 → the maximum.
+        assert_eq!(percentile_nearest_rank(&ladder(19), 0.95), Some(19.0));
+        // n=20: ceil(19.0) = 19 → rank 19, NOT the maximum.
+        assert_eq!(percentile_nearest_rank(&ladder(20), 0.95), Some(19.0));
+        // n=21: ceil(19.95) = 20.
+        assert_eq!(percentile_nearest_rank(&ladder(21), 0.95), Some(20.0));
+        // n=40: ceil(38.0) = 38.
+        assert_eq!(percentile_nearest_rank(&ladder(40), 0.95), Some(38.0));
+    }
+
+    #[test]
+    fn q_clamps_to_min_and_max() {
+        let xs = ladder(5);
+        assert_eq!(percentile_nearest_rank(&xs, -0.5), Some(1.0));
+        assert_eq!(percentile_nearest_rank(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile_nearest_rank(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile_nearest_rank(&xs, 1.5), Some(5.0));
+    }
+
+    #[test]
+    fn rank_never_exceeds_at_least_q_fraction() {
+        // Definitional property across a range of n: at least q*n
+        // samples are <= the reported value, and removing the value's
+        // rank breaks that (it is the *smallest* such sample).
+        for n in 1..=64usize {
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                let xs = ladder(n);
+                let p = percentile_nearest_rank(&xs, q).unwrap();
+                let at_or_below = xs.iter().filter(|&&x| x <= p).count();
+                assert!(
+                    at_or_below as f64 >= q * n as f64,
+                    "n={n} q={q}: rank {p} covers only {at_or_below}"
+                );
+                if p > 1.0 {
+                    let below = at_or_below - 1;
+                    assert!(
+                        (below as f64) < q * n as f64,
+                        "n={n} q={q}: {p} is not the smallest covering sample"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -28,7 +28,9 @@ use nerve_core::{
     DegradationRung,
 };
 use nerve_net::clock::SimTime;
+use nerve_obs::{Counter, Histogram, Registry};
 use nerve_tensor::conv::{conv2d, ConvSpec};
+use nerve_tensor::meter;
 use nerve_tensor::Tensor;
 use nerve_video::rng::DetRng;
 use rand::RngExt;
@@ -164,12 +166,26 @@ pub fn occupancy_label(bucket: usize) -> &'static str {
     }
 }
 
-fn occupancy_bucket(batch: usize) -> usize {
+pub(crate) fn occupancy_bucket(batch: usize) -> usize {
     debug_assert!(batch >= 1);
     ((batch.max(1) as f64).log2().ceil() as usize).min(OCCUPANCY_BUCKETS - 1)
 }
 
-/// Cumulative batcher statistics.
+/// Upper bucket edges of the `batcher.occupancy` histogram. Chosen so
+/// the upper-inclusive histogram convention reproduces
+/// [`occupancy_bucket`] / [`occupancy_label`] exactly: a batch of `b`
+/// lands in the first bucket with `b <= edge`, overflow is "65+".
+pub const OCCUPANCY_EDGES: [f64; OCCUPANCY_BUCKETS - 1] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Upper bucket edges of the `batcher.slack_secs` histogram (deadline
+/// slack of full-served jobs, seconds). Fixed here so traces from
+/// different runs are comparable bucket-for-bucket.
+pub const SLACK_EDGES: [f64; 9] = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+/// Point-in-time batcher statistics, snapshotted from the metrics
+/// registry by [`InferenceBatcher::stats`]. This struct is part of the
+/// [`crate::fleet::FleetResult`] digest surface, so its shape is
+/// stable; the registry is the source of truth backing it.
 #[derive(Debug, Clone, Default)]
 pub struct BatcherStats {
     /// Batched forward passes executed.
@@ -187,6 +203,54 @@ pub struct BatcherStats {
     pub breaker: BreakerCounters,
 }
 
+/// Registry handles for every metric the batcher maintains. Bound once
+/// at construction (or re-bound by
+/// [`InferenceBatcher::with_registry`]); incrementing is a `Cell` write.
+struct BatcherMetrics {
+    batches: Counter,
+    full: Counter,
+    warp_only: Counter,
+    shed: Counter,
+    occupancy: Histogram,
+    slack_secs: Histogram,
+    breaker_opened: Counter,
+    breaker_half_opened: Counter,
+    breaker_closed: Counter,
+    breaker_watchdog_trips: Counter,
+    breaker_fast_shed: Counter,
+}
+
+impl BatcherMetrics {
+    fn bind(registry: &Registry) -> Self {
+        Self {
+            batches: registry.counter("batcher.batches"),
+            full: registry.counter("batcher.jobs.full"),
+            warp_only: registry.counter("batcher.jobs.warp_only"),
+            shed: registry.counter("batcher.jobs.shed"),
+            occupancy: registry.histogram("batcher.occupancy", &OCCUPANCY_EDGES),
+            slack_secs: registry.histogram("batcher.slack_secs", &SLACK_EDGES),
+            breaker_opened: registry.counter("batcher.breaker.opened"),
+            breaker_half_opened: registry.counter("batcher.breaker.half_opened"),
+            breaker_closed: registry.counter("batcher.breaker.closed"),
+            breaker_watchdog_trips: registry.counter("batcher.breaker.watchdog_trips"),
+            breaker_fast_shed: registry.counter("batcher.breaker.fast_shed"),
+        }
+    }
+
+    /// Fold the breaker's monotone counters forward: add the delta
+    /// since the last export so registry counters track transitions
+    /// exactly once.
+    fn export_breaker(&self, prev: &BreakerCounters, cur: &BreakerCounters) {
+        self.breaker_opened.add(cur.opened - prev.opened);
+        self.breaker_half_opened
+            .add(cur.half_opened - prev.half_opened);
+        self.breaker_closed.add(cur.closed - prev.closed);
+        self.breaker_watchdog_trips
+            .add(cur.watchdog_trips - prev.watchdog_trips);
+        self.breaker_fast_shed.add(cur.fast_shed - prev.fast_shed);
+    }
+}
+
 /// The cross-session inference batcher.
 pub struct InferenceBatcher {
     model: ServerModel,
@@ -198,7 +262,10 @@ pub struct InferenceBatcher {
     input_seeds: Vec<u64>,
     /// Optional overload breaker (see [`nerve_core::breaker`]).
     breaker: Option<CircuitBreaker>,
-    pub stats: BatcherStats,
+    registry: Registry,
+    metrics: BatcherMetrics,
+    /// Breaker counters as of the last registry export (delta base).
+    breaker_exported: BreakerCounters,
 }
 
 impl InferenceBatcher {
@@ -223,6 +290,8 @@ impl InferenceBatcher {
                 .collect(),
         );
         let bias = vec![0.0; spec.out_channels];
+        let registry = Registry::new();
+        let metrics = BatcherMetrics::bind(&registry);
         Self {
             model,
             ladder_kbps,
@@ -231,7 +300,9 @@ impl InferenceBatcher {
             queue: Vec::new(),
             input_seeds,
             breaker: None,
-            stats: BatcherStats::default(),
+            registry,
+            metrics,
+            breaker_exported: BreakerCounters::default(),
         }
     }
 
@@ -239,6 +310,41 @@ impl InferenceBatcher {
     pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
         self.breaker = Some(CircuitBreaker::new(config));
         self
+    }
+
+    /// Account into a shared registry (e.g. the fleet's observability
+    /// context) instead of the batcher's private one. Call before any
+    /// jobs are flushed; the target registry must not already hold
+    /// `batcher.*` counts or they will be continued, not replaced.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.metrics = BatcherMetrics::bind(&registry);
+        self.registry = registry;
+        self
+    }
+
+    /// The registry backing this batcher's statistics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot the cumulative statistics from the registry.
+    pub fn stats(&self) -> BatcherStats {
+        let mut occupancy = [0usize; OCCUPANCY_BUCKETS];
+        for (slot, (_, n)) in occupancy.iter_mut().zip(self.metrics.occupancy.buckets()) {
+            *slot = n as usize;
+        }
+        BatcherStats {
+            batches: self.metrics.batches.get() as usize,
+            full: self.metrics.full.get() as usize,
+            warp_only: self.metrics.warp_only.get() as usize,
+            shed: self.metrics.shed.get() as usize,
+            occupancy,
+            breaker: self
+                .breaker
+                .as_ref()
+                .map(|b| b.counters)
+                .unwrap_or_default(),
+        }
     }
 
     /// Current breaker state (`None` when no breaker is armed).
@@ -337,13 +443,15 @@ impl InferenceBatcher {
                     b.record(service == Service::Full, completion.as_secs_f64());
                 }
             }
+            let slack_secs = job.deadline.saturating_sub(completion).as_secs_f64();
             match service {
                 Service::Full => {
-                    self.stats.full += 1;
+                    self.metrics.full.inc();
+                    self.metrics.slack_secs.observe(slack_secs);
                     batch_members.push(idx);
                 }
-                Service::WarpOnly => self.stats.warp_only += 1,
-                Service::Shed => self.stats.shed += 1,
+                Service::WarpOnly => self.metrics.warp_only.inc(),
+                Service::Shed => self.metrics.shed.inc(),
             }
             if cost > 0.0 {
                 cursor = completion;
@@ -352,7 +460,7 @@ impl InferenceBatcher {
                 job: *job,
                 service,
                 completion,
-                slack_secs: job.deadline.saturating_sub(completion).as_secs_f64(),
+                slack_secs,
                 checksum: 0.0,
             });
         }
@@ -367,15 +475,25 @@ impl InferenceBatcher {
                 .collect();
             let refs: Vec<&Tensor> = inputs.iter().collect();
             let stacked = Tensor::stack(&refs);
-            let out = conv2d(&stacked, &self.weight, &self.bias, self.model.spec());
+            // The "batch" meter scope: server-side backbone compute,
+            // distinct from any client-side pipeline stage.
+            let out = meter::stage("batch", || {
+                conv2d(&stacked, &self.weight, &self.bias, self.model.spec())
+            });
             let plane = out.h() * out.w() * out.c();
             for (bi, &idx) in batch_members.iter().enumerate() {
                 let start = bi * plane;
                 let mean: f32 = out.data()[start..start + plane].iter().sum::<f32>() / plane as f32;
                 outcomes[idx].checksum = mean;
             }
-            self.stats.batches += 1;
-            self.stats.occupancy[occupancy_bucket(batch_members.len())] += 1;
+            self.metrics.batches.inc();
+            // The histogram edges are constructed to reproduce
+            // `occupancy_bucket` exactly; keep the two in lockstep.
+            debug_assert_eq!(
+                OCCUPANCY_EDGES.partition_point(|&e| e < batch_members.len() as f64),
+                occupancy_bucket(batch_members.len()),
+            );
+            self.metrics.occupancy.observe(batch_members.len() as f64);
         }
 
         // Watchdog: a flush that overran its compute budget trips the
@@ -386,7 +504,9 @@ impl InferenceBatcher {
             if spent > b.config().watchdog_budget_secs {
                 b.trip_watchdog(cursor.as_secs_f64());
             }
-            self.stats.breaker = b.counters;
+            let cur = b.counters;
+            self.metrics.export_breaker(&self.breaker_exported, &cur);
+            self.breaker_exported = cur;
         }
         outcomes
     }
@@ -445,8 +565,8 @@ mod tests {
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|o| o.service == Service::Full));
         assert!(out.iter().all(|o| o.slack_secs > 0.0));
-        assert_eq!(b.stats.batches, 1, "one stacked conv for all sessions");
-        assert_eq!(b.stats.occupancy[occupancy_bucket(4)], 1);
+        assert_eq!(b.stats().batches, 1, "one stacked conv for all sessions");
+        assert_eq!(b.stats().occupancy[occupancy_bucket(4)], 1);
     }
 
     #[test]
@@ -459,7 +579,7 @@ mod tests {
         // Session 1's job expired → shed; session 0's still has 9 s.
         assert!(by_session.contains(&Service::Full));
         assert!(by_session.contains(&Service::Shed));
-        assert_eq!(b.stats.shed, 1);
+        assert_eq!(b.stats().shed, 1);
     }
 
     #[test]
@@ -472,7 +592,7 @@ mod tests {
         b.enqueue(job(0, 0, deadline, JobKind::Recovery));
         let out = b.flush(SimTime::ZERO);
         assert_eq!(out[0].service, Service::WarpOnly);
-        assert_eq!(b.stats.warp_only, 1);
+        assert_eq!(b.stats().warp_only, 1);
     }
 
     #[test]
@@ -541,14 +661,14 @@ mod tests {
         b.enqueue(job(0, 1, 0.0, JobKind::Recovery));
         b.flush(SimTime::from_secs_f64(1.0));
         assert_eq!(b.breaker_state(), Some(BreakerState::Open));
-        assert_eq!(b.stats.breaker.opened, 1);
+        assert_eq!(b.stats().breaker.opened, 1);
 
         // Before the cooldown even a healthy job is fast-shed to
         // warp-only — no full-pass attempt, no batch.
         b.enqueue(job(0, 2, 100.0, JobKind::Recovery));
         let out = b.flush(SimTime::from_secs_f64(1.5));
         assert_eq!(out[0].service, Service::WarpOnly);
-        assert!(b.stats.breaker.fast_shed >= 1);
+        assert!(b.stats().breaker.fast_shed >= 1);
         assert_eq!(b.breaker_state(), Some(BreakerState::Open));
 
         // Past the cooldown the flush goes half-open, both probes fit
@@ -558,8 +678,8 @@ mod tests {
         let out = b.flush(SimTime::from_secs_f64(3.0));
         assert!(out.iter().all(|o| o.service == Service::Full));
         assert_eq!(b.breaker_state(), Some(BreakerState::Closed));
-        assert_eq!(b.stats.breaker.half_opened, 1);
-        assert_eq!(b.stats.breaker.closed, 1);
+        assert_eq!(b.stats().breaker.half_opened, 1);
+        assert_eq!(b.stats().breaker.closed, 1);
     }
 
     #[test]
@@ -573,8 +693,8 @@ mod tests {
         let out = b.flush(SimTime::ZERO);
         assert_eq!(out[0].service, Service::Full, "the job itself is served");
         assert_eq!(b.breaker_state(), Some(BreakerState::Open));
-        assert_eq!(b.stats.breaker.watchdog_trips, 1);
-        assert_eq!(b.stats.breaker.opened, 1);
+        assert_eq!(b.stats().breaker.watchdog_trips, 1);
+        assert_eq!(b.stats().breaker.opened, 1);
     }
 
     #[test]
@@ -582,7 +702,7 @@ mod tests {
         let mut b = batcher(1);
         b.enqueue(job(0, 0, 10.0, JobKind::Recovery));
         b.flush(SimTime::ZERO);
-        assert_eq!(b.stats.breaker, BreakerCounters::default());
+        assert_eq!(b.stats().breaker, BreakerCounters::default());
         assert_eq!(b.breaker_state(), None);
     }
 
@@ -594,5 +714,81 @@ mod tests {
         assert_eq!(occupancy_bucket(8), 3);
         assert_eq!(occupancy_bucket(64), 6);
         assert_eq!(occupancy_bucket(1000), OCCUPANCY_BUCKETS - 1);
+    }
+
+    /// Satellite audit: every boundary value around each power-of-two
+    /// edge lands in the bucket its label promises. `log2` is exact for
+    /// powers of two, so `ceil` cannot wobble at the edges.
+    #[test]
+    fn occupancy_bucket_boundary_values_match_labels() {
+        let cases = [
+            (1, "1"),
+            (2, "2"),
+            (3, "3-4"),
+            (4, "3-4"),
+            (5, "5-8"),
+            (8, "5-8"),
+            (9, "9-16"),
+            (16, "9-16"),
+            (17, "17-32"),
+            (32, "17-32"),
+            (33, "33-64"),
+            (64, "33-64"),
+            (65, "65+"),
+            (1 << 20, "65+"),
+        ];
+        for (batch, label) in cases {
+            assert_eq!(
+                occupancy_label(occupancy_bucket(batch)),
+                label,
+                "batch size {batch}"
+            );
+        }
+    }
+
+    /// The registry histogram's upper-inclusive edges reproduce
+    /// `occupancy_bucket` for every realistic batch size, so the
+    /// BatcherStats array snapshot and the registry histogram can never
+    /// disagree.
+    #[test]
+    fn occupancy_histogram_edges_match_bucket_function() {
+        for batch in 1usize..=200 {
+            let i = OCCUPANCY_EDGES.partition_point(|&e| e < batch as f64);
+            assert_eq!(
+                i,
+                occupancy_bucket(batch),
+                "batch size {batch}: histogram bucket vs occupancy_bucket"
+            );
+        }
+    }
+
+    /// The stats snapshot is registry-backed: the same counts are
+    /// visible through the registry and through `stats()`, and a shared
+    /// registry observes the batcher's work.
+    #[test]
+    fn stats_snapshot_mirrors_registry() {
+        let reg = nerve_obs::Registry::new();
+        let mut b = batcher(4).with_registry(reg.clone());
+        for s in 0..4 {
+            b.enqueue(job(s, 0, 10.0, JobKind::Recovery));
+        }
+        b.enqueue(job(0, 1, 0.0, JobKind::Recovery)); // expired → shed
+        b.flush(SimTime::from_secs_f64(1.0));
+
+        let stats = b.stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("batcher.batches"), Some(stats.batches as u64));
+        assert_eq!(snap.counter("batcher.jobs.full"), Some(stats.full as u64));
+        assert_eq!(snap.counter("batcher.jobs.shed"), Some(stats.shed as u64));
+        assert_eq!(stats.full, 4);
+        assert_eq!(stats.shed, 1);
+        let (buckets, _, count) = snap.histogram("batcher.occupancy").unwrap();
+        assert_eq!(count, 1, "one batch was executed");
+        let array_total: usize = stats.occupancy.iter().sum();
+        assert_eq!(array_total as u64, count);
+        assert_eq!(buckets[occupancy_bucket(4)].1, 1);
+        // Full-served slack observations match the full counter.
+        let (_, _, slack_count) = snap.histogram("batcher.slack_secs").unwrap();
+        assert_eq!(slack_count, stats.full as u64);
     }
 }

@@ -26,6 +26,7 @@ use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
 use nerve_net::loss::{GilbertElliott, LossModel};
 use nerve_net::trace::NetworkTrace;
+use nerve_obs::{Counter, FieldValue, Obs};
 use nerve_video::rng::{seed_for, StreamComponent};
 
 /// Client heterogeneity: what a session pays for and how it is weighted
@@ -402,10 +403,48 @@ fn overlay_for(cfg: &FleetConfig, id: usize) -> FaultPlan {
     .merged(&cfg.fleet_faults)
 }
 
+/// Fleet-level registry counters, bound once per run when an
+/// observability plane is attached.
+struct FleetMetrics {
+    jobs_enqueued: Counter,
+    crashes: Counter,
+    server_restarts: Counter,
+    accepted: Counter,
+    downgraded: Counter,
+    rejected: Counter,
+}
+
+impl FleetMetrics {
+    fn bind(registry: &nerve_obs::Registry) -> Self {
+        Self {
+            jobs_enqueued: registry.counter("fleet.jobs.enqueued"),
+            crashes: registry.counter("fleet.crashes"),
+            server_restarts: registry.counter("fleet.server_restarts"),
+            accepted: registry.counter("fleet.sessions.accepted"),
+            downgraded: registry.counter("fleet.sessions.downgraded"),
+            rejected: registry.counter("fleet.sessions.rejected"),
+        }
+    }
+}
+
 /// Run one fleet to completion. Serial and deterministic: the same
 /// `(cfg, trace)` always yields a byte-identical [`FleetResult::digest`],
 /// at any tensor worker count.
 pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
+    run_fleet_obs(cfg, trace, None)
+}
+
+/// [`run_fleet`] with an observability plane attached. `obs` is purely
+/// passive: it observes virtual-time spans, point events, and registry
+/// metrics, but never influences control flow, so the returned
+/// [`FleetResult::digest`] is byte-identical with `Some` and `None`.
+/// The batcher shares the plane's registry (its `batcher.*` metrics land
+/// next to the `fleet.*` ones).
+pub fn run_fleet_obs(
+    cfg: &FleetConfig,
+    trace: &NetworkTrace,
+    mut obs: Option<&mut Obs>,
+) -> FleetResult {
     assert!(cfg.sessions > 0, "fleet needs at least one session");
     assert!(cfg.flush_tick_secs > 0.0);
     let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
@@ -423,6 +462,10 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
     if let Some(breaker) = cfg.breaker {
         batcher = batcher.with_breaker(breaker);
     }
+    if let Some(o) = obs.as_deref_mut() {
+        batcher = batcher.with_registry(o.registry.clone());
+    }
+    let fm = obs.as_deref().map(|o| FleetMetrics::bind(&o.registry));
 
     // Crash plane events, in canonical (time, session) order; a cursor
     // walks them exactly once as virtual time passes their instants.
@@ -482,6 +525,10 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
     let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
     let mut t = SimTime::ZERO;
     let mut slacks: Vec<f64> = Vec::new();
+    // Flush ordinal: the span index of the next `fleet.flush` span. It is
+    // derived purely from the virtual-event sequence, so it is identical
+    // at any worker count.
+    let mut flush_idx = 0u64;
 
     // One settle closure used for every flush: maps a batcher outcome
     // back onto its session's chunk accumulator and counters.
@@ -490,8 +537,37 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         maps: &QualityMaps,
         slacks: &mut Vec<f64>,
         outcomes: &[crate::batcher::JobOutcome],
+        t: SimTime,
+        mut obs: Option<&mut Obs>,
     ) {
         for o in outcomes {
+            if let Some(ob) = obs.as_deref_mut() {
+                ob.event(
+                    "job.settle",
+                    o.job.frame as u64,
+                    t.0,
+                    &[
+                        ("session", FieldValue::U64(o.job.session as u64)),
+                        ("chunk", FieldValue::U64(o.job.chunk as u64)),
+                        (
+                            "kind",
+                            FieldValue::Str(match o.job.kind {
+                                JobKind::Recovery => "recovery",
+                                JobKind::Sr => "sr",
+                            }),
+                        ),
+                        (
+                            "service",
+                            FieldValue::Str(match o.service {
+                                Service::Full => "full",
+                                Service::WarpOnly => "warp_only",
+                                Service::Shed => "shed",
+                            }),
+                        ),
+                        ("slack_secs", FieldValue::F64(o.slack_secs)),
+                    ],
+                );
+            }
             let s = &mut sessions[o.job.session];
             let acc = &mut s.chunks[o.job.chunk];
             let psnr = match (o.job.kind, o.service) {
@@ -611,11 +687,36 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         if let Some(r) = restart_pending {
             if SimTime::from_secs_f64(r.at_secs) <= t {
                 if batcher.pending() > 0 {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.open("fleet.flush", flush_idx, t.0);
+                    }
                     let outcomes = batcher.flush(t);
-                    settle(&mut sessions, &maps, &mut slacks, &outcomes);
+                    settle(
+                        &mut sessions,
+                        &maps,
+                        &mut slacks,
+                        &outcomes,
+                        t,
+                        obs.as_deref_mut(),
+                    );
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.close(t.0);
+                    }
+                    flush_idx += 1;
                 }
                 server_down_until = Some(SimTime::from_secs_f64(r.at_secs + r.down_secs));
                 server_restarts += 1;
+                if let Some(m) = &fm {
+                    m.server_restarts.inc();
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.event(
+                        "server.restart",
+                        server_restarts as u64 - 1,
+                        t.0,
+                        &[("down_secs", FieldValue::F64(r.down_secs))],
+                    );
+                }
                 restart_pending = None;
             }
         }
@@ -631,8 +732,9 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
             crash_cursor += 1;
             let until = SimTime::from_secs_f64(c.at_secs + c.down_secs);
             let s = &mut sessions[c.session];
+            let mut absorbed = true;
             match s.phase {
-                Phase::Done => {}
+                Phase::Done => absorbed = false,
                 Phase::Waiting { until: w } => {
                     s.counters.crashes += 1;
                     s.phase = Phase::Waiting {
@@ -646,26 +748,76 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
                     s.phase = Phase::Waiting { until };
                 }
             }
+            if absorbed {
+                if let Some(m) = &fm {
+                    m.crashes.inc();
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.event(
+                        "session.crash",
+                        c.session as u64,
+                        t.0,
+                        &[("down_secs", FieldValue::F64(c.down_secs))],
+                    );
+                }
+            }
         }
 
         // Wake waiting sessions and start their next chunk (admission
         // gates only the first).
-        for s in sessions.iter_mut() {
+        for (id, s) in sessions.iter_mut().enumerate() {
             match s.phase {
                 Phase::Waiting { until } if until <= t => {}
                 _ => continue,
             }
             if s.chunk_idx == 0 && !s.rejected && s.cap.is_none() {
                 match admission.admit(t, top_rung, |cap| demand_at(cfg, cap)) {
-                    Admission::Accept => {}
+                    Admission::Accept => {
+                        if let Some(m) = &fm {
+                            m.accepted.inc();
+                        }
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.event(
+                                "admission",
+                                id as u64,
+                                t.0,
+                                &[("decision", FieldValue::Str("accept"))],
+                            );
+                        }
+                    }
                     Admission::Downgrade { cap } => {
                         let inner = make_abr(cfg, &maps, s.class);
                         s.abr = Box::new(CappedAbr::new(inner, cap));
                         s.cap = Some(cap);
+                        if let Some(m) = &fm {
+                            m.downgraded.inc();
+                        }
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.event(
+                                "admission",
+                                id as u64,
+                                t.0,
+                                &[
+                                    ("decision", FieldValue::Str("downgrade")),
+                                    ("cap", FieldValue::U64(cap as u64)),
+                                ],
+                            );
+                        }
                     }
                     Admission::Reject => {
                         s.rejected = true;
                         s.phase = Phase::Done;
+                        if let Some(m) = &fm {
+                            m.rejected.inc();
+                        }
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.event(
+                                "admission",
+                                id as u64,
+                                t.0,
+                                &[("decision", FieldValue::Str("reject"))],
+                            );
+                        }
                         continue;
                     }
                 }
@@ -741,6 +893,9 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
                     s.chain += 1;
                     if s.class.recovery() {
                         s.counters.jobs += 1;
+                        if let Some(m) = &fm {
+                            m.jobs_enqueued.inc();
+                        }
                         batcher.enqueue(InferenceJob {
                             session: id,
                             chunk,
@@ -759,6 +914,9 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
                     s.chain = 0;
                     if s.class.sr() && frame % cfg.anchor_stride == 0 {
                         s.counters.jobs += 1;
+                        if let Some(m) = &fm {
+                            m.jobs_enqueued.inc();
+                        }
                         batcher.enqueue(InferenceJob {
                             session: id,
                             chunk,
@@ -806,16 +964,54 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         // is mid-restart — queued jobs wait for it to come back).
         let server_up = server_down_until.is_none_or(|d| t >= d);
         if server_up && t.0.is_multiple_of(tick_us) && batcher.pending() > 0 {
+            if let Some(o) = obs.as_deref_mut() {
+                o.open("fleet.flush", flush_idx, t.0);
+            }
             let outcomes = batcher.flush(t);
-            settle(&mut sessions, &maps, &mut slacks, &outcomes);
+            settle(
+                &mut sessions,
+                &maps,
+                &mut slacks,
+                &outcomes,
+                t,
+                obs.as_deref_mut(),
+            );
+            if let Some(o) = obs.as_deref_mut() {
+                o.close(t.0);
+            }
+            flush_idx += 1;
+        }
+    }
+
+    // A hard stop can leave sessions mid-download: the in-flight chunk's
+    // rung was charged to `rung_sum` at request time, but the chunk never
+    // completed and is not counted by `chunk_idx`, so leaving the charge
+    // in place inflates `mean_rung` past the ladder. Revert it, exactly
+    // as the crash-abort path does.
+    for s in sessions.iter_mut() {
+        if let Phase::Downloading { rung, .. } = s.phase {
+            s.rung_sum -= rung;
         }
     }
 
     // Drain whatever is still queued (sessions that finished between
     // ticks, or the hard-stop path).
     if batcher.pending() > 0 {
+        if let Some(o) = obs.as_deref_mut() {
+            o.open("fleet.flush", flush_idx, t.0);
+        }
         let outcomes = batcher.flush(t);
-        settle(&mut sessions, &maps, &mut slacks, &outcomes);
+        settle(
+            &mut sessions,
+            &maps,
+            &mut slacks,
+            &outcomes,
+            t,
+            obs.as_deref_mut(),
+        );
+        if let Some(o) = obs.as_deref_mut() {
+            o.close(t.0);
+        }
     }
 
     // Assemble per-session summaries.
@@ -879,12 +1075,8 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         .map(|s| s.chunks_played as f64 * cfg.chunk_seconds)
         .sum();
     slacks.sort_by(f64::total_cmp);
-    let p95 = if slacks.is_empty() {
-        0.0
-    } else {
-        slacks[((slacks.len() as f64 * 0.95).ceil() as usize).clamp(1, slacks.len()) - 1]
-    };
-    FleetResult {
+    let p95 = nerve_obs::percentile_nearest_rank(&slacks, 0.95).unwrap_or(0.0);
+    let result = FleetResult {
         mean_qoe,
         fairness: jain_fairness(&utilities),
         stall_ratio: if total_played + total_rebuffer > 0.0 {
@@ -895,13 +1087,22 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
         accepted: admission.accepted,
         downgraded: admission.downgraded,
         rejected: admission.rejected,
-        batcher: batcher.stats.clone(),
+        batcher: batcher.stats(),
         p95_slack_secs: p95,
         virtual_secs: t.as_secs_f64(),
         crashes: summaries.iter().map(|s| s.counters.crashes).sum(),
         server_restarts,
         sessions: summaries,
+    };
+    if let Some(o) = obs {
+        let g = &o.registry;
+        g.gauge("fleet.mean_qoe").set(result.mean_qoe);
+        g.gauge("fleet.fairness").set(result.fairness);
+        g.gauge("fleet.stall_ratio").set(result.stall_ratio);
+        g.gauge("fleet.p95_slack_secs").set(result.p95_slack_secs);
+        g.gauge("fleet.virtual_secs").set(result.virtual_secs);
     }
+    result
 }
 
 #[cfg(test)]
@@ -1101,5 +1302,141 @@ mod tests {
         let skewed = jain_fairness(&[1.0, 0.0, 0.0]);
         assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(jain_fairness(&[]), 1.0);
+    }
+
+    /// A fleet where every admitted session earned zero utility is
+    /// "equally poor", not maximally unfair: all-zero utilities map to a
+    /// fairness of 1.0 (the `sq <= 0` branch), never NaN from 0/0.
+    #[test]
+    fn jain_all_zero_utilities_is_neutral_fairness() {
+        assert_eq!(jain_fairness(&[0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness(&[0.0]), 1.0);
+        assert!(jain_fairness(&[0.0, 0.0, 1e-12]).is_finite());
+    }
+
+    /// Zero admission budget rejects every session at its first request.
+    /// The aggregates must stay neutral — rejected sessions never play,
+    /// never rebuffer, and never reach the batcher — rather than
+    /// polluting stall/fairness with 0/0 artifacts.
+    #[test]
+    fn fully_rejected_fleet_reports_neutral_aggregates() {
+        let mut cfg = FleetConfig::small(5, 9);
+        cfg.admission.bandwidth_kbps = 0.0;
+        cfg.admission.macs_per_sec = 0.0;
+        let r = run_fleet(&cfg, &trace(9));
+        assert_eq!(r.rejected, cfg.sessions);
+        assert_eq!(r.accepted, 0);
+        assert_eq!(r.mean_qoe, 0.0);
+        assert_eq!(r.fairness, 1.0);
+        assert_eq!(r.stall_ratio, 0.0, "rejected sessions cannot stall");
+        assert_eq!(r.p95_slack_secs, 0.0, "no jobs were ever served");
+        assert_eq!(r.batcher.batches, 0);
+        for s in &r.sessions {
+            assert!(s.rejected);
+            assert_eq!(s.rebuffer_secs, 0.0);
+            assert_eq!(s.counters.jobs, 0);
+            assert_eq!(s.mean_rung, 0.0);
+        }
+    }
+
+    /// The observability plane is passive: a traced run yields the same
+    /// digest as an untraced one, its registry mirrors the result's own
+    /// accounting, and every span closes.
+    #[test]
+    fn traced_run_is_digest_identical_and_registry_consistent() {
+        let mut cfg = FleetConfig::small(6, 17);
+        cfg.crash_plan = vec![SessionCrash {
+            session: 1,
+            at_secs: 1.0,
+            down_secs: 1.5,
+        }];
+        cfg.server_restart = Some(ServerRestart {
+            at_secs: 2.0,
+            down_secs: 1.0,
+        });
+        let plain = run_fleet(&cfg, &trace(17));
+        let mut obs = Obs::trace();
+        let traced = run_fleet_obs(&cfg, &trace(17), Some(&mut obs));
+        assert_eq!(
+            plain.digest(),
+            traced.digest(),
+            "tracing must never change a result"
+        );
+
+        let snap = obs.registry.snapshot();
+        let jobs: usize = traced.sessions.iter().map(|s| s.counters.jobs).sum();
+        assert_eq!(snap.counter("fleet.jobs.enqueued"), Some(jobs as u64));
+        assert_eq!(snap.counter("fleet.crashes"), Some(traced.crashes as u64));
+        assert_eq!(snap.counter("fleet.server_restarts"), Some(1));
+        assert_eq!(
+            snap.counter("fleet.sessions.accepted"),
+            Some(traced.accepted as u64)
+        );
+        assert_eq!(
+            snap.counter("batcher.jobs.full"),
+            Some(traced.batcher.full as u64),
+            "the batcher must share the fleet registry"
+        );
+        assert_eq!(snap.gauge("fleet.mean_qoe"), Some(traced.mean_qoe));
+        assert_eq!(
+            snap.gauge("fleet.p95_slack_secs"),
+            Some(traced.p95_slack_secs)
+        );
+
+        let lines = obs.trace_lines().unwrap();
+        let opens = lines.matches("\"ev\":\"open\"").count();
+        let closes = lines.matches("\"ev\":\"close\"").count();
+        assert_eq!(opens, closes, "every span must close");
+        assert!(opens > 0, "flushes must emit spans");
+        assert!(lines.contains("\"name\":\"session.crash\""));
+        assert!(lines.contains("\"name\":\"server.restart\""));
+        assert!(lines.contains("\"name\":\"job.settle\""));
+    }
+
+    /// Hard-stopping the clock mid-download must not leak the in-flight
+    /// chunk's rung into `mean_rung`: the rung is charged at request
+    /// time, but the chunk never completes, so averaging it over
+    /// completed chunks alone can report a mean above the top ladder
+    /// rung.
+    #[test]
+    fn hard_stop_mid_download_keeps_mean_rung_within_ladder() {
+        // Pinpoint case: one session on a fast link bootstraps at rung 0,
+        // then rides the top rung. Hard-stopped mid-download, the true
+        // mean over completed chunks is strictly below the top rung
+        // (chunk 0 completed at rung 0), so a reported mean AT the top is
+        // exactly the in-flight leak.
+        let mut cfg = FleetConfig::small(1, 3);
+        cfg.chunks_per_session = 50;
+        cfg.max_virtual_secs = 3.0;
+        let r = run_fleet(&cfg, &trace(3));
+        let top = (cfg.ladder_kbps.len() - 1) as f64;
+        let s = &r.sessions[0];
+        assert!(s.chunks_played > 0, "the stop must land mid-stream");
+        assert!(
+            s.mean_rung < top,
+            "session 0 mean_rung {} must stay strictly below top rung \
+             {top}: chunk 0 completed at the bootstrap rung",
+            s.mean_rung
+        );
+
+        // Broader invariant: no hard stop may ever push a mean above the
+        // ladder.
+        for stop_secs in [3.0, 4.5, 6.0, 7.5, 9.0, 10.5] {
+            for sessions in [1, 2, 3] {
+                let mut cfg = FleetConfig::small(sessions, 11);
+                cfg.chunks_per_session = 50; // plenty left at the stop
+                cfg.max_virtual_secs = stop_secs;
+                let r = run_fleet(&cfg, &trace(11));
+                for s in &r.sessions {
+                    assert!(
+                        s.mean_rung <= top + 1e-9,
+                        "stop {stop_secs}s, {sessions} sessions: session {} \
+                         mean_rung {} exceeds top rung {top}",
+                        s.id,
+                        s.mean_rung
+                    );
+                }
+            }
+        }
     }
 }

@@ -31,9 +31,9 @@ pub mod fleet;
 pub use admission::{Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket};
 pub use batcher::{
     occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
-    ServerModel, Service, OCCUPANCY_BUCKETS,
+    ServerModel, Service, OCCUPANCY_BUCKETS, OCCUPANCY_EDGES, SLACK_EDGES,
 };
 pub use fleet::{
-    jain_fairness, run_fleet, ClientClass, FleetConfig, FleetResult, ServerRestart,
+    jain_fairness, run_fleet, run_fleet_obs, ClientClass, FleetConfig, FleetResult, ServerRestart,
     SessionCounters, SessionCrash, SessionSummary,
 };

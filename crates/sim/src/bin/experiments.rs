@@ -7,6 +7,7 @@
 //!   nerve-experiments --jobs 4      # sweep worker pool size
 //!   nerve-experiments --bench-out[=PATH]  # write BENCH_sweep.json
 //!   nerve-experiments fleet --sessions 64  # multi-session edge server
+//!   nerve-experiments fleet --trace-out trace.jsonl  # span/metric log
 //!
 //! Each selected experiment is one unit of the outermost parallel sweep:
 //! runners fan out across the worker pool (nested sweeps inside a runner
@@ -25,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut bench_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut sessions = 16usize;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
@@ -64,6 +66,15 @@ fn main() {
             }
         } else if let Some(v) = a.strip_prefix("--bench-out=") {
             bench_out = Some(v.to_string());
+        } else if a == "--trace-out" {
+            trace_out = Some(
+                it.next()
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| die("--trace-out needs a path"))
+                    .clone(),
+            );
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(v.to_string());
         } else if a.starts_with("--") {
             die(&format!("unknown flag {a}"));
         } else {
@@ -277,6 +288,19 @@ fn main() {
         "[sweep: {} experiment(s) on {workers} worker(s) in {total_secs:.2}s]",
         timed.len()
     );
+
+    if let Some(path) = trace_out {
+        // The observability pass re-runs the fleet points with the trace
+        // recorder attached; the log is stamped from virtual time only,
+        // so this file is byte-identical at any --jobs value.
+        let chunks = budget.chunks_per_trace.clamp(2, 8);
+        let log = fleet::fleet_trace(sessions, chunks, budget.seed);
+        if let Err(e) = std::fs::write(&path, log) {
+            eprintln!("[failed to write {path}: {e}]");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
 
     if let Some(path) = bench_out {
         let mut entries = String::new();

@@ -6,6 +6,12 @@
 //!
 //! Usage:
 //!   nerve-fleet-bench [--jobs N] [--out PATH] [--sessions N] [--full]
+//!                     [--trace-out PATH]
+//!
+//! `--trace-out` additionally writes the observability JSONL log (spans,
+//! events, cost profile, metrics snapshot) for every fleet point; the
+//! file is stamped from virtual time only and is byte-identical at any
+//! `--jobs` value.
 
 use nerve_sim::experiments::fleet;
 use nerve_sim::sweep;
@@ -15,6 +21,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_fleet.json".to_string();
+    let mut trace_out: Option<String> = None;
     let mut jobs_override: Option<usize> = None;
     let mut max_sessions = 64usize;
     let mut full = false;
@@ -34,6 +41,13 @@ fn main() {
                     .unwrap_or_else(|| die("--out needs a path"))
                     .clone()
             }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path"))
+                        .clone(),
+                )
+            }
             "--sessions" => {
                 max_sessions = it
                     .next()
@@ -50,6 +64,8 @@ fn main() {
                     );
                 } else if let Some(v) = a.strip_prefix("--out=") {
                     out_path = v.to_string();
+                } else if let Some(v) = a.strip_prefix("--trace-out=") {
+                    trace_out = Some(v.to_string());
                 } else if let Some(v) = a.strip_prefix("--sessions=") {
                     max_sessions = v
                         .parse()
@@ -115,6 +131,15 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("[wrote {out_path}]");
+
+    if let Some(path) = trace_out {
+        let log = fleet::fleet_trace(max_sessions, chunks, seed);
+        if let Err(e) = std::fs::write(&path, log) {
+            eprintln!("[failed to write {path}: {e}]");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
 }
 
 /// Run `f` with the pool pinned to `n` workers, restoring the previous

@@ -10,9 +10,12 @@
 use crate::report::{fmt_f, Table};
 use crate::sweep;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
+use nerve_obs::Obs;
 use nerve_serve::batcher::occupancy_label;
-use nerve_serve::{run_fleet, FleetConfig, FleetResult, OCCUPANCY_BUCKETS};
+use nerve_serve::{run_fleet, run_fleet_obs, FleetConfig, FleetResult, OCCUPANCY_BUCKETS};
+use nerve_tensor::meter;
 use nerve_video::rng::{seed_for, StreamComponent};
+use std::fmt::Write as _;
 
 /// The session counts one fleet report covers: 1 and 8 as fixed
 /// reference points, plus the requested count.
@@ -49,6 +52,39 @@ pub fn fleet_config(n: usize, chunks: usize, seed: u64) -> (FleetConfig, Network
 pub fn run_point(n: usize, chunks: usize, seed: u64) -> FleetResult {
     let (cfg, trace) = fleet_config(n, chunks, seed);
     run_fleet(&cfg, &trace)
+}
+
+/// The `--trace-out` payload: every fleet point re-run with the
+/// observability plane attached, rendered as one JSONL stream.
+///
+/// Per point: a `fleet_point` header line, the span/event log, the
+/// per-stage MACs/bytes cost profile, and the metrics snapshot. Each
+/// point's plane is private to its sweep unit and the units concatenate
+/// in fixed point order, and everything inside is stamped from virtual
+/// time — so the file is byte-identical at any `--jobs` value and
+/// across repeat runs.
+pub fn fleet_trace(sessions: usize, chunks: usize, seed: u64) -> String {
+    let points = fleet_points(sessions);
+    let traced = sweep::map(&points, |_, &n| {
+        let (cfg, trace) = fleet_config(n, chunks, seed);
+        let mut obs = Obs::trace();
+        meter::start();
+        let result = run_fleet_obs(&cfg, &trace, Some(&mut obs));
+        let profile = meter::stop();
+        profile.export(&obs.registry);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"fleet_point\":{n},\"digest_len\":{}}}",
+            result.digest().len()
+        );
+        if let Some(lines) = obs.trace_lines() {
+            out.push_str(lines);
+        }
+        out.push_str(&obs.registry.snapshot().render_jsonl());
+        out
+    });
+    traced.concat()
 }
 
 /// The full fleet report at a ladder of session counts.

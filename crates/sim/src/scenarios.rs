@@ -19,6 +19,7 @@ use nerve_abr::qoe::QualityMaps;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
+use nerve_obs::Obs;
 
 /// Canned hostile-network episodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,13 +124,41 @@ pub fn run_chaos(
     seed: u64,
     chunks: usize,
 ) -> SessionResult {
+    StreamingSession::new(chaos_config(scenario, kind, scheme, seed, chunks)).run()
+}
+
+/// The session configuration [`run_chaos`] builds: the same
+/// downscaled-trace setup as the session tests plus the scenario's fault
+/// plan, seeded independently of the loss processes.
+pub fn chaos_config(
+    scenario: ChaosScenario,
+    kind: NetworkKind,
+    scheme: Scheme,
+    seed: u64,
+    chunks: usize,
+) -> SessionConfig {
     let trace = NetworkTrace::generate(kind, seed).downscaled(1.5);
     let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
     let mut cfg = SessionConfig::new(trace, maps, scheme);
     cfg.chunks = chunks;
     cfg.seed = seed;
     cfg.faults = scenario.plan(seed ^ 0xFA17);
-    StreamingSession::new(cfg).run()
+    cfg
+}
+
+/// [`run_chaos`] with an observability plane attached: chunk spans and
+/// reconnect events go to the recorder and the session's metrics land in
+/// `obs.registry` — counters accumulate, so several runs can share one
+/// plane. Purely passive: the result is bit-identical to [`run_chaos`].
+pub fn run_chaos_obs(
+    scenario: ChaosScenario,
+    kind: NetworkKind,
+    scheme: Scheme,
+    seed: u64,
+    chunks: usize,
+    obs: &mut Obs,
+) -> SessionResult {
+    StreamingSession::new(chaos_config(scenario, kind, scheme, seed, chunks)).run_obs(obs)
 }
 
 /// [`run_chaos`] with the crash plane armed: outages past the policy's
@@ -143,12 +172,7 @@ pub fn run_chaos_with_reconnect(
     chunks: usize,
     policy: ReconnectPolicy,
 ) -> SessionResult {
-    let trace = NetworkTrace::generate(kind, seed).downscaled(1.5);
-    let maps = QualityMaps::placeholder(&[512, 1024, 1600, 2640, 4400]);
-    let mut cfg = SessionConfig::new(trace, maps, scheme);
-    cfg.chunks = chunks;
-    cfg.seed = seed;
-    cfg.faults = scenario.plan(seed ^ 0xFA17);
+    let mut cfg = chaos_config(scenario, kind, scheme, seed, chunks);
     cfg.reconnect = Some(policy);
     StreamingSession::new(cfg).run()
 }

@@ -36,6 +36,7 @@ use nerve_net::loss::{GilbertElliott, LossState};
 use nerve_net::quicish::QuicStream;
 use nerve_net::reliable::{ChannelStats, ReliableChannel, SendOutcome};
 use nerve_net::trace::NetworkTrace;
+use nerve_obs::{FieldValue, Obs, Registry};
 use nerve_video::resolution::{CHUNK_SECONDS, GOP_FRAMES};
 use nerve_video::rng::{seed_for, StreamComponent};
 
@@ -416,6 +417,59 @@ impl SessionResult {
         }
         crc32(&w.into_bytes())
     }
+
+    /// Export this result into a metrics registry. Degradation rungs and
+    /// point-code channel counters land as counters (so several sessions
+    /// can accumulate into one registry); scalar quality metrics land as
+    /// gauges.
+    pub fn export_metrics(&self, registry: &Registry) {
+        registry.gauge("session.qoe").set(self.qoe);
+        registry
+            .gauge("session.recovered_fraction")
+            .set(self.recovered_fraction);
+        registry
+            .gauge("session.recovered_frame_qoe")
+            .set(self.recovered_frame_qoe);
+        registry
+            .gauge("session.rebuffer_secs")
+            .set(self.total_rebuffer_secs);
+        registry
+            .gauge("session.downtime_secs")
+            .set(self.downtime_secs);
+        registry
+            .counter("session.chunks")
+            .add(self.chunks.len() as u64);
+        registry
+            .counter("session.reconnects")
+            .add(self.reconnects as u64);
+        registry
+            .counter("session.degradation.full")
+            .add(self.degradation.full as u64);
+        registry
+            .counter("session.degradation.warp_only")
+            .add(self.degradation.warp_only as u64);
+        registry
+            .counter("session.degradation.freeze")
+            .add(self.degradation.freeze as u64);
+        registry
+            .counter("session.degradation.stall")
+            .add(self.degradation.stall as u64);
+        registry
+            .counter("code.messages")
+            .add(self.code_stats.messages);
+        registry
+            .counter("code.retransmissions")
+            .add(self.code_stats.retransmissions);
+        registry
+            .counter("code.expired")
+            .add(self.code_stats.expired);
+        registry
+            .counter("code.corrupted")
+            .add(self.code_stats.corrupted);
+        registry
+            .counter("code.crc_detected")
+            .add(self.code_stats.crc_detected);
+    }
 }
 
 /// The streaming session runner (whole-session wrapper).
@@ -436,6 +490,20 @@ impl StreamingSession {
             runner.step();
         }
         runner.finish()
+    }
+
+    /// [`StreamingSession::run`] with an observability plane attached:
+    /// per-chunk spans and reconnect events go to the recorder, and the
+    /// final [`SessionResult`] is exported into the registry. Purely
+    /// passive — the result is bit-identical to [`StreamingSession::run`].
+    pub fn run_obs(self, obs: &mut Obs) -> SessionResult {
+        let mut runner = SessionRunner::new(self.config);
+        while !runner.is_done() {
+            runner.step_obs(Some(obs));
+        }
+        let result = runner.finish();
+        result.export_metrics(&obs.registry);
+        result
     }
 }
 
@@ -681,8 +749,26 @@ impl SessionRunner {
 
     /// Stream one chunk, then service any teardown event it crossed.
     pub fn step(&mut self) {
+        self.step_obs(None);
+    }
+
+    /// [`SessionRunner::step`] with an observability plane attached. Each
+    /// step emits one balanced `session.chunk` span keyed by the chunk
+    /// index and stamped with virtual time, plus a `session.reconnect`
+    /// event per teardown — both are pure functions of simulation state,
+    /// so a run resumed from a checkpoint continues the trace exactly
+    /// where the killed run's prefix stopped (concatenation is
+    /// byte-identical to an uninterrupted trace).
+    pub fn step_obs(&mut self, mut obs: Option<&mut Obs>) {
+        let idx = self.chunk_index as u64;
+        if let Some(o) = obs.as_deref_mut() {
+            o.open("session.chunk", idx, self.now.0);
+        }
         self.step_chunk();
-        self.service_reconnects();
+        if let Some(o) = obs.as_deref_mut() {
+            o.close(self.now.0);
+        }
+        self.service_reconnects(obs);
     }
 
     /// Crash plane: when the chunk just streamed ran into a pending
@@ -693,13 +779,24 @@ impl SessionRunner {
     /// does not continue the old one's fade pattern), which keeps
     /// kill-and-resume runs bit-identical: the reseed is a pure function
     /// of (seed, epoch), both of which the checkpoint carries.
-    fn service_reconnects(&mut self) {
+    fn service_reconnects(&mut self, mut obs: Option<&mut Obs>) {
         let Some(policy) = self.config.reconnect else {
             return;
         };
         while let Some(window) = self.events.get(self.epoch as usize).copied() {
             if self.now < window.start {
                 break;
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                o.event(
+                    "session.reconnect",
+                    self.epoch,
+                    self.now.0,
+                    &[
+                        ("outage_start_us", FieldValue::U64(window.start.0)),
+                        ("chunk", FieldValue::U64(self.chunk_index as u64)),
+                    ],
+                );
             }
             self.reconnects += 1;
             self.epoch += 1;
@@ -1240,6 +1337,34 @@ mod tests {
             "resumed run must be bit-identical to the uninterrupted one"
         );
         assert_eq!(r.reconnects, uninterrupted.reconnects);
+    }
+
+    #[test]
+    fn traced_session_matches_untraced_and_exports_metrics() {
+        let cfg = disconnect_cfg(22);
+        let plain = StreamingSession::new(cfg.clone()).run();
+        let mut obs = Obs::trace();
+        let traced = StreamingSession::new(cfg).run_obs(&mut obs);
+        assert_eq!(
+            plain.invariant_digest(),
+            traced.invariant_digest(),
+            "tracing must never change a result"
+        );
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counter("session.chunks"), Some(20));
+        assert_eq!(snap.counter("session.reconnects"), Some(1));
+        assert_eq!(snap.gauge("session.qoe"), Some(traced.qoe));
+        assert_eq!(
+            snap.counter("code.messages"),
+            Some(traced.code_stats.messages)
+        );
+        let lines = obs.trace_lines().unwrap();
+        assert_eq!(
+            lines.matches("\"name\":\"session.chunk\"").count(),
+            2 * 20,
+            "one open + one close per chunk"
+        );
+        assert_eq!(lines.matches("\"name\":\"session.reconnect\"").count(), 1);
     }
 
     #[test]

@@ -117,6 +117,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> 
         return out;
     }
     let macs = planes * plane_len * spec.in_channels * spec.kernel * spec.kernel;
+    // Meter hook: report the analytic cost on the caller's thread,
+    // before the worker split, so attribution is jobs-invariant.
+    crate::meter::add_work(
+        macs as u64,
+        4 * (input.data().len() + weight.data().len() + bias.len() + planes * plane_len) as u64,
+    );
     let workers = crate::par::workers().min(planes);
     if workers > 1 && !crate::par::in_pool() && macs >= PAR_MIN_MACS {
         // Contiguous plane ranges, one scoped thread each.

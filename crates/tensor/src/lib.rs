@@ -32,6 +32,7 @@ pub mod conv;
 pub mod flops;
 pub mod init;
 pub mod loss;
+pub mod meter;
 pub mod net;
 pub mod ops;
 pub mod optim;

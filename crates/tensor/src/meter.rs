@@ -1,0 +1,200 @@
+//! Thread-local compute meter: per-stage MACs/bytes attribution.
+//!
+//! The meter answers "where did the compute go?" for a pipeline run:
+//! [`conv2d`](crate::conv::conv2d) reports its analytic MAC count and
+//! bytes moved at entry (on the *caller's* thread, before any internal
+//! worker split — so counts are identical at every `--jobs` setting),
+//! and the innermost active [`stage`] scope receives the attribution.
+//! Hand-rolled kernels that never touch `conv2d` (optical flow, warps,
+//! inpainting) account themselves with [`add_work`].
+//!
+//! Design rules, in line with the observability plane (DESIGN.md):
+//!
+//! * **Thread-local, not global.** Each sweep worker owns its meter;
+//!   nothing races, nothing leaks across concurrent sessions. Start,
+//!   run, and take the profile on the same thread.
+//! * **Off by default, one branch when off.** Until [`start`] is
+//!   called, [`add_work`] is a TLS load and a boolean test — no
+//!   allocation, no string handling — and [`stage`] just runs its
+//!   closure. Enabling the meter cannot change any result: it only
+//!   observes.
+//! * **Deterministic output.** Stage order in the returned
+//!   [`CostProfile`] is first-entry order of the serial pipeline.
+//!
+//! ```
+//! use nerve_tensor::meter;
+//! meter::start();
+//! let x = meter::stage("enhance", || {
+//!     meter::add_work(1_000, 4_096);
+//!     42
+//! });
+//! let profile = meter::stop();
+//! assert_eq!(x, 42);
+//! assert_eq!(profile.stage("enhance").macs, 1_000);
+//! ```
+
+use nerve_obs::CostProfile;
+use std::cell::RefCell;
+
+/// Stage label used when work arrives outside any [`stage`] scope.
+pub const UNATTRIBUTED: &str = "other";
+
+struct Meter {
+    enabled: bool,
+    stack: Vec<&'static str>,
+    profile: CostProfile,
+}
+
+thread_local! {
+    static METER: RefCell<Meter> = const {
+        RefCell::new(Meter {
+            enabled: false,
+            stack: Vec::new(),
+            profile: CostProfile { stages: Vec::new() },
+        })
+    };
+}
+
+/// Start (or restart) metering on this thread, clearing any previous
+/// profile.
+pub fn start() {
+    METER.with(|m| {
+        let mut m = m.borrow_mut();
+        m.enabled = true;
+        m.stack.clear();
+        m.profile = CostProfile::default();
+    });
+}
+
+/// Stop metering and take the accumulated profile.
+pub fn stop() -> CostProfile {
+    METER.with(|m| {
+        let mut m = m.borrow_mut();
+        m.enabled = false;
+        m.stack.clear();
+        std::mem::take(&mut m.profile)
+    })
+}
+
+/// Whether the meter is currently recording on this thread.
+pub fn is_enabled() -> bool {
+    METER.with(|m| m.borrow().enabled)
+}
+
+/// Run `f` inside a named attribution scope. Nested scopes attribute to
+/// the innermost name. When the meter is disabled this is a single TLS
+/// boolean test around calling `f`. The scope is popped even if `f`
+/// panics, so a caught panic cannot misattribute later work.
+pub fn stage<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let entered = METER.with(|m| {
+        let mut m = m.borrow_mut();
+        if !m.enabled {
+            return false;
+        }
+        m.stack.push(name);
+        m.profile.stage_mut(name).calls += 1;
+        true
+    });
+    if !entered {
+        return f();
+    }
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            METER.with(|m| {
+                m.borrow_mut().stack.pop();
+            });
+        }
+    }
+    let _pop = Pop;
+    f()
+}
+
+/// Record `macs` multiply-accumulates and `bytes` moved against the
+/// innermost active stage (or [`UNATTRIBUTED`] outside any scope).
+/// No-op (one TLS boolean test) when the meter is disabled.
+pub fn add_work(macs: u64, bytes: u64) {
+    METER.with(|m| {
+        let mut m = m.borrow_mut();
+        if !m.enabled {
+            return;
+        }
+        let name = m.stack.last().copied().unwrap_or(UNATTRIBUTED);
+        m.profile.stage_mut(name).add(macs, bytes);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_meter_records_nothing() {
+        let _ = stop();
+        let x = stage("flow", || {
+            add_work(100, 200);
+            7
+        });
+        assert_eq!(x, 7);
+        assert_eq!(stop(), CostProfile::default());
+    }
+
+    #[test]
+    fn stages_attribute_to_innermost() {
+        start();
+        stage("flow", || add_work(10, 1));
+        stage("enhance", || {
+            add_work(100, 2);
+            stage("inpaint", || add_work(1000, 3));
+            add_work(100, 2);
+        });
+        add_work(5, 5);
+        let p = stop();
+        assert_eq!(p.stage("flow").macs, 10);
+        assert_eq!(p.stage("enhance").macs, 200);
+        assert_eq!(p.stage("inpaint").macs, 1000);
+        assert_eq!(p.stage(UNATTRIBUTED).macs, 5);
+        assert_eq!(p.stage("enhance").calls, 1);
+        let names: Vec<_> = p.stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["flow", "enhance", "inpaint", "other"]);
+    }
+
+    #[test]
+    fn conv2d_reports_analytic_macs_at_any_worker_count() {
+        use crate::conv::{conv2d, ConvSpec};
+        use crate::Tensor;
+        let _guard = crate::par::test_lock();
+        let spec = ConvSpec::same(2, 3, 3);
+        let input = Tensor::full(1, 2, 8, 8, 0.5);
+        let weight = Tensor::zeros(3, 2, 3, 3);
+        let bias = vec![0.0; 3];
+        let expected_macs = (3 * 8 * 8 * 2 * 3 * 3) as u64;
+        let expected_bytes =
+            4 * (input.data().len() + weight.data().len() + bias.len() + 3 * 8 * 8) as u64;
+
+        let prev = crate::par::workers();
+        let mut profiles = Vec::new();
+        for workers in [1, 4] {
+            crate::par::set_workers(workers);
+            start();
+            stage("enhance", || {
+                let _ = conv2d(&input, &weight, &bias, spec);
+            });
+            profiles.push(stop());
+        }
+        crate::par::set_workers(prev);
+        assert_eq!(profiles[0], profiles[1], "meter must be jobs-invariant");
+        assert_eq!(profiles[0].stage("enhance").macs, expected_macs);
+        assert_eq!(profiles[0].stage("enhance").bytes, expected_bytes);
+    }
+
+    #[test]
+    fn restart_clears_previous_profile() {
+        start();
+        add_work(1, 1);
+        start();
+        add_work(2, 2);
+        let p = stop();
+        assert_eq!(p.stage(UNATTRIBUTED).macs, 2);
+    }
+}

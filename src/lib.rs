@@ -21,8 +21,9 @@
 //! a block-based motion-compensated codec ([`codec`]), Reed–Solomon FEC
 //! ([`fec`]), pyramidal Lucas–Kanade optical flow ([`flow`]), and a
 //! discrete-event network simulator with TCP-like and QUIC-like
-//! transports ([`net`]). The end-to-end streaming system and the
-//! per-figure experiment runners live in [`sim`].
+//! transports ([`net`]), and a deterministic virtual-time observability
+//! plane ([`obs`]). The end-to-end streaming system and the per-figure
+//! experiment runners live in [`sim`].
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use nerve_core as core;
 pub use nerve_fec as fec;
 pub use nerve_flow as flow;
 pub use nerve_net as net;
+pub use nerve_obs as obs;
 pub use nerve_serve as serve;
 pub use nerve_sim as sim;
 pub use nerve_tensor as tensor;
@@ -78,7 +80,8 @@ pub mod prelude {
     };
     pub use nerve_fec::rs::ReedSolomon;
     pub use nerve_net::trace::{NetworkKind, NetworkTrace, TraceGenerator};
-    pub use nerve_serve::{run_fleet, FleetConfig, FleetResult};
+    pub use nerve_obs::{Obs, Registry};
+    pub use nerve_serve::{run_fleet, run_fleet_obs, FleetConfig, FleetResult};
     pub use nerve_sim::session::{SessionConfig, StreamingSession};
     pub use nerve_video::{
         frame::Frame,

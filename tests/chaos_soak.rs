@@ -12,7 +12,10 @@ use nerve_net::link::Link;
 use nerve_net::loss::Bernoulli;
 use nerve_net::reliable::ReliableChannel;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
-use nerve_sim::scenarios::{run_chaos, run_chaos_matrix, run_chaos_with_reconnect, ChaosScenario};
+use nerve_obs::Obs;
+use nerve_sim::scenarios::{
+    run_chaos, run_chaos_matrix, run_chaos_obs, run_chaos_with_reconnect, ChaosScenario,
+};
 use nerve_sim::session::{ReconnectPolicy, Scheme};
 
 const CHUNKS: usize = 12;
@@ -26,17 +29,23 @@ const RTO_SLACK_SECS: f64 = 1.0;
 
 #[test]
 fn kitchen_sink_survives_on_every_network_kind() {
-    let mut code_hits = 0u64;
+    // One metrics plane for the whole matrix: per-run counters
+    // accumulate, so the code-channel health of the entire soak is read
+    // from a single snapshot at the end.
+    let mut obs = Obs::metrics_only();
+    let mut runs = 0u64;
     for kind in NetworkKind::ALL {
         for seed in [1u64, 7] {
             let clean = run_chaos(ChaosScenario::Clean, kind, Scheme::nerve(), seed, CHUNKS);
-            let chaos = run_chaos(
+            let chaos = run_chaos_obs(
                 ChaosScenario::KitchenSink,
                 kind,
                 Scheme::nerve(),
                 seed,
                 CHUNKS,
+                &mut obs,
             );
+            runs += 1;
             let label = format!("{} seed {seed}", kind.label());
 
             // Termination with the requested shape, finite QoE.
@@ -60,23 +69,32 @@ fn kitchen_sink_survives_on_every_network_kind() {
                 clean.total_rebuffer_secs,
                 budget - clean.total_rebuffer_secs,
             );
-
-            // Collected across the matrix below. Per-run counts can
-            // legitimately be zero (on a slow kind the fault windows may
-            // not line up with any code's flight), and frame-level
-            // degradation is NOT compared against clean — under chaos
-            // the ABR drops to cheaper rungs, which can mean *fewer*
-            // late frames.
-            code_hits += chaos.code_stats.expired
-                + chaos.code_stats.corrupted
-                + chaos.code_stats.crc_detected;
         }
     }
     // The fault plan actually bit somewhere: across the matrix the code
-    // channel recorded expiries or corrupted deliveries.
+    // channel recorded expiries or corrupted deliveries. Per-run counts
+    // can legitimately be zero (on a slow kind the fault windows may not
+    // line up with any code's flight), and frame-level degradation is
+    // NOT compared against clean — under chaos the ABR drops to cheaper
+    // rungs, which can mean *fewer* late frames.
+    let snap = obs.registry.snapshot();
+    let code_hits = snap.counter("code.expired").unwrap_or(0)
+        + snap.counter("code.corrupted").unwrap_or(0)
+        + snap.counter("code.crc_detected").unwrap_or(0);
     assert!(
         code_hits > 0,
         "kitchen sink never touched the code channel on any network kind"
+    );
+    // The registry saw every run: chunk and message accounting covers
+    // the full matrix.
+    assert_eq!(
+        snap.counter("session.chunks"),
+        Some(runs * CHUNKS as u64),
+        "every chaos chunk must land in the registry"
+    );
+    assert!(
+        snap.counter("code.messages").unwrap_or(0) >= runs,
+        "the code channel must carry traffic in every run"
     );
 }
 
@@ -101,24 +119,43 @@ fn disconnect_soak_reconnects_and_is_digest_stable() {
                     ReconnectPolicy::default(),
                 )
             };
-            let a = run();
+            // One arm runs with the metrics plane attached — the
+            // reconnect accounting is asserted from the registry, and
+            // digest equality with the untraced arm proves the plane
+            // never perturbs the session.
+            let mut obs = Obs::metrics_only();
+            let mut cfg = nerve_sim::scenarios::chaos_config(
+                ChaosScenario::Disconnect,
+                kind,
+                Scheme::nerve(),
+                seed,
+                CHUNKS,
+            );
+            cfg.reconnect = Some(ReconnectPolicy::default());
+            let a = nerve_sim::session::StreamingSession::new(cfg).run_obs(&mut obs);
             let b = run();
             let label = format!("{} seed {seed}", kind.label());
 
+            let snap = obs.registry.snapshot();
             assert_eq!(a.chunks.len(), CHUNKS, "{label}");
+            assert_eq!(
+                snap.counter("session.chunks"),
+                Some(CHUNKS as u64),
+                "{label}"
+            );
             assert!(a.qoe.is_finite(), "{label}: QoE {}", a.qoe);
             assert!(
-                a.reconnects >= 1,
+                snap.counter("session.reconnects").unwrap_or(0) >= 1,
                 "{label}: a 3 s bearer death past the 1.5 s threshold must reconnect"
             );
             assert!(
-                a.downtime_secs > 0.0,
+                snap.gauge("session.downtime_secs").unwrap_or(0.0) > 0.0,
                 "{label}: reconnects must account downtime"
             );
             assert_eq!(
                 a.invariant_digest(),
                 b.invariant_digest(),
-                "{label}: reconnect soak must be digest-stable across repeats"
+                "{label}: traced reconnect soak must be digest-stable against the untraced arm"
             );
 
             // Without the policy the same plan is an ordinary blackout:
@@ -140,18 +177,36 @@ fn disconnect_soak_reconnects_and_is_digest_stable() {
 fn degradation_is_graceful_not_binary() {
     // Under the kitchen sink the recovery ladder should actually be a
     // ladder: full recoveries where the code made it, freezes where it
-    // could not — not a single all-or-nothing outcome.
-    let mut full = 0usize;
-    let mut fallback = 0usize;
+    // could not — not a single all-or-nothing outcome. The per-rung
+    // counts accumulate in one shared metrics plane and are asserted
+    // from its snapshot.
+    let mut obs = Obs::metrics_only();
     for kind in NetworkKind::ALL {
-        let r = run_chaos(ChaosScenario::KitchenSink, kind, Scheme::nerve(), 3, CHUNKS);
-        full += r.degradation.full;
-        fallback += r.degradation.warp_only + r.degradation.freeze;
-        // Recovery schemes never stall: every miss lands on a rung.
-        assert_eq!(r.degradation.stall, 0, "{}", kind.label());
+        run_chaos_obs(
+            ChaosScenario::KitchenSink,
+            kind,
+            Scheme::nerve(),
+            3,
+            CHUNKS,
+            &mut obs,
+        );
     }
-    assert!(full > 0, "no frame ever got a full recovery under chaos");
-    assert!(fallback > 0, "no frame ever degraded below full recovery");
+    let snap = obs.registry.snapshot();
+    let rung = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(
+        rung("session.degradation.full") > 0,
+        "no frame ever got a full recovery under chaos"
+    );
+    assert!(
+        rung("session.degradation.warp_only") + rung("session.degradation.freeze") > 0,
+        "no frame ever degraded below full recovery"
+    );
+    // Recovery schemes never stall: every miss lands on a rung.
+    assert_eq!(
+        rung("session.degradation.stall"),
+        0,
+        "a recovery scheme recorded a stall somewhere in the matrix"
+    );
 }
 
 #[test]

@@ -91,16 +91,22 @@ fn sr_beats_bilinear_at_both_scales() {
 /// ratio bounded, sheds load visibly (≥1 downgraded session, every
 /// missed budget behind a degradation counter), and its result digest is
 /// byte-identical at 1 and 4 tensor-pool workers (`--jobs 1` vs
-/// `--jobs 4`).
+/// `--jobs 4`). The serial arm runs with the metrics plane attached, so
+/// the aggregates are asserted from the recorded registry snapshot —
+/// and digest equality with the untraced parallel arm doubles as proof
+/// that the plane is passive.
 #[test]
 fn fleet_64_sessions_is_stable_and_jobs_invariant() {
     use nerve::sim::experiments::fleet::fleet_config;
     use nerve::sim::sweep;
+    use nerve_obs::Obs;
+    use nerve_serve::run_fleet_obs;
 
     let (cfg, trace) = fleet_config(64, 3, 97);
     let prev = sweep::workers();
     sweep::set_workers(1);
-    let serial = run_fleet(&cfg, &trace);
+    let mut obs = Obs::metrics_only();
+    let serial = run_fleet_obs(&cfg, &trace, Some(&mut obs));
     sweep::set_workers(4);
     let parallel = run_fleet(&cfg, &trace);
     sweep::set_workers(prev);
@@ -108,18 +114,19 @@ fn fleet_64_sessions_is_stable_and_jobs_invariant() {
     assert_eq!(
         serial.digest(),
         parallel.digest(),
-        "fleet result must be byte-identical at --jobs 1 and --jobs 4"
+        "traced fleet must be byte-identical to the untraced one at --jobs 4"
     );
 
+    let snap = obs.registry.snapshot();
     let r = serial;
     assert_eq!(r.sessions.len(), 64);
+    let stall = snap.gauge("fleet.stall_ratio").expect("stall gauge");
     assert!(
-        r.stall_ratio < 0.6,
-        "aggregate stall ratio {:.3} must stay bounded",
-        r.stall_ratio
+        stall < 0.6,
+        "aggregate stall ratio {stall:.3} must stay bounded"
     );
     assert!(
-        r.downgraded >= 1,
+        snap.counter("fleet.sessions.downgraded").unwrap_or(0) >= 1,
         "admission must downgrade at least one session: {}/{}/{}",
         r.accepted,
         r.downgraded,
@@ -135,13 +142,20 @@ fn fleet_64_sessions_is_stable_and_jobs_invariant() {
             s.id
         );
     }
-    // Cross-session batching actually happened.
-    let multi: usize = r.batcher.occupancy[1..].iter().sum();
-    assert!(
-        multi > 0,
-        "expected multi-job batches: {:?}",
-        r.batcher.occupancy
+    // ... and the registry agrees with the summed per-session view.
+    let jobs: usize = r.sessions.iter().map(|s| s.counters.jobs).sum();
+    assert_eq!(
+        snap.counter("fleet.jobs.enqueued"),
+        Some(jobs as u64),
+        "recorded enqueue count must match per-session job totals"
     );
+    // Cross-session batching actually happened: the occupancy histogram
+    // saw batches above the first (size-1) bucket.
+    let (buckets, _, _) = snap
+        .histogram("batcher.occupancy")
+        .expect("occupancy histogram");
+    let multi: u64 = buckets[1..].iter().map(|&(_, n)| n).sum();
+    assert!(multi > 0, "expected multi-job batches: {buckets:?}");
 }
 
 /// The crash plane at fleet scale: session crashes, one server restart,
@@ -156,6 +170,8 @@ fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
     use nerve::serve::{ServerRestart, SessionCrash};
     use nerve::sim::experiments::fleet::fleet_config;
     use nerve::sim::sweep;
+    use nerve_obs::Obs;
+    use nerve_serve::run_fleet_obs;
 
     let (mut cfg, trace) = fleet_config(24, 3, 53);
     cfg.crash_plan = vec![
@@ -183,7 +199,8 @@ fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
 
     let prev = sweep::workers();
     sweep::set_workers(1);
-    let serial = run_fleet(&cfg, &trace);
+    let mut obs = Obs::metrics_only();
+    let serial = run_fleet_obs(&cfg, &trace, Some(&mut obs));
     sweep::set_workers(4);
     let parallel = run_fleet(&cfg, &trace);
     sweep::set_workers(prev);
@@ -194,13 +211,18 @@ fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
         "crash/restart/breaker fleet must be byte-identical at --jobs 1 and --jobs 4"
     );
 
+    let snap = obs.registry.snapshot();
     let r = serial;
     assert_eq!(r.sessions.len(), 24);
-    assert_eq!(r.server_restarts, 1);
+    assert_eq!(
+        snap.counter("fleet.server_restarts"),
+        Some(1),
+        "the planned restart must be recorded"
+    );
     assert!(
-        r.crashes >= 1,
-        "at least one planned crash must land mid-session: {}",
-        r.crashes
+        snap.counter("fleet.crashes").unwrap_or(0) >= 1,
+        "at least one planned crash must land mid-session: {:?}",
+        snap.counter("fleet.crashes")
     );
     // The digest exposes the resilience counters, so a regression in
     // crash or breaker behavior shows up as a digest change.
