@@ -76,6 +76,17 @@ pub struct BreakerCounters {
     pub fast_shed: u64,
 }
 
+/// Serializable position of a breaker (checkpoint payload): everything
+/// mutable, nothing from the config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSnapshot {
+    pub state: BreakerState,
+    pub streak: usize,
+    pub opened_at_secs: f64,
+    pub probes_issued: usize,
+    pub counters: BreakerCounters,
+}
+
 /// The breaker itself. Drive it with [`begin_flush`](Self::begin_flush) /
 /// [`allow_full`](Self::allow_full) / [`record`](Self::record); all
 /// methods are O(1) and deterministic.
@@ -180,6 +191,29 @@ impl CircuitBreaker {
         }
     }
 
+    /// Snapshot the full mutable state for a checkpoint. The config does
+    /// not travel — the resuming caller reconstructs it.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            streak: self.streak,
+            opened_at_secs: self.opened_at_secs,
+            probes_issued: self.probes_issued,
+            counters: self.counters,
+        }
+    }
+
+    /// Restore a snapshot taken by [`snapshot`](Self::snapshot): the
+    /// breaker continues mid-cooldown / mid-probe exactly where the
+    /// killed instance stopped.
+    pub fn restore(&mut self, snap: BreakerSnapshot) {
+        self.state = snap.state;
+        self.streak = snap.streak;
+        self.opened_at_secs = snap.opened_at_secs;
+        self.probes_issued = snap.probes_issued;
+        self.counters = snap.counters;
+    }
+
     /// Force-open after a flush overran its compute budget.
     pub fn trip_watchdog(&mut self, now_secs: f64) {
         self.counters.watchdog_trips += 1;
@@ -272,6 +306,29 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         b.begin_flush(2.6);
         assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.begin_flush(0.0);
+        for _ in 0..3 {
+            b.record(false, 0.4);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        let snap = b.snapshot();
+
+        let mut resumed = CircuitBreaker::new(cfg());
+        resumed.restore(snap);
+        // Both instances see the cooldown expire at the same flush and
+        // walk the identical probe cycle afterwards.
+        for inst in [&mut b, &mut resumed] {
+            inst.begin_flush(1.5);
+            assert_eq!(inst.state(), BreakerState::HalfOpen);
+            assert!(inst.allow_full());
+            inst.record(true, 1.5);
+        }
+        assert_eq!(b.snapshot(), resumed.snapshot());
     }
 
     #[test]

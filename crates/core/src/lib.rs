@@ -28,13 +28,17 @@ pub mod baselines;
 pub mod breaker;
 pub mod device;
 pub mod error;
+pub mod live;
 pub mod point_code;
 pub mod recovery;
 pub mod sr;
 pub mod train;
 
-pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerCounters, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use error::RecoveryError;
+pub use live::{
+    choose_repair, LivePolicy, LivePolicyConfig, RepairAction, RepairContext, RepairCosts,
+};
 pub use point_code::{PointCode, PointCodeConfig, PointCodeEncoder};
 pub use recovery::{DegradationLadder, DegradationRung, RecoveryConfig, RecoveryModel};
 pub use sr::{SrConfig, SuperResolver};

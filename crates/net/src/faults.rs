@@ -28,6 +28,33 @@ use serde::{Deserialize, Serialize};
 /// Errors from fault-plan construction/validation (see [`crate::NetError`]).
 use crate::error::NetError;
 
+/// Which way a packet is travelling relative to the client.
+///
+/// The media and point-code transports carry server → client traffic
+/// ([`Direction::Downlink`]); the RTCP-style feedback channel
+/// ([`crate::feedback`]) carries client → server traffic
+/// ([`Direction::Uplink`]). Directional faults let a scenario impair the
+/// feedback path independently of media loss — an uplink collapse that
+/// silences every NACK/FIR while frames keep flowing down, or the
+/// reverse.
+///
+/// **Contract.** Bearer-level faults (blackouts, disconnects, loss
+/// bursts, delay spikes, …) are direction-agnostic: they model the radio
+/// link itself and hit both directions, so [`FaultPlan::dir_lose_at`]
+/// and [`FaultPlan::dir_extra_delay`] always layer the directional
+/// faults *on top of* the direction-agnostic answer. The legacy
+/// direction-agnostic queries ([`FaultPlan::lose_at`],
+/// [`FaultPlan::extra_delay`]) ignore directional faults entirely, so
+/// adding uplink impairment to a plan never perturbs an existing media
+/// transport's draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client → server (feedback: NACK, PLI/FIR).
+    Uplink,
+    /// Server → client (media frames, point codes, retransmits).
+    Downlink,
+}
+
 /// A half-open window `[start, start + duration)` of simulation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultWindow {
@@ -99,6 +126,22 @@ pub enum Fault {
     /// `SessionCheckpoint` after the window closes plus a handshake.
     /// A short blackout never forces teardown; a disconnect always does.
     Disconnect(FaultWindow),
+    /// Additional per-packet loss in one direction only. Queried via
+    /// [`FaultPlan::dir_lose_at`]; invisible to the direction-agnostic
+    /// [`FaultPlan::lose_at`] (see [`Direction`] for the contract).
+    DirLoss {
+        dir: Direction,
+        window: FaultWindow,
+        probability: f64,
+    },
+    /// Constant extra one-way delay in one direction only. Queried via
+    /// [`FaultPlan::dir_extra_delay`]; invisible to the
+    /// direction-agnostic [`FaultPlan::extra_delay`].
+    DirDelay {
+        dir: Direction,
+        window: FaultWindow,
+        extra: SimTime,
+    },
 }
 
 impl Fault {
@@ -111,7 +154,9 @@ impl Fault {
             | Fault::LossBurst { window, .. }
             | Fault::Reorder { window, .. }
             | Fault::Duplicate { window, .. }
-            | Fault::Corrupt { window, .. } => *window,
+            | Fault::Corrupt { window, .. }
+            | Fault::DirLoss { window, .. }
+            | Fault::DirDelay { window, .. } => *window,
             Fault::Disconnect(w) => *w,
         }
     }
@@ -246,6 +291,44 @@ impl FaultPlan {
         })
     }
 
+    /// Extra per-packet loss on the client → server feedback path only
+    /// (NACKs and FIRs silently vanish; media keeps flowing).
+    pub fn uplink_loss(self, at: SimTime, duration: SimTime, probability: f64) -> Self {
+        self.fault(Fault::DirLoss {
+            dir: Direction::Uplink,
+            window: FaultWindow::new(at, duration),
+            probability,
+        })
+    }
+
+    /// Extra per-packet loss on the server → client path only (media and
+    /// retransmits drop; feedback still gets through).
+    pub fn downlink_loss(self, at: SimTime, duration: SimTime, probability: f64) -> Self {
+        self.fault(Fault::DirLoss {
+            dir: Direction::Downlink,
+            window: FaultWindow::new(at, duration),
+            probability,
+        })
+    }
+
+    /// Constant extra one-way delay on the uplink only.
+    pub fn uplink_delay(self, at: SimTime, duration: SimTime, extra: SimTime) -> Self {
+        self.fault(Fault::DirDelay {
+            dir: Direction::Uplink,
+            window: FaultWindow::new(at, duration),
+            extra,
+        })
+    }
+
+    /// Constant extra one-way delay on the downlink only.
+    pub fn downlink_delay(self, at: SimTime, duration: SimTime, extra: SimTime) -> Self {
+        self.fault(Fault::DirDelay {
+            dir: Direction::Downlink,
+            window: FaultWindow::new(at, duration),
+            extra,
+        })
+    }
+
     /// Set the fraction of corrupted deliveries that beat the checksum
     /// (classified [`Corruption::Residual`] instead of
     /// [`Corruption::Detected`]).
@@ -310,10 +393,19 @@ impl FaultPlan {
                         });
                     }
                 }
+                Fault::DirLoss { probability, .. } => {
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(NetError::InvalidProbability {
+                            what: "directional loss probability",
+                            value: probability,
+                        });
+                    }
+                }
                 Fault::Blackout(_)
                 | Fault::Disconnect(_)
                 | Fault::DelaySpike { .. }
-                | Fault::JitterBurst { .. } => {}
+                | Fault::JitterBurst { .. }
+                | Fault::DirDelay { .. } => {}
             }
         }
         if !(0.0..=1.0).contains(&self.residual_corrupt_rate) {
@@ -386,6 +478,51 @@ impl FaultPlan {
             }
         }
         false
+    }
+
+    /// Does injected loss claim a packet travelling `dir` at `t`?
+    /// Bearer-level loss (blackouts, loss bursts) applies to both
+    /// directions; [`Fault::DirLoss`] windows matching `dir` layer on
+    /// top, each drawing from its own fault-index hash stream so
+    /// enabling a directional fault never perturbs existing draws.
+    pub fn dir_lose_at(&self, dir: Direction, t: SimTime, salt: u64) -> bool {
+        if self.lose_at(t, salt) {
+            return true;
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            if let Fault::DirLoss {
+                dir: d,
+                window,
+                probability,
+            } = f
+            {
+                if *d == dir && window.contains(t) && self.hash01(t, salt, i as u64) < *probability
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Extra one-way delay for a delivery travelling `dir` at `t`:
+    /// the direction-agnostic [`FaultPlan::extra_delay`] (spikes +
+    /// jitter) plus every [`Fault::DirDelay`] window matching `dir`.
+    pub fn dir_extra_delay(&self, dir: Direction, t: SimTime, salt: u64) -> SimTime {
+        let mut extra = self.extra_delay(t, salt);
+        for f in &self.faults {
+            if let Fault::DirDelay {
+                dir: d,
+                window,
+                extra: e,
+            } = f
+            {
+                if *d == dir && window.contains(t) {
+                    extra += *e;
+                }
+            }
+        }
+        extra
     }
 
     /// Extra hold-back delay (reordering) for a packet delivered at `t`.
@@ -847,6 +984,105 @@ mod tests {
         assert_eq!(fl.packets(), 2);
         fl.set_packets(7);
         assert_eq!(fl.packets(), 7);
+    }
+
+    #[test]
+    fn directional_loss_hits_only_its_direction() {
+        let p = FaultPlan::new(31)
+            .uplink_loss(secs(2.0), secs(2.0), 1.0)
+            .downlink_loss(secs(6.0), secs(2.0), 1.0);
+        // Uplink window: uplink packets die, downlink packets pass.
+        assert!(p.dir_lose_at(Direction::Uplink, secs(3.0), 0));
+        assert!(!p.dir_lose_at(Direction::Downlink, secs(3.0), 0));
+        // Downlink window: the reverse.
+        assert!(!p.dir_lose_at(Direction::Uplink, secs(7.0), 0));
+        assert!(p.dir_lose_at(Direction::Downlink, secs(7.0), 0));
+        // Outside both windows nothing is lost.
+        assert!(!p.dir_lose_at(Direction::Uplink, secs(10.0), 0));
+        assert!(!p.dir_lose_at(Direction::Downlink, secs(10.0), 0));
+        // The direction-agnostic query never sees directional faults.
+        for i in 0..200u64 {
+            assert!(!p.lose_at(SimTime::from_millis(i * 50), i));
+        }
+        assert!(p.validate().is_ok());
+        assert_eq!(p.horizon(), secs(8.0));
+    }
+
+    #[test]
+    fn bearer_level_faults_hit_both_directions() {
+        let p = FaultPlan::new(32).blackout(secs(1.0), secs(1.0));
+        assert!(p.dir_lose_at(Direction::Uplink, secs(1.5), 0));
+        assert!(p.dir_lose_at(Direction::Downlink, secs(1.5), 0));
+        assert!(!p.dir_lose_at(Direction::Uplink, secs(2.5), 0));
+    }
+
+    #[test]
+    fn directional_delay_layers_on_shared_delay() {
+        let p = FaultPlan::new(33)
+            .delay_spike(secs(0.0), secs(10.0), SimTime::from_millis(40))
+            .uplink_delay(secs(0.0), secs(10.0), SimTime::from_millis(30));
+        // Downlink sees only the bearer-level spike.
+        assert_eq!(
+            p.dir_extra_delay(Direction::Downlink, secs(1.0), 0),
+            SimTime::from_millis(40)
+        );
+        // Uplink sees the spike plus its directional extra.
+        assert_eq!(
+            p.dir_extra_delay(Direction::Uplink, secs(1.0), 0),
+            SimTime::from_millis(70)
+        );
+        // The direction-agnostic query ignores the directional extra.
+        assert_eq!(p.extra_delay(secs(1.0), 0), SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn directional_rates_draw_near_their_probability_and_deterministically() {
+        let p = FaultPlan::new(34).uplink_loss(secs(0.0), secs(1000.0), 0.3);
+        let q = FaultPlan::new(34).uplink_loss(secs(0.0), secs(1000.0), 0.3);
+        let n = 20_000u64;
+        let mut losses = 0;
+        for i in 0..n {
+            let t = SimTime::from_micros(i * 7 + 13);
+            let hit = p.dir_lose_at(Direction::Uplink, t, i);
+            assert_eq!(hit, q.dir_lose_at(Direction::Uplink, t, i));
+            if hit {
+                losses += 1;
+            }
+        }
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "uplink loss rate {rate}");
+    }
+
+    #[test]
+    fn adding_directional_faults_never_perturbs_existing_draws() {
+        // The satellite contract: feedback impairment is injectable
+        // separately from media loss. Same seed, same loss burst — with
+        // and without an uplink collapse appended — must produce the
+        // *identical* media-side draw sequence.
+        let base = FaultPlan::new(35).loss_burst(secs(0.0), secs(100.0), 0.4);
+        let with_uplink = base.clone().uplink_loss(secs(0.0), secs(100.0), 1.0);
+        for i in 0..2_000u64 {
+            let t = SimTime::from_micros(i * 31);
+            assert_eq!(base.lose_at(t, i), with_uplink.lose_at(t, i));
+            assert_eq!(
+                base.dir_lose_at(Direction::Downlink, t, i),
+                with_uplink.dir_lose_at(Direction::Downlink, t, i)
+            );
+            assert_eq!(base.extra_delay(t, i), with_uplink.extra_delay(t, i));
+        }
+    }
+
+    #[test]
+    fn directional_validation_rejects_bad_probability() {
+        assert!(FaultPlan::new(1)
+            .uplink_loss(secs(0.0), secs(1.0), 1.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(1)
+            .downlink_loss(secs(0.0), secs(1.0), 0.5)
+            .uplink_delay(secs(0.0), secs(1.0), SimTime::from_millis(10))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -20,8 +20,13 @@
 //!   loss for QUIC on 5G).
 //! * [`faults`] — composable, seed-deterministic fault injection
 //!   (blackouts, flaps, delay spikes, jitter, collapse, reorder,
-//!   duplication, corruption, disconnects) layered over all of the
-//!   above.
+//!   duplication, corruption, disconnects, directional uplink/downlink
+//!   impairment) layered over all of the above.
+//! * [`feedback`] — the RTCP-style uplink feedback channel (NACK with
+//!   retry caps + backoff, PLI/FIR keyframe-on-demand), itself subject
+//!   to the fault plan's uplink impairment.
+//! * [`jitter`] — the live-mode adaptive jitter buffer (RFC 3550
+//!   interarrival-jitter EWMA driving playout-delay adaptation).
 //! * [`integrity`] — dependency-free CRC32 payload framing shared by
 //!   every wire format in the workspace; detected corruption becomes an
 //!   erasure instead of rendered garbage.
@@ -30,7 +35,9 @@
 pub mod clock;
 pub mod error;
 pub mod faults;
+pub mod feedback;
 pub mod integrity;
+pub mod jitter;
 pub mod link;
 pub mod loss;
 pub mod queue;
@@ -41,6 +48,8 @@ pub mod trace;
 
 pub use clock::SimTime;
 pub use error::NetError;
-pub use faults::{Corruption, Fault, FaultPlan, FaultWindow, FaultyLoss};
+pub use faults::{Corruption, Direction, Fault, FaultPlan, FaultWindow, FaultyLoss};
+pub use feedback::{FeedbackChannel, FeedbackConfig, FeedbackKind, FeedbackState, NackOutcome};
+pub use jitter::{JitterBuffer, JitterConfig, JitterState};
 pub use loss::LossState;
 pub use trace::{NetworkKind, NetworkTrace};

@@ -70,6 +70,28 @@ impl TokenBucket {
     pub fn available(&self) -> f64 {
         self.tokens
     }
+
+    /// Snapshot the mutable state for a checkpoint (rate and capacity
+    /// travel with the reconstructing config).
+    pub fn state(&self) -> TokenBucketState {
+        TokenBucketState {
+            tokens: self.tokens,
+            last_refill: self.last_refill,
+        }
+    }
+
+    /// Restore a snapshot taken by [`state`](Self::state).
+    pub fn restore(&mut self, state: TokenBucketState) {
+        self.tokens = state.tokens.clamp(0.0, self.capacity);
+        self.last_refill = state.last_refill;
+    }
+}
+
+/// Serializable position of a [`TokenBucket`] (checkpoint payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketState {
+    pub tokens: f64,
+    pub last_refill: SimTime,
 }
 
 /// Resource budgets for the admission controller.

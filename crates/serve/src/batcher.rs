@@ -131,7 +131,9 @@ impl ServerModel {
         }
     }
 
-    fn spec(&self) -> ConvSpec {
+    /// The backbone's convolution spec (shared with the live plane's
+    /// keyframe encoder).
+    pub fn spec(&self) -> ConvSpec {
         ConvSpec::same(self.in_channels, self.out_channels, self.kernel)
     }
 

@@ -17,6 +17,9 @@
 //! * [`admission`] — token-bucket admission control over aggregate
 //!   bandwidth and inference MACs: arriving sessions are accepted,
 //!   downgraded to a rung cap ([`nerve_abr::CappedAbr`]), or rejected.
+//! * [`live`] — the live-mode server plane: FIR grant rate limiting,
+//!   coalesced keyframe encodes, and breaker-gated NACK shedding (the
+//!   FIR-storm absorber).
 //!
 //! Everything is deterministic by construction: the loop is serial, all
 //! randomness flows through [`nerve_video::rng::seed_for`] per-session
@@ -27,8 +30,11 @@
 pub mod admission;
 pub mod batcher;
 pub mod fleet;
+pub mod live;
 
-pub use admission::{Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket};
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket, TokenBucketState,
+};
 pub use batcher::{
     occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
     ServerModel, Service, OCCUPANCY_BUCKETS, OCCUPANCY_EDGES, SLACK_EDGES,
@@ -36,4 +42,8 @@ pub use batcher::{
 pub use fleet::{
     jain_fairness, run_fleet, run_fleet_obs, ClientClass, FleetConfig, FleetResult, ServerRestart,
     SessionCounters, SessionCrash, SessionSummary,
+};
+pub use live::{
+    FirLimiter, FirLimiterConfig, FirLimiterState, KeyframeEncode, LiveServer, LiveServerConfig,
+    LiveServerCounters, LiveServerState,
 };

@@ -16,6 +16,7 @@
 
 use nerve_sim::calibrate::{calibrate, CalibrationBudget};
 use nerve_sim::experiments::{ablations, dnn, fec, fleet, latency, qoe, traces, ExperimentBudget};
+use nerve_sim::live;
 use nerve_sim::sweep;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -258,6 +259,15 @@ fn main() {
             }),
         ));
     }
+    // Live-mode frame cadence: quick keeps the matrix cheap; the full
+    // budget covers the whole FIR-storm arc (blackout + absorption).
+    let live_ticks: u64 = if quick { 150 } else { 250 };
+    if want("live") {
+        jobs.push((
+            "live",
+            Box::new(move || format!("{}\n", live::live_report(sessions, live_ticks, budget.seed))),
+        ));
+    }
     if want("tab04") {
         jobs.push((
             "tab04",
@@ -292,9 +302,15 @@ fn main() {
     if let Some(path) = trace_out {
         // The observability pass re-runs the fleet points with the trace
         // recorder attached; the log is stamped from virtual time only,
-        // so this file is byte-identical at any --jobs value.
+        // so this file is byte-identical at any --jobs value. Selecting
+        // the `live` experiment switches the payload to the live-mode
+        // FIR-storm trace.
         let chunks = budget.chunks_per_trace.clamp(2, 8);
-        let log = fleet::fleet_trace(sessions, chunks, budget.seed);
+        let log = if selected.iter().any(|s| s == "live") {
+            live::live_trace(sessions, live_ticks, budget.seed)
+        } else {
+            fleet::fleet_trace(sessions, chunks, budget.seed)
+        };
         if let Err(e) = std::fs::write(&path, log) {
             eprintln!("[failed to write {path}: {e}]");
             std::process::exit(1);
@@ -354,6 +370,7 @@ fn is_experiment_name(s: &str) -> bool {
             | "tab04"
             | "ablations"
             | "fleet"
+            | "live"
     )
 }
 

@@ -25,8 +25,14 @@ pub mod calibrate;
 pub mod checkpoint;
 pub mod envs;
 pub mod experiments;
+pub mod live;
 pub mod pixel_session;
 pub mod report;
 pub mod scenarios;
 pub mod session;
 pub mod sweep;
+
+pub use live::{
+    fir_storm_config, run_live_fleet, run_live_fleet_obs, run_live_matrix, scenario_config,
+    LiveCheckpoint, LiveFleetConfig, LiveFleetResult, LiveFleetRunner, LiveScenario,
+};

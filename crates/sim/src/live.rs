@@ -1,0 +1,1183 @@
+//! Live-mode fleet: per-frame deadlines, RTCP feedback, FIR storms.
+//!
+//! The VOD fleet (`nerve-serve::fleet`) hides network variance behind a
+//! chunk buffer; this runner removes it. Every session produces one
+//! frame per tick, due `playout_delay` after capture (the adaptive
+//! jitter buffer, `nerve-net::jitter`), and every impaired frame forces
+//! the budgeted repair decision of `nerve-core::live`:
+//!
+//! * **Conceal** — client-side neural recovery; free on the network,
+//!   decays with chain depth, collapses into decoder desync past
+//!   `max_conceal_chain`.
+//! * **NACK** — the analytic retransmission loop of
+//!   [`nerve_net::feedback::FeedbackChannel::nack_loop`]: uplink draw,
+//!   server shed decision, downlink draw, deadline check — one RTT of
+//!   budget if it works.
+//! * **FIR** — keyframe on demand through the server's rate-limited
+//!   grant path ([`nerve_serve::LiveServer`]); the only repair that
+//!   clears desync, and the one a correlated failure turns into a storm.
+//!
+//! When no repair fits the budget the frame degrades through the PR-1
+//! ladder (warp-only → freeze) and is *accounted*: per session the six
+//! outcome buckets (on-time, concealed, NACK-repaired, keyframe-restored,
+//! warp-only, frozen) sum to the run's tick count, and every miss shows
+//! up as degradation, a NACK expiry, or a FIR grant/denial — no silent
+//! starvation.
+//!
+//! Determinism: the tick loop is serial in canonical session order, all
+//! draws are stateless hashes or checkpointed RNG streams keyed by
+//! [`seed_for`] component tags, and the only parallel compute — the
+//! server's coalesced keyframe `conv2d` — is bit-identical at any worker
+//! count. The whole fleet snapshots into a [`LiveCheckpoint`] (magic
+//! "NRVL") so a mid-storm kill resumes to a byte-identical digest.
+
+use crate::checkpoint::{ByteReader, ByteWriter, CheckpointError};
+use nerve_core::{
+    choose_repair, BreakerCounters, BreakerSnapshot, BreakerState, DegradationLadder,
+    DegradationRung, LivePolicy, LivePolicyConfig, RepairAction, RepairContext, RepairCosts,
+};
+use nerve_net::clock::SimTime;
+use nerve_net::faults::FaultPlan;
+use nerve_net::feedback::{FeedbackChannel, FeedbackConfig, FeedbackKind, FeedbackStats};
+use nerve_net::integrity::{open, seal};
+use nerve_net::jitter::{JitterBuffer, JitterConfig, JitterState};
+use nerve_net::loss::{GilbertElliott, LossModel, LossState};
+use nerve_net::Direction;
+use nerve_obs::{FieldValue, Obs};
+use nerve_serve::{LiveServer, LiveServerConfig, LiveServerCounters, LiveServerState};
+use nerve_video::rng::{seed_for, DetRng, StreamComponent};
+use rand::RngExt;
+use std::fmt::Write as _;
+
+/// First bytes of a serialized live checkpoint ("NRVL").
+pub const LIVE_MAGIC: u32 = 0x4E52_564C;
+/// Live checkpoint format version.
+pub const LIVE_VERSION: u16 = 1;
+
+/// Configuration of one live fleet run.
+#[derive(Debug, Clone)]
+pub struct LiveFleetConfig {
+    pub sessions: usize,
+    /// Frames per session (the run length).
+    pub ticks: u64,
+    /// Frame cadence (40 ms = 25 fps).
+    pub frame_interval: SimTime,
+    pub seed: u64,
+    pub policy: LivePolicy,
+    pub policy_cfg: LivePolicyConfig,
+    /// Fleet-wide fault plan (directional faults drive the scenarios).
+    pub plan: FaultPlan,
+    pub jitter: JitterConfig,
+    pub feedback: FeedbackConfig,
+    pub server: LiveServerConfig,
+    /// Per-session Gilbert–Elliott base loss on the downlink media path.
+    pub base_loss: f64,
+    pub mean_burst: f64,
+    /// GOP length in frames (periodic keyframe cadence).
+    pub gop: u64,
+    /// Extra transfer time of an intra frame vs a delta frame.
+    pub key_extra_secs: f64,
+    /// Client loss-detection margin past the nominal arrival.
+    pub detect_margin: SimTime,
+    /// Client-side concealment compute cost.
+    pub recover_cost_secs: f64,
+    /// Ticks a denied FIR waits before re-requesting.
+    pub fir_retry_ticks: u32,
+}
+
+impl LiveFleetConfig {
+    /// A small live fleet with no injected faults beyond base loss.
+    pub fn small(sessions: usize, ticks: u64, seed: u64, policy: LivePolicy) -> Self {
+        Self {
+            sessions,
+            ticks,
+            frame_interval: SimTime::from_millis(40),
+            seed,
+            policy,
+            policy_cfg: LivePolicyConfig::default(),
+            plan: FaultPlan::new(seed),
+            jitter: JitterConfig::default(),
+            feedback: FeedbackConfig::default(),
+            server: LiveServerConfig::default(),
+            base_loss: 0.03,
+            mean_burst: 3.0,
+            gop: 25,
+            key_extra_secs: 0.020,
+            detect_margin: SimTime::from_millis(10),
+            recover_cost_secs: 0.008,
+            fir_retry_ticks: 4,
+        }
+    }
+}
+
+/// Per-session frame-outcome counters. The six outcome buckets
+/// partition the session's frames; the rest are diagnostic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveSessionCounters {
+    // Hits (frame displayed on schedule at full or recovered quality).
+    pub on_time: u64,
+    pub concealed: u64,
+    pub nack_repaired: u64,
+    pub keyframe_restored: u64,
+    // Misses (degraded service; never a stall).
+    pub warp_only: u64,
+    pub frozen: u64,
+    /// Total deadline misses — must equal `warp_only + frozen`.
+    pub deadline_misses: u64,
+    /// NACK loops that ended unrepaired.
+    pub nack_expired: u64,
+    /// FIR requests denied by the server's rate limiter.
+    pub fir_denied: u64,
+    /// FIR requests lost on the uplink before reaching the server.
+    pub fir_lost: u64,
+}
+
+impl LiveSessionCounters {
+    /// Frames in the six outcome buckets (must equal the run's ticks).
+    pub fn frames_accounted(&self) -> u64 {
+        self.on_time
+            + self.concealed
+            + self.nack_repaired
+            + self.keyframe_restored
+            + self.warp_only
+            + self.frozen
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.on_time + self.concealed + self.nack_repaired + self.keyframe_restored
+    }
+}
+
+/// One session's mutable live state.
+#[derive(Debug)]
+struct LiveSession {
+    /// Immutable nominal one-way downlink delay, drawn once per session
+    /// from the `Jitter` component stream.
+    owd_down_secs: f64,
+    jitter: JitterBuffer,
+    feedback: FeedbackChannel,
+    loss: GilbertElliott,
+    conceal_chain: u32,
+    desynced: bool,
+    nack_fail_streak: u32,
+    /// Ticks remaining before the next FIR retry is allowed.
+    fir_backoff: u32,
+    /// Tick at which a granted keyframe becomes displayable.
+    pending_key_tick: Option<u64>,
+    counters: LiveSessionCounters,
+}
+
+/// Final per-session summary (digest surface).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveSessionSummary {
+    pub id: usize,
+    pub counters: LiveSessionCounters,
+    pub feedback: FeedbackStats,
+    pub playout_delay_secs: f64,
+}
+
+/// Aggregate result of one live fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveFleetResult {
+    pub sessions: Vec<LiveSessionSummary>,
+    pub ticks: u64,
+    pub server: LiveServerCounters,
+    /// (requested, granted, ratelimited) from the FIR limiter.
+    pub fir: (u64, u64, u64),
+    pub breaker: BreakerCounters,
+    /// Sum of keyframe-encode checksums (conv determinism witness).
+    pub checksum_acc: f64,
+}
+
+impl LiveFleetResult {
+    /// Fraction of all frames that hit their playout deadline at full or
+    /// recovered quality.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        let total = self.ticks * self.sessions.len() as u64;
+        if total == 0 {
+            return 1.0;
+        }
+        let hits: u64 = self.sessions.iter().map(|s| s.counters.hits()).sum();
+        hits as f64 / total as f64
+    }
+
+    /// Canonical digest: every counter and every float (as raw bits) in
+    /// fixed order. Byte-identical across worker counts and across
+    /// kill-and-resume.
+    pub fn digest(&self) -> String {
+        let mut d = String::new();
+        for s in &self.sessions {
+            let c = &s.counters;
+            let _ = write!(
+                d,
+                "s{:03} ot={} co={} nr={} kr={} wo={} fz={} dm={} ne={} fd={} fl={} \
+                 fs={}/{}/{}/{} pd={:016x};",
+                s.id,
+                c.on_time,
+                c.concealed,
+                c.nack_repaired,
+                c.keyframe_restored,
+                c.warp_only,
+                c.frozen,
+                c.deadline_misses,
+                c.nack_expired,
+                c.fir_denied,
+                c.fir_lost,
+                s.feedback.nack_sent,
+                s.feedback.fir_sent,
+                s.feedback.lost,
+                s.feedback.delivered,
+                s.playout_delay_secs.to_bits(),
+            );
+        }
+        let _ = write!(
+            d,
+            "srv ns={} nx={} fb={} ke={} fir={}/{}/{} brk={}/{}/{}/{}/{} ck={:016x}",
+            self.server.nack_served,
+            self.server.nack_shed,
+            self.server.fir_batches,
+            self.server.keyframes_encoded,
+            self.fir.0,
+            self.fir.1,
+            self.fir.2,
+            self.breaker.opened,
+            self.breaker.half_opened,
+            self.breaker.closed,
+            self.breaker.watchdog_trips,
+            self.breaker.fast_shed,
+            self.checksum_acc.to_bits(),
+        );
+        d
+    }
+}
+
+/// Serializable mid-run state of one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveSessionCheckpoint {
+    pub jitter: JitterState,
+    pub feedback_sent: u64,
+    pub feedback_stats: FeedbackStats,
+    pub loss: LossState,
+    pub conceal_chain: u32,
+    pub desynced: bool,
+    pub nack_fail_streak: u32,
+    pub fir_backoff: u32,
+    pub pending_key_tick: Option<u64>,
+    pub counters: LiveSessionCounters,
+}
+
+/// Whole-fleet checkpoint: tick cursor, every session, the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveCheckpoint {
+    pub tick: u64,
+    pub sessions: Vec<LiveSessionCheckpoint>,
+    pub server: LiveServerState,
+}
+
+impl LiveCheckpoint {
+    /// Serialize to the framed wire format (magic, version, body, CRC —
+    /// the same [`nerve_net::integrity`] framing as "NRVC" checkpoints).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(LIVE_MAGIC);
+        w.u16(LIVE_VERSION);
+        w.u64(self.tick);
+        w.usize(self.sessions.len());
+        for s in &self.sessions {
+            w.f64(s.jitter.jitter_secs);
+            w.opt_f64(s.jitter.last_transit_secs);
+            w.f64(s.jitter.playout_delay_secs);
+            w.u64(s.feedback_sent);
+            w.u64(s.feedback_stats.nack_sent);
+            w.u64(s.feedback_stats.fir_sent);
+            w.u64(s.feedback_stats.lost);
+            w.u64(s.feedback_stats.delivered);
+            w.u64(s.loss.seed);
+            w.u64(s.loss.draws);
+            w.bool(s.loss.bad);
+            w.u32(s.conceal_chain);
+            w.bool(s.desynced);
+            w.u32(s.nack_fail_streak);
+            w.u32(s.fir_backoff);
+            w.bool(s.pending_key_tick.is_some());
+            w.u64(s.pending_key_tick.unwrap_or(0));
+            let c = &s.counters;
+            for v in [
+                c.on_time,
+                c.concealed,
+                c.nack_repaired,
+                c.keyframe_restored,
+                c.warp_only,
+                c.frozen,
+                c.deadline_misses,
+                c.nack_expired,
+                c.fir_denied,
+                c.fir_lost,
+            ] {
+                w.u64(v);
+            }
+        }
+        let srv = &self.server;
+        w.f64(srv.limiter.bucket.tokens);
+        w.time(srv.limiter.bucket.last_refill);
+        w.u64(srv.limiter.requested);
+        w.u64(srv.limiter.granted);
+        w.u64(srv.limiter.ratelimited);
+        let b = &srv.breaker;
+        w.u8(match b.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
+        w.usize(b.streak);
+        w.f64(b.opened_at_secs);
+        w.usize(b.probes_issued);
+        for v in [
+            b.counters.opened,
+            b.counters.half_opened,
+            b.counters.closed,
+            b.counters.watchdog_trips,
+            b.counters.fast_shed,
+        ] {
+            w.u64(v);
+        }
+        for v in [
+            srv.counters.nack_served,
+            srv.counters.nack_shed,
+            srv.counters.fir_batches,
+            srv.counters.keyframes_encoded,
+        ] {
+            w.u64(v);
+        }
+        w.f64(srv.checksum_acc);
+        seal(&w.into_bytes())
+    }
+
+    /// Parse bytes produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let body = open(bytes).ok_or(CheckpointError::Corrupt)?;
+        let mut r = ByteReader::new(body);
+        let magic = r.u32()?;
+        if magic != LIVE_MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = r.u16()?;
+        if version != LIVE_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let tick = r.u64()?;
+        let n = r.usize()?;
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let jitter = JitterState {
+                jitter_secs: r.f64()?,
+                last_transit_secs: r.opt_f64()?,
+                playout_delay_secs: r.f64()?,
+            };
+            let feedback_sent = r.u64()?;
+            let feedback_stats = FeedbackStats {
+                nack_sent: r.u64()?,
+                fir_sent: r.u64()?,
+                lost: r.u64()?,
+                delivered: r.u64()?,
+            };
+            let loss = LossState {
+                seed: r.u64()?,
+                draws: r.u64()?,
+                bad: r.bool()?,
+            };
+            let conceal_chain = r.u32()?;
+            let desynced = r.bool()?;
+            let nack_fail_streak = r.u32()?;
+            let fir_backoff = r.u32()?;
+            let has_key = r.bool()?;
+            let key_tick = r.u64()?;
+            let counters = LiveSessionCounters {
+                on_time: r.u64()?,
+                concealed: r.u64()?,
+                nack_repaired: r.u64()?,
+                keyframe_restored: r.u64()?,
+                warp_only: r.u64()?,
+                frozen: r.u64()?,
+                deadline_misses: r.u64()?,
+                nack_expired: r.u64()?,
+                fir_denied: r.u64()?,
+                fir_lost: r.u64()?,
+            };
+            sessions.push(LiveSessionCheckpoint {
+                jitter,
+                feedback_sent,
+                feedback_stats,
+                loss,
+                conceal_chain,
+                desynced,
+                nack_fail_streak,
+                fir_backoff,
+                pending_key_tick: has_key.then_some(key_tick),
+                counters,
+            });
+        }
+        let limiter = nerve_serve::FirLimiterState {
+            bucket: nerve_serve::TokenBucketState {
+                tokens: r.f64()?,
+                last_refill: r.time()?,
+            },
+            requested: r.u64()?,
+            granted: r.u64()?,
+            ratelimited: r.u64()?,
+        };
+        let state = match r.u8()? {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            v => return Err(CheckpointError::BadMagic(u32::from(v))),
+        };
+        let breaker = BreakerSnapshot {
+            state,
+            streak: r.usize()?,
+            opened_at_secs: r.f64()?,
+            probes_issued: r.usize()?,
+            counters: BreakerCounters {
+                opened: r.u64()?,
+                half_opened: r.u64()?,
+                closed: r.u64()?,
+                watchdog_trips: r.u64()?,
+                fast_shed: r.u64()?,
+            },
+        };
+        let counters = LiveServerCounters {
+            nack_served: r.u64()?,
+            nack_shed: r.u64()?,
+            fir_batches: r.u64()?,
+            keyframes_encoded: r.u64()?,
+        };
+        let checksum_acc = r.f64()?;
+        let rem = r.remaining();
+        if rem != 0 {
+            return Err(CheckpointError::TrailingBytes(rem));
+        }
+        Ok(Self {
+            tick,
+            sessions,
+            server: LiveServerState {
+                limiter,
+                breaker,
+                counters,
+                checksum_acc,
+            },
+        })
+    }
+}
+
+/// The live fleet event loop.
+pub struct LiveFleetRunner {
+    cfg: LiveFleetConfig,
+    tick: u64,
+    sessions: Vec<LiveSession>,
+    server: LiveServer,
+}
+
+impl LiveFleetRunner {
+    pub fn new(cfg: LiveFleetConfig) -> Self {
+        let sessions = (0..cfg.sessions)
+            .map(|s| {
+                let sid = s as u64;
+                let mut path_rng = DetRng::new(seed_for(cfg.seed, sid, StreamComponent::Jitter));
+                let owd_down_secs = 0.015 + 0.030 * path_rng.random_range(0.0f64..1.0);
+                LiveSession {
+                    owd_down_secs,
+                    jitter: JitterBuffer::new(cfg.jitter),
+                    feedback: FeedbackChannel::new(
+                        cfg.feedback,
+                        cfg.plan.clone(),
+                        seed_for(cfg.seed, sid, StreamComponent::Feedback),
+                    ),
+                    loss: GilbertElliott::with_rate(
+                        cfg.base_loss,
+                        cfg.mean_burst,
+                        seed_for(cfg.seed, sid, StreamComponent::MediaLoss),
+                    ),
+                    conceal_chain: 0,
+                    desynced: false,
+                    nack_fail_streak: 0,
+                    fir_backoff: 0,
+                    pending_key_tick: None,
+                    counters: LiveSessionCounters::default(),
+                }
+            })
+            .collect();
+        let input_seeds = (0..cfg.sessions as u64)
+            .map(|sid| seed_for(cfg.seed, sid, StreamComponent::FirLimiter))
+            .collect();
+        let server = LiveServer::new(&cfg.server, input_seeds);
+        Self {
+            cfg,
+            tick: 0,
+            sessions,
+            server,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.tick >= self.cfg.ticks
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advance one frame interval for every session, in canonical
+    /// session order, then run the server's coalesced keyframe encode.
+    pub fn step(&mut self, obs: Option<&mut Obs>) {
+        let Self {
+            cfg,
+            tick,
+            sessions,
+            server,
+        } = self;
+        let k = *tick;
+        let now = SimTime::from_micros(k * cfg.frame_interval.as_micros());
+        let now_secs = now.as_secs_f64();
+        server.begin_tick(now);
+
+        let mut granted: Vec<usize> = Vec::new();
+        let mut fir_asked_this_tick = 0u64;
+        for (s, sess) in sessions.iter_mut().enumerate() {
+            let sid = s as u64;
+            let salt = seed_for(cfg.seed, sid, StreamComponent::Faults) ^ k;
+
+            // A granted keyframe due now (or earlier) restores the GOP:
+            // it rides the reliable path, so delivery is not re-drawn.
+            if sess.pending_key_tick.is_some_and(|kt| kt <= k) {
+                sess.pending_key_tick = None;
+                sess.desynced = false;
+                sess.conceal_chain = 0;
+                sess.counters.keyframe_restored += 1;
+                let arr = now_secs + sess.owd_down_secs + cfg.key_extra_secs;
+                sess.jitter.on_arrival(now_secs, arr);
+                continue;
+            }
+
+            let is_key = cfg.gop > 0 && k % cfg.gop == 0;
+            let deadline_secs = sess.jitter.deadline_secs(now_secs);
+            let deadline = SimTime::from_secs_f64(deadline_secs);
+            let lost = sess.loss.lose() || cfg.plan.dir_lose_at(Direction::Downlink, now, salt);
+            let arr_secs = now_secs
+                + sess.owd_down_secs
+                + cfg
+                    .plan
+                    .dir_extra_delay(Direction::Downlink, now, salt)
+                    .as_secs_f64()
+                + if is_key { cfg.key_extra_secs } else { 0.0 };
+            let on_time = !lost && arr_secs <= deadline_secs;
+            // Every physical arrival feeds the jitter estimate, even when
+            // the decoder cannot use the frame.
+            if !lost {
+                sess.jitter.on_arrival(now_secs, arr_secs);
+            }
+
+            if sess.desynced {
+                if is_key && on_time {
+                    // The periodic keyframe restores sync for free.
+                    sess.desynced = false;
+                    sess.conceal_chain = 0;
+                    sess.counters.keyframe_restored += 1;
+                } else {
+                    sess.counters.frozen += 1;
+                    sess.counters.deadline_misses += 1;
+                    // FIR retry with backoff, if the policy ever FIRs.
+                    let wants_fir =
+                        matches!(cfg.policy, LivePolicy::Budget | LivePolicy::AlwaysFir);
+                    if wants_fir && sess.pending_key_tick.is_none() {
+                        if sess.fir_backoff > 0 {
+                            sess.fir_backoff -= 1;
+                        } else if let Some(at_server) = sess.feedback.send(FeedbackKind::Fir, now) {
+                            fir_asked_this_tick += 1;
+                            if server.request_fir(at_server) {
+                                granted.push(s);
+                            } else {
+                                sess.counters.fir_denied += 1;
+                                sess.fir_backoff = cfg.fir_retry_ticks;
+                            }
+                        } else {
+                            // Lost on the uplink: retry next tick. FIR
+                            // packets are cheap and the client cannot
+                            // tell a blackout from a drop — this is the
+                            // hammering that builds the lift-time front.
+                            sess.counters.fir_lost += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            if on_time {
+                sess.counters.on_time += 1;
+                sess.conceal_chain = 0;
+                sess.nack_fail_streak = 0;
+                continue;
+            }
+
+            // Lost or late: detect, budget, choose a repair.
+            let detect_secs = now_secs + sess.owd_down_secs + cfg.detect_margin.as_secs_f64();
+            let detect = SimTime::from_secs_f64(detect_secs);
+            let budget_secs = deadline_secs - detect_secs;
+            let costs = RepairCosts {
+                conceal_secs: cfg.recover_cost_secs,
+                nack_secs: cfg.feedback.owd_up.as_secs_f64() + sess.owd_down_secs,
+                fir_secs: 0.2,
+            };
+            let ctx = RepairContext {
+                budget_secs,
+                conceal_chain: sess.conceal_chain,
+                desynced: false,
+                nack_fail_streak: sess.nack_fail_streak,
+            };
+            let action = choose_repair(cfg.policy, &cfg.policy_cfg, &ctx, &costs);
+            match action {
+                Some(RepairAction::Conceal) => {
+                    if sess.conceal_chain < cfg.policy_cfg.max_conceal_chain {
+                        sess.conceal_chain += 1;
+                        sess.counters.concealed += 1;
+                    } else {
+                        // Chain bankruptcy: the reference is synthetic
+                        // all the way down — decoder desyncs.
+                        sess.desynced = true;
+                        sess.counters.frozen += 1;
+                        sess.counters.deadline_misses += 1;
+                    }
+                }
+                Some(RepairAction::Nack) => {
+                    let out = sess.feedback.nack_loop(
+                        detect,
+                        deadline,
+                        SimTime::from_secs_f64(sess.owd_down_secs),
+                        |_at| server.nack_allowed(),
+                    );
+                    if out.repaired() {
+                        sess.counters.nack_repaired += 1;
+                        sess.conceal_chain = 0;
+                        sess.nack_fail_streak = 0;
+                    } else {
+                        sess.counters.nack_expired += 1;
+                        sess.nack_fail_streak += 1;
+                        degrade(sess, cfg, budget_secs, is_key && lost);
+                    }
+                }
+                Some(RepairAction::Fir) => {
+                    // GOP restart: the current frame is unserviceable and
+                    // the decoder marks itself desynced until a keyframe
+                    // lands (the FIR goes out on the next tick's pass).
+                    sess.desynced = true;
+                    sess.counters.frozen += 1;
+                    sess.counters.deadline_misses += 1;
+                }
+                None => degrade(sess, cfg, budget_secs, is_key && lost),
+            }
+        }
+
+        // Coalesce this tick's granted FIRs into one batched encode and
+        // schedule each keyframe's client-side availability.
+        if !granted.is_empty() {
+            let encodes = server.encode_keyframes(now, &granted);
+            let interval_secs = cfg.frame_interval.as_secs_f64();
+            for e in &encodes {
+                let sess = &mut sessions[e.session];
+                let avail = e.ready_at.as_secs_f64() + sess.owd_down_secs;
+                let due = (avail / interval_secs).ceil() as u64;
+                sess.pending_key_tick = Some(due.max(k + 1));
+            }
+        }
+        server.end_tick(now, cfg.frame_interval.as_secs_f64());
+
+        if let Some(o) = obs {
+            if fir_asked_this_tick > 0 {
+                o.event(
+                    "fir_wave",
+                    k,
+                    now.as_micros(),
+                    &[
+                        ("requested", FieldValue::U64(fir_asked_this_tick)),
+                        ("granted", FieldValue::U64(granted.len() as u64)),
+                    ],
+                );
+            }
+        }
+        *tick += 1;
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self, mut obs: Option<&mut Obs>) {
+        while !self.is_done() {
+            self.step(obs.as_deref_mut());
+        }
+    }
+
+    /// Snapshot the whole fleet mid-run.
+    pub fn checkpoint(&self) -> LiveCheckpoint {
+        LiveCheckpoint {
+            tick: self.tick,
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| LiveSessionCheckpoint {
+                    jitter: s.jitter.state(),
+                    feedback_sent: s.feedback.state().sent,
+                    feedback_stats: s.feedback.state().stats,
+                    loss: s.loss.state(),
+                    conceal_chain: s.conceal_chain,
+                    desynced: s.desynced,
+                    nack_fail_streak: s.nack_fail_streak,
+                    fir_backoff: s.fir_backoff,
+                    pending_key_tick: s.pending_key_tick,
+                    counters: s.counters,
+                })
+                .collect(),
+            server: self.server.state(),
+        }
+    }
+
+    /// Rebuild a runner from the same config plus a checkpoint.
+    pub fn resume(cfg: LiveFleetConfig, ckpt: &LiveCheckpoint) -> Self {
+        assert_eq!(
+            cfg.sessions,
+            ckpt.sessions.len(),
+            "checkpoint session count must match the config"
+        );
+        let mut runner = Self::new(cfg);
+        runner.tick = ckpt.tick;
+        for (sess, c) in runner.sessions.iter_mut().zip(&ckpt.sessions) {
+            sess.jitter.restore(c.jitter);
+            sess.feedback.restore(nerve_net::FeedbackState {
+                sent: c.feedback_sent,
+                stats: c.feedback_stats,
+            });
+            sess.loss.restore(c.loss);
+            sess.conceal_chain = c.conceal_chain;
+            sess.desynced = c.desynced;
+            sess.nack_fail_streak = c.nack_fail_streak;
+            sess.fir_backoff = c.fir_backoff;
+            sess.pending_key_tick = c.pending_key_tick;
+            sess.counters = c.counters;
+        }
+        runner.server.restore(ckpt.server);
+        runner
+    }
+
+    /// Final result (callable once the run is done, or mid-run for a
+    /// progress view).
+    pub fn finish(&self) -> LiveFleetResult {
+        let limiter = self.server.limiter();
+        LiveFleetResult {
+            sessions: self
+                .sessions
+                .iter()
+                .enumerate()
+                .map(|(i, s)| LiveSessionSummary {
+                    id: i,
+                    counters: s.counters,
+                    feedback: s.feedback.state().stats,
+                    playout_delay_secs: s.jitter.playout_delay_secs(),
+                })
+                .collect(),
+            ticks: self.tick,
+            server: self.server.counters,
+            fir: (limiter.requested, limiter.granted, limiter.ratelimited),
+            breaker: self.server.breaker_counters(),
+            checksum_acc: self.server.checksum_acc(),
+        }
+    }
+}
+
+/// A miss with no affordable repair: the degradation ladder decides
+/// between warp-only and freeze; a lost GOP keyframe desyncs either way.
+fn degrade(sess: &mut LiveSession, cfg: &LiveFleetConfig, budget_secs: f64, lost_key: bool) {
+    let ladder = DegradationLadder::recovery(cfg.recover_cost_secs);
+    match ladder.select(budget_secs.max(0.0)) {
+        DegradationRung::Full | DegradationRung::WarpOnly => {
+            sess.counters.warp_only += 1;
+            sess.conceal_chain += 1;
+        }
+        DegradationRung::Freeze | DegradationRung::Stall => {
+            sess.counters.frozen += 1;
+        }
+    }
+    sess.counters.deadline_misses += 1;
+    if lost_key {
+        sess.desynced = true;
+    }
+}
+
+/// Run one live fleet without observability.
+pub fn run_live_fleet(cfg: &LiveFleetConfig) -> LiveFleetResult {
+    run_live_fleet_obs(cfg, None)
+}
+
+/// Run one live fleet, optionally tracing. Attaching the plane never
+/// changes the result (passivity); at the end the live counters are
+/// exported into the obs registry:
+/// `nack.sent / nack.served / nack.expired`,
+/// `fir.requested / fir.granted / fir.ratelimited`, and the
+/// `jitter.playout_delay` gauge (fleet mean, seconds).
+pub fn run_live_fleet_obs(cfg: &LiveFleetConfig, mut obs: Option<&mut Obs>) -> LiveFleetResult {
+    let mut runner = LiveFleetRunner::new(cfg.clone());
+    runner.run(obs.as_deref_mut());
+    let result = runner.finish();
+    if let Some(o) = obs {
+        let reg = &o.registry;
+        let nack_sent: u64 = result.sessions.iter().map(|s| s.feedback.nack_sent).sum();
+        let nack_expired: u64 = result
+            .sessions
+            .iter()
+            .map(|s| s.counters.nack_expired)
+            .sum();
+        reg.counter("nack.sent").add(nack_sent);
+        reg.counter("nack.served").add(result.server.nack_served);
+        reg.counter("nack.expired").add(nack_expired);
+        reg.counter("fir.requested").add(result.fir.0);
+        reg.counter("fir.granted").add(result.fir.1);
+        reg.counter("fir.ratelimited").add(result.fir.2);
+        let mean_delay = result
+            .sessions
+            .iter()
+            .map(|s| s.playout_delay_secs)
+            .sum::<f64>()
+            / result.sessions.len().max(1) as f64;
+        reg.gauge("jitter.playout_delay").set(mean_delay);
+    }
+    result
+}
+
+/// The live chaos matrix scenarios. Each stresses one repair's blind
+/// spot, so no static single policy can win them all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveScenario {
+    /// Bursty downlink loss, generous playout budget: NACKs affordable.
+    LossBurst,
+    /// Uplink blackout mid-run: feedback silenced, concealment carries.
+    UplinkCollapse,
+    /// Playout delay tighter than one RTT: NACKs never fit.
+    TightBudget,
+    /// Heavy loss windows that keep killing GOP keyframes: desync storm.
+    DesyncStorm,
+}
+
+impl LiveScenario {
+    pub const ALL: [LiveScenario; 4] = [
+        LiveScenario::LossBurst,
+        LiveScenario::UplinkCollapse,
+        LiveScenario::TightBudget,
+        LiveScenario::DesyncStorm,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            LiveScenario::LossBurst => "loss-burst",
+            LiveScenario::UplinkCollapse => "uplink-collapse",
+            LiveScenario::TightBudget => "tight-budget",
+            LiveScenario::DesyncStorm => "desync-storm",
+        }
+    }
+}
+
+/// Build the fleet config for one (scenario, policy) matrix cell.
+pub fn scenario_config(
+    sc: LiveScenario,
+    policy: LivePolicy,
+    sessions: usize,
+    ticks: u64,
+    seed: u64,
+) -> LiveFleetConfig {
+    let mut cfg = LiveFleetConfig::small(sessions, ticks, seed, policy);
+    let secs = |t: f64| SimTime::from_secs_f64(t);
+    match sc {
+        LiveScenario::LossBurst => {
+            cfg.base_loss = 0.08;
+            cfg.mean_burst = 4.0;
+            cfg.plan = cfg.plan.downlink_loss(secs(2.0), secs(2.0), 0.30);
+        }
+        LiveScenario::UplinkCollapse => {
+            cfg.base_loss = 0.08;
+            cfg.plan = cfg.plan.uplink_loss(secs(2.0), secs(3.0), 1.0);
+        }
+        LiveScenario::TightBudget => {
+            cfg.base_loss = 0.08;
+            cfg.jitter = JitterConfig {
+                base_delay_secs: 0.050,
+                gain: 1.0,
+                min_delay_secs: 0.045,
+                max_delay_secs: 0.055,
+            };
+        }
+        LiveScenario::DesyncStorm => {
+            cfg.base_loss = 0.05;
+            cfg.plan = cfg
+                .plan
+                .downlink_loss(secs(1.0), secs(1.5), 0.55)
+                .downlink_loss(secs(4.0), secs(1.5), 0.55);
+        }
+    }
+    cfg
+}
+
+/// The 32-session FIR-storm scenario: heavy downlink loss desyncs a
+/// large slice of the fleet *during* an uplink blackout (their FIRs die
+/// on the wire), and when the blackout lifts every desynced session
+/// FIRs at once. The limiter, the coalesced encoder, and the breaker
+/// absorb the front.
+pub fn fir_storm_config(
+    policy: LivePolicy,
+    sessions: usize,
+    ticks: u64,
+    seed: u64,
+) -> LiveFleetConfig {
+    let mut cfg = LiveFleetConfig::small(sessions, ticks, seed, policy);
+    let secs = |t: f64| SimTime::from_secs_f64(t);
+    cfg.base_loss = 0.06;
+    cfg.mean_burst = 4.0;
+    // The downlink stays lossy PAST the uplink blackout: periodic GOP
+    // keyframes keep dying (desyncs persist), while the feedback path
+    // suddenly works — every desynced session FIRs into the same front.
+    cfg.plan = cfg
+        .plan
+        .downlink_loss(secs(2.0), secs(4.5), 0.55)
+        .uplink_loss(secs(2.0), secs(3.0), 1.0);
+    // Size the absorber below the worst-case front: a storm is defined
+    // relative to the limiter, and this fleet's lift-time FIR wave must
+    // overrun the bucket so the denial/backoff path is exercised.
+    cfg.server.limiter = nerve_serve::FirLimiterConfig {
+        grants_per_sec: 2.0,
+        burst_secs: 1.0,
+    };
+    cfg
+}
+
+/// One matrix cell's outcome.
+#[derive(Debug, Clone)]
+pub struct LiveCell {
+    pub scenario: LiveScenario,
+    pub policy: LivePolicy,
+    pub hit_rate: f64,
+    pub digest: String,
+}
+
+pub fn policy_label(p: LivePolicy) -> &'static str {
+    match p {
+        LivePolicy::Budget => "budget",
+        LivePolicy::AlwaysConceal => "always-conceal",
+        LivePolicy::AlwaysNack => "always-nack",
+        LivePolicy::AlwaysFir => "always-fir",
+    }
+}
+
+pub const ALL_POLICIES: [LivePolicy; 4] = [
+    LivePolicy::Budget,
+    LivePolicy::AlwaysConceal,
+    LivePolicy::AlwaysNack,
+    LivePolicy::AlwaysFir,
+];
+
+/// Run the full scenario × policy matrix; cells fan out across the
+/// sweep pool and come back in canonical order.
+pub fn run_live_matrix(sessions: usize, ticks: u64, seed: u64) -> Vec<LiveCell> {
+    let cells: Vec<(LiveScenario, LivePolicy)> = LiveScenario::ALL
+        .iter()
+        .flat_map(|&sc| ALL_POLICIES.iter().map(move |&p| (sc, p)))
+        .collect();
+    crate::sweep::map(&cells, |_, &(sc, policy)| {
+        let cfg = scenario_config(sc, policy, sessions, ticks, seed);
+        let result = run_live_fleet(&cfg);
+        LiveCell {
+            scenario: sc,
+            policy,
+            hit_rate: result.deadline_hit_rate(),
+            digest: result.digest(),
+        }
+    })
+}
+
+/// Mean deadline-hit-rate per policy across the matrix.
+pub fn policy_hit_rates(cells: &[LiveCell]) -> Vec<(LivePolicy, f64)> {
+    ALL_POLICIES
+        .iter()
+        .map(|&p| {
+            let rates: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.policy == p)
+                .map(|c| c.hit_rate)
+                .collect();
+            (p, rates.iter().sum::<f64>() / rates.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// The `live` experiment report: the policy × scenario hit-rate matrix
+/// plus the FIR-storm digest (the line CI compares across `--jobs`).
+pub fn live_report(sessions: usize, ticks: u64, seed: u64) -> String {
+    use crate::report::{fmt_f, Table};
+    let cells = run_live_matrix(sessions.min(8), ticks, seed);
+    let mut table = Table::new(
+        "Live mode: deadline-hit-rate by scenario and repair policy",
+        &[
+            "scenario",
+            "budget",
+            "always-conceal",
+            "always-nack",
+            "always-fir",
+        ],
+    );
+    for sc in LiveScenario::ALL {
+        let mut row = vec![sc.label().to_string()];
+        for p in ALL_POLICIES {
+            let cell = cells
+                .iter()
+                .find(|c| c.scenario == sc && c.policy == p)
+                .expect("matrix is complete");
+            row.push(fmt_f(cell.hit_rate));
+        }
+        table.row(row);
+    }
+    let mut out = format!("{table}\n");
+    let aggregates = policy_hit_rates(&cells);
+    for (p, rate) in &aggregates {
+        let _ = writeln!(
+            out,
+            "# {}: aggregate hit rate {:.4}",
+            policy_label(*p),
+            rate
+        );
+    }
+    let storm = run_live_fleet(&fir_storm_config(LivePolicy::Budget, sessions, ticks, seed));
+    let _ = writeln!(
+        out,
+        "# fir-storm: sessions={} hit_rate={:.4} fir={}/{}/{} digest_crc={:08x}",
+        sessions,
+        storm.deadline_hit_rate(),
+        storm.fir.0,
+        storm.fir.1,
+        storm.fir.2,
+        nerve_net::integrity::crc32(storm.digest().as_bytes()),
+    );
+    out
+}
+
+/// The live `--trace-out` payload: the FIR-storm fleet re-run with the
+/// observability plane attached, one JSONL stream. Stamped from virtual
+/// time only — byte-identical at any `--jobs` value.
+pub fn live_trace(sessions: usize, ticks: u64, seed: u64) -> String {
+    let points = [sessions.min(8), sessions];
+    let mut deduped: Vec<usize> = points.to_vec();
+    deduped.dedup();
+    let traced = crate::sweep::map(&deduped, |_, &n| {
+        let cfg = fir_storm_config(LivePolicy::Budget, n, ticks, seed);
+        let mut obs = Obs::trace();
+        let result = run_live_fleet_obs(&cfg, Some(&mut obs));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"live_point\":{n},\"digest_len\":{}}}",
+            result.digest().len()
+        );
+        if let Some(lines) = obs.trace_lines() {
+            out.push_str(lines);
+        }
+        out.push_str(&obs.registry.snapshot().render_jsonl());
+        out
+    });
+    traced.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(policy: LivePolicy) -> LiveFleetConfig {
+        fir_storm_config(policy, 6, 150, 42)
+    }
+
+    #[test]
+    fn every_frame_is_accounted() {
+        let r = run_live_fleet(&small_cfg(LivePolicy::Budget));
+        for s in &r.sessions {
+            assert_eq!(
+                s.counters.frames_accounted(),
+                r.ticks,
+                "session {} leaked frames",
+                s.id
+            );
+            assert_eq!(
+                s.counters.deadline_misses,
+                s.counters.warp_only + s.counters.frozen,
+                "session {} misses unaccounted",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run_live_fleet(&small_cfg(LivePolicy::Budget));
+        let b = run_live_fleet(&small_cfg(LivePolicy::Budget));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn obs_is_passive() {
+        let plain = run_live_fleet(&small_cfg(LivePolicy::Budget));
+        let mut obs = Obs::trace();
+        let traced = run_live_fleet_obs(&small_cfg(LivePolicy::Budget), Some(&mut obs));
+        assert_eq!(plain.digest(), traced.digest());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bytes() {
+        let mut runner = LiveFleetRunner::new(small_cfg(LivePolicy::Budget));
+        for _ in 0..80 {
+            runner.step(None);
+        }
+        let ckpt = runner.checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = LiveCheckpoint::from_bytes(&bytes).expect("decodes");
+        assert_eq!(ckpt, back);
+        // Corruption is detected, not decoded.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(LiveCheckpoint::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted() {
+        let cfg = small_cfg(LivePolicy::Budget);
+        let mut whole = LiveFleetRunner::new(cfg.clone());
+        whole.run(None);
+        let reference = whole.finish().digest();
+
+        // Kill mid-storm (tick 70 of 150 is inside the blackout).
+        let mut pre = LiveFleetRunner::new(cfg.clone());
+        for _ in 0..70 {
+            pre.step(None);
+        }
+        let bytes = pre.checkpoint().to_bytes();
+        drop(pre);
+        let ckpt = LiveCheckpoint::from_bytes(&bytes).expect("decodes");
+        let mut post = LiveFleetRunner::resume(cfg, &ckpt);
+        post.run(None);
+        assert_eq!(post.finish().digest(), reference);
+    }
+
+    #[test]
+    fn storm_actually_storms() {
+        let r = run_live_fleet(&fir_storm_config(LivePolicy::Budget, 16, 200, 42));
+        assert!(r.fir.0 > 0, "no FIR requests reached the server");
+        assert!(r.fir.2 > 0, "the limiter never engaged: not a storm");
+        assert!(
+            r.server.keyframes_encoded > 0,
+            "no keyframes were ever granted"
+        );
+        assert!(
+            r.server.fir_batches < r.server.keyframes_encoded,
+            "grants were never coalesced into a batch"
+        );
+    }
+}

@@ -70,6 +70,28 @@ pub enum StreamComponent {
     /// Post-reconnect handshake draws (crash-recovery epochs; salted
     /// further by epoch index at the call site).
     Reconnect = 6,
+    /// RTCP-style uplink feedback channel draws (live fleet).
+    Feedback = 7,
+    /// Jitter-buffer path characteristics (per-session one-way delay).
+    Jitter = 8,
+    /// Server-side FIR rate-limiter draws (live fleet).
+    FirLimiter = 9,
+}
+
+impl StreamComponent {
+    /// Every variant, for exhaustive collision testing. Keep in sync when
+    /// adding components.
+    pub const ALL: [StreamComponent; 9] = [
+        StreamComponent::MediaLoss,
+        StreamComponent::CodeLoss,
+        StreamComponent::Faults,
+        StreamComponent::Inference,
+        StreamComponent::Trace,
+        StreamComponent::Reconnect,
+        StreamComponent::Feedback,
+        StreamComponent::Jitter,
+        StreamComponent::FirLimiter,
+    ];
 }
 
 impl TryRng for DetRng {
@@ -145,17 +167,42 @@ mod tests {
         // stream for a realistic fleet size.
         let mut seen = std::collections::HashSet::new();
         for session in 0..256u64 {
-            for comp in [
-                StreamComponent::MediaLoss,
-                StreamComponent::CodeLoss,
-                StreamComponent::Faults,
-                StreamComponent::Inference,
-                StreamComponent::Trace,
-            ] {
+            for comp in StreamComponent::ALL {
                 assert!(
                     seen.insert(seed_for(42, session, comp)),
                     "collision at session {session} {comp:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn live_component_streams_never_collide_with_any_other() {
+        // Regression for the live plane: the new feedback / jitter / FIR
+        // limiter tags must map to streams distinct from every existing
+        // component's for the same (seed, session) — and from each
+        // other's across sessions.
+        let live = [
+            StreamComponent::Feedback,
+            StreamComponent::Jitter,
+            StreamComponent::FirLimiter,
+        ];
+        for seed in [0u64, 42, 0xDEAD_BEEF] {
+            let mut seen = std::collections::HashSet::new();
+            for session in 0..128u64 {
+                for comp in StreamComponent::ALL {
+                    seen.insert(seed_for(seed, session, comp));
+                }
+            }
+            assert_eq!(
+                seen.len(),
+                128 * StreamComponent::ALL.len(),
+                "stream collision under seed {seed}"
+            );
+            for session in 0..128u64 {
+                for comp in live {
+                    assert!(seen.contains(&seed_for(seed, session, comp)));
+                }
             }
         }
     }

@@ -230,6 +230,47 @@ fn reliable_channel_expires_within_deadline_under_total_loss() {
     assert_eq!(ch.stats.expired, 1);
 }
 
+/// Tier-1 slice of the full soak matrix: a deterministic seeded subset
+/// of K scenario × network cells runs on every push, so matrix-only
+/// regressions surface before the nightly non-blocking job. The subset
+/// is drawn by a SplitMix64 walk over a fixed seed — the same cells
+/// every run, but spread across the matrix rather than hand-picked.
+#[test]
+fn seeded_subset_of_the_soak_matrix_survives() {
+    const K: usize = 6;
+    let cells: Vec<(ChaosScenario, NetworkKind)> = ChaosScenario::ALL
+        .iter()
+        .flat_map(|&s| NetworkKind::ALL.iter().map(move |&k| (s, k)))
+        .collect();
+    // Fisher–Yates prefix driven by SplitMix64 on a fixed seed: a
+    // deterministic K-cell sample without replacement.
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    let mut state = 0x50AC_5EED_2026u64;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in 0..K {
+        let j = i + (next() as usize) % (order.len() - i);
+        order.swap(i, j);
+    }
+    for &idx in &order[..K] {
+        let (scenario, kind) = cells[idx];
+        let r = run_chaos(scenario, kind, Scheme::nerve(), 13, CHUNKS);
+        let label = format!("{} on {}", scenario.label(), kind.label());
+        assert_eq!(r.chunks.len(), CHUNKS, "{label}");
+        assert!(r.qoe.is_finite(), "{label}: QoE {}", r.qoe);
+        assert!(
+            r.total_rebuffer_secs.is_finite() && r.total_rebuffer_secs >= 0.0,
+            "{label}: rebuffer {}",
+            r.total_rebuffer_secs
+        );
+    }
+}
+
 /// Full matrix soak — every scenario × every network kind × both the
 /// full system and the no-recovery baseline. Slow; runs in the
 /// non-blocking CI job (`cargo test --test chaos_soak -- --ignored`).

@@ -239,3 +239,120 @@ fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
         );
     }
 }
+
+/// The live-mode tentpole at fleet scale: a 32-session live fleet where
+/// heavy downlink loss desyncs a large slice of the fleet during an
+/// uplink blackout, and the blackout's lift releases a FIR storm into
+/// the server's rate limiter. The result digest must be byte-identical
+/// at 1, 2, and 4 tensor-pool workers, and a mid-storm kill-and-resume
+/// through the serialized checkpoint must land on the same digest. The
+/// serial arm runs with the metrics plane attached so the storm itself
+/// is asserted from the recorded registry.
+#[test]
+fn live_fleet_32_fir_storm_is_jobs_invariant_and_resumable() {
+    use nerve::core::LivePolicy;
+    use nerve::sim::live::{fir_storm_config, run_live_fleet, run_live_fleet_obs};
+    use nerve::sim::sweep;
+    use nerve::sim::{LiveCheckpoint, LiveFleetRunner};
+    use nerve_obs::Obs;
+
+    let cfg = fir_storm_config(LivePolicy::Budget, 32, 250, 97);
+    let prev = sweep::workers();
+    sweep::set_workers(1);
+    let mut obs = Obs::metrics_only();
+    let serial = run_live_fleet_obs(&cfg, Some(&mut obs));
+    sweep::set_workers(2);
+    let two = run_live_fleet(&cfg);
+    sweep::set_workers(4);
+    let four = run_live_fleet(&cfg);
+    sweep::set_workers(prev);
+
+    assert_eq!(
+        serial.digest(),
+        two.digest(),
+        "live fleet must be byte-identical at --jobs 1 and --jobs 2"
+    );
+    assert_eq!(
+        serial.digest(),
+        four.digest(),
+        "live fleet must be byte-identical at --jobs 1 and --jobs 4"
+    );
+
+    // Kill mid-storm (tick 80 = 3.2 s, inside the blackout window),
+    // serialize, deserialize, resume — same digest as the straight run.
+    let mut pre = LiveFleetRunner::new(cfg.clone());
+    for _ in 0..80 {
+        pre.step(None);
+    }
+    let bytes = pre.checkpoint().to_bytes();
+    drop(pre);
+    let ckpt = LiveCheckpoint::from_bytes(&bytes).expect("checkpoint decodes");
+    let mut resumed = LiveFleetRunner::resume(cfg, &ckpt);
+    resumed.run(None);
+    assert_eq!(
+        resumed.finish().digest(),
+        serial.digest(),
+        "kill-and-resume must land on the uninterrupted digest"
+    );
+
+    // The storm actually happened, per the recorded registry: requests
+    // overran the limiter and some were denied.
+    let snap = obs.registry.snapshot();
+    let requested = snap.counter("fir.requested").unwrap_or(0);
+    let granted = snap.counter("fir.granted").unwrap_or(0);
+    let denied = snap.counter("fir.ratelimited").unwrap_or(0);
+    assert!(denied > 0, "the limiter never engaged: not a storm");
+    assert!(
+        requested > granted,
+        "requests ({requested}) must overrun grants ({granted})"
+    );
+    assert!(
+        snap.gauge("jitter.playout_delay").unwrap_or(0.0) > 0.0,
+        "adaptive playout delay must be recorded"
+    );
+
+    // No silent starvation: the six outcome buckets partition every
+    // session's frames, and every deadline miss is a visible rung.
+    for s in &serial.sessions {
+        assert_eq!(
+            s.counters.frames_accounted(),
+            serial.ticks,
+            "session {} lost frames without a counter",
+            s.id
+        );
+        assert_eq!(
+            s.counters.deadline_misses,
+            s.counters.warp_only + s.counters.frozen,
+            "session {} has misses outside the degradation ladder",
+            s.id
+        );
+    }
+}
+
+/// The budget policy earns its complexity: across the live chaos matrix
+/// (loss burst, uplink collapse, tight playout budget, desync storm) the
+/// deadline-budget-driven repair choice beats every static single-repair
+/// policy on aggregate deadline-hit-rate.
+#[test]
+fn budget_policy_beats_every_static_policy_on_the_live_matrix() {
+    use nerve::core::LivePolicy;
+    use nerve::sim::live::{policy_hit_rates, policy_label, run_live_matrix};
+
+    let cells = run_live_matrix(6, 200, 42);
+    let rates = policy_hit_rates(&cells);
+    let budget = rates
+        .iter()
+        .find(|(p, _)| *p == LivePolicy::Budget)
+        .expect("budget row")
+        .1;
+    for (p, rate) in &rates {
+        if *p == LivePolicy::Budget {
+            continue;
+        }
+        assert!(
+            budget > *rate,
+            "budget policy ({budget:.4}) must beat {} ({rate:.4})",
+            policy_label(*p)
+        );
+    }
+}

@@ -132,3 +132,83 @@ fn session_trace_is_byte_identical_across_kill_and_resume() {
         "pre-crash + resumed trace must concatenate to the uninterrupted log byte-for-byte"
     );
 }
+
+#[test]
+fn live_trace_is_byte_identical_across_worker_counts() {
+    use nerve::sim::live;
+
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let logs: Vec<String> = WORKER_COUNTS
+        .iter()
+        .map(|&w| at_workers(w, || live::live_trace(8, 200, 2024)))
+        .collect();
+    assert!(
+        logs[0].contains("\"metric\":\"fir.requested\""),
+        "live trace must carry the feedback-plane metrics snapshot"
+    );
+    for (w, log) in WORKER_COUNTS.iter().zip(&logs).skip(1) {
+        assert_eq!(
+            &logs[0], log,
+            "live trace diverged between 1 and {w} workers"
+        );
+    }
+    let again = at_workers(2, || live::live_trace(8, 200, 2024));
+    assert_eq!(logs[0], again, "live trace diverged across repeat runs");
+}
+
+/// The live fleet's span/event stream survives a mid-storm crash: the
+/// lines emitted before the kill plus the lines from the resumed run
+/// concatenate to the uninterrupted log byte-for-byte.
+#[test]
+fn live_trace_is_byte_identical_across_kill_and_resume() {
+    use nerve::core::LivePolicy;
+    use nerve::sim::live::{fir_storm_config, LiveCheckpoint, LiveFleetRunner};
+
+    let cfg = fir_storm_config(LivePolicy::Budget, 12, 250, 2024);
+
+    let mut whole = Obs::trace();
+    let mut runner = LiveFleetRunner::new(cfg.clone());
+    while !runner.is_done() {
+        runner.step(Some(&mut whole));
+    }
+    let reference = runner.finish();
+    let reference_log = whole.trace_lines().expect("trace recorder keeps lines");
+    assert!(
+        reference_log.contains("fir_wave"),
+        "the storm must show up in the reference trace"
+    );
+
+    // Kill at tick 130 — just after the blackout lifts, mid-absorption.
+    let mut pre = Obs::trace();
+    let mut runner = LiveFleetRunner::new(cfg.clone());
+    for _ in 0..130 {
+        runner.step(Some(&mut pre));
+    }
+    let bytes = runner.checkpoint().to_bytes();
+    let pre_log = pre
+        .trace_lines()
+        .expect("trace recorder keeps lines")
+        .to_string();
+    drop(runner);
+    drop(pre);
+
+    let cp = LiveCheckpoint::from_bytes(&bytes).expect("own checkpoint must parse");
+    let mut post = Obs::trace();
+    let mut resumed = LiveFleetRunner::resume(cfg, &cp);
+    while !resumed.is_done() {
+        resumed.step(Some(&mut post));
+    }
+    assert_eq!(
+        resumed.finish().digest(),
+        reference.digest(),
+        "resumed live fleet must match the uninterrupted one"
+    );
+    let stitched = format!(
+        "{pre_log}{}",
+        post.trace_lines().expect("trace recorder keeps lines")
+    );
+    assert_eq!(
+        stitched, reference_log,
+        "pre-crash + resumed live trace must concatenate byte-for-byte"
+    );
+}
