@@ -73,7 +73,11 @@ impl AbrContext {
 }
 
 /// An adaptive-bitrate policy.
-pub trait Abr {
+///
+/// `Send` because controllers are plain data (maps + parameters): the
+/// sharded fleet moves per-session state — including its boxed policy —
+/// between shard workers at handoff.
+pub trait Abr: Send {
     /// Pick the ladder index for the next chunk.
     fn choose(&mut self, ctx: &AbrContext) -> usize;
     /// Short display name (figure legends).

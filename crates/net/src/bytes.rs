@@ -1,0 +1,235 @@
+//! Dependency-free little-endian byte codec shared by every wire format
+//! in the workspace.
+//!
+//! Originally private to `nerve-sim`'s session checkpoints, the codec
+//! moved here so the serve-side fleet (session handoff tickets) and the
+//! sim-side checkpoints frame bytes identically: little-endian integers,
+//! `f64::to_bits` for floats (exact round trip, no text formatting).
+//! Callers layer their own magic/version headers and a CRC32 trailer
+//! ([`crate::integrity`]) on top.
+
+use crate::clock::SimTime;
+use std::fmt;
+
+/// Why a read over a byte body failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteError {
+    /// The body ended before a field was fully read.
+    Truncated,
+}
+
+impl fmt::Display for ByteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ByteError::Truncated => write!(f, "byte body truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ByteError {}
+
+/// Little-endian byte sink for checkpoint/ticket fields.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Exact float round trip via the bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Exact `f32` round trip via the bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    pub fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.usize(x);
+            }
+        }
+    }
+
+    pub fn time(&mut self, t: SimTime) {
+        self.u64(t.as_micros());
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian reader over a byte body.
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ByteError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(ByteError::Truncated)?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, ByteError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, ByteError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, ByteError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, ByteError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, ByteError> {
+        Ok(self.u64()? as usize)
+    }
+
+    pub fn bool(&mut self) -> Result<bool, ByteError> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, ByteError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, ByteError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, ByteError> {
+        Ok(if self.u8()? != 0 {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, ByteError> {
+        Ok(if self.u8()? != 0 {
+            Some(self.usize()?)
+        } else {
+            None
+        })
+    }
+
+    pub fn time(&mut self) -> Result<SimTime, ByteError> {
+        Ok(SimTime::from_micros(self.u64()?))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u16(0xCDEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.usize(42);
+        w.bool(true);
+        w.f64(-0.062_5);
+        w.f32(1.5);
+        w.opt_f64(None);
+        w.opt_f64(Some(3.25));
+        w.opt_usize(Some(7));
+        w.opt_usize(None);
+        w.time(SimTime::from_micros(48_250_001));
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xCDEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -0.062_5);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(3.25));
+        assert_eq!(r.opt_usize().unwrap(), Some(7));
+        assert_eq!(r.opt_usize().unwrap(), None);
+        assert_eq!(r.time().unwrap(), SimTime::from_micros(48_250_001));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        assert_eq!(r.u32(), Err(ByteError::Truncated));
+        let mut r = ByteReader::new(&[]);
+        assert_eq!(r.u8(), Err(ByteError::Truncated));
+    }
+}

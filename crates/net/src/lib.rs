@@ -30,8 +30,11 @@
 //! * [`integrity`] — dependency-free CRC32 payload framing shared by
 //!   every wire format in the workspace; detected corruption becomes an
 //!   erasure instead of rendered garbage.
+//! * [`bytes`] — the little-endian field codec under that framing
+//!   (checkpoints, handoff tickets).
 //! * [`error`] — structured validation errors replacing hot-path asserts.
 
+pub mod bytes;
 pub mod clock;
 pub mod error;
 pub mod faults;
@@ -46,6 +49,7 @@ pub mod reliable;
 pub mod rtt;
 pub mod trace;
 
+pub use bytes::{ByteError, ByteReader, ByteWriter};
 pub use clock::SimTime;
 pub use error::NetError;
 pub use faults::{Corruption, Direction, Fault, FaultPlan, FaultWindow, FaultyLoss};

@@ -1,33 +1,41 @@
-//! The deterministic multi-session fleet loop.
+//! The deterministic multi-server fleet: a discrete-event simulator over
+//! N edge servers behind a load balancer.
 //!
-//! One edge server, N concurrent client sessions, one shared uplink. The
-//! loop is a fluid-flow discrete-event simulation over virtual time:
-//! downloading sessions split the trace-driven capacity by weighted fair
-//! share, chunk completions classify frames and enqueue SR/recovery work
-//! on the cross-session [`InferenceBatcher`], and the batcher flushes on
-//! a fixed server tick so jobs from different sessions coalesce into one
-//! stacked forward pass.
+//! Each server ([`crate::server::ServerSim`]) is an event-driven state
+//! machine over a calendar queue ([`crate::event_queue`]): session
+//! wake-ups, crash instants, completion probes, restart windows, and
+//! batcher ticks are *events*, so per-step cost scales with the number
+//! of active events, not the total session count. Sessions are placed
+//! across servers by a deterministic placement function
+//! ([`crate::topology::place_sessions`]) and can migrate mid-run through
+//! the handoff plan: at each handoff barrier the session's state
+//! round-trips through a CRC-framed ticket ([`crate::handoff`]) that is
+//! verified byte-identical before the destination accepts it.
 //!
-//! Determinism is by construction, not by locking: the loop itself is
-//! serial (sessions advance in id order at every event), service order
-//! inside a flush is the canonical EDF order, and the batched `conv2d`
-//! is bit-identical at every worker count — so the entire
-//! [`FleetResult`], down to activation checksums, is byte-identical
-//! whether the tensor pool runs 1 worker or 16. `--jobs` changes
-//! wall-clock time only.
+//! Determinism is by construction, not by locking. Within one server,
+//! events at the same instant process in a canonical order (restart →
+//! crashes → wakes → completions → tick flush — the same phase order as
+//! the old serial loop); across servers, the only coupling points are
+//! the handoff barriers, whose tickets are pure data. Sharded execution
+//! partitions servers across the `--jobs` worker pool ([`nerve_tensor::par`])
+//! with long-lived workers and an in-order merge, and each worker pins
+//! the tensor pool to inline mode, so the entire
+//! [`FleetResult::digest`] — down to activation checksums — is
+//! byte-identical at any worker count. `--jobs` changes wall-clock time
+//! only.
 
-use crate::admission::{Admission, AdmissionConfig, AdmissionController, SessionDemand};
-use crate::batcher::{BatcherStats, InferenceBatcher, InferenceJob, JobKind, ServerModel, Service};
-use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use crate::admission::AdmissionConfig;
+use crate::batcher::{BatcherStats, ServerModel};
+use crate::server::{FleetMetrics, ServerPartial, ServerSim, SessionDone};
+use crate::topology::{place_sessions, PlacementPolicy, SessionHandoff};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
-use nerve_abr::{Abr, AbrContext, CappedAbr};
 use nerve_core::BreakerConfig;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
-use nerve_net::loss::{GilbertElliott, LossModel};
 use nerve_net::trace::NetworkTrace;
-use nerve_obs::{Counter, FieldValue, Obs};
-use nerve_video::rng::{seed_for, StreamComponent};
+use nerve_obs::{FieldValue, Obs};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
 
 /// Client heterogeneity: what a session pays for and how it is weighted
 /// on the shared uplink.
@@ -83,7 +91,7 @@ pub struct FleetConfig {
     /// Chunks each session plays before leaving.
     pub chunks_per_session: usize,
     /// Root seed; every per-session stream is derived with
-    /// [`seed_for`], so results are stable under session reordering.
+    /// `seed_for`, so results are stable under session reordering.
     pub seed: u64,
     /// Bitrate ladder, kbps ascending.
     pub ladder_kbps: Vec<u32>,
@@ -102,9 +110,10 @@ pub struct FleetConfig {
     pub mean_burst: f64,
     /// Transport packet payload, bytes.
     pub packet_bytes: f64,
-    /// Server front door.
+    /// Server front door (each server gets its own controller with this
+    /// budget).
     pub admission: AdmissionConfig,
-    /// Shared enhancement backbone + compute model.
+    /// Shared enhancement backbone + compute model (per server).
     pub model: ServerModel,
     /// Batcher flush cadence (also the event loop's coarsest step).
     pub flush_tick_secs: f64,
@@ -120,12 +129,19 @@ pub struct FleetConfig {
     /// download is aborted (its bookkeeping reverted) and the client is
     /// offline for `down_secs` before re-requesting the same chunk.
     pub crash_plan: Vec<SessionCrash>,
-    /// One whole-server restart: pending work is drained (every
-    /// accounted job settles), then the server takes no flushes while
-    /// down — jobs queue up and settle after it returns.
+    /// One whole-server restart: pending work on that server is drained
+    /// (every accounted job settles), then the server takes no flushes
+    /// while down — jobs queue up and settle after it returns.
     pub server_restart: Option<ServerRestart>,
-    /// Arm the batcher's overload circuit breaker.
+    /// Arm each batcher's overload circuit breaker.
     pub breaker: Option<BreakerConfig>,
+    /// Edge servers behind the load balancer (min 1).
+    pub servers: usize,
+    /// How sessions spread across servers at arrival.
+    pub placement: PlacementPolicy,
+    /// Planned server-to-server session moves; each distinct `at_secs`
+    /// is a fleet-wide barrier.
+    pub handoffs: Vec<SessionHandoff>,
 }
 
 /// One client crash in the fleet's crash plan.
@@ -141,6 +157,8 @@ pub struct SessionCrash {
 /// One edge-server restart window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerRestart {
+    /// Which server restarts.
+    pub server: usize,
     pub at_secs: f64,
     pub down_secs: f64,
 }
@@ -171,6 +189,9 @@ impl FleetConfig {
             crash_plan: Vec::new(),
             server_restart: None,
             breaker: None,
+            servers: 1,
+            placement: PlacementPolicy::RoundRobin,
+            handoffs: Vec::new(),
         }
     }
 }
@@ -203,6 +224,8 @@ pub struct SessionSummary {
     /// Rung cap from admission (`None` = admitted at full ladder).
     pub cap: Option<usize>,
     pub rejected: bool,
+    /// The server the session finished on (after any handoffs).
+    pub server: usize,
     pub qoe: f64,
     pub mean_utility_mbps: f64,
     pub rebuffer_secs: f64,
@@ -215,10 +238,31 @@ pub struct SessionSummary {
     pub checksum: f32,
 }
 
+/// One server's slice of the fleet outcome.
+#[derive(Debug, Clone)]
+pub struct ServerSummary {
+    pub id: usize,
+    /// Sessions resident at the end of the run.
+    pub sessions: usize,
+    pub accepted: usize,
+    pub downgraded: usize,
+    pub rejected: usize,
+    pub restarts: usize,
+    pub handoffs_in: usize,
+    pub handoffs_out: usize,
+    /// Calendar-queue events this server processed.
+    pub events: u64,
+    pub batcher: BatcherStats,
+    /// Virtual time at which this server drained.
+    pub virtual_secs: f64,
+}
+
 /// Aggregate outcome of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetResult {
     pub sessions: Vec<SessionSummary>,
+    /// Per-server breakdown, ascending server id.
+    pub servers: Vec<ServerSummary>,
     /// Mean QoE over admitted sessions.
     pub mean_qoe: f64,
     /// Jain fairness index over admitted sessions' mean utility.
@@ -228,15 +272,20 @@ pub struct FleetResult {
     pub accepted: usize,
     pub downgraded: usize,
     pub rejected: usize,
+    /// Batcher stats summed across servers.
     pub batcher: BatcherStats,
     /// p95 of deadline slack over full-served jobs, seconds.
     pub p95_slack_secs: f64,
-    /// Virtual time at which the fleet drained.
+    /// Virtual time at which the slowest server drained.
     pub virtual_secs: f64,
     /// Total client crash events absorbed across sessions.
     pub crashes: usize,
-    /// Server restarts performed.
+    /// Server restarts performed (across all servers).
     pub server_restarts: usize,
+    /// Session handoffs executed.
+    pub handoffs: usize,
+    /// Calendar-queue events processed across all servers.
+    pub events: u64,
 }
 
 impl FleetResult {
@@ -274,12 +323,38 @@ impl FleetResult {
             b.watchdog_trips,
             b.fast_shed,
         );
+        let _ = writeln!(
+            s,
+            "topology servers={} handoffs={} events={}",
+            self.servers.len(),
+            self.handoffs,
+            self.events,
+        );
+        for sv in &self.servers {
+            let _ = writeln!(
+                s,
+                "srv{} sessions={} adm={}/{}/{} restarts={} ho={}/{} ev={} batches={} full={} occ={:?}",
+                sv.id,
+                sv.sessions,
+                sv.accepted,
+                sv.downgraded,
+                sv.rejected,
+                sv.restarts,
+                sv.handoffs_in,
+                sv.handoffs_out,
+                sv.events,
+                sv.batcher.batches,
+                sv.batcher.full,
+                sv.batcher.occupancy,
+            );
+        }
         for sess in &self.sessions {
             let _ = writeln!(
                 s,
-                "s{} {} cap={:?} rej={} qoe={:016x} util={:016x} rebuf={:016x} rung={:016x} jobs={} deg={} srskip={} frz={} crash={} sum={:08x}",
+                "s{} {} srv={} cap={:?} rej={} qoe={:016x} util={:016x} rebuf={:016x} rung={:016x} jobs={} deg={} srskip={} frz={} crash={} sum={:08x}",
                 sess.id,
                 sess.class.label(),
+                sess.server,
                 sess.cap,
                 sess.rejected,
                 sess.qoe.to_bits(),
@@ -311,125 +386,50 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
     (sum * sum) / (xs.len() as f64 * sq)
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    /// Not yet arrived, or draining an over-full buffer.
-    Waiting {
-        until: SimTime,
-    },
-    Downloading {
-        rung: usize,
-        bytes_left: f64,
-        bytes_total: f64,
-        started: SimTime,
-        buffer_at_start: f64,
-    },
-    Done,
-}
-
-/// Accumulates one chunk's frames until every enhancement job settles.
-#[derive(Debug, Clone, Default)]
-struct ChunkAcc {
-    started: bool,
-    rung: usize,
-    frames: usize,
-    resolved: usize,
-    psnr_sum: f64,
-    rebuffer_secs: f64,
-}
-
-struct SessionState {
-    class: ClientClass,
-    weight: f64,
-    cap: Option<usize>,
-    rejected: bool,
-    abr: Box<dyn Abr>,
-    ctx: AbrContext,
-    phase: Phase,
-    buffer_secs: f64,
-    /// When `buffer_secs` was last brought up to date (the buffer drains
-    /// in real time between chunk requests too).
-    buffer_asof: SimTime,
-    chunk_idx: usize,
-    loss: GilbertElliott,
-    overlay: FaultPlan,
-    chunks: Vec<ChunkAcc>,
-    chain: usize,
-    rung_sum: usize,
-    counters: SessionCounters,
-    checksum: f32,
-    rebuffer_total: f64,
-}
-
-/// Expected steady-state demand of one session capped at `cap`, used by
-/// admission: the rung's bitrate, plus enhancement compute for SR
-/// anchors and the expected damaged-frame recovery load.
-fn demand_at(cfg: &FleetConfig, cap: usize) -> SessionDemand {
-    let anchors = (cfg.frames_per_chunk / cfg.anchor_stride.max(1)) as f64;
-    let expected_damaged = cfg.frames_per_chunk as f64 * cfg.avg_loss;
-    let jobs_per_sec = (anchors + expected_damaged) / cfg.chunk_seconds;
-    let macs_per_job = cfg.model.macs_per_job() * ServerModel::rung_scale(&cfg.ladder_kbps, cap);
-    SessionDemand {
-        bandwidth_kbps: f64::from(cfg.ladder_kbps[cap]),
-        macs_per_sec: jobs_per_sec * macs_per_job,
+/// Sum two batcher stats (occupancy elementwise, breaker counters
+/// saturating-summed) for the fleet-level aggregate.
+fn merge_stats(into: &mut BatcherStats, from: &BatcherStats) {
+    into.batches += from.batches;
+    into.full += from.full;
+    into.warp_only += from.warp_only;
+    into.shed += from.shed;
+    for (a, b) in into.occupancy.iter_mut().zip(from.occupancy.iter()) {
+        *a += b;
     }
+    into.breaker.opened += from.breaker.opened;
+    into.breaker.half_opened += from.breaker.half_opened;
+    into.breaker.closed += from.breaker.closed;
+    into.breaker.watchdog_trips += from.breaker.watchdog_trips;
+    into.breaker.fast_shed += from.breaker.fast_shed;
 }
 
-fn make_abr(cfg: &FleetConfig, maps: &QualityMaps, class: ClientClass) -> Box<dyn Abr> {
-    Box::new(EnhancementAwareAbr::new(
-        maps.clone(),
-        cfg.qoe,
-        EnhancementConfig {
-            recovery_aware: class.recovery(),
-            sr_aware: class.sr(),
-            ..EnhancementConfig::default()
-        },
-    ))
+/// The handoff plan in barrier order: invalid entries (unknown session
+/// or server, or an instant outside `(0, max_virtual_secs)`) are
+/// dropped, the rest sorted by `(at_secs, session)` — the canonical
+/// execution order at every worker count.
+fn handoff_plan(cfg: &FleetConfig, servers: usize) -> Vec<SessionHandoff> {
+    let mut plan: Vec<SessionHandoff> = cfg
+        .handoffs
+        .iter()
+        .copied()
+        .filter(|h| {
+            h.session < cfg.sessions
+                && h.to < servers
+                && h.at_secs > 0.0
+                && h.at_secs < cfg.max_virtual_secs
+        })
+        .collect();
+    plan.sort_by(|a, b| {
+        a.at_secs
+            .total_cmp(&b.at_secs)
+            .then(a.session.cmp(&b.session))
+    });
+    plan
 }
 
-/// Per-session fault overlay: a mid-run throughput collapse on every
-/// `overlay_every`-th session, merged onto the fleet-wide plan.
-fn overlay_for(cfg: &FleetConfig, id: usize) -> FaultPlan {
-    let base = FaultPlan::new(seed_for(cfg.seed, id as u64, StreamComponent::Faults));
-    if cfg.overlay_every > 0 && id % cfg.overlay_every == cfg.overlay_every - 1 {
-        base.throughput_collapse(
-            SimTime::from_secs_f64(6.0),
-            SimTime::from_secs_f64(4.0),
-            0.4,
-        )
-    } else {
-        base
-    }
-    .merged(&cfg.fleet_faults)
-}
-
-/// Fleet-level registry counters, bound once per run when an
-/// observability plane is attached.
-struct FleetMetrics {
-    jobs_enqueued: Counter,
-    crashes: Counter,
-    server_restarts: Counter,
-    accepted: Counter,
-    downgraded: Counter,
-    rejected: Counter,
-}
-
-impl FleetMetrics {
-    fn bind(registry: &nerve_obs::Registry) -> Self {
-        Self {
-            jobs_enqueued: registry.counter("fleet.jobs.enqueued"),
-            crashes: registry.counter("fleet.crashes"),
-            server_restarts: registry.counter("fleet.server_restarts"),
-            accepted: registry.counter("fleet.sessions.accepted"),
-            downgraded: registry.counter("fleet.sessions.downgraded"),
-            rejected: registry.counter("fleet.sessions.rejected"),
-        }
-    }
-}
-
-/// Run one fleet to completion. Serial and deterministic: the same
-/// `(cfg, trace)` always yields a byte-identical [`FleetResult::digest`],
-/// at any tensor worker count.
+/// Run one fleet to completion. Deterministic: the same `(cfg, trace)`
+/// always yields a byte-identical [`FleetResult::digest`], at any
+/// tensor worker count and any server count × worker partition.
 pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
     run_fleet_obs(cfg, trace, None)
 }
@@ -438,8 +438,12 @@ pub fn run_fleet(cfg: &FleetConfig, trace: &NetworkTrace) -> FleetResult {
 /// passive: it observes virtual-time spans, point events, and registry
 /// metrics, but never influences control flow, so the returned
 /// [`FleetResult::digest`] is byte-identical with `Some` and `None`.
-/// The batcher shares the plane's registry (its `batcher.*` metrics land
-/// next to the `fleet.*` ones).
+/// Observed runs execute serially (one OS thread) because the metric
+/// registry is single-threaded; the digest is unaffected. On a
+/// single-server fleet the batcher shares the plane's registry (its
+/// `batcher.*` metrics land next to the `fleet.*` ones, matching the
+/// pre-topology behaviour); multi-server fleets keep per-server
+/// batchers private and fold the aggregate in at the end.
 pub fn run_fleet_obs(
     cfg: &FleetConfig,
     trace: &NetworkTrace,
@@ -447,579 +451,328 @@ pub fn run_fleet_obs(
 ) -> FleetResult {
     assert!(cfg.sessions > 0, "fleet needs at least one session");
     assert!(cfg.flush_tick_secs > 0.0);
+    let servers = cfg.servers.max(1);
+    if let Some(r) = cfg.server_restart {
+        assert!(r.server < servers, "restart names an unknown server");
+    }
     let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
-    let top_rung = cfg.ladder_kbps.len() - 1;
-    let delta = cfg.chunk_seconds / cfg.frames_per_chunk as f64;
-
-    let mut admission = AdmissionController::new(&cfg.admission);
-    let mut batcher = InferenceBatcher::new(
-        cfg.model.clone(),
-        cfg.ladder_kbps.clone(),
-        (0..cfg.sessions)
-            .map(|s| seed_for(cfg.seed, s as u64, StreamComponent::Inference))
-            .collect(),
-    );
-    if let Some(breaker) = cfg.breaker {
-        batcher = batcher.with_breaker(breaker);
-    }
-    if let Some(o) = obs.as_deref_mut() {
-        batcher = batcher.with_registry(o.registry.clone());
-    }
-    let fm = obs.as_deref().map(|o| FleetMetrics::bind(&o.registry));
-
-    // Crash plane events, in canonical (time, session) order; a cursor
-    // walks them exactly once as virtual time passes their instants.
-    let mut crashes: Vec<SessionCrash> = cfg
-        .crash_plan
-        .iter()
-        .copied()
-        .filter(|c| c.session < cfg.sessions)
+    let weights: Vec<f64> = (0..cfg.sessions)
+        .map(|id| ClientClass::of(id).weight())
         .collect();
-    crashes.sort_by(|a, b| {
-        a.at_secs
-            .total_cmp(&b.at_secs)
-            .then(a.session.cmp(&b.session))
-    });
-    let mut crash_cursor = 0usize;
-    let mut restart_pending = cfg.server_restart;
-    let mut server_down_until: Option<SimTime> = None;
-    let mut server_restarts = 0usize;
+    let assignment = place_sessions(cfg.placement, servers, &weights);
+    let plan = handoff_plan(cfg, servers);
+    let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
 
-    let mut sessions: Vec<SessionState> = (0..cfg.sessions)
-        .map(|id| {
-            let class = ClientClass::of(id);
-            SessionState {
-                class,
-                weight: class.weight(),
-                cap: None,
-                rejected: false,
-                abr: make_abr(cfg, &maps, class),
-                ctx: AbrContext::bootstrap(
-                    cfg.ladder_kbps.clone(),
-                    cfg.chunk_seconds,
-                    cfg.frames_per_chunk,
-                ),
-                phase: Phase::Waiting {
-                    until: SimTime::from_secs_f64(id as f64 * cfg.stagger_secs),
-                },
-                buffer_secs: 0.0,
-                buffer_asof: SimTime::ZERO,
-                chunk_idx: 0,
-                loss: GilbertElliott::with_rate(
-                    cfg.avg_loss,
-                    cfg.mean_burst,
-                    seed_for(cfg.seed, id as u64, StreamComponent::MediaLoss),
-                ),
-                overlay: overlay_for(cfg, id),
-                chunks: vec![ChunkAcc::default(); cfg.chunks_per_session],
-                chain: 0,
-                rung_sum: 0,
-                counters: SessionCounters::default(),
-                checksum: 0.0,
-                rebuffer_total: 0.0,
-            }
+    let workers = nerve_tensor::par::workers().min(servers);
+    let threaded =
+        workers > 1 && servers > 1 && obs.is_none() && !nerve_tensor::par::in_pool();
+
+    let partials = if threaded {
+        run_sharded(
+            cfg, trace, &maps, &assignment, &plan, hard_stop, servers, workers,
+        )
+    } else {
+        run_serial(
+            cfg,
+            trace,
+            &maps,
+            &assignment,
+            &plan,
+            hard_stop,
+            servers,
+            &mut obs,
+        )
+    };
+    assemble(cfg, &maps, partials, obs)
+}
+
+/// Drive every server on this thread, interleaving at handoff barriers.
+#[allow(clippy::too_many_arguments)]
+fn run_serial(
+    cfg: &FleetConfig,
+    trace: &NetworkTrace,
+    maps: &QualityMaps,
+    assignment: &[usize],
+    plan: &[SessionHandoff],
+    hard_stop: SimTime,
+    servers: usize,
+    obs: &mut Option<&mut Obs>,
+) -> Vec<ServerPartial> {
+    let fm = obs.as_deref().map(|o| FleetMetrics::bind(&o.registry));
+    let mut sims: Vec<ServerSim> = (0..servers)
+        .map(|sid| {
+            // Single-server observed runs share the plane's registry
+            // (pre-topology behaviour); with several servers each batcher
+            // keeps private counters so per-server stats stay exact.
+            let reg = match obs.as_deref() {
+                Some(o) if servers == 1 => Some(o.registry.clone()),
+                _ => None,
+            };
+            ServerSim::new(sid, cfg, trace, maps, reg, fm.clone())
         })
         .collect();
+    for (id, &srv) in assignment.iter().enumerate() {
+        sims[srv].spawn_session(id);
+    }
 
-    let tick_us = (cfg.flush_tick_secs * 1e6).round().max(1.0) as u64;
-    let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
-    let mut t = SimTime::ZERO;
-    let mut slacks: Vec<f64> = Vec::new();
-    // Flush ordinal: the span index of the next `fleet.flush` span. It is
-    // derived purely from the virtual-event sequence, so it is identical
-    // at any worker count.
-    let mut flush_idx = 0u64;
-
-    // One settle closure used for every flush: maps a batcher outcome
-    // back onto its session's chunk accumulator and counters.
-    fn settle(
-        sessions: &mut [SessionState],
-        maps: &QualityMaps,
-        slacks: &mut Vec<f64>,
-        outcomes: &[crate::batcher::JobOutcome],
-        t: SimTime,
-        mut obs: Option<&mut Obs>,
-    ) {
-        for o in outcomes {
-            if let Some(ob) = obs.as_deref_mut() {
-                ob.event(
-                    "job.settle",
-                    o.job.frame as u64,
-                    t.0,
+    let mut owner = assignment.to_vec();
+    let mut i = 0;
+    while i < plan.len() {
+        let barrier_secs = plan[i].at_secs;
+        let barrier = SimTime::from_secs_f64(barrier_secs);
+        for sim in sims.iter_mut() {
+            sim.run_until(barrier, obs);
+        }
+        while i < plan.len() && plan[i].at_secs == barrier_secs {
+            let h = plan[i];
+            i += 1;
+            let from = owner[h.session];
+            if from == h.to {
+                continue;
+            }
+            let ticket = sims[from].extract_session(h.session, barrier, obs);
+            if let Some(o) = obs.as_deref_mut() {
+                o.event(
+                    "handoff",
+                    h.session as u64,
+                    barrier.0,
                     &[
-                        ("session", FieldValue::U64(o.job.session as u64)),
-                        ("chunk", FieldValue::U64(o.job.chunk as u64)),
-                        (
-                            "kind",
-                            FieldValue::Str(match o.job.kind {
-                                JobKind::Recovery => "recovery",
-                                JobKind::Sr => "sr",
-                            }),
-                        ),
-                        (
-                            "service",
-                            FieldValue::Str(match o.service {
-                                Service::Full => "full",
-                                Service::WarpOnly => "warp_only",
-                                Service::Shed => "shed",
-                            }),
-                        ),
-                        ("slack_secs", FieldValue::F64(o.slack_secs)),
+                        ("from", FieldValue::U64(from as u64)),
+                        ("to", FieldValue::U64(h.to as u64)),
+                        ("bytes", FieldValue::U64(ticket.len() as u64)),
                     ],
                 );
             }
-            let s = &mut sessions[o.job.session];
-            let acc = &mut s.chunks[o.job.chunk];
-            let psnr = match (o.job.kind, o.service) {
-                (JobKind::Recovery, Service::Full) => {
-                    maps.recovered_psnr_at_depth(o.job.rung, o.job.chain)
-                }
-                (JobKind::Recovery, Service::WarpOnly) => {
-                    s.counters.degraded += 1;
-                    maps.warp_only_psnr_at_depth(o.job.rung, o.job.chain)
-                }
-                (JobKind::Recovery, Service::Shed) => {
-                    s.counters.degraded += 1;
-                    maps.reuse_psnr_at_depth(o.job.rung, o.job.chain)
-                }
-                (JobKind::Sr, Service::Full) => maps.sr_psnr[o.job.rung],
-                (JobKind::Sr, _) => {
-                    s.counters.sr_skipped += 1;
-                    maps.plain_psnr[o.job.rung]
-                }
-            };
-            if o.service == Service::Full {
-                s.counters.full += 1;
-                slacks.push(o.slack_secs);
+            sims[h.to].install_ticket(&ticket, barrier, obs);
+            owner[h.session] = h.to;
+            if let Some(m) = &fm {
+                m.handoffs.inc();
             }
-            s.checksum += o.checksum;
-            acc.psnr_sum += psnr;
-            acc.resolved += 1;
+        }
+    }
+    sims.iter_mut()
+        .map(|sim| {
+            sim.run_until(hard_stop, obs);
+            sim.finish(hard_stop, obs)
+        })
+        .collect()
+}
+
+/// A command to one shard worker. Channels are FIFO per worker, which is
+/// the only ordering the protocol needs: a worker always reaches a
+/// barrier (`RunUntil`) before the extract/install commands issued at
+/// it.
+enum ShardCmd {
+    RunUntil(SimTime),
+    Extract {
+        server: usize,
+        session: usize,
+        at: SimTime,
+    },
+    Install {
+        server: usize,
+        at: SimTime,
+        ticket: Vec<u8>,
+    },
+    Finish(SimTime),
+}
+
+enum ShardReply {
+    Ticket(Vec<u8>),
+    Done(Vec<ServerPartial>),
+}
+
+/// Deterministic sharded execution: partition servers contiguously
+/// across `workers` long-lived threads. Each worker *constructs and
+/// owns* its `ServerSim`s (they are not `Send` — the batcher's metric
+/// registry is thread-local by design), so only plain-data commands and
+/// tickets cross threads. Each worker pins the tensor pool to inline
+/// mode, making every conv2d bit-identical to the serial path; partials
+/// merge in server order, so the digest is byte-identical to
+/// `run_serial` at any worker count.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    cfg: &FleetConfig,
+    trace: &NetworkTrace,
+    maps: &QualityMaps,
+    assignment: &[usize],
+    plan: &[SessionHandoff],
+    hard_stop: SimTime,
+    servers: usize,
+    workers: usize,
+) -> Vec<ServerPartial> {
+    // Worker k owns the contiguous server block [k·S/W, (k+1)·S/W).
+    let mut worker_of = vec![0usize; servers];
+    for k in 0..workers {
+        let lo = k * servers / workers;
+        let hi = (k + 1) * servers / workers;
+        for w in &mut worker_of[lo..hi] {
+            *w = k;
         }
     }
 
-    loop {
-        if t >= hard_stop {
-            break;
-        }
-        let all_done = sessions.iter().all(|s| matches!(s.phase, Phase::Done));
-        if all_done {
-            break;
-        }
-
-        // Shared-uplink capacity at `t`: trace rate scaled by fleet-wide
-        // faults; each downloading session gets a weighted fair share,
-        // further scaled by its own overlay (session overlays apply only
-        // to their session — the fleet factor is already in the pool, so
-        // the overlay's own factor is divided back out of the merge).
-        let fleet_factor = if cfg.fleet_faults.blackout_at(t) {
-            0.0
-        } else {
-            cfg.fleet_faults.capacity_factor(t)
-        };
-        let pool = trace.bytes_per_sec_at(t) * fleet_factor;
-        let total_weight: f64 = sessions
-            .iter()
-            .filter(|s| matches!(s.phase, Phase::Downloading { .. }))
-            .map(|s| s.weight)
-            .sum();
-        let rate_of = |s: &SessionState| -> f64 {
-            let overlay_factor = if s.overlay.blackout_at(t) {
-                0.0
-            } else if fleet_factor > 0.0 {
-                // merged() includes the fleet faults; undo the fleet
-                // factor so it is not applied twice.
-                s.overlay.capacity_factor(t) / fleet_factor
-            } else {
-                0.0
-            };
-            if total_weight > 0.0 {
-                pool * (s.weight / total_weight) * overlay_factor.min(1.0)
-            } else {
-                0.0
-            }
-        };
-
-        // Next event: tick boundary, a waiting session's wake-up, the
-        // earliest in-flight completion at current rates, or a pending
-        // crash/restart instant.
-        let mut next = hard_stop.min(SimTime(((t.0 / tick_us) + 1) * tick_us));
-        if let Some(c) = crashes.get(crash_cursor) {
-            let at = SimTime::from_secs_f64(c.at_secs);
-            if at > t {
-                next = next.min(at);
-            }
-        }
-        if let Some(r) = restart_pending {
-            let at = SimTime::from_secs_f64(r.at_secs);
-            if at > t {
-                next = next.min(at);
-            }
-        }
-        for s in &sessions {
-            match s.phase {
-                Phase::Waiting { until } if until > t => next = next.min(until),
-                Phase::Downloading { bytes_left, .. } => {
-                    let r = rate_of(s);
-                    if r > 0.0 {
-                        let secs = bytes_left / r;
-                        next = next.min(t + SimTime::from_secs_f64(secs + 1e-9));
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(workers);
+        let mut reply_rxs = Vec::with_capacity(workers);
+        for j in 0..workers {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCmd>();
+            let (reply_tx, reply_rx) = mpsc::channel::<ShardReply>();
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+            let lo = j * servers / workers;
+            let hi = (j + 1) * servers / workers;
+            scope.spawn(move || {
+                // Inline tensor mode: conv2d inside a shard worker runs
+                // serially, so activations are bit-identical to the
+                // single-threaded path.
+                let _pin = nerve_tensor::par::PoolGuard::new();
+                let mut sims: BTreeMap<usize, ServerSim> = (lo..hi)
+                    .map(|sid| (sid, ServerSim::new(sid, cfg, trace, maps, None, None)))
+                    .collect();
+                for (id, &srv) in assignment.iter().enumerate() {
+                    if let Some(sim) = sims.get_mut(&srv) {
+                        sim.spawn_session(id);
                     }
                 }
-                _ => {}
-            }
-        }
-        let dt = next.saturating_sub(t).as_secs_f64().max(1e-6);
-
-        // Advance in-flight downloads by their share over [t, next).
-        let rates: Vec<f64> = sessions.iter().map(rate_of).collect();
-        for (s, r) in sessions.iter_mut().zip(&rates) {
-            if let Phase::Downloading { bytes_left, .. } = &mut s.phase {
-                *bytes_left = (*bytes_left - r * dt).max(0.0);
-            }
-        }
-        t = next.max(t + SimTime(1));
-
-        // Server restart: drain everything already accounted (every
-        // pending job settles through the normal path — nothing is
-        // dropped), then go dark until the window ends; ticks meanwhile
-        // skip the flush and jobs queue up.
-        if let Some(r) = restart_pending {
-            if SimTime::from_secs_f64(r.at_secs) <= t {
-                if batcher.pending() > 0 {
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.open("fleet.flush", flush_idx, t.0);
+                let mut obs: Option<&mut Obs> = None;
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        ShardCmd::RunUntil(stop) => {
+                            for sim in sims.values_mut() {
+                                sim.run_until(stop, &mut obs);
+                            }
+                        }
+                        ShardCmd::Extract {
+                            server,
+                            session,
+                            at,
+                        } => {
+                            let t = sims
+                                .get_mut(&server)
+                                .expect("extract routed to wrong shard")
+                                .extract_session(session, at, &mut obs);
+                            let _ = reply_tx.send(ShardReply::Ticket(t));
+                        }
+                        ShardCmd::Install { server, at, ticket } => {
+                            sims.get_mut(&server)
+                                .expect("install routed to wrong shard")
+                                .install_ticket(&ticket, at, &mut obs);
+                        }
+                        ShardCmd::Finish(stop) => {
+                            let partials = sims
+                                .values_mut()
+                                .map(|sim| {
+                                    sim.run_until(stop, &mut obs);
+                                    sim.finish(stop, &mut obs)
+                                })
+                                .collect();
+                            let _ = reply_tx.send(ShardReply::Done(partials));
+                            break;
+                        }
                     }
-                    let outcomes = batcher.flush(t);
-                    settle(
-                        &mut sessions,
-                        &maps,
-                        &mut slacks,
-                        &outcomes,
-                        t,
-                        obs.as_deref_mut(),
-                    );
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.close(t.0);
-                    }
-                    flush_idx += 1;
                 }
-                server_down_until = Some(SimTime::from_secs_f64(r.at_secs + r.down_secs));
-                server_restarts += 1;
-                if let Some(m) = &fm {
-                    m.server_restarts.inc();
-                }
-                if let Some(o) = obs.as_deref_mut() {
-                    o.event(
-                        "server.restart",
-                        server_restarts as u64 - 1,
-                        t.0,
-                        &[("down_secs", FieldValue::F64(r.down_secs))],
-                    );
-                }
-                restart_pending = None;
-            }
+            });
         }
 
-        // Client crashes: abort the in-flight download (reverting its
-        // chunk bookkeeping — completion never ran, so no job was
-        // enqueued for it) and hold the session offline until the crash
-        // window ends; it then retries the same chunk.
-        while let Some(c) = crashes.get(crash_cursor).copied() {
-            if SimTime::from_secs_f64(c.at_secs) > t {
-                break;
+        let mut owner = assignment.to_vec();
+        let mut i = 0;
+        while i < plan.len() {
+            let barrier_secs = plan[i].at_secs;
+            let barrier = SimTime::from_secs_f64(barrier_secs);
+            for tx in &cmd_txs {
+                let _ = tx.send(ShardCmd::RunUntil(barrier));
             }
-            crash_cursor += 1;
-            let until = SimTime::from_secs_f64(c.at_secs + c.down_secs);
-            let s = &mut sessions[c.session];
-            let mut absorbed = true;
-            match s.phase {
-                Phase::Done => absorbed = false,
-                Phase::Waiting { until: w } => {
-                    s.counters.crashes += 1;
-                    s.phase = Phase::Waiting {
-                        until: w.max(until),
-                    };
+            while i < plan.len() && plan[i].at_secs == barrier_secs {
+                let h = plan[i];
+                i += 1;
+                let from = owner[h.session];
+                if from == h.to {
+                    continue;
                 }
-                Phase::Downloading { rung, .. } => {
-                    s.counters.crashes += 1;
-                    s.rung_sum -= rung;
-                    s.chunks[s.chunk_idx] = ChunkAcc::default();
-                    s.phase = Phase::Waiting { until };
-                }
-            }
-            if absorbed {
-                if let Some(m) = &fm {
-                    m.crashes.inc();
-                }
-                if let Some(o) = obs.as_deref_mut() {
-                    o.event(
-                        "session.crash",
-                        c.session as u64,
-                        t.0,
-                        &[("down_secs", FieldValue::F64(c.down_secs))],
-                    );
-                }
-            }
-        }
-
-        // Wake waiting sessions and start their next chunk (admission
-        // gates only the first).
-        for (id, s) in sessions.iter_mut().enumerate() {
-            match s.phase {
-                Phase::Waiting { until } if until <= t => {}
-                _ => continue,
-            }
-            if s.chunk_idx == 0 && !s.rejected && s.cap.is_none() {
-                match admission.admit(t, top_rung, |cap| demand_at(cfg, cap)) {
-                    Admission::Accept => {
-                        if let Some(m) = &fm {
-                            m.accepted.inc();
-                        }
-                        if let Some(o) = obs.as_deref_mut() {
-                            o.event(
-                                "admission",
-                                id as u64,
-                                t.0,
-                                &[("decision", FieldValue::Str("accept"))],
-                            );
-                        }
-                    }
-                    Admission::Downgrade { cap } => {
-                        let inner = make_abr(cfg, &maps, s.class);
-                        s.abr = Box::new(CappedAbr::new(inner, cap));
-                        s.cap = Some(cap);
-                        if let Some(m) = &fm {
-                            m.downgraded.inc();
-                        }
-                        if let Some(o) = obs.as_deref_mut() {
-                            o.event(
-                                "admission",
-                                id as u64,
-                                t.0,
-                                &[
-                                    ("decision", FieldValue::Str("downgrade")),
-                                    ("cap", FieldValue::U64(cap as u64)),
-                                ],
-                            );
-                        }
-                    }
-                    Admission::Reject => {
-                        s.rejected = true;
-                        s.phase = Phase::Done;
-                        if let Some(m) = &fm {
-                            m.rejected.inc();
-                        }
-                        if let Some(o) = obs.as_deref_mut() {
-                            o.event(
-                                "admission",
-                                id as u64,
-                                t.0,
-                                &[("decision", FieldValue::Str("reject"))],
-                            );
-                        }
-                        continue;
-                    }
-                }
-            }
-            if s.chunk_idx >= cfg.chunks_per_session {
-                s.phase = Phase::Done;
-                continue;
-            }
-            // Drain the buffer for the idle time since it was last
-            // updated (completion or drain-wait end to now).
-            let idle = t.saturating_sub(s.buffer_asof).as_secs_f64();
-            s.buffer_secs = (s.buffer_secs - idle).max(0.0);
-            s.buffer_asof = t;
-            s.ctx.buffer_secs = s.buffer_secs;
-            let rung = s.abr.choose(&s.ctx).min(top_rung);
-            s.ctx.last_choice = rung;
-            let bytes = f64::from(cfg.ladder_kbps[rung]) * 1000.0 / 8.0 * cfg.chunk_seconds;
-            s.rung_sum += rung;
-            s.chunks[s.chunk_idx].started = true;
-            s.chunks[s.chunk_idx].rung = rung;
-            s.chunks[s.chunk_idx].frames = cfg.frames_per_chunk;
-            s.phase = Phase::Downloading {
-                rung,
-                bytes_left: bytes,
-                bytes_total: bytes,
-                started: t,
-                buffer_at_start: s.buffer_secs,
-            };
-        }
-
-        // Handle completions in session-id order (canonical).
-        for (id, s) in sessions.iter_mut().enumerate() {
-            let (rung, bytes_total, started, buffer_at_start) = match s.phase {
-                Phase::Downloading {
-                    rung,
-                    bytes_left,
-                    bytes_total,
-                    started,
-                    buffer_at_start,
-                } if bytes_left <= 1e-6 => (rung, bytes_total, started, buffer_at_start),
-                _ => continue,
-            };
-            let dl_secs = t.saturating_sub(started).as_secs_f64().max(1e-6);
-            let rebuffer = (dl_secs - buffer_at_start).max(0.0);
-            s.rebuffer_total += rebuffer;
-            let chunk = s.chunk_idx;
-            s.chunks[chunk].rebuffer_secs = rebuffer;
-
-            // Frame classification. Playback of this chunk begins once
-            // the buffer (plus any stall) allows: frame i plays at
-            // `started + buffer_at_start + rebuffer + i·delta` — by
-            // construction at or after its own (fluid) arrival, so
-            // damage comes from the loss processes and deadline pressure
-            // comes from the *server*, which is the contended resource
-            // this subsystem models.
-            let play_base = buffer_at_start + rebuffer;
-            let pkts_per_frame =
-                ((bytes_total / cfg.frames_per_chunk as f64) / cfg.packet_bytes).ceil() as usize;
-            let mut damaged_frames = 0usize;
-            for frame in 0..cfg.frames_per_chunk {
-                let arr = started
-                    + SimTime::from_secs_f64(
-                        dl_secs * (frame + 1) as f64 / cfg.frames_per_chunk as f64,
-                    );
-                let deadline = started + SimTime::from_secs_f64(play_base + frame as f64 * delta);
-                let mut damaged = false;
-                for _ in 0..pkts_per_frame.max(1) {
-                    damaged |= s.loss.lose();
-                }
-                damaged |= s.overlay.lose_at(arr, (chunk * 1000 + frame) as u64);
-                if damaged {
-                    damaged_frames += 1;
-                    s.chain += 1;
-                    if s.class.recovery() {
-                        s.counters.jobs += 1;
-                        if let Some(m) = &fm {
-                            m.jobs_enqueued.inc();
-                        }
-                        batcher.enqueue(InferenceJob {
-                            session: id,
-                            chunk,
-                            frame,
-                            kind: JobKind::Recovery,
-                            rung,
-                            chain: s.chain,
-                            deadline,
-                        });
-                    } else {
-                        s.counters.freezes += 1;
-                        s.chunks[chunk].psnr_sum += maps.reuse_psnr_at_depth(rung, s.chain);
-                        s.chunks[chunk].resolved += 1;
-                    }
-                } else {
-                    s.chain = 0;
-                    if s.class.sr() && frame % cfg.anchor_stride == 0 {
-                        s.counters.jobs += 1;
-                        if let Some(m) = &fm {
-                            m.jobs_enqueued.inc();
-                        }
-                        batcher.enqueue(InferenceJob {
-                            session: id,
-                            chunk,
-                            frame,
-                            kind: JobKind::Sr,
-                            rung,
-                            chain: 0,
-                            deadline,
-                        });
-                    } else {
-                        s.chunks[chunk].psnr_sum += maps.plain_psnr[rung];
-                        s.chunks[chunk].resolved += 1;
-                    }
-                }
-            }
-
-            // ABR observations and buffer update.
-            let tput_kbps = bytes_total * 8.0 / 1000.0 / dl_secs;
-            s.ctx.throughput_kbps.push(tput_kbps);
-            s.ctx
-                .loss_rates
-                .push(damaged_frames as f64 / cfg.frames_per_chunk as f64);
-            if s.ctx.throughput_kbps.len() > 8 {
-                s.ctx.throughput_kbps.remove(0);
-                s.ctx.loss_rates.remove(0);
-            }
-            s.buffer_secs = (buffer_at_start - dl_secs).max(0.0) + cfg.chunk_seconds;
-            s.buffer_asof = t;
-            s.chunk_idx += 1;
-            if s.chunk_idx >= cfg.chunks_per_session {
-                s.phase = Phase::Done;
-            } else if s.buffer_secs > cfg.max_buffer_secs {
-                // Hold the next request until the buffer drains back to
-                // the cap (the wake-up path drains it by the idle time).
-                let wait = s.buffer_secs - cfg.max_buffer_secs;
-                s.phase = Phase::Waiting {
-                    until: t + SimTime::from_secs_f64(wait),
+                let jw = worker_of[from];
+                let _ = cmd_txs[jw].send(ShardCmd::Extract {
+                    server: from,
+                    session: h.session,
+                    at: barrier,
+                });
+                let ticket = match reply_rxs[jw].recv() {
+                    Ok(ShardReply::Ticket(t)) => t,
+                    _ => unreachable!("shard worker died mid-handoff"),
                 };
-            } else {
-                s.phase = Phase::Waiting { until: t };
+                let _ = cmd_txs[worker_of[h.to]].send(ShardCmd::Install {
+                    server: h.to,
+                    at: barrier,
+                    ticket,
+                });
+                owner[h.session] = h.to;
             }
         }
-
-        // Server tick: flush the cross-session batch (unless the server
-        // is mid-restart — queued jobs wait for it to come back).
-        let server_up = server_down_until.is_none_or(|d| t >= d);
-        if server_up && t.0.is_multiple_of(tick_us) && batcher.pending() > 0 {
-            if let Some(o) = obs.as_deref_mut() {
-                o.open("fleet.flush", flush_idx, t.0);
+        for tx in &cmd_txs {
+            let _ = tx.send(ShardCmd::Finish(hard_stop));
+        }
+        let mut partials = Vec::with_capacity(servers);
+        for rx in &reply_rxs {
+            match rx.recv() {
+                Ok(ShardReply::Done(p)) => partials.extend(p),
+                _ => unreachable!("shard worker died before finishing"),
             }
-            let outcomes = batcher.flush(t);
-            settle(
-                &mut sessions,
-                &maps,
-                &mut slacks,
-                &outcomes,
-                t,
-                obs.as_deref_mut(),
-            );
-            if let Some(o) = obs.as_deref_mut() {
-                o.close(t.0);
-            }
-            flush_idx += 1;
         }
-    }
+        partials
+    })
+}
 
-    // A hard stop can leave sessions mid-download: the in-flight chunk's
-    // rung was charged to `rung_sum` at request time, but the chunk never
-    // completed and is not counted by `chunk_idx`, so leaving the charge
-    // in place inflates `mean_rung` past the ladder. Revert it, exactly
-    // as the crash-abort path does.
-    for s in sessions.iter_mut() {
-        if let Phase::Downloading { rung, .. } = s.phase {
-            s.rung_sum -= rung;
-        }
-    }
+/// Fold server partials into the fleet result (the in-order merge: same
+/// math regardless of how the partials were produced).
+fn assemble(
+    cfg: &FleetConfig,
+    maps: &QualityMaps,
+    mut partials: Vec<ServerPartial>,
+    obs: Option<&mut Obs>,
+) -> FleetResult {
+    partials.sort_by_key(|p| p.id);
 
-    // Drain whatever is still queued (sessions that finished between
-    // ticks, or the hard-stop path).
-    if batcher.pending() > 0 {
-        if let Some(o) = obs.as_deref_mut() {
-            o.open("fleet.flush", flush_idx, t.0);
-        }
-        let outcomes = batcher.flush(t);
-        settle(
-            &mut sessions,
-            &maps,
-            &mut slacks,
-            &outcomes,
-            t,
-            obs.as_deref_mut(),
-        );
-        if let Some(o) = obs.as_deref_mut() {
-            o.close(t.0);
-        }
+    let mut server_summaries = Vec::with_capacity(partials.len());
+    let mut dones: Vec<SessionDone> = Vec::with_capacity(cfg.sessions);
+    let mut batcher = BatcherStats::default();
+    let mut slacks: Vec<f64> = Vec::new();
+    let mut accepted = 0;
+    let mut downgraded = 0;
+    let mut rejected = 0;
+    let mut restarts = 0;
+    let mut handoffs = 0;
+    let mut events = 0u64;
+    let mut virtual_secs = 0.0f64;
+    for p in partials.iter_mut() {
+        merge_stats(&mut batcher, &p.batcher);
+        accepted += p.accepted;
+        downgraded += p.downgraded;
+        rejected += p.rejected;
+        restarts += p.restarts;
+        handoffs += p.handoffs_out;
+        events += p.events;
+        virtual_secs = virtual_secs.max(p.virtual_secs);
+        slacks.extend(p.slacks.iter().copied());
+        server_summaries.push(ServerSummary {
+            id: p.id,
+            sessions: p.sessions.len(),
+            accepted: p.accepted,
+            downgraded: p.downgraded,
+            rejected: p.rejected,
+            restarts: p.restarts,
+            handoffs_in: p.handoffs_in,
+            handoffs_out: p.handoffs_out,
+            events: p.events,
+            batcher: p.batcher.clone(),
+            virtual_secs: p.virtual_secs,
+        });
+        dones.append(&mut p.sessions);
     }
+    dones.sort_by_key(|d| d.id);
 
-    // Assemble per-session summaries.
-    let summaries: Vec<SessionSummary> = sessions
-        .iter()
-        .enumerate()
-        .map(|(id, s)| {
-            let outcomes: Vec<ChunkOutcome> = s
+    let summaries: Vec<SessionSummary> = dones
+        .into_iter()
+        .map(|d| {
+            let outcomes: Vec<ChunkOutcome> = d
                 .chunks
                 .iter()
                 .filter(|c| c.started && c.resolved == c.frames && c.frames > 0)
@@ -1035,29 +788,30 @@ pub fn run_fleet_obs(
                 outcomes.iter().map(|c| c.utility_mbps).sum::<f64>() / outcomes.len() as f64
             };
             let played = outcomes.len() as f64 * cfg.chunk_seconds;
-            let stall_ratio = if played + s.rebuffer_total > 0.0 {
-                s.rebuffer_total / (played + s.rebuffer_total)
+            let stall_ratio = if played + d.rebuffer_total > 0.0 {
+                d.rebuffer_total / (played + d.rebuffer_total)
             } else {
                 0.0
             };
             let chunks_played = outcomes.len();
             SessionSummary {
-                id,
-                class: s.class,
-                cap: s.cap,
-                rejected: s.rejected,
+                id: d.id,
+                class: d.class,
+                cap: d.cap,
+                rejected: d.rejected,
+                server: d.server,
                 qoe,
                 mean_utility_mbps: mean_utility,
-                rebuffer_secs: s.rebuffer_total,
+                rebuffer_secs: d.rebuffer_total,
                 stall_ratio,
                 mean_rung: if chunks_played > 0 {
-                    s.rung_sum as f64 / s.chunk_idx.max(1) as f64
+                    d.rung_sum as f64 / d.chunk_idx.max(1) as f64
                 } else {
                     0.0
                 },
                 chunks_played,
-                counters: s.counters,
-                checksum: s.checksum,
+                counters: d.counters,
+                checksum: d.checksum,
             }
         })
         .collect();
@@ -1084,15 +838,18 @@ pub fn run_fleet_obs(
         } else {
             0.0
         },
-        accepted: admission.accepted,
-        downgraded: admission.downgraded,
-        rejected: admission.rejected,
-        batcher: batcher.stats(),
+        accepted,
+        downgraded,
+        rejected,
+        batcher,
         p95_slack_secs: p95,
-        virtual_secs: t.as_secs_f64(),
+        virtual_secs,
         crashes: summaries.iter().map(|s| s.counters.crashes).sum(),
-        server_restarts,
+        server_restarts: restarts,
+        handoffs,
+        events,
         sessions: summaries,
+        servers: server_summaries,
     };
     if let Some(o) = obs {
         let g = &o.registry;
@@ -1101,6 +858,27 @@ pub fn run_fleet_obs(
         g.gauge("fleet.stall_ratio").set(result.stall_ratio);
         g.gauge("fleet.p95_slack_secs").set(result.p95_slack_secs);
         g.gauge("fleet.virtual_secs").set(result.virtual_secs);
+        g.gauge("fleet.servers").set(result.servers.len() as f64);
+        if result.servers.len() > 1 {
+            // Multi-server batchers run with private registries; fold the
+            // aggregate so `batcher.*` counters stay meaningful.
+            g.counter("batcher.batches").add(result.batcher.batches as u64);
+            g.counter("batcher.jobs.full").add(result.batcher.full as u64);
+            g.counter("batcher.jobs.warp_only")
+                .add(result.batcher.warp_only as u64);
+            g.counter("batcher.jobs.shed").add(result.batcher.shed as u64);
+        }
+        for sv in &result.servers {
+            g.counter(&format!("fleet.server.{}.events", sv.id)).add(sv.events);
+            g.counter(&format!("fleet.server.{}.handoffs_in", sv.id))
+                .add(sv.handoffs_in as u64);
+            g.counter(&format!("fleet.server.{}.handoffs_out", sv.id))
+                .add(sv.handoffs_out as u64);
+            g.gauge(&format!("fleet.server.{}.sessions", sv.id))
+                .set(sv.sessions as f64);
+            g.gauge(&format!("fleet.server.{}.virtual_secs", sv.id))
+                .set(sv.virtual_secs);
+        }
     }
     result
 }
@@ -1109,6 +887,7 @@ pub fn run_fleet_obs(
 mod tests {
     use super::*;
     use nerve_net::trace::{NetworkKind, NetworkTrace};
+    use nerve_tensor::par;
 
     fn trace(seed: u64) -> NetworkTrace {
         NetworkTrace::generate(NetworkKind::WiFi, seed).downscaled(12.0)
@@ -1131,6 +910,7 @@ mod tests {
             "must drain, not time out"
         );
         assert!(r.fairness > 0.0 && r.fairness <= 1.0 + 1e-12);
+        assert!(r.events > 0, "the event loop must report its event count");
     }
 
     #[test]
@@ -1238,6 +1018,7 @@ mod tests {
     fn server_restart_drains_without_losing_accounted_jobs() {
         let mut cfg = FleetConfig::small(6, 17);
         cfg.server_restart = Some(ServerRestart {
+            server: 0,
             at_secs: 2.0,
             down_secs: 1.0,
         });
@@ -1351,6 +1132,7 @@ mod tests {
             down_secs: 1.5,
         }];
         cfg.server_restart = Some(ServerRestart {
+            server: 0,
             at_secs: 2.0,
             down_secs: 1.0,
         });
@@ -1436,6 +1218,194 @@ mod tests {
                         s.mean_rung
                     );
                 }
+            }
+        }
+    }
+
+    /// Satellite-1 regression: a fleet-wide throughput collapse must hit
+    /// every session exactly once — through the shared pool — never
+    /// squared through the per-session overlay merge. A run with a
+    /// fleet-wide 0.5 collapse on a 12 Mbps trace is byte-identical to a
+    /// faultless run on the same trace pre-scaled to 6 Mbps: losses,
+    /// deadlines, ABR inputs, and checksums all agree bit-for-bit.
+    #[test]
+    fn fleet_wide_fault_applies_exactly_once_not_squared() {
+        let base = NetworkTrace::generate(NetworkKind::WiFi, 41);
+        let mut faulted = FleetConfig::small(3, 41);
+        faulted.overlay_every = 0; // isolate the fleet-plan path
+        faulted.fleet_faults = FaultPlan::new(0).throughput_collapse(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1e6),
+            0.5,
+        );
+        let a = run_fleet(&faulted, &base.downscaled(12.0));
+
+        let mut clean = FleetConfig::small(3, 41);
+        clean.overlay_every = 0;
+        let b = run_fleet(&clean, &base.downscaled(6.0));
+
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "a fleet-wide ×0.5 collapse must equal a ×0.5 pool, exactly"
+        );
+    }
+
+    /// Satellite-1 regression: a fleet blackout throttles sessions
+    /// through the (zero) pool, it does not mark them dead — the moment
+    /// the blackout lifts, every session resumes and finishes.
+    #[test]
+    fn fleet_blackout_throttles_then_recovers_without_starvation() {
+        let mut cfg = FleetConfig::small(4, 19);
+        cfg.fleet_faults = FaultPlan::new(0).blackout(
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.5),
+        );
+        let r = run_fleet(&cfg, &trace(19));
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.chunks_played, cfg.chunks_per_session,
+                "session {} must finish once the blackout lifts",
+                s.id
+            );
+        }
+        let again = run_fleet(&cfg, &trace(19));
+        assert_eq!(r.digest(), again.digest());
+    }
+
+    /// Satellite-2 regression: with every session's rate pinned to zero
+    /// forever (permanent fleet blackout), the event loop must advance
+    /// monotonically to the hard stop — no zero-progress instant can
+    /// recur. The run ends exactly at `max_virtual_secs` with nothing
+    /// played, at every worker count.
+    #[test]
+    fn starved_fleet_terminates_at_hard_stop() {
+        let mut cfg = FleetConfig::small(3, 31);
+        cfg.servers = 2;
+        cfg.fleet_faults = FaultPlan::new(0).blackout(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1e6),
+        );
+        cfg.max_virtual_secs = 20.0;
+        let tr = trace(31);
+        let mut digests = Vec::new();
+        for jobs in [1, 2, 4] {
+            par::set_workers(jobs);
+            let r = run_fleet(&cfg, &tr);
+            assert_eq!(
+                r.virtual_secs, 20.0,
+                "a starved fleet must stop exactly at the hard stop"
+            );
+            for s in r.sessions.iter().filter(|s| !s.rejected) {
+                assert_eq!(s.chunks_played, 0, "nothing can complete at rate 0");
+            }
+            digests.push(r.digest());
+        }
+        par::set_workers(1);
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    /// Multi-server topology: sessions spread across servers, every
+    /// server does work, and the fleet digest is byte-identical at any
+    /// worker count (serial vs sharded execution).
+    #[test]
+    fn multi_server_digest_is_jobs_invariant() {
+        let mut cfg = FleetConfig::small(8, 23);
+        cfg.servers = 4;
+        let tr = trace(23);
+        let mut digests = Vec::new();
+        for jobs in [1, 2, 4] {
+            par::set_workers(jobs);
+            let r = run_fleet(&cfg, &tr);
+            assert_eq!(r.servers.len(), 4);
+            for sv in &r.servers {
+                assert_eq!(sv.sessions, 2, "round-robin spreads 8 over 4");
+            }
+            for s in r.sessions.iter().filter(|s| !s.rejected) {
+                assert_eq!(s.chunks_played, cfg.chunks_per_session);
+            }
+            digests.push(r.digest());
+        }
+        par::set_workers(1);
+        assert_eq!(digests[0], digests[1], "1 vs 2 workers");
+        assert_eq!(digests[1], digests[2], "2 vs 4 workers");
+    }
+
+    /// Handoffs move sessions between servers through the CRC ticket:
+    /// accounting survives the move, the handoff is visible in per-server
+    /// counters, and the digest stays worker-count invariant (the ticket
+    /// round-trip is asserted byte-identical inside `install_ticket`).
+    #[test]
+    fn handoff_preserves_accounting_and_digest() {
+        let mut cfg = FleetConfig::small(6, 29);
+        cfg.servers = 2;
+        cfg.handoffs = vec![
+            SessionHandoff {
+                session: 0,
+                to: 1,
+                at_secs: 3.0,
+            },
+            SessionHandoff {
+                session: 3,
+                to: 0,
+                at_secs: 5.0,
+            },
+        ];
+        let tr = trace(29);
+        par::set_workers(1);
+        let serial = run_fleet(&cfg, &tr);
+        assert_eq!(serial.handoffs, 2);
+        assert_eq!(serial.servers[0].handoffs_out, 1);
+        assert_eq!(serial.servers[1].handoffs_in, 1);
+        assert_eq!(serial.servers[1].handoffs_out, 1);
+        assert_eq!(serial.servers[0].handoffs_in, 1);
+        let s0 = &serial.sessions[0];
+        assert_eq!(s0.server, 1, "session 0 must end on server 1");
+        for s in serial.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.chunks_played, cfg.chunks_per_session,
+                "session {} must finish after its handoff",
+                s.id
+            );
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full + s.counters.degraded + s.counters.sr_skipped,
+                "no silent job loss across the handoff for session {}",
+                s.id
+            );
+        }
+        par::set_workers(2);
+        let sharded = run_fleet(&cfg, &tr);
+        par::set_workers(1);
+        assert_eq!(
+            serial.digest(),
+            sharded.digest(),
+            "handoffs must be digest-identical under sharded execution"
+        );
+    }
+
+    /// A handoff wave to one hot server concentrates load there; the
+    /// fleet still drains and the placement policies all produce valid,
+    /// covering assignments.
+    #[test]
+    fn placement_policies_cover_servers_and_finish() {
+        for placement in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::Locality,
+        ] {
+            let mut cfg = FleetConfig::small(6, 37);
+            cfg.servers = 3;
+            cfg.placement = placement;
+            let r = run_fleet(&cfg, &trace(37));
+            assert_eq!(
+                r.servers.iter().map(|s| s.sessions).sum::<usize>(),
+                6,
+                "{placement}: every session must be resident somewhere"
+            );
+            for s in r.sessions.iter().filter(|s| !s.rejected) {
+                assert_eq!(s.chunks_played, cfg.chunks_per_session, "{placement}");
             }
         }
     }

@@ -1,0 +1,398 @@
+//! The server-to-server session handoff ticket.
+//!
+//! A ticket is the complete serialized state of one resident session —
+//! CRC-framed exactly like the sim-side session checkpoint
+//! (`nerve-sim::checkpoint`), sharing its byte codec
+//! ([`nerve_net::bytes`]) and integrity trailer
+//! ([`nerve_net::integrity`]). The fleet's digest-identity contract
+//! rests on two properties enforced here:
+//!
+//! * **Round-trip identity.** `decode(encode(s))` reproduces `s` exactly
+//!   (floats travel as bit patterns, the loss chain as a replayable
+//!   `(seed, draws)` cursor), and the installer re-encodes the decoded
+//!   session and asserts byte equality before accepting it.
+//! * **No derived state on the wire.** The ABR controller, fault plans,
+//!   and fair-share weight are pure functions of `(config, session id,
+//!   class)`; the ticket carries only the session's dynamic state and
+//!   the destination reconstructs the rest, so a ticket cannot smuggle
+//!   in state that disagrees with the fleet configuration.
+
+use crate::fleet::{ClientClass, FleetConfig, SessionCounters};
+use crate::server::{make_abr, session_fault_plans, ChunkAcc, Phase, SessionState};
+use nerve_abr::qoe::QualityMaps;
+use nerve_abr::{AbrContext, CappedAbr};
+use nerve_net::bytes::{ByteError, ByteReader, ByteWriter};
+use nerve_net::integrity::{open, seal};
+use nerve_net::loss::{GilbertElliott, LossState};
+use std::fmt;
+
+/// Leading magic of a handoff ticket: `"NRVT"` (NERVE ticket).
+pub const TICKET_MAGIC: u32 = 0x4E52_5654;
+
+/// Bump on any wire-format change.
+pub const TICKET_VERSION: u16 = 1;
+
+/// Why a ticket was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketError {
+    /// CRC trailer missing or wrong — the bytes were damaged in flight.
+    BadFrame,
+    /// Leading magic is not [`TICKET_MAGIC`].
+    BadMagic(u32),
+    /// Version is not [`TICKET_VERSION`].
+    BadVersion(u16),
+    /// A phase tag outside the known set.
+    BadPhase(u8),
+    /// The body ended before a field was fully read.
+    Truncated,
+}
+
+impl fmt::Display for TicketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TicketError::BadFrame => write!(f, "handoff ticket failed CRC verification"),
+            TicketError::BadMagic(m) => write!(f, "bad ticket magic {m:#010x}"),
+            TicketError::BadVersion(v) => write!(f, "unsupported ticket version {v}"),
+            TicketError::BadPhase(p) => write!(f, "unknown phase tag {p}"),
+            TicketError::Truncated => write!(f, "handoff ticket truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TicketError {}
+
+impl From<ByteError> for TicketError {
+    fn from(e: ByteError) -> Self {
+        match e {
+            ByteError::Truncated => TicketError::Truncated,
+        }
+    }
+}
+
+/// Serialize one session into a sealed ticket.
+pub(crate) fn encode_session(id: usize, s: &SessionState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(TICKET_MAGIC);
+    w.u16(TICKET_VERSION);
+    w.usize(id);
+    w.opt_usize(s.cap);
+    w.bool(s.rejected);
+    w.bool(s.admitted);
+    match s.phase {
+        Phase::Waiting { until } => {
+            w.u8(0);
+            w.time(until);
+        }
+        Phase::Downloading {
+            rung,
+            bytes_left,
+            bytes_total,
+            started,
+            buffer_at_start,
+        } => {
+            w.u8(1);
+            w.usize(rung);
+            w.f64(bytes_left);
+            w.f64(bytes_total);
+            w.time(started);
+            w.f64(buffer_at_start);
+        }
+        Phase::Done => w.u8(2),
+    }
+    w.f64(s.buffer_secs);
+    w.time(s.buffer_asof);
+    w.usize(s.chunk_idx);
+    let loss = s.loss.state();
+    w.u64(loss.seed);
+    w.u64(loss.draws);
+    w.bool(loss.bad);
+    w.usize(s.chain);
+    w.usize(s.rung_sum);
+    w.usize(s.counters.jobs);
+    w.usize(s.counters.full);
+    w.usize(s.counters.degraded);
+    w.usize(s.counters.sr_skipped);
+    w.usize(s.counters.freezes);
+    w.usize(s.counters.crashes);
+    w.f32(s.checksum);
+    w.f64(s.rebuffer_total);
+    w.usize(s.ctx.last_choice);
+    w.f64(s.ctx.buffer_secs);
+    w.usize(s.ctx.throughput_kbps.len());
+    for &v in &s.ctx.throughput_kbps {
+        w.f64(v);
+    }
+    w.usize(s.ctx.loss_rates.len());
+    for &v in &s.ctx.loss_rates {
+        w.f64(v);
+    }
+    w.usize(s.chunks.len());
+    for c in &s.chunks {
+        w.bool(c.started);
+        w.usize(c.rung);
+        w.usize(c.frames);
+        w.usize(c.resolved);
+        w.f64(c.psnr_sum);
+        w.f64(c.rebuffer_secs);
+    }
+    w.usize(s.crashes.len());
+    for &(at, down) in &s.crashes {
+        w.f64(at);
+        w.f64(down);
+    }
+    seal(&w.into_bytes())
+}
+
+/// Verify and deserialize a ticket, reconstructing the derived state
+/// (controller, fault plans, weight) from `(cfg, maps, id)`.
+pub(crate) fn decode_session(
+    cfg: &FleetConfig,
+    maps: &QualityMaps,
+    ticket: &[u8],
+) -> Result<(usize, SessionState), TicketError> {
+    let body = open(ticket).ok_or(TicketError::BadFrame)?;
+    let mut r = ByteReader::new(body);
+    let magic = r.u32()?;
+    if magic != TICKET_MAGIC {
+        return Err(TicketError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != TICKET_VERSION {
+        return Err(TicketError::BadVersion(version));
+    }
+    let id = r.usize()?;
+    let cap = r.opt_usize()?;
+    let rejected = r.bool()?;
+    let admitted = r.bool()?;
+    let phase = match r.u8()? {
+        0 => Phase::Waiting { until: r.time()? },
+        1 => Phase::Downloading {
+            rung: r.usize()?,
+            bytes_left: r.f64()?,
+            bytes_total: r.f64()?,
+            started: r.time()?,
+            buffer_at_start: r.f64()?,
+        },
+        2 => Phase::Done,
+        tag => return Err(TicketError::BadPhase(tag)),
+    };
+    let buffer_secs = r.f64()?;
+    let buffer_asof = r.time()?;
+    let chunk_idx = r.usize()?;
+    let loss_state = LossState {
+        seed: r.u64()?,
+        draws: r.u64()?,
+        bad: r.bool()?,
+    };
+    let chain = r.usize()?;
+    let rung_sum = r.usize()?;
+    let counters = SessionCounters {
+        jobs: r.usize()?,
+        full: r.usize()?,
+        degraded: r.usize()?,
+        sr_skipped: r.usize()?,
+        freezes: r.usize()?,
+        crashes: r.usize()?,
+    };
+    let checksum = r.f32()?;
+    let rebuffer_total = r.f64()?;
+    let last_choice = r.usize()?;
+    let ctx_buffer = r.f64()?;
+    let n_tput = r.usize()?;
+    let mut throughput_kbps = Vec::with_capacity(n_tput.min(1024));
+    for _ in 0..n_tput {
+        throughput_kbps.push(r.f64()?);
+    }
+    let n_loss = r.usize()?;
+    let mut loss_rates = Vec::with_capacity(n_loss.min(1024));
+    for _ in 0..n_loss {
+        loss_rates.push(r.f64()?);
+    }
+    let n_chunks = r.usize()?;
+    let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
+    for _ in 0..n_chunks {
+        chunks.push(ChunkAcc {
+            started: r.bool()?,
+            rung: r.usize()?,
+            frames: r.usize()?,
+            resolved: r.usize()?,
+            psnr_sum: r.f64()?,
+            rebuffer_secs: r.f64()?,
+        });
+    }
+    let n_crashes = r.usize()?;
+    let mut crashes = Vec::with_capacity(n_crashes.min(1 << 20));
+    for _ in 0..n_crashes {
+        crashes.push((r.f64()?, r.f64()?));
+    }
+
+    // Derived state: rebuilt, never transported.
+    let class = ClientClass::of(id);
+    let (own_faults, overlay) = session_fault_plans(cfg, id);
+    let mut abr = make_abr(cfg, maps, class);
+    if let Some(c) = cap {
+        abr = Box::new(CappedAbr::new(abr, c));
+    }
+    let mut ctx = AbrContext::bootstrap(
+        cfg.ladder_kbps.clone(),
+        cfg.chunk_seconds,
+        cfg.frames_per_chunk,
+    );
+    ctx.last_choice = last_choice;
+    ctx.buffer_secs = ctx_buffer;
+    ctx.throughput_kbps = throughput_kbps;
+    ctx.loss_rates = loss_rates;
+    let mut loss = GilbertElliott::with_rate(cfg.avg_loss, cfg.mean_burst, loss_state.seed);
+    loss.restore(loss_state);
+
+    Ok((
+        id,
+        SessionState {
+            class,
+            weight: class.weight(),
+            cap,
+            rejected,
+            admitted,
+            abr,
+            ctx,
+            phase,
+            buffer_secs,
+            buffer_asof,
+            chunk_idx,
+            loss,
+            own_faults,
+            overlay,
+            chunks,
+            chain,
+            rung_sum,
+            counters,
+            checksum,
+            rebuffer_total,
+            crashes,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerve_abr::qoe::QualityMaps;
+    use nerve_net::clock::SimTime;
+    use nerve_net::loss::LossModel;
+
+    fn fixture() -> (FleetConfig, QualityMaps) {
+        let cfg = FleetConfig::small(8, 0xA11CE);
+        let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+        (cfg, maps)
+    }
+
+    /// A mid-run session (dirty counters, in-flight download, pending
+    /// crashes, replayed loss chain) must round-trip byte-identically —
+    /// the contract `ServerSim::install_ticket` asserts at runtime.
+    #[test]
+    fn dirty_session_round_trips_byte_identically() {
+        let (cfg, maps) = fixture();
+        let mut s = SessionState::fresh(&cfg, &maps, 5);
+        s.admitted = true;
+        s.cap = Some(2);
+        s.chunk_idx = 2;
+        s.chain = 3;
+        s.rung_sum = 4;
+        s.counters.jobs = 7;
+        s.counters.full = 5;
+        s.counters.degraded = 2;
+        s.checksum = 1.25;
+        s.rebuffer_total = 0.75;
+        s.buffer_secs = 3.5;
+        s.buffer_asof = SimTime::from_secs_f64(9.0);
+        s.ctx.last_choice = 2;
+        s.ctx.buffer_secs = 3.5;
+        s.ctx.throughput_kbps = vec![1800.0, 2100.5];
+        s.ctx.loss_rates = vec![0.0, 0.1];
+        s.chunks[0] = ChunkAcc {
+            started: true,
+            rung: 2,
+            frames: 30,
+            resolved: 30,
+            psnr_sum: 1000.0,
+            rebuffer_secs: 0.0,
+        };
+        s.phase = Phase::Downloading {
+            rung: 3,
+            bytes_left: 123_456.0,
+            bytes_total: 660_000.0,
+            started: SimTime::from_secs_f64(9.5),
+            buffer_at_start: 3.5,
+        };
+        for _ in 0..37 {
+            s.loss.lose();
+        }
+        s.crashes = vec![(12.0, 1.5)];
+
+        let ticket = encode_session(5, &s);
+        let (id, restored) = decode_session(&cfg, &maps, &ticket).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(restored.phase, s.phase);
+        assert_eq!(restored.loss.state(), s.loss.state());
+        assert_eq!(restored.cap, Some(2));
+        assert!(restored.admitted);
+        assert_eq!(
+            encode_session(5, &restored),
+            ticket,
+            "re-encode must be byte-identical"
+        );
+    }
+
+    /// The restored loss chain continues with the same draws the source
+    /// would have produced — loss is position-exact across a handoff.
+    #[test]
+    fn loss_chain_continues_identically_after_handoff() {
+        let (cfg, maps) = fixture();
+        let mut s = SessionState::fresh(&cfg, &maps, 3);
+        for _ in 0..100 {
+            s.loss.lose();
+        }
+        let ticket = encode_session(3, &s);
+        let (_, mut restored) = decode_session(&cfg, &maps, &ticket).unwrap();
+        let a: Vec<bool> = (0..50).map(|_| s.loss.lose()).collect();
+        let b: Vec<bool> = (0..50).map(|_| restored.loss.lose()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_ticket_is_refused() {
+        let (cfg, maps) = fixture();
+        let s = SessionState::fresh(&cfg, &maps, 0);
+        let mut ticket = encode_session(0, &s);
+        let mid = ticket.len() / 2;
+        ticket[mid] ^= 0x40;
+        assert!(matches!(
+            decode_session(&cfg, &maps, &ticket),
+            Err(TicketError::BadFrame)
+        ));
+        assert!(matches!(
+            decode_session(&cfg, &maps, &ticket[..4]),
+            Err(TicketError::BadFrame)
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_refused() {
+        let (cfg, maps) = fixture();
+        let mut w = ByteWriter::new();
+        w.u32(0xBAD0_BEEF);
+        w.u16(TICKET_VERSION);
+        assert!(matches!(
+            decode_session(&cfg, &maps, &nerve_net::integrity::seal(&w.into_bytes())),
+            Err(TicketError::BadMagic(0xBAD0_BEEF))
+        ));
+        let mut w = ByteWriter::new();
+        w.u32(TICKET_MAGIC);
+        w.u16(TICKET_VERSION + 1);
+        let v = TICKET_VERSION + 1;
+        assert!(matches!(
+            decode_session(&cfg, &maps, &nerve_net::integrity::seal(&w.into_bytes())),
+            Err(TicketError::BadVersion(got)) if got == v
+        ));
+    }
+}

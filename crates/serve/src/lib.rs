@@ -20,17 +20,27 @@
 //! * [`live`] — the live-mode server plane: FIR grant rate limiting,
 //!   coalesced keyframe encodes, and breaker-gated NACK shedding (the
 //!   FIR-storm absorber).
+//! * [`topology`] + [`event_queue`] + [`handoff`] — the multi-server
+//!   plane: N edge servers behind a deterministic placement function,
+//!   each driven as a discrete-event state machine over a calendar
+//!   queue, with mid-run session handoffs round-tripping through a
+//!   CRC-framed ticket codec.
 //!
-//! Everything is deterministic by construction: the loop is serial, all
-//! randomness flows through [`nerve_video::rng::seed_for`] per-session
-//! streams, and the batched convolution is bit-identical at every worker
-//! count — so a fleet's [`fleet::FleetResult::digest`] is byte-identical
-//! at `--jobs 1` and `--jobs 16`.
+//! Everything is deterministic by construction: all randomness flows
+//! through [`nerve_video::rng::seed_for`] per-session streams, the
+//! batched convolution is bit-identical at every worker count, and
+//! sharded multi-server execution merges per-server partials in server
+//! order — so a fleet's [`fleet::FleetResult::digest`] is byte-identical
+//! at `--jobs 1` and `--jobs 16`, at any server count.
 
 pub mod admission;
 pub mod batcher;
+pub mod event_queue;
 pub mod fleet;
+pub mod handoff;
 pub mod live;
+mod server;
+pub mod topology;
 
 pub use admission::{
     Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket, TokenBucketState,
@@ -39,11 +49,14 @@ pub use batcher::{
     occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
     ServerModel, Service, OCCUPANCY_BUCKETS, OCCUPANCY_EDGES, SLACK_EDGES,
 };
+pub use event_queue::{Event, EventKind, EventQueue};
 pub use fleet::{
     jain_fairness, run_fleet, run_fleet_obs, ClientClass, FleetConfig, FleetResult, ServerRestart,
-    SessionCounters, SessionCrash, SessionSummary,
+    ServerSummary, SessionCounters, SessionCrash, SessionSummary,
 };
+pub use handoff::{TicketError, TICKET_MAGIC, TICKET_VERSION};
 pub use live::{
     FirLimiter, FirLimiterConfig, FirLimiterState, KeyframeEncode, LiveServer, LiveServerConfig,
     LiveServerCounters, LiveServerState,
 };
+pub use topology::{place_sessions, PlacementPolicy, SessionHandoff};

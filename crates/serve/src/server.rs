@@ -1,0 +1,1166 @@
+//! One edge server as a discrete-event state machine.
+//!
+//! [`ServerSim`] owns everything that used to live inline in the old
+//! serial fleet loop — the resident sessions, the per-server
+//! [`AdmissionController`], the cross-session [`InferenceBatcher`], and
+//! now a calendar [`EventQueue`] — and exposes exactly the operations
+//! the fleet orchestrator needs:
+//!
+//! * [`ServerSim::run_until`] — process events up to a barrier; per-step
+//!   cost scales with the server's *active* sessions (downloading set +
+//!   due events), not the fleet's total session count.
+//! * [`ServerSim::extract_session`] / [`ServerSim::install_ticket`] —
+//!   the handoff path: session state round-trips through the CRC-framed
+//!   ticket codec in [`crate::handoff`] and is verified digest-identical
+//!   before it moves.
+//! * [`ServerSim::finish`] — drain and fold into a plain-data
+//!   [`ServerPartial`] that can cross the shard-worker channel.
+//!
+//! The event loop replays the old loop's within-instant phase order
+//! (restart → crashes → wakes → completions → tick flush) through
+//! [`EventKind`]'s ordering, so the DES refactor preserves the serial
+//! loop's semantics while dropping its O(total sessions)-per-step scan.
+//!
+//! ## Fair share (the satellite-1 fix)
+//!
+//! The old rate formula divided the *merged* overlay factor by the
+//! fleet factor (`merged / fleet_factor`, clamped by `.min(1.0)`) to
+//! undo double-application of fleet faults, and zeroed sessions outright
+//! while `fleet_factor == 0`. Both constructs were artifacts of storing
+//! only the merged plan: the division is exact only up to float
+//! rounding, the clamp silently capped sessions whose overlay was *less*
+//! impaired than the fleet, and a fleet-throttled-but-clean session
+//! could be starved by the zero branch. Sessions now carry their own
+//! (unmerged) plan; [`fair_share_rates`] applies the fleet factor once
+//! through the pool and each session's own factor directly — no
+//! division, no clamp, no special case — and *excludes dead sessions*
+//! (own factor zero) from the live weight so their share redistributes
+//! to sessions that can still make progress (work conservation).
+
+use crate::admission::{Admission, AdmissionController, SessionDemand};
+use crate::batcher::{InferenceBatcher, InferenceJob, JobKind, Service};
+use crate::event_queue::{EventKind, EventQueue};
+use crate::fleet::{ClientClass, FleetConfig, SessionCounters};
+use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
+use nerve_abr::qoe::QualityMaps;
+use nerve_abr::{Abr, AbrContext, CappedAbr};
+use nerve_net::clock::SimTime;
+use nerve_net::faults::FaultPlan;
+use nerve_net::loss::{GilbertElliott, LossModel};
+use nerve_obs::{Counter, FieldValue, Obs, Registry};
+use nerve_video::rng::{seed_for, StreamComponent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where one session is in its chunk cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Phase {
+    /// Not yet arrived, or draining an over-full buffer.
+    Waiting {
+        until: SimTime,
+    },
+    Downloading {
+        rung: usize,
+        bytes_left: f64,
+        bytes_total: f64,
+        started: SimTime,
+        buffer_at_start: f64,
+    },
+    Done,
+}
+
+/// Accumulates one chunk's frames until every enhancement job settles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ChunkAcc {
+    pub started: bool,
+    pub rung: usize,
+    pub frames: usize,
+    pub resolved: usize,
+    pub psnr_sum: f64,
+    pub rebuffer_secs: f64,
+}
+
+/// Everything mutable about one resident session. Plain data plus the
+/// boxed ABR policy (itself `Send`), so a session can move between
+/// shard workers through the handoff ticket.
+pub(crate) struct SessionState {
+    pub class: ClientClass,
+    pub weight: f64,
+    pub cap: Option<usize>,
+    pub rejected: bool,
+    /// Admission ran (accept or downgrade). Guards the front door so a
+    /// crash-retry of chunk 0 cannot re-draw admission tokens, and a
+    /// handed-off session is not re-admitted at its destination.
+    pub admitted: bool,
+    pub abr: Box<dyn Abr>,
+    pub ctx: AbrContext,
+    pub phase: Phase,
+    pub buffer_secs: f64,
+    /// When `buffer_secs` was last brought up to date (the buffer drains
+    /// in real time between chunk requests too).
+    pub buffer_asof: SimTime,
+    pub chunk_idx: usize,
+    pub loss: GilbertElliott,
+    /// This session's own fault plan — the capacity-share input.
+    pub own_faults: FaultPlan,
+    /// Own plan merged with the fleet plan — the frame-damage input.
+    pub overlay: FaultPlan,
+    pub chunks: Vec<ChunkAcc>,
+    pub chain: usize,
+    pub rung_sum: usize,
+    pub counters: SessionCounters,
+    pub checksum: f32,
+    pub rebuffer_total: f64,
+    /// Remaining crash instants `(at_secs, down_secs)`, ascending; the
+    /// head is the session's next scheduled [`EventKind::Crash`].
+    pub crashes: Vec<(f64, f64)>,
+}
+
+impl SessionState {
+    /// A fresh (never-run) session as the fleet spawns it at placement.
+    pub(crate) fn fresh(cfg: &FleetConfig, maps: &QualityMaps, id: usize) -> Self {
+        let class = ClientClass::of(id);
+        let (own_faults, overlay) = session_fault_plans(cfg, id);
+        let mut crashes: Vec<(f64, f64)> = cfg
+            .crash_plan
+            .iter()
+            .filter(|c| c.session == id)
+            .map(|c| (c.at_secs, c.down_secs))
+            .collect();
+        crashes.sort_by(|a, b| a.0.total_cmp(&b.0));
+        SessionState {
+            class,
+            weight: class.weight(),
+            cap: None,
+            rejected: false,
+            admitted: false,
+            abr: make_abr(cfg, maps, class),
+            ctx: AbrContext::bootstrap(
+                cfg.ladder_kbps.clone(),
+                cfg.chunk_seconds,
+                cfg.frames_per_chunk,
+            ),
+            phase: Phase::Waiting {
+                until: SimTime::from_secs_f64(id as f64 * cfg.stagger_secs),
+            },
+            buffer_secs: 0.0,
+            buffer_asof: SimTime::ZERO,
+            chunk_idx: 0,
+            loss: GilbertElliott::with_rate(
+                cfg.avg_loss,
+                cfg.mean_burst,
+                seed_for(cfg.seed, id as u64, StreamComponent::MediaLoss),
+            ),
+            own_faults,
+            overlay,
+            chunks: vec![ChunkAcc::default(); cfg.chunks_per_session],
+            chain: 0,
+            rung_sum: 0,
+            counters: SessionCounters::default(),
+            checksum: 0.0,
+            rebuffer_total: 0.0,
+            crashes,
+        }
+    }
+}
+
+/// Expected steady-state demand of one session capped at `cap`, used by
+/// admission: the rung's bitrate, plus enhancement compute for SR
+/// anchors and the expected damaged-frame recovery load.
+pub(crate) fn demand_at(cfg: &FleetConfig, cap: usize) -> SessionDemand {
+    let anchors = (cfg.frames_per_chunk / cfg.anchor_stride.max(1)) as f64;
+    let expected_damaged = cfg.frames_per_chunk as f64 * cfg.avg_loss;
+    let jobs_per_sec = (anchors + expected_damaged) / cfg.chunk_seconds;
+    let macs_per_job = cfg.model.macs_per_job()
+        * crate::batcher::ServerModel::rung_scale(&cfg.ladder_kbps, cap);
+    SessionDemand {
+        bandwidth_kbps: f64::from(cfg.ladder_kbps[cap]),
+        macs_per_sec: jobs_per_sec * macs_per_job,
+    }
+}
+
+/// The class's enhancement-aware controller (rebuilt, not serialized, at
+/// handoff: the controllers are pure functions of maps + parameters).
+pub(crate) fn make_abr(cfg: &FleetConfig, maps: &QualityMaps, class: ClientClass) -> Box<dyn Abr> {
+    Box::new(EnhancementAwareAbr::new(
+        maps.clone(),
+        cfg.qoe,
+        EnhancementConfig {
+            recovery_aware: class.recovery(),
+            sr_aware: class.sr(),
+            ..EnhancementConfig::default()
+        },
+    ))
+}
+
+/// A session's fault plans: `(own, merged)`. The own plan (a mid-run
+/// throughput collapse on every `overlay_every`-th session) drives the
+/// session's capacity share; the merge with the fleet plan drives frame
+/// damage. Pure function of `(cfg, id)`, so handoff tickets never carry
+/// fault plans — the destination reconstructs them.
+pub(crate) fn session_fault_plans(cfg: &FleetConfig, id: usize) -> (FaultPlan, FaultPlan) {
+    let base = FaultPlan::new(seed_for(cfg.seed, id as u64, StreamComponent::Faults));
+    let own = if cfg.overlay_every > 0 && id % cfg.overlay_every == cfg.overlay_every - 1 {
+        base.throughput_collapse(
+            SimTime::from_secs_f64(6.0),
+            SimTime::from_secs_f64(4.0),
+            0.4,
+        )
+    } else {
+        base
+    };
+    let merged = own.merged(&cfg.fleet_faults);
+    (own, merged)
+}
+
+/// Capacity factor a session's *own* plan applies at `t`: zero inside
+/// its own blackout/disconnect windows, the product of its collapse
+/// factors otherwise. The fleet plan is deliberately absent — it scales
+/// the shared pool exactly once, upstream.
+pub(crate) fn session_capacity_factor(own: &FaultPlan, t: SimTime) -> f64 {
+    if own.blackout_at(t) {
+        0.0
+    } else {
+        own.capacity_factor(t)
+    }
+}
+
+/// Weighted fair share of `pool` bytes/sec over `(weight, own_factor)`
+/// entries. Sessions whose own factor is zero are dead for this
+/// interval: they receive nothing *and* their weight is excluded from
+/// the denominator, so the capacity they cannot use redistributes to
+/// live sessions instead of evaporating.
+pub(crate) fn fair_share_rates(pool: f64, entries: &[(f64, f64)]) -> Vec<f64> {
+    let live_weight: f64 = entries
+        .iter()
+        .filter(|(_, f)| *f > 0.0)
+        .map(|(w, _)| *w)
+        .sum();
+    entries
+        .iter()
+        .map(|&(w, f)| {
+            if f > 0.0 && live_weight > 0.0 && pool > 0.0 {
+                pool * (w / live_weight) * f
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Fleet-level registry counters, bound once per run when an
+/// observability plane is attached and shared by every server (handles
+/// are `Rc`-backed, so cloning shares the cells).
+#[derive(Clone)]
+pub(crate) struct FleetMetrics {
+    pub jobs_enqueued: Counter,
+    pub crashes: Counter,
+    pub server_restarts: Counter,
+    pub accepted: Counter,
+    pub downgraded: Counter,
+    pub rejected: Counter,
+    pub handoffs: Counter,
+}
+
+impl FleetMetrics {
+    pub(crate) fn bind(registry: &Registry) -> Self {
+        Self {
+            jobs_enqueued: registry.counter("fleet.jobs.enqueued"),
+            crashes: registry.counter("fleet.crashes"),
+            server_restarts: registry.counter("fleet.server_restarts"),
+            accepted: registry.counter("fleet.sessions.accepted"),
+            downgraded: registry.counter("fleet.sessions.downgraded"),
+            rejected: registry.counter("fleet.sessions.rejected"),
+            handoffs: registry.counter("fleet.handoffs"),
+        }
+    }
+}
+
+/// One finished session's raw accumulators, as plain data that can cross
+/// the shard-worker channel; the orchestrator turns these into
+/// [`crate::fleet::SessionSummary`] rows.
+pub(crate) struct SessionDone {
+    pub id: usize,
+    pub class: ClientClass,
+    pub cap: Option<usize>,
+    pub rejected: bool,
+    pub server: usize,
+    pub chunks: Vec<ChunkAcc>,
+    pub chunk_idx: usize,
+    pub rung_sum: usize,
+    pub counters: SessionCounters,
+    pub checksum: f32,
+    pub rebuffer_total: f64,
+}
+
+/// One server's slice of the run, folded at [`ServerSim::finish`].
+pub(crate) struct ServerPartial {
+    pub id: usize,
+    pub accepted: usize,
+    pub downgraded: usize,
+    pub rejected: usize,
+    pub batcher: crate::batcher::BatcherStats,
+    /// Deadline slack of full-served jobs, in this server's canonical
+    /// settle order (the orchestrator concatenates in server order and
+    /// sorts once).
+    pub slacks: Vec<f64>,
+    pub restarts: usize,
+    pub handoffs_in: usize,
+    pub handoffs_out: usize,
+    /// Events processed by this server's calendar queue.
+    pub events: u64,
+    pub virtual_secs: f64,
+    pub sessions: Vec<SessionDone>,
+}
+
+/// One edge server of the fleet topology, driven event-by-event.
+pub(crate) struct ServerSim<'a> {
+    pub id: usize,
+    cfg: &'a FleetConfig,
+    trace: &'a nerve_net::trace::NetworkTrace,
+    maps: &'a QualityMaps,
+    admission: AdmissionController,
+    batcher: InferenceBatcher,
+    sessions: BTreeMap<usize, SessionState>,
+    /// Sessions currently in [`Phase::Downloading`], ascending id.
+    active: BTreeSet<usize>,
+    /// Fair-share rates for `active` (same order), from the last refresh.
+    rates: Vec<(usize, f64)>,
+    queue: EventQueue,
+    now: SimTime,
+    /// Sessions not yet [`Phase::Done`]; the all-done test is O(1).
+    undone: usize,
+    done: bool,
+    tick_us: u64,
+    last_tick: Option<SimTime>,
+    /// Rate generation; completion probes from older generations are
+    /// stale and ignored.
+    gen: u64,
+    down_until: Option<SimTime>,
+    pub restarts: usize,
+    pub handoffs_in: usize,
+    pub handoffs_out: usize,
+    pub events: u64,
+    slacks: Vec<f64>,
+    flush_idx: u64,
+    fm: Option<FleetMetrics>,
+}
+
+impl<'a> ServerSim<'a> {
+    /// Build an empty server. `shared_registry` (observability runs
+    /// only) redirects the batcher's accounting into the fleet's
+    /// registry; `fm` shares the fleet-level counters.
+    pub(crate) fn new(
+        id: usize,
+        cfg: &'a FleetConfig,
+        trace: &'a nerve_net::trace::NetworkTrace,
+        maps: &'a QualityMaps,
+        shared_registry: Option<Registry>,
+        fm: Option<FleetMetrics>,
+    ) -> Self {
+        let mut batcher = InferenceBatcher::new(
+            cfg.model.clone(),
+            cfg.ladder_kbps.clone(),
+            (0..cfg.sessions)
+                .map(|s| seed_for(cfg.seed, s as u64, StreamComponent::Inference))
+                .collect(),
+        );
+        if let Some(breaker) = cfg.breaker {
+            batcher = batcher.with_breaker(breaker);
+        }
+        if let Some(reg) = shared_registry {
+            batcher = batcher.with_registry(reg);
+        }
+        let tick_us = (cfg.flush_tick_secs * 1e6).round().max(1.0) as u64;
+        let mut sim = Self {
+            id,
+            cfg,
+            trace,
+            maps,
+            admission: AdmissionController::new(&cfg.admission),
+            batcher,
+            sessions: BTreeMap::new(),
+            active: BTreeSet::new(),
+            rates: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            undone: 0,
+            done: false,
+            tick_us,
+            last_tick: None,
+            gen: 0,
+            down_until: None,
+            restarts: 0,
+            handoffs_in: 0,
+            handoffs_out: 0,
+            events: 0,
+            slacks: Vec::new(),
+            flush_idx: 0,
+            fm,
+        };
+        if let Some(r) = cfg.server_restart {
+            if r.server == id {
+                sim.queue
+                    .schedule(SimTime::ZERO, SimTime::from_secs_f64(r.at_secs), EventKind::Restart);
+            }
+        }
+        sim
+    }
+
+    /// Spawn session `id` fresh on this server (initial placement).
+    pub(crate) fn spawn_session(&mut self, id: usize) {
+        let s = SessionState::fresh(self.cfg, self.maps, id);
+        if let Phase::Waiting { until } = s.phase {
+            self.queue
+                .schedule(self.now, until, EventKind::Wake { session: id });
+        }
+        if let Some(&(at, _)) = s.crashes.first() {
+            self.queue.schedule(
+                self.now,
+                SimTime::from_secs_f64(at),
+                EventKind::Crash { session: id },
+            );
+        }
+        self.undone += 1;
+        self.done = false;
+        self.sessions.insert(id, s);
+    }
+
+    fn server_up(&self) -> bool {
+        self.down_until.is_none_or(|d| self.now >= d)
+    }
+
+    /// Advance in-flight downloads by their cached rates over
+    /// `[now, to)` and move the clock.
+    fn advance_to(&mut self, to: SimTime) {
+        let dt = to.saturating_sub(self.now).as_secs_f64();
+        if dt > 0.0 {
+            for &(id, r) in &self.rates {
+                if r <= 0.0 {
+                    continue;
+                }
+                if let Some(s) = self.sessions.get_mut(&id) {
+                    if let Phase::Downloading { bytes_left, .. } = &mut s.phase {
+                        *bytes_left = (*bytes_left - r * dt).max(0.0);
+                    }
+                }
+            }
+        }
+        self.now = to;
+    }
+
+    /// Recompute fair-share rates at `now`, re-arm the completion probe,
+    /// and keep the tick cadence alive while there is anything to tick
+    /// for. Runs after every processed instant.
+    fn refresh(&mut self) {
+        self.gen += 1;
+        let t = self.now;
+        let fleet_factor = if self.cfg.fleet_faults.blackout_at(t) {
+            0.0
+        } else {
+            self.cfg.fleet_faults.capacity_factor(t)
+        };
+        let pool = self.trace.bytes_per_sec_at(t) * fleet_factor;
+        let entries: Vec<(f64, f64)> = self
+            .active
+            .iter()
+            .map(|id| {
+                let s = &self.sessions[id];
+                (s.weight, session_capacity_factor(&s.own_faults, t))
+            })
+            .collect();
+        let shares = fair_share_rates(pool, &entries);
+        self.rates = self.active.iter().copied().zip(shares).collect();
+
+        // Earliest completion at current rates. `schedule_after` is the
+        // monotone-advance guard: even a sub-microsecond estimate lands
+        // strictly after `now`, so a (near-)zero-rate session can never
+        // stall the clock.
+        let mut soonest: Option<f64> = None;
+        for &(id, r) in &self.rates {
+            if r <= 0.0 {
+                continue;
+            }
+            if let Phase::Downloading { bytes_left, .. } = self.sessions[&id].phase {
+                let secs = bytes_left / r;
+                soonest = Some(soonest.map_or(secs, |b: f64| b.min(secs)));
+            }
+        }
+        if let Some(secs) = soonest {
+            self.queue.schedule_after(
+                t,
+                t + SimTime::from_secs_f64(secs + 1e-9),
+                EventKind::Completion { gen: self.gen },
+            );
+        }
+
+        // Ticks run while downloads are in flight (rates are re-sampled
+        // at every boundary — this is also what walks the clock through
+        // an all-rates-zero blackout) or while jobs wait on a flush.
+        if !self.active.is_empty() || self.batcher.pending() > 0 {
+            let next_tick = SimTime(((t.0 / self.tick_us) + 1) * self.tick_us);
+            if self.last_tick != Some(next_tick) {
+                self.queue.schedule(t, next_tick, EventKind::Tick);
+                self.last_tick = Some(next_tick);
+            }
+        }
+    }
+
+    /// Map batcher outcomes back onto session accumulators (canonical
+    /// settle order = the batcher's EDF order).
+    fn settle(&mut self, outcomes: &[crate::batcher::JobOutcome], obs: &mut Option<&mut Obs>) {
+        for o in outcomes {
+            if let Some(ob) = obs.as_deref_mut() {
+                ob.event(
+                    "job.settle",
+                    o.job.frame as u64,
+                    self.now.0,
+                    &[
+                        ("server", FieldValue::U64(self.id as u64)),
+                        ("session", FieldValue::U64(o.job.session as u64)),
+                        ("chunk", FieldValue::U64(o.job.chunk as u64)),
+                        (
+                            "kind",
+                            FieldValue::Str(match o.job.kind {
+                                JobKind::Recovery => "recovery",
+                                JobKind::Sr => "sr",
+                            }),
+                        ),
+                        (
+                            "service",
+                            FieldValue::Str(match o.service {
+                                Service::Full => "full",
+                                Service::WarpOnly => "warp_only",
+                                Service::Shed => "shed",
+                            }),
+                        ),
+                        ("slack_secs", FieldValue::F64(o.slack_secs)),
+                    ],
+                );
+            }
+            let s = self
+                .sessions
+                .get_mut(&o.job.session)
+                .expect("job outcome for a session not resident on this server");
+            let acc = &mut s.chunks[o.job.chunk];
+            let psnr = match (o.job.kind, o.service) {
+                (JobKind::Recovery, Service::Full) => {
+                    self.maps.recovered_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Recovery, Service::WarpOnly) => {
+                    s.counters.degraded += 1;
+                    self.maps.warp_only_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Recovery, Service::Shed) => {
+                    s.counters.degraded += 1;
+                    self.maps.reuse_psnr_at_depth(o.job.rung, o.job.chain)
+                }
+                (JobKind::Sr, Service::Full) => self.maps.sr_psnr[o.job.rung],
+                (JobKind::Sr, _) => {
+                    s.counters.sr_skipped += 1;
+                    self.maps.plain_psnr[o.job.rung]
+                }
+            };
+            if o.service == Service::Full {
+                s.counters.full += 1;
+                self.slacks.push(o.slack_secs);
+            }
+            s.checksum += o.checksum;
+            acc.psnr_sum += psnr;
+            acc.resolved += 1;
+        }
+    }
+
+    /// Flush the batcher now (tick, restart drain, handoff drain, or
+    /// final drain) and settle the outcomes.
+    fn flush_batcher(&mut self, obs: &mut Option<&mut Obs>) {
+        if self.batcher.pending() == 0 {
+            return;
+        }
+        let span_idx = self.id as u64 * 1_000_000 + self.flush_idx;
+        if let Some(o) = obs.as_deref_mut() {
+            o.open("fleet.flush", span_idx, self.now.0);
+        }
+        let outcomes = self.batcher.flush(self.now);
+        self.settle(&outcomes, obs);
+        if let Some(o) = obs.as_deref_mut() {
+            o.close(self.now.0);
+        }
+        self.flush_idx += 1;
+    }
+
+    fn handle_restart(&mut self, obs: &mut Option<&mut Obs>) {
+        let Some(r) = self.cfg.server_restart else {
+            return;
+        };
+        // Drain everything already accounted (every pending job settles
+        // through the normal path — nothing is dropped), then go dark;
+        // ticks meanwhile skip the flush and jobs queue up.
+        self.flush_batcher(obs);
+        self.down_until = Some(SimTime::from_secs_f64(r.at_secs + r.down_secs));
+        self.restarts += 1;
+        if let Some(m) = &self.fm {
+            m.server_restarts.inc();
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.event(
+                "server.restart",
+                self.id as u64,
+                self.now.0,
+                &[
+                    ("server", FieldValue::U64(self.id as u64)),
+                    ("down_secs", FieldValue::F64(r.down_secs)),
+                ],
+            );
+        }
+    }
+
+    /// Apply every crash due for `session` (abort the in-flight download
+    /// and hold the client offline), then arm the next one.
+    fn handle_crash(&mut self, session: usize, obs: &mut Option<&mut Obs>) {
+        let Some(mut s) = self.sessions.remove(&session) else {
+            return; // handed off; its new server carries the crash plan
+        };
+        while let Some(&(at, down)) = s.crashes.first() {
+            if SimTime::from_secs_f64(at) > self.now {
+                break;
+            }
+            s.crashes.remove(0);
+            let until = SimTime::from_secs_f64(at + down);
+            let mut absorbed = true;
+            match s.phase {
+                Phase::Done => absorbed = false,
+                Phase::Waiting { until: w } => {
+                    s.counters.crashes += 1;
+                    let wake = w.max(until);
+                    s.phase = Phase::Waiting { until: wake };
+                    self.queue
+                        .schedule(self.now, wake, EventKind::Wake { session });
+                }
+                Phase::Downloading { rung, .. } => {
+                    s.counters.crashes += 1;
+                    s.rung_sum -= rung;
+                    s.chunks[s.chunk_idx] = ChunkAcc::default();
+                    s.phase = Phase::Waiting { until };
+                    self.active.remove(&session);
+                    self.queue
+                        .schedule(self.now, until, EventKind::Wake { session });
+                }
+            }
+            if absorbed {
+                if let Some(m) = &self.fm {
+                    m.crashes.inc();
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.event(
+                        "session.crash",
+                        session as u64,
+                        self.now.0,
+                        &[
+                            ("server", FieldValue::U64(self.id as u64)),
+                            ("down_secs", FieldValue::F64(down)),
+                        ],
+                    );
+                }
+            }
+        }
+        if let Some(&(at, _)) = s.crashes.first() {
+            self.queue.schedule(
+                self.now,
+                SimTime::from_secs_f64(at),
+                EventKind::Crash { session },
+            );
+        }
+        self.sessions.insert(session, s);
+    }
+
+    /// Wake a waiting session: run admission on its first request, then
+    /// start its next chunk.
+    fn handle_wake(&mut self, session: usize, obs: &mut Option<&mut Obs>) {
+        let Some(s) = self.sessions.get(&session) else {
+            return; // handed off
+        };
+        match s.phase {
+            Phase::Waiting { until } if until <= self.now => {}
+            _ => return, // stale wake (deadline moved) or already active
+        }
+        let mut s = self.sessions.remove(&session).unwrap();
+        let top_rung = self.cfg.ladder_kbps.len() - 1;
+        if !s.admitted && !s.rejected {
+            let cfg = self.cfg;
+            match self
+                .admission
+                .admit(self.now, top_rung, |cap| demand_at(cfg, cap))
+            {
+                Admission::Accept => {
+                    s.admitted = true;
+                    if let Some(m) = &self.fm {
+                        m.accepted.inc();
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.event(
+                            "admission",
+                            session as u64,
+                            self.now.0,
+                            &[
+                                ("server", FieldValue::U64(self.id as u64)),
+                                ("decision", FieldValue::Str("accept")),
+                            ],
+                        );
+                    }
+                }
+                Admission::Downgrade { cap } => {
+                    let inner = make_abr(self.cfg, self.maps, s.class);
+                    s.abr = Box::new(CappedAbr::new(inner, cap));
+                    s.cap = Some(cap);
+                    s.admitted = true;
+                    if let Some(m) = &self.fm {
+                        m.downgraded.inc();
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.event(
+                            "admission",
+                            session as u64,
+                            self.now.0,
+                            &[
+                                ("server", FieldValue::U64(self.id as u64)),
+                                ("decision", FieldValue::Str("downgrade")),
+                                ("cap", FieldValue::U64(cap as u64)),
+                            ],
+                        );
+                    }
+                }
+                Admission::Reject => {
+                    s.rejected = true;
+                    s.phase = Phase::Done;
+                    self.undone -= 1;
+                    if let Some(m) = &self.fm {
+                        m.rejected.inc();
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.event(
+                            "admission",
+                            session as u64,
+                            self.now.0,
+                            &[
+                                ("server", FieldValue::U64(self.id as u64)),
+                                ("decision", FieldValue::Str("reject")),
+                            ],
+                        );
+                    }
+                    self.sessions.insert(session, s);
+                    return;
+                }
+            }
+        }
+        if s.chunk_idx >= self.cfg.chunks_per_session {
+            s.phase = Phase::Done;
+            self.undone -= 1;
+            self.sessions.insert(session, s);
+            return;
+        }
+        // Drain the buffer for the idle time since it was last updated
+        // (completion or drain-wait end to now).
+        let idle = self.now.saturating_sub(s.buffer_asof).as_secs_f64();
+        s.buffer_secs = (s.buffer_secs - idle).max(0.0);
+        s.buffer_asof = self.now;
+        s.ctx.buffer_secs = s.buffer_secs;
+        let rung = s.abr.choose(&s.ctx).min(top_rung);
+        s.ctx.last_choice = rung;
+        let bytes =
+            f64::from(self.cfg.ladder_kbps[rung]) * 1000.0 / 8.0 * self.cfg.chunk_seconds;
+        s.rung_sum += rung;
+        s.chunks[s.chunk_idx].started = true;
+        s.chunks[s.chunk_idx].rung = rung;
+        s.chunks[s.chunk_idx].frames = self.cfg.frames_per_chunk;
+        s.phase = Phase::Downloading {
+            rung,
+            bytes_left: bytes,
+            bytes_total: bytes,
+            started: self.now,
+            buffer_at_start: s.buffer_secs,
+        };
+        self.active.insert(session);
+        self.sessions.insert(session, s);
+    }
+
+    /// Classify a finished chunk's frames, enqueue enhancement work, and
+    /// move the session to its next phase.
+    fn handle_completion(&mut self, session: usize, obs: &mut Option<&mut Obs>) {
+        let _ = obs;
+        let mut s = self.sessions.remove(&session).unwrap();
+        let (rung, bytes_total, started, buffer_at_start) = match s.phase {
+            Phase::Downloading {
+                rung,
+                bytes_total,
+                started,
+                buffer_at_start,
+                ..
+            } => (rung, bytes_total, started, buffer_at_start),
+            _ => unreachable!("completion scan found a non-downloading session"),
+        };
+        let cfg = self.cfg;
+        let delta = cfg.chunk_seconds / cfg.frames_per_chunk as f64;
+        let dl_secs = self.now.saturating_sub(started).as_secs_f64().max(1e-6);
+        let rebuffer = (dl_secs - buffer_at_start).max(0.0);
+        s.rebuffer_total += rebuffer;
+        let chunk = s.chunk_idx;
+        s.chunks[chunk].rebuffer_secs = rebuffer;
+
+        // Frame classification. Playback of this chunk begins once the
+        // buffer (plus any stall) allows: frame i plays at
+        // `started + buffer_at_start + rebuffer + i·delta` — by
+        // construction at or after its own (fluid) arrival, so damage
+        // comes from the loss processes and deadline pressure comes from
+        // the *server*, which is the contended resource this subsystem
+        // models.
+        let play_base = buffer_at_start + rebuffer;
+        let pkts_per_frame =
+            ((bytes_total / cfg.frames_per_chunk as f64) / cfg.packet_bytes).ceil() as usize;
+        let mut damaged_frames = 0usize;
+        for frame in 0..cfg.frames_per_chunk {
+            let arr = started
+                + SimTime::from_secs_f64(
+                    dl_secs * (frame + 1) as f64 / cfg.frames_per_chunk as f64,
+                );
+            let deadline = started + SimTime::from_secs_f64(play_base + frame as f64 * delta);
+            let mut damaged = false;
+            for _ in 0..pkts_per_frame.max(1) {
+                damaged |= s.loss.lose();
+            }
+            damaged |= s.overlay.lose_at(arr, (chunk * 1000 + frame) as u64);
+            if damaged {
+                damaged_frames += 1;
+                s.chain += 1;
+                if s.class.recovery() {
+                    s.counters.jobs += 1;
+                    if let Some(m) = &self.fm {
+                        m.jobs_enqueued.inc();
+                    }
+                    self.batcher.enqueue(InferenceJob {
+                        session,
+                        chunk,
+                        frame,
+                        kind: JobKind::Recovery,
+                        rung,
+                        chain: s.chain,
+                        deadline,
+                    });
+                } else {
+                    s.counters.freezes += 1;
+                    s.chunks[chunk].psnr_sum += self.maps.reuse_psnr_at_depth(rung, s.chain);
+                    s.chunks[chunk].resolved += 1;
+                }
+            } else {
+                s.chain = 0;
+                if s.class.sr() && frame % cfg.anchor_stride == 0 {
+                    s.counters.jobs += 1;
+                    if let Some(m) = &self.fm {
+                        m.jobs_enqueued.inc();
+                    }
+                    self.batcher.enqueue(InferenceJob {
+                        session,
+                        chunk,
+                        frame,
+                        kind: JobKind::Sr,
+                        rung,
+                        chain: 0,
+                        deadline,
+                    });
+                } else {
+                    s.chunks[chunk].psnr_sum += self.maps.plain_psnr[rung];
+                    s.chunks[chunk].resolved += 1;
+                }
+            }
+        }
+
+        // ABR observations and buffer update.
+        let tput_kbps = bytes_total * 8.0 / 1000.0 / dl_secs;
+        s.ctx.throughput_kbps.push(tput_kbps);
+        s.ctx
+            .loss_rates
+            .push(damaged_frames as f64 / cfg.frames_per_chunk as f64);
+        if s.ctx.throughput_kbps.len() > 8 {
+            s.ctx.throughput_kbps.remove(0);
+            s.ctx.loss_rates.remove(0);
+        }
+        s.buffer_secs = (buffer_at_start - dl_secs).max(0.0) + cfg.chunk_seconds;
+        s.buffer_asof = self.now;
+        s.chunk_idx += 1;
+        if s.chunk_idx >= cfg.chunks_per_session {
+            s.phase = Phase::Done;
+            self.undone -= 1;
+        } else if s.buffer_secs > cfg.max_buffer_secs {
+            // Hold the next request until the buffer drains back to the
+            // cap (the wake-up path drains it by the idle time).
+            let wait = s.buffer_secs - cfg.max_buffer_secs;
+            let until = self.now + SimTime::from_secs_f64(wait);
+            s.phase = Phase::Waiting { until };
+            self.queue
+                .schedule(self.now, until, EventKind::Wake { session });
+        } else {
+            s.phase = Phase::Waiting { until: self.now };
+            self.queue
+                .schedule(self.now, self.now, EventKind::Wake { session });
+        }
+        self.active.remove(&session);
+        self.sessions.insert(session, s);
+    }
+
+    /// Completions detected at this instant (fluid downloads that ran
+    /// out of bytes), in ascending session id — the canonical order.
+    fn scan_completions(&mut self, obs: &mut Option<&mut Obs>) {
+        let done: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|id| {
+                matches!(
+                    self.sessions[id].phase,
+                    Phase::Downloading { bytes_left, .. } if bytes_left <= 1e-6
+                )
+            })
+            .collect();
+        for id in done {
+            self.handle_completion(id, obs);
+        }
+    }
+
+    /// Everything that happens at the tail of a processed instant:
+    /// completion scan, then the tick flush if this instant sits on a
+    /// flush boundary and the server is up.
+    fn settle_instant(&mut self, obs: &mut Option<&mut Obs>) {
+        self.scan_completions(obs);
+        if self.server_up() && self.now.0.is_multiple_of(self.tick_us) {
+            self.flush_batcher(obs);
+        }
+        if self.undone == 0 {
+            self.done = true;
+        }
+    }
+
+    /// Process every event due at or before `stop`. Returns with
+    /// `now <= stop`; events beyond the barrier stay queued.
+    pub(crate) fn run_until(&mut self, stop: SimTime, obs: &mut Option<&mut Obs>) {
+        if self.done {
+            return;
+        }
+        self.refresh();
+        while !self.done {
+            let Some(ev) = self.queue.peek() else {
+                break;
+            };
+            if ev.at > stop {
+                break;
+            }
+            let at = ev.at;
+            debug_assert!(at >= self.now, "event queue proposed time travel");
+            self.advance_to(at);
+            while let Some(e) = self.queue.pop_due(at) {
+                self.events += 1;
+                match e.kind {
+                    EventKind::Restart => self.handle_restart(obs),
+                    EventKind::Crash { session } => self.handle_crash(session, obs),
+                    EventKind::Wake { session } => self.handle_wake(session, obs),
+                    // Completion probes and ticks only materialize the
+                    // instant; the scan/flush below does the work.
+                    EventKind::Completion { .. } | EventKind::Tick => {}
+                }
+            }
+            self.settle_instant(obs);
+            if self.done {
+                break;
+            }
+            self.refresh();
+        }
+    }
+
+    /// Advance the fluid state to the barrier instant `at` (no events
+    /// may remain due before it) and re-evaluate rates there. Handoffs
+    /// call this on both endpoints so extraction and installation see a
+    /// consistent clock.
+    pub(crate) fn sync_to(&mut self, at: SimTime, obs: &mut Option<&mut Obs>) {
+        debug_assert!(self.queue.peek().is_none_or(|e| e.at >= at) || self.done);
+        if at > self.now {
+            self.advance_to(at);
+            self.scan_completions(obs);
+        }
+        self.refresh();
+    }
+
+    /// Serialize `session` out of this server for a handoff. The
+    /// batcher is drained first (an off-tick flush, exactly like the
+    /// restart path) so no in-flight job references a departed session.
+    pub(crate) fn extract_session(
+        &mut self,
+        session: usize,
+        at: SimTime,
+        obs: &mut Option<&mut Obs>,
+    ) -> Vec<u8> {
+        self.sync_to(at, obs);
+        self.flush_batcher(obs);
+        let s = self
+            .sessions
+            .remove(&session)
+            .expect("handoff source does not hold the session");
+        self.active.remove(&session);
+        if !matches!(s.phase, Phase::Done) {
+            self.undone -= 1;
+        }
+        self.handoffs_out += 1;
+        let ticket = crate::handoff::encode_session(session, &s);
+        self.refresh();
+        ticket
+    }
+
+    /// Install a handoff ticket. The ticket is decoded, re-encoded, and
+    /// verified byte-identical — the digest-identity contract of the
+    /// handoff checkpoint.
+    pub(crate) fn install_ticket(
+        &mut self,
+        ticket: &[u8],
+        at: SimTime,
+        obs: &mut Option<&mut Obs>,
+    ) {
+        self.sync_to(at, obs);
+        let (session, s) = crate::handoff::decode_session(self.cfg, self.maps, ticket)
+            .expect("handoff ticket failed to decode");
+        let reencoded = crate::handoff::encode_session(session, &s);
+        assert_eq!(
+            reencoded, ticket,
+            "handoff ticket must round-trip byte-identically"
+        );
+        match s.phase {
+            Phase::Done => {}
+            Phase::Waiting { until } => {
+                self.undone += 1;
+                self.done = false;
+                self.queue
+                    .schedule(self.now, until, EventKind::Wake { session });
+            }
+            Phase::Downloading { .. } => {
+                self.undone += 1;
+                self.done = false;
+                self.active.insert(session);
+            }
+        }
+        if let Some(&(crash_at, _)) = s.crashes.first() {
+            self.queue.schedule(
+                self.now,
+                SimTime::from_secs_f64(crash_at),
+                EventKind::Crash { session },
+            );
+        }
+        self.handoffs_in += 1;
+        self.sessions.insert(session, s);
+        self.refresh();
+    }
+
+    /// Drain and fold the server into a plain-data partial result.
+    pub(crate) fn finish(&mut self, hard_stop: SimTime, obs: &mut Option<&mut Obs>) -> ServerPartial {
+        if self.undone > 0 && self.now < hard_stop {
+            // Timed out mid-flight: advance the fluid state to the stop
+            // and run one last completion scan there, as the old loop's
+            // final iteration did.
+            self.advance_to(hard_stop);
+            self.scan_completions(obs);
+        }
+        // A hard stop can leave sessions mid-download: the in-flight
+        // chunk's rung was charged at request time but never completed,
+        // so leaving the charge would inflate `mean_rung` past the
+        // ladder. Revert it, exactly as the crash-abort path does.
+        for s in self.sessions.values_mut() {
+            if let Phase::Downloading { rung, .. } = s.phase {
+                s.rung_sum -= rung;
+            }
+        }
+        // Drain whatever is still queued (sessions that finished between
+        // ticks, or the hard-stop path).
+        self.flush_batcher(obs);
+        let sessions = std::mem::take(&mut self.sessions)
+            .into_iter()
+            .map(|(id, s)| SessionDone {
+                id,
+                class: s.class,
+                cap: s.cap,
+                rejected: s.rejected,
+                server: self.id,
+                chunks: s.chunks,
+                chunk_idx: s.chunk_idx,
+                rung_sum: s.rung_sum,
+                counters: s.counters,
+                checksum: s.checksum,
+                rebuffer_total: s.rebuffer_total,
+            })
+            .collect();
+        ServerPartial {
+            id: self.id,
+            accepted: self.admission.accepted,
+            downgraded: self.admission.downgraded,
+            rejected: self.admission.rejected,
+            batcher: self.batcher.stats(),
+            slacks: std::mem::take(&mut self.slacks),
+            restarts: self.restarts,
+            handoffs_in: self.handoffs_in,
+            handoffs_out: self.handoffs_out,
+            events: self.events,
+            virtual_secs: self.now.as_secs_f64(),
+            sessions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite-1 semantics, pinned: a session whose overlay is *less*
+    /// impaired than the fleet keeps its full fair share of the
+    /// (already fleet-scaled) pool — no `.min(1.0)` cap, no division.
+    #[test]
+    fn overlay_better_than_fleet_is_not_capped() {
+        // Pool already carries the fleet's 0.3 collapse; a clean session
+        // (own factor 1.0) must get its exact weighted share of it.
+        let rates = fair_share_rates(300.0, &[(2.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(rates, vec![200.0, 100.0]);
+    }
+
+    /// Satellite-1 semantics, pinned: during a fleet blackout the pool
+    /// is zero, and a clean overlay session simply gets zero — the
+    /// formula must not need a `fleet_factor == 0` special case, and
+    /// must recover the full share the instant the pool returns.
+    #[test]
+    fn fleet_blackout_zeroes_rates_through_the_pool_only() {
+        let entries = [(1.0, 1.0), (1.0, 0.7)];
+        assert_eq!(fair_share_rates(0.0, &entries), vec![0.0, 0.0]);
+        let after = fair_share_rates(100.0, &entries);
+        assert_eq!(after[0], 50.0, "clean session resumes at full share");
+        assert!((after[1] - 35.0).abs() < 1e-12);
+    }
+
+    /// Dead sessions (own blackout) release their weight: the live
+    /// session's denominator shrinks, so capacity redistributes instead
+    /// of evaporating. This is the work-conservation half of the fix —
+    /// the old formula kept the dead session's weight in the
+    /// denominator.
+    #[test]
+    fn dead_session_weight_redistributes_to_live_sessions() {
+        let rates = fair_share_rates(120.0, &[(2.0, 0.0), (1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(rates, vec![0.0, 60.0, 60.0]);
+    }
+
+    #[test]
+    fn all_dead_yields_all_zero_without_nan() {
+        let rates = fair_share_rates(120.0, &[(2.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(rates, vec![0.0, 0.0]);
+    }
+
+    /// A partially collapsed session keeps its own factor applied to its
+    /// own share only; the released remainder is *not* redistributed
+    /// (only fully dead sessions release weight) — pinning the
+    /// boundary of the redistribution rule.
+    #[test]
+    fn partial_collapse_scales_own_share_only() {
+        let rates = fair_share_rates(100.0, &[(1.0, 0.5), (1.0, 1.0)]);
+        assert_eq!(rates, vec![25.0, 50.0]);
+    }
+}

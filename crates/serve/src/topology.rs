@@ -1,0 +1,163 @@
+//! Multi-server fleet topology: N edge servers behind a load balancer.
+//!
+//! The balancer is a *placement function*, not a runtime component: it
+//! deterministically maps every session id to its initial server before
+//! the clock starts, so placement can never depend on execution order
+//! and the fleet digest stays byte-identical at any `--jobs` value.
+//! Mid-run rebalancing goes through the handoff plan instead
+//! ([`SessionHandoff`]): at each handoff instant the whole fleet reaches
+//! a barrier, the session's state round-trips through the CRC-framed
+//! ticket codec ([`crate::handoff`]), and ownership moves.
+
+use std::fmt;
+
+/// How the load balancer spreads sessions across servers at arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Session `i` lands on server `i % N`.
+    #[default]
+    RoundRobin,
+    /// Greedy least-accumulated-weight assignment in session-id order
+    /// (premium sessions weigh 2×), ties to the lowest server id.
+    LeastLoaded,
+    /// Contiguous id blocks per server (sessions near each other in id
+    /// space share an edge, the locality story).
+    Locality,
+}
+
+impl PlacementPolicy {
+    /// Parse a CLI spelling (`round-robin`, `least-loaded`, `locality`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "round-robin" | "rr" => Some(Self::RoundRobin),
+            "least-loaded" | "ll" => Some(Self::LeastLoaded),
+            "locality" | "loc" => Some(Self::Locality),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::LeastLoaded => "least-loaded",
+            Self::Locality => "locality",
+        }
+    }
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One planned server-to-server session move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionHandoff {
+    pub session: usize,
+    /// Destination server.
+    pub to: usize,
+    /// Virtual instant of the move (a fleet-wide barrier).
+    pub at_secs: f64,
+}
+
+/// Place every session on its initial server. `weights[i]` is session
+/// `i`'s fair-share weight (only [`PlacementPolicy::LeastLoaded`] reads
+/// it). Returns `assignment[i] = server of session i`.
+pub fn place_sessions(policy: PlacementPolicy, servers: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(servers > 0, "topology needs at least one server");
+    let n = weights.len();
+    match policy {
+        PlacementPolicy::RoundRobin => (0..n).map(|i| i % servers).collect(),
+        PlacementPolicy::Locality => {
+            // Contiguous blocks, remainder spread over the first servers.
+            (0..n).map(|i| (i * servers) / n.max(1)).collect()
+        }
+        PlacementPolicy::LeastLoaded => {
+            let mut load = vec![0.0f64; servers];
+            (0..n)
+                .map(|i| {
+                    let mut best = 0usize;
+                    for s in 1..servers {
+                        if load[s] < load[best] {
+                            best = s;
+                        }
+                    }
+                    load[best] += weights[i];
+                    best
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let w = vec![1.0; 7];
+        assert_eq!(
+            place_sessions(PlacementPolicy::RoundRobin, 3, &w),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn locality_is_contiguous_and_covers_every_server() {
+        let w = vec![1.0; 10];
+        let a = place_sessions(PlacementPolicy::Locality, 4, &w);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted, "locality blocks must be contiguous in id");
+        for s in 0..4 {
+            assert!(a.contains(&s), "server {s} must receive sessions");
+        }
+    }
+
+    #[test]
+    fn least_loaded_balances_weighted_sessions() {
+        // Alternating heavy (2.0) and light (1.0) sessions on 2 servers:
+        // greedy assignment keeps the accumulated weights within one
+        // heavy session of each other.
+        let w: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 2.0 } else { 1.0 }).collect();
+        let a = place_sessions(PlacementPolicy::LeastLoaded, 2, &w);
+        let mut load = [0.0f64; 2];
+        for (i, &s) in a.iter().enumerate() {
+            load[s] += w[i];
+        }
+        assert!(
+            (load[0] - load[1]).abs() <= 2.0,
+            "loads {load:?} must stay balanced"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_cli_spellings() {
+        assert_eq!(
+            PlacementPolicy::parse("round-robin"),
+            Some(PlacementPolicy::RoundRobin)
+        );
+        assert_eq!(
+            PlacementPolicy::parse("ll"),
+            Some(PlacementPolicy::LeastLoaded)
+        );
+        assert_eq!(
+            PlacementPolicy::parse("locality"),
+            Some(PlacementPolicy::Locality)
+        );
+        assert_eq!(PlacementPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn single_server_maps_everything_to_zero() {
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::Locality,
+        ] {
+            assert_eq!(place_sessions(policy, 1, &[1.0, 2.0, 1.0]), vec![0, 0, 0]);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //!   nerve-experiments --jobs 4      # sweep worker pool size
 //!   nerve-experiments --bench-out[=PATH]  # write BENCH_sweep.json
 //!   nerve-experiments fleet --sessions 64  # multi-session edge server
+//!   nerve-experiments fleet --servers 8 --placement least-loaded
 //!   nerve-experiments fleet --trace-out trace.jsonl  # span/metric log
 //!
 //! Each selected experiment is one unit of the outermost parallel sweep:
@@ -29,11 +30,33 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut sessions = 16usize;
+    let mut servers = 1usize;
+    let mut placement = nerve_serve::PlacementPolicy::RoundRobin;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if a == "--quick" {
             quick = true;
+        } else if a == "--servers" {
+            servers = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("--servers needs a positive integer"));
+        } else if let Some(v) = a.strip_prefix("--servers=") {
+            servers = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| die("--servers needs a positive integer"));
+        } else if a == "--placement" {
+            placement = it
+                .next()
+                .and_then(|v| nerve_serve::PlacementPolicy::parse(v))
+                .unwrap_or_else(|| die("--placement needs round-robin|least-loaded|locality"));
+        } else if let Some(v) = a.strip_prefix("--placement=") {
+            placement = nerve_serve::PlacementPolicy::parse(v)
+                .unwrap_or_else(|| die("--placement needs round-robin|least-loaded|locality"));
         } else if a == "--sessions" {
             sessions = it
                 .next()
@@ -255,7 +278,10 @@ fn main() {
                 // One fleet point per sweep unit happens inside the
                 // runner; nested sweeps drop to serial automatically.
                 let chunks = budget.chunks_per_trace.clamp(2, 8);
-                format!("{}\n", fleet::fleet_report(sessions, chunks, budget.seed))
+                format!(
+                    "{}\n",
+                    fleet::fleet_report(sessions, chunks, budget.seed, servers, placement)
+                )
             }),
         ));
     }
@@ -309,7 +335,7 @@ fn main() {
         let log = if selected.iter().any(|s| s == "live") {
             live::live_trace(sessions, live_ticks, budget.seed)
         } else {
-            fleet::fleet_trace(sessions, chunks, budget.seed)
+            fleet::fleet_trace(sessions, chunks, budget.seed, servers, placement)
         };
         if let Err(e) = std::fs::write(&path, log) {
             eprintln!("[failed to write {path}: {e}]");

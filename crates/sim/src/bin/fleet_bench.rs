@@ -2,11 +2,14 @@
 //! multi-session edge server. Stable-toolchain, no nightly `test` crate:
 //! runs the fleet at N = 1 / 8 / 64 sessions, times each point, checks
 //! the result digest is byte-identical between 1 worker and the full
-//! pool, and writes `BENCH_fleet.json`.
+//! pool, then sweeps the topology scale grid — {64, 1k, 10k} sessions ×
+//! {1, 8} servers — recording sessions/sec and events/sec with a
+//! 1-worker-vs-pool digest gate at every grid point, and writes
+//! `BENCH_fleet.json`.
 //!
 //! Usage:
 //!   nerve-fleet-bench [--jobs N] [--out PATH] [--sessions N] [--full]
-//!                     [--trace-out PATH]
+//!                     [--no-grid] [--trace-out PATH]
 //!
 //! `--trace-out` additionally writes the observability JSONL log (spans,
 //! events, cost profile, metrics snapshot) for every fleet point; the
@@ -25,9 +28,11 @@ fn main() {
     let mut jobs_override: Option<usize> = None;
     let mut max_sessions = 64usize;
     let mut full = false;
+    let mut grid = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--no-grid" => grid = false,
             "--jobs" => {
                 jobs_override = Some(
                     it.next()
@@ -123,8 +128,52 @@ fn main() {
             r.p95_slack_secs
         );
     }
+    // The topology scale grid: sessions/sec and events/sec across
+    // {64, 1k, 10k} sessions × {1, 8} servers, with a 1-worker-vs-pool
+    // digest gate at every point (the sharded path must be byte-exact).
+    let mut grid_entries = String::new();
+    if grid {
+        for &(n, servers) in &[
+            (64usize, 1usize),
+            (64, 8),
+            (1_000, 1),
+            (1_000, 8),
+            (10_000, 1),
+            (10_000, 8),
+        ] {
+            let run = || {
+                let (cfg, trace) = fleet::scale_config(n, servers, seed);
+                nerve_serve::run_fleet(&cfg, &trace)
+            };
+            let serial = with_workers(1, run);
+            let t0 = Instant::now();
+            let pooled = with_workers(workers, run);
+            let wall = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                serial.digest(),
+                pooled.digest(),
+                "grid point N={n} S={servers} diverged between 1 and {workers} workers"
+            );
+            let sps = n as f64 / wall.max(1e-9);
+            let eps = pooled.events as f64 / wall.max(1e-9);
+            if !grid_entries.is_empty() {
+                grid_entries.push(',');
+            }
+            let _ = write!(
+                grid_entries,
+                "\n    {{\"sessions\": {n}, \"servers\": {servers}, \"wall_secs\": {wall:.4}, \
+                 \"sessions_per_sec\": {sps:.3}, \"events\": {}, \"events_per_sec\": {eps:.3}, \
+                 \"handoffs\": {}, \"digest_match\": true}}",
+                pooled.events, pooled.handoffs,
+            );
+            eprintln!(
+                "[grid N={n} S={servers}: {wall:.2}s wall, {sps:.1} sessions/s, {eps:.1} events/s]"
+            );
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bin\": \"nerve-fleet-bench\",\n  \"workers\": {workers},\n  \"full\": {full},\n  \"chunks\": {chunks},\n  \"points\": [{entries}\n  ]\n}}\n"
+        "{{\n  \"bin\": \"nerve-fleet-bench\",\n  \"workers\": {workers},\n  \"full\": {full},\n  \"chunks\": {chunks},\n  \"points\": [{entries}\n  ],\n  \"scale_grid\": [{grid_entries}\n  ]\n}}\n"
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("[failed to write {out_path}: {e}]");
@@ -133,7 +182,13 @@ fn main() {
     eprintln!("[wrote {out_path}]");
 
     if let Some(path) = trace_out {
-        let log = fleet::fleet_trace(max_sessions, chunks, seed);
+        let log = fleet::fleet_trace(
+            max_sessions,
+            chunks,
+            seed,
+            1,
+            nerve_serve::PlacementPolicy::RoundRobin,
+        );
         if let Err(e) = std::fs::write(&path, log) {
             eprintln!("[failed to write {path}: {e}]");
             std::process::exit(1);

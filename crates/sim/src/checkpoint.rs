@@ -18,6 +18,10 @@
 
 use nerve_net::clock::SimTime;
 use nerve_net::integrity::{crc32, open, seal};
+// The byte codec moved to `nerve-net` (PR-7) so serve-side handoff
+// tickets and these checkpoints share one field format; the re-export
+// keeps this module's public surface unchanged.
+pub use nerve_net::bytes::{ByteError, ByteReader, ByteWriter};
 use nerve_net::loss::LossState;
 use nerve_net::quicish::{QuicState, StreamStats};
 use nerve_net::reliable::{ChannelState, ChannelStats};
@@ -60,131 +64,11 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Little-endian byte sink for checkpoint fields.
-#[derive(Default)]
-pub struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    pub fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    pub fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-
-    /// Exact float round trip via the bit pattern.
-    pub fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    pub fn opt_f64(&mut self, v: Option<f64>) {
-        match v {
-            None => self.u8(0),
-            Some(x) => {
-                self.u8(1);
-                self.f64(x);
-            }
+impl From<ByteError> for CheckpointError {
+    fn from(e: ByteError) -> Self {
+        match e {
+            ByteError::Truncated => CheckpointError::Truncated,
         }
-    }
-
-    pub fn time(&mut self, t: SimTime) {
-        self.u64(t.as_micros());
-    }
-
-    /// The accumulated bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-/// Little-endian reader over a checkpoint body.
-pub struct ByteReader<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.data.len())
-            .ok_or(CheckpointError::Truncated)?;
-        let out = &self.data[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.take(1)?[0])
-    }
-
-    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
-        Ok(self.u64()? as usize)
-    }
-
-    pub fn bool(&mut self) -> Result<bool, CheckpointError> {
-        Ok(self.u8()? != 0)
-    }
-
-    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    pub fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
-        Ok(if self.u8()? != 0 {
-            Some(self.f64()?)
-        } else {
-            None
-        })
-    }
-
-    pub fn time(&mut self) -> Result<SimTime, CheckpointError> {
-        Ok(SimTime::from_micros(self.u64()?))
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
     }
 }
 

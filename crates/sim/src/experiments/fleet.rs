@@ -12,7 +12,9 @@ use crate::sweep;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
 use nerve_obs::Obs;
 use nerve_serve::batcher::occupancy_label;
-use nerve_serve::{run_fleet, run_fleet_obs, FleetConfig, FleetResult, OCCUPANCY_BUCKETS};
+use nerve_serve::{
+    run_fleet, run_fleet_obs, FleetConfig, FleetResult, PlacementPolicy, OCCUPANCY_BUCKETS,
+};
 use nerve_tensor::meter;
 use nerve_video::rng::{seed_for, StreamComponent};
 use std::fmt::Write as _;
@@ -48,9 +50,55 @@ pub fn fleet_config(n: usize, chunks: usize, seed: u64) -> (FleetConfig, Network
     (cfg, trace)
 }
 
+/// [`fleet_config`] spread over `servers` edge servers. Admission is a
+/// per-server front door, so the budgets divide by the server count —
+/// per-session contention at the margin stays server-count invariant.
+pub fn fleet_config_multi(
+    n: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> (FleetConfig, NetworkTrace) {
+    let (mut cfg, trace) = fleet_config(n, chunks, seed);
+    let servers = servers.max(1);
+    cfg.servers = servers;
+    cfg.placement = placement;
+    cfg.admission.bandwidth_kbps /= servers as f64;
+    cfg.admission.macs_per_sec /= servers as f64;
+    (cfg, trace)
+}
+
+/// The scale-grid configuration for five-digit fleets: same topology
+/// semantics as [`fleet_config_multi`], with the per-session work
+/// turned down (fewer frames, one anchor per chunk, sparser damage) so
+/// a 10k-session fleet stays debug-test fast. The event loop, fair
+/// share, admission, handoff, and digest paths are all exercised at
+/// full fidelity — only the pixel volume shrinks.
+pub fn scale_config(n: usize, servers: usize, seed: u64) -> (FleetConfig, NetworkTrace) {
+    let (mut cfg, trace) = fleet_config_multi(n, 2, seed, servers, PlacementPolicy::RoundRobin);
+    cfg.frames_per_chunk = 8;
+    cfg.anchor_stride = 8;
+    cfg.avg_loss = 0.01;
+    cfg.overlay_every = 16;
+    (cfg, trace)
+}
+
 /// Run one fleet point.
 pub fn run_point(n: usize, chunks: usize, seed: u64) -> FleetResult {
     let (cfg, trace) = fleet_config(n, chunks, seed);
+    run_fleet(&cfg, &trace)
+}
+
+/// Run one multi-server fleet point.
+pub fn run_point_multi(
+    n: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> FleetResult {
+    let (cfg, trace) = fleet_config_multi(n, chunks, seed, servers, placement);
     run_fleet(&cfg, &trace)
 }
 
@@ -63,10 +111,16 @@ pub fn run_point(n: usize, chunks: usize, seed: u64) -> FleetResult {
 /// in fixed point order, and everything inside is stamped from virtual
 /// time — so the file is byte-identical at any `--jobs` value and
 /// across repeat runs.
-pub fn fleet_trace(sessions: usize, chunks: usize, seed: u64) -> String {
+pub fn fleet_trace(
+    sessions: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> String {
     let points = fleet_points(sessions);
     let traced = sweep::map(&points, |_, &n| {
-        let (cfg, trace) = fleet_config(n, chunks, seed);
+        let (cfg, trace) = fleet_config_multi(n, chunks, seed, servers, placement);
         let mut obs = Obs::trace();
         meter::start();
         let result = run_fleet_obs(&cfg, &trace, Some(&mut obs));
@@ -88,9 +142,17 @@ pub fn fleet_trace(sessions: usize, chunks: usize, seed: u64) -> String {
 }
 
 /// The full fleet report at a ladder of session counts.
-pub fn fleet_report(sessions: usize, chunks: usize, seed: u64) -> String {
+pub fn fleet_report(
+    sessions: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> String {
     let points = fleet_points(sessions);
-    let results = sweep::map(&points, |_, &n| (n, run_point(n, chunks, seed)));
+    let results = sweep::map(&points, |_, &n| {
+        (n, run_point_multi(n, chunks, seed, servers, placement))
+    });
 
     let mut summary = Table::new(
         "Fleet serving: shared uplink + cross-session batched inference",
@@ -121,6 +183,37 @@ pub fn fleet_report(sessions: usize, chunks: usize, seed: u64) -> String {
     }
 
     let (_, largest) = results.last().expect("at least one fleet point");
+    let mut topology = String::new();
+    if largest.servers.len() > 1 {
+        let mut per_server = Table::new(
+            "Per-server topology at the largest fleet",
+            &[
+                "server",
+                "sessions",
+                "accept",
+                "downgrade",
+                "reject",
+                "restarts",
+                "ho in/out",
+                "events",
+                "batches",
+            ],
+        );
+        for sv in &largest.servers {
+            per_server.row(vec![
+                sv.id.to_string(),
+                sv.sessions.to_string(),
+                sv.accepted.to_string(),
+                sv.downgraded.to_string(),
+                sv.rejected.to_string(),
+                sv.restarts.to_string(),
+                format!("{}/{}", sv.handoffs_in, sv.handoffs_out),
+                sv.events.to_string(),
+                sv.batcher.batches.to_string(),
+            ]);
+        }
+        topology = format!("{per_server}\n");
+    }
     let mut occupancy = Table::new(
         "Batch occupancy at the largest fleet (jobs per stacked conv2d)",
         &["batch size", "flushes"],
@@ -168,7 +261,7 @@ pub fn fleet_report(sessions: usize, chunks: usize, seed: u64) -> String {
         ]);
     }
 
-    format!("{summary}\n{occupancy}\n{per_session}")
+    format!("{summary}\n{topology}{occupancy}\n{per_session}")
 }
 
 #[cfg(test)]
@@ -185,10 +278,27 @@ mod tests {
 
     #[test]
     fn report_renders_and_is_deterministic() {
-        let a = fleet_report(3, 2, 42);
-        let b = fleet_report(3, 2, 42);
+        let a = fleet_report(3, 2, 42, 1, PlacementPolicy::RoundRobin);
+        let b = fleet_report(3, 2, 42, 1, PlacementPolicy::RoundRobin);
         assert_eq!(a, b);
         assert!(a.contains("Fleet serving"));
         assert!(a.contains("Per-session outcomes"));
+        assert!(!a.contains("Per-server topology"), "single server: no topology table");
+    }
+
+    #[test]
+    fn multi_server_report_includes_the_topology_table() {
+        let a = fleet_report(3, 2, 42, 2, PlacementPolicy::LeastLoaded);
+        assert!(a.contains("Per-server topology"));
+        let b = fleet_report(3, 2, 42, 2, PlacementPolicy::LeastLoaded);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_config_keeps_admission_margin_server_invariant() {
+        let (one, _) = scale_config(64, 1, 7);
+        let (eight, _) = scale_config(64, 8, 7);
+        assert_eq!(eight.servers, 8);
+        assert!((one.admission.bandwidth_kbps / 8.0 - eight.admission.bandwidth_kbps).abs() < 1e-9);
     }
 }

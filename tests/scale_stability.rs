@@ -192,6 +192,7 @@ fn fleet_with_crashes_restart_and_breaker_is_jobs_invariant() {
         },
     ];
     cfg.server_restart = Some(ServerRestart {
+        server: 0,
         at_secs: 1.6,
         down_secs: 0.7,
     });
@@ -327,6 +328,101 @@ fn live_fleet_32_fir_storm_is_jobs_invariant_and_resumable() {
             s.id
         );
     }
+}
+
+/// The topology tentpole at full scale: 10k sessions on 8 servers, with
+/// a mid-run handoff wave (64 sessions migrate to their neighbour
+/// server through the CRC ticket codec) and one server restart. The
+/// discrete-event fleet must complete, produce a byte-identical digest
+/// at `--jobs` 1 / 2 / 4 (serial vs sharded execution), account for
+/// every enhancement job per server (no silent starvation), and keep
+/// per-server admission-reject skew bounded — identical front doors over
+/// a round-robin spread cannot reject lopsidedly.
+#[test]
+fn fleet_10k_on_8_servers_with_handoff_wave_and_restart_is_stable() {
+    use nerve::serve::{ServerRestart, SessionHandoff};
+    use nerve::sim::experiments::fleet::scale_config;
+    use nerve::sim::sweep;
+
+    const SESSIONS: usize = 10_000;
+    const SERVERS: usize = 8;
+    let (mut cfg, trace) = scale_config(SESSIONS, SERVERS, 71);
+    // The wave: sessions 0..64 hop to the next server ring-wise at 3 s,
+    // mid-download for most of them.
+    cfg.handoffs = (0..64)
+        .map(|id| SessionHandoff {
+            session: id,
+            to: (id % SERVERS + 1) % SERVERS,
+            at_secs: 3.0,
+        })
+        .collect();
+    cfg.server_restart = Some(ServerRestart {
+        server: 3,
+        at_secs: 2.0,
+        down_secs: 0.5,
+    });
+
+    let prev = sweep::workers();
+    let mut digests = Vec::new();
+    let mut last = None;
+    for jobs in [1usize, 2, 4] {
+        sweep::set_workers(jobs);
+        let r = nerve_serve::run_fleet(&cfg, &trace);
+        digests.push(r.digest());
+        last = Some(r);
+    }
+    sweep::set_workers(prev);
+    assert_eq!(digests[0], digests[1], "--jobs 1 vs --jobs 2");
+    assert_eq!(digests[1], digests[2], "--jobs 2 vs --jobs 4");
+
+    let r = last.unwrap();
+    assert_eq!(r.sessions.len(), SESSIONS);
+    assert_eq!(r.servers.len(), SERVERS);
+    assert_eq!(r.handoffs, 64, "the whole wave must execute");
+    assert_eq!(r.server_restarts, 1, "the restart must be recorded");
+    assert!(
+        r.virtual_secs < cfg.max_virtual_secs,
+        "the fleet must drain, not time out"
+    );
+    assert_eq!(
+        r.servers.iter().map(|s| s.sessions).sum::<usize>(),
+        SESSIONS,
+        "every session must be resident somewhere at the end"
+    );
+
+    // No silent starvation, audited per server: on every server, the
+    // resident sessions' enqueued jobs partition exactly into the
+    // outcome buckets (full / degraded / SR-skipped), and freezes and
+    // crashes stay in their own visible counters.
+    for sv in &r.servers {
+        assert!(sv.events > 0, "server {} processed no events", sv.id);
+        let residents: Vec<_> = r.sessions.iter().filter(|s| s.server == sv.id).collect();
+        assert_eq!(residents.len(), sv.sessions, "server {} residency", sv.id);
+        let jobs: usize = residents.iter().map(|s| s.counters.jobs).sum();
+        let accounted: usize = residents
+            .iter()
+            .map(|s| s.counters.full + s.counters.degraded + s.counters.sr_skipped)
+            .sum();
+        assert_eq!(
+            jobs, accounted,
+            "server {} lost jobs without a counter",
+            sv.id
+        );
+    }
+
+    // Bounded admission skew: identical per-server budgets over a
+    // round-robin spread must reject near-uniformly. Allow the restart
+    // server a margin, but a lopsided front door is a bug.
+    let rejects: Vec<usize> = r.servers.iter().map(|s| s.rejected).collect();
+    let (&lo, &hi) = (
+        rejects.iter().min().unwrap(),
+        rejects.iter().max().unwrap(),
+    );
+    let per_server = SESSIONS / SERVERS;
+    assert!(
+        hi - lo <= per_server / 10 + 8,
+        "per-server admission rejects are lopsided: {rejects:?}"
+    );
 }
 
 /// The budget policy earns its complexity: across the live chaos matrix

@@ -38,7 +38,7 @@ fn fleet_trace_is_byte_identical_across_worker_counts() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let logs: Vec<String> = WORKER_COUNTS
         .iter()
-        .map(|&w| at_workers(w, || fleet::fleet_trace(4, 2, 2024)))
+        .map(|&w| at_workers(w, || fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin)))
         .collect();
     assert!(
         logs[0].contains("\"ev\":\"open\"") && logs[0].contains("\"metric\":"),
@@ -55,7 +55,7 @@ fn fleet_trace_is_byte_identical_across_worker_counts() {
         );
     }
     // Repeat run at the same worker count: stable across process reuse.
-    let again = at_workers(2, || fleet::fleet_trace(4, 2, 2024));
+    let again = at_workers(2, || fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin));
     assert_eq!(logs[0], again, "fleet trace diverged across repeat runs");
 }
 
