@@ -15,12 +15,13 @@
 use crate::baselines::HeavySr;
 use crate::point_code::{PointCodeConfig, PointCodeEncoder};
 use crate::recovery::RecoveryModel;
-use crate::sr::SuperResolver;
+use crate::sr::{SrConfig, SuperResolver};
 use nerve_tensor::loss::charbonnier;
 use nerve_video::frame::Frame;
 use nerve_video::metrics::psnr;
 use nerve_video::resolution::Resolution;
-use nerve_video::synth::SyntheticVideo;
+use nerve_video::rng::{seed_for, StreamComponent};
+use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
 
 /// Charbonnier epsilon used across all training (paper-conventional).
 pub const CHARBONNIER_EPS: f32 = 1e-3;
@@ -121,6 +122,107 @@ pub fn gate_sr_heads(
     }
     sr.reset();
     gated
+}
+
+/// How the model plane's specialist heads are fitted.
+///
+/// A *specialist* is the generic head fine-tuned on clips from one
+/// category — exactly the artifact the delta-update codec ships: the
+/// generic weights plus a small per-category delta. Training is a pure
+/// function of this config, so the server, the bench, and the tests all
+/// reproduce byte-identical heads.
+#[derive(Debug, Clone)]
+pub struct SpecialistConfig {
+    /// Rung whose head is trained and evaluated.
+    pub rung: Resolution,
+    /// Generic curriculum: round-robin steps per category.
+    pub generic_steps_per_category: usize,
+    /// In-category fine-tune steps layered on top of the generic head.
+    pub finetune_steps: usize,
+    /// Base seed for all curriculum clips.
+    pub seed: u64,
+}
+
+impl Default for SpecialistConfig {
+    fn default() -> Self {
+        Self {
+            rung: Resolution::R240,
+            generic_steps_per_category: 3,
+            finetune_steps: 24,
+            seed: 0x5EED_4EAD,
+        }
+    }
+}
+
+/// Session-id bands inside the [`StreamComponent::Inference`] stream used
+/// by specialist training, keeping curriculum, fine-tune, and held-out
+/// clips on disjoint seeds.
+const CURRICULUM_BAND: u64 = 0;
+const FINETUNE_BAND: u64 = 100;
+const HELDOUT_BAND: u64 = 200;
+
+fn curriculum_video(cfg: &SrConfig, cat: Category, band: u64, seed: u64) -> SyntheticVideo {
+    let scene = SceneConfig::preset(cat, cfg.out_height, cfg.out_width);
+    SyntheticVideo::new(
+        scene,
+        seed_for(seed, band + cat as u64, StreamComponent::Inference),
+    )
+}
+
+/// Train the generic (category-agnostic) head: round-robin over every
+/// category preset so no single content type dominates the fit.
+pub fn train_generic_sr(cfg: &SrConfig, spec: &SpecialistConfig) -> SuperResolver {
+    let mut sr = SuperResolver::new(cfg.clone());
+    let mut videos: Vec<SyntheticVideo> = Category::ALL
+        .iter()
+        .map(|&cat| curriculum_video(cfg, cat, CURRICULUM_BAND, spec.seed))
+        .collect();
+    for _ in 0..spec.generic_steps_per_category {
+        for video in &mut videos {
+            let gt = video.next_frame();
+            let (input, target) = sr.sr_sample(&gt, spec.rung);
+            sr.head_mut(spec.rung)
+                .train_step(&input, &target, |p, t| charbonnier(p, t, CHARBONNIER_EPS));
+        }
+    }
+    sr
+}
+
+/// Train one category's specialist head: deterministically replay the
+/// generic curriculum, then fine-tune on in-category clips. The result
+/// differs from [`train_generic_sr`]'s output only by the fine-tune
+/// delta — the weight artifact the delta codec frames.
+pub fn train_specialist_sr(
+    cfg: &SrConfig,
+    spec: &SpecialistConfig,
+    cat: Category,
+) -> SuperResolver {
+    let mut sr = train_generic_sr(cfg, spec);
+    let mut video = curriculum_video(cfg, cat, FINETUNE_BAND, spec.seed);
+    train_sr_head(&mut sr, &mut video, spec.rung, spec.finetune_steps);
+    sr
+}
+
+/// Mean PSNR of `sr` on a held-out clip of `cat` (never seen in any
+/// curriculum or fine-tune band).
+pub fn eval_sr_on_category(
+    sr: &mut SuperResolver,
+    cfg: &SrConfig,
+    spec: &SpecialistConfig,
+    cat: Category,
+    frames: usize,
+) -> f64 {
+    let mut video = curriculum_video(cfg, cat, HELDOUT_BAND, spec.seed);
+    let (lw, lh) = cfg.lr_dims(spec.rung);
+    sr.reset();
+    let mut total = 0.0f64;
+    for _ in 0..frames.max(1) {
+        let gt = video.next_frame();
+        let lr = gt.resize(lw, lh);
+        total += psnr(&sr.upscale(&lr, spec.rung), &gt);
+    }
+    sr.reset();
+    total / frames.max(1) as f64
 }
 
 /// Train a heavy baseline SR on ground-truth HR frames.
@@ -232,6 +334,47 @@ mod tests {
         let mut v = SyntheticVideo::new(SceneConfig::preset(Category::HowTo, 32, 56), 75);
         let losses = train_heavy_sr(&mut heavy, &mut v, 16);
         assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    /// Acceptance: per-category fine-tuning beats the generic head on
+    /// mean held-out PSNR for at least 8 of the 10 presets.
+    #[test]
+    fn specialists_beat_generic_on_most_categories() {
+        let cfg = SrConfig::at_scale(8);
+        let spec = SpecialistConfig::default();
+        let mut generic = train_generic_sr(&cfg, &spec);
+        let mut wins = 0;
+        let mut report = String::new();
+        for cat in Category::ALL {
+            let g = eval_sr_on_category(&mut generic, &cfg, &spec, cat, 6);
+            let mut specialist = train_specialist_sr(&cfg, &spec, cat);
+            let s = eval_sr_on_category(&mut specialist, &cfg, &spec, cat, 6);
+            if s > g {
+                wins += 1;
+            }
+            report.push_str(&format!(
+                "{cat:?}: specialist {s:.3} dB vs generic {g:.3} dB\n"
+            ));
+        }
+        assert!(
+            wins >= 8,
+            "specialists only beat generic on {wins}/10 categories:\n{report}"
+        );
+    }
+
+    #[test]
+    fn specialist_training_is_deterministic() {
+        let cfg = SrConfig::at_scale(8);
+        let spec = SpecialistConfig {
+            generic_steps_per_category: 1,
+            finetune_steps: 4,
+            ..SpecialistConfig::default()
+        };
+        let run = || {
+            let mut sr = train_specialist_sr(&cfg, &spec, Category::Haul);
+            eval_sr_on_category(&mut sr, &cfg, &spec, Category::Haul, 3)
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
     }
 
     #[test]

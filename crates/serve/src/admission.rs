@@ -71,6 +71,18 @@ impl TokenBucket {
         self.tokens
     }
 
+    /// Drain up to `amount` tokens unconditionally (best effort, floors
+    /// at empty) and return what was actually taken. Unlike
+    /// [`try_take`](Self::try_take), this is a *charge*, not a
+    /// reservation: the caller has already incurred the cost (e.g. a
+    /// weight-cache miss loading an artifact) and the bucket merely
+    /// records it so later arrivals feel the pressure.
+    pub fn drain(&mut self, amount: f64) -> f64 {
+        let taken = amount.clamp(0.0, self.tokens);
+        self.tokens -= taken;
+        taken
+    }
+
     /// Snapshot the mutable state for a checkpoint (rate and capacity
     /// travel with the reconstructing config).
     pub fn state(&self) -> TokenBucketState {
@@ -192,6 +204,18 @@ impl AdmissionController {
         }
         self.rejected += 1;
         Admission::Reject
+    }
+
+    /// Charge a weight-cache miss against the compute budget: loading
+    /// and warming a specialist head costs `macs` multiply-accumulates
+    /// that the enhancement backbone cannot spend on sessions. The
+    /// charge drains best-effort (a huge artifact empties the bucket
+    /// rather than going negative), so a cold cache visibly throttles
+    /// the sessions that arrive behind it. Returns the MACs actually
+    /// drained.
+    pub fn charge_load(&mut self, now: SimTime, macs: f64) -> f64 {
+        self.macs.refill(now);
+        self.macs.drain(macs)
     }
 }
 

@@ -126,7 +126,13 @@ mod tests {
         q.schedule(now, t(10), EventKind::Restart);
         q.schedule(now, t(5), EventKind::Tick);
         let order: Vec<Event> = std::iter::from_fn(|| q.pop_due(t(100))).collect();
-        assert_eq!(order[0], Event { at: t(5), kind: EventKind::Tick });
+        assert_eq!(
+            order[0],
+            Event {
+                at: t(5),
+                kind: EventKind::Tick
+            }
+        );
         assert_eq!(order[1].kind, EventKind::Restart);
         assert_eq!(order[2].kind, EventKind::Crash { session: 9 });
         assert_eq!(order[3].kind, EventKind::Wake { session: 1 });

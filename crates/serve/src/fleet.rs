@@ -30,10 +30,12 @@ use crate::server::{FleetMetrics, ServerPartial, ServerSim, SessionDone};
 use crate::topology::{place_sessions, PlacementPolicy, SessionHandoff};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_core::BreakerConfig;
+use nerve_model::cache::CacheStats;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
 use nerve_net::trace::NetworkTrace;
 use nerve_obs::{FieldValue, Obs};
+use nerve_video::synth::Category;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 
@@ -81,6 +83,90 @@ impl ClientClass {
             ClientClass::Basic => "basic",
         }
     }
+}
+
+/// The content-aware model plane: per-category specialist heads behind
+/// a per-server weight cache, delta-updated mid-session. `None` on
+/// [`FleetConfig::model_plane`] keeps the legacy generic-only behaviour
+/// — and the legacy digests — byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct ModelPlaneConfig {
+    /// Per-server weight-cache capacity, bytes.
+    pub cache_bytes: u64,
+    /// Classifier confidence below this floor serves the generic head.
+    pub confidence_floor: f64,
+    /// Cold-load latency per megabyte of artifact: a cache miss delays
+    /// the session's first chunk request by `bytes/MB × this`.
+    pub load_secs_per_mb: f64,
+    /// Compute charged to the admission controller per byte loaded on a
+    /// cache miss (MACs) — a cold cache visibly throttles admission.
+    pub load_macs_per_byte: f64,
+    /// Delta weight updates shipped per specialist session.
+    pub delta_updates: u32,
+    /// One delta update lands every this many completed chunks.
+    pub delta_every_chunks: usize,
+    /// Fraction of the specialist PSNR uplift held back until delta
+    /// updates land: the head ships at `1 − holdback` of its uplift and
+    /// each update closes `holdback / delta_updates` of the gap.
+    pub uplift_holdback: f64,
+    /// Serve every session the generic head — the control arm the bench
+    /// diffs against to measure per-category uplift.
+    pub force_generic: bool,
+}
+
+impl Default for ModelPlaneConfig {
+    fn default() -> Self {
+        Self {
+            // Holds roughly four specialist artifacts: enough for real
+            // hits under a mixed-category fleet, small enough to evict.
+            cache_bytes: 512 * 1024,
+            confidence_floor: 0.1,
+            load_secs_per_mb: 0.25,
+            load_macs_per_byte: 2.0e4,
+            delta_updates: 2,
+            delta_every_chunks: 1,
+            uplift_holdback: 0.25,
+            force_generic: false,
+        }
+    }
+}
+
+/// The content category streamed by one fleet session: a deterministic
+/// round-robin over the presets, so any N ≥ 10 sessions form a mixed
+/// fleet covering every category.
+pub fn session_category(session: usize) -> Category {
+    Category::ALL[session % Category::ALL.len()]
+}
+
+/// One session's model-plane state (and its slice of the digest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionModel {
+    /// [`nerve_model::HeadId`] wire code serving this session.
+    pub head: u8,
+    /// Classifier confidence at admission.
+    pub confidence: f64,
+    /// [`Category`] discriminant the session streams.
+    pub category: u8,
+    /// Weight version after applied delta updates.
+    pub version: u32,
+    /// Delta updates applied / rejected on the session's channel.
+    pub applied: usize,
+    pub rejected: usize,
+}
+
+/// Fleet-wide model-plane aggregate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetModelStats {
+    /// Cache counters summed across servers.
+    pub cache: CacheStats,
+    /// Sessions served a specialist / the generic head.
+    pub specialist_sessions: usize,
+    pub generic_sessions: usize,
+    /// Mean classifier confidence over model-assigned sessions.
+    pub mean_confidence: f64,
+    /// Delta updates applied / rejected across all sessions.
+    pub delta_applied: usize,
+    pub delta_rejected: usize,
 }
 
 /// Everything that defines one fleet run.
@@ -142,6 +228,8 @@ pub struct FleetConfig {
     /// Planned server-to-server session moves; each distinct `at_secs`
     /// is a fleet-wide barrier.
     pub handoffs: Vec<SessionHandoff>,
+    /// Content-aware model plane (`None` = legacy generic-only serving).
+    pub model_plane: Option<ModelPlaneConfig>,
 }
 
 /// One client crash in the fleet's crash plan.
@@ -192,7 +280,19 @@ impl FleetConfig {
             servers: 1,
             placement: PlacementPolicy::RoundRobin,
             handoffs: Vec::new(),
+            model_plane: None,
         }
+    }
+
+    /// The mixed-category model-plane fleet: [`FleetConfig::small`] plus
+    /// the default [`ModelPlaneConfig`]. With `sessions ≥ 10` the
+    /// round-robin category assignment covers every preset, so this is
+    /// the canonical content-aware serving scenario (experiments and the
+    /// model bench both build on it).
+    pub fn mixed_model(sessions: usize, seed: u64) -> Self {
+        let mut cfg = Self::small(sessions, seed);
+        cfg.model_plane = Some(ModelPlaneConfig::default());
+        cfg
     }
 }
 
@@ -236,6 +336,11 @@ pub struct SessionSummary {
     /// Sum of this session's job activation checksums, settled in
     /// canonical flush order — a determinism witness.
     pub checksum: f32,
+    /// Mean frame PSNR over completed chunks (dB; 0 when none played).
+    pub mean_psnr: f64,
+    /// Model-plane state (`None` when the plane is off or the session
+    /// runs no enhancement).
+    pub model: Option<SessionModel>,
 }
 
 /// One server's slice of the fleet outcome.
@@ -255,6 +360,8 @@ pub struct ServerSummary {
     pub batcher: BatcherStats,
     /// Virtual time at which this server drained.
     pub virtual_secs: f64,
+    /// This server's weight-cache counters (model plane only).
+    pub cache: Option<CacheStats>,
 }
 
 /// Aggregate outcome of one fleet run.
@@ -286,6 +393,8 @@ pub struct FleetResult {
     pub handoffs: usize,
     /// Calendar-queue events processed across all servers.
     pub events: u64,
+    /// Model-plane aggregate (`None` when the plane is off).
+    pub model: Option<FleetModelStats>,
 }
 
 impl FleetResult {
@@ -368,6 +477,49 @@ impl FleetResult {
                 sess.counters.crashes,
                 sess.checksum.to_bits(),
             );
+        }
+        // Model-plane lines are appended only when the plane ran, so
+        // every legacy digest stays byte-identical.
+        if let Some(m) = &self.model {
+            let _ = writeln!(
+                s,
+                "model cache h={} m={} ev={} loaded={} res={} spec={} gen={} conf={:016x} delta={}/{}",
+                m.cache.hits,
+                m.cache.misses,
+                m.cache.evictions,
+                m.cache.bytes_loaded,
+                m.cache.resident_bytes,
+                m.specialist_sessions,
+                m.generic_sessions,
+                m.mean_confidence.to_bits(),
+                m.delta_applied,
+                m.delta_rejected,
+            );
+            for sv in &self.servers {
+                if let Some(c) = &sv.cache {
+                    let _ = writeln!(
+                        s,
+                        "srv{} cache h={} m={} ev={} loaded={} res={}",
+                        sv.id, c.hits, c.misses, c.evictions, c.bytes_loaded, c.resident_bytes,
+                    );
+                }
+            }
+            for sess in &self.sessions {
+                if let Some(sm) = &sess.model {
+                    let _ = writeln!(
+                        s,
+                        "s{} model head={} cat={} conf={:016x} v={} a={} r={} psnr={:016x}",
+                        sess.id,
+                        sm.head,
+                        sm.category,
+                        sm.confidence.to_bits(),
+                        sm.version,
+                        sm.applied,
+                        sm.rejected,
+                        sess.mean_psnr.to_bits(),
+                    );
+                }
+            }
         }
         s
     }
@@ -464,12 +616,18 @@ pub fn run_fleet_obs(
     let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
 
     let workers = nerve_tensor::par::workers().min(servers);
-    let threaded =
-        workers > 1 && servers > 1 && obs.is_none() && !nerve_tensor::par::in_pool();
+    let threaded = workers > 1 && servers > 1 && obs.is_none() && !nerve_tensor::par::in_pool();
 
     let partials = if threaded {
         run_sharded(
-            cfg, trace, &maps, &assignment, &plan, hard_stop, servers, workers,
+            cfg,
+            trace,
+            &maps,
+            &assignment,
+            &plan,
+            hard_stop,
+            servers,
+            workers,
         )
     } else {
         run_serial(
@@ -764,6 +922,7 @@ fn assemble(
             events: p.events,
             batcher: p.batcher.clone(),
             virtual_secs: p.virtual_secs,
+            cache: p.cache,
         });
         dones.append(&mut p.sessions);
     }
@@ -794,6 +953,11 @@ fn assemble(
                 0.0
             };
             let chunks_played = outcomes.len();
+            let (psnr_sum, frames): (f64, usize) = d
+                .chunks
+                .iter()
+                .filter(|c| c.started && c.resolved == c.frames && c.frames > 0)
+                .fold((0.0, 0), |(p, n), c| (p + c.psnr_sum, n + c.frames));
             SessionSummary {
                 id: d.id,
                 class: d.class,
@@ -812,6 +976,12 @@ fn assemble(
                 chunks_played,
                 counters: d.counters,
                 checksum: d.checksum,
+                mean_psnr: if frames > 0 {
+                    psnr_sum / frames as f64
+                } else {
+                    0.0
+                },
+                model: d.model,
             }
         })
         .collect();
@@ -830,6 +1000,39 @@ fn assemble(
         .sum();
     slacks.sort_by(f64::total_cmp);
     let p95 = nerve_obs::percentile_nearest_rank(&slacks, 0.95).unwrap_or(0.0);
+    let model = cfg.model_plane.as_ref().map(|_| {
+        let mut m = FleetModelStats::default();
+        for sv in &server_summaries {
+            if let Some(c) = &sv.cache {
+                m.cache.hits += c.hits;
+                m.cache.misses += c.misses;
+                m.cache.evictions += c.evictions;
+                m.cache.bytes_loaded += c.bytes_loaded;
+                m.cache.resident_bytes += c.resident_bytes;
+            }
+        }
+        let mut conf_sum = 0.0;
+        let mut assigned = 0usize;
+        for s in &summaries {
+            if let Some(sm) = &s.model {
+                assigned += 1;
+                conf_sum += sm.confidence;
+                if sm.head == 0 {
+                    m.generic_sessions += 1;
+                } else {
+                    m.specialist_sessions += 1;
+                }
+                m.delta_applied += sm.applied;
+                m.delta_rejected += sm.rejected;
+            }
+        }
+        m.mean_confidence = if assigned > 0 {
+            conf_sum / assigned as f64
+        } else {
+            0.0
+        };
+        m
+    });
     let result = FleetResult {
         mean_qoe,
         fairness: jain_fairness(&utilities),
@@ -848,6 +1051,7 @@ fn assemble(
         server_restarts: restarts,
         handoffs,
         events,
+        model,
         sessions: summaries,
         servers: server_summaries,
     };
@@ -862,14 +1066,33 @@ fn assemble(
         if result.servers.len() > 1 {
             // Multi-server batchers run with private registries; fold the
             // aggregate so `batcher.*` counters stay meaningful.
-            g.counter("batcher.batches").add(result.batcher.batches as u64);
-            g.counter("batcher.jobs.full").add(result.batcher.full as u64);
+            g.counter("batcher.batches")
+                .add(result.batcher.batches as u64);
+            g.counter("batcher.jobs.full")
+                .add(result.batcher.full as u64);
             g.counter("batcher.jobs.warp_only")
                 .add(result.batcher.warp_only as u64);
-            g.counter("batcher.jobs.shed").add(result.batcher.shed as u64);
+            g.counter("batcher.jobs.shed")
+                .add(result.batcher.shed as u64);
+        }
+        if let Some(m) = &result.model {
+            g.counter("model.cache.hits").add(m.cache.hits);
+            g.counter("model.cache.misses").add(m.cache.misses);
+            g.counter("model.cache.evictions").add(m.cache.evictions);
+            g.counter("model.cache.bytes").add(m.cache.bytes_loaded);
+            g.counter("model.delta.applied").add(m.delta_applied as u64);
+            g.counter("model.delta.rejected")
+                .add(m.delta_rejected as u64);
+            g.gauge("model.fingerprint.confidence")
+                .set(m.mean_confidence);
+            g.gauge("model.sessions.specialist")
+                .set(m.specialist_sessions as f64);
+            g.gauge("model.sessions.generic")
+                .set(m.generic_sessions as f64);
         }
         for sv in &result.servers {
-            g.counter(&format!("fleet.server.{}.events", sv.id)).add(sv.events);
+            g.counter(&format!("fleet.server.{}.events", sv.id))
+                .add(sv.events);
             g.counter(&format!("fleet.server.{}.handoffs_in", sv.id))
                 .add(sv.handoffs_in as u64);
             g.counter(&format!("fleet.server.{}.handoffs_out", sv.id))
@@ -1233,11 +1456,8 @@ mod tests {
         let base = NetworkTrace::generate(NetworkKind::WiFi, 41);
         let mut faulted = FleetConfig::small(3, 41);
         faulted.overlay_every = 0; // isolate the fleet-plan path
-        faulted.fleet_faults = FaultPlan::new(0).throughput_collapse(
-            SimTime::ZERO,
-            SimTime::from_secs_f64(1e6),
-            0.5,
-        );
+        faulted.fleet_faults =
+            FaultPlan::new(0).throughput_collapse(SimTime::ZERO, SimTime::from_secs_f64(1e6), 0.5);
         let a = run_fleet(&faulted, &base.downscaled(12.0));
 
         let mut clean = FleetConfig::small(3, 41);
@@ -1257,10 +1477,8 @@ mod tests {
     #[test]
     fn fleet_blackout_throttles_then_recovers_without_starvation() {
         let mut cfg = FleetConfig::small(4, 19);
-        cfg.fleet_faults = FaultPlan::new(0).blackout(
-            SimTime::from_secs_f64(1.0),
-            SimTime::from_secs_f64(2.5),
-        );
+        cfg.fleet_faults =
+            FaultPlan::new(0).blackout(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(2.5));
         let r = run_fleet(&cfg, &trace(19));
         for s in r.sessions.iter().filter(|s| !s.rejected) {
             assert_eq!(
@@ -1282,10 +1500,7 @@ mod tests {
     fn starved_fleet_terminates_at_hard_stop() {
         let mut cfg = FleetConfig::small(3, 31);
         cfg.servers = 2;
-        cfg.fleet_faults = FaultPlan::new(0).blackout(
-            SimTime::ZERO,
-            SimTime::from_secs_f64(1e6),
-        );
+        cfg.fleet_faults = FaultPlan::new(0).blackout(SimTime::ZERO, SimTime::from_secs_f64(1e6));
         cfg.max_virtual_secs = 20.0;
         let tr = trace(31);
         let mut digests = Vec::new();
@@ -1408,5 +1623,110 @@ mod tests {
                 assert_eq!(s.chunks_played, cfg.chunks_per_session, "{placement}");
             }
         }
+    }
+
+    /// Tentpole acceptance: the 64-session mixed-category model-plane
+    /// fleet is digest-identical at any worker count, at one and four
+    /// servers, and across repeat runs — fingerprinting, cache LRU
+    /// decisions, cold-load charging, and delta updates are all part of
+    /// the deterministic replay.
+    #[test]
+    fn model_plane_fleet_digest_is_jobs_invariant_across_topologies() {
+        let tr = NetworkTrace::generate(NetworkKind::WiFi, 64);
+        for servers in [1usize, 4] {
+            let mut cfg = FleetConfig::mixed_model(64, 0x40DE1);
+            cfg.servers = servers;
+            let mut digests = Vec::new();
+            for jobs in [1usize, 2, 4] {
+                par::set_workers(jobs);
+                let r = run_fleet(&cfg, &tr);
+                assert!(r.model.is_some(), "model plane must report its stats");
+                digests.push(r.digest());
+            }
+            par::set_workers(1);
+            assert_eq!(digests[0], digests[1], "{servers} servers: 1 vs 2 workers");
+            assert_eq!(digests[1], digests[2], "{servers} servers: 2 vs 4 workers");
+            assert_eq!(
+                digests[0],
+                run_fleet(&cfg, &tr).digest(),
+                "{servers} servers: repeat run"
+            );
+        }
+    }
+
+    /// The model plane's accounting: specialists are assigned, the cache
+    /// misses cold and hits warm (and evicts — 512 KiB cannot hold ten
+    /// specialists), delta updates land, Basic clients skip the plane,
+    /// and — with load costs zeroed so both arms replay frame-for-frame
+    /// identically — specialist sessions strictly beat the force-generic
+    /// control arm on mean PSNR.
+    #[test]
+    fn model_plane_assigns_specialists_meters_cache_and_beats_generic() {
+        let tr = NetworkTrace::generate(NetworkKind::WiFi, 64);
+        let mut cfg = FleetConfig::mixed_model(64, 0x40DE1);
+        {
+            let mp = cfg.model_plane.as_mut().unwrap();
+            mp.load_secs_per_mb = 0.0;
+            mp.load_macs_per_byte = 0.0;
+        }
+        let r = run_fleet(&cfg, &tr);
+        let m = r.model.expect("model plane on");
+        assert!(m.cache.misses > 0, "cold caches must miss");
+        assert!(m.cache.hits > 0, "repeat categories must hit");
+        assert!(m.cache.evictions > 0, "ten specialists thrash 512 KiB");
+        assert!(m.specialist_sessions >= 8, "most sessions get specialists");
+        assert!(m.delta_applied > 0, "delta updates must land");
+        assert_eq!(m.delta_rejected, 0, "well-formed deltas are never refused");
+        assert!(m.mean_confidence > 0.0);
+        for s in &r.sessions {
+            if s.class == ClientClass::Basic {
+                assert!(s.model.is_none(), "basic sessions skip the plane");
+            } else if !s.rejected {
+                let sm = s.model.expect("enhancement sessions get a head");
+                if sm.head != 0 {
+                    assert_eq!(
+                        sm.version,
+                        cfg.model_plane.as_ref().unwrap().delta_updates,
+                        "session {} must reach the target weight version",
+                        s.id
+                    );
+                }
+            }
+        }
+
+        // Control arm: identical timing (load costs are zero), generic
+        // heads everywhere — the only difference is the uplift term.
+        let mut gcfg = cfg.clone();
+        gcfg.model_plane.as_mut().unwrap().force_generic = true;
+        let g = run_fleet(&gcfg, &tr);
+        assert_eq!(g.model.expect("plane on").specialist_sessions, 0);
+        let mut lifted = 0usize;
+        let mut compared = 0usize;
+        for (a, b) in r.sessions.iter().zip(&g.sessions) {
+            assert_eq!(a.id, b.id);
+            if a.model.is_some_and(|sm| sm.head != 0) && a.chunks_played > 0 {
+                if a.counters.full > 0 {
+                    compared += 1;
+                    if a.mean_psnr > b.mean_psnr {
+                        lifted += 1;
+                    }
+                } else {
+                    // The uplift rides fully served enhancement frames;
+                    // a session that never got one ties exactly — any
+                    // other difference means the arms' timing diverged.
+                    assert_eq!(
+                        a.mean_psnr.to_bits(),
+                        b.mean_psnr.to_bits(),
+                        "session {} diverged without a full-served frame",
+                        a.id
+                    );
+                }
+            }
+        }
+        assert!(compared >= 8, "need a real specialist population");
+        assert_eq!(
+            lifted, compared,
+            "every full-served specialist session must beat its control"
+        );
     }
 }

@@ -17,7 +17,7 @@
 //!   the destination reconstructs the rest, so a ticket cannot smuggle
 //!   in state that disagrees with the fleet configuration.
 
-use crate::fleet::{ClientClass, FleetConfig, SessionCounters};
+use crate::fleet::{ClientClass, FleetConfig, SessionCounters, SessionModel};
 use crate::server::{make_abr, session_fault_plans, ChunkAcc, Phase, SessionState};
 use nerve_abr::qoe::QualityMaps;
 use nerve_abr::{AbrContext, CappedAbr};
@@ -29,8 +29,9 @@ use std::fmt;
 /// Leading magic of a handoff ticket: `"NRVT"` (NERVE ticket).
 pub const TICKET_MAGIC: u32 = 0x4E52_5654;
 
-/// Bump on any wire-format change.
-pub const TICKET_VERSION: u16 = 1;
+/// Bump on any wire-format change. Version 2 added the model-plane
+/// block (head assignment, classifier confidence, delta-update cursor).
+pub const TICKET_VERSION: u16 = 2;
 
 /// Why a ticket was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,8 @@ pub enum TicketError {
     BadVersion(u16),
     /// A phase tag outside the known set.
     BadPhase(u8),
+    /// A model-block tag outside the known set.
+    BadModelTag(u8),
     /// The body ended before a field was fully read.
     Truncated,
 }
@@ -54,6 +57,7 @@ impl fmt::Display for TicketError {
             TicketError::BadMagic(m) => write!(f, "bad ticket magic {m:#010x}"),
             TicketError::BadVersion(v) => write!(f, "unsupported ticket version {v}"),
             TicketError::BadPhase(p) => write!(f, "unknown phase tag {p}"),
+            TicketError::BadModelTag(t) => write!(f, "unknown model block tag {t}"),
             TicketError::Truncated => write!(f, "handoff ticket truncated"),
         }
     }
@@ -140,6 +144,21 @@ pub(crate) fn encode_session(id: usize, s: &SessionState) -> Vec<u8> {
         w.f64(at);
         w.f64(down);
     }
+    // Model-plane block: dynamic state (which head, how many deltas
+    // landed), so it travels — re-probing at the destination would both
+    // repeat the fingerprint cost and risk a divergent assignment.
+    match s.model {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            w.u8(m.head);
+            w.f64(m.confidence);
+            w.u8(m.category);
+            w.u32(m.version);
+            w.usize(m.applied);
+            w.usize(m.rejected);
+        }
+    }
     seal(&w.into_bytes())
 }
 
@@ -225,6 +244,18 @@ pub(crate) fn decode_session(
     for _ in 0..n_crashes {
         crashes.push((r.f64()?, r.f64()?));
     }
+    let model = match r.u8()? {
+        0 => None,
+        1 => Some(SessionModel {
+            head: r.u8()?,
+            confidence: r.f64()?,
+            category: r.u8()?,
+            version: r.u32()?,
+            applied: r.usize()?,
+            rejected: r.usize()?,
+        }),
+        tag => return Err(TicketError::BadModelTag(tag)),
+    };
 
     // Derived state: rebuilt, never transported.
     let class = ClientClass::of(id);
@@ -269,6 +300,7 @@ pub(crate) fn decode_session(
             checksum,
             rebuffer_total,
             crashes,
+            model,
         },
     ))
 }
@@ -328,6 +360,14 @@ mod tests {
             s.loss.lose();
         }
         s.crashes = vec![(12.0, 1.5)];
+        s.model = Some(SessionModel {
+            head: 3,
+            confidence: 0.42,
+            category: 2,
+            version: 1,
+            applied: 1,
+            rejected: 0,
+        });
 
         let ticket = encode_session(5, &s);
         let (id, restored) = decode_session(&cfg, &maps, &ticket).unwrap();
@@ -336,6 +376,7 @@ mod tests {
         assert_eq!(restored.loss.state(), s.loss.state());
         assert_eq!(restored.cap, Some(2));
         assert!(restored.admitted);
+        assert_eq!(restored.model, s.model, "model block must travel");
         assert_eq!(
             encode_session(5, &restored),
             ticket,

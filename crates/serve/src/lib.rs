@@ -51,8 +51,9 @@ pub use batcher::{
 };
 pub use event_queue::{Event, EventKind, EventQueue};
 pub use fleet::{
-    jain_fairness, run_fleet, run_fleet_obs, ClientClass, FleetConfig, FleetResult, ServerRestart,
-    ServerSummary, SessionCounters, SessionCrash, SessionSummary,
+    jain_fairness, run_fleet, run_fleet_obs, session_category, ClientClass, FleetConfig,
+    FleetModelStats, FleetResult, ModelPlaneConfig, ServerRestart, ServerSummary, SessionCounters,
+    SessionCrash, SessionModel, SessionSummary,
 };
 pub use handoff::{TicketError, TICKET_MAGIC, TICKET_VERSION};
 pub use live::{

@@ -40,15 +40,22 @@
 use crate::admission::{Admission, AdmissionController, SessionDemand};
 use crate::batcher::{InferenceBatcher, InferenceJob, JobKind, Service};
 use crate::event_queue::{EventKind, EventQueue};
-use crate::fleet::{ClientClass, FleetConfig, SessionCounters};
+use crate::fleet::{
+    session_category, ClientClass, FleetConfig, ModelPlaneConfig, SessionCounters, SessionModel,
+};
 use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
 use nerve_abr::qoe::QualityMaps;
 use nerve_abr::{Abr, AbrContext, CappedAbr};
+use nerve_model::cache::{CacheStats, WeightCache};
+use nerve_model::delta::{delta_for, weights_at, WeightDelta};
+use nerve_model::fingerprint::{Classifier, Fingerprint, HeadId};
+use nerve_model::{artifact_bytes, specialist_uplift_db};
 use nerve_net::clock::SimTime;
 use nerve_net::faults::FaultPlan;
 use nerve_net::loss::{GilbertElliott, LossModel};
 use nerve_obs::{Counter, FieldValue, Obs, Registry};
 use nerve_video::rng::{seed_for, StreamComponent};
+use nerve_video::synth::Category;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Where one session is in its chunk cycle.
@@ -113,6 +120,9 @@ pub(crate) struct SessionState {
     /// Remaining crash instants `(at_secs, down_secs)`, ascending; the
     /// head is the session's next scheduled [`EventKind::Crash`].
     pub crashes: Vec<(f64, f64)>,
+    /// Model-plane state (`None` until the plane assigns a head, or
+    /// forever when the plane is off / the class runs no enhancement).
+    pub model: Option<SessionModel>,
 }
 
 impl SessionState {
@@ -159,6 +169,7 @@ impl SessionState {
             checksum: 0.0,
             rebuffer_total: 0.0,
             crashes,
+            model: None,
         }
     }
 }
@@ -170,8 +181,8 @@ pub(crate) fn demand_at(cfg: &FleetConfig, cap: usize) -> SessionDemand {
     let anchors = (cfg.frames_per_chunk / cfg.anchor_stride.max(1)) as f64;
     let expected_damaged = cfg.frames_per_chunk as f64 * cfg.avg_loss;
     let jobs_per_sec = (anchors + expected_damaged) / cfg.chunk_seconds;
-    let macs_per_job = cfg.model.macs_per_job()
-        * crate::batcher::ServerModel::rung_scale(&cfg.ladder_kbps, cap);
+    let macs_per_job =
+        cfg.model.macs_per_job() * crate::batcher::ServerModel::rung_scale(&cfg.ladder_kbps, cap);
     SessionDemand {
         bandwidth_kbps: f64::from(cfg.ladder_kbps[cap]),
         macs_per_sec: jobs_per_sec * macs_per_job,
@@ -247,6 +258,18 @@ pub(crate) fn fair_share_rates(pool: f64, entries: &[(f64, f64)]) -> Vec<f64> {
         .collect()
 }
 
+/// PSNR uplift (dB) a specialist session enjoys with `version` delta
+/// updates applied: the head ships at `1 − holdback` of its calibrated
+/// uplift and each update closes an equal share of the held-back gap.
+pub(crate) fn effective_uplift(mp: &ModelPlaneConfig, cat: Category, version: u32) -> f64 {
+    let full = specialist_uplift_db(cat);
+    if mp.delta_updates == 0 {
+        return full;
+    }
+    let progress = version.min(mp.delta_updates) as f64 / mp.delta_updates as f64;
+    full * (1.0 - mp.uplift_holdback + mp.uplift_holdback * progress)
+}
+
 /// Fleet-level registry counters, bound once per run when an
 /// observability plane is attached and shared by every server (handles
 /// are `Rc`-backed, so cloning shares the cells).
@@ -290,6 +313,7 @@ pub(crate) struct SessionDone {
     pub counters: SessionCounters,
     pub checksum: f32,
     pub rebuffer_total: f64,
+    pub model: Option<SessionModel>,
 }
 
 /// One server's slice of the run, folded at [`ServerSim::finish`].
@@ -310,6 +334,8 @@ pub(crate) struct ServerPartial {
     pub events: u64,
     pub virtual_secs: f64,
     pub sessions: Vec<SessionDone>,
+    /// Weight-cache counters (`None` when the model plane is off).
+    pub cache: Option<CacheStats>,
 }
 
 /// One edge server of the fleet topology, driven event-by-event.
@@ -343,6 +369,8 @@ pub(crate) struct ServerSim<'a> {
     slacks: Vec<f64>,
     flush_idx: u64,
     fm: Option<FleetMetrics>,
+    /// Per-server specialist weight cache (model plane only).
+    cache: Option<WeightCache>,
 }
 
 impl<'a> ServerSim<'a> {
@@ -396,11 +424,18 @@ impl<'a> ServerSim<'a> {
             slacks: Vec::new(),
             flush_idx: 0,
             fm,
+            cache: cfg
+                .model_plane
+                .as_ref()
+                .map(|mp| WeightCache::new(mp.cache_bytes)),
         };
         if let Some(r) = cfg.server_restart {
             if r.server == id {
-                sim.queue
-                    .schedule(SimTime::ZERO, SimTime::from_secs_f64(r.at_secs), EventKind::Restart);
+                sim.queue.schedule(
+                    SimTime::ZERO,
+                    SimTime::from_secs_f64(r.at_secs),
+                    EventKind::Restart,
+                );
             }
         }
         sim
@@ -542,7 +577,7 @@ impl<'a> ServerSim<'a> {
                 .get_mut(&o.job.session)
                 .expect("job outcome for a session not resident on this server");
             let acc = &mut s.chunks[o.job.chunk];
-            let psnr = match (o.job.kind, o.service) {
+            let mut psnr = match (o.job.kind, o.service) {
                 (JobKind::Recovery, Service::Full) => {
                     self.maps.recovered_psnr_at_depth(o.job.rung, o.job.chain)
                 }
@@ -563,6 +598,13 @@ impl<'a> ServerSim<'a> {
             if o.service == Service::Full {
                 s.counters.full += 1;
                 self.slacks.push(o.slack_secs);
+                // A specialist head lifts every fully served frame; the
+                // uplift ramps in as delta updates land.
+                if let (Some(mp), Some(m)) = (self.cfg.model_plane.as_ref(), s.model.as_ref()) {
+                    if let Some(HeadId::Specialist(cat)) = HeadId::from_code(m.head) {
+                        psnr += effective_uplift(mp, cat, m.version);
+                    }
+                }
             }
             s.checksum += o.checksum;
             acc.psnr_sum += psnr;
@@ -752,6 +794,62 @@ impl<'a> ServerSim<'a> {
                 }
             }
         }
+        // Model-plane head assignment: once per session, at its first
+        // admitted wake. Basic clients run no enhancement and skip the
+        // plane entirely; a handed-off session arrives with its model in
+        // the ticket and is never re-fingerprinted.
+        if s.model.is_none() && s.class.recovery() {
+            if let Some(mp) = self.cfg.model_plane.as_ref() {
+                let cache = self.cache.as_mut().expect("model plane implies a cache");
+                let category = session_category(session);
+                let (head, confidence) = if mp.force_generic {
+                    (HeadId::Generic, 1.0)
+                } else {
+                    let fp = Fingerprint::probe_memo(self.cfg.seed, session as u64, category);
+                    let d = Classifier::shared().classify(&fp);
+                    (d.head(mp.confidence_floor), d.confidence)
+                };
+                let bytes = artifact_bytes(head);
+                let outcome = cache.request(head, bytes);
+                s.model = Some(SessionModel {
+                    head: head.code(),
+                    confidence,
+                    category: category as u8,
+                    version: 0,
+                    applied: 0,
+                    rejected: 0,
+                });
+                if let Some(o) = obs.as_deref_mut() {
+                    o.event(
+                        "model.assign",
+                        session as u64,
+                        self.now.0,
+                        &[
+                            ("server", FieldValue::U64(self.id as u64)),
+                            ("head", FieldValue::U64(head.code() as u64)),
+                            ("category", FieldValue::U64(category as u64)),
+                            ("confidence", FieldValue::F64(confidence)),
+                            ("hit", FieldValue::U64(outcome.is_hit() as u64)),
+                        ],
+                    );
+                }
+                if !outcome.is_hit() {
+                    // Cold load: charge the compute budget and push the
+                    // first chunk request out by the load latency.
+                    self.admission
+                        .charge_load(self.now, bytes as f64 * mp.load_macs_per_byte);
+                    let delay = bytes as f64 / (1024.0 * 1024.0) * mp.load_secs_per_mb;
+                    if delay > 0.0 {
+                        let until = self.now + SimTime::from_secs_f64(delay);
+                        s.phase = Phase::Waiting { until };
+                        self.queue
+                            .schedule(self.now, until, EventKind::Wake { session });
+                        self.sessions.insert(session, s);
+                        return;
+                    }
+                }
+            }
+        }
         if s.chunk_idx >= self.cfg.chunks_per_session {
             s.phase = Phase::Done;
             self.undone -= 1;
@@ -766,8 +864,7 @@ impl<'a> ServerSim<'a> {
         s.ctx.buffer_secs = s.buffer_secs;
         let rung = s.abr.choose(&s.ctx).min(top_rung);
         s.ctx.last_choice = rung;
-        let bytes =
-            f64::from(self.cfg.ladder_kbps[rung]) * 1000.0 / 8.0 * self.cfg.chunk_seconds;
+        let bytes = f64::from(self.cfg.ladder_kbps[rung]) * 1000.0 / 8.0 * self.cfg.chunk_seconds;
         s.rung_sum += rung;
         s.chunks[s.chunk_idx].started = true;
         s.chunks[s.chunk_idx].rung = rung;
@@ -786,7 +883,6 @@ impl<'a> ServerSim<'a> {
     /// Classify a finished chunk's frames, enqueue enhancement work, and
     /// move the session to its next phase.
     fn handle_completion(&mut self, session: usize, obs: &mut Option<&mut Obs>) {
-        let _ = obs;
         let mut s = self.sessions.remove(&session).unwrap();
         let (rung, bytes_total, started, buffer_at_start) = match s.phase {
             Phase::Downloading {
@@ -886,6 +982,45 @@ impl<'a> ServerSim<'a> {
         s.buffer_secs = (buffer_at_start - dl_secs).max(0.0) + cfg.chunk_seconds;
         s.buffer_asof = self.now;
         s.chunk_idx += 1;
+
+        // Delta weight updates: on the configured chunk cadence, ship
+        // the next `"NRVM"` frame to a specialist session until it
+        // reaches the target version. The update round-trips through the
+        // real codec against replayed weights — a refusal is counted on
+        // the session, never fatal.
+        if let (Some(mp), Some(m)) = (cfg.model_plane.as_ref(), s.model.as_mut()) {
+            if m.version < mp.delta_updates
+                && mp.delta_every_chunks > 0
+                && s.chunk_idx.is_multiple_of(mp.delta_every_chunks)
+            {
+                if let Some(head @ HeadId::Specialist(_)) = HeadId::from_code(m.head) {
+                    let frame = delta_for(cfg.seed, head, m.version).to_bytes();
+                    let mut w = weights_at(cfg.seed, head, m.version);
+                    let outcome = WeightDelta::from_bytes(&frame).and_then(|d| d.apply(&mut w));
+                    let ok = outcome.is_ok();
+                    if ok {
+                        m.version += 1;
+                        m.applied += 1;
+                    } else {
+                        m.rejected += 1;
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.event(
+                            "model.delta",
+                            session as u64,
+                            self.now.0,
+                            &[
+                                ("server", FieldValue::U64(self.id as u64)),
+                                ("head", FieldValue::U64(m.head as u64)),
+                                ("version", FieldValue::U64(m.version as u64)),
+                                ("ok", FieldValue::U64(ok as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+
         if s.chunk_idx >= cfg.chunks_per_session {
             s.phase = Phase::Done;
             self.undone -= 1;
@@ -1029,6 +1164,20 @@ impl<'a> ServerSim<'a> {
             reencoded, ticket,
             "handoff ticket must round-trip byte-identically"
         );
+        // A migrating session's head must be resident here too: the
+        // arrival counts against this server's cache, and a miss charges
+        // its compute budget. No start delay is modelled — the artifact
+        // transfer overlaps the handoff itself.
+        if let (Some(mp), Some(m)) = (self.cfg.model_plane.as_ref(), s.model.as_ref()) {
+            if let Some(head) = HeadId::from_code(m.head) {
+                let cache = self.cache.as_mut().expect("model plane implies a cache");
+                let bytes = artifact_bytes(head);
+                if !cache.request(head, bytes).is_hit() {
+                    self.admission
+                        .charge_load(self.now, bytes as f64 * mp.load_macs_per_byte);
+                }
+            }
+        }
         match s.phase {
             Phase::Done => {}
             Phase::Waiting { until } => {
@@ -1056,7 +1205,11 @@ impl<'a> ServerSim<'a> {
     }
 
     /// Drain and fold the server into a plain-data partial result.
-    pub(crate) fn finish(&mut self, hard_stop: SimTime, obs: &mut Option<&mut Obs>) -> ServerPartial {
+    pub(crate) fn finish(
+        &mut self,
+        hard_stop: SimTime,
+        obs: &mut Option<&mut Obs>,
+    ) -> ServerPartial {
         if self.undone > 0 && self.now < hard_stop {
             // Timed out mid-flight: advance the fluid state to the stop
             // and run one last completion scan there, as the old loop's
@@ -1090,6 +1243,7 @@ impl<'a> ServerSim<'a> {
                 counters: s.counters,
                 checksum: s.checksum,
                 rebuffer_total: s.rebuffer_total,
+                model: s.model,
             })
             .collect();
         ServerPartial {
@@ -1105,6 +1259,7 @@ impl<'a> ServerSim<'a> {
             events: self.events,
             virtual_secs: self.now.as_secs_f64(),
             sessions,
+            cache: self.cache.as_ref().map(|c| c.stats()),
         }
     }
 }

@@ -121,7 +121,9 @@ mod tests {
         // Alternating heavy (2.0) and light (1.0) sessions on 2 servers:
         // greedy assignment keeps the accumulated weights within one
         // heavy session of each other.
-        let w: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 2.0 } else { 1.0 }).collect();
+        let w: Vec<f64> = (0..12)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 1.0 })
+            .collect();
         let a = place_sessions(PlacementPolicy::LeastLoaded, 2, &w);
         let mut load = [0.0f64; 2];
         for (i, &s) in a.iter().enumerate() {

@@ -8,6 +8,7 @@
 //!   nerve-experiments --bench-out[=PATH]  # write BENCH_sweep.json
 //!   nerve-experiments fleet --sessions 64  # multi-session edge server
 //!   nerve-experiments fleet --servers 8 --placement least-loaded
+//!   nerve-experiments fleet --model-plane  # specialist heads + weight cache
 //!   nerve-experiments fleet --trace-out trace.jsonl  # span/metric log
 //!
 //! Each selected experiment is one unit of the outermost parallel sweep:
@@ -32,11 +33,14 @@ fn main() {
     let mut sessions = 16usize;
     let mut servers = 1usize;
     let mut placement = nerve_serve::PlacementPolicy::RoundRobin;
+    let mut model_plane = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if a == "--quick" {
             quick = true;
+        } else if a == "--model-plane" {
+            model_plane = true;
         } else if a == "--servers" {
             servers = it
                 .next()
@@ -278,10 +282,14 @@ fn main() {
                 // One fleet point per sweep unit happens inside the
                 // runner; nested sweeps drop to serial automatically.
                 let chunks = budget.chunks_per_trace.clamp(2, 8);
-                format!(
-                    "{}\n",
-                    fleet::fleet_report(sessions, chunks, budget.seed, servers, placement)
-                )
+                let report = fleet::fleet_report(sessions, chunks, budget.seed, servers, placement);
+                if model_plane {
+                    let model =
+                        fleet::model_report(sessions, chunks, budget.seed, servers, placement);
+                    format!("{report}\n{model}\n")
+                } else {
+                    format!("{report}\n")
+                }
             }),
         ));
     }
@@ -334,6 +342,8 @@ fn main() {
         let chunks = budget.chunks_per_trace.clamp(2, 8);
         let log = if selected.iter().any(|s| s == "live") {
             live::live_trace(sessions, live_ticks, budget.seed)
+        } else if model_plane {
+            fleet::model_fleet_trace(sessions, chunks, budget.seed, servers, placement)
         } else {
             fleet::fleet_trace(sessions, chunks, budget.seed, servers, placement)
         };

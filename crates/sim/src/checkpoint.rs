@@ -32,8 +32,9 @@ use crate::session::ChunkRecord;
 
 /// First bytes of a serialized checkpoint ("NRVC").
 pub const MAGIC: u32 = 0x4E52_5643;
-/// Format version; bumped on any layout change.
-pub const VERSION: u16 = 1;
+/// Format version; bumped on any layout change. Version 2 added the
+/// delta weight-update cursor (model plane, PR-8).
+pub const VERSION: u16 = 2;
 
 /// Why a checkpoint failed to deserialize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,13 @@ pub struct SessionCheckpoint {
     /// Per-chunk (utility_mbps, rebuffer_secs) QoE outcomes so far.
     pub outcomes: Vec<(f64, f64)>,
     pub records: Vec<ChunkRecord>,
+    // Delta weight-update cursor (format version 2). Only the transfer
+    // position is carried — the weight tensor itself is rebuilt on
+    // resume by replaying `nerve_model::delta::weights_at`.
+    pub delta_version: u32,
+    pub delta_bytes_sent: u64,
+    pub delta_applied: u64,
+    pub delta_rejected: u64,
 }
 
 impl SessionCheckpoint {
@@ -166,6 +174,10 @@ impl SessionCheckpoint {
             w.usize(rec.recovered_frames);
             w.usize(rec.total_frames);
         }
+        w.u32(self.delta_version);
+        w.u64(self.delta_bytes_sent);
+        w.u64(self.delta_applied);
+        w.u64(self.delta_rejected);
         seal(&w.into_bytes())
     }
 
@@ -234,6 +246,10 @@ impl SessionCheckpoint {
                 total_frames: r.usize()?,
             });
         }
+        let delta_version = r.u32()?;
+        let delta_bytes_sent = r.u64()?;
+        let delta_applied = r.u64()?;
+        let delta_rejected = r.u64()?;
         if r.remaining() != 0 {
             return Err(CheckpointError::TrailingBytes(r.remaining()));
         }
@@ -263,6 +279,10 @@ impl SessionCheckpoint {
             recovered_qoe_n,
             outcomes,
             records,
+            delta_version,
+            delta_bytes_sent,
+            delta_applied,
+            delta_rejected,
         })
     }
 }
@@ -435,6 +455,10 @@ mod tests {
                 recovered_frames: 5,
                 total_frames: 120,
             }],
+            delta_version: 1,
+            delta_bytes_sent: 96,
+            delta_applied: 1,
+            delta_rejected: 0,
         }
     }
 

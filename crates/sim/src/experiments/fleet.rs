@@ -13,10 +13,12 @@ use nerve_net::trace::{NetworkKind, NetworkTrace};
 use nerve_obs::Obs;
 use nerve_serve::batcher::occupancy_label;
 use nerve_serve::{
-    run_fleet, run_fleet_obs, FleetConfig, FleetResult, PlacementPolicy, OCCUPANCY_BUCKETS,
+    run_fleet, run_fleet_obs, FleetConfig, FleetResult, ModelPlaneConfig, PlacementPolicy,
+    OCCUPANCY_BUCKETS,
 };
 use nerve_tensor::meter;
 use nerve_video::rng::{seed_for, StreamComponent};
+use nerve_video::synth::Category;
 use std::fmt::Write as _;
 
 /// The session counts one fleet report covers: 1 and 8 as fixed
@@ -82,6 +84,178 @@ pub fn scale_config(n: usize, servers: usize, seed: u64) -> (FleetConfig, Networ
     cfg.avg_loss = 0.01;
     cfg.overlay_every = 16;
     (cfg, trace)
+}
+
+/// [`fleet_config_multi`] with the content-aware model plane enabled:
+/// every recovery-capable session gets fingerprinted at admission and
+/// served a per-category specialist head out of the server-side weight
+/// cache, with delta updates landing over the session.
+pub fn model_fleet_config(
+    n: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> (FleetConfig, NetworkTrace) {
+    let (mut cfg, trace) = fleet_config_multi(n, chunks, seed, servers, placement);
+    cfg.model_plane = Some(ModelPlaneConfig::default());
+    (cfg, trace)
+}
+
+/// Per-category specialist PSNR uplift over the generic head.
+#[derive(Debug, Clone, Copy)]
+pub struct CategoryUplift {
+    pub category: Category,
+    /// Specialist-served sessions streaming this category.
+    pub sessions: usize,
+    /// Mean per-session PSNR gain over the `force_generic` control, dB.
+    pub mean_uplift_db: f64,
+}
+
+/// Measure per-category uplift A/B: the same fleet runs once with the
+/// classifier live and once with every session forced onto the generic
+/// head. The cache-miss load costs are zeroed so the control arm
+/// replays frame-for-frame identically — the per-session `mean_psnr`
+/// difference is then *exactly* the settled specialist uplift, not a
+/// mixture of uplift and admission-timing noise.
+pub fn model_uplift_by_category(n: usize, chunks: usize, seed: u64) -> Vec<CategoryUplift> {
+    let (mut cfg, trace) = fleet_config(n, chunks, seed);
+    cfg.model_plane = Some(ModelPlaneConfig {
+        load_secs_per_mb: 0.0,
+        load_macs_per_byte: 0.0,
+        ..ModelPlaneConfig::default()
+    });
+    let live = run_fleet(&cfg, &trace);
+    let mut control_cfg = cfg.clone();
+    control_cfg
+        .model_plane
+        .as_mut()
+        .expect("model plane was just enabled")
+        .force_generic = true;
+    let control = run_fleet(&control_cfg, &trace);
+
+    let mut count = vec![0usize; Category::ALL.len()];
+    let mut gain = vec![0.0f64; Category::ALL.len()];
+    for (a, b) in live.sessions.iter().zip(&control.sessions) {
+        let Some(m) = a.model else { continue };
+        if m.head == 0 {
+            continue; // generic fallback: nothing to diff
+        }
+        let cat = m.category as usize;
+        count[cat] += 1;
+        gain[cat] += a.mean_psnr - b.mean_psnr;
+    }
+    Category::ALL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| count[i] > 0)
+        .map(|(i, &category)| CategoryUplift {
+            category,
+            sessions: count[i],
+            mean_uplift_db: gain[i] / count[i] as f64,
+        })
+        .collect()
+}
+
+/// The model-plane report: per-server weight-cache behaviour, the
+/// fleet-wide head/delta aggregate, and the per-category A/B uplift
+/// table (Table "specialist vs generic" in EXPERIMENTS.md).
+pub fn model_report(
+    sessions: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> String {
+    let (cfg, trace) = model_fleet_config(sessions, chunks, seed, servers, placement);
+    let r = run_fleet(&cfg, &trace);
+
+    let mut cache = Table::new(
+        "Model plane: per-server weight cache",
+        &["server", "hits", "misses", "evictions", "resident bytes"],
+    );
+    for sv in &r.servers {
+        if let Some(c) = &sv.cache {
+            cache.row(vec![
+                sv.id.to_string(),
+                c.hits.to_string(),
+                c.misses.to_string(),
+                c.evictions.to_string(),
+                c.resident_bytes.to_string(),
+            ]);
+        }
+    }
+
+    let mut agg = Table::new(
+        "Model plane: fleet aggregate",
+        &[
+            "specialist",
+            "generic",
+            "mean conf",
+            "hit rate",
+            "delta applied",
+            "delta rejected",
+        ],
+    );
+    if let Some(m) = &r.model {
+        let lookups = (m.cache.hits + m.cache.misses).max(1);
+        agg.row(vec![
+            m.specialist_sessions.to_string(),
+            m.generic_sessions.to_string(),
+            fmt_f(m.mean_confidence),
+            fmt_f(m.cache.hits as f64 / lookups as f64),
+            m.delta_applied.to_string(),
+            m.delta_rejected.to_string(),
+        ]);
+    }
+
+    let mut uplift = Table::new(
+        "Specialist vs generic: per-category PSNR uplift (A/B, load costs zeroed)",
+        &["category", "sessions", "uplift (dB)"],
+    );
+    for u in model_uplift_by_category(sessions, chunks, seed) {
+        uplift.row(vec![
+            format!("{:?}", u.category),
+            u.sessions.to_string(),
+            fmt_f(u.mean_uplift_db),
+        ]);
+    }
+
+    format!("{cache}\n{agg}\n{uplift}")
+}
+
+/// [`fleet_trace`] with the model plane enabled: the same JSONL stream
+/// plus `model.assign` / `model.delta` events and the `model.*` metric
+/// families. Stamped from virtual time only, so the file stays
+/// byte-identical at any `--jobs` value and across kill/resume.
+pub fn model_fleet_trace(
+    sessions: usize,
+    chunks: usize,
+    seed: u64,
+    servers: usize,
+    placement: PlacementPolicy,
+) -> String {
+    let points = fleet_points(sessions);
+    let traced = sweep::map(&points, |_, &n| {
+        let (cfg, trace) = model_fleet_config(n, chunks, seed, servers, placement);
+        let mut obs = Obs::trace();
+        meter::start();
+        let result = run_fleet_obs(&cfg, &trace, Some(&mut obs));
+        let profile = meter::stop();
+        profile.export(&obs.registry);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"fleet_point\":{n},\"model_plane\":true,\"digest_len\":{}}}",
+            result.digest().len()
+        );
+        if let Some(lines) = obs.trace_lines() {
+            out.push_str(lines);
+        }
+        out.push_str(&obs.registry.snapshot().render_jsonl());
+        out
+    });
+    traced.concat()
 }
 
 /// Run one fleet point.
@@ -283,7 +457,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("Fleet serving"));
         assert!(a.contains("Per-session outcomes"));
-        assert!(!a.contains("Per-server topology"), "single server: no topology table");
+        assert!(
+            !a.contains("Per-server topology"),
+            "single server: no topology table"
+        );
     }
 
     #[test]
@@ -292,6 +469,33 @@ mod tests {
         assert!(a.contains("Per-server topology"));
         let b = fleet_report(3, 2, 42, 2, PlacementPolicy::LeastLoaded);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_report_renders_and_is_deterministic() {
+        let a = model_report(12, 2, 42, 2, PlacementPolicy::RoundRobin);
+        let b = model_report(12, 2, 42, 2, PlacementPolicy::RoundRobin);
+        assert_eq!(a, b);
+        assert!(a.contains("per-server weight cache"));
+        assert!(a.contains("fleet aggregate"));
+        assert!(a.contains("per-category PSNR uplift"));
+    }
+
+    #[test]
+    fn model_uplift_is_positive_for_every_measured_category() {
+        let uplifts = model_uplift_by_category(12, 2, 42);
+        assert!(
+            !uplifts.is_empty(),
+            "a 12-session mixed fleet must serve specialists"
+        );
+        for u in &uplifts {
+            assert!(
+                u.mean_uplift_db > 0.0,
+                "{:?} uplift {} must be positive",
+                u.category,
+                u.mean_uplift_db
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,8 @@ use nerve_abr::predict::{Ewma, Predictor};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_abr::{Abr, AbrContext};
 use nerve_core::{DegradationLadder, DegradationRung};
+use nerve_model::delta::{delta_for, weights_at, ModelWeights, WeightDelta};
+use nerve_model::fingerprint::HeadId;
 use nerve_net::clock::SimTime;
 use nerve_net::faults::{FaultPlan, FaultWindow, FaultyLoss};
 use nerve_net::integrity::crc32;
@@ -253,6 +255,39 @@ impl Default for ReconnectPolicy {
     }
 }
 
+/// Mid-session delta weight updates (the model plane's client side).
+/// The server pushes versioned `"NRVM"` frames alongside the point
+/// codes, paced at a fixed byte budget per chunk; the session applies
+/// each frame through the real [`nerve_model::delta`] codec once all
+/// of its bytes are in. The transfer cursor is checkpointed, so a
+/// session killed mid-frame resumes the transfer exactly where it
+/// stopped — the weight tensor itself is rebuilt by replay, never
+/// serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPlanConfig {
+    /// Wire code of the head being refreshed
+    /// ([`nerve_model::fingerprint::HeadId::code`]). The generic head
+    /// (code 0) never receives deltas.
+    pub head: u8,
+    /// Number of delta updates the server pushes over the session.
+    pub updates: u32,
+    /// Delta bytes shipped per streamed chunk. One `"NRVM"` frame is a
+    /// few hundred bytes, so the default budget spreads each update
+    /// across several chunks — which is what makes mid-transfer kills
+    /// interesting.
+    pub chunk_budget_bytes: usize,
+}
+
+impl Default for DeltaPlanConfig {
+    fn default() -> Self {
+        Self {
+            head: 1,
+            updates: 2,
+            chunk_budget_bytes: 96,
+        }
+    }
+}
+
 /// Session configuration.
 #[derive(Clone)]
 pub struct SessionConfig {
@@ -281,6 +316,10 @@ pub struct SessionConfig {
     /// [`SessionCheckpoint`]. `None` (the default) keeps the legacy
     /// ride-it-out behaviour bit-identical.
     pub reconnect: Option<ReconnectPolicy>,
+    /// Model plane: `Some` streams delta weight updates alongside the
+    /// session and applies them through the `"NRVM"` codec. `None`
+    /// (the default) keeps legacy results and digests bit-identical.
+    pub delta: Option<DeltaPlanConfig>,
 }
 
 impl SessionConfig {
@@ -297,6 +336,7 @@ impl SessionConfig {
             seed: 7,
             faults: FaultPlan::default(),
             reconnect: None,
+            delta: None,
         }
     }
 
@@ -307,6 +347,11 @@ impl SessionConfig {
 
     pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
         self.reconnect = Some(policy);
+        self
+    }
+
+    pub fn with_delta(mut self, plan: DeltaPlanConfig) -> Self {
+        self.delta = Some(plan);
         self
     }
 }
@@ -350,6 +395,20 @@ impl DegradationCounts {
     }
 }
 
+/// Outcome of the mid-session delta weight updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPlaneSummary {
+    /// Weight version reached by session end.
+    pub version: u32,
+    /// `"NRVM"` frames applied cleanly through the codec.
+    pub applied: u64,
+    /// Frames the codec rejected (zero in a healthy run).
+    pub rejected: u64,
+    /// CRC of the final weight tensor — a resumed run that reached the
+    /// same version must agree exactly.
+    pub weights_crc: u32,
+}
+
 /// Session results.
 #[derive(Debug, Clone)]
 pub struct SessionResult {
@@ -372,6 +431,9 @@ pub struct SessionResult {
     pub reconnects: usize,
     /// Wall time spent disconnected (outage remainder plus handshakes).
     pub downtime_secs: f64,
+    /// Delta weight-update summary when [`SessionConfig::delta`] is
+    /// set; `None` keeps legacy digests unchanged.
+    pub delta: Option<DeltaPlaneSummary>,
 }
 
 impl SessionResult {
@@ -414,6 +476,12 @@ impl SessionResult {
             w.f64(r.rebuffer_secs);
             w.usize(r.recovered_frames);
             w.usize(r.total_frames);
+        }
+        if let Some(d) = &self.delta {
+            w.u32(d.version);
+            w.u64(d.applied);
+            w.u64(d.rejected);
+            w.u32(d.weights_crc);
         }
         crc32(&w.into_bytes())
     }
@@ -469,6 +537,13 @@ impl SessionResult {
         registry
             .counter("code.crc_detected")
             .add(self.code_stats.crc_detected);
+        if let Some(d) = &self.delta {
+            registry.counter("session.delta.applied").add(d.applied);
+            registry.counter("session.delta.rejected").add(d.rejected);
+            registry
+                .gauge("session.delta.version")
+                .set(d.version as f64);
+        }
     }
 }
 
@@ -526,6 +601,10 @@ pub struct SessionRunner {
     code_channel: ReliableChannel<FaultyLoss<GilbertElliott>>,
     deg_ladder: DegradationLadder,
     ladder: Vec<u32>,
+    /// Current weight tensor under delta refresh (`None` without a
+    /// [`DeltaPlanConfig`]). Derived state: rebuilt on resume by
+    /// replaying [`weights_at`] to the checkpointed version.
+    weights: Option<ModelWeights>,
     // ---- checkpointed state ----
     chunk_index: usize,
     now: SimTime,
@@ -544,6 +623,10 @@ pub struct SessionRunner {
     reconnects: usize,
     downtime_secs: f64,
     pending_rebuffer: f64,
+    delta_version: u32,
+    delta_bytes_sent: u64,
+    delta_applied: u64,
+    delta_rejected: u64,
 }
 
 impl SessionRunner {
@@ -622,6 +705,11 @@ impl SessionRunner {
             None => Vec::new(),
         };
         let ctx = AbrContext::bootstrap(ladder.clone(), CHUNK_SECONDS, frames);
+        let weights = config
+            .delta
+            .as_ref()
+            .and_then(|d| HeadId::from_code(d.head))
+            .map(ModelWeights::base);
         Self {
             config,
             events,
@@ -631,6 +719,7 @@ impl SessionRunner {
             code_channel,
             deg_ladder,
             ladder,
+            weights,
             chunk_index: 0,
             now: SimTime::ZERO,
             buffer_secs: 0.0,
@@ -648,6 +737,10 @@ impl SessionRunner {
             reconnects: 0,
             downtime_secs: 0.0,
             pending_rebuffer: 0.0,
+            delta_version: 0,
+            delta_bytes_sent: 0,
+            delta_applied: 0,
+            delta_rejected: 0,
         }
     }
 
@@ -694,6 +787,20 @@ impl SessionRunner {
             })
             .collect();
         r.records = cp.records.clone();
+        r.delta_version = cp.delta_version;
+        r.delta_bytes_sent = cp.delta_bytes_sent;
+        r.delta_applied = cp.delta_applied;
+        r.delta_rejected = cp.delta_rejected;
+        // The checkpoint carries only the cursor; the tensor is the
+        // pure replay of the deltas applied so far.
+        if let Some(head) = r
+            .config
+            .delta
+            .as_ref()
+            .and_then(|d| HeadId::from_code(d.head))
+        {
+            r.weights = Some(weights_at(r.config.seed, head, cp.delta_version));
+        }
         r
     }
 
@@ -734,6 +841,10 @@ impl SessionRunner {
                 .map(|o| (o.utility_mbps, o.rebuffer_secs))
                 .collect(),
             records: self.records.clone(),
+            delta_version: self.delta_version,
+            delta_bytes_sent: self.delta_bytes_sent,
+            delta_applied: self.delta_applied,
+            delta_rejected: self.delta_rejected,
         }
     }
 
@@ -1105,6 +1216,40 @@ impl SessionRunner {
             total_frames: frames,
         });
         self.chunk_index += 1;
+        self.advance_delta_plane();
+    }
+
+    /// Advance the delta weight-update transfer by one chunk's byte
+    /// budget, applying the in-flight `"NRVM"` frame through the real
+    /// codec once all of its bytes are in. Purely a function of
+    /// (seed, head, version, chunks streamed), so a resumed session
+    /// picks the transfer up mid-frame from the checkpointed cursor.
+    fn advance_delta_plane(&mut self) {
+        let Some(plan) = self.config.delta else {
+            return;
+        };
+        let Some(head @ HeadId::Specialist(_)) = HeadId::from_code(plan.head) else {
+            return;
+        };
+        let Some(weights) = self.weights.as_mut() else {
+            return;
+        };
+        if self.delta_version >= plan.updates {
+            return;
+        }
+        let frame = delta_for(self.config.seed, head, self.delta_version).to_bytes();
+        self.delta_bytes_sent += plan.chunk_budget_bytes as u64;
+        if (self.delta_bytes_sent as usize) < frame.len() {
+            return; // mid-transfer: the cursor rides the next checkpoint
+        }
+        self.delta_bytes_sent = 0;
+        match WeightDelta::from_bytes(&frame).and_then(|d| d.apply(weights)) {
+            Ok(()) => {
+                self.delta_version += 1;
+                self.delta_applied += 1;
+            }
+            Err(_) => self.delta_rejected += 1,
+        }
     }
 
     /// Close out the session and report.
@@ -1136,6 +1281,12 @@ impl SessionRunner {
             code_stats: self.code_channel.stats,
             reconnects: self.reconnects,
             downtime_secs: self.downtime_secs,
+            delta: self.weights.as_ref().map(|w| DeltaPlaneSummary {
+                version: self.delta_version,
+                applied: self.delta_applied,
+                rejected: self.delta_rejected,
+                weights_crc: w.crc(),
+            }),
         }
     }
 
@@ -1365,6 +1516,67 @@ mod tests {
             "one open + one close per chunk"
         );
         assert_eq!(lines.matches("\"name\":\"session.reconnect\"").count(), 1);
+    }
+
+    /// The disconnect fixture plus an active delta plan: the default
+    /// plan spreads each few-hundred-byte `"NRVM"` frame over several
+    /// 96-byte chunk budgets, so mid-transfer chunk boundaries exist.
+    fn delta_cfg(seed: u64) -> SessionConfig {
+        disconnect_cfg(seed).with_delta(DeltaPlanConfig::default())
+    }
+
+    #[test]
+    fn delta_plan_applies_all_updates_deterministically() {
+        let plan = DeltaPlanConfig::default();
+        let r = StreamingSession::new(delta_cfg(25)).run();
+        let d = r.delta.expect("delta plan was configured");
+        assert_eq!(d.version, plan.updates, "all updates must land");
+        assert_eq!(d.applied, plan.updates as u64);
+        assert_eq!(d.rejected, 0, "self-generated frames never fail the codec");
+        // The final tensor is exactly the pure replay to that version.
+        let head = HeadId::from_code(plan.head).unwrap();
+        assert_eq!(d.weights_crc, weights_at(25, head, d.version).crc());
+        let again = StreamingSession::new(delta_cfg(25)).run();
+        assert_eq!(r.invariant_digest(), again.invariant_digest());
+        // Sessions without a plan keep their legacy delta-free results.
+        assert!(StreamingSession::new(disconnect_cfg(25))
+            .run()
+            .delta
+            .is_none());
+    }
+
+    #[test]
+    fn killed_mid_delta_transfer_resumes_to_the_uninterrupted_digest() {
+        let cfg = delta_cfg(26);
+        let uninterrupted = StreamingSession::new(cfg.clone()).run();
+        let mut cut_mid_transfer = 0usize;
+        for cut in [1usize, 2, 4, 9] {
+            let mut runner = SessionRunner::new(cfg.clone());
+            while runner.chunk_index() < cut {
+                runner.step();
+            }
+            let bytes = runner.checkpoint().to_bytes();
+            drop(runner);
+            let cp = SessionCheckpoint::from_bytes(&bytes).unwrap();
+            if cp.delta_bytes_sent > 0 {
+                cut_mid_transfer += 1;
+            }
+            let mut resumed = SessionRunner::resume(cfg.clone(), &cp);
+            while !resumed.is_done() {
+                resumed.step();
+            }
+            let r = resumed.finish();
+            assert_eq!(
+                r.invariant_digest(),
+                uninterrupted.invariant_digest(),
+                "cut at chunk {cut} diverged"
+            );
+        }
+        assert!(
+            cut_mid_transfer >= 2,
+            "the cuts must land inside an in-flight frame transfer \
+             ({cut_mid_transfer} did) or the test proves nothing"
+        );
     }
 
     #[test]

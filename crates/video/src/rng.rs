@@ -76,12 +76,18 @@ pub enum StreamComponent {
     Jitter = 8,
     /// Server-side FIR rate-limiter draws (live fleet).
     FirLimiter = 9,
+    /// Content-fingerprint probe clip generation (model plane).
+    Fingerprint = 10,
+    /// Server-side weight-cache load jitter draws (model plane).
+    WeightCache = 11,
+    /// Mid-session delta weight update payload generation (model plane).
+    DeltaUpdate = 12,
 }
 
 impl StreamComponent {
     /// Every variant, for exhaustive collision testing. Keep in sync when
     /// adding components.
-    pub const ALL: [StreamComponent; 9] = [
+    pub const ALL: [StreamComponent; 12] = [
         StreamComponent::MediaLoss,
         StreamComponent::CodeLoss,
         StreamComponent::Faults,
@@ -91,6 +97,9 @@ impl StreamComponent {
         StreamComponent::Feedback,
         StreamComponent::Jitter,
         StreamComponent::FirLimiter,
+        StreamComponent::Fingerprint,
+        StreamComponent::WeightCache,
+        StreamComponent::DeltaUpdate,
     ];
 }
 
@@ -201,6 +210,37 @@ mod tests {
             );
             for session in 0..128u64 {
                 for comp in live {
+                    assert!(seen.contains(&seed_for(seed, session, comp)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_plane_streams_never_collide_with_any_other() {
+        // Regression for the model plane: the fingerprint / weight-cache /
+        // delta-update tags must map to streams distinct from every
+        // existing component's for the same (seed, session) — and from
+        // each other's across sessions.
+        let model = [
+            StreamComponent::Fingerprint,
+            StreamComponent::WeightCache,
+            StreamComponent::DeltaUpdate,
+        ];
+        for seed in [0u64, 42, 0xDEAD_BEEF] {
+            let mut seen = std::collections::HashSet::new();
+            for session in 0..128u64 {
+                for comp in StreamComponent::ALL {
+                    seen.insert(seed_for(seed, session, comp));
+                }
+            }
+            assert_eq!(
+                seen.len(),
+                128 * StreamComponent::ALL.len(),
+                "stream collision under seed {seed}"
+            );
+            for session in 0..128u64 {
+                for comp in model {
                     assert!(seen.contains(&seed_for(seed, session, comp)));
                 }
             }

@@ -54,8 +54,10 @@ impl Category {
     ];
 
     /// (motion px/frame at 1080p-equivalent scale, texture cycles/frame
-    /// width, novelty spawns per 100 frames, cut interval frames)
-    fn stats(self) -> (f32, f32, f32, usize) {
+    /// width, novelty spawns per 100 frames, cut interval frames).
+    /// Public because the model plane sizes specialist-head artifacts and
+    /// uplifts from the same statistics the generator is driven by.
+    pub fn stats(self) -> (f32, f32, f32, usize) {
         match self {
             // Talking-head-ish, low motion, medium texture.
             Category::ProductReview => (1.0, 6.0, 0.6, 420),

@@ -58,6 +58,7 @@ pub use nerve_codec as codec;
 pub use nerve_core as core;
 pub use nerve_fec as fec;
 pub use nerve_flow as flow;
+pub use nerve_model as model;
 pub use nerve_net as net;
 pub use nerve_obs as obs;
 pub use nerve_serve as serve;

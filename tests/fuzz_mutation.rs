@@ -2,8 +2,8 @@
 //!
 //! No cargo-fuzz, no corpus on disk, no network: a SplitMix64 stream
 //! ([`DetRng`]) drives ≥10 000 mutated inputs per target, entirely
-//! offline and bit-reproducible. The targets are the three places
-//! hostile bytes enter the client:
+//! offline and bit-reproducible. The targets are the places hostile
+//! bytes enter the client:
 //!
 //! * **bitstream decode** — `decode_block` over arbitrary buffers and
 //!   `Decoder::try_decode_partial` over frames whose slice payloads were
@@ -13,6 +13,10 @@
 //!   extensions, drops, duplicates, and reorderings.
 //! * **FEC shard join** — `open_shards` + `ReedSolomon::reconstruct`
 //!   over sealed shards mutated in flight.
+//! * **delta weight updates** — `WeightDelta::from_bytes` + `apply`
+//!   over mutated `"NRVM"` frames: typed [`DeltaError`]s, never a
+//!   panic, and nothing that clears the CRC may differ from what was
+//!   sent.
 //!
 //! Two properties per target: *no panic* on any input, and *no silent
 //! mis-decode past the CRC* — any bytes that clear an integrity check
@@ -32,6 +36,9 @@ use nerve_codec::packet::{packetize, reassemble, slice_presence, VideoPacket};
 use nerve_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
 use nerve_fec::packetize::{join, open_shards, seal_shards, split};
 use nerve_fec::ReedSolomon;
+use nerve_model::delta::{delta_for, weights_at};
+use nerve_model::fingerprint::HeadId;
+use nerve_model::WeightDelta;
 use nerve_video::rng::DetRng;
 use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
 use rand::RngExt;
@@ -321,6 +328,76 @@ fn fuzz_fec_shard_join_never_misdecodes() {
 
     assert!(recovered > 0, "no iteration ever recovered the payload");
     assert!(refused > 0, "no iteration ever exceeded the erasure budget");
+}
+
+#[test]
+fn fuzz_delta_weight_frames_never_misapply() {
+    let head = HeadId::from_code(3).expect("specialist code");
+    let deltas: Vec<WeightDelta> = (0..4).map(|v| delta_for(0xD317A, head, v)).collect();
+    let frames: Vec<Vec<u8>> = deltas.iter().map(|d| d.to_bytes()).collect();
+    let mut parsed_ok = 0u64;
+    let mut parse_rejected = 0u64;
+    let mut apply_rejected = 0u64;
+
+    run_fuzz("delta", 0xDE17, |seed| {
+        let mut rng = DetRng::new(seed);
+        let vi = rng.random_range(0..frames.len());
+        let mut bytes = frames[vi].clone();
+        for _ in 0..rng.random_range(1..=3usize) {
+            mutate_bytes(&mut bytes, &mut rng);
+        }
+
+        match WeightDelta::from_bytes(&bytes) {
+            Ok(d) => {
+                // The property under test: anything that parses past
+                // the CRC must be exactly the frame that was sent —
+                // corruption demotes to a typed error, never to a
+                // silently different update.
+                assert_eq!(
+                    d, deltas[vi],
+                    "a mutated frame parsed to a different delta past the CRC"
+                );
+                parsed_ok += 1;
+
+                // Apply against every weight version: the adjacent one
+                // must succeed, every other must refuse loudly with a
+                // typed error — no panic, no silent wrong-base apply.
+                for v in 0..4u32 {
+                    let mut w = weights_at(0xD317A, head, v);
+                    let crc_before = w.crc();
+                    match d.apply(&mut w) {
+                        Ok(()) => assert_eq!(v, d.from_version, "apply accepted a wrong base"),
+                        Err(_) => {
+                            assert_ne!(v, d.from_version, "apply refused its own base");
+                            assert_eq!(crc_before, w.crc(), "a refused apply mutated weights");
+                            apply_rejected += 1;
+                        }
+                    }
+                }
+            }
+            Err(_) => parse_rejected += 1,
+        }
+    });
+
+    assert!(parsed_ok > 0, "no mutated frame ever survived intact");
+    assert!(parse_rejected > 0, "mutations never produced a parse error");
+    assert!(apply_rejected > 0, "wrong-base applies were never refused");
+}
+
+#[test]
+fn fuzz_pure_garbage_delta_frames_error_cleanly() {
+    run_fuzz("delta-garbage", 0xDE18, |seed| {
+        let mut rng = DetRng::new(seed);
+        let len = rng.random_range(0..=512usize);
+        let mut data = vec![0u8; len];
+        for b in data.iter_mut() {
+            *b = rng.random_range(0..=255u32) as u8;
+        }
+        // Raw noise must come back as a typed error (a 2^-32 CRC
+        // collision per trial is the only escape, and it would still
+        // have to parse as a structurally valid frame).
+        assert!(WeightDelta::from_bytes(&data).is_err());
+    });
 }
 
 #[test]

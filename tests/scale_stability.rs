@@ -414,10 +414,7 @@ fn fleet_10k_on_8_servers_with_handoff_wave_and_restart_is_stable() {
     // round-robin spread must reject near-uniformly. Allow the restart
     // server a margin, but a lopsided front door is a bug.
     let rejects: Vec<usize> = r.servers.iter().map(|s| s.rejected).collect();
-    let (&lo, &hi) = (
-        rejects.iter().min().unwrap(),
-        rejects.iter().max().unwrap(),
-    );
+    let (&lo, &hi) = (rejects.iter().min().unwrap(), rejects.iter().max().unwrap());
     let per_server = SESSIONS / SERVERS;
     assert!(
         hi - lo <= per_server / 10 + 8,

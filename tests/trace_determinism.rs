@@ -13,7 +13,7 @@ use nerve::net::faults::FaultPlan;
 use nerve::net::trace::{NetworkKind, NetworkTrace};
 use nerve::sim::checkpoint::SessionCheckpoint;
 use nerve::sim::experiments::fleet;
-use nerve::sim::session::{ReconnectPolicy, Scheme, SessionConfig, SessionRunner};
+use nerve::sim::session::{DeltaPlanConfig, ReconnectPolicy, Scheme, SessionConfig, SessionRunner};
 use nerve::sim::sweep;
 use nerve_obs::Obs;
 use std::sync::Mutex;
@@ -38,7 +38,11 @@ fn fleet_trace_is_byte_identical_across_worker_counts() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let logs: Vec<String> = WORKER_COUNTS
         .iter()
-        .map(|&w| at_workers(w, || fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin)))
+        .map(|&w| {
+            at_workers(w, || {
+                fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin)
+            })
+        })
         .collect();
     assert!(
         logs[0].contains("\"ev\":\"open\"") && logs[0].contains("\"metric\":"),
@@ -55,7 +59,9 @@ fn fleet_trace_is_byte_identical_across_worker_counts() {
         );
     }
     // Repeat run at the same worker count: stable across process reuse.
-    let again = at_workers(2, || fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin));
+    let again = at_workers(2, || {
+        fleet::fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin)
+    });
     assert_eq!(logs[0], again, "fleet trace diverged across repeat runs");
 }
 
@@ -130,6 +136,93 @@ fn session_trace_is_byte_identical_across_kill_and_resume() {
     assert_eq!(
         stitched, reference_log,
         "pre-crash + resumed trace must concatenate to the uninterrupted log byte-for-byte"
+    );
+}
+
+/// The content-aware model plane adds fingerprint probes, cache
+/// decisions, and delta updates to the fleet — none of which may leak
+/// worker-count or memoization effects into the trace log.
+#[test]
+fn model_fleet_trace_is_byte_identical_across_worker_counts() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = || fleet::model_fleet_trace(4, 2, 2024, 1, nerve_serve::PlacementPolicy::RoundRobin);
+    let logs: Vec<String> = WORKER_COUNTS.iter().map(|&w| at_workers(w, run)).collect();
+    assert!(
+        logs[0].contains("\"name\":\"model.assign\""),
+        "model-plane trace must carry head-assignment events"
+    );
+    assert!(
+        logs[0].contains("model.cache."),
+        "model-plane trace must carry the weight-cache metric family"
+    );
+    for (w, log) in WORKER_COUNTS.iter().zip(&logs).skip(1) {
+        assert_eq!(
+            &logs[0], log,
+            "model-plane fleet trace diverged between 1 and {w} workers"
+        );
+    }
+    let again = at_workers(2, run);
+    assert_eq!(
+        logs[0], again,
+        "model-plane fleet trace diverged across repeat runs"
+    );
+}
+
+/// Kill-and-resume with an in-flight delta weight update: the stitched
+/// trace and the result digest (which now covers the delta cursor and
+/// the final weight CRC) must match the uninterrupted run exactly.
+#[test]
+fn delta_session_trace_is_byte_identical_across_kill_and_resume() {
+    let cfg = disconnect_cfg(27).with_delta(DeltaPlanConfig::default());
+
+    let mut whole = Obs::trace();
+    let mut runner = SessionRunner::new(cfg.clone());
+    while !runner.is_done() {
+        runner.step_obs(Some(&mut whole));
+    }
+    let reference = runner.finish();
+    let reference_log = whole.trace_lines().expect("trace recorder keeps lines");
+    let d = reference.delta.expect("delta plan was configured");
+    assert!(d.applied > 0, "updates must land in the reference run");
+
+    // Kill at chunk 5 — between delta applications, mid-frame-transfer.
+    let mut pre = Obs::trace();
+    let mut runner = SessionRunner::new(cfg.clone());
+    while runner.chunk_index() < 5 {
+        runner.step_obs(Some(&mut pre));
+    }
+    let bytes = runner.checkpoint().to_bytes();
+    let pre_log = pre
+        .trace_lines()
+        .expect("trace recorder keeps lines")
+        .to_string();
+    drop(runner);
+    drop(pre);
+
+    let cp = SessionCheckpoint::from_bytes(&bytes).expect("own checkpoint must parse");
+    assert!(
+        cp.delta_bytes_sent > 0,
+        "the cut must land inside an in-flight frame transfer"
+    );
+    let mut post = Obs::trace();
+    let mut resumed = SessionRunner::resume(cfg, &cp);
+    while !resumed.is_done() {
+        resumed.step_obs(Some(&mut post));
+    }
+    let r = resumed.finish();
+    assert_eq!(
+        r.invariant_digest(),
+        reference.invariant_digest(),
+        "resumed delta session must match the uninterrupted one"
+    );
+    assert_eq!(r.delta, reference.delta);
+    let stitched = format!(
+        "{pre_log}{}",
+        post.trace_lines().expect("trace recorder keeps lines")
+    );
+    assert_eq!(
+        stitched, reference_log,
+        "pre-crash + resumed delta trace must concatenate byte-for-byte"
     );
 }
 
