@@ -142,6 +142,46 @@ impl WeightCache {
     pub fn resident(&self) -> usize {
         self.entries.len()
     }
+
+    /// Snapshot the cache's mutable state for a fleet checkpoint: the
+    /// resident entries with their recency ticks (entry order is the
+    /// insertion order, which eviction scans), the logical tick, and the
+    /// counters. Capacity travels with the reconstructing config.
+    pub fn state(&self) -> WeightCacheState {
+        WeightCacheState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.head, e.bytes, e.last_used))
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore a snapshot taken by [`state`](Self::state).
+    pub fn restore(&mut self, state: WeightCacheState) {
+        self.entries = state
+            .entries
+            .into_iter()
+            .map(|(head, bytes, last_used)| Entry {
+                head,
+                bytes,
+                last_used,
+            })
+            .collect();
+        self.tick = state.tick;
+        self.stats = state.stats;
+    }
+}
+
+/// Serializable position of a [`WeightCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightCacheState {
+    /// `(head, bytes, last_used)` in the cache's internal entry order.
+    pub entries: Vec<(HeadId, u64, u64)>,
+    pub tick: u64,
+    pub stats: CacheStats,
 }
 
 #[cfg(test)]

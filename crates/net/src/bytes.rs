@@ -97,6 +97,12 @@ impl ByteWriter {
         self.u64(t.as_micros());
     }
 
+    /// Length-prefixed raw blob (pairs with [`ByteReader::blob`]).
+    pub fn blob(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     /// The accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -175,6 +181,12 @@ impl<'a> ByteReader<'a> {
 
     pub fn time(&mut self) -> Result<SimTime, ByteError> {
         Ok(SimTime::from_micros(self.u64()?))
+    }
+
+    /// Length-prefixed raw blob (pairs with [`ByteWriter::blob`]).
+    pub fn blob(&mut self) -> Result<&'a [u8], ByteError> {
+        let n = self.usize()?;
+        self.take(n)
     }
 
     /// Bytes not yet consumed.

@@ -217,6 +217,37 @@ impl AdmissionController {
         self.macs.refill(now);
         self.macs.drain(macs)
     }
+
+    /// Snapshot the controller's mutable state for a fleet checkpoint
+    /// (budgets and burst travel with the reconstructing config).
+    pub fn state(&self) -> AdmissionState {
+        AdmissionState {
+            bw: self.bw.state(),
+            macs: self.macs.state(),
+            accepted: self.accepted,
+            downgraded: self.downgraded,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Restore a snapshot taken by [`state`](Self::state).
+    pub fn restore(&mut self, state: AdmissionState) {
+        self.bw.restore(state.bw);
+        self.macs.restore(state.macs);
+        self.accepted = state.accepted;
+        self.downgraded = state.downgraded;
+        self.rejected = state.rejected;
+    }
+}
+
+/// Serializable position of an [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionState {
+    pub bw: TokenBucketState,
+    pub macs: TokenBucketState,
+    pub accepted: usize,
+    pub downgraded: usize,
+    pub rejected: usize,
 }
 
 #[cfg(test)]

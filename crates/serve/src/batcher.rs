@@ -365,6 +365,59 @@ impl InferenceBatcher {
         self.queue.len()
     }
 
+    /// The queued jobs themselves (checkpoint payload; enqueue order).
+    pub fn pending_jobs(&self) -> &[InferenceJob] {
+        &self.queue
+    }
+
+    /// Fail-stop: drop every queued job on the floor and return them so
+    /// the caller can charge each owning session a `failed_in_flight`.
+    /// Unlike [`flush`](Self::flush), nothing is served, shed-counted,
+    /// or batched — a dead server settles nothing.
+    pub fn take_pending(&mut self) -> Vec<InferenceJob> {
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Rebuild the batcher's mutable position from a checkpoint: queued
+    /// jobs, cumulative registry counters, and the breaker snapshot.
+    /// Only meaningful on a freshly constructed batcher whose registry
+    /// is still zero.
+    pub fn restore_state(
+        &mut self,
+        jobs: Vec<InferenceJob>,
+        stats: &BatcherStats,
+        breaker: Option<nerve_core::BreakerSnapshot>,
+    ) {
+        self.queue = jobs;
+        self.metrics.batches.add(stats.batches as u64);
+        self.metrics.full.add(stats.full as u64);
+        self.metrics.warp_only.add(stats.warp_only as u64);
+        self.metrics.shed.add(stats.shed as u64);
+        // Re-observe one representative value per occupancy bucket so
+        // the histogram's bucket counts reproduce exactly. Bucket `i`
+        // covers `(EDGES[i-1], EDGES[i]]`, with a catch-all above the
+        // last edge.
+        for (b, &n) in stats.occupancy.iter().enumerate() {
+            let value = if b < OCCUPANCY_EDGES.len() {
+                OCCUPANCY_EDGES[b]
+            } else {
+                OCCUPANCY_EDGES[OCCUPANCY_EDGES.len() - 1] + 1.0
+            };
+            for _ in 0..n {
+                self.metrics.occupancy.observe(value);
+            }
+        }
+        if let (Some(b), Some(snap)) = (self.breaker.as_mut(), breaker) {
+            b.restore(snap);
+            self.breaker_exported = snap.counters;
+        }
+    }
+
+    /// Snapshot the armed breaker for a checkpoint.
+    pub fn breaker_snapshot(&self) -> Option<nerve_core::BreakerSnapshot> {
+        self.breaker.as_ref().map(|b| b.snapshot())
+    }
+
     /// Service time of one full forward pass at `rung`.
     pub fn full_service_secs(&self, rung: usize) -> f64 {
         self.model.macs_per_job() * ServerModel::rung_scale(&self.ladder_kbps, rung)

@@ -35,6 +35,10 @@ use std::collections::BinaryHeap;
 pub enum EventKind {
     /// The server's restart window opens.
     Restart,
+    /// An evacuated session's ticket lands (failover arrival). Ordered
+    /// before crashes and wakes so a landing session can process its
+    /// own due crash/wake at the same instant.
+    Arrive { session: usize },
     /// A session's next crash instant is due.
     Crash { session: usize },
     /// A waiting session may start its next chunk (stale if its wake
@@ -104,6 +108,21 @@ impl EventQueue {
 
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Drop every pending event (fail-stop: a dead server's calendar is
+    /// void).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// The pending events in canonical (time, kind) order — the
+    /// checkpoint codec serializes this so a resumed heap pops in the
+    /// exact same order.
+    pub fn sorted_events(&self) -> Vec<Event> {
+        let mut v: Vec<Event> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        v.sort_unstable();
+        v
     }
 }
 

@@ -26,8 +26,13 @@
 
 use crate::admission::AdmissionConfig;
 use crate::batcher::{BatcherStats, ServerModel};
+use crate::ckpt::{CkptError, FleetCkpt};
+use crate::failure::{
+    percentile_nearest_rank, plan_transfer, FailoverConfig, FailoverStats, HealthCounters,
+    HealthState, HealthTracker, InvariantReport, ServerFailure, ServerFailureCounters, ServerHealth,
+};
 use crate::server::{FleetMetrics, ServerPartial, ServerSim, SessionDone};
-use crate::topology::{place_sessions, PlacementPolicy, SessionHandoff};
+use crate::topology::{place_evacuee, place_sessions, PlacementPolicy, SessionHandoff};
 use nerve_abr::qoe::{session_qoe, ChunkOutcome, QoeParams, QualityMaps};
 use nerve_core::BreakerConfig;
 use nerve_model::cache::CacheStats;
@@ -230,6 +235,12 @@ pub struct FleetConfig {
     pub handoffs: Vec<SessionHandoff>,
     /// Content-aware model plane (`None` = legacy generic-only serving).
     pub model_plane: Option<ModelPlaneConfig>,
+    /// Unplanned fail-stop events (empty = no failure domain: legacy
+    /// digests stay byte-identical).
+    pub failures: Vec<ServerFailure>,
+    /// Evacuation transfer + health-check policy (read only when
+    /// `failures` is non-empty).
+    pub failover: FailoverConfig,
 }
 
 /// One client crash in the fleet's crash plan.
@@ -281,6 +292,8 @@ impl FleetConfig {
             placement: PlacementPolicy::RoundRobin,
             handoffs: Vec::new(),
             model_plane: None,
+            failures: Vec::new(),
+            failover: FailoverConfig::default(),
         }
     }
 
@@ -314,6 +327,12 @@ pub struct SessionCounters {
     pub freezes: usize,
     /// Crash events this session absorbed (aborted download + retry).
     pub crashes: usize,
+    /// Jobs dropped in-flight by an unplanned server failure — these
+    /// never settle, so the accounting identity widens to
+    /// `jobs == full + degraded + sr_skipped + failed_in_flight`.
+    pub failed_in_flight: usize,
+    /// Evacuations this session rode (fail-stop → ticket → new server).
+    pub evacuations: usize,
 }
 
 /// One session's slice of the fleet outcome.
@@ -362,6 +381,8 @@ pub struct ServerSummary {
     pub virtual_secs: f64,
     /// This server's weight-cache counters (model plane only).
     pub cache: Option<CacheStats>,
+    /// Failure-domain counters (all zero without a failure plan).
+    pub failc: ServerFailureCounters,
 }
 
 /// Aggregate outcome of one fleet run.
@@ -395,6 +416,13 @@ pub struct FleetResult {
     pub events: u64,
     /// Model-plane aggregate (`None` when the plane is off).
     pub model: Option<FleetModelStats>,
+    /// Failure-domain aggregate (`Some` iff the failure plan is
+    /// non-empty after validation).
+    pub failover: Option<FailoverStats>,
+    /// Fleet-wide invariant checker verdict (session conservation, no
+    /// dead-server settles, monotone virtual time). `violations` must be
+    /// zero; debug builds assert it at the violation site.
+    pub invariants: InvariantReport,
 }
 
 impl FleetResult {
@@ -521,6 +549,68 @@ impl FleetResult {
                 }
             }
         }
+        // Failure-domain lines are appended only when a failure plan
+        // ran, so every legacy digest stays byte-identical.
+        if let Some(fo) = &self.failover {
+            let _ = writeln!(
+                s,
+                "failover evac={} landed={} lost_xfer={} warp={} freeze={} stall={} retries={} redirect={} p50={:016x} p95={:016x}",
+                fo.evacuated,
+                fo.landed,
+                fo.lost_transfers,
+                fo.warp,
+                fo.freeze,
+                fo.stall,
+                fo.retries,
+                fo.redirected_handoffs,
+                fo.latency_p50_secs.to_bits(),
+                fo.latency_p95_secs.to_bits(),
+            );
+            let _ = writeln!(
+                s,
+                "failover jobs_failed={} lost={} recovered={} fails={} rejoins={}",
+                fo.jobs_failed_in_flight,
+                fo.sessions_lost,
+                fo.sessions_recovered,
+                fo.server_failures,
+                fo.rejoins,
+            );
+            let _ = writeln!(
+                s,
+                "health suspected={} died={} probation={} recovered={}",
+                fo.health.suspected, fo.health.died, fo.health.probations, fo.health.recovered,
+            );
+            let _ = writeln!(
+                s,
+                "invariants checks={} violations={}",
+                self.invariants.checks, self.invariants.violations,
+            );
+            for sv in &self.servers {
+                let c = &sv.failc;
+                let _ = writeln!(
+                    s,
+                    "srv{} fail={} rejoin={} evac={}/{} warp={} freeze={} stall={} jobs_failed={}",
+                    sv.id,
+                    c.failures,
+                    c.rejoins,
+                    c.evac_out,
+                    c.evac_in,
+                    c.evac_warp,
+                    c.evac_freeze,
+                    c.evac_stall,
+                    c.jobs_failed,
+                );
+            }
+            for sess in &self.sessions {
+                if sess.counters.failed_in_flight > 0 || sess.counters.evacuations > 0 {
+                    let _ = writeln!(
+                        s,
+                        "s{} fif={} evac={}",
+                        sess.id, sess.counters.failed_in_flight, sess.counters.evacuations,
+                    );
+                }
+            }
+        }
         s
     }
 }
@@ -579,6 +669,442 @@ fn handoff_plan(cfg: &FleetConfig, servers: usize) -> Vec<SessionHandoff> {
     plan
 }
 
+/// The failure plan in execution order: entries naming an unknown
+/// server or an instant outside `(0, max_virtual_secs)` are dropped; a
+/// rejoin instant that is not strictly inside `(at_secs,
+/// max_virtual_secs)` is treated as "never rejoins during the run".
+/// Sorted by `(at_secs, server)`.
+fn failure_plan(cfg: &FleetConfig, servers: usize) -> Vec<ServerFailure> {
+    let mut plan: Vec<ServerFailure> = cfg
+        .failures
+        .iter()
+        .copied()
+        .filter(|f| f.server < servers && f.at_secs > 0.0 && f.at_secs < cfg.max_virtual_secs)
+        .map(|mut f| {
+            f.rejoin_secs = f
+                .rejoin_secs
+                .filter(|&r| r > f.at_secs && r < cfg.max_virtual_secs);
+            f
+        })
+        .collect();
+    plan.sort_by(|a, b| {
+        a.at_secs
+            .total_cmp(&b.at_secs)
+            .then(a.server.cmp(&b.server))
+    });
+    plan
+}
+
+/// One barrier-instant operation. Within an instant, fail-stops execute
+/// first (they evacuate state other ops would touch), then rejoins,
+/// then planned handoffs — see [`BarrierOp::rank`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BarrierOp {
+    Fail { server: usize },
+    Rejoin { server: usize },
+    Handoff(SessionHandoff),
+}
+
+impl BarrierOp {
+    fn rank(&self) -> (u8, usize) {
+        match *self {
+            BarrierOp::Fail { server } => (0, server),
+            BarrierOp::Rejoin { server } => (1, server),
+            BarrierOp::Handoff(h) => (2, h.session),
+        }
+    }
+}
+
+/// One entry of the merged barrier schedule.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BarrierEntry {
+    pub(crate) at_secs: f64,
+    pub(crate) op: BarrierOp,
+}
+
+/// Merge the (already validated) handoff and failure plans into one
+/// schedule sorted by `(at_secs, op rank)` — the canonical execution
+/// order at every worker count.
+fn barrier_plan(handoffs: &[SessionHandoff], failures: &[ServerFailure]) -> Vec<BarrierEntry> {
+    let mut plan: Vec<BarrierEntry> = handoffs
+        .iter()
+        .map(|&h| BarrierEntry {
+            at_secs: h.at_secs,
+            op: BarrierOp::Handoff(h),
+        })
+        .collect();
+    for f in failures {
+        plan.push(BarrierEntry {
+            at_secs: f.at_secs,
+            op: BarrierOp::Fail { server: f.server },
+        });
+        if let Some(r) = f.rejoin_secs {
+            plan.push(BarrierEntry {
+                at_secs: r,
+                op: BarrierOp::Rejoin { server: f.server },
+            });
+        }
+    }
+    plan.sort_by(|a, b| {
+        a.at_secs
+            .total_cmp(&b.at_secs)
+            .then(a.op.rank().cmp(&b.op.rank()))
+    });
+    plan
+}
+
+/// What the orchestrator learns while executing the failure plan —
+/// everything the per-server partials cannot see (transfer outcomes are
+/// decided fleet-side, before any server is involved).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FailoverLog {
+    /// Fail-stop → landing latency, one per landed ticket.
+    pub(crate) latencies: Vec<f64>,
+    /// Transfer attempts beyond the first, summed.
+    pub(crate) retries: u64,
+    /// Tickets that burned the full deadline.
+    pub(crate) transfers_lost: usize,
+    /// Planned handoffs redirected or skipped on health/transit grounds.
+    pub(crate) redirected: usize,
+    /// Health transition totals (filled at assembly).
+    pub(crate) health: HealthCounters,
+}
+
+/// The orchestrator's view of the fleet. Serial (direct calls) and
+/// sharded (command channels) execution present the same interface, so
+/// the failover logic is written once and is bit-identical at every
+/// `--jobs` value.
+trait Shards {
+    fn run_until(&mut self, stop: SimTime);
+    fn extract(&mut self, server: usize, session: usize, at: SimTime) -> Vec<u8>;
+    fn install(&mut self, server: usize, from: usize, session: usize, at: SimTime, ticket: Vec<u8>);
+    /// Fail-stop `server`, returning its evacuation tickets ascending.
+    fn fail(&mut self, server: usize, at: SimTime) -> Vec<(usize, Vec<u8>)>;
+    fn rejoin(&mut self, server: usize, at: SimTime);
+    fn install_evac(
+        &mut self,
+        server: usize,
+        at: SimTime,
+        land: SimTime,
+        fail_at: SimTime,
+        readmit: bool,
+        ticket: Vec<u8>,
+    );
+}
+
+/// Fleet-side failover brain: session ownership, server liveness, the
+/// health prober, and in-transit evacuations. Runs on the orchestrating
+/// thread in both serial and sharded mode, so every placement decision
+/// is a pure function of the plan — never of worker timing.
+pub(crate) struct Orchestrator {
+    /// `owner[session]` = server currently responsible for it.
+    pub(crate) owner: Vec<usize>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) health: HealthTracker,
+    /// Sessions whose evacuation ticket is still in transit, by landing
+    /// instant (seconds).
+    pub(crate) arriving_until: BTreeMap<usize, f64>,
+    pub(crate) log: FailoverLog,
+    /// Next unexecuted barrier-plan entry (the checkpoint cursor).
+    pub(crate) idx: usize,
+}
+
+impl Orchestrator {
+    fn new(cfg: &FleetConfig, assignment: &[usize], servers: usize) -> Self {
+        Self {
+            owner: assignment.to_vec(),
+            alive: vec![true; servers],
+            health: HealthTracker::new(cfg.failover.health, servers),
+            arriving_until: BTreeMap::new(),
+            log: FailoverLog::default(),
+            idx: 0,
+        }
+    }
+
+    /// Servers a placement may target: alive and health-checked
+    /// `Healthy`. When the prober trusts nobody (a burst just suspected
+    /// every survivor), fall back to plain liveness — degraded-capacity
+    /// operation still beats dropping sessions.
+    fn eligible(&self) -> Vec<usize> {
+        let healthy: Vec<usize> = (0..self.alive.len())
+            .filter(|&s| self.alive[s] && self.health.machines()[s].placeable())
+            .collect();
+        if !healthy.is_empty() {
+            return healthy;
+        }
+        (0..self.alive.len()).filter(|&s| self.alive[s]).collect()
+    }
+
+    /// Current owner count per server (the load view placement reads).
+    fn loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.alive.len()];
+        for &o in &self.owner {
+            loads[o] += 1;
+        }
+        loads
+    }
+
+    /// Execute barrier-plan entries until the plan is exhausted or the
+    /// next barrier lands at or past `stop_before` (the checkpoint
+    /// cursor). Servers advance only to executed barriers.
+    fn run(
+        &mut self,
+        shards: &mut dyn Shards,
+        plan: &[BarrierEntry],
+        cfg: &FleetConfig,
+        failures: &[ServerFailure],
+        stop_before: Option<f64>,
+    ) {
+        while self.idx < plan.len() {
+            let barrier_secs = plan[self.idx].at_secs;
+            if stop_before.is_some_and(|s| barrier_secs >= s) {
+                return;
+            }
+            let barrier = SimTime::from_secs_f64(barrier_secs);
+            shards.run_until(barrier);
+            self.health.advance(barrier_secs, failures);
+            self.arriving_until.retain(|_, land| *land > barrier_secs);
+            while self.idx < plan.len() && plan[self.idx].at_secs == barrier_secs {
+                let op = plan[self.idx].op;
+                self.idx += 1;
+                match op {
+                    BarrierOp::Fail { server } => {
+                        self.fail_server(shards, cfg, server, barrier_secs, barrier);
+                    }
+                    BarrierOp::Rejoin { server } => {
+                        if !self.alive[server] {
+                            self.alive[server] = true;
+                            shards.rejoin(server, barrier);
+                        }
+                    }
+                    BarrierOp::Handoff(h) => self.handoff(shards, cfg, h, barrier),
+                }
+            }
+        }
+    }
+
+    /// Fail-stop one server and evacuate everything it held: each
+    /// ticket rides the retry/backoff transfer ([`plan_transfer`]) to a
+    /// health-checked target; a ticket that cannot land inside the
+    /// deadline still arrives — stalled, marked for cold re-admission.
+    fn fail_server(
+        &mut self,
+        shards: &mut dyn Shards,
+        cfg: &FleetConfig,
+        server: usize,
+        barrier_secs: f64,
+        barrier: SimTime,
+    ) {
+        if !self.alive[server] {
+            return; // failed twice before a rejoin — a no-op
+        }
+        self.alive[server] = false;
+        let tickets = shards.fail(server, barrier);
+        let eligible = self.eligible();
+        assert!(
+            !eligible.is_empty(),
+            "the whole fleet is down — nowhere to evacuate"
+        );
+        let mut loads = self.loads();
+        for (session, ticket) in tickets {
+            let xfer = plan_transfer(&cfg.failover, barrier_secs, session);
+            self.log.retries += u64::from(xfer.retries);
+            let target = place_evacuee(cfg.placement, &eligible, &loads, session, server);
+            let (land_secs, readmit) = match xfer.land_secs {
+                Some(l) => {
+                    self.log.latencies.push(l - barrier_secs);
+                    (l, false)
+                }
+                None => {
+                    self.log.transfers_lost += 1;
+                    (barrier_secs + cfg.failover.deadline_secs, true)
+                }
+            };
+            shards.install_evac(
+                target,
+                barrier,
+                SimTime::from_secs_f64(land_secs),
+                barrier,
+                readmit,
+                ticket,
+            );
+            loads[self.owner[session]] -= 1;
+            loads[target] += 1;
+            self.owner[session] = target;
+            self.arriving_until.insert(session, land_secs);
+        }
+    }
+
+    /// Execute one planned handoff, health-checked: a session still in
+    /// evacuation transit is skipped (its placement already re-homed
+    /// it), and a suspect/dead destination is redirected to a healthy
+    /// server by the same deterministic placement the evacuees use.
+    fn handoff(
+        &mut self,
+        shards: &mut dyn Shards,
+        cfg: &FleetConfig,
+        h: SessionHandoff,
+        barrier: SimTime,
+    ) {
+        if self.arriving_until.contains_key(&h.session) {
+            self.log.redirected += 1;
+            return;
+        }
+        let from = self.owner[h.session];
+        let mut to = h.to;
+        if !self.alive[to] || !self.health.machines()[to].placeable() {
+            let eligible = self.eligible();
+            let loads = self.loads();
+            to = place_evacuee(cfg.placement, &eligible, &loads, h.session, to);
+            self.log.redirected += 1;
+        }
+        if from == to {
+            return;
+        }
+        let ticket = shards.extract(from, h.session, barrier);
+        shards.install(to, from, h.session, barrier, ticket);
+        self.owner[h.session] = to;
+    }
+}
+
+/// Direct-call shards for serial execution (and every observed run).
+struct SerialShards<'sims, 'sim, 'slot, 'obs> {
+    sims: &'sims mut [ServerSim<'sim>],
+    obs: &'slot mut Option<&'obs mut Obs>,
+    fm: Option<FleetMetrics>,
+}
+
+impl Shards for SerialShards<'_, '_, '_, '_> {
+    fn run_until(&mut self, stop: SimTime) {
+        for sim in self.sims.iter_mut() {
+            sim.run_until(stop, self.obs);
+        }
+    }
+
+    fn extract(&mut self, server: usize, session: usize, at: SimTime) -> Vec<u8> {
+        self.sims[server].extract_session(session, at, self.obs)
+    }
+
+    fn install(
+        &mut self,
+        server: usize,
+        from: usize,
+        session: usize,
+        at: SimTime,
+        ticket: Vec<u8>,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.event(
+                "handoff",
+                session as u64,
+                at.0,
+                &[
+                    ("from", FieldValue::U64(from as u64)),
+                    ("to", FieldValue::U64(server as u64)),
+                    ("bytes", FieldValue::U64(ticket.len() as u64)),
+                ],
+            );
+        }
+        self.sims[server].install_ticket(&ticket, at, self.obs);
+        if let Some(m) = &self.fm {
+            m.handoffs.inc();
+        }
+    }
+
+    fn fail(&mut self, server: usize, at: SimTime) -> Vec<(usize, Vec<u8>)> {
+        self.sims[server].fail(at, self.obs)
+    }
+
+    fn rejoin(&mut self, server: usize, at: SimTime) {
+        self.sims[server].rejoin(at, self.obs);
+    }
+
+    fn install_evac(
+        &mut self,
+        server: usize,
+        at: SimTime,
+        land: SimTime,
+        fail_at: SimTime,
+        readmit: bool,
+        ticket: Vec<u8>,
+    ) {
+        self.sims[server].install_evacuation(&ticket, at, land, fail_at, readmit, self.obs);
+    }
+}
+
+/// Channel-backed shards for sharded execution. Per-worker FIFO is the
+/// only ordering the protocol needs: a worker always reaches a barrier
+/// (`RunUntil`) before any op command issued at it.
+struct ShardedShards<'a> {
+    cmd_txs: &'a [mpsc::Sender<ShardCmd>],
+    reply_rxs: &'a [mpsc::Receiver<ShardReply>],
+    worker_of: &'a [usize],
+}
+
+impl Shards for ShardedShards<'_> {
+    fn run_until(&mut self, stop: SimTime) {
+        for tx in self.cmd_txs {
+            let _ = tx.send(ShardCmd::RunUntil(stop));
+        }
+    }
+
+    fn extract(&mut self, server: usize, session: usize, at: SimTime) -> Vec<u8> {
+        let j = self.worker_of[server];
+        let _ = self.cmd_txs[j].send(ShardCmd::Extract {
+            server,
+            session,
+            at,
+        });
+        match self.reply_rxs[j].recv() {
+            Ok(ShardReply::Ticket(t)) => t,
+            _ => unreachable!("shard worker died mid-handoff"),
+        }
+    }
+
+    fn install(
+        &mut self,
+        server: usize,
+        _from: usize,
+        _session: usize,
+        at: SimTime,
+        ticket: Vec<u8>,
+    ) {
+        let _ = self.cmd_txs[self.worker_of[server]].send(ShardCmd::Install { server, at, ticket });
+    }
+
+    fn fail(&mut self, server: usize, at: SimTime) -> Vec<(usize, Vec<u8>)> {
+        let j = self.worker_of[server];
+        let _ = self.cmd_txs[j].send(ShardCmd::Fail { server, at });
+        match self.reply_rxs[j].recv() {
+            Ok(ShardReply::Evacuated(t)) => t,
+            _ => unreachable!("shard worker died mid-failover"),
+        }
+    }
+
+    fn rejoin(&mut self, server: usize, at: SimTime) {
+        let _ = self.cmd_txs[self.worker_of[server]].send(ShardCmd::Rejoin { server, at });
+    }
+
+    fn install_evac(
+        &mut self,
+        server: usize,
+        at: SimTime,
+        land: SimTime,
+        fail_at: SimTime,
+        readmit: bool,
+        ticket: Vec<u8>,
+    ) {
+        let _ = self.cmd_txs[self.worker_of[server]].send(ShardCmd::InstallEvac {
+            server,
+            at,
+            land,
+            fail_at,
+            readmit,
+            ticket,
+        });
+    }
+}
+
 /// Run one fleet to completion. Deterministic: the same `(cfg, trace)`
 /// always yields a byte-identical [`FleetResult::digest`], at any
 /// tensor worker count and any server count × worker partition.
@@ -612,19 +1138,21 @@ pub fn run_fleet_obs(
         .map(|id| ClientClass::of(id).weight())
         .collect();
     let assignment = place_sessions(cfg.placement, servers, &weights);
-    let plan = handoff_plan(cfg, servers);
+    let failures = failure_plan(cfg, servers);
+    let plan = barrier_plan(&handoff_plan(cfg, servers), &failures);
     let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
 
     let workers = nerve_tensor::par::workers().min(servers);
     let threaded = workers > 1 && servers > 1 && obs.is_none() && !nerve_tensor::par::in_pool();
 
-    let partials = if threaded {
+    let (partials, orch) = if threaded {
         run_sharded(
             cfg,
             trace,
             &maps,
             &assignment,
             &plan,
+            &failures,
             hard_stop,
             servers,
             workers,
@@ -636,12 +1164,149 @@ pub fn run_fleet_obs(
             &maps,
             &assignment,
             &plan,
+            &failures,
             hard_stop,
             servers,
             &mut obs,
         )
     };
-    assemble(cfg, &maps, partials, obs)
+    assemble(cfg, &maps, partials, orch, &failures, obs)
+}
+
+/// Quiesce a (serial) fleet run at virtual instant `at_secs` and
+/// serialize the whole fleet — every server plus the failover
+/// orchestrator — into a sealed `NRVF` frame ([`crate::ckpt`]).
+///
+/// The run executes barrier-plan entries strictly *before* `at_secs`,
+/// then drives every server exactly to `at_secs`. Feeding the frame to
+/// [`resume_fleet`] with the same config and trace yields a
+/// [`FleetResult`] whose digest is byte-identical to the uninterrupted
+/// [`run_fleet`] — including mid-evacuation checkpoints with tickets
+/// still in transit.
+pub fn checkpoint_fleet(cfg: &FleetConfig, trace: &NetworkTrace, at_secs: f64) -> Vec<u8> {
+    assert!(cfg.sessions > 0, "fleet needs at least one session");
+    assert!(
+        at_secs > 0.0 && at_secs < cfg.max_virtual_secs,
+        "checkpoint instant must fall inside the run"
+    );
+    let servers = cfg.servers.max(1);
+    let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+    let weights: Vec<f64> = (0..cfg.sessions)
+        .map(|id| ClientClass::of(id).weight())
+        .collect();
+    let assignment = place_sessions(cfg.placement, servers, &weights);
+    let failures = failure_plan(cfg, servers);
+    let plan = barrier_plan(&handoff_plan(cfg, servers), &failures);
+    let at = SimTime::from_secs_f64(at_secs);
+
+    let mut sims: Vec<ServerSim> = (0..servers)
+        .map(|sid| ServerSim::new(sid, cfg, trace, &maps, None, None))
+        .collect();
+    for (id, &srv) in assignment.iter().enumerate() {
+        sims[srv].spawn_session(id);
+    }
+    let mut orch = Orchestrator::new(cfg, &assignment, servers);
+    let mut obs: Option<&mut Obs> = None;
+    {
+        let mut shards = SerialShards {
+            sims: &mut sims,
+            obs: &mut obs,
+            fm: None,
+        };
+        orch.run(&mut shards, &plan, cfg, &failures, Some(at_secs));
+    }
+    for sim in sims.iter_mut() {
+        sim.run_until(at, &mut obs);
+    }
+    crate::ckpt::encode(&FleetCkpt {
+        at,
+        idx: orch.idx,
+        owner: orch.owner,
+        alive: orch.alive,
+        arriving_until: orch.arriving_until.into_iter().collect(),
+        latencies: orch.log.latencies,
+        retries: orch.log.retries,
+        transfers_lost: orch.log.transfers_lost,
+        redirected: orch.log.redirected,
+        health_fed: orch.health.fed(),
+        health: orch
+            .health
+            .machines()
+            .iter()
+            .map(|m| (m.state().code(), m.streak(), m.counters()))
+            .collect(),
+        servers: sims.iter().map(ServerSim::checkpoint_state).collect(),
+    })
+}
+
+/// Resume a [`checkpoint_fleet`] frame to completion. `cfg` and `trace`
+/// must match the checkpointing run — the frame carries only mutable
+/// state, and a frame whose shape disagrees with `cfg` is refused.
+pub fn resume_fleet(
+    cfg: &FleetConfig,
+    trace: &NetworkTrace,
+    frame: &[u8],
+) -> Result<FleetResult, CkptError> {
+    let fc = crate::ckpt::decode(frame)?;
+    let servers = cfg.servers.max(1);
+    if fc.servers.len() != servers
+        || fc.owner.len() != cfg.sessions
+        || fc.alive.len() != servers
+        || fc.health.len() != servers
+    {
+        return Err(CkptError::BadValue);
+    }
+    let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+    let failures = failure_plan(cfg, servers);
+    let plan = barrier_plan(&handoff_plan(cfg, servers), &failures);
+    let hard_stop = SimTime::from_secs_f64(cfg.max_virtual_secs);
+
+    // Fresh servers, no spawn_session: restore_state rebuilds residency
+    // (and derived state) from the checkpoint tickets.
+    let mut sims: Vec<ServerSim> = (0..servers)
+        .map(|sid| ServerSim::new(sid, cfg, trace, &maps, None, None))
+        .collect();
+    for (sim, sc) in sims.iter_mut().zip(fc.servers) {
+        sim.restore_state(sc);
+    }
+
+    let mut health = HealthTracker::new(cfg.failover.health, servers);
+    health.set_fed(fc.health_fed);
+    for (m, &(code, streak, counters)) in health.machines_mut().iter_mut().zip(&fc.health) {
+        let state = HealthState::from_code(code).ok_or(CkptError::BadValue)?;
+        *m = ServerHealth::restore(cfg.failover.health, state, streak, counters);
+    }
+    let mut orch = Orchestrator {
+        owner: fc.owner,
+        alive: fc.alive,
+        health,
+        arriving_until: fc.arriving_until.into_iter().collect(),
+        log: FailoverLog {
+            latencies: fc.latencies,
+            retries: fc.retries,
+            transfers_lost: fc.transfers_lost,
+            redirected: fc.redirected,
+            health: HealthCounters::default(),
+        },
+        idx: fc.idx,
+    };
+    let mut obs: Option<&mut Obs> = None;
+    {
+        let mut shards = SerialShards {
+            sims: &mut sims,
+            obs: &mut obs,
+            fm: None,
+        };
+        orch.run(&mut shards, &plan, cfg, &failures, None);
+    }
+    let partials = sims
+        .iter_mut()
+        .map(|sim| {
+            sim.run_until(hard_stop, &mut obs);
+            sim.finish(hard_stop, &mut obs)
+        })
+        .collect();
+    Ok(assemble(cfg, &maps, partials, orch, &failures, None))
 }
 
 /// Drive every server on this thread, interleaving at handoff barriers.
@@ -651,11 +1316,12 @@ fn run_serial(
     trace: &NetworkTrace,
     maps: &QualityMaps,
     assignment: &[usize],
-    plan: &[SessionHandoff],
+    plan: &[BarrierEntry],
+    failures: &[ServerFailure],
     hard_stop: SimTime,
     servers: usize,
     obs: &mut Option<&mut Obs>,
-) -> Vec<ServerPartial> {
+) -> (Vec<ServerPartial>, Orchestrator) {
     let fm = obs.as_deref().map(|o| FleetMetrics::bind(&o.registry));
     let mut sims: Vec<ServerSim> = (0..servers)
         .map(|sid| {
@@ -673,47 +1339,23 @@ fn run_serial(
         sims[srv].spawn_session(id);
     }
 
-    let mut owner = assignment.to_vec();
-    let mut i = 0;
-    while i < plan.len() {
-        let barrier_secs = plan[i].at_secs;
-        let barrier = SimTime::from_secs_f64(barrier_secs);
-        for sim in sims.iter_mut() {
-            sim.run_until(barrier, obs);
-        }
-        while i < plan.len() && plan[i].at_secs == barrier_secs {
-            let h = plan[i];
-            i += 1;
-            let from = owner[h.session];
-            if from == h.to {
-                continue;
-            }
-            let ticket = sims[from].extract_session(h.session, barrier, obs);
-            if let Some(o) = obs.as_deref_mut() {
-                o.event(
-                    "handoff",
-                    h.session as u64,
-                    barrier.0,
-                    &[
-                        ("from", FieldValue::U64(from as u64)),
-                        ("to", FieldValue::U64(h.to as u64)),
-                        ("bytes", FieldValue::U64(ticket.len() as u64)),
-                    ],
-                );
-            }
-            sims[h.to].install_ticket(&ticket, barrier, obs);
-            owner[h.session] = h.to;
-            if let Some(m) = &fm {
-                m.handoffs.inc();
-            }
-        }
+    let mut orch = Orchestrator::new(cfg, assignment, servers);
+    {
+        let mut shards = SerialShards {
+            sims: &mut sims,
+            obs,
+            fm,
+        };
+        orch.run(&mut shards, plan, cfg, failures, None);
     }
-    sims.iter_mut()
+    let partials = sims
+        .iter_mut()
         .map(|sim| {
             sim.run_until(hard_stop, obs);
             sim.finish(hard_stop, obs)
         })
-        .collect()
+        .collect();
+    (partials, orch)
 }
 
 /// A command to one shard worker. Channels are FIFO per worker, which is
@@ -732,11 +1374,28 @@ enum ShardCmd {
         at: SimTime,
         ticket: Vec<u8>,
     },
+    Fail {
+        server: usize,
+        at: SimTime,
+    },
+    Rejoin {
+        server: usize,
+        at: SimTime,
+    },
+    InstallEvac {
+        server: usize,
+        at: SimTime,
+        land: SimTime,
+        fail_at: SimTime,
+        readmit: bool,
+        ticket: Vec<u8>,
+    },
     Finish(SimTime),
 }
 
 enum ShardReply {
     Ticket(Vec<u8>),
+    Evacuated(Vec<(usize, Vec<u8>)>),
     Done(Vec<ServerPartial>),
 }
 
@@ -754,11 +1413,12 @@ fn run_sharded(
     trace: &NetworkTrace,
     maps: &QualityMaps,
     assignment: &[usize],
-    plan: &[SessionHandoff],
+    plan: &[BarrierEntry],
+    failures: &[ServerFailure],
     hard_stop: SimTime,
     servers: usize,
     workers: usize,
-) -> Vec<ServerPartial> {
+) -> (Vec<ServerPartial>, Orchestrator) {
     // Worker k owns the contiguous server block [k·S/W, (k+1)·S/W).
     let mut worker_of = vec![0usize; servers];
     for k in 0..workers {
@@ -816,6 +1476,30 @@ fn run_sharded(
                                 .expect("install routed to wrong shard")
                                 .install_ticket(&ticket, at, &mut obs);
                         }
+                        ShardCmd::Fail { server, at } => {
+                            let t = sims
+                                .get_mut(&server)
+                                .expect("fail routed to wrong shard")
+                                .fail(at, &mut obs);
+                            let _ = reply_tx.send(ShardReply::Evacuated(t));
+                        }
+                        ShardCmd::Rejoin { server, at } => {
+                            sims.get_mut(&server)
+                                .expect("rejoin routed to wrong shard")
+                                .rejoin(at, &mut obs);
+                        }
+                        ShardCmd::InstallEvac {
+                            server,
+                            at,
+                            land,
+                            fail_at,
+                            readmit,
+                            ticket,
+                        } => {
+                            sims.get_mut(&server)
+                                .expect("evac routed to wrong shard")
+                                .install_evacuation(&ticket, at, land, fail_at, readmit, &mut obs);
+                        }
                         ShardCmd::Finish(stop) => {
                             let partials = sims
                                 .values_mut()
@@ -832,38 +1516,14 @@ fn run_sharded(
             });
         }
 
-        let mut owner = assignment.to_vec();
-        let mut i = 0;
-        while i < plan.len() {
-            let barrier_secs = plan[i].at_secs;
-            let barrier = SimTime::from_secs_f64(barrier_secs);
-            for tx in &cmd_txs {
-                let _ = tx.send(ShardCmd::RunUntil(barrier));
-            }
-            while i < plan.len() && plan[i].at_secs == barrier_secs {
-                let h = plan[i];
-                i += 1;
-                let from = owner[h.session];
-                if from == h.to {
-                    continue;
-                }
-                let jw = worker_of[from];
-                let _ = cmd_txs[jw].send(ShardCmd::Extract {
-                    server: from,
-                    session: h.session,
-                    at: barrier,
-                });
-                let ticket = match reply_rxs[jw].recv() {
-                    Ok(ShardReply::Ticket(t)) => t,
-                    _ => unreachable!("shard worker died mid-handoff"),
-                };
-                let _ = cmd_txs[worker_of[h.to]].send(ShardCmd::Install {
-                    server: h.to,
-                    at: barrier,
-                    ticket,
-                });
-                owner[h.session] = h.to;
-            }
+        let mut orch = Orchestrator::new(cfg, assignment, servers);
+        {
+            let mut shards = ShardedShards {
+                cmd_txs: &cmd_txs,
+                reply_rxs: &reply_rxs,
+                worker_of: &worker_of,
+            };
+            orch.run(&mut shards, plan, cfg, failures, None);
         }
         for tx in &cmd_txs {
             let _ = tx.send(ShardCmd::Finish(hard_stop));
@@ -875,7 +1535,7 @@ fn run_sharded(
                 _ => unreachable!("shard worker died before finishing"),
             }
         }
-        partials
+        (partials, orch)
     })
 }
 
@@ -885,9 +1545,12 @@ fn assemble(
     cfg: &FleetConfig,
     maps: &QualityMaps,
     mut partials: Vec<ServerPartial>,
+    mut orch: Orchestrator,
+    failures: &[ServerFailure],
     obs: Option<&mut Obs>,
 ) -> FleetResult {
     partials.sort_by_key(|p| p.id);
+    let mut invariants = InvariantReport::default();
 
     let mut server_summaries = Vec::with_capacity(partials.len());
     let mut dones: Vec<SessionDone> = Vec::with_capacity(cfg.sessions);
@@ -910,6 +1573,7 @@ fn assemble(
         events += p.events;
         virtual_secs = virtual_secs.max(p.virtual_secs);
         slacks.extend(p.slacks.iter().copied());
+        invariants.absorb(p.inv);
         server_summaries.push(ServerSummary {
             id: p.id,
             sessions: p.sessions.len(),
@@ -923,10 +1587,26 @@ fn assemble(
             batcher: p.batcher.clone(),
             virtual_secs: p.virtual_secs,
             cache: p.cache,
+            failc: p.failc,
         });
         dones.append(&mut p.sessions);
     }
     dones.sort_by_key(|d| d.id);
+    // Fleet-wide session conservation: whatever failed, flapped, or was
+    // mid-transfer when the clock stopped, every spawned session must
+    // surface exactly once at assembly.
+    invariants.checks += 1;
+    let conserved =
+        dones.len() == cfg.sessions && dones.iter().enumerate().all(|(i, d)| d.id == i);
+    if !conserved {
+        invariants.violations += 1;
+        debug_assert!(
+            conserved,
+            "session conservation violated: {} of {} sessions surfaced",
+            dones.len(),
+            cfg.sessions
+        );
+    }
 
     let summaries: Vec<SessionSummary> = dones
         .into_iter()
@@ -1033,6 +1713,59 @@ fn assemble(
         };
         m
     });
+    // Per-session accounting identity — the widened form that charges
+    // in-flight drops: jobs == full + degraded + sr_skipped +
+    // failed_in_flight (legacy runs hold it with failed_in_flight = 0).
+    for s in &summaries {
+        invariants.checks += 1;
+        let ok = s.counters.jobs
+            == s.counters.full
+                + s.counters.degraded
+                + s.counters.sr_skipped
+                + s.counters.failed_in_flight;
+        if !ok {
+            invariants.violations += 1;
+            debug_assert!(ok, "job accounting identity violated for session {}", s.id);
+        }
+    }
+    let failover = if failures.is_empty() {
+        None
+    } else {
+        // Run the prober over the tail of the run (past the last
+        // barrier) so late dead declarations and probations count.
+        orch.health.advance(cfg.max_virtual_secs, failures);
+        orch.log.health = orch.health.totals();
+        let log = &orch.log;
+        let mut fo = FailoverStats {
+            retries: log.retries,
+            lost_transfers: log.transfers_lost,
+            redirected_handoffs: log.redirected,
+            landed: log.latencies.len(),
+            latency_p50_secs: percentile_nearest_rank(&log.latencies, 50.0),
+            latency_p95_secs: percentile_nearest_rank(&log.latencies, 95.0),
+            health: log.health,
+            ..FailoverStats::default()
+        };
+        for sv in &server_summaries {
+            fo.server_failures += sv.failc.failures;
+            fo.rejoins += sv.failc.rejoins;
+            fo.evacuated += sv.failc.evac_out;
+            fo.warp += sv.failc.evac_warp;
+            fo.freeze += sv.failc.evac_freeze;
+            fo.stall += sv.failc.evac_stall;
+            fo.jobs_failed_in_flight += sv.failc.jobs_failed;
+        }
+        for s in &summaries {
+            if s.counters.evacuations > 0 {
+                if s.rejected {
+                    fo.sessions_lost += 1;
+                } else {
+                    fo.sessions_recovered += 1;
+                }
+            }
+        }
+        Some(fo)
+    };
     let result = FleetResult {
         mean_qoe,
         fairness: jain_fairness(&utilities),
@@ -1052,6 +1785,8 @@ fn assemble(
         handoffs,
         events,
         model,
+        failover,
+        invariants,
         sessions: summaries,
         servers: server_summaries,
     };
@@ -1089,6 +1824,25 @@ fn assemble(
                 .set(m.specialist_sessions as f64);
             g.gauge("model.sessions.generic")
                 .set(m.generic_sessions as f64);
+        }
+        if let Some(fo) = &result.failover {
+            g.gauge("failover.evacuated").set(fo.evacuated as f64);
+            g.gauge("failover.landed").set(fo.landed as f64);
+            g.gauge("failover.lost_transfers")
+                .set(fo.lost_transfers as f64);
+            g.gauge("failover.latency_p50_secs").set(fo.latency_p50_secs);
+            g.gauge("failover.latency_p95_secs").set(fo.latency_p95_secs);
+            g.gauge("failover.sessions_recovered")
+                .set(fo.sessions_recovered as f64);
+            g.gauge("failover.sessions_lost").set(fo.sessions_lost as f64);
+            g.counter("failover.retries").add(fo.retries);
+            g.counter("failover.health.suspected")
+                .add(fo.health.suspected);
+            g.counter("failover.health.died").add(fo.health.died);
+            g.counter("failover.health.probations")
+                .add(fo.health.probations);
+            g.counter("failover.health.recovered")
+                .add(fo.health.recovered);
         }
         for sv in &result.servers {
             g.counter(&format!("fleet.server.{}.events", sv.id))
@@ -1727,6 +2481,177 @@ mod tests {
         assert_eq!(
             lifted, compared,
             "every full-served specialist session must beat its control"
+        );
+    }
+
+    /// The canonical failure-domain scenario: 4 servers, server 1
+    /// fail-stops for good mid-run, server 2 flaps (dies later, rejoins
+    /// and walks probation).
+    fn failure_cfg(sessions: usize, seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::small(sessions, seed);
+        cfg.servers = 4;
+        cfg.failures = vec![
+            ServerFailure {
+                server: 1,
+                at_secs: 4.0,
+                rejoin_secs: None,
+            },
+            ServerFailure {
+                server: 2,
+                at_secs: 5.0,
+                rejoin_secs: Some(7.0),
+            },
+        ];
+        cfg
+    }
+
+    /// Failure-domain acceptance: an unplanned fail-stop plus a flap
+    /// stay digest-identical at any worker count, conserve every
+    /// session, and pass the fleet invariant checker after every event.
+    #[test]
+    fn failover_digest_is_jobs_invariant_and_conserves_sessions() {
+        let cfg = failure_cfg(8, 41);
+        let tr = trace(41);
+        let mut digests = Vec::new();
+        for jobs in [1, 2, 4] {
+            par::set_workers(jobs);
+            let r = run_fleet(&cfg, &tr);
+            let fo = r.failover.as_ref().expect("failure plan must report");
+            assert_eq!(fo.server_failures, 2);
+            assert_eq!(fo.rejoins, 1);
+            assert!(fo.evacuated > 0, "the dead servers held sessions");
+            assert_eq!(
+                fo.landed + fo.lost_transfers,
+                fo.evacuated,
+                "every evacuation ticket lands or is declared lost"
+            );
+            assert_eq!(r.sessions.len(), cfg.sessions, "session conservation");
+            assert_eq!(
+                r.invariants.violations, 0,
+                "zero invariant violations over {} checks",
+                r.invariants.checks
+            );
+            assert!(r.invariants.checks > 0, "the checker must actually run");
+            digests.push(r.digest());
+        }
+        par::set_workers(1);
+        assert_eq!(digests[0], digests[1], "1 vs 2 workers");
+        assert_eq!(digests[1], digests[2], "2 vs 4 workers");
+    }
+
+    /// A fail-stop drops in-flight batcher jobs; they are charged as
+    /// `failed_in_flight`, never silently settled, and the per-session
+    /// accounting identity widens to absorb them exactly.
+    #[test]
+    fn failover_widens_accounting_identity_without_silent_loss() {
+        let cfg = failure_cfg(8, 43);
+        let r = run_fleet(&cfg, &trace(43));
+        let fo = r.failover.as_ref().expect("failure plan must report");
+        let evacs: usize = r.sessions.iter().map(|s| s.counters.evacuations).sum();
+        assert!(evacs > 0, "evacuations must be session-visible");
+        for s in r.sessions.iter().filter(|s| !s.rejected) {
+            assert_eq!(
+                s.counters.jobs,
+                s.counters.full
+                    + s.counters.degraded
+                    + s.counters.sr_skipped
+                    + s.counters.failed_in_flight,
+                "widened identity must hold for session {}",
+                s.id
+            );
+        }
+        assert_eq!(
+            fo.jobs_failed_in_flight,
+            r.sessions
+                .iter()
+                .map(|s| s.counters.failed_in_flight)
+                .sum::<usize>(),
+            "fleet failed-in-flight total must match the session sum"
+        );
+        assert_eq!(
+            fo.sessions_recovered + fo.sessions_lost,
+            r.sessions
+                .iter()
+                .filter(|s| s.counters.evacuations > 0)
+                .count(),
+            "every evacuated session is exactly recovered or lost"
+        );
+    }
+
+    /// Sever the inter-server control link entirely: every transfer
+    /// burns its retries and deadline, arrives stalled, and re-enters
+    /// through normal admission — degraded-capacity operation, with
+    /// nothing unaccounted.
+    #[test]
+    fn severed_control_link_burns_deadline_stalls_and_readmits() {
+        let mut cfg = failure_cfg(8, 47);
+        cfg.failover.ctl_faults = FaultPlan::new(1).downlink_loss(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1e6),
+            1.0,
+        );
+        let r = run_fleet(&cfg, &trace(47));
+        let fo = r.failover.as_ref().expect("failure plan must report");
+        assert_eq!(fo.landed, 0, "no ticket can cross a severed link");
+        assert_eq!(fo.lost_transfers, fo.evacuated);
+        assert!(
+            fo.retries >= 4 * fo.evacuated as u64,
+            "every ticket must exhaust its retry budget"
+        );
+        assert!(fo.stall > 0, "a lost ticket arrives stalled");
+        assert_eq!(r.sessions.len(), cfg.sessions, "session conservation");
+        assert_eq!(r.invariants.violations, 0);
+        assert_eq!(
+            fo.sessions_recovered + fo.sessions_lost,
+            r.sessions
+                .iter()
+                .filter(|s| s.counters.evacuations > 0)
+                .count()
+        );
+    }
+
+    /// The health prober walks the full breaker cycle on a flap:
+    /// Healthy → Suspect → Dead while down, then Probation (half-open)
+    /// → Healthy after the rejoin.
+    #[test]
+    fn flapping_server_walks_suspect_dead_probation_healthy() {
+        let cfg = failure_cfg(8, 53);
+        let r = run_fleet(&cfg, &trace(53));
+        let h = r.failover.as_ref().expect("failure plan must report").health;
+        assert!(h.suspected >= 2, "both downed servers get suspected");
+        assert!(h.died >= 2, "both stay down past the dead threshold");
+        assert!(
+            h.probations >= 1,
+            "the rejoining server goes through half-open probation"
+        );
+        assert!(h.recovered >= 1, "and returns to Healthy");
+    }
+
+    /// Kill-and-resume: a fleet checkpointed before the failure, *mid
+    /// evacuation* (tickets in transit, 4.0 < t < first landing), and
+    /// after the flap resumes to a byte-identical digest; a frame whose
+    /// shape disagrees with the config is refused, not misapplied.
+    #[test]
+    fn checkpoint_resume_mid_evacuation_is_byte_identical() {
+        let cfg = failure_cfg(8, 59);
+        let tr = trace(59);
+        par::set_workers(1);
+        let straight = run_fleet(&cfg, &tr).digest();
+        for at in [2.0, 4.02, 6.5] {
+            let frame = checkpoint_fleet(&cfg, &tr, at);
+            let resumed = resume_fleet(&cfg, &tr, &frame).expect("frame must decode");
+            assert_eq!(
+                resumed.digest(),
+                straight,
+                "resume from t={at} must replay byte-identically"
+            );
+        }
+        let frame = checkpoint_fleet(&cfg, &tr, 2.0);
+        let mut other = cfg.clone();
+        other.sessions = 7;
+        assert!(
+            matches!(resume_fleet(&other, &tr, &frame), Err(CkptError::BadValue)),
+            "a mismatched config must refuse the frame"
         );
     }
 }

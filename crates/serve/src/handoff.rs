@@ -30,8 +30,10 @@ use std::fmt;
 pub const TICKET_MAGIC: u32 = 0x4E52_5654;
 
 /// Bump on any wire-format change. Version 2 added the model-plane
-/// block (head assignment, classifier confidence, delta-update cursor).
-pub const TICKET_VERSION: u16 = 2;
+/// block (head assignment, classifier confidence, delta-update cursor);
+/// version 3 added the failure-domain counters (`failed_in_flight`,
+/// `evacuations`).
+pub const TICKET_VERSION: u16 = 3;
 
 /// Why a ticket was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +120,8 @@ pub(crate) fn encode_session(id: usize, s: &SessionState) -> Vec<u8> {
     w.usize(s.counters.sr_skipped);
     w.usize(s.counters.freezes);
     w.usize(s.counters.crashes);
+    w.usize(s.counters.failed_in_flight);
+    w.usize(s.counters.evacuations);
     w.f32(s.checksum);
     w.f64(s.rebuffer_total);
     w.usize(s.ctx.last_choice);
@@ -212,6 +216,8 @@ pub(crate) fn decode_session(
         sr_skipped: r.usize()?,
         freezes: r.usize()?,
         crashes: r.usize()?,
+        failed_in_flight: r.usize()?,
+        evacuations: r.usize()?,
     };
     let checksum = r.f32()?;
     let rebuffer_total = r.f64()?;
@@ -303,6 +309,100 @@ pub(crate) fn decode_session(
             model,
         },
     ))
+}
+
+/// Build a deterministic *dirty* mid-run ticket for session `id`: the
+/// fuzz corpus seed. `salt` perturbs every dynamic field so mutation
+/// fuzzing explores many wire shapes (phase variants, vector lengths,
+/// model block presence) without touching the simulator.
+pub fn sample_ticket(cfg: &FleetConfig, maps: &QualityMaps, id: usize, salt: u64) -> Vec<u8> {
+    use nerve_net::clock::SimTime;
+    use nerve_net::loss::LossModel;
+
+    let mut s = SessionState::fresh(cfg, maps, id);
+    s.admitted = salt % 3 != 0;
+    s.rejected = salt % 17 == 0;
+    if salt % 4 == 1 {
+        s.cap = Some((salt % cfg.ladder_kbps.len() as u64) as usize);
+    }
+    s.chunk_idx = (salt % 5) as usize;
+    s.chain = (salt % 7) as usize;
+    s.rung_sum = (salt % 11) as usize;
+    s.counters.jobs = (salt % 97) as usize;
+    s.counters.full = s.counters.jobs / 2;
+    s.counters.degraded = s.counters.jobs / 4;
+    s.counters.sr_skipped = s.counters.jobs - s.counters.full - s.counters.degraded;
+    s.counters.freezes = (salt % 5) as usize;
+    s.counters.crashes = (salt % 3) as usize;
+    s.counters.failed_in_flight = (salt % 4) as usize;
+    s.counters.evacuations = (salt % 2) as usize;
+    s.checksum = (salt % 1000) as f32 / 8.0;
+    s.rebuffer_total = (salt % 100) as f64 / 16.0;
+    s.buffer_secs = (salt % 64) as f64 / 8.0;
+    s.buffer_asof = SimTime::from_secs_f64((salt % 900) as f64 / 100.0);
+    s.ctx.last_choice = (salt % cfg.ladder_kbps.len() as u64) as usize;
+    s.ctx.buffer_secs = s.buffer_secs;
+    for k in 0..(salt % 6) {
+        s.ctx.throughput_kbps.push(500.0 + (salt ^ k) as f64 % 4000.0);
+        s.ctx.loss_rates.push(((salt >> 3) ^ k) as f64 % 97.0 / 970.0);
+    }
+    if !s.chunks.is_empty() {
+        s.chunks[0] = ChunkAcc {
+            started: true,
+            rung: (salt % 4) as usize,
+            frames: 30,
+            resolved: (salt % 31) as usize,
+            psnr_sum: 33.0 * (salt % 31) as f64,
+            rebuffer_secs: (salt % 10) as f64 / 20.0,
+        };
+    }
+    match salt % 3 {
+        0 => s.phase = Phase::Waiting {
+            until: SimTime::from_secs_f64((salt % 120) as f64 / 10.0),
+        },
+        1 => {
+            s.phase = Phase::Downloading {
+                rung: (salt % 4) as usize,
+                bytes_left: (salt % 500_000) as f64,
+                bytes_total: 600_000.0,
+                started: SimTime::from_secs_f64((salt % 110) as f64 / 10.0),
+                buffer_at_start: s.buffer_secs,
+            };
+        }
+        _ => s.phase = Phase::Done,
+    }
+    for _ in 0..(salt % 40) {
+        s.loss.lose();
+    }
+    if salt % 6 == 2 {
+        s.crashes = vec![((salt % 20) as f64, 1.0 + (salt % 4) as f64 / 4.0)];
+    }
+    if salt % 2 == 0 {
+        s.model = Some(SessionModel {
+            head: (salt % 6) as u8,
+            confidence: (salt % 100) as f64 / 100.0,
+            category: (salt % 5) as u8,
+            version: (salt % 3) as u32,
+            applied: (salt % 7) as usize,
+            rejected: (salt % 2) as usize,
+        });
+    }
+    encode_session(id, &s)
+}
+
+/// The install-side acceptance check, exposed for mutation fuzzing:
+/// decode the ticket and re-encode the decoded session. `Ok` returns
+/// the re-encoded bytes (the caller asserts byte identity with the
+/// input — the same invariant `ServerSim::install_ticket` enforces);
+/// any corruption must surface as a typed [`TicketError`], never a
+/// panic and never a silently installed corrupt session.
+pub fn verify_ticket(
+    cfg: &FleetConfig,
+    maps: &QualityMaps,
+    ticket: &[u8],
+) -> Result<Vec<u8>, TicketError> {
+    let (id, s) = decode_session(cfg, maps, ticket)?;
+    Ok(encode_session(id, &s))
 }
 
 #[cfg(test)]
@@ -398,6 +498,18 @@ mod tests {
         let a: Vec<bool> = (0..50).map(|_| s.loss.lose()).collect();
         let b: Vec<bool> = (0..50).map(|_| restored.loss.lose()).collect();
         assert_eq!(a, b);
+    }
+
+    /// The fuzz corpus seeds are pristine: every `(id, salt)` sample
+    /// decodes and re-encodes byte-identically.
+    #[test]
+    fn sample_tickets_verify_cleanly_across_salts() {
+        let (cfg, maps) = fixture();
+        for salt in 0..64u64 {
+            let t = sample_ticket(&cfg, &maps, (salt % 8) as usize, salt);
+            let re = verify_ticket(&cfg, &maps, &t).expect("pristine ticket verifies");
+            assert_eq!(re, t, "salt {salt} re-encode must be byte-identical");
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@
 
 pub mod admission;
 pub mod batcher;
+pub mod ckpt;
 pub mod event_queue;
+pub mod failure;
 pub mod fleet;
 pub mod handoff;
 pub mod live;
@@ -43,7 +45,14 @@ mod server;
 pub mod topology;
 
 pub use admission::{
-    Admission, AdmissionConfig, AdmissionController, SessionDemand, TokenBucket, TokenBucketState,
+    Admission, AdmissionConfig, AdmissionController, AdmissionState, SessionDemand, TokenBucket,
+    TokenBucketState,
+};
+pub use ckpt::{CkptError, FLEET_CKPT_MAGIC, FLEET_CKPT_VERSION};
+pub use failure::{
+    percentile_nearest_rank, plan_transfer, server_up_at, FailoverConfig, FailoverStats,
+    HealthConfig, HealthCounters, HealthState, HealthTracker, InvariantReport, ServerFailure,
+    ServerFailureCounters, ServerHealth, TicketTransfer,
 };
 pub use batcher::{
     occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
@@ -51,13 +60,13 @@ pub use batcher::{
 };
 pub use event_queue::{Event, EventKind, EventQueue};
 pub use fleet::{
-    jain_fairness, run_fleet, run_fleet_obs, session_category, ClientClass, FleetConfig,
-    FleetModelStats, FleetResult, ModelPlaneConfig, ServerRestart, ServerSummary, SessionCounters,
-    SessionCrash, SessionModel, SessionSummary,
+    checkpoint_fleet, jain_fairness, resume_fleet, run_fleet, run_fleet_obs, session_category,
+    ClientClass, FleetConfig, FleetModelStats, FleetResult, ModelPlaneConfig, ServerRestart,
+    ServerSummary, SessionCounters, SessionCrash, SessionModel, SessionSummary,
 };
 pub use handoff::{TicketError, TICKET_MAGIC, TICKET_VERSION};
 pub use live::{
     FirLimiter, FirLimiterConfig, FirLimiterState, KeyframeEncode, LiveServer, LiveServerConfig,
     LiveServerCounters, LiveServerState,
 };
-pub use topology::{place_sessions, PlacementPolicy, SessionHandoff};
+pub use topology::{place_evacuee, place_sessions, PlacementPolicy, SessionHandoff};

@@ -37,16 +37,17 @@
 //! (own factor zero) from the live weight so their share redistributes
 //! to sessions that can still make progress (work conservation).
 
-use crate::admission::{Admission, AdmissionController, SessionDemand};
-use crate::batcher::{InferenceBatcher, InferenceJob, JobKind, Service};
-use crate::event_queue::{EventKind, EventQueue};
+use crate::admission::{Admission, AdmissionController, AdmissionState, SessionDemand};
+use crate::batcher::{BatcherStats, InferenceBatcher, InferenceJob, JobKind, Service};
+use crate::event_queue::{Event, EventKind, EventQueue};
+use crate::failure::{InvariantReport, ServerFailureCounters};
 use crate::fleet::{
     session_category, ClientClass, FleetConfig, ModelPlaneConfig, SessionCounters, SessionModel,
 };
 use nerve_abr::mpc::{EnhancementAwareAbr, EnhancementConfig};
 use nerve_abr::qoe::QualityMaps;
 use nerve_abr::{Abr, AbrContext, CappedAbr};
-use nerve_model::cache::{CacheStats, WeightCache};
+use nerve_model::cache::{CacheStats, WeightCache, WeightCacheState};
 use nerve_model::delta::{delta_for, weights_at, WeightDelta};
 use nerve_model::fingerprint::{Classifier, Fingerprint, HeadId};
 use nerve_model::{artifact_bytes, specialist_uplift_db};
@@ -282,6 +283,8 @@ pub(crate) struct FleetMetrics {
     pub downgraded: Counter,
     pub rejected: Counter,
     pub handoffs: Counter,
+    pub server_failures: Counter,
+    pub evacuations: Counter,
 }
 
 impl FleetMetrics {
@@ -294,6 +297,8 @@ impl FleetMetrics {
             downgraded: registry.counter("fleet.sessions.downgraded"),
             rejected: registry.counter("fleet.sessions.rejected"),
             handoffs: registry.counter("fleet.handoffs"),
+            server_failures: registry.counter("failover.server_failures"),
+            evacuations: registry.counter("failover.evacuations"),
         }
     }
 }
@@ -336,6 +341,27 @@ pub(crate) struct ServerPartial {
     pub sessions: Vec<SessionDone>,
     /// Weight-cache counters (`None` when the model plane is off).
     pub cache: Option<CacheStats>,
+    /// Failure-domain counters (all zero when no failure plan ran).
+    pub failc: ServerFailureCounters,
+    /// Per-event invariant checks run on this server.
+    pub inv: InvariantReport,
+}
+
+/// A session whose evacuation ticket has landed on this server but whose
+/// re-arrival instant has not been processed yet. Held outside
+/// `sessions` so the normal event machinery never sees a half-arrived
+/// session; materialized by [`EventKind::Arrive`] (or at
+/// [`ServerSim::finish`] when the run's hard stop lands first — the
+/// conservation invariant requires every admitted session to surface
+/// exactly once).
+pub(crate) struct ArrivingSession {
+    pub s: SessionState,
+    /// When the origin server failed (start of the outage this session
+    /// rode through).
+    pub fail_at: SimTime,
+    /// True when the transfer lost the ticket: the session burned its
+    /// playout budget and re-enters through normal admission.
+    pub readmit: bool,
 }
 
 /// One edge server of the fleet topology, driven event-by-event.
@@ -371,6 +397,21 @@ pub(crate) struct ServerSim<'a> {
     fm: Option<FleetMetrics>,
     /// Per-server specialist weight cache (model plane only).
     cache: Option<WeightCache>,
+    /// Fail-stopped: the server serves nothing and holds no sessions
+    /// until [`ServerSim::rejoin`]. Unlike a planned restart
+    /// (`down_until`), a failure drops in-flight work and evacuates.
+    dead: bool,
+    /// Evacuated sessions whose tickets landed here but have not yet
+    /// arrived (keyed by session id).
+    arriving: BTreeMap<usize, ArrivingSession>,
+    failc: ServerFailureCounters,
+    inv: InvariantReport,
+    /// Set by [`restore_state`](Self::restore_state): the checkpoint was
+    /// taken mid-`run_until`, after the last processed instant's refresh
+    /// — the resumed `run_until` must not refresh again at entry or the
+    /// extra generation bump would fork the event stream from the
+    /// uncheckpointed run.
+    skip_entry_refresh: bool,
 }
 
 impl<'a> ServerSim<'a> {
@@ -428,6 +469,11 @@ impl<'a> ServerSim<'a> {
                 .model_plane
                 .as_ref()
                 .map(|mp| WeightCache::new(mp.cache_bytes)),
+            dead: false,
+            arriving: BTreeMap::new(),
+            failc: ServerFailureCounters::default(),
+            inv: InvariantReport::default(),
+            skip_entry_refresh: false,
         };
         if let Some(r) = cfg.server_restart {
             if r.server == id {
@@ -461,7 +507,31 @@ impl<'a> ServerSim<'a> {
     }
 
     fn server_up(&self) -> bool {
-        self.down_until.is_none_or(|d| self.now >= d)
+        !self.dead && self.down_until.is_none_or(|d| self.now >= d)
+    }
+
+    /// Fair-share rates at `now` — a pure function of (active set,
+    /// session fault plans, trace, config), shared by [`refresh`] and
+    /// checkpoint restore (which must rebuild the exact rates the
+    /// original run held without bumping the rate generation).
+    fn recompute_rates(&mut self) {
+        let t = self.now;
+        let fleet_factor = if self.cfg.fleet_faults.blackout_at(t) {
+            0.0
+        } else {
+            self.cfg.fleet_faults.capacity_factor(t)
+        };
+        let pool = self.trace.bytes_per_sec_at(t) * fleet_factor;
+        let entries: Vec<(f64, f64)> = self
+            .active
+            .iter()
+            .map(|id| {
+                let s = &self.sessions[id];
+                (s.weight, session_capacity_factor(&s.own_faults, t))
+            })
+            .collect();
+        let shares = fair_share_rates(pool, &entries);
+        self.rates = self.active.iter().copied().zip(shares).collect();
     }
 
     /// Advance in-flight downloads by their cached rates over
@@ -488,23 +558,8 @@ impl<'a> ServerSim<'a> {
     /// for. Runs after every processed instant.
     fn refresh(&mut self) {
         self.gen += 1;
+        self.recompute_rates();
         let t = self.now;
-        let fleet_factor = if self.cfg.fleet_faults.blackout_at(t) {
-            0.0
-        } else {
-            self.cfg.fleet_faults.capacity_factor(t)
-        };
-        let pool = self.trace.bytes_per_sec_at(t) * fleet_factor;
-        let entries: Vec<(f64, f64)> = self
-            .active
-            .iter()
-            .map(|id| {
-                let s = &self.sessions[id];
-                (s.weight, session_capacity_factor(&s.own_faults, t))
-            })
-            .collect();
-        let shares = fair_share_rates(pool, &entries);
-        self.rates = self.active.iter().copied().zip(shares).collect();
 
         // Earliest completion at current rates. `schedule_after` is the
         // monotone-advance guard: even a sub-microsecond estimate lands
@@ -544,6 +599,14 @@ impl<'a> ServerSim<'a> {
     /// settle order = the batcher's EDF order).
     fn settle(&mut self, outcomes: &[crate::batcher::JobOutcome], obs: &mut Option<&mut Obs>) {
         for o in outcomes {
+            // Invariant: a dead server settles no jobs — a failure drains
+            // the batcher by *dropping* (charging `failed_in_flight`),
+            // never by serving.
+            self.inv.checks += 1;
+            if self.dead {
+                self.inv.violations += 1;
+                debug_assert!(!self.dead, "dead server settled a job");
+            }
             if let Some(ob) = obs.as_deref_mut() {
                 ob.event(
                     "job.settle",
@@ -1068,7 +1131,27 @@ impl<'a> ServerSim<'a> {
         if self.server_up() && self.now.0.is_multiple_of(self.tick_us) {
             self.flush_batcher(obs);
         }
-        if self.undone == 0 {
+        // Session-conservation census (debug/test builds): every resident
+        // non-Done session is counted by `undone`, and a dead server
+        // holds no sessions at all.
+        #[cfg(debug_assertions)]
+        {
+            self.inv.checks += 1;
+            let live = self
+                .sessions
+                .values()
+                .filter(|s| !matches!(s.phase, Phase::Done))
+                .count();
+            if live != self.undone || (self.dead && !self.sessions.is_empty()) {
+                self.inv.violations += 1;
+                debug_assert_eq!(live, self.undone, "undone counter out of sync");
+                debug_assert!(
+                    !self.dead || self.sessions.is_empty(),
+                    "dead server still holds sessions"
+                );
+            }
+        }
+        if self.undone == 0 && self.arriving.is_empty() {
             self.done = true;
         }
     }
@@ -1079,7 +1162,14 @@ impl<'a> ServerSim<'a> {
         if self.done {
             return;
         }
-        self.refresh();
+        if self.skip_entry_refresh {
+            // First call after a checkpoint restore: the serialized
+            // state already reflects the refresh that followed the last
+            // processed instant.
+            self.skip_entry_refresh = false;
+        } else {
+            self.refresh();
+        }
         while !self.done {
             let Some(ev) = self.queue.peek() else {
                 break;
@@ -1094,6 +1184,7 @@ impl<'a> ServerSim<'a> {
                 self.events += 1;
                 match e.kind {
                     EventKind::Restart => self.handle_restart(obs),
+                    EventKind::Arrive { session } => self.handle_arrive(session, obs),
                     EventKind::Crash { session } => self.handle_crash(session, obs),
                     EventKind::Wake { session } => self.handle_wake(session, obs),
                     // Completion probes and ticks only materialize the
@@ -1204,12 +1295,306 @@ impl<'a> ServerSim<'a> {
         self.refresh();
     }
 
+    /// Fail-stop this server at `at`: every in-flight batcher job is
+    /// *dropped* (charged to its session as `failed_in_flight`, never
+    /// served), every resident session — plus any evacuation still
+    /// pending arrival here — is serialized into an NRVT ticket, and the
+    /// server goes dark until [`rejoin`](Self::rejoin). Returns the
+    /// evacuation tickets in ascending session id; the orchestrator owns
+    /// re-placement and the retry/backoff transfer.
+    pub(crate) fn fail(&mut self, at: SimTime, obs: &mut Option<&mut Obs>) -> Vec<(usize, Vec<u8>)> {
+        self.sync_to(at, obs);
+        let mut dropped = 0u64;
+        for job in self.batcher.take_pending() {
+            // Invariant: every in-flight job belongs to a resident
+            // session — otherwise its drop would vanish from the
+            // accounting identity.
+            self.inv.checks += 1;
+            let Some(s) = self.sessions.get_mut(&job.session) else {
+                self.inv.violations += 1;
+                debug_assert!(false, "in-flight job for a non-resident session");
+                continue;
+            };
+            s.counters.failed_in_flight += 1;
+            self.failc.jobs_failed += 1;
+            dropped += 1;
+        }
+        // Evacuate everything — Done sessions included, their results
+        // must still surface exactly once — in ascending id.
+        let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (id, s) in std::mem::take(&mut self.sessions) {
+            if !matches!(s.phase, Phase::Done) {
+                self.undone -= 1;
+            }
+            self.failc.evac_out += 1;
+            out.push((id, crate::handoff::encode_session(id, &s)));
+        }
+        for (id, a) in std::mem::take(&mut self.arriving) {
+            self.failc.evac_out += 1;
+            out.push((id, crate::handoff::encode_session(id, &a.s)));
+        }
+        out.sort_by_key(|&(id, _)| id);
+        debug_assert_eq!(self.undone, 0, "evacuation must drain the undone count");
+        self.dead = true;
+        self.done = true;
+        self.down_until = None;
+        self.active.clear();
+        self.rates.clear();
+        self.queue.clear();
+        self.last_tick = None;
+        self.failc.failures += 1;
+        if let Some(m) = &self.fm {
+            m.server_failures.inc();
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.event(
+                "failover.server_fail",
+                self.id as u64,
+                self.now.0,
+                &[
+                    ("server", FieldValue::U64(self.id as u64)),
+                    ("evacuated", FieldValue::U64(out.len() as u64)),
+                    ("jobs_failed", FieldValue::U64(dropped)),
+                ],
+            );
+        }
+        out
+    }
+
+    /// Bring a failed server back at `at`. Models a fast process restart
+    /// on the same box: the weight cache stays warm, the admission
+    /// buckets resume where they were. The server re-enters placement
+    /// only after the health machine walks it through probation — rejoin
+    /// itself installs nothing.
+    pub(crate) fn rejoin(&mut self, at: SimTime, obs: &mut Option<&mut Obs>) {
+        self.sync_to(at, obs);
+        self.dead = false;
+        self.failc.rejoins += 1;
+        if let Some(o) = obs.as_deref_mut() {
+            o.event(
+                "failover.rejoin",
+                self.id as u64,
+                self.now.0,
+                &[("server", FieldValue::U64(self.id as u64))],
+            );
+        }
+        self.refresh();
+    }
+
+    /// Land an evacuation ticket on this server. The ticket is verified
+    /// byte-identical under re-encode (the same contract as a planned
+    /// handoff), then parked in the arrival bay until its
+    /// [`EventKind::Arrive`] fires at `land` — the instant the
+    /// retry/backoff transfer actually delivered it. `readmit` marks a
+    /// session whose ticket could not land before its playout deadline:
+    /// it stalls and re-enters through normal admission.
+    pub(crate) fn install_evacuation(
+        &mut self,
+        ticket: &[u8],
+        at: SimTime,
+        land: SimTime,
+        fail_at: SimTime,
+        readmit: bool,
+        obs: &mut Option<&mut Obs>,
+    ) {
+        self.sync_to(at, obs);
+        // A server that drained to `done` parks its event loop with
+        // moot calendar entries still queued (a tick instant that never
+        // ran). Reviving it makes those entries past-due — drop them,
+        // or the next run_until would replay history.
+        if self.done {
+            while self.queue.pop_due(self.now).is_some() {}
+        }
+        let (session, s) = crate::handoff::decode_session(self.cfg, self.maps, ticket)
+            .expect("evacuation ticket failed to decode");
+        let reencoded = crate::handoff::encode_session(session, &s);
+        assert_eq!(
+            reencoded, ticket,
+            "evacuation ticket must round-trip byte-identically"
+        );
+        self.arriving.insert(
+            session,
+            ArrivingSession {
+                s,
+                fail_at,
+                readmit,
+            },
+        );
+        self.done = false;
+        self.queue
+            .schedule(self.now, land, EventKind::Arrive { session });
+        self.refresh();
+    }
+
+    /// An evacuated session's ticket finishes its transfer and the
+    /// session resumes here. Walks the degradation ladder: **warp** when
+    /// the playout buffer covered the outage, **freeze** when it partly
+    /// did (the uncovered seconds are charged as rebuffer), **stall**
+    /// when the freeze exceeds a chunk duration or the ticket was lost
+    /// and the session must re-enter through admission (cold weight
+    /// cache and all — degraded-capacity operation means it may now be
+    /// downgraded or rejected).
+    fn handle_arrive(&mut self, session: usize, obs: &mut Option<&mut Obs>) {
+        let Some(ArrivingSession {
+            mut s,
+            fail_at,
+            readmit,
+        }) = self.arriving.remove(&session)
+        else {
+            return; // re-evacuated while pending (this server failed too)
+        };
+        let land = self.now;
+        self.failc.evac_in += 1;
+        if let Some(m) = &self.fm {
+            m.evacuations.inc();
+        }
+        // The artifact residency cost of landing here: same as a planned
+        // handoff, except nothing was prefetched — failover pays the
+        // cold-cache miss through the compute budget.
+        if !matches!(s.phase, Phase::Done) {
+            if let (Some(mp), Some(m)) = (self.cfg.model_plane.as_ref(), s.model.as_ref()) {
+                if let Some(head) = HeadId::from_code(m.head) {
+                    let cache = self.cache.as_mut().expect("model plane implies a cache");
+                    let bytes = artifact_bytes(head);
+                    if !cache.request(head, bytes).is_hit() {
+                        self.admission
+                            .charge_load(self.now, bytes as f64 * mp.load_macs_per_byte);
+                    }
+                }
+            }
+        }
+        let chunk_secs = self.cfg.chunk_seconds;
+        let label = if matches!(s.phase, Phase::Done) {
+            "done"
+        } else {
+            s.counters.evacuations += 1;
+            if readmit {
+                // Lost-ticket path: the budget burned end to end. Abort
+                // the in-flight chunk exactly as a client crash does,
+                // zero the buffer, and strip admission so the session
+                // re-enters through the front door.
+                if let Phase::Downloading { rung, .. } = s.phase {
+                    s.rung_sum -= rung;
+                    s.chunks[s.chunk_idx] = ChunkAcc::default();
+                }
+                if s.chunk_idx > 0 {
+                    s.rebuffer_total += land.saturating_sub(fail_at).as_secs_f64();
+                }
+                s.admitted = false;
+                s.cap = None;
+                s.abr = make_abr(self.cfg, self.maps, s.class);
+                s.ctx = AbrContext::bootstrap(
+                    self.cfg.ladder_kbps.clone(),
+                    chunk_secs,
+                    self.cfg.frames_per_chunk,
+                );
+                s.buffer_secs = 0.0;
+                s.buffer_asof = land;
+                s.phase = Phase::Waiting { until: land };
+                self.failc.evac_stall += 1;
+                "stall"
+            } else {
+                let freeze = match s.phase {
+                    Phase::Waiting { until } => {
+                        // The session would have resumed at
+                        // `max(until, fail)`; lateness beyond that eats
+                        // the buffer cushion first, the rest freezes.
+                        let resume = until.max(fail_at);
+                        let late = land.saturating_sub(resume).as_secs_f64();
+                        let drained = resume.saturating_sub(s.buffer_asof).as_secs_f64();
+                        let cushion = (s.buffer_secs - drained).max(0.0);
+                        let freeze = (late - cushion).max(0.0);
+                        if freeze > 0.0 && s.chunk_idx > 0 {
+                            s.rebuffer_total += freeze;
+                        }
+                        s.phase = Phase::Waiting {
+                            until: until.max(land),
+                        };
+                        freeze
+                    }
+                    Phase::Downloading {
+                        started,
+                        buffer_at_start,
+                        ..
+                    } => {
+                        // Classification-only estimate: the download's
+                        // clock kept running through the outage, so the
+                        // completion path charges the rebuffer — an
+                        // explicit charge here would double-count.
+                        let late = land.saturating_sub(fail_at).as_secs_f64();
+                        let spent = fail_at.saturating_sub(started).as_secs_f64();
+                        let cushion = (buffer_at_start - spent).max(0.0);
+                        (late - cushion).max(0.0)
+                    }
+                    Phase::Done => unreachable!(),
+                };
+                if freeze <= 0.0 {
+                    self.failc.evac_warp += 1;
+                    "warp"
+                } else if freeze < chunk_secs {
+                    self.failc.evac_freeze += 1;
+                    "freeze"
+                } else {
+                    self.failc.evac_stall += 1;
+                    "stall"
+                }
+            }
+        };
+        match s.phase {
+            Phase::Done => {}
+            Phase::Waiting { until } => {
+                self.undone += 1;
+                self.done = false;
+                self.queue
+                    .schedule(self.now, until, EventKind::Wake { session });
+            }
+            Phase::Downloading { .. } => {
+                self.undone += 1;
+                self.done = false;
+                self.active.insert(session);
+            }
+        }
+        if let Some(&(crash_at, _)) = s.crashes.first() {
+            self.queue.schedule(
+                self.now,
+                SimTime::from_secs_f64(crash_at),
+                EventKind::Crash { session },
+            );
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.event(
+                "failover.arrive",
+                session as u64,
+                self.now.0,
+                &[
+                    ("server", FieldValue::U64(self.id as u64)),
+                    ("outcome", FieldValue::Str(label)),
+                    (
+                        "latency_secs",
+                        FieldValue::F64(land.saturating_sub(fail_at).as_secs_f64()),
+                    ),
+                    ("readmit", FieldValue::U64(readmit as u64)),
+                ],
+            );
+        }
+        self.sessions.insert(session, s);
+    }
+
     /// Drain and fold the server into a plain-data partial result.
     pub(crate) fn finish(
         &mut self,
         hard_stop: SimTime,
         obs: &mut Option<&mut Obs>,
     ) -> ServerPartial {
+        // Evacuations whose landing instant fell past the hard stop
+        // never saw their Arrive event: materialize them as residents so
+        // the conservation invariant (every admitted session surfaces
+        // exactly once) holds at assembly.
+        let pending: Vec<usize> = self.arriving.keys().copied().collect();
+        for id in pending {
+            let a = self.arriving.remove(&id).expect("key just listed");
+            self.sessions.insert(id, a.s);
+        }
         if self.undone > 0 && self.now < hard_stop {
             // Timed out mid-flight: advance the fluid state to the stop
             // and run one last completion scan there, as the old loop's
@@ -1260,8 +1645,151 @@ impl<'a> ServerSim<'a> {
             virtual_secs: self.now.as_secs_f64(),
             sessions,
             cache: self.cache.as_ref().map(|c| c.stats()),
+            failc: self.failc,
+            inv: self.inv,
         }
     }
+
+    /// Snapshot everything mutable about this server at a barrier
+    /// instant (serial runs only — the caller quiesces the fleet first).
+    /// Sessions ride the NRVT ticket codec; the calendar queue travels
+    /// as its sorted event list (the heap's total order makes pop order
+    /// a pure function of the set).
+    pub(crate) fn checkpoint_state(&self) -> ServerCkpt {
+        ServerCkpt {
+            now: self.now,
+            gen: self.gen,
+            events: self.events,
+            last_tick: self.last_tick,
+            down_until: self.down_until,
+            dead: self.dead,
+            done: self.done,
+            restarts: self.restarts,
+            handoffs_in: self.handoffs_in,
+            handoffs_out: self.handoffs_out,
+            flush_idx: self.flush_idx,
+            failc: self.failc,
+            inv: self.inv,
+            slacks: self.slacks.clone(),
+            admission: self.admission.state(),
+            batcher_jobs: self.batcher.pending_jobs().to_vec(),
+            batcher_stats: self.batcher.stats(),
+            breaker: self.batcher.breaker_snapshot(),
+            cache: self.cache.as_ref().map(|c| c.state()),
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(id, s)| crate::handoff::encode_session(*id, s))
+                .collect(),
+            arriving: self
+                .arriving
+                .iter()
+                .map(|(id, a)| {
+                    (
+                        a.fail_at.0,
+                        a.readmit,
+                        crate::handoff::encode_session(*id, &a.s),
+                    )
+                })
+                .collect(),
+            queue: self.queue.sorted_events(),
+        }
+    }
+
+    /// Restore a [`checkpoint_state`](Self::checkpoint_state) snapshot
+    /// onto a freshly built server. Derived state (`undone`, `active`,
+    /// fair-share rates) is recomputed; the next `run_until` entry
+    /// refreshes rates exactly as the original run did at this barrier,
+    /// so the resumed run replays byte-identically.
+    pub(crate) fn restore_state(&mut self, ckpt: ServerCkpt) {
+        // A fresh server auto-schedules its planned Restart event; the
+        // checkpoint queue already carries it (or it already fired).
+        self.queue.clear();
+        self.now = ckpt.now;
+        self.gen = ckpt.gen;
+        self.events = ckpt.events;
+        self.last_tick = ckpt.last_tick;
+        self.down_until = ckpt.down_until;
+        self.dead = ckpt.dead;
+        self.done = ckpt.done;
+        self.restarts = ckpt.restarts;
+        self.handoffs_in = ckpt.handoffs_in;
+        self.handoffs_out = ckpt.handoffs_out;
+        self.flush_idx = ckpt.flush_idx;
+        self.failc = ckpt.failc;
+        self.inv = ckpt.inv;
+        self.slacks = ckpt.slacks;
+        self.admission.restore(ckpt.admission);
+        self.batcher
+            .restore_state(ckpt.batcher_jobs, &ckpt.batcher_stats, ckpt.breaker);
+        if let (Some(c), Some(st)) = (self.cache.as_mut(), ckpt.cache) {
+            c.restore(st);
+        }
+        self.undone = 0;
+        self.active.clear();
+        for t in &ckpt.sessions {
+            let (id, s) = crate::handoff::decode_session(self.cfg, self.maps, t)
+                .expect("checkpoint ticket failed to decode");
+            match s.phase {
+                Phase::Done => {}
+                Phase::Waiting { .. } => self.undone += 1,
+                Phase::Downloading { .. } => {
+                    self.undone += 1;
+                    self.active.insert(id);
+                }
+            }
+            self.sessions.insert(id, s);
+        }
+        for (fail_us, readmit, t) in ckpt.arriving {
+            let (id, s) = crate::handoff::decode_session(self.cfg, self.maps, &t)
+                .expect("checkpoint arrival ticket failed to decode");
+            self.arriving.insert(
+                id,
+                ArrivingSession {
+                    s,
+                    fail_at: SimTime(fail_us),
+                    readmit,
+                },
+            );
+        }
+        for ev in ckpt.queue {
+            self.queue.schedule(SimTime::ZERO, ev.at, ev.kind);
+        }
+        // Rebuild the exact fair-share rates the checkpointed run held
+        // (without a generation bump) and arm the entry-refresh skip so
+        // the resumed run_until replays the identical event stream.
+        self.recompute_rates();
+        self.skip_entry_refresh = true;
+    }
+}
+
+/// Plain-data snapshot of one server for the fleet checkpoint codec.
+pub(crate) struct ServerCkpt {
+    pub now: SimTime,
+    pub gen: u64,
+    pub events: u64,
+    pub last_tick: Option<SimTime>,
+    pub down_until: Option<SimTime>,
+    pub dead: bool,
+    pub done: bool,
+    pub restarts: usize,
+    pub handoffs_in: usize,
+    pub handoffs_out: usize,
+    pub flush_idx: u64,
+    pub failc: ServerFailureCounters,
+    pub inv: InvariantReport,
+    pub slacks: Vec<f64>,
+    pub admission: AdmissionState,
+    pub batcher_jobs: Vec<InferenceJob>,
+    pub batcher_stats: BatcherStats,
+    pub breaker: Option<nerve_core::BreakerSnapshot>,
+    pub cache: Option<WeightCacheState>,
+    /// Resident sessions as NRVT tickets, ascending id.
+    pub sessions: Vec<Vec<u8>>,
+    /// Pending arrivals: `(fail_at_micros, readmit, ticket)`.
+    pub arriving: Vec<(u64, bool, Vec<u8>)>,
+    /// The calendar queue in pop order.
+    pub queue: Vec<Event>,
 }
 
 #[cfg(test)]

@@ -91,6 +91,34 @@ pub fn place_sessions(policy: PlacementPolicy, servers: usize, weights: &[f64]) 
     }
 }
 
+/// Pick the target server for one evacuated session. `eligible` is the
+/// deterministic candidate list (ascending ids, already filtered by the
+/// caller's health/aliveness view, never empty) and `loads[s]` the
+/// caller's current owner count per server. Pure function of its
+/// arguments, so placement is identical at any worker count.
+pub fn place_evacuee(
+    policy: PlacementPolicy,
+    eligible: &[usize],
+    loads: &[usize],
+    session: usize,
+    failed: usize,
+) -> usize {
+    assert!(!eligible.is_empty(), "evacuation needs a live server");
+    match policy {
+        PlacementPolicy::RoundRobin => eligible[session % eligible.len()],
+        PlacementPolicy::LeastLoaded => eligible
+            .iter()
+            .copied()
+            .min_by_key(|&s| (loads[s], s))
+            .expect("non-empty"),
+        PlacementPolicy::Locality => eligible
+            .iter()
+            .copied()
+            .min_by_key(|&s| (s.abs_diff(failed), s))
+            .expect("non-empty"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,8 @@
 //!   nerve-experiments fleet --servers 8 --placement least-loaded
 //!   nerve-experiments fleet --model-plane  # specialist heads + weight cache
 //!   nerve-experiments fleet --trace-out trace.jsonl  # span/metric log
+//!   nerve-experiments fleet --servers 8 --sessions 1000 --failures storm
+//!   nerve-experiments fleet --failures 1@6,2@8..10  # explicit fail plan
 //!
 //! Each selected experiment is one unit of the outermost parallel sweep:
 //! runners fan out across the worker pool (nested sweeps inside a runner
@@ -34,6 +36,7 @@ fn main() {
     let mut servers = 1usize;
     let mut placement = nerve_serve::PlacementPolicy::RoundRobin;
     let mut model_plane = false;
+    let mut failures_spec: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -41,6 +44,15 @@ fn main() {
             quick = true;
         } else if a == "--model-plane" {
             model_plane = true;
+        } else if a == "--failures" {
+            failures_spec = Some(
+                it.next()
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| die("--failures needs a plan (storm or server@at[..rejoin],...)"))
+                    .clone(),
+            );
+        } else if let Some(v) = a.strip_prefix("--failures=") {
+            failures_spec = Some(v.to_string());
         } else if a == "--servers" {
             servers = it
                 .next()
@@ -114,6 +126,10 @@ fn main() {
     } else {
         ExperimentBudget::standard()
     };
+    // The failure plan rides the fleet experiment (and the trace pass).
+    let failures = failures_spec
+        .as_deref()
+        .map(|spec| fleet::parse_failure_plan(spec, servers).unwrap_or_else(|e| die(&e)));
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
     let t_start = Instant::now();
@@ -276,6 +292,7 @@ fn main() {
         ));
     }
     if want("fleet") {
+        let failures_for_fleet = failures.clone();
         jobs.push((
             "fleet",
             Box::new(move || {
@@ -283,13 +300,18 @@ fn main() {
                 // runner; nested sweeps drop to serial automatically.
                 let chunks = budget.chunks_per_trace.clamp(2, 8);
                 let report = fleet::fleet_report(sessions, chunks, budget.seed, servers, placement);
+                let mut out = format!("{report}\n");
                 if model_plane {
                     let model =
                         fleet::model_report(sessions, chunks, budget.seed, servers, placement);
-                    format!("{report}\n{model}\n")
-                } else {
-                    format!("{report}\n")
+                    let _ = write!(out, "{model}\n");
                 }
+                if let Some(failures) = &failures_for_fleet {
+                    let failover =
+                        fleet::failover_report(sessions, servers, budget.seed, failures);
+                    let _ = write!(out, "{failover}\n");
+                }
+                out
             }),
         ));
     }
@@ -342,6 +364,8 @@ fn main() {
         let chunks = budget.chunks_per_trace.clamp(2, 8);
         let log = if selected.iter().any(|s| s == "live") {
             live::live_trace(sessions, live_ticks, budget.seed)
+        } else if let Some(failures) = &failures {
+            fleet::failover_trace(sessions, servers, budget.seed, failures)
         } else if model_plane {
             fleet::model_fleet_trace(sessions, chunks, budget.seed, servers, placement)
         } else {

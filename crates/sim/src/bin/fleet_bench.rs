@@ -4,8 +4,10 @@
 //! the result digest is byte-identical between 1 worker and the full
 //! pool, then sweeps the topology scale grid — {64, 1k, 10k} sessions ×
 //! {1, 8} servers — recording sessions/sec and events/sec with a
-//! 1-worker-vs-pool digest gate at every grid point, and writes
-//! `BENCH_fleet.json`.
+//! 1-worker-vs-pool digest gate at every grid point, then runs the
+//! failure-domain storm (1k sessions / 8 servers, one unplanned
+//! fail-stop plus one flap) recording failover latency p50/p95 and the
+//! recovered-vs-lost session split, and writes `BENCH_fleet.json`.
 //!
 //! Usage:
 //!   nerve-fleet-bench [--jobs N] [--out PATH] [--sessions N] [--full]
@@ -172,8 +174,65 @@ fn main() {
         }
     }
 
+    // The failure-domain row: the 1k-session / 8-server storm (one
+    // server dies mid-wave, one flaps), digest-gated 1-worker-vs-pool,
+    // recording failover latency percentiles and the recovered/lost
+    // split.
+    let failures = fleet::storm_failures(8);
+    let run_failover = || {
+        let (cfg, trace) = fleet::failover_config(1_000, 8, seed, &failures);
+        nerve_serve::run_fleet(&cfg, &trace)
+    };
+    let fo_serial = with_workers(1, run_failover);
+    let t0 = Instant::now();
+    let fo_pooled = with_workers(workers, run_failover);
+    let fo_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fo_serial.digest(),
+        fo_pooled.digest(),
+        "failover scenario diverged between 1 and {workers} workers"
+    );
+    let fo = fo_pooled
+        .failover
+        .as_ref()
+        .expect("storm plan must produce failover stats");
+    assert_eq!(
+        fo_pooled.invariants.violations, 0,
+        "failover scenario must hold the fleet invariants"
+    );
+    let failover_entry = format!(
+        "\n    {{\"sessions\": 1000, \"servers\": 8, \"wall_secs\": {fo_wall:.4}, \
+         \"server_failures\": {}, \"rejoins\": {}, \"evacuated\": {}, \"landed\": {}, \
+         \"lost_transfers\": {}, \"retries\": {}, \"latency_p50_secs\": {:.6}, \
+         \"latency_p95_secs\": {:.6}, \"warp\": {}, \"freeze\": {}, \"stall\": {}, \
+         \"jobs_failed_in_flight\": {}, \"sessions_recovered\": {}, \"sessions_lost\": {}, \
+         \"invariant_checks\": {}, \"invariant_violations\": {}, \"digest_match\": true}}",
+        fo.server_failures,
+        fo.rejoins,
+        fo.evacuated,
+        fo.landed,
+        fo.lost_transfers,
+        fo.retries,
+        fo.latency_p50_secs,
+        fo.latency_p95_secs,
+        fo.warp,
+        fo.freeze,
+        fo.stall,
+        fo.jobs_failed_in_flight,
+        fo.sessions_recovered,
+        fo.sessions_lost,
+        fo_pooled.invariants.checks,
+        fo_pooled.invariants.violations,
+    );
+    eprintln!(
+        "[failover N=1000 S=8: {fo_wall:.2}s wall, {} evacuated, p50 {:.3}s, p95 {:.3}s, \
+         {} recovered / {} lost]",
+        fo.evacuated, fo.latency_p50_secs, fo.latency_p95_secs, fo.sessions_recovered,
+        fo.sessions_lost
+    );
+
     let json = format!(
-        "{{\n  \"bin\": \"nerve-fleet-bench\",\n  \"workers\": {workers},\n  \"full\": {full},\n  \"chunks\": {chunks},\n  \"points\": [{entries}\n  ],\n  \"scale_grid\": [{grid_entries}\n  ]\n}}\n"
+        "{{\n  \"bin\": \"nerve-fleet-bench\",\n  \"workers\": {workers},\n  \"full\": {full},\n  \"chunks\": {chunks},\n  \"points\": [{entries}\n  ],\n  \"scale_grid\": [{grid_entries}\n  ],\n  \"failover\": [{failover_entry}\n  ]\n}}\n"
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("[failed to write {out_path}: {e}]");

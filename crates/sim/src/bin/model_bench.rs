@@ -24,7 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_model.json".to_string();
     let mut jobs_override: Option<usize> = None;
-    let mut sessions = 32usize;
+    let mut sessions = 64usize;
     let mut grid = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {

@@ -9,12 +9,14 @@
 
 use crate::report::{fmt_f, Table};
 use crate::sweep;
+use nerve_net::clock::SimTime;
+use nerve_net::faults::FaultPlan;
 use nerve_net::trace::{NetworkKind, NetworkTrace};
 use nerve_obs::Obs;
 use nerve_serve::batcher::occupancy_label;
 use nerve_serve::{
     run_fleet, run_fleet_obs, FleetConfig, FleetResult, ModelPlaneConfig, PlacementPolicy,
-    OCCUPANCY_BUCKETS,
+    ServerFailure, OCCUPANCY_BUCKETS,
 };
 use nerve_tensor::meter;
 use nerve_video::rng::{seed_for, StreamComponent};
@@ -84,6 +86,236 @@ pub fn scale_config(n: usize, servers: usize, seed: u64) -> (FleetConfig, Networ
     cfg.avg_loss = 0.01;
     cfg.overlay_every = 16;
     (cfg, trace)
+}
+
+/// The canonical failure-domain storm: one server fail-stops for good
+/// mid-wave (while sessions are still arriving and downloading) and a
+/// second one flaps — dies and rejoins through health probation. Both
+/// picks wrap at the server count so the preset stays valid for any
+/// topology with at least two servers.
+pub fn storm_failures(servers: usize) -> Vec<ServerFailure> {
+    // The arrival ramp spans [0, 4] s at any session count
+    // (`stagger_secs` scales as 4/n), so both deaths land while
+    // sessions are still arriving and downloading.
+    let s = servers.max(2);
+    vec![
+        ServerFailure {
+            server: 1 % s,
+            at_secs: 2.5,
+            rejoin_secs: None,
+        },
+        ServerFailure {
+            server: 2 % s,
+            at_secs: 3.5,
+            rejoin_secs: Some(5.0),
+        },
+    ]
+}
+
+/// Parse a `--failures` plan. Accepts the literal `storm` (the preset
+/// above) or a list of `server@at` / `server@at..rejoin` entries
+/// separated by `,` or `;` — e.g. `1@6,2@8..10`.
+pub fn parse_failure_plan(spec: &str, servers: usize) -> Result<Vec<ServerFailure>, String> {
+    if spec == "storm" {
+        return Ok(storm_failures(servers));
+    }
+    let mut plan = Vec::new();
+    for part in spec.split([',', ';']).filter(|p| !p.trim().is_empty()) {
+        let part = part.trim();
+        let (srv, times) = part
+            .split_once('@')
+            .ok_or_else(|| format!("bad failure entry '{part}' (want server@at[..rejoin])"))?;
+        let server: usize = srv
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad server id in '{part}'"))?;
+        let (at, rejoin) = match times.split_once("..") {
+            Some((a, r)) => (a, Some(r)),
+            None => (times, None),
+        };
+        let at_secs: f64 = at
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad failure time in '{part}'"))?;
+        let rejoin_secs = match rejoin {
+            Some(r) => Some(
+                r.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad rejoin time in '{part}'"))?,
+            ),
+            None => None,
+        };
+        plan.push(ServerFailure {
+            server,
+            at_secs,
+            rejoin_secs,
+        });
+    }
+    if plan.is_empty() {
+        return Err("empty failure plan".to_string());
+    }
+    Ok(plan)
+}
+
+/// [`scale_config`] with a failure plan installed — the failure-domain
+/// scenario (`fleet --failures`): unplanned fail-stops, health-checked
+/// evacuation over the faulty control link, degraded-capacity serving.
+pub fn failover_config(
+    n: usize,
+    servers: usize,
+    seed: u64,
+    failures: &[ServerFailure],
+) -> (FleetConfig, NetworkTrace) {
+    let (mut cfg, trace) = scale_config(n, servers, seed);
+    cfg.failures = failures.to_vec();
+    // A lossy inter-server control link for the whole horizon: ~35% of
+    // ticket sends are dropped, so evacuations exercise the retry +
+    // exponential-backoff path and the failover latency has a real
+    // distribution (and the occasional deadline burn) instead of a
+    // constant one-hop transfer.
+    cfg.failover.ctl_faults = FaultPlan::new(seed_for(seed, 0x4E52, StreamComponent::Trace))
+        .downlink_loss(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(cfg.max_virtual_secs),
+            0.35,
+        );
+    (cfg, trace)
+}
+
+/// The failure-domain report: fleet outcome under the failure plan,
+/// evacuation/degradation-ladder accounting, failover latency
+/// percentiles, health-machine transitions, and the per-server failure
+/// counters.
+pub fn failover_report(n: usize, servers: usize, seed: u64, failures: &[ServerFailure]) -> String {
+    let (cfg, trace) = failover_config(n, servers, seed, failures);
+    let r = run_fleet(&cfg, &trace);
+    let fo = r
+        .failover
+        .as_ref()
+        .expect("a non-empty failure plan must produce failover stats");
+
+    let mut summary = Table::new(
+        "Failure domains: unplanned fail-stop, health-checked failover",
+        &[
+            "sessions",
+            "servers",
+            "fails",
+            "rejoins",
+            "evacuated",
+            "landed",
+            "lost xfer",
+            "retries",
+            "p50 lat (s)",
+            "p95 lat (s)",
+        ],
+    );
+    summary.row(vec![
+        n.to_string(),
+        servers.to_string(),
+        fo.server_failures.to_string(),
+        fo.rejoins.to_string(),
+        fo.evacuated.to_string(),
+        fo.landed.to_string(),
+        fo.lost_transfers.to_string(),
+        fo.retries.to_string(),
+        fmt_f(fo.latency_p50_secs),
+        fmt_f(fo.latency_p95_secs),
+    ]);
+
+    let mut ladder = Table::new(
+        "Degradation ladder on evacuation + session conservation",
+        &[
+            "warp",
+            "freeze",
+            "stall",
+            "jobs failed in-flight",
+            "recovered",
+            "lost",
+            "invariant checks",
+            "violations",
+        ],
+    );
+    ladder.row(vec![
+        fo.warp.to_string(),
+        fo.freeze.to_string(),
+        fo.stall.to_string(),
+        fo.jobs_failed_in_flight.to_string(),
+        fo.sessions_recovered.to_string(),
+        fo.sessions_lost.to_string(),
+        r.invariants.checks.to_string(),
+        r.invariants.violations.to_string(),
+    ]);
+
+    let mut health = Table::new(
+        "Health prober (breaker-style): transition totals",
+        &["suspected", "died", "probations", "recovered"],
+    );
+    health.row(vec![
+        fo.health.suspected.to_string(),
+        fo.health.died.to_string(),
+        fo.health.probations.to_string(),
+        fo.health.recovered.to_string(),
+    ]);
+
+    let mut per_server = Table::new(
+        "Per-server failure counters",
+        &[
+            "server",
+            "fails",
+            "rejoins",
+            "evac out",
+            "evac in",
+            "warp",
+            "freeze",
+            "stall",
+            "jobs failed",
+        ],
+    );
+    for sv in &r.servers {
+        let f = sv.failc;
+        if f.failures + f.rejoins + f.evac_out + f.evac_in + f.jobs_failed == 0 {
+            continue;
+        }
+        per_server.row(vec![
+            sv.id.to_string(),
+            f.failures.to_string(),
+            f.rejoins.to_string(),
+            f.evac_out.to_string(),
+            f.evac_in.to_string(),
+            f.evac_warp.to_string(),
+            f.evac_freeze.to_string(),
+            f.evac_stall.to_string(),
+            f.jobs_failed.to_string(),
+        ]);
+    }
+
+    format!("{summary}\n{ladder}\n{health}\n{per_server}")
+}
+
+/// The failure-domain trace: one observed run of the failover scenario,
+/// rendered as the usual JSONL stream (now including the `failover.*`
+/// gauges/counters and `failover.server_fail` / `failover.rejoin`
+/// events). Stamped from virtual time only — byte-identical at any
+/// `--jobs` value.
+pub fn failover_trace(n: usize, servers: usize, seed: u64, failures: &[ServerFailure]) -> String {
+    let (cfg, trace) = failover_config(n, servers, seed, failures);
+    let mut obs = Obs::trace();
+    meter::start();
+    let result = run_fleet_obs(&cfg, &trace, Some(&mut obs));
+    let profile = meter::stop();
+    profile.export(&obs.registry);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"fleet_point\":{n},\"failures\":{},\"digest_len\":{}}}",
+        failures.len(),
+        result.digest().len()
+    );
+    if let Some(lines) = obs.trace_lines() {
+        out.push_str(lines);
+    }
+    out.push_str(&obs.registry.snapshot().render_jsonl());
+    out
 }
 
 /// [`fleet_config_multi`] with the content-aware model plane enabled:
@@ -496,6 +728,44 @@ mod tests {
                 u.mean_uplift_db
             );
         }
+    }
+
+    #[test]
+    fn failure_plan_parses_presets_and_explicit_entries() {
+        let storm = parse_failure_plan("storm", 8).unwrap();
+        assert_eq!(storm.len(), 2);
+        assert!(storm[0].rejoin_secs.is_none() && storm[1].rejoin_secs.is_some());
+
+        let plan = parse_failure_plan("1@6, 2@8..10", 8).unwrap();
+        assert_eq!(plan[0].server, 1);
+        assert_eq!(plan[0].at_secs, 6.0);
+        assert_eq!(plan[1].rejoin_secs, Some(10.0));
+
+        assert!(parse_failure_plan("", 8).is_err());
+        assert!(parse_failure_plan("nope", 8).is_err());
+        assert!(parse_failure_plan("1@x", 8).is_err());
+    }
+
+    #[test]
+    fn failover_report_renders_and_is_deterministic() {
+        let failures = storm_failures(4);
+        let a = failover_report(24, 4, 42, &failures);
+        let b = failover_report(24, 4, 42, &failures);
+        assert_eq!(a, b);
+        assert!(a.contains("Failure domains"));
+        assert!(a.contains("Degradation ladder"));
+        assert!(a.contains("Health prober"));
+        assert!(a.contains("Per-server failure counters"));
+    }
+
+    #[test]
+    fn failover_trace_carries_failover_metrics() {
+        let failures = storm_failures(4);
+        let a = failover_trace(16, 4, 42, &failures);
+        assert!(a.contains("failover.server_fail"));
+        assert!(a.contains("failover.evacuated"));
+        let b = failover_trace(16, 4, 42, &failures);
+        assert_eq!(a, b, "trace must be byte-identical across runs");
     }
 
     #[test]

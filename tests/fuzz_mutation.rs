@@ -17,6 +17,10 @@
 //!   over mutated `"NRVM"` frames: typed [`DeltaError`]s, never a
 //!   panic, and nothing that clears the CRC may differ from what was
 //!   sent.
+//! * **NRVT handoff tickets** — `verify_ticket` (the install-side
+//!   acceptance check behind `ServerSim::install_ticket`) over mutated
+//!   mid-run tickets: install is total, a corrupt ticket is never
+//!   installed, and every corruption maps to a typed [`TicketError`].
 //!
 //! Two properties per target: *no panic* on any input, and *no silent
 //! mis-decode past the CRC* — any bytes that clear an integrity check
@@ -39,6 +43,8 @@ use nerve_fec::ReedSolomon;
 use nerve_model::delta::{delta_for, weights_at};
 use nerve_model::fingerprint::HeadId;
 use nerve_model::WeightDelta;
+use nerve_serve::handoff::{sample_ticket, verify_ticket};
+use nerve_serve::FleetConfig;
 use nerve_video::rng::DetRng;
 use nerve_video::synth::{Category, SceneConfig, SyntheticVideo};
 use rand::RngExt;
@@ -397,6 +403,67 @@ fn fuzz_pure_garbage_delta_frames_error_cleanly() {
         // collision per trial is the only escape, and it would still
         // have to parse as a structurally valid frame).
         assert!(WeightDelta::from_bytes(&data).is_err());
+    });
+}
+
+#[test]
+fn fuzz_nrvt_tickets_never_install_corruption() {
+    use nerve_abr::qoe::QualityMaps;
+    let cfg = FleetConfig::small(8, 0xA11CE);
+    let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+    // A corpus of dirty mid-run tickets spanning the wire shapes:
+    // phase variants, optional caps/model blocks, varied vector lengths.
+    let corpus: Vec<Vec<u8>> = (0..32u64)
+        .map(|salt| sample_ticket(&cfg, &maps, (salt % 8) as usize, salt.wrapping_mul(0x9E37)))
+        .collect();
+    let mut survived = 0u64;
+    let mut rejected = 0u64;
+
+    run_fuzz("ticket", 0x7C4E, |seed| {
+        let mut rng = DetRng::new(seed);
+        let vi = rng.random_range(0..corpus.len());
+        let mut bytes = corpus[vi].clone();
+        for _ in 0..rng.random_range(1..=3usize) {
+            mutate_bytes(&mut bytes, &mut rng);
+        }
+
+        // The install-side acceptance check must be total over arbitrary
+        // bytes (run_fuzz catches panics), and anything it accepts must
+        // re-encode to exactly the bytes presented — the invariant
+        // `ServerSim::install_ticket` asserts before adopting a session.
+        // A mutated ticket either survives intact, collides at ~2^-32,
+        // or comes back as a typed TicketError.
+        match verify_ticket(&cfg, &maps, &bytes) {
+            Ok(reencoded) => {
+                assert_eq!(
+                    reencoded, bytes,
+                    "a ticket was installed whose re-encode differs from the wire bytes"
+                );
+                survived += 1;
+            }
+            Err(_) => rejected += 1,
+        }
+    });
+
+    assert!(survived > 0, "no mutated ticket ever survived intact");
+    assert!(rejected > 0, "mutations never produced a ticket error");
+}
+
+#[test]
+fn fuzz_pure_garbage_tickets_error_cleanly() {
+    use nerve_abr::qoe::QualityMaps;
+    let cfg = FleetConfig::small(8, 0xA11CE);
+    let maps = QualityMaps::placeholder(&cfg.ladder_kbps);
+    run_fuzz("ticket-garbage", 0x7C4F, |seed| {
+        let mut rng = DetRng::new(seed);
+        let len = rng.random_range(0..=768usize);
+        let mut data = vec![0u8; len];
+        for b in data.iter_mut() {
+            *b = rng.random_range(0..=255u32) as u8;
+        }
+        // Raw noise never carries the sealed NRVT frame: the install
+        // check must refuse with a typed error, never panic or accept.
+        assert!(verify_ticket(&cfg, &maps, &data).is_err());
     });
 }
 

@@ -422,6 +422,153 @@ fn fleet_10k_on_8_servers_with_handoff_wave_and_restart_is_stable() {
     );
 }
 
+/// The failure-domain tentpole at scale: 1k sessions on 8 servers, one
+/// server fail-stops mid-storm (never to return) and another flaps
+/// (fail-stop + rejoin through probation). The run must be
+/// byte-identical at `--jobs` 1 / 2 / 4, conserve every session across
+/// evacuation (recovered + lost partitions the evacuees, nothing
+/// vanishes), hold the fleet invariants, keep the stall skew between
+/// evacuated and untouched sessions bounded, and survive a
+/// kill-and-resume through the sealed fleet checkpoint taken
+/// mid-evacuation.
+#[test]
+fn fleet_1k_on_8_servers_failover_storm_is_stable_and_resumable() {
+    use nerve::sim::experiments::fleet::{failover_config, storm_failures};
+    use nerve::sim::sweep;
+    use nerve_serve::{checkpoint_fleet, resume_fleet};
+
+    const SESSIONS: usize = 1_000;
+    const SERVERS: usize = 8;
+    let failures = storm_failures(SERVERS);
+    let (cfg, trace) = failover_config(SESSIONS, SERVERS, 71, &failures);
+
+    let prev = sweep::workers();
+    let mut digests = Vec::new();
+    let mut last = None;
+    for jobs in [1usize, 2, 4] {
+        sweep::set_workers(jobs);
+        let r = nerve_serve::run_fleet(&cfg, &trace);
+        digests.push(r.digest());
+        last = Some(r);
+    }
+    sweep::set_workers(prev);
+    assert_eq!(digests[0], digests[1], "--jobs 1 vs --jobs 2");
+    assert_eq!(digests[1], digests[2], "--jobs 2 vs --jobs 4");
+
+    let r = last.unwrap();
+    let fo = r.failover.as_ref().expect("failure plan must surface stats");
+    assert_eq!(fo.server_failures, 2, "both planned fail-stops must land");
+    assert_eq!(fo.rejoins, 1, "the flapping server must rejoin");
+    assert!(fo.evacuated > 0, "the dead servers held resident sessions");
+    assert_eq!(
+        fo.landed + fo.lost_transfers,
+        fo.evacuated,
+        "every evacuation ticket must land or burn its deadline"
+    );
+    // Every *active* evacuee settles on one degradation-ladder rung;
+    // sessions that had already drained evacuate without one.
+    assert!(
+        fo.warp + fo.freeze + fo.stall <= fo.evacuated,
+        "more ladder settles than evacuations"
+    );
+    assert!(
+        fo.warp + fo.freeze + fo.stall > 0,
+        "a mid-wave storm must hit active sessions"
+    );
+    assert!(r.invariants.checks > 0, "the invariant checker must run");
+    assert_eq!(r.invariants.violations, 0, "fleet invariants must hold");
+
+    // Session conservation: nobody vanishes in the failover chaos.
+    assert_eq!(r.sessions.len(), SESSIONS);
+    assert_eq!(
+        r.servers.iter().map(|s| s.sessions).sum::<usize>(),
+        SESSIONS,
+        "every session must be resident somewhere at the end"
+    );
+    let evacuees: Vec<_> = r
+        .sessions
+        .iter()
+        .filter(|s| s.counters.evacuations > 0)
+        .collect();
+    // `evacuated` counts every forced move (drained sessions included,
+    // and a twice-hit session twice); the session-visible counters see
+    // only the *active* evacuations, each of which settles exactly one
+    // ladder rung.
+    assert!(!evacuees.is_empty(), "the storm must touch live sessions");
+    assert!(evacuees.len() <= fo.evacuated, "evacuee census overflow");
+    assert_eq!(
+        r.sessions
+            .iter()
+            .map(|s| s.counters.evacuations)
+            .sum::<usize>(),
+        fo.warp + fo.freeze + fo.stall,
+        "active evacuations must match ladder settles"
+    );
+    assert_eq!(
+        fo.sessions_recovered + fo.sessions_lost,
+        evacuees.len(),
+        "recovered + lost must partition the evacuees"
+    );
+    // No dead-server settles: nobody finishes resident on the server
+    // that died for good (server 1 in the storm plan).
+    let dead_forever = failures
+        .iter()
+        .find(|f| f.rejoin_secs.is_none())
+        .expect("the storm has a permanent death")
+        .server;
+    assert!(
+        r.sessions.iter().all(|s| s.server != dead_forever),
+        "sessions settled on a permanently dead server"
+    );
+
+    // The widened accounting identity: a fail-stop's dropped jobs are
+    // charged, never silently settled.
+    for s in r.sessions.iter().filter(|s| !s.rejected) {
+        assert_eq!(
+            s.counters.jobs,
+            s.counters.full
+                + s.counters.degraded
+                + s.counters.sr_skipped
+                + s.counters.failed_in_flight,
+            "session {} lost jobs across the fail-stop",
+            s.id
+        );
+    }
+
+    // Bounded stall skew: evacuation costs stall time, but the recovered
+    // evacuees must stay within a bounded distance of the untouched
+    // fleet — failover is a degradation, not an outage.
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let evac_stall: Vec<f64> = evacuees
+        .iter()
+        .filter(|s| !s.rejected)
+        .map(|s| s.stall_ratio)
+        .collect();
+    let calm_stall: Vec<f64> = r
+        .sessions
+        .iter()
+        .filter(|s| s.counters.evacuations == 0 && !s.rejected)
+        .map(|s| s.stall_ratio)
+        .collect();
+    assert!(!evac_stall.is_empty() && !calm_stall.is_empty());
+    let skew = mean(&evac_stall) - mean(&calm_stall);
+    assert!(
+        skew < 0.35,
+        "evacuated sessions stall {skew:.3} above the untouched fleet"
+    );
+
+    // Kill-and-resume mid-evacuation: checkpoint at 3.6 s (after the
+    // permanent death at 2.5 s and the flap at 3.5 s, tickets in
+    // flight), resume, and land on the uninterrupted digest.
+    let frame = checkpoint_fleet(&cfg, &trace, 3.6);
+    let resumed = resume_fleet(&cfg, &trace, &frame).expect("checkpoint resumes");
+    assert_eq!(
+        resumed.digest(),
+        digests[0],
+        "kill-and-resume mid-evacuation must land on the uninterrupted digest"
+    );
+}
+
 /// The budget policy earns its complexity: across the live chaos matrix
 /// (loss burst, uplink collapse, tight playout budget, desync storm) the
 /// deadline-budget-driven repair choice beats every static single-repair

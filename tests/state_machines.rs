@@ -1,0 +1,547 @@
+//! Model-based testing of the two breaker-style state machines.
+//!
+//! Each machine is checked against an independently written *reference
+//! model* — a plain transition table transcribed from the documented
+//! contract, not from the implementation — over randomized event
+//! sequences:
+//!
+//! * [`CircuitBreaker`] (nerve-core): Closed → Open → HalfOpen → Closed,
+//!   watchdog force-opens, bounded probe allowance per flush.
+//! * [`ServerHealth`] / [`HealthTracker`] (nerve-serve): Healthy →
+//!   Suspect → Dead → Probation → Healthy, the short recoveries
+//!   Suspect → Healthy and Probation → Dead, and the probe-instant
+//!   equivalence of incremental vs one-shot `advance`.
+//!
+//! Three properties throughout: the implementation agrees with the model
+//! step-for-step (state and counters), every observed transition is in
+//! the legal set, and no reachable state is stuck — from anywhere, a
+//! bounded run of good probes / successful jobs returns the machine to
+//! its serving state.
+//!
+//! The randomized sequences run twice: through `proptest` (shrinking,
+//! online toolchains) and through a seeded SplitMix64 sweep that runs
+//! everywhere, including the offline stub driver where the `proptest!`
+//! macro is a no-op.
+
+use nerve_core::{BreakerConfig, BreakerState, CircuitBreaker};
+use nerve_serve::{
+    server_up_at, HealthConfig, HealthCounters, HealthState, HealthTracker, ServerFailure,
+    ServerHealth,
+};
+use nerve_video::rng::DetRng;
+use proptest::prelude::*;
+use rand::RngExt;
+
+// ---------------------------------------------------------------------
+// ServerHealth: reference model + sequence checker
+// ---------------------------------------------------------------------
+
+/// Reference health machine: the documented transition table, written as
+/// (state, probe) → (state', counter bump) with explicit streak rules.
+#[derive(Debug, Clone, Copy)]
+struct HealthModel {
+    cfg: HealthConfig,
+    state: HealthState,
+    streak: u32,
+    counters: HealthCounters,
+}
+
+impl HealthModel {
+    fn new(cfg: HealthConfig) -> Self {
+        Self {
+            cfg,
+            state: HealthState::Healthy,
+            streak: 0,
+            counters: HealthCounters::default(),
+        }
+    }
+
+    fn probe(&mut self, ok: bool) {
+        use HealthState::*;
+        match (self.state, ok) {
+            (Healthy, true) => self.streak = 0,
+            (Healthy, false) | (Suspect, false) => {
+                self.streak += 1;
+                if self.streak >= self.cfg.dead_after {
+                    // Degenerate configs (dead_after <= suspect_after)
+                    // pass through Suspect in the same step so the
+                    // transition set stays legal.
+                    if self.state == Healthy {
+                        self.counters.suspected += 1;
+                    }
+                    self.state = Dead;
+                    self.counters.died += 1;
+                } else if self.state == Healthy && self.streak >= self.cfg.suspect_after {
+                    self.state = Suspect;
+                    self.counters.suspected += 1;
+                }
+            }
+            (Suspect, true) => {
+                self.state = Healthy;
+                self.streak = 0;
+            }
+            (Dead, false) => self.streak = 0,
+            (Dead, true) | (Probation, true) => {
+                if self.state == Dead {
+                    self.state = Probation;
+                    self.counters.probations += 1;
+                    self.streak = 0;
+                }
+                self.streak += 1;
+                if self.streak >= self.cfg.probation_probes {
+                    self.state = Healthy;
+                    self.counters.recovered += 1;
+                    self.streak = 0;
+                }
+            }
+            (Probation, false) => {
+                self.state = Dead;
+                self.counters.died += 1;
+                self.streak = 0;
+            }
+        }
+    }
+}
+
+/// The legal transition set for the health machine. `Healthy → Dead` is
+/// the documented degenerate pass-through (dead_after <= suspect_after).
+fn health_transition_is_legal(from: HealthState, to: HealthState) -> bool {
+    use HealthState::*;
+    matches!(
+        (from, to),
+        (Healthy, Suspect)
+            | (Healthy, Dead)
+            | (Suspect, Dead)
+            | (Suspect, Healthy)
+            | (Dead, Probation)
+            | (Dead, Healthy)
+            | (Probation, Healthy)
+            | (Probation, Dead)
+    )
+}
+
+/// Drive one implementation machine and the reference model through the
+/// same probe sequence, asserting agreement, legality, and liveness.
+fn check_health_sequence(cfg: HealthConfig, probes: &[bool]) {
+    let mut imp = ServerHealth::new(cfg);
+    let mut model = HealthModel::new(cfg);
+    for (i, &ok) in probes.iter().enumerate() {
+        let before = imp.state();
+        imp.probe(ok);
+        model.probe(ok);
+        let after = imp.state();
+        assert!(
+            before == after || health_transition_is_legal(before, after),
+            "illegal transition {} -> {} at probe {i}",
+            before.label(),
+            after.label()
+        );
+        assert_eq!(after, model.state, "state diverged from model at probe {i}");
+        assert_eq!(
+            imp.streak(),
+            model.streak,
+            "streak diverged from model at probe {i}"
+        );
+        assert_eq!(
+            imp.counters(),
+            model.counters,
+            "counters diverged from model at probe {i}"
+        );
+        // Placement eligibility is exactly "Healthy".
+        assert_eq!(imp.placeable(), after == HealthState::Healthy);
+    }
+    // Liveness: no reachable state is stuck — a bounded run of good
+    // probes always restores Healthy.
+    let recovery = (cfg.dead_after + cfg.probation_probes + 2) as usize;
+    for _ in 0..recovery {
+        imp.probe(true);
+    }
+    assert_eq!(
+        imp.state(),
+        HealthState::Healthy,
+        "machine stuck after {recovery} good probes"
+    );
+}
+
+fn small_health_cfg(pick: u64) -> HealthConfig {
+    // A spread of thresholds including the degenerate dead_after <=
+    // suspect_after corner the pass-through rule exists for.
+    let presets = [
+        HealthConfig::default(),
+        HealthConfig {
+            probe_secs: 0.25,
+            suspect_after: 1,
+            dead_after: 2,
+            probation_probes: 1,
+        },
+        HealthConfig {
+            probe_secs: 0.5,
+            suspect_after: 3,
+            dead_after: 3,
+            probation_probes: 2,
+        },
+        HealthConfig {
+            probe_secs: 0.25,
+            suspect_after: 4,
+            dead_after: 2,
+            probation_probes: 3,
+        },
+    ];
+    presets[(pick % presets.len() as u64) as usize]
+}
+
+#[test]
+fn health_machine_agrees_with_model_over_seeded_sequences() {
+    for seed in 0..512u64 {
+        let mut rng = DetRng::new(0x4EA1 ^ (seed << 8));
+        let cfg = small_health_cfg(seed);
+        let len = rng.random_range(0..=160usize);
+        let probes: Vec<bool> = (0..len)
+            // Biased toward failures so Dead/Probation are reached often.
+            .map(|_| rng.random_range(0..100u32) < 45)
+            .collect();
+        check_health_sequence(cfg, &probes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_health_machine_agrees_with_model(
+        pick in 0u64..4,
+        probes in proptest::collection::vec(proptest::bool::weighted(0.55), 0..200),
+    ) {
+        check_health_sequence(small_health_cfg(pick), &probes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// HealthTracker: probe-instant equivalence
+// ---------------------------------------------------------------------
+
+/// Incremental `advance` in arbitrary time steps must feed exactly the
+/// same probe instants as one jump to the final time: same states, same
+/// streaks, same totals.
+fn check_tracker_equivalence(steps: &[f64], plan: &[ServerFailure], servers: usize) {
+    let cfg = HealthConfig::default();
+    let mut inc = HealthTracker::new(cfg, servers);
+    let mut t = 0.0f64;
+    for &dt in steps {
+        t += dt;
+        inc.advance(t, plan);
+    }
+    let mut oneshot = HealthTracker::new(cfg, servers);
+    oneshot.advance(t, plan);
+
+    assert_eq!(inc.fed(), oneshot.fed(), "probe counts diverged");
+    assert_eq!(inc.totals(), oneshot.totals(), "transition totals diverged");
+    for s in 0..servers {
+        assert_eq!(inc.state(s), oneshot.state(s), "server {s} state diverged");
+        assert_eq!(
+            inc.machines()[s].streak(),
+            oneshot.machines()[s].streak(),
+            "server {s} streak diverged"
+        );
+    }
+    // The tracker samples the pure scheduled-uptime oracle: a server
+    // that the plan keeps up for the whole horizon stays Healthy.
+    for s in 0..servers {
+        if (1..=inc.fed()).all(|k| server_up_at(plan, s, k as f64 * cfg.probe_secs)) {
+            assert_eq!(inc.state(s), HealthState::Healthy);
+        }
+    }
+}
+
+fn seeded_plan(rng: &mut DetRng, servers: usize) -> Vec<ServerFailure> {
+    let n = rng.random_range(0..=3usize);
+    (0..n)
+        .map(|_| {
+            let at = rng.random_range(0..80u32) as f64 / 10.0;
+            ServerFailure {
+                server: rng.random_range(0..servers),
+                at_secs: at,
+                rejoin_secs: if rng.random_range(0..2u32) == 0 {
+                    Some(at + rng.random_range(1..30u32) as f64 / 10.0)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn health_tracker_incremental_advance_matches_one_shot() {
+    for seed in 0..256u64 {
+        let mut rng = DetRng::new(0x7AC4 ^ (seed << 9));
+        let servers = rng.random_range(1..=6usize);
+        let plan = seeded_plan(&mut rng, servers);
+        let steps: Vec<f64> = (0..rng.random_range(1..=24usize))
+            .map(|_| rng.random_range(0..200u32) as f64 / 100.0)
+            .collect();
+        check_tracker_equivalence(&steps, &plan, servers);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_health_tracker_incremental_advance_matches_one_shot(
+        steps in proptest::collection::vec(0.0f64..2.0, 1..24),
+        server in 0usize..4,
+        at in 0.0f64..8.0,
+        rejoin in proptest::option::of(0.1f64..3.0),
+    ) {
+        let plan = vec![ServerFailure {
+            server,
+            at_secs: at,
+            rejoin_secs: rejoin.map(|d| at + d),
+        }];
+        check_tracker_equivalence(&steps, &plan, 4);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CircuitBreaker: reference model + sequence checker
+// ---------------------------------------------------------------------
+
+/// One externally-driven breaker event. Time only moves at flush
+/// boundaries, matching how the batcher drives the real breaker.
+#[derive(Debug, Clone, Copy)]
+enum BreakerOp {
+    /// `begin_flush` after advancing the clock by this many seconds.
+    Flush(f64),
+    /// One job: `allow_full`, and if admitted, `record(met_deadline)`.
+    Job(bool),
+    /// Watchdog force-open at the current clock.
+    Watchdog,
+}
+
+/// Reference breaker: the documented Closed/Open/HalfOpen contract.
+#[derive(Debug, Clone, Copy)]
+struct BreakerModel {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    streak: usize,
+    opened_at: f64,
+    probes_issued: usize,
+    opened: u64,
+    half_opened: u64,
+    closed: u64,
+    watchdog_trips: u64,
+    fast_shed: u64,
+}
+
+impl BreakerModel {
+    fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            streak: 0,
+            opened_at: 0.0,
+            probes_issued: 0,
+            opened: 0,
+            half_opened: 0,
+            closed: 0,
+            watchdog_trips: 0,
+            fast_shed: 0,
+        }
+    }
+
+    fn open(&mut self, now: f64) {
+        self.state = BreakerState::Open;
+        self.streak = 0;
+        self.opened_at = now;
+        self.opened += 1;
+    }
+
+    fn begin_flush(&mut self, now: f64) {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.cfg.cooldown_secs {
+            self.state = BreakerState::HalfOpen;
+            self.streak = 0;
+            self.half_opened += 1;
+        }
+        self.probes_issued = 0;
+    }
+
+    fn job(&mut self, met_deadline: bool, now: f64) {
+        let allowed = match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => self.probes_issued < self.cfg.probe_jobs,
+        };
+        if !allowed {
+            self.fast_shed += 1;
+            return;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                if met_deadline {
+                    self.streak = 0;
+                } else {
+                    self.streak += 1;
+                    if self.streak >= self.cfg.open_after_misses {
+                        self.open(now);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_issued += 1;
+                if met_deadline {
+                    self.streak += 1;
+                    if self.streak >= self.cfg.probe_jobs {
+                        self.state = BreakerState::Closed;
+                        self.streak = 0;
+                        self.closed += 1;
+                    }
+                } else {
+                    self.open(now);
+                }
+            }
+            BreakerState::Open => unreachable!("open jobs are fast-shed"),
+        }
+    }
+
+    fn watchdog(&mut self, now: f64) {
+        self.watchdog_trips += 1;
+        self.open(now);
+    }
+}
+
+fn breaker_transition_is_legal(from: BreakerState, to: BreakerState) -> bool {
+    use BreakerState::*;
+    matches!(
+        (from, to),
+        (Closed, Open) | (Open, HalfOpen) | (HalfOpen, Open) | (HalfOpen, Closed)
+    )
+}
+
+/// Drive implementation and model through the same op sequence.
+fn check_breaker_sequence(cfg: BreakerConfig, ops: &[BreakerOp]) {
+    let mut imp = CircuitBreaker::new(cfg);
+    let mut model = BreakerModel::new(cfg);
+    let mut now = 0.0f64;
+    for (i, &op) in ops.iter().enumerate() {
+        let before = imp.state();
+        match op {
+            BreakerOp::Flush(dt) => {
+                now += dt;
+                imp.begin_flush(now);
+                model.begin_flush(now);
+            }
+            BreakerOp::Job(met) => {
+                if imp.allow_full() {
+                    imp.record(met, now);
+                }
+                model.job(met, now);
+            }
+            BreakerOp::Watchdog => {
+                imp.trip_watchdog(now);
+                model.watchdog(now);
+            }
+        }
+        let after = imp.state();
+        assert!(
+            before == after || breaker_transition_is_legal(before, after),
+            "illegal transition {before:?} -> {after:?} at op {i}"
+        );
+        assert_eq!(after, model.state, "state diverged from model at op {i}");
+        let snap = imp.snapshot();
+        assert_eq!(snap.streak, model.streak, "streak diverged at op {i}");
+        assert_eq!(
+            snap.probes_issued, model.probes_issued,
+            "probe allowance diverged at op {i}"
+        );
+        assert_eq!(imp.counters.opened, model.opened, "opened diverged at op {i}");
+        assert_eq!(
+            imp.counters.half_opened, model.half_opened,
+            "half_opened diverged at op {i}"
+        );
+        assert_eq!(imp.counters.closed, model.closed, "closed diverged at op {i}");
+        assert_eq!(
+            imp.counters.watchdog_trips, model.watchdog_trips,
+            "watchdog_trips diverged at op {i}"
+        );
+        assert_eq!(
+            imp.counters.fast_shed, model.fast_shed,
+            "fast_shed diverged at op {i}"
+        );
+    }
+    // Liveness: cooldown + a clean probe run always re-closes.
+    let resume = imp.snapshot().opened_at_secs + cfg.cooldown_secs + 1.0;
+    imp.begin_flush(now.max(resume));
+    for _ in 0..cfg.probe_jobs {
+        if imp.allow_full() {
+            imp.record(true, now.max(resume));
+        }
+    }
+    assert_eq!(
+        imp.state(),
+        BreakerState::Closed,
+        "breaker stuck after cooldown plus {} clean probes",
+        cfg.probe_jobs
+    );
+}
+
+fn small_breaker_cfg(pick: u64) -> BreakerConfig {
+    let presets = [
+        BreakerConfig::default(),
+        BreakerConfig {
+            open_after_misses: 1,
+            cooldown_secs: 0.5,
+            probe_jobs: 1,
+            watchdog_budget_secs: 0.25,
+        },
+        BreakerConfig {
+            open_after_misses: 3,
+            cooldown_secs: 1.0,
+            probe_jobs: 2,
+            watchdog_budget_secs: 0.25,
+        },
+    ];
+    presets[(pick % presets.len() as u64) as usize]
+}
+
+fn seeded_breaker_ops(rng: &mut DetRng) -> Vec<BreakerOp> {
+    let len = rng.random_range(0..=160usize);
+    (0..len)
+        .map(|_| match rng.random_range(0..100u32) {
+            // Mostly jobs, biased toward misses so Open is reached often.
+            0..=64 => BreakerOp::Job(rng.random_range(0..100u32) < 40),
+            65..=94 => BreakerOp::Flush(rng.random_range(0..300u32) as f64 / 100.0),
+            _ => BreakerOp::Watchdog,
+        })
+        .collect()
+}
+
+#[test]
+fn breaker_agrees_with_model_over_seeded_sequences() {
+    for seed in 0..512u64 {
+        let mut rng = DetRng::new(0xB4EA ^ (seed << 7));
+        let cfg = small_breaker_cfg(seed);
+        let ops = seeded_breaker_ops(&mut rng);
+        check_breaker_sequence(cfg, &ops);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_breaker_agrees_with_model(
+        pick in 0u64..3,
+        raw in proptest::collection::vec((0u32..3, proptest::bool::weighted(0.4), 0.0f64..3.0), 0..160),
+    ) {
+        let ops: Vec<BreakerOp> = raw
+            .into_iter()
+            .map(|(kind, met, dt)| match kind {
+                0 => BreakerOp::Job(met),
+                1 => BreakerOp::Flush(dt),
+                _ => BreakerOp::Watchdog,
+            })
+            .collect();
+        check_breaker_sequence(small_breaker_cfg(pick), &ops);
+    }
+}
