@@ -1,0 +1,116 @@
+//! Bench target `tensor` — the conv hot path: direct vs im2col+GEMM
+//! kernels, the fused head forward, and int8 inference, on the shapes
+//! the pipeline actually runs. `nerve-tensor-bench` is the scripted
+//! (JSON-emitting) counterpart; this is the criterion view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerve_tensor::conv::{conv2d, conv2d_direct, ConvSpec};
+use nerve_tensor::fused::{head_forward, PlaneSource};
+use nerve_tensor::gemm::conv2d_gemm;
+use nerve_tensor::net::Conv2d;
+use nerve_tensor::quant::{conv2d_i8, quantize};
+use nerve_tensor::Tensor;
+use std::hint::black_box;
+
+fn fill(seed: u32, len: usize) -> Vec<f32> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn seeded_conv(seed: u32, spec: ConvSpec) -> Conv2d {
+    let mut c = Conv2d::zeroed(spec);
+    let wl = c.weight.data().len();
+    c.weight.data_mut().copy_from_slice(&fill(seed, wl));
+    let bl = c.bias.len();
+    c.bias.copy_from_slice(&fill(seed ^ 0xABCD, bl));
+    c
+}
+
+fn conv_kernels(c: &mut Criterion) {
+    // (label, n, spec, h, w): SR head conv2 (the K=72 money shape) and
+    // the batcher backbone at occupancy 32.
+    for (label, n, spec, h, w) in [
+        (
+            "sr_head",
+            1usize,
+            ConvSpec::same(8, 16, 3),
+            96usize,
+            160usize,
+        ),
+        ("batch32", 32, ConvSpec::same(8, 16, 3), 32, 64),
+    ] {
+        let input = Tensor::from_vec(
+            n,
+            spec.in_channels,
+            h,
+            w,
+            fill(1, n * spec.in_channels * h * w),
+        );
+        let conv = seeded_conv(2, spec);
+        c.bench_function(&format!("conv_direct_{label}"), |b| {
+            b.iter(|| {
+                black_box(conv2d_direct(
+                    black_box(&input),
+                    &conv.weight,
+                    &conv.bias,
+                    spec,
+                ))
+            })
+        });
+        c.bench_function(&format!("conv_gemm_{label}"), |b| {
+            b.iter(|| {
+                black_box(conv2d_gemm(
+                    black_box(&input),
+                    &conv.weight,
+                    &conv.bias,
+                    spec,
+                ))
+            })
+        });
+    }
+}
+
+fn fused_head(c: &mut Criterion) {
+    let (h, w) = (96usize, 160usize);
+    let conv1 = seeded_conv(3, ConvSpec::same(3, 8, 3));
+    let conv2 = seeded_conv(4, ConvSpec::same(8, 16, 3));
+    let data = fill(5, 3 * h * w);
+    c.bench_function("sr_head_fused", |b| {
+        b.iter(|| {
+            let srcs: Vec<PlaneSource> = data.chunks(h * w).map(PlaneSource::Slice).collect();
+            black_box(head_forward(&srcs, h, w, &conv1, &conv2, 4))
+        })
+    });
+    c.bench_function("sr_head_staged", |b| {
+        let input = Tensor::from_vec(1, 3, h, w, data.clone());
+        b.iter(|| {
+            let h1 = nerve_tensor::ops::relu(&conv2d(
+                black_box(&input),
+                &conv1.weight,
+                &conv1.bias,
+                conv1.spec,
+            ));
+            let c2 = conv2d(&h1, &conv2.weight, &conv2.bias, conv2.spec);
+            black_box(nerve_tensor::ops::pixel_shuffle(&c2, 4))
+        })
+    });
+}
+
+fn int8_inference(c: &mut Criterion) {
+    let (h, w) = (96usize, 160usize);
+    let spec = ConvSpec::same(8, 16, 3);
+    let conv = seeded_conv(6, spec);
+    let q = quantize(&conv.weight, &conv.bias, spec);
+    let input = Tensor::from_vec(1, 8, h, w, fill(7, 8 * h * w));
+    c.bench_function("conv_i8_sr_head", |b| {
+        b.iter(|| black_box(conv2d_i8(black_box(&input), &q)))
+    });
+}
+
+criterion_group!(benches, conv_kernels, fused_head, int8_inference);
+criterion_main!(benches);

@@ -522,7 +522,11 @@ impl InferenceBatcher {
 
         // One stacked forward pass for every full-served job: this is
         // the call whose batch × out-channel planes fan out across the
-        // worker pool.
+        // worker pool. `conv2d` dispatches by shape — `small()`'s
+        // backbone (K = 2·3·3 = 18) stays on the direct kernel while
+        // `bench()`'s (K = 8·3·3 = 72 at 32×64 planes) takes the im2col
+        // + blocked GEMM path, so per-job cost at occupancy 8/32 drops
+        // without the meter charge (analytic, pre-dispatch) changing.
         if !batch_members.is_empty() {
             let inputs: Vec<Tensor> = batch_members
                 .iter()

@@ -174,7 +174,12 @@ impl ServerHealth {
     }
 
     /// Rebuild a machine from checkpointed state.
-    pub fn restore(cfg: HealthConfig, state: HealthState, streak: u32, counters: HealthCounters) -> Self {
+    pub fn restore(
+        cfg: HealthConfig,
+        state: HealthState,
+        streak: u32,
+        counters: HealthCounters,
+    ) -> Self {
         Self {
             cfg,
             state,
@@ -205,7 +210,8 @@ impl ServerHealth {
                         self.state = HealthState::Dead;
                         self.counters.died += 1;
                     }
-                } else if self.state == HealthState::Healthy && self.streak >= self.cfg.suspect_after
+                } else if self.state == HealthState::Healthy
+                    && self.streak >= self.cfg.suspect_after
                 {
                     self.state = HealthState::Suspect;
                     self.counters.suspected += 1;
@@ -529,7 +535,10 @@ mod tests {
         h.probe(true);
         assert_eq!(h.state(), HealthState::Healthy);
         let c = h.counters();
-        assert_eq!((c.suspected, c.died, c.probations, c.recovered), (1, 1, 1, 1));
+        assert_eq!(
+            (c.suspected, c.died, c.probations, c.recovered),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]
@@ -594,8 +603,11 @@ mod tests {
     #[test]
     fn lossy_link_retries_deterministically_and_deadline_caps() {
         let fo = FailoverConfig {
-            ctl_faults: FaultPlan::new(7)
-                .loss_burst(SimTime::from_secs_f64(0.0), SimTime::from_secs_f64(60.0), 1.0),
+            ctl_faults: FaultPlan::new(7).loss_burst(
+                SimTime::from_secs_f64(0.0),
+                SimTime::from_secs_f64(60.0),
+                1.0,
+            ),
             ..FailoverConfig::default()
         };
         // Total loss: every session exhausts the deadline.

@@ -29,7 +29,8 @@ use crate::batcher::{BatcherStats, ServerModel};
 use crate::ckpt::{CkptError, FleetCkpt};
 use crate::failure::{
     percentile_nearest_rank, plan_transfer, FailoverConfig, FailoverStats, HealthCounters,
-    HealthState, HealthTracker, InvariantReport, ServerFailure, ServerFailureCounters, ServerHealth,
+    HealthState, HealthTracker, InvariantReport, ServerFailure, ServerFailureCounters,
+    ServerHealth,
 };
 use crate::server::{FleetMetrics, ServerPartial, ServerSim, SessionDone};
 use crate::topology::{place_evacuee, place_sessions, PlacementPolicy, SessionHandoff};
@@ -1596,8 +1597,7 @@ fn assemble(
     // mid-transfer when the clock stopped, every spawned session must
     // surface exactly once at assembly.
     invariants.checks += 1;
-    let conserved =
-        dones.len() == cfg.sessions && dones.iter().enumerate().all(|(i, d)| d.id == i);
+    let conserved = dones.len() == cfg.sessions && dones.iter().enumerate().all(|(i, d)| d.id == i);
     if !conserved {
         invariants.violations += 1;
         debug_assert!(
@@ -1830,11 +1830,14 @@ fn assemble(
             g.gauge("failover.landed").set(fo.landed as f64);
             g.gauge("failover.lost_transfers")
                 .set(fo.lost_transfers as f64);
-            g.gauge("failover.latency_p50_secs").set(fo.latency_p50_secs);
-            g.gauge("failover.latency_p95_secs").set(fo.latency_p95_secs);
+            g.gauge("failover.latency_p50_secs")
+                .set(fo.latency_p50_secs);
+            g.gauge("failover.latency_p95_secs")
+                .set(fo.latency_p95_secs);
             g.gauge("failover.sessions_recovered")
                 .set(fo.sessions_recovered as f64);
-            g.gauge("failover.sessions_lost").set(fo.sessions_lost as f64);
+            g.gauge("failover.sessions_lost")
+                .set(fo.sessions_lost as f64);
             g.counter("failover.retries").add(fo.retries);
             g.counter("failover.health.suspected")
                 .add(fo.health.suspected);
@@ -2585,11 +2588,8 @@ mod tests {
     #[test]
     fn severed_control_link_burns_deadline_stalls_and_readmits() {
         let mut cfg = failure_cfg(8, 47);
-        cfg.failover.ctl_faults = FaultPlan::new(1).downlink_loss(
-            SimTime::ZERO,
-            SimTime::from_secs_f64(1e6),
-            1.0,
-        );
+        cfg.failover.ctl_faults =
+            FaultPlan::new(1).downlink_loss(SimTime::ZERO, SimTime::from_secs_f64(1e6), 1.0);
         let r = run_fleet(&cfg, &trace(47));
         let fo = r.failover.as_ref().expect("failure plan must report");
         assert_eq!(fo.landed, 0, "no ticket can cross a severed link");
@@ -2617,7 +2617,11 @@ mod tests {
     fn flapping_server_walks_suspect_dead_probation_healthy() {
         let cfg = failure_cfg(8, 53);
         let r = run_fleet(&cfg, &trace(53));
-        let h = r.failover.as_ref().expect("failure plan must report").health;
+        let h = r
+            .failover
+            .as_ref()
+            .expect("failure plan must report")
+            .health;
         assert!(h.suspected >= 2, "both downed servers get suspected");
         assert!(h.died >= 2, "both stay down past the dead threshold");
         assert!(

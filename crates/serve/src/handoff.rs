@@ -320,8 +320,8 @@ pub fn sample_ticket(cfg: &FleetConfig, maps: &QualityMaps, id: usize, salt: u64
     use nerve_net::loss::LossModel;
 
     let mut s = SessionState::fresh(cfg, maps, id);
-    s.admitted = salt % 3 != 0;
-    s.rejected = salt % 17 == 0;
+    s.admitted = !salt.is_multiple_of(3);
+    s.rejected = salt.is_multiple_of(17);
     if salt % 4 == 1 {
         s.cap = Some((salt % cfg.ladder_kbps.len() as u64) as usize);
     }
@@ -343,8 +343,12 @@ pub fn sample_ticket(cfg: &FleetConfig, maps: &QualityMaps, id: usize, salt: u64
     s.ctx.last_choice = (salt % cfg.ladder_kbps.len() as u64) as usize;
     s.ctx.buffer_secs = s.buffer_secs;
     for k in 0..(salt % 6) {
-        s.ctx.throughput_kbps.push(500.0 + (salt ^ k) as f64 % 4000.0);
-        s.ctx.loss_rates.push(((salt >> 3) ^ k) as f64 % 97.0 / 970.0);
+        s.ctx
+            .throughput_kbps
+            .push(500.0 + (salt ^ k) as f64 % 4000.0);
+        s.ctx
+            .loss_rates
+            .push(((salt >> 3) ^ k) as f64 % 97.0 / 970.0);
     }
     if !s.chunks.is_empty() {
         s.chunks[0] = ChunkAcc {
@@ -357,9 +361,11 @@ pub fn sample_ticket(cfg: &FleetConfig, maps: &QualityMaps, id: usize, salt: u64
         };
     }
     match salt % 3 {
-        0 => s.phase = Phase::Waiting {
-            until: SimTime::from_secs_f64((salt % 120) as f64 / 10.0),
-        },
+        0 => {
+            s.phase = Phase::Waiting {
+                until: SimTime::from_secs_f64((salt % 120) as f64 / 10.0),
+            }
+        }
         1 => {
             s.phase = Phase::Downloading {
                 rung: (salt % 4) as usize,
@@ -377,7 +383,7 @@ pub fn sample_ticket(cfg: &FleetConfig, maps: &QualityMaps, id: usize, salt: u64
     if salt % 6 == 2 {
         s.crashes = vec![((salt % 20) as f64, 1.0 + (salt % 4) as f64 / 4.0)];
     }
-    if salt % 2 == 0 {
+    if salt.is_multiple_of(2) {
         s.model = Some(SessionModel {
             head: (salt % 6) as u8,
             confidence: (salt % 100) as f64 / 100.0,

@@ -48,17 +48,17 @@ pub use admission::{
     Admission, AdmissionConfig, AdmissionController, AdmissionState, SessionDemand, TokenBucket,
     TokenBucketState,
 };
+pub use batcher::{
+    occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
+    ServerModel, Service, OCCUPANCY_BUCKETS, OCCUPANCY_EDGES, SLACK_EDGES,
+};
 pub use ckpt::{CkptError, FLEET_CKPT_MAGIC, FLEET_CKPT_VERSION};
+pub use event_queue::{Event, EventKind, EventQueue};
 pub use failure::{
     percentile_nearest_rank, plan_transfer, server_up_at, FailoverConfig, FailoverStats,
     HealthConfig, HealthCounters, HealthState, HealthTracker, InvariantReport, ServerFailure,
     ServerFailureCounters, ServerHealth, TicketTransfer,
 };
-pub use batcher::{
-    occupancy_label, BatcherStats, InferenceBatcher, InferenceJob, JobKind, JobOutcome,
-    ServerModel, Service, OCCUPANCY_BUCKETS, OCCUPANCY_EDGES, SLACK_EDGES,
-};
-pub use event_queue::{Event, EventKind, EventQueue};
 pub use fleet::{
     checkpoint_fleet, jain_fairness, resume_fleet, run_fleet, run_fleet_obs, session_category,
     ClientClass, FleetConfig, FleetModelStats, FleetResult, ModelPlaneConfig, ServerRestart,

@@ -1302,7 +1302,11 @@ impl<'a> ServerSim<'a> {
     /// server goes dark until [`rejoin`](Self::rejoin). Returns the
     /// evacuation tickets in ascending session id; the orchestrator owns
     /// re-placement and the retry/backoff transfer.
-    pub(crate) fn fail(&mut self, at: SimTime, obs: &mut Option<&mut Obs>) -> Vec<(usize, Vec<u8>)> {
+    pub(crate) fn fail(
+        &mut self,
+        at: SimTime,
+        obs: &mut Option<&mut Obs>,
+    ) -> Vec<(usize, Vec<u8>)> {
         self.sync_to(at, obs);
         let mut dropped = 0u64;
         for job in self.batcher.take_pending() {

@@ -48,7 +48,9 @@ fn main() {
             failures_spec = Some(
                 it.next()
                     .filter(|v| !v.starts_with("--"))
-                    .unwrap_or_else(|| die("--failures needs a plan (storm or server@at[..rejoin],...)"))
+                    .unwrap_or_else(|| {
+                        die("--failures needs a plan (storm or server@at[..rejoin],...)")
+                    })
                     .clone(),
             );
         } else if let Some(v) = a.strip_prefix("--failures=") {
@@ -307,8 +309,7 @@ fn main() {
                     let _ = write!(out, "{model}\n");
                 }
                 if let Some(failures) = &failures_for_fleet {
-                    let failover =
-                        fleet::failover_report(sessions, servers, budget.seed, failures);
+                    let failover = fleet::failover_report(sessions, servers, budget.seed, failures);
                     let _ = write!(out, "{failover}\n");
                 }
                 out

@@ -227,7 +227,10 @@ fn main() {
     eprintln!(
         "[failover N=1000 S=8: {fo_wall:.2}s wall, {} evacuated, p50 {:.3}s, p95 {:.3}s, \
          {} recovered / {} lost]",
-        fo.evacuated, fo.latency_p50_secs, fo.latency_p95_secs, fo.sessions_recovered,
+        fo.evacuated,
+        fo.latency_p50_secs,
+        fo.latency_p95_secs,
+        fo.sessions_recovered,
         fo.sessions_lost
     );
 

@@ -1,10 +1,20 @@
 //! 2-D convolution with full backpropagation.
 //!
-//! This is the workhorse of both the recovery and SR heads. The kernel is
-//! a direct (non-im2col) implementation: for the tiny channel counts and
-//! evaluation-scale resolutions NERVE uses, the direct loop is simpler,
-//! cache-friendly enough, and trivially correct — which matters more here
-//! than peak throughput.
+//! This is the workhorse of both the recovery and SR heads. Two forward
+//! kernels share one contract:
+//!
+//! * a **direct** loop with a slice-based interior fast path (pad-free
+//!   region reads row slices, no per-pixel bounds branches) — kept for
+//!   tiny-channel shapes where im2col overhead dominates;
+//! * an **im2col + cache-blocked GEMM** path ([`crate::gemm`]) for the
+//!   head-sized shapes that dominate the MACs budget.
+//!
+//! [`conv2d`] dispatches by shape. Both paths accumulate every output
+//! element in the same order (bias first, then taps in ascending
+//! `(ic, ky, kx)` order), so they are bit-identical, and both report the
+//! same analytic cost to the meter on the caller thread *before* any
+//! worker split — traces and fleet digests stay byte-identical whichever
+//! kernel runs and at any `--jobs` count.
 //!
 //! Padding is symmetric zero padding ("same" output size when
 //! `stride == 1` and `pad == k/2`).
@@ -66,36 +76,86 @@ impl ConvSpec {
         Some((oh, ow))
     }
 
-    /// Number of learnable parameters (weights + biases).
+    /// Number of learnable parameters (weights + biases). Computed in
+    /// `u64` so 32-bit targets cannot overflow the product.
     pub fn params(&self) -> u64 {
-        (self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels)
-            as u64
+        self.out_channels as u64 * self.in_channels as u64 * self.kernel as u64 * self.kernel as u64
+            + self.out_channels as u64
     }
 
     /// Multiply-accumulate count for an input of the given spatial size
     /// (the convention used by the paper's Table 1 FLOPS column: one MAC
     /// = two FLOPs, and we report MACs * 2).
+    ///
+    /// A degenerate spec (zero stride, kernel exceeding the padded
+    /// input) reports 0 instead of panicking, so cost reporting can run
+    /// over arbitrary configurations mid-flight.
     pub fn flops(&self, h: usize, w: usize) -> u64 {
-        let (oh, ow) = self.out_size(h, w);
-        2 * (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+        let Some((oh, ow)) = self.checked_out_size(h, w) else {
+            return 0;
+        };
+        2 * self.out_channels as u64
+            * oh as u64
+            * ow as u64
+            * self.in_channels as u64
+            * self.kernel as u64
+            * self.kernel as u64
+    }
+
+    /// Analytic forward-pass cost — `(MACs, bytes moved)` — for an
+    /// `[n, in_c, h, w]` input. These are the exact values every forward
+    /// path (direct, GEMM, fused) reports to the cost meter on the
+    /// caller thread, which is what keeps traces byte-identical across
+    /// kernels and worker counts. Computed in `u64`: the old `usize`
+    /// arithmetic overflowed on 32-bit targets for large shapes,
+    /// silently flipping the parallel-split decision and mis-charging
+    /// the meter. Degenerate specs report `(0, 0)`.
+    pub fn forward_work(&self, n: usize, h: usize, w: usize) -> (u64, u64) {
+        let Some((oh, ow)) = self.checked_out_size(h, w) else {
+            return (0, 0);
+        };
+        let planes = n as u64 * self.out_channels as u64;
+        let plane_len = oh as u64 * ow as u64;
+        let taps = self.in_channels as u64 * self.kernel as u64 * self.kernel as u64;
+        let macs = planes * plane_len * taps;
+        let input_len = n as u64 * self.in_channels as u64 * h as u64 * w as u64;
+        let weight_len = self.out_channels as u64 * taps;
+        let bytes = 4 * (input_len + weight_len + self.out_channels as u64 + planes * plane_len);
+        (macs, bytes)
+    }
+
+    /// Analytic backward-pass cost — `(MACs, bytes moved)` — for an
+    /// `[n, in_c, h, w]` input: two MACs per tap (weight-gradient and
+    /// input-gradient accumulation) plus one add per output position for
+    /// the bias gradient, and the six buffers touched. Data-independent
+    /// by construction (the sparse zero-gradient skip in the kernel is a
+    /// wall-clock optimization only), so the charge is jobs-invariant.
+    pub fn backward_work(&self, n: usize, h: usize, w: usize) -> (u64, u64) {
+        let Some((oh, ow)) = self.checked_out_size(h, w) else {
+            return (0, 0);
+        };
+        let planes = n as u64 * self.out_channels as u64;
+        let plane_len = oh as u64 * ow as u64;
+        let taps = self.in_channels as u64 * self.kernel as u64 * self.kernel as u64;
+        let macs = planes * plane_len * (2 * taps + 1);
+        let input_len = n as u64 * self.in_channels as u64 * h as u64 * w as u64;
+        let weight_len = self.out_channels as u64 * taps;
+        let bytes = 4
+            * (planes * plane_len // grad_output read
+                + 2 * input_len // input read + grad_input written
+                + 2 * weight_len // weight read + grad_weight written
+                + self.out_channels as u64); // grad_bias written
+        (macs, bytes)
     }
 }
 
 /// Below this many multiply-accumulates the scoped-thread split costs
 /// more than it saves and the forward pass stays serial.
-const PAR_MIN_MACS: usize = 1 << 20;
+pub(crate) const PAR_MIN_MACS: u64 = 1 << 20;
 
-/// Forward convolution.
-///
-/// `input` is `[n, in_c, h, w]`, `weight` is `[out_c, in_c, k, k]`, `bias`
-/// has `out_c` elements. Returns `[n, out_c, oh, ow]`.
-///
-/// Large inputs are split over batch × output-channel planes across the
-/// shared worker pool ([`crate::par`]). Every plane is written by exactly
-/// one worker and each value is computed independently, so the output is
-/// bit-identical at every worker count; nested calls from inside a pool
-/// worker stay serial.
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
+/// Validate shapes and allocate the output tensor. Shared by every
+/// forward entry point.
+fn prepare_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
     assert_eq!(input.c(), spec.in_channels, "input channels mismatch");
     assert_eq!(
         weight.shape(),
@@ -108,21 +168,68 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> 
         "weight shape mismatch"
     );
     assert_eq!(bias.len(), spec.out_channels, "bias length mismatch");
-
     let (oh, ow) = spec.out_size(input.h(), input.w());
-    let mut out = Tensor::zeros(input.n(), spec.out_channels, oh, ow);
-    let planes = input.n() * spec.out_channels;
-    let plane_len = oh * ow;
-    if planes == 0 || plane_len == 0 {
+    Tensor::zeros(input.n(), spec.out_channels, oh, ow)
+}
+
+/// Forward convolution.
+///
+/// `input` is `[n, in_c, h, w]`, `weight` is `[out_c, in_c, k, k]`, `bias`
+/// has `out_c` elements. Returns `[n, out_c, oh, ow]`.
+///
+/// Dispatches by shape: head-sized convolutions (enough taps and output
+/// positions to amortize packing) run the im2col + blocked-GEMM kernel
+/// ([`crate::gemm`]); tiny-channel shapes keep the direct loop. Both
+/// kernels produce bit-identical outputs and the analytic cost is
+/// charged here, on the caller thread, before either runs.
+///
+/// Large inputs are split across the shared worker pool ([`crate::par`]).
+/// Every output value is computed independently by exactly one worker,
+/// so the output is bit-identical at every worker count; nested calls
+/// from inside a pool worker stay serial.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
+    let mut out = prepare_forward(input, weight, bias, spec);
+    if out.data().is_empty() {
         return out;
     }
-    let macs = planes * plane_len * spec.in_channels * spec.kernel * spec.kernel;
     // Meter hook: report the analytic cost on the caller's thread,
     // before the worker split, so attribution is jobs-invariant.
-    crate::meter::add_work(
-        macs as u64,
-        4 * (input.data().len() + weight.data().len() + bias.len() + planes * plane_len) as u64,
-    );
+    let (macs, bytes) = spec.forward_work(input.n(), input.h(), input.w());
+    crate::meter::add_work(macs, bytes);
+    if crate::gemm::eligible(spec, out.h(), out.w()) {
+        crate::gemm::conv2d_gemm_into(input, weight, bias, spec, &mut out, macs);
+    } else {
+        conv2d_direct_into(input, weight, bias, spec, &mut out, macs);
+    }
+    out
+}
+
+/// Forward convolution pinned to the direct (non-GEMM) kernel. Charges
+/// the same analytic cost as [`conv2d`]; used by benches and the
+/// GEMM-vs-direct bit-identity tests.
+pub fn conv2d_direct(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> Tensor {
+    let mut out = prepare_forward(input, weight, bias, spec);
+    if out.data().is_empty() {
+        return out;
+    }
+    let (macs, bytes) = spec.forward_work(input.n(), input.h(), input.w());
+    crate::meter::add_work(macs, bytes);
+    conv2d_direct_into(input, weight, bias, spec, &mut out, macs);
+    out
+}
+
+/// Direct kernel over a pre-validated, pre-charged output tensor,
+/// splitting batch × output-channel planes across the worker pool.
+fn conv2d_direct_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: ConvSpec,
+    out: &mut Tensor,
+    macs: u64,
+) {
+    let planes = input.n() * spec.out_channels;
+    let plane_len = out.h() * out.w();
     let workers = crate::par::workers().min(planes);
     if workers > 1 && !crate::par::in_pool() && macs >= PAR_MIN_MACS {
         // Contiguous plane ranges, one scoped thread each.
@@ -154,12 +261,18 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], spec: ConvSpec) -> 
             conv_plane(input, weight, bias, spec, p, plane);
         }
     }
-    out
 }
 
 /// Compute output plane `p` (flat batch×channel index: batch item
 /// `p / out_channels`, channel `p % out_channels`) into `plane`. Shared
 /// by the serial and parallel forward paths.
+///
+/// The interior region — output positions whose kernel window lies fully
+/// inside the unpadded input — is hoisted into a slice-based fast path:
+/// row slices of input and weight are walked with zipped iterators, no
+/// per-element bounds branch or `Tensor::get` index arithmetic. Border
+/// positions keep the branchy loop. Both paths accumulate taps in the
+/// same ascending `(ic, ky, kx)` order, so the split is bit-invisible.
 fn conv_plane(
     input: &Tensor,
     weight: &Tensor,
@@ -171,30 +284,81 @@ fn conv_plane(
     let (oh, ow) = spec.out_size(input.h(), input.w());
     let n = p / spec.out_channels;
     let oc = p % spec.out_channels;
-    let k = spec.kernel as isize;
-    let pad = spec.pad as isize;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let mut acc = bias[oc];
-            let iy0 = (oy * spec.stride) as isize - pad;
-            let ix0 = (ox * spec.stride) as isize - pad;
-            for ic in 0..spec.in_channels {
-                for ky in 0..k {
-                    let iy = iy0 + ky;
-                    if iy < 0 || iy >= input.h() as isize {
+    let (h, w) = (input.h(), input.w());
+    let (k, stride, pad, in_c) = (spec.kernel, spec.stride, spec.pad, spec.in_channels);
+    let data = input.data();
+    let wdata = weight.data();
+    let bias_v = bias[oc];
+
+    // Border fallback: per-tap bounds checks, skipping padded positions.
+    let edge = |oy: usize, ox: usize| -> f32 {
+        let mut acc = bias_v;
+        let iy0 = (oy * stride) as isize - pad as isize;
+        let ix0 = (ox * stride) as isize - pad as isize;
+        for ic in 0..in_c {
+            for ky in 0..k as isize {
+                let iy = iy0 + ky;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..k as isize {
+                    let ix = ix0 + kx;
+                    if ix < 0 || ix >= w as isize {
                         continue;
                     }
-                    for kx in 0..k {
-                        let ix = ix0 + kx;
-                        if ix < 0 || ix >= input.w() as isize {
-                            continue;
-                        }
-                        acc += input.get(n, ic, iy as usize, ix as usize)
-                            * weight.get(oc, ic, ky as usize, kx as usize);
+                    acc += input.get(n, ic, iy as usize, ix as usize)
+                        * weight.get(oc, ic, ky as usize, kx as usize);
+                }
+            }
+        }
+        acc
+    };
+
+    // Interior output range per axis: first/last output position whose
+    // window needs no clipping (`o*stride >= pad` and
+    // `o*stride - pad + k <= len`).
+    let interior = |len: usize, olen: usize| -> (usize, usize) {
+        let lo = pad.div_ceil(stride).min(olen);
+        let hi = if len + pad >= k {
+            ((len + pad - k) / stride + 1).min(olen)
+        } else {
+            0
+        };
+        (lo, hi.max(lo))
+    };
+    let (y_lo, y_hi) = interior(h, oh);
+    let (x_lo, x_hi) = interior(w, ow);
+
+    for oy in 0..oh {
+        let row_out = &mut plane[oy * ow..(oy + 1) * ow];
+        if oy < y_lo || oy >= y_hi {
+            for (ox, v) in row_out.iter_mut().enumerate() {
+                *v = edge(oy, ox);
+            }
+            continue;
+        }
+        let iy0 = oy * stride - pad;
+        for (ox, v) in row_out.iter_mut().enumerate().take(x_lo) {
+            *v = edge(oy, ox);
+        }
+        for (ox, v) in row_out.iter_mut().enumerate().take(x_hi).skip(x_lo) {
+            let ix0 = ox * stride - pad;
+            let mut acc = bias_v;
+            for ic in 0..in_c {
+                let ibase = ((n * in_c + ic) * h + iy0) * w + ix0;
+                let wbase = (oc * in_c + ic) * k * k;
+                for ky in 0..k {
+                    let irow = &data[ibase + ky * w..ibase + ky * w + k];
+                    let wrow = &wdata[wbase + ky * k..wbase + (ky + 1) * k];
+                    for (x, wv) in irow.iter().zip(wrow) {
+                        acc += x * wv;
                     }
                 }
             }
-            plane[oy * ow + ox] = acc;
+            *v = acc;
+        }
+        for (ox, v) in row_out.iter_mut().enumerate().skip(x_hi) {
+            *v = edge(oy, ox);
         }
     }
 }
@@ -220,6 +384,12 @@ pub fn conv2d_backward(
         [input.n(), spec.out_channels, oh, ow],
         "grad_output shape mismatch"
     );
+    // Meter hook (regression: training and fine-tune MACs used to be
+    // invisible to the cost meter). The charge is analytic and
+    // data-independent — the `g == 0.0` skip below only saves
+    // wall-clock — so it is jobs-invariant like the forward charge.
+    let (macs, bytes) = spec.backward_work(input.n(), input.h(), input.w());
+    crate::meter::add_work(macs, bytes);
 
     let mut grad_input = Tensor::zeros(input.n(), input.c(), input.h(), input.w());
     let mut grad_weight = Tensor::zeros(
@@ -364,6 +534,45 @@ mod tests {
         assert_eq!(spec.checked_out_size(7, 7), Some((1, 1)));
         let degenerate = ConvSpec { stride: 0, ..spec };
         assert_eq!(degenerate.checked_out_size(16, 16), None);
+    }
+
+    #[test]
+    fn degenerate_specs_report_zero_cost_without_panicking() {
+        // Regression: flops()/params() used to call out_size() and
+        // could panic mid-report on a degenerate spec.
+        let oversized = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 9,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(oversized.flops(4, 4), 0);
+        assert_eq!(oversized.forward_work(1, 4, 4), (0, 0));
+        assert_eq!(oversized.backward_work(1, 4, 4), (0, 0));
+        let zero_stride = ConvSpec {
+            stride: 0,
+            ..oversized
+        };
+        assert_eq!(zero_stride.flops(16, 16), 0);
+        assert_eq!(zero_stride.params(), 82); // params never needs out_size
+    }
+
+    #[test]
+    fn work_estimates_use_u64_beyond_32_bit_range() {
+        // Regression: macs was computed in usize and overflowed on
+        // 32-bit targets for large shapes, silently flipping the
+        // parallel-split decision and mis-charging the meter.
+        let spec = ConvSpec::same(64, 64, 3);
+        let (macs, bytes) = spec.forward_work(4, 2048, 2048);
+        assert_eq!(
+            macs,
+            4u64 * 64 * 2048 * 2048 * 64 * 9,
+            "must not wrap at 2^32"
+        );
+        assert!(macs > u32::MAX as u64 && bytes > u32::MAX as u64);
+        let (bmacs, _) = spec.backward_work(4, 2048, 2048);
+        assert_eq!(bmacs, 4u64 * 64 * 2048 * 2048 * (2 * 64 * 9 + 1));
     }
 
     #[test]

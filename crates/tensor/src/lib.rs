@@ -9,7 +9,14 @@
 //!
 //! * [`Tensor`] — dense NCHW `f32` tensors with shape-checked construction.
 //! * [`conv`] — 2-D convolution with full backpropagation (input, weight,
-//!   and bias gradients), "same" padding, arbitrary stride.
+//!   and bias gradients), "same" padding, arbitrary stride. Forward passes
+//!   dispatch by shape between a direct kernel and the im2col + blocked
+//!   GEMM path in [`gemm`]; both are bit-identical.
+//! * [`fused`] — single-pass `warp → conv → PixelShuffle` head forward
+//!   that kills the intermediate tensor allocations on the SR/recovery
+//!   hot path while staying bit- and cost-identical to the staged ops.
+//! * [`quant`] — post-training int8 quantized inference (per-out-channel
+//!   weight scales, i32 accumulation) for shipping cheap frozen heads.
 //! * [`ops`] — ReLU / leaky-ReLU, [`ops::pixel_shuffle`] (the paper's
 //!   upsampling primitive, from Shi et al.), bilinear resize, and
 //!   [`ops::grid_sample`] warping (the paper implements this as a custom
@@ -30,6 +37,8 @@
 
 pub mod conv;
 pub mod flops;
+pub mod fused;
+pub mod gemm;
 pub mod init;
 pub mod loss;
 pub mod meter;
@@ -37,6 +46,7 @@ pub mod net;
 pub mod ops;
 pub mod optim;
 pub mod par;
+pub mod quant;
 pub mod tensor;
 
 pub use flops::CostReport;

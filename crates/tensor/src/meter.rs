@@ -189,6 +189,30 @@ mod tests {
     }
 
     #[test]
+    fn conv2d_backward_charges_training_macs() {
+        // Regression: the backward pass used to be invisible to the
+        // meter, so fine-tune loops (e.g. specialist SR training)
+        // under-reported. The charge is analytic — data-independent and
+        // jobs-invariant, like the forward one.
+        use crate::conv::{conv2d_backward, ConvSpec};
+        use crate::Tensor;
+        let spec = ConvSpec::same(2, 3, 3);
+        let input = Tensor::full(1, 2, 8, 8, 0.5);
+        let weight = Tensor::zeros(3, 2, 3, 3);
+        let grad_out = Tensor::full(1, 3, 8, 8, 0.1);
+        let (expect_macs, expect_bytes) = spec.backward_work(1, 8, 8);
+        assert!(expect_macs > 0);
+
+        start();
+        stage("train", || {
+            let _ = conv2d_backward(&input, &weight, &grad_out, spec);
+        });
+        let p = stop();
+        assert_eq!(p.stage("train").macs, expect_macs);
+        assert_eq!(p.stage("train").bytes, expect_bytes);
+    }
+
+    #[test]
     fn restart_clears_previous_profile() {
         start();
         add_work(1, 1);

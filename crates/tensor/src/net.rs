@@ -31,6 +31,12 @@ pub trait Layer {
     fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
         (h, w)
     }
+    /// Downcast hook for inference-only paths (fused kernels,
+    /// quantization) that need the conv weights without forwarding
+    /// through the trainable container.
+    fn as_conv(&self) -> Option<&Conv2d> {
+        None
+    }
 }
 
 /// Trainable 2-D convolution layer.
@@ -138,6 +144,10 @@ impl Layer for Conv2d {
 
     fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
         self.spec.out_size(h, w)
+    }
+
+    fn as_conv(&self) -> Option<&Conv2d> {
+        Some(self)
     }
 }
 
@@ -323,6 +333,14 @@ impl Sequential {
 
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The convolution layers of the chain, in order. Inference-only
+    /// callers use this to route the head through the fused / quantized
+    /// kernels ([`crate::fused`], [`crate::quant`]) without paying the
+    /// per-layer input clones `forward` keeps for training.
+    pub fn conv_layers(&self) -> Vec<&Conv2d> {
+        self.layers.iter().filter_map(|l| l.as_conv()).collect()
     }
 
     /// Snapshot all parameter buffers (visit order). Pairs with

@@ -456,7 +456,10 @@ fn fleet_1k_on_8_servers_failover_storm_is_stable_and_resumable() {
     assert_eq!(digests[1], digests[2], "--jobs 2 vs --jobs 4");
 
     let r = last.unwrap();
-    let fo = r.failover.as_ref().expect("failure plan must surface stats");
+    let fo = r
+        .failover
+        .as_ref()
+        .expect("failure plan must surface stats");
     assert_eq!(fo.server_failures, 2, "both planned fail-stops must land");
     assert_eq!(fo.rejoins, 1, "the flapping server must rejoin");
     assert!(fo.evacuated > 0, "the dead servers held resident sessions");

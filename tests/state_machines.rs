@@ -454,12 +454,18 @@ fn check_breaker_sequence(cfg: BreakerConfig, ops: &[BreakerOp]) {
             snap.probes_issued, model.probes_issued,
             "probe allowance diverged at op {i}"
         );
-        assert_eq!(imp.counters.opened, model.opened, "opened diverged at op {i}");
+        assert_eq!(
+            imp.counters.opened, model.opened,
+            "opened diverged at op {i}"
+        );
         assert_eq!(
             imp.counters.half_opened, model.half_opened,
             "half_opened diverged at op {i}"
         );
-        assert_eq!(imp.counters.closed, model.closed, "closed diverged at op {i}");
+        assert_eq!(
+            imp.counters.closed, model.closed,
+            "closed diverged at op {i}"
+        );
         assert_eq!(
             imp.counters.watchdog_trips, model.watchdog_trips,
             "watchdog_trips diverged at op {i}"
